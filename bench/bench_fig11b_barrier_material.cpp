@@ -1,0 +1,42 @@
+// Figure 11(b): full-system EER for wood vs glass barriers under all four
+// attack types.
+#include "bench_util.hpp"
+
+namespace vibguard {
+namespace {
+
+void run_fig11b() {
+  bench::print_header("Figure 11(b): impact of barrier materials");
+  std::printf("%-10s %-10s %-10s %-12s %-12s\n", "material", "random",
+              "replay", "synthesis", "hidden");
+  const std::vector<std::pair<const char*, acoustics::RoomConfig>>
+      materials = {{"Wood", acoustics::room_b()},
+                   {"Glass", acoustics::room_a()}};
+  for (const auto& [name, room] : materials) {
+    std::printf("%-10s ", name);
+    std::uint64_t seed = 2200;
+    for (auto attack : attacks::all_attack_types()) {
+      eval::ExperimentConfig cfg;
+      cfg.scenario.room = room;
+      cfg.legit_trials = bench::trials_per_point();
+      cfg.attack_trials = bench::trials_per_point();
+      const auto rocs =
+          bench::run_point(cfg, attack, {core::DefenseMode::kFull}, seed++);
+      std::printf("%-11.3f ", rocs.at(core::DefenseMode::kFull).eer);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape: EERs similar across the two materials, all below\n"
+      "~4-5%%.\n");
+}
+
+void BM_Fig11b(benchmark::State& state) {
+  for (auto _ : state) run_fig11b();
+}
+BENCHMARK(BM_Fig11b)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+}  // namespace vibguard
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Figure 4: phoneme spectra before/after the barrier in the VIBRATION
+// domain — the same /ae/ and /v/ segments as Fig. 3, but captured through
+// the wearable's speaker→accelerometer cross-domain path (0-100 Hz band).
+#include "bench_util.hpp"
+
+#include "acoustics/barrier.hpp"
+#include "acoustics/propagation.hpp"
+#include "common/db.hpp"
+#include "dsp/spectral.hpp"
+#include "device/wearable.hpp"
+#include "speech/corpus.hpp"
+
+namespace vibguard {
+namespace {
+
+constexpr std::size_t kPoints = 26;  // 4 Hz grid to 100 Hz
+constexpr double kMaxHz = 100.0;
+
+std::vector<double> average_vibration_spectrum(
+    const std::vector<speech::PhonemeSegment>& segments,
+    const acoustics::Barrier* barrier, const device::Wearable& wearable,
+    Rng& rng) {
+  std::vector<std::vector<double>> spectra;
+  for (const auto& seg : segments) {
+    Signal s = seg.audio.scaled_to_rms(spl_to_rms(75.0));
+    if (barrier != nullptr) s = barrier->transmit(s);
+    s = acoustics::propagate(s, 0.25);
+    const Signal rec = wearable.record(s, rng);
+    const Signal vib = wearable.cross_domain_capture(rec, rng);
+    spectra.push_back(dsp::magnitude_spectrum_resampled(vib, kMaxHz, kPoints));
+  }
+  return dsp::average_spectra(spectra);
+}
+
+void run_fig4() {
+  bench::print_header(
+      "Figure 4: average FFT magnitude before/after barrier "
+      "(vibration domain)");
+  speech::CorpusConfig ccfg;
+  ccfg.segments_per_phoneme = bench::trials_per_point(100);
+  speech::PhonemeCorpus corpus(ccfg, 42);
+  acoustics::Barrier barrier(acoustics::glass_window());
+  device::Wearable wearable;
+  Rng rng(11);
+
+  double ae_after_mean = 0.0, v_before_mean = 0.0;
+  for (const char* sym : {"ae", "v"}) {
+    const auto segments = corpus.segments(sym);
+    const auto before =
+        average_vibration_spectrum(segments, nullptr, wearable, rng);
+    const auto after =
+        average_vibration_spectrum(segments, &barrier, wearable, rng);
+    std::printf("\n/%s/:  %10s  %14s  %14s\n", sym, "freq(Hz)", "before",
+                "after");
+    for (std::size_t i = 0; i < kPoints; ++i) {
+      const double f =
+          kMaxHz * static_cast<double>(i) / static_cast<double>(kPoints - 1);
+      std::printf("      %10.0f  %14.6f  %14.6f\n", f, before[i], after[i]);
+      if (f > 5.0) {
+        if (std::string(sym) == "ae") ae_after_mean += after[i];
+        if (std::string(sym) == "v") v_before_mean += before[i];
+      }
+    }
+  }
+  std::printf(
+      "\nDiscriminability check (paper Sec. IV-A): thru-barrier /ae/ mean "
+      "magnitude = %.5f,\ndirect /v/ mean magnitude = %.5f -> ratio %.2f "
+      "(distinguishable in the vibration\ndomain, unlike Fig. 3's audio "
+      "domain).\n",
+      ae_after_mean / (kPoints - 2), v_before_mean / (kPoints - 2),
+      v_before_mean / std::max(ae_after_mean, 1e-12));
+}
+
+void BM_Fig4(benchmark::State& state) {
+  for (auto _ : state) run_fig4();
+}
+BENCHMARK(BM_Fig4)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+}  // namespace vibguard
+
+BENCHMARK_MAIN();

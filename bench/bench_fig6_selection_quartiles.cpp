@@ -1,0 +1,53 @@
+// Figure 6: third-quartile vibration spectra of /er/ with and without the
+// barrier, against the selection threshold α — the visual demonstration of
+// Criteria I and II.
+#include "bench_util.hpp"
+
+#include "acoustics/barrier.hpp"
+#include "core/phoneme_selection.hpp"
+#include "speech/corpus.hpp"
+
+namespace vibguard {
+namespace {
+
+void run_fig6() {
+  bench::print_header(
+      "Figure 6: Q3 vibration spectra of /er/ with/without barrier vs alpha");
+  speech::CorpusConfig ccfg;
+  ccfg.segments_per_phoneme = bench::trials_per_point(30);
+  speech::PhonemeCorpus corpus(ccfg, 42);
+  core::SelectionConfig scfg;
+  core::PhonemeSelector selector(scfg, device::Wearable{});
+  acoustics::Barrier barrier(acoustics::glass_window());
+  Rng rng(7);
+  const auto result = selector.select(corpus, barrier, rng);
+  const auto& er = result.info("er");
+
+  std::printf("alpha = %.5f\n\n%10s  %16s  %16s\n", result.alpha, "freq(Hz)",
+              "Q3 with barrier", "Q3 without barrier");
+  for (std::size_t b = 0; b < er.q3_with_barrier.size(); ++b) {
+    std::printf("%10.1f  %16.5f  %16.5f\n",
+                static_cast<double>(b) * result.bin_hz,
+                er.q3_with_barrier[b], er.q3_without_barrier[b]);
+  }
+  std::printf(
+      "\nCriterion I: max_f Q3_adv = %.5f %s alpha (%s)\n"
+      "Criterion II: min_f Q3_user = %.5f %s alpha (%s)\n"
+      "/er/ selected: %s (paper selects /er/)\n",
+      er.max_q3_with_barrier,
+      er.max_q3_with_barrier < result.alpha ? "<" : ">=",
+      er.passes_criterion1 ? "passes" : "FAILS", er.min_q3_without_barrier,
+      er.min_q3_without_barrier > result.alpha ? ">" : "<=",
+      er.passes_criterion2 ? "passes" : "FAILS",
+      er.selected ? "yes" : "no");
+}
+
+void BM_Fig6(benchmark::State& state) {
+  for (auto _ : state) run_fig6();
+}
+BENCHMARK(BM_Fig6)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+}  // namespace vibguard
+
+BENCHMARK_MAIN();

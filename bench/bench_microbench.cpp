@@ -1,0 +1,107 @@
+// Micro-benchmarks for the hot computational kernels: FFT, STFT, MFCC,
+// cross-correlation sync, cross-domain capture and the full pipeline score.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hpp"
+#include "core/segmentation.hpp"
+#include "device/sync.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/generate.hpp"
+#include "dsp/mel.hpp"
+#include "dsp/stft.hpp"
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+
+namespace vibguard {
+namespace {
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<dsp::Complex> buf(n);
+  for (auto& v : buf) v = dsp::Complex(rng.gaussian(), 0.0);
+  for (auto _ : state) {
+    auto copy = buf;
+    dsp::fft_pow2(copy, false);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftPow2)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<dsp::Complex> buf(n);
+  for (auto& v : buf) v = dsp::Complex(rng.gaussian(), 0.0);
+  for (auto _ : state) {
+    auto out = dsp::fft(buf);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(6300);
+
+void BM_StftPower(benchmark::State& state) {
+  Rng rng(3);
+  const Signal vib = dsp::white_noise(5.0, 200.0, 0.01, rng);
+  for (auto _ : state) {
+    auto spec = dsp::stft_power(vib, 64, 16);
+    benchmark::DoNotOptimize(spec);
+  }
+}
+BENCHMARK(BM_StftPower);
+
+void BM_Mfcc(benchmark::State& state) {
+  Rng rng(4);
+  const Signal audio = dsp::white_noise(1.0, 16000.0, 0.05, rng);
+  for (auto _ : state) {
+    auto mfcc = dsp::compute_mfcc(audio);
+    benchmark::DoNotOptimize(mfcc);
+  }
+}
+BENCHMARK(BM_Mfcc);
+
+void BM_SyncEstimate(benchmark::State& state) {
+  Rng rng(5);
+  device::SyncChannel sync;
+  const Signal scene = dsp::white_noise(1.5, 16000.0, 0.05, rng);
+  const Signal delayed = sync.delayed_view(scene, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sync.estimate_delay_s(scene, delayed));
+  }
+}
+BENCHMARK(BM_SyncEstimate);
+
+void BM_CrossDomainCapture(benchmark::State& state) {
+  Rng rng(6);
+  device::Wearable wearable;
+  const Signal rec = dsp::white_noise(1.5, 16000.0, 0.05, rng);
+  for (auto _ : state) {
+    Rng r(7);
+    auto vib = wearable.cross_domain_capture(rec, r);
+    benchmark::DoNotOptimize(vib);
+  }
+}
+BENCHMARK(BM_CrossDomainCapture);
+
+void BM_FullPipelineScore(benchmark::State& state) {
+  eval::ScenarioSimulator sim(eval::ScenarioConfig{}, 8);
+  Rng rng(9);
+  const auto user = speech::sample_speaker(speech::Sex::kMale, rng);
+  const auto trial = sim.legitimate_trial(
+      speech::command_by_text("turn on the lights"), user);
+  core::OracleSegmenter segmenter(trial.alignment,
+                                  eval::reference_sensitive_set());
+  core::DefenseSystem system{core::DefenseConfig{}};
+  for (auto _ : state) {
+    Rng r(10);
+    benchmark::DoNotOptimize(
+        system.score(trial.va, trial.wearable, &segmenter, r));
+  }
+}
+BENCHMARK(BM_FullPipelineScore);
+
+}  // namespace
+}  // namespace vibguard
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Robustness to wearer motion: the user performs daily activities (rest,
+// typing, walking, running) during the cross-domain capture. The ≤5 Hz
+// spectrogram crop plus the high-pass pre-filter are designed to remove
+// exactly this interference (paper Sec. VI-B, ref [22]); this bench
+// quantifies how much headroom remains, including with the crop disabled.
+#include "bench_util.hpp"
+
+#include "sensors/body_motion.hpp"
+
+namespace vibguard {
+namespace {
+
+void run_motion() {
+  bench::print_header(
+      "Motion robustness: replay attacks while the wearer moves");
+  std::printf("%-12s %14s %14s   %s\n", "activity", "AUC", "EER",
+              "(crop disabled: AUC / EER)");
+  std::uint64_t seed = 9100;
+  for (sensors::Activity activity : sensors::all_activities()) {
+    eval::ExperimentConfig cfg;
+    cfg.legit_trials = bench::trials_per_point();
+    cfg.attack_trials = bench::trials_per_point();
+    cfg.defense.user_activity = activity;
+    const auto rocs = bench::run_point(cfg, attacks::AttackType::kReplay,
+                                       {core::DefenseMode::kFull}, seed);
+
+    eval::ExperimentConfig nocrop = cfg;
+    nocrop.defense.features.crop_below_hz = 0.0;
+    nocrop.defense.features.highpass_hz = 0.0;
+    const auto rocs_nocrop = bench::run_point(
+        nocrop, attacks::AttackType::kReplay, {core::DefenseMode::kFull},
+        seed);
+    ++seed;
+
+    const auto& r = rocs.at(core::DefenseMode::kFull);
+    const auto& rn = rocs_nocrop.at(core::DefenseMode::kFull);
+    std::printf("%-12s %14.3f %14.3f   (%.3f / %.3f)\n",
+                sensors::activity_name(activity).c_str(), r.auc, r.eer,
+                rn.auc, rn.eer);
+  }
+  std::printf(
+      "\nExpected: the crop + zero-phase high-pass keep resting/typing/\n"
+      "walking near the motion-free operating point; running (arm-swing\n"
+      "harmonics above 5 Hz) remains an honest limitation -- a deployment\n"
+      "would re-prompt when large motion is detected. Without the crop,\n"
+      "every activity corrupts the features.\n");
+}
+
+void BM_MotionRobustness(benchmark::State& state) {
+  for (auto _ : state) run_motion();
+}
+BENCHMARK(BM_MotionRobustness)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+}  // namespace vibguard
+
+BENCHMARK_MAIN();

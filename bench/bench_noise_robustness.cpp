@@ -1,0 +1,47 @@
+// Ambient-noise robustness: the defense under HVAC rumble, background
+// music and multi-talker babble at increasing levels. Babble is the
+// interesting adversary-independent confounder — it contains real speech
+// energy at the phoneme frequencies.
+#include "bench_util.hpp"
+
+#include "acoustics/ambient.hpp"
+
+namespace vibguard {
+namespace {
+
+void run_noise() {
+  bench::print_header(
+      "Ambient-noise robustness (replay attacks, Room A)");
+  std::printf("%-10s %12s %12s %12s\n", "ambient", "45 dB EER",
+              "55 dB EER", "65 dB EER");
+  std::uint64_t seed = 9500;
+  for (acoustics::AmbientKind kind : acoustics::all_ambient_kinds()) {
+    std::printf("%-10s ", acoustics::ambient_name(kind).c_str());
+    for (double spl : {45.0, 55.0, 65.0}) {
+      eval::ExperimentConfig cfg;
+      cfg.scenario.room.ambient_kind = kind;
+      cfg.scenario.room.ambient_noise_spl = spl;
+      cfg.legit_trials = bench::trials_per_point();
+      cfg.attack_trials = bench::trials_per_point();
+      const auto rocs = bench::run_point(cfg, attacks::AttackType::kReplay,
+                                         {core::DefenseMode::kFull}, seed++);
+      std::printf("%12.3f ", rocs.at(core::DefenseMode::kFull).eer);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected: the comparison-based design is remarkably noise-robust\n"
+      "-- ambient noise raises BOTH devices' floors, hurting attack\n"
+      "correlations as much as legitimate ones, so EER stays low even with\n"
+      "a 65 dB floor under 65-75 dB commands.\n");
+}
+
+void BM_NoiseRobustness(benchmark::State& state) {
+  for (auto _ : state) run_noise();
+}
+BENCHMARK(BM_NoiseRobustness)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+}  // namespace vibguard
+
+BENCHMARK_MAIN();

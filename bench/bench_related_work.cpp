@@ -1,0 +1,102 @@
+// Related-work comparison (paper Sec. VIII): VibGuard vs WearID-style
+// direct vibration verification [30] and 2MA-style two-microphone source
+// verification [27], under replay attacks in two geometries:
+//
+//   (1) standard   — user near the wearable, attacker behind the barrier
+//   (2) adversarial — the attacker's loudspeaker placed right outside the
+//       barrier NEAR the wearable (0.5 m behind it) while the VA is 4 m
+//       away, mimicking the level ratio 2MA expects from a legitimate user.
+#include "bench_util.hpp"
+
+#include "core/baselines.hpp"
+#include "eval/scenario.hpp"
+
+namespace vibguard {
+namespace {
+
+struct Scores {
+  std::vector<double> legit;
+  std::vector<double> attack;
+};
+
+void run_geometry(const char* name, const eval::ScenarioConfig& scfg,
+                  std::uint64_t seed) {
+  const std::size_t trials = bench::trials_per_point(24);
+  eval::ScenarioSimulator sim(scfg, seed);
+  Rng rng(seed + 1);
+  auto speakers = speech::sample_population(4, rng);
+  const auto lexicon = speech::command_lexicon();
+
+  core::DefenseSystem vibguard_system{core::DefenseConfig{}};
+  core::WearIdVerifier wearid;
+  core::TwoMicVerifier twomic;
+
+  Scores ours, wid, tma;
+  Rng score_rng(seed + 2);
+  for (std::size_t i = 0; i < 2 * trials; ++i) {
+    const bool is_attack = i >= trials;
+    const auto& cmd = lexicon[(i * 3 + 1) % lexicon.size()];
+    const auto& user = speakers[i % speakers.size()];
+    const auto& adv = speakers[(i + 1) % speakers.size()];
+    const auto trial =
+        is_attack ? sim.attack_trial(attacks::AttackType::kReplay, cmd, user,
+                                     adv)
+                  : sim.legitimate_trial(cmd, user);
+    core::OracleSegmenter seg(trial.alignment,
+                              eval::reference_sensitive_set());
+    Rng r1 = score_rng.fork(i);
+    Rng r2 = score_rng.fork(i + 1000);
+    auto& o = is_attack ? ours.attack : ours.legit;
+    auto& w = is_attack ? wid.attack : wid.legit;
+    auto& t = is_attack ? tma.attack : tma.legit;
+    o.push_back(
+        vibguard_system.score(trial.va, trial.wearable, &seg, r1));
+    // WearID sees the raw sound field at the wearable (its recording, pre
+    // replay) vs the VA recording.
+    w.push_back(wearid.score(trial.wearable, trial.va, r2));
+    t.push_back(twomic.score(trial.wearable, trial.va));
+  }
+
+  std::printf("\n-- %s --\n%-24s %10s %10s\n", name, "system", "AUC", "EER");
+  std::printf("%-24s %10.3f %10.3f\n", "VibGuard (ours)",
+              eval::compute_roc(ours.attack, ours.legit).auc,
+              eval::compute_roc(ours.attack, ours.legit).eer);
+  std::printf("%-24s %10.3f %10.3f\n", "WearID-style",
+              eval::compute_roc(wid.attack, wid.legit).auc,
+              eval::compute_roc(wid.attack, wid.legit).eer);
+  std::printf("%-24s %10.3f %10.3f\n", "2MA-style",
+              eval::compute_roc(tma.attack, tma.legit).auc,
+              eval::compute_roc(tma.attack, tma.legit).eer);
+}
+
+void run_related_work() {
+  bench::print_header(
+      "Related-work comparison (Sec. VIII): replay attacks");
+
+  eval::ScenarioConfig standard;
+  run_geometry("standard geometry (user 0.4 m from wearable)", standard,
+               6600);
+
+  eval::ScenarioConfig mimicry;
+  mimicry.barrier_to_wearable_m = 0.5;  // attacker close to the wearable...
+  mimicry.barrier_to_va_m = 4.0;        // ...and far from the VA
+  run_geometry("2MA-mimicry geometry (attacker near wearable wall)",
+               mimicry, 7700);
+
+  std::printf(
+      "\nExpected: 2MA-style verification collapses under geometry mimicry\n"
+      "(the level ratio it checks is reproduced by the attacker), while\n"
+      "VibGuard's vibration-domain evidence is position-independent.\n"
+      "WearID-style direct capture suffers in BOTH geometries because the\n"
+      "user speaks ~0.4 m from the wrist — beyond its working range.\n");
+}
+
+void BM_RelatedWork(benchmark::State& state) {
+  for (auto _ : state) run_related_work();
+}
+BENCHMARK(BM_RelatedWork)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+}  // namespace vibguard
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Table I: thru-barrier attack success against four commercial VA devices.
+//
+// Reproduces the paper's attack study: a loudspeaker 10 cm outside a glass
+// window / wooden door replays wake words at 65 and 75 dB; the VA device is
+// 2 m behind the barrier. 10 attempts per cell; entries are successes
+// "65dB; 75dB". Siri devices embed speaker verification, so random and
+// synthesis attacks do not apply ("-"), matching the paper.
+#include "bench_util.hpp"
+
+#include "device/va_device.hpp"
+#include "eval/scenario.hpp"
+
+namespace vibguard {
+namespace {
+
+using attacks::AttackType;
+
+struct Cell {
+  int successes65 = -1;  // -1 = not applicable
+  int successes75 = -1;
+};
+
+int run_attempts(const device::VaDeviceProfile& profile,
+                 const acoustics::RoomConfig& room, AttackType type,
+                 double spl, std::uint64_t seed) {
+  eval::ScenarioConfig cfg;
+  cfg.room = room;
+  eval::ScenarioSimulator sim(cfg, seed);
+  Rng rng(seed ^ 0xbeefULL);
+  auto victim = speech::sample_speaker(speech::Sex::kFemale, rng);
+  auto adversary = speech::sample_speaker(speech::Sex::kMale, rng);
+  const auto& wake = speech::command_by_text(profile.wake_word);
+  device::VaDevice device(profile);
+  attacks::AttackGenerator gen;
+
+  int successes = 0;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const auto sound = gen.generate(type, wake, victim, adversary, rng);
+    const Signal received = sim.attack_sound_at_va(sound.audio, spl);
+    // Replay attacks replay the enrolled user's own voice, which passes
+    // Siri's voice match.
+    if (device.triggers(received, attacks::command_kind(type),
+                        /*is_enrolled_voice=*/type == AttackType::kReplay,
+                        rng)) {
+      ++successes;
+    }
+  }
+  return successes;
+}
+
+void print_table1() {
+  bench::print_header(
+      "Table I: thru-barrier attack success out of 10 attempts (65dB; 75dB)");
+  const std::vector<AttackType> attack_cols = {
+      AttackType::kRandom, AttackType::kReplay, AttackType::kSynthesis};
+  const std::vector<std::pair<const char*, acoustics::RoomConfig>> barriers =
+      {{"Glass window", acoustics::room_a()},
+       {"Wooden door", acoustics::room_b()}};
+
+  for (const auto& [barrier_name, room] : barriers) {
+    std::printf("\n-- %s --\n", barrier_name);
+    std::printf("%-14s %-10s %-16s %-16s %-16s\n", "Device", "Command",
+                "Random", "Replay", "Synthesis");
+    std::uint64_t seed = 1000;
+    for (const auto& profile : device::all_va_devices()) {
+      std::string cells[3];
+      for (std::size_t a = 0; a < attack_cols.size(); ++a) {
+        const AttackType t = attack_cols[a];
+        const bool applicable =
+            !(profile.requires_voice_match && t != AttackType::kReplay);
+        if (!applicable) {
+          cells[a] = "-";
+          continue;
+        }
+        const int s65 = run_attempts(profile, room, t, 65.0, seed++);
+        const int s75 = run_attempts(profile, room, t, 75.0, seed++);
+        cells[a] = std::to_string(s65) + "/10; " + std::to_string(s75) +
+                   "/10";
+      }
+      std::printf("%-14s %-10s %-16s %-16s %-16s\n", profile.name.c_str(),
+                  profile.wake_word.c_str(), cells[0].c_str(),
+                  cells[1].c_str(), cells[2].c_str());
+    }
+    // Hidden voice attack on Google Home (paper text: 5/10 at 65 dB through
+    // glass, 10/10 at 75 dB and through wood).
+    const int h65 = run_attempts(device::google_home(), room,
+                                 AttackType::kHiddenVoice, 65.0, seed++);
+    const int h75 = run_attempts(device::google_home(), room,
+                                 AttackType::kHiddenVoice, 75.0, seed++);
+    std::printf("%-14s %-10s hidden voice: %d/10; %d/10\n", "Google Home",
+                "ok google", h65, h75);
+  }
+  std::printf(
+      "\nPaper shape: smart speakers trigger at moderate/high rates, the\n"
+      "iPhone rarely at 65dB; all devices trigger reliably at 75dB.\n");
+}
+
+void BM_Table1(benchmark::State& state) {
+  for (auto _ : state) print_table1();
+}
+BENCHMARK(BM_Table1)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+}  // namespace vibguard
+
+BENCHMARK_MAIN();

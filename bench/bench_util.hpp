@@ -1,0 +1,78 @@
+// Shared helpers for the reproduction benchmarks.
+//
+// Each bench binary reproduces one table or figure of the paper: it runs the
+// corresponding experiment, prints the rows/series the paper reports, and
+// registers the end-to-end run with google-benchmark so wall-clock cost is
+// tracked alongside the scientific output.
+//
+// Trial counts default to paper-shaped but laptop-friendly values; set
+// VIBGUARD_TRIALS to raise or lower them (e.g. VIBGUARD_TRIALS=100 for
+// tighter confidence, =10 for a smoke run).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "core/pipeline.hpp"
+#include "eval/experiment.hpp"
+
+namespace vibguard::bench {
+
+/// Number of legit/attack trials per experiment point (env-overridable).
+inline std::size_t trials_per_point(std::size_t fallback = 30) {
+  if (const char* env = std::getenv("VIBGUARD_TRIALS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+/// The three evaluation arms of the paper's Figs. 9-10.
+inline std::vector<core::DefenseMode> all_modes() {
+  return {core::DefenseMode::kAudioBaseline,
+          core::DefenseMode::kVibrationBaseline, core::DefenseMode::kFull};
+}
+
+/// Paper-facing mode labels.
+inline const char* mode_label(core::DefenseMode mode) {
+  switch (mode) {
+    case core::DefenseMode::kAudioBaseline: return "Audio-domain baseline";
+    case core::DefenseMode::kVibrationBaseline:
+      return "Vibration-domain baseline";
+    case core::DefenseMode::kFull: return "Our defense system";
+  }
+  return "?";
+}
+
+/// Runs one experiment point and returns ROC curves per mode.
+inline std::map<core::DefenseMode, eval::RocCurve> run_point(
+    const eval::ExperimentConfig& cfg, attacks::AttackType attack,
+    const std::vector<core::DefenseMode>& modes, std::uint64_t seed) {
+  eval::ExperimentRunner runner(cfg, seed);
+  auto results = runner.run(attack, modes);
+  std::map<core::DefenseMode, eval::RocCurve> out;
+  for (const auto& [mode, pops] : results) out.emplace(mode, pops.roc());
+  return out;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+/// Prints a numeric series as aligned columns (figure data in text form).
+inline void print_series(const char* name, const std::vector<double>& xs,
+                         const std::vector<double>& ys) {
+  std::printf("%s\n", name);
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    std::printf("  %10.3f  %12.6f\n", xs[i], ys[i]);
+  }
+}
+
+}  // namespace vibguard::bench

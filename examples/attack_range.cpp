@@ -1,0 +1,70 @@
+// Attack range study: how loud must the adversary be?
+//
+// From the attacker's perspective: sweep playback SPL and barrier material,
+// print (a) the probability the wake word triggers each VA device and
+// (b) whether the VibGuard defense would catch the command — showing the
+// window in which attacks succeed against undefended devices and how the
+// defense closes it.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "device/va_device.hpp"
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+
+using namespace vibguard;
+
+int main() {
+  const std::vector<std::pair<const char*, acoustics::RoomConfig>> barriers =
+      {{"glass window", acoustics::room_a()},
+       {"wooden door", acoustics::room_b()}};
+
+  core::DefenseSystem guard{core::DefenseConfig{}};
+
+  for (const auto& [name, room] : barriers) {
+    std::printf("\n=== Barrier: %s ===\n", name);
+    std::printf("%-6s %-22s %-22s %-18s\n", "SPL", "Google Home trigger",
+                "iPhone trigger", "defense verdict");
+    for (double spl : {55.0, 65.0, 75.0, 85.0}) {
+      eval::ScenarioConfig scfg;
+      scfg.room = room;
+      scfg.attack_spl = spl;
+      eval::ScenarioSimulator sim(scfg,
+                                  static_cast<std::uint64_t>(spl) * 31 + 7);
+      Rng rng(static_cast<std::uint64_t>(spl));
+      const auto victim = speech::sample_speaker(speech::Sex::kFemale, rng);
+      const auto adversary = speech::sample_speaker(speech::Sex::kMale, rng);
+
+      // Trigger probability of a replayed wake word at the VA device.
+      attacks::AttackGenerator gen;
+      const auto wake = gen.replay_attack(
+          speech::command_by_text("ok google"), victim, rng);
+      const Signal at_va = sim.attack_sound_at_va(wake.audio, spl);
+      device::VaDevice gh(device::google_home());
+      device::VaDevice ip(device::iphone());
+      const double p_gh = gh.trigger_probability(
+          at_va, device::CommandKind::kReplay, false);
+      const double p_ip = ip.trigger_probability(
+          at_va, device::CommandKind::kReplay, true);
+
+      // Defense verdict on a full replayed command at this SPL.
+      const auto trial = sim.attack_trial(
+          attacks::AttackType::kReplay,
+          speech::command_by_text("unlock the front door"), victim,
+          adversary);
+      core::OracleSegmenter seg(trial.alignment,
+                                eval::reference_sensitive_set());
+      Rng r(1234 + static_cast<std::uint64_t>(spl));
+      const auto verdict = guard.detect(trial.va, trial.wearable, &seg, r);
+
+      std::printf("%-6.0f %-22.2f %-22.2f %s (score %.3f)\n", spl, p_gh,
+                  p_ip, verdict.is_attack ? "BLOCKED" : "not detected",
+                  verdict.score);
+    }
+  }
+  std::printf(
+      "\nTakeaway: undefended smart speakers trigger from ~65 dB through\n"
+      "either barrier (Table I), while the cross-domain defense flags the\n"
+      "thru-barrier commands across the whole SPL range.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Export audible demos as WAV files: listen to what the simulation builds.
+//
+// Writes to ./vibguard_audio/ :
+//   command_user.wav          — a synthesized command as the user speaks it
+//   command_thru_barrier.wav  — the same command heard through a glass
+//                               window (the "barrier effect")
+//   hidden_voice.wav          — an obfuscated hidden-voice attack signal
+//   chirp_vibration.wav       — the accelerometer's view of a 500-2500 Hz
+//                               chirp (rendered at 200 Hz; pitch-shifted
+//                               into audibility on playback by most players)
+#include <cstdio>
+#include <filesystem>
+
+#include "acoustics/barrier.hpp"
+#include "attacks/attack.hpp"
+#include "common/db.hpp"
+#include "common/wav.hpp"
+#include "dsp/generate.hpp"
+#include "sensors/accelerometer.hpp"
+#include "speech/command.hpp"
+
+using namespace vibguard;
+
+int main() {
+  const std::filesystem::path dir = "vibguard_audio";
+  std::filesystem::create_directories(dir);
+  Rng rng(2024);
+
+  // A command in a synthetic female voice, normalized for playback.
+  speech::UtteranceBuilder builder;
+  const auto speaker = speech::sample_speaker(speech::Sex::kFemale, rng);
+  auto utt = builder.build(
+      speech::command_by_text("unlock the front door"), speaker, rng);
+  Signal voice = utt.audio.scaled_to_rms(0.1);
+  write_wav((dir / "command_user.wav").string(), voice);
+
+  // The same waveform after the glass window. Re-normalized so the
+  // *spectral* change is audible rather than just the level drop.
+  acoustics::Barrier window(acoustics::glass_window());
+  Signal through = window.transmit(voice).scaled_to_rms(0.1);
+  write_wav((dir / "command_thru_barrier.wav").string(), through);
+
+  // A hidden-voice attack signal (noise-like but speech-shaped).
+  attacks::AttackGenerator gen;
+  auto hidden = gen.hidden_voice_attack("unlock the front door", rng);
+  write_wav((dir / "hidden_voice.wav").string(),
+            hidden.audio.scaled_to_rms(0.1));
+
+  // The accelerometer's capture of a chirp (Fig. 7's input).
+  sensors::Accelerometer accel;
+  const Signal chirp_sig = dsp::chirp(500.0, 2500.0, 4.0, 16000.0, 0.05);
+  Signal vib = accel.capture(chirp_sig, rng).scaled_to_rms(0.1);
+  write_wav((dir / "chirp_vibration.wav").string(), vib);
+
+  std::printf("wrote 4 WAV files to %s/\n",
+              std::filesystem::absolute(dir).c_str());
+  std::printf(
+      "compare command_user.wav vs command_thru_barrier.wav to HEAR the\n"
+      "frequency-selective barrier effect the defense exploits.\n");
+  return 0;
+}

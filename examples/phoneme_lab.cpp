@@ -1,0 +1,86 @@
+// Phoneme lab: explore what the barrier and the accelerometer do to each
+// phoneme class.
+//
+// For a handful of representative phonemes, prints (a) where its audio
+// energy lives, (b) how much survives a glass window, and (c) how strong the
+// resulting wearable vibration is with and without the barrier — the raw
+// ingredients of the paper's selection criteria.
+#include <cstdio>
+
+#include "acoustics/barrier.hpp"
+#include "acoustics/propagation.hpp"
+#include "common/db.hpp"
+#include "device/wearable.hpp"
+#include "dsp/spectral.hpp"
+#include "speech/corpus.hpp"
+
+using namespace vibguard;
+
+int main() {
+  speech::CorpusConfig ccfg;
+  ccfg.segments_per_phoneme = 10;
+  speech::PhonemeCorpus corpus(ccfg, 42);
+  acoustics::Barrier window(acoustics::glass_window());
+  device::Wearable wearable;
+  Rng rng(5);
+
+  std::printf(
+      "%-6s %-10s %10s %10s %12s %14s %14s\n", "phon", "class",
+      "centroid", "%>500Hz", "barrier(dB)", "vib (direct)",
+      "vib (barrier)");
+
+  const char* picks[] = {"aa", "ao", "ae", "ih", "iy", "er", "m",
+                         "n",  "w",  "s",  "sh", "t",  "v", "hh"};
+  for (const char* sym : picks) {
+    const auto& p = speech::phoneme_by_symbol(sym);
+    const char* cls = "";
+    switch (p.cls) {
+      case speech::PhonemeClass::kVowel: cls = "vowel"; break;
+      case speech::PhonemeClass::kDiphthong: cls = "diphthong"; break;
+      case speech::PhonemeClass::kGlide: cls = "glide"; break;
+      case speech::PhonemeClass::kLiquid: cls = "liquid"; break;
+      case speech::PhonemeClass::kNasal: cls = "nasal"; break;
+      case speech::PhonemeClass::kFricative: cls = "fricative"; break;
+      case speech::PhonemeClass::kPlosive: cls = "plosive"; break;
+      case speech::PhonemeClass::kAffricate: cls = "affricate"; break;
+    }
+
+    double centroid = 0.0, hf_fraction = 0.0, barrier_db = 0.0;
+    double vib_direct = 0.0, vib_barrier = 0.0;
+    const auto segments = corpus.segments(sym);
+    for (const auto& seg : segments) {
+      Signal s = seg.audio;
+      s.scale(spl_to_rms(75.0) / kReferenceRms);
+      centroid += dsp::spectral_centroid(s);
+      hf_fraction += dsp::band_energy_fraction(s, 500.0, 8000.0);
+
+      const Signal through = window.transmit(s);
+      barrier_db += amplitude_to_db(s.rms() / std::max(through.rms(), 1e-12));
+
+      const Signal direct_at = acoustics::propagate(s, 0.25);
+      const Signal through_at = acoustics::propagate(through, 0.25);
+      vib_direct += wearable
+                        .cross_domain_capture(
+                            wearable.record(direct_at, rng), rng)
+                        .rms();
+      vib_barrier += wearable
+                         .cross_domain_capture(
+                             wearable.record(through_at, rng), rng)
+                         .rms();
+    }
+    const auto n = static_cast<double>(segments.size());
+    std::printf("%-6s %-10s %9.0fHz %9.0f%% %12.1f %14.5f %14.5f\n", sym,
+                cls, centroid / n, 100.0 * hf_fraction / n, barrier_db / n,
+                vib_direct / n, vib_barrier / n);
+  }
+
+  std::printf(
+      "\nReading guide (paper Sec. V-A):\n"
+      " * /aa/, /ao/ are loud and low: they still shake the accelerometer\n"
+      "   AFTER the barrier -> fail Criterion I, excluded.\n"
+      " * /m/, /n/, /w/, /iy/ cannot shake it even WITHOUT the barrier ->\n"
+      "   fail Criterion II, excluded.\n"
+      " * everything else converts cleanly when direct and dies behind the\n"
+      "   barrier -> barrier-effect sensitive, selected.\n");
+  return 0;
+}

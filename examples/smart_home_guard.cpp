@@ -1,0 +1,95 @@
+// Smart-home guard: a day-in-the-life session.
+//
+// Simulates a stream of voice interactions with a smart speaker in Room B
+// (wooden door): the resident issues routine commands, while an adversary
+// outside the door periodically attempts random, replay, synthesis and
+// hidden-voice attacks. The guard scores every command and prints an audit
+// log plus end-of-day statistics.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+
+using namespace vibguard;
+
+namespace {
+
+struct Event {
+  bool is_attack;
+  attacks::AttackType type;  // valid when is_attack
+  std::string command;
+};
+
+}  // namespace
+
+int main() {
+  eval::ScenarioConfig scfg;
+  scfg.room = acoustics::room_b();  // wooden door
+  eval::ScenarioSimulator scenario(scfg, 20250705);
+  Rng rng(99);
+  const auto resident = speech::sample_speaker(speech::Sex::kMale, rng);
+  const auto intruder = speech::sample_speaker(speech::Sex::kFemale, rng);
+
+  core::DefenseSystem guard{core::DefenseConfig{}};
+
+  const std::vector<Event> day = {
+      {false, {}, "good morning"},
+      {false, {}, "whats the weather"},
+      {false, {}, "turn on the lights"},
+      {true, attacks::AttackType::kRandom, "unlock the front door"},
+      {false, {}, "play some music"},
+      {true, attacks::AttackType::kReplay, "unlock the front door"},
+      {false, {}, "volume down"},
+      {true, attacks::AttackType::kSynthesis,
+       "disarm the security system"},
+      {false, {}, "add milk to the list"},
+      {true, attacks::AttackType::kHiddenVoice, "open the garage"},
+      {false, {}, "set an alarm"},
+      {false, {}, "turn off the lights"},
+  };
+
+  int false_alarms = 0, missed = 0, caught = 0, accepted = 0;
+  std::uint64_t trial_seed = 1;
+  std::printf("%-4s %-30s %-10s %8s  %s\n", "#", "command", "source",
+              "score", "decision");
+  for (std::size_t i = 0; i < day.size(); ++i) {
+    const Event& ev = day[i];
+    const auto& cmd = speech::command_by_text(ev.command);
+    const auto trial =
+        ev.is_attack
+            ? scenario.attack_trial(ev.type, cmd, resident, intruder)
+            : scenario.legitimate_trial(cmd, resident);
+    core::OracleSegmenter segmenter(trial.alignment,
+                                    eval::reference_sensitive_set());
+    Rng r(trial_seed++);
+    const auto result = guard.detect(trial.va, trial.wearable, &segmenter, r);
+
+    const char* source =
+        ev.is_attack ? attacks::attack_name(ev.type).c_str() : "resident";
+    const char* decision;
+    if (ev.is_attack && result.is_attack) {
+      decision = "BLOCKED (attack caught)";
+      ++caught;
+    } else if (ev.is_attack) {
+      decision = "EXECUTED (attack missed!)";
+      ++missed;
+    } else if (result.is_attack) {
+      decision = "BLOCKED (false alarm)";
+      ++false_alarms;
+    } else {
+      decision = "executed";
+      ++accepted;
+    }
+    std::printf("%-4zu %-30s %-10s %8.3f  %s\n", i + 1, ev.command.c_str(),
+                source, result.score, decision);
+  }
+
+  std::printf(
+      "\nsummary: %d legitimate commands executed, %d false alarms, "
+      "%d attacks blocked, %d attacks missed\n",
+      accepted, false_alarms, caught, missed);
+  return missed == 0 && false_alarms == 0 ? 0 : 1;
+}

@@ -1,0 +1,208 @@
+// vibguard_cli — command-line front end for the library.
+//
+//   vibguard_cli demo                      one legit + one attack detection
+//   vibguard_cli selection [--segments N]  run offline phoneme selection
+//   vibguard_cli experiment [--attack T] [--room R] [--trials N]
+//                                          ROC/AUC/EER for all three arms
+//   vibguard_cli attack-study              Table I style trigger study
+//   vibguard_cli export-audio [DIR]        write demo WAV files
+//
+// All subcommands are deterministic for a fixed --seed (default 42).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "acoustics/barrier.hpp"
+#include "attacks/attack.hpp"
+#include "common/error.hpp"
+#include "common/wav.hpp"
+#include "core/phoneme_selection.hpp"
+#include "core/pipeline.hpp"
+#include "eval/confidence.hpp"
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+#include "speech/corpus.hpp"
+
+using namespace vibguard;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string attack = "replay";
+  std::string room = "A";
+  std::size_t trials = 20;
+  std::size_t segments = 20;
+  std::uint64_t seed = 42;
+  std::string dir = "vibguard_audio";
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (flag == "--attack") args.attack = next();
+    else if (flag == "--room") args.room = next();
+    else if (flag == "--trials") args.trials = std::stoul(next());
+    else if (flag == "--segments") args.segments = std::stoul(next());
+    else if (flag == "--seed") args.seed = std::stoull(next());
+    else if (flag[0] != '-') args.dir = flag;
+  }
+  return args;
+}
+
+attacks::AttackType attack_by_name(const std::string& name) {
+  for (auto t : attacks::all_attack_types()) {
+    if (attacks::attack_name(t) == name) return t;
+  }
+  throw InvalidArgument("unknown attack: " + name +
+                        " (random|replay|synthesis|hidden_voice)");
+}
+
+int cmd_demo(const Args& args) {
+  eval::ScenarioConfig scfg;
+  scfg.room = acoustics::room_by_name(args.room);
+  eval::ScenarioSimulator sim(scfg, args.seed);
+  Rng rng(args.seed + 1);
+  const auto user = speech::sample_speaker(speech::Sex::kFemale, rng);
+  const auto adversary = speech::sample_speaker(speech::Sex::kMale, rng);
+  const auto& cmd = speech::command_by_text("unlock the front door");
+  core::DefenseSystem guard{core::DefenseConfig{}};
+
+  const auto legit = sim.legitimate_trial(cmd, user);
+  core::OracleSegmenter seg_l(legit.alignment,
+                              eval::reference_sensitive_set());
+  Rng r1(args.seed + 2);
+  const auto ok = guard.detect(legit.va, legit.wearable, &seg_l, r1);
+  std::printf("legitimate command: score %.3f -> %s\n", ok.score,
+              ok.is_attack ? "REJECTED (false alarm)" : "accepted");
+
+  const auto attack = sim.attack_trial(attack_by_name(args.attack), cmd,
+                                       user, adversary);
+  core::OracleSegmenter seg_a(attack.alignment,
+                              eval::reference_sensitive_set());
+  Rng r2(args.seed + 3);
+  const auto bad = guard.detect(attack.va, attack.wearable, &seg_a, r2);
+  std::printf("%s attack: score %.3f -> %s\n", args.attack.c_str(),
+              bad.score, bad.is_attack ? "ATTACK DETECTED" : "missed");
+  return ok.is_attack || !bad.is_attack ? 1 : 0;
+}
+
+int cmd_selection(const Args& args) {
+  speech::CorpusConfig ccfg;
+  ccfg.segments_per_phoneme = args.segments;
+  speech::PhonemeCorpus corpus(ccfg, args.seed);
+  core::PhonemeSelector selector(core::SelectionConfig{},
+                                 device::Wearable{});
+  acoustics::Barrier barrier(
+      acoustics::room_by_name(args.room).barrier_material);
+  Rng rng(args.seed + 7);
+  const auto result = selector.select(corpus, barrier, rng);
+  std::printf("selected %zu of %zu phonemes (alpha %.4g):\n",
+              result.sensitive.size(), result.phonemes.size(), result.alpha);
+  for (const auto& p : result.phonemes) {
+    std::printf("  /%s/\tC1 %s\tC2 %s\t%s\n", p.symbol.c_str(),
+                p.passes_criterion1 ? "pass" : "FAIL",
+                p.passes_criterion2 ? "pass" : "FAIL",
+                p.selected ? "selected" : "-");
+  }
+  return 0;
+}
+
+int cmd_experiment(const Args& args) {
+  eval::ExperimentConfig cfg;
+  cfg.scenario.room = acoustics::room_by_name(args.room);
+  cfg.legit_trials = args.trials;
+  cfg.attack_trials = args.trials;
+  eval::ExperimentRunner runner(cfg, args.seed);
+  const auto pops = runner.run(
+      attack_by_name(args.attack),
+      {core::DefenseMode::kAudioBaseline,
+       core::DefenseMode::kVibrationBaseline, core::DefenseMode::kFull});
+  std::printf("%s attack, %s, %zu+%zu trials:\n", args.attack.c_str(),
+              cfg.scenario.room.name.c_str(), args.trials, args.trials);
+  std::printf("%-24s %22s %8s\n", "method", "AUC [95% CI]", "EER");
+  for (const auto& [mode, p] : pops) {
+    const auto ci = eval::bootstrap_auc(p.attack, p.legit);
+    std::printf("%-24s %8.3f [%.3f, %.3f] %8.3f\n", core::mode_name(mode),
+                ci.point, ci.lower, ci.upper, p.roc().eer);
+  }
+  return 0;
+}
+
+int cmd_attack_study(const Args& args) {
+  eval::ScenarioConfig scfg;
+  scfg.room = acoustics::room_by_name(args.room);
+  eval::ScenarioSimulator sim(scfg, args.seed);
+  Rng rng(args.seed + 11);
+  const auto victim = speech::sample_speaker(speech::Sex::kFemale, rng);
+  attacks::AttackGenerator gen;
+  std::printf("trigger probability at the VA (replayed wake word, %s):\n",
+              scfg.room.barrier_material.name.c_str());
+  std::printf("%-14s %8s %8s %8s\n", "device", "65 dB", "75 dB", "85 dB");
+  for (const auto& profile : device::all_va_devices()) {
+    device::VaDevice dev(profile);
+    std::printf("%-14s", profile.name.c_str());
+    for (double spl : {65.0, 75.0, 85.0}) {
+      const auto wake = gen.replay_attack(
+          speech::command_by_text(profile.wake_word), victim, rng);
+      const Signal at_va = sim.attack_sound_at_va(wake.audio, spl);
+      std::printf(" %8.2f", dev.trigger_probability(
+                                at_va, device::CommandKind::kReplay, false));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_export_audio(const Args& args) {
+  std::filesystem::create_directories(args.dir);
+  Rng rng(args.seed);
+  speech::UtteranceBuilder builder;
+  const auto spk = speech::sample_speaker(speech::Sex::kFemale, rng);
+  auto utt = builder.build(speech::command_by_text("unlock the front door"),
+                           spk, rng);
+  Signal voice = utt.audio.scaled_to_rms(0.1);
+  acoustics::Barrier window(
+      acoustics::room_by_name(args.room).barrier_material);
+  write_wav(args.dir + "/command_user.wav", voice);
+  write_wav(args.dir + "/command_thru_barrier.wav",
+            window.transmit(voice).scaled_to_rms(0.1));
+  std::printf("wrote 2 WAV files to %s/\n", args.dir.c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: vibguard_cli <command> [options]\n"
+      "  demo            detect one legit command and one attack\n"
+      "  selection       run offline phoneme selection\n"
+      "  experiment      ROC/AUC/EER for all three evaluation arms\n"
+      "  attack-study    VA trigger probabilities vs SPL\n"
+      "  export-audio    write demo WAV files\n"
+      "options: --attack random|replay|synthesis|hidden_voice\n"
+      "         --room A|B|C|D  --trials N  --segments N  --seed S\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "demo") return cmd_demo(args);
+    if (args.command == "selection") return cmd_selection(args);
+    if (args.command == "experiment") return cmd_experiment(args);
+    if (args.command == "attack-study") return cmd_attack_study(args);
+    if (args.command == "export-audio") return cmd_export_audio(args);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  usage();
+  return args.command.empty() ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+// Ambient noise environments beyond the default pink floor.
+//
+// Rooms are rarely quiet: HVAC rumble, background music and multi-talker
+// babble all occupy different bands and interact differently with the
+// defense (babble contains real speech energy at the phoneme frequencies;
+// HVAC is low-frequency like the attacks themselves). These generators
+// drive the noise-robustness study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+
+namespace vibguard::acoustics {
+
+enum class AmbientKind {
+  kQuiet,   ///< pink floor only (the Room default)
+  kHvac,    ///< air-conditioning rumble: strong below ~150 Hz
+  kMusic,   ///< broadband with rhythmic amplitude structure
+  kBabble,  ///< overlapping distant conversations (speech-shaped)
+};
+
+/// Human-readable name.
+std::string ambient_name(AmbientKind kind);
+
+/// All ambient kinds, quietest character first.
+std::vector<AmbientKind> all_ambient_kinds();
+
+/// Generates `duration_s` of ambient noise at the given SPL.
+Signal ambient_noise(AmbientKind kind, double duration_s,
+                     double sample_rate, double spl_db, Rng& rng);
+
+}  // namespace vibguard::acoustics

@@ -1,0 +1,24 @@
+#include "acoustics/barrier.hpp"
+
+#include "common/db.hpp"
+#include "common/error.hpp"
+#include "dsp/filter.hpp"
+
+namespace vibguard::acoustics {
+
+Barrier::Barrier(Material material, double thickness_factor)
+    : material_(std::move(material)), thickness_factor_(thickness_factor) {
+  VIBGUARD_REQUIRE(thickness_factor > 0.0,
+                   "thickness factor must be positive");
+}
+
+double Barrier::gain(double f_hz) const {
+  return db_to_amplitude(-material_.transmission_loss_db(f_hz) *
+                         thickness_factor_);
+}
+
+Signal Barrier::transmit(const Signal& in) const {
+  return dsp::apply_gain_curve(in, [this](double f) { return gain(f); });
+}
+
+}  // namespace vibguard::acoustics

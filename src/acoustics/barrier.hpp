@@ -1,0 +1,31 @@
+// Barrier transmission: applies a material's frequency-selective loss to a
+// signal passing through it (the paper's "barrier effect").
+#pragma once
+
+#include "acoustics/material.hpp"
+#include "common/signal.hpp"
+
+namespace vibguard::acoustics {
+
+/// A physical barrier (window, door, wall) of a given material and relative
+/// thickness. thickness_factor scales the dB loss linearly (Eq. 1's Δd);
+/// 1.0 is the nominal thickness the Material curves were fit at.
+class Barrier {
+ public:
+  explicit Barrier(Material material, double thickness_factor = 1.0);
+
+  const Material& material() const { return material_; }
+  double thickness_factor() const { return thickness_factor_; }
+
+  /// Amplitude gain at frequency `f_hz` after passing the barrier.
+  double gain(double f_hz) const;
+
+  /// Filters `in` through the barrier (zero-phase frequency-domain filter).
+  Signal transmit(const Signal& in) const;
+
+ private:
+  Material material_;
+  double thickness_factor_;
+};
+
+}  // namespace vibguard::acoustics

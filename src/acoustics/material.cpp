@@ -1,0 +1,54 @@
+#include "acoustics/material.hpp"
+
+#include <cmath>
+
+#include "common/db.hpp"
+#include "common/error.hpp"
+
+namespace vibguard::acoustics {
+
+double Material::transmission_loss_db(double f_hz) const {
+  if (f_hz <= 0.0) return low_loss_db;
+  const double octaves = std::log2(f_hz / knee_hz);
+  const double sig = 1.0 / (1.0 + std::exp(-octaves / knee_width_octaves));
+  const double rolloff = slope_db_per_octave * std::max(0.0, octaves);
+  return low_loss_db + high_loss_db * sig + rolloff;
+}
+
+double Material::transmission_gain(double f_hz) const {
+  return db_to_amplitude(-transmission_loss_db(f_hz));
+}
+
+Material glass_window() {
+  return Material{"glass_window", /*low_loss_db=*/18.0,
+                  /*high_loss_db=*/20.0, /*knee_hz=*/1100.0,
+                  /*knee_width_octaves=*/0.40, /*slope_db_per_octave=*/10.0};
+}
+
+Material glass_wall() {
+  return Material{"glass_wall", /*low_loss_db=*/19.0,
+                  /*high_loss_db=*/21.0, /*knee_hz=*/1080.0,
+                  /*knee_width_octaves=*/0.40, /*slope_db_per_octave=*/10.0};
+}
+
+Material wooden_door() {
+  return Material{"wooden_door", /*low_loss_db=*/20.0,
+                  /*high_loss_db=*/22.0, /*knee_hz=*/1050.0,
+                  /*knee_width_octaves=*/0.38, /*slope_db_per_octave=*/11.0};
+}
+
+Material brick_wall() {
+  return Material{"brick_wall", /*low_loss_db=*/45.0,
+                  /*high_loss_db=*/15.0, /*knee_hz=*/500.0,
+                  /*knee_width_octaves=*/0.8, /*slope_db_per_octave=*/5.0};
+}
+
+Material material_by_name(const std::string& name) {
+  if (name == "glass_window") return glass_window();
+  if (name == "glass_wall") return glass_wall();
+  if (name == "wooden_door") return wooden_door();
+  if (name == "brick_wall") return brick_wall();
+  throw InvalidArgument("unknown barrier material: " + name);
+}
+
+}  // namespace vibguard::acoustics

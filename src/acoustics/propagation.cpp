@@ -1,0 +1,34 @@
+#include "acoustics/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/filter.hpp"
+
+namespace vibguard::acoustics {
+
+double spreading_gain(double distance_m) {
+  VIBGUARD_REQUIRE(distance_m >= 0.0, "distance must be non-negative");
+  return 1.0 / std::max(distance_m, 0.1);
+}
+
+double air_absorption_gain(double f_hz, double distance_m) {
+  // ~0.005 dB/m at 1 kHz growing quadratically with frequency — a standard
+  // room-temperature approximation; insignificant indoors but kept for
+  // physical completeness.
+  const double khz = f_hz / 1000.0;
+  const double loss_db = 0.005 * khz * khz * distance_m;
+  return std::pow(10.0, -loss_db / 20.0);
+}
+
+Signal propagate(const Signal& in, double distance_m) {
+  const double spread = spreading_gain(distance_m);
+  Signal out = dsp::apply_gain_curve(in, [distance_m](double f) {
+    return air_absorption_gain(f, distance_m);
+  });
+  out.scale(spread);
+  return out;
+}
+
+}  // namespace vibguard::acoustics

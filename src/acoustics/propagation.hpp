@@ -1,0 +1,19 @@
+// Free-field propagation: spherical spreading loss and air absorption.
+#pragma once
+
+#include "common/signal.hpp"
+
+namespace vibguard::acoustics {
+
+/// Amplitude gain from spherical spreading over `distance_m`, relative to a
+/// 1 m reference (inverse-distance law, clamped below 0.1 m).
+double spreading_gain(double distance_m);
+
+/// Frequency-dependent air absorption gain over `distance_m` (ISO 9613-style
+/// approximation; negligible below 1 kHz at room scale).
+double air_absorption_gain(double f_hz, double distance_m);
+
+/// Propagates `in` over `distance_m`: spreading loss plus air absorption.
+Signal propagate(const Signal& in, double distance_m);
+
+}  // namespace vibguard::acoustics

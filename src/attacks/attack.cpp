@@ -1,0 +1,141 @@
+#include "attacks/attack.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/db.hpp"
+#include "common/error.hpp"
+#include "dsp/filter.hpp"
+#include "dsp/generate.hpp"
+
+namespace vibguard::attacks {
+
+std::vector<AttackType> all_attack_types() {
+  return {AttackType::kRandom, AttackType::kReplay, AttackType::kSynthesis,
+          AttackType::kHiddenVoice};
+}
+
+std::string attack_name(AttackType type) {
+  switch (type) {
+    case AttackType::kRandom: return "random";
+    case AttackType::kReplay: return "replay";
+    case AttackType::kSynthesis: return "synthesis";
+    case AttackType::kHiddenVoice: return "hidden_voice";
+  }
+  throw InvalidArgument("unknown attack type");
+}
+
+device::CommandKind command_kind(AttackType type) {
+  switch (type) {
+    case AttackType::kRandom: return device::CommandKind::kLiveVoice;
+    case AttackType::kReplay: return device::CommandKind::kReplay;
+    case AttackType::kSynthesis: return device::CommandKind::kSynthesized;
+    case AttackType::kHiddenVoice: return device::CommandKind::kHiddenVoice;
+  }
+  throw InvalidArgument("unknown attack type");
+}
+
+AttackGenerator::AttackGenerator(AttackGeneratorConfig config)
+    : config_(config), builder_(config.synth), playback_(config.playback) {}
+
+AttackSound AttackGenerator::random_attack(
+    const speech::VoiceCommand& command,
+    const speech::SpeakerProfile& adversary, Rng& rng) const {
+  auto utt = builder_.build(command, adversary, rng);
+  return {AttackType::kRandom, std::move(utt.audio), command.text,
+          std::move(utt.alignment)};
+}
+
+AttackSound AttackGenerator::replay_attack(
+    const speech::VoiceCommand& command,
+    const speech::SpeakerProfile& victim, Rng& rng) const {
+  auto utt = builder_.build(command, victim, rng);
+  // The adversary's copy of the victim's voice passed through a recording
+  // chain once (mild noise) and is now replayed through a loudspeaker.
+  Signal rec = std::move(utt.audio);
+  for (double& s : rec) s += rng.gaussian(0.0, 5e-4);
+  return {AttackType::kReplay, playback_.render(rec), command.text,
+          std::move(utt.alignment)};
+}
+
+AttackSound AttackGenerator::synthesis_attack(
+    const speech::VoiceCommand& command,
+    const speech::SpeakerProfile& victim, Rng& rng) const {
+  const auto clone = speech::clone_with_estimation_error(victim, rng);
+  auto utt = builder_.build(command, clone, rng);
+  // Neural vocoders over-smooth fine spectral structure; approximate with a
+  // gentle high-frequency shelf.
+  Signal smoothed = dsp::apply_gain_curve(utt.audio, [](double f) {
+    return 1.0 / (1.0 + std::pow(f / 6500.0, 4.0));
+  });
+  return {AttackType::kSynthesis, playback_.render(smoothed), command.text,
+          std::move(utt.alignment)};
+}
+
+AttackSound AttackGenerator::hidden_voice_attack(
+    const std::string& command_text, Rng& rng, double duration_s) const {
+  VIBGUARD_REQUIRE(duration_s > 0.0, "duration must be positive");
+  const double fs = config_.synth.sample_rate;
+  // Obfuscated commands keep the command's coarse spectro-temporal
+  // structure but discard phonetic detail: noise carriers shaped by
+  // formant-like resonances that change per syllable, band-limited to
+  // 0–6 kHz, under a syllabic amplitude modulation. (Hidden voice commands
+  // are derived from real speech by feature inversion, so broad spectral
+  // peaks survive even though intelligibility does not.)
+  const double lo = config_.hidden_voice_low_hz;
+  const double hi = config_.hidden_voice_high_hz;
+  const double syllable_s = 1.0 / config_.hidden_voice_syllable_hz;
+  Signal shaped({}, fs);
+  for (double t0 = 0.0; t0 < duration_s; t0 += syllable_s) {
+    const double seg_s = std::min(syllable_s, duration_s - t0);
+    Signal noise = dsp::white_noise(seg_s, fs, 1.0, rng);
+    // Three random broad resonances standing in for inverted formants.
+    double centers[3], widths[3];
+    for (int k = 0; k < 3; ++k) {
+      centers[k] = rng.uniform(300.0, 5200.0);
+      widths[k] = rng.uniform(150.0, 400.0);
+    }
+    Signal seg = dsp::apply_gain_curve(
+        noise, [lo, hi, &centers, &widths](double f) {
+          const double g_lo =
+              1.0 / (1.0 + std::pow(lo / std::max(f, 1e-3), 2.0));
+          const double g_hi = 1.0 / (1.0 + std::pow(f / hi, 6.0));
+          double peaks = 0.15;  // broadband floor
+          for (int k = 0; k < 3; ++k) {
+            const double d = (f - centers[k]) / widths[k];
+            peaks += std::exp(-0.5 * d * d);
+          }
+          return g_lo * g_hi * peaks;
+        });
+    shaped.append(seg);
+  }
+  const double rate = config_.hidden_voice_syllable_hz;
+  const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  for (std::size_t i = 0; i < shaped.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    const double env =
+        0.55 + 0.45 * std::sin(2.0 * std::numbers::pi * rate * t + phase);
+    shaped[i] *= env;
+  }
+  shaped = shaped.scaled_to_rms(kReferenceRms);
+  return {AttackType::kHiddenVoice, playback_.render(shaped), command_text,
+          {}};
+}
+
+AttackSound AttackGenerator::generate(AttackType type,
+                                      const speech::VoiceCommand& command,
+                                      const speech::SpeakerProfile& victim,
+                                      const speech::SpeakerProfile& adversary,
+                                      Rng& rng) const {
+  switch (type) {
+    case AttackType::kRandom: return random_attack(command, adversary, rng);
+    case AttackType::kReplay: return replay_attack(command, victim, rng);
+    case AttackType::kSynthesis:
+      return synthesis_attack(command, victim, rng);
+    case AttackType::kHiddenVoice:
+      return hidden_voice_attack(command.text, rng);
+  }
+  throw InvalidArgument("unknown attack type");
+}
+
+}  // namespace vibguard::attacks

@@ -1,0 +1,103 @@
+// Thru-barrier attack sound generators (threat model, paper Sec. II).
+//
+// Every generator returns the waveform the adversary's playback device (or
+// own voice) emits just outside the barrier; the evaluation harness then
+// passes it through Barrier + Room + device microphones.
+//
+//   Random attack     — the adversary speaks the command in their own voice.
+//   Replay attack     — a loudspeaker replays a genuine recording of the
+//                       victim.
+//   Synthesis attack  — a few-shot TTS model speaks the command in an
+//                       estimate of the victim's voice.
+//   Hidden voice      — an obfuscated, noise-like signal spanning 0–6 kHz
+//                       that machines recognize but humans do not (ref [3]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+#include "device/va_device.hpp"
+#include "sensors/speaker.hpp"
+#include "speech/command.hpp"
+#include "speech/speaker.hpp"
+
+namespace vibguard::attacks {
+
+enum class AttackType {
+  kRandom,
+  kReplay,
+  kSynthesis,
+  kHiddenVoice,
+};
+
+/// All four attack types, in paper order.
+std::vector<AttackType> all_attack_types();
+
+/// Human-readable attack name ("random", "replay", ...).
+std::string attack_name(AttackType type);
+
+/// CommandKind the VA's wake-word model perceives for this attack.
+device::CommandKind command_kind(AttackType type);
+
+/// One generated attack emission.
+struct AttackSound {
+  AttackType type;
+  Signal audio;        ///< waveform at the adversary's playback device
+  std::string command; ///< textual command being attacked
+  /// Phoneme alignment of the underlying utterance (empty for hidden-voice
+  /// attacks, which contain no phonemes).
+  std::vector<speech::PhonemeSpan> alignment;
+};
+
+struct AttackGeneratorConfig {
+  speech::SynthesizerConfig synth;
+  sensors::SpeakerConfig playback = sensors::playback_loudspeaker();
+  double hidden_voice_low_hz = 50.0;    ///< hidden commands span 0–6 kHz
+  double hidden_voice_high_hz = 6000.0;
+  double hidden_voice_syllable_hz = 5.0;  ///< speech-like envelope rate
+};
+
+/// Generates attack waveforms against a victim speaker.
+class AttackGenerator {
+ public:
+  explicit AttackGenerator(AttackGeneratorConfig config = {});
+
+  /// Random attack: `adversary` speaks `command` live (no playback chain).
+  AttackSound random_attack(const speech::VoiceCommand& command,
+                            const speech::SpeakerProfile& adversary,
+                            Rng& rng) const;
+
+  /// Replay attack: a genuine utterance of `victim` replayed through the
+  /// playback loudspeaker.
+  AttackSound replay_attack(const speech::VoiceCommand& command,
+                            const speech::SpeakerProfile& victim,
+                            Rng& rng) const;
+
+  /// Voice-synthesis attack: the command spoken by a few-shot clone of
+  /// `victim`, played through the loudspeaker.
+  AttackSound synthesis_attack(const speech::VoiceCommand& command,
+                               const speech::SpeakerProfile& victim,
+                               Rng& rng) const;
+
+  /// Hidden voice attack: obfuscated wideband command with a syllabic
+  /// envelope, played through the loudspeaker. `duration_s` defaults to a
+  /// typical command length.
+  AttackSound hidden_voice_attack(const std::string& command_text,
+                                  Rng& rng, double duration_s = 1.2) const;
+
+  /// Dispatches on `type`; for kRandom, `adversary` is used, otherwise the
+  /// victim profile.
+  AttackSound generate(AttackType type, const speech::VoiceCommand& command,
+                       const speech::SpeakerProfile& victim,
+                       const speech::SpeakerProfile& adversary,
+                       Rng& rng) const;
+
+ private:
+  AttackGeneratorConfig config_;
+  speech::UtteranceBuilder builder_;
+  sensors::Speaker playback_;
+};
+
+}  // namespace vibguard::attacks

@@ -1,0 +1,31 @@
+#include "common/db.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace vibguard {
+
+double spl_to_rms(double spl_db) {
+  return kReferenceRms * std::pow(10.0, (spl_db - kReferenceSpl) / 20.0);
+}
+
+double rms_to_spl(double rms) {
+  if (rms <= 0.0) return -std::numeric_limits<double>::infinity();
+  return kReferenceSpl + 20.0 * std::log10(rms / kReferenceRms);
+}
+
+double power_to_db(double power_ratio) {
+  if (power_ratio <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(power_ratio);
+}
+
+double amplitude_to_db(double amplitude_ratio) {
+  if (amplitude_ratio <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return 20.0 * std::log10(amplitude_ratio);
+}
+
+double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+}  // namespace vibguard

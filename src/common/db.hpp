@@ -1,0 +1,34 @@
+// Decibel / sound-pressure-level conversions.
+//
+// The simulation works in a normalized linear amplitude where an RMS of
+// `kReferenceRms` corresponds to a sound pressure level of `kReferenceSpl`
+// decibels (re 20 µPa). The paper specifies attack and speech volumes as SPL
+// values (65/75/85 dB), so all workload generators express loudness in dB SPL
+// and convert through these helpers.
+#pragma once
+
+namespace vibguard {
+
+/// RMS amplitude assigned to the reference SPL in the normalized scale.
+inline constexpr double kReferenceRms = 0.05;
+
+/// SPL (dB re 20 µPa) assigned to kReferenceRms.
+inline constexpr double kReferenceSpl = 65.0;
+
+/// Converts a sound pressure level in dB to a normalized RMS amplitude.
+double spl_to_rms(double spl_db);
+
+/// Converts a normalized RMS amplitude to a sound pressure level in dB.
+/// Returns -infinity for rms == 0.
+double rms_to_spl(double rms);
+
+/// Converts a power ratio to decibels (10·log10). Returns -infinity for 0.
+double power_to_db(double power_ratio);
+
+/// Converts an amplitude ratio to decibels (20·log10).
+double amplitude_to_db(double amplitude_ratio);
+
+/// Converts decibels to an amplitude ratio (10^(db/20)).
+double db_to_amplitude(double db);
+
+}  // namespace vibguard

@@ -1,0 +1,64 @@
+// Error handling primitives for the VibGuard library.
+//
+// The library reports precondition violations and unrecoverable internal
+// errors with exceptions derived from vibguard::Error. Recoverable conditions
+// (e.g. "detector score below threshold") are ordinary return values, never
+// exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vibguard {
+
+/// Base class for all exceptions thrown by VibGuard.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant fails (a library bug, not a user error).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const char* file, int line,
+                                                const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": precondition `" + expr + "` failed: " + msg);
+}
+[[noreturn]] inline void throw_internal(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) +
+                      ": invariant `" + expr + "` failed: " + msg);
+}
+}  // namespace detail
+
+}  // namespace vibguard
+
+/// Validates a documented precondition on a public API entry point.
+#define VIBGUARD_REQUIRE(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::vibguard::detail::throw_invalid_argument(#expr, __FILE__,         \
+                                                 __LINE__, (msg));        \
+    }                                                                     \
+  } while (false)
+
+/// Validates an internal invariant; failure indicates a library bug.
+#define VIBGUARD_ASSERT(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::vibguard::detail::throw_internal(#expr, __FILE__, __LINE__,       \
+                                         (msg));                          \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,86 @@
+#include "common/signal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vibguard {
+
+Signal::Signal(std::vector<double> samples, double sample_rate_hz)
+    : samples_(std::move(samples)), sample_rate_hz_(sample_rate_hz) {
+  VIBGUARD_REQUIRE(sample_rate_hz > 0.0, "sample rate must be positive");
+}
+
+Signal Signal::zeros(std::size_t n, double sample_rate_hz) {
+  return Signal(std::vector<double>(n, 0.0), sample_rate_hz);
+}
+
+double Signal::duration() const {
+  return sample_rate_hz_ > 0.0
+             ? static_cast<double>(samples_.size()) / sample_rate_hz_
+             : 0.0;
+}
+
+double Signal::rms() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double s : samples_) acc += s * s;
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Signal::peak() const {
+  double p = 0.0;
+  for (double s : samples_) p = std::max(p, std::abs(s));
+  return p;
+}
+
+void Signal::scale(double gain) {
+  for (double& s : samples_) s *= gain;
+}
+
+Signal Signal::scaled_to_rms(double target_rms) const {
+  VIBGUARD_REQUIRE(target_rms >= 0.0, "target RMS must be non-negative");
+  const double current = rms();
+  Signal out = *this;
+  if (current > 0.0) out.scale(target_rms / current);
+  return out;
+}
+
+void Signal::add(const Signal& other) {
+  VIBGUARD_REQUIRE(other.size() == size(),
+                   "cannot add signals of different lengths");
+  VIBGUARD_REQUIRE(other.sample_rate() == sample_rate_hz_,
+                   "cannot add signals with different sample rates");
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    samples_[i] += other.samples_[i];
+  }
+}
+
+void Signal::append(const Signal& other) {
+  if (other.empty()) return;
+  if (empty() && sample_rate_hz_ == 0.0) {
+    *this = other;
+    return;
+  }
+  VIBGUARD_REQUIRE(other.sample_rate() == sample_rate_hz_,
+                   "cannot append signals with different sample rates");
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+Signal Signal::slice(std::size_t begin, std::size_t end) const {
+  VIBGUARD_REQUIRE(begin <= end && end <= samples_.size(),
+                   "slice range out of bounds");
+  return Signal(std::vector<double>(samples_.begin() + begin,
+                                    samples_.begin() + end),
+                sample_rate_hz_);
+}
+
+Signal concatenate(std::span<const Signal> parts) {
+  Signal out;
+  for (const Signal& p : parts) out.append(p);
+  return out;
+}
+
+}  // namespace vibguard

@@ -1,0 +1,78 @@
+// Discrete-time signal container.
+//
+// A Signal is a uniformly sampled, single-channel sequence of double-precision
+// samples tagged with its sampling rate. It is the currency passed between
+// all VibGuard subsystems (speech synthesis, acoustics, sensors, DSP).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vibguard {
+
+/// Uniformly sampled single-channel signal.
+class Signal {
+ public:
+  Signal() = default;
+
+  /// Constructs a signal owning `samples` at `sample_rate_hz`.
+  Signal(std::vector<double> samples, double sample_rate_hz);
+
+  /// Constructs an all-zero signal of `n` samples.
+  static Signal zeros(std::size_t n, double sample_rate_hz);
+
+  /// Samples per second. Always > 0 for a non-default-constructed signal.
+  double sample_rate() const { return sample_rate_hz_; }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Duration in seconds.
+  double duration() const;
+
+  double& operator[](std::size_t i) { return samples_[i]; }
+  double operator[](std::size_t i) const { return samples_[i]; }
+
+  std::span<const double> samples() const { return samples_; }
+  std::span<double> samples() { return samples_; }
+  const std::vector<double>& vector() const { return samples_; }
+  std::vector<double>&& take() && { return std::move(samples_); }
+
+  auto begin() { return samples_.begin(); }
+  auto end() { return samples_.end(); }
+  auto begin() const { return samples_.begin(); }
+  auto end() const { return samples_.end(); }
+
+  /// Root-mean-square amplitude; 0 for an empty signal.
+  double rms() const;
+
+  /// Largest absolute sample value; 0 for an empty signal.
+  double peak() const;
+
+  /// Multiplies every sample by `gain`.
+  void scale(double gain);
+
+  /// Returns a copy scaled so that rms() == target_rms. A silent signal is
+  /// returned unchanged.
+  Signal scaled_to_rms(double target_rms) const;
+
+  /// Element-wise sum. Signals must share length and sample rate.
+  void add(const Signal& other);
+
+  /// Appends `other` (same sample rate required).
+  void append(const Signal& other);
+
+  /// Returns the half-open sample range [begin, end) as a new signal.
+  Signal slice(std::size_t begin, std::size_t end) const;
+
+ private:
+  std::vector<double> samples_;
+  double sample_rate_hz_ = 0.0;
+};
+
+/// Concatenates signals sharing a sample rate; empty input gives an empty
+/// signal.
+Signal concatenate(std::span<const Signal> parts);
+
+}  // namespace vibguard

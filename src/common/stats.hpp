@@ -1,0 +1,43 @@
+// Small numeric-statistics helpers shared across subsystems.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vibguard {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Population variance; 0 for inputs shorter than 2.
+double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Input need not be sorted.
+/// Matches the common "linear" (type-7) definition used by NumPy/R.
+double quantile(std::span<const double> xs, double q);
+
+/// Third quartile (q = 0.75); the statistic used by the paper's phoneme
+/// selection criteria (Sec. V-A).
+double third_quartile(std::span<const double> xs);
+
+/// Median (q = 0.5).
+double median(std::span<const double> xs);
+
+/// Pearson correlation coefficient of two equal-length sequences.
+/// Returns 0 when either sequence has zero variance.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Largest element; -infinity for empty input.
+double max_value(std::span<const double> xs);
+
+/// Smallest element; +infinity for empty input.
+double min_value(std::span<const double> xs);
+
+/// Index of the largest element; 0 for empty input.
+std::size_t argmax(std::span<const double> xs);
+
+}  // namespace vibguard

@@ -1,0 +1,127 @@
+#include "common/wav.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vibguard {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+}  // namespace
+
+void write_wav(const std::string& path, const Signal& signal) {
+  VIBGUARD_REQUIRE(signal.sample_rate() > 0.0,
+                   "cannot write a signal without a sample rate");
+  const auto rate = static_cast<std::uint32_t>(signal.sample_rate());
+  const auto n = static_cast<std::uint32_t>(signal.size());
+  const std::uint32_t data_bytes = n * 2;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(44 + data_bytes);
+  const char* riff = "RIFF";
+  out.insert(out.end(), riff, riff + 4);
+  put_u32(out, 36 + data_bytes);
+  const char* wavefmt = "WAVEfmt ";
+  out.insert(out.end(), wavefmt, wavefmt + 8);
+  put_u32(out, 16);            // fmt chunk size
+  put_u16(out, 1);             // PCM
+  put_u16(out, 1);             // mono
+  put_u32(out, rate);
+  put_u32(out, rate * 2);      // byte rate
+  put_u16(out, 2);             // block align
+  put_u16(out, 16);            // bits per sample
+  const char* data = "data";
+  out.insert(out.end(), data, data + 4);
+  put_u32(out, data_bytes);
+  for (double s : signal) {
+    const double clipped = std::clamp(s, -1.0, 1.0);
+    const auto q = static_cast<std::int16_t>(
+        std::lround(clipped * 32767.0));
+    put_u16(out, static_cast<std::uint16_t>(q));
+  }
+
+  std::ofstream file(path, std::ios::binary);
+  VIBGUARD_REQUIRE(file.good(), "cannot open for writing: " + path);
+  file.write(reinterpret_cast<const char*>(out.data()),
+             static_cast<std::streamsize>(out.size()));
+  VIBGUARD_REQUIRE(file.good(), "write failed: " + path);
+}
+
+Signal read_wav(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  VIBGUARD_REQUIRE(file.good(), "cannot open for reading: " + path);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(file)),
+      std::istreambuf_iterator<char>());
+  VIBGUARD_REQUIRE(bytes.size() >= 44, "not a WAV file (too short): " + path);
+  VIBGUARD_REQUIRE(std::memcmp(bytes.data(), "RIFF", 4) == 0 &&
+                       std::memcmp(bytes.data() + 8, "WAVE", 4) == 0,
+                   "not a RIFF/WAVE file: " + path);
+
+  // Walk chunks to find fmt and data.
+  std::size_t pos = 12;
+  std::uint16_t channels = 0, bits = 0;
+  std::uint32_t rate = 0;
+  const std::uint8_t* data_ptr = nullptr;
+  std::uint32_t data_len = 0;
+  while (pos + 8 <= bytes.size()) {
+    const std::uint32_t chunk_len = get_u32(bytes.data() + pos + 4);
+    const std::uint8_t* body = bytes.data() + pos + 8;
+    if (pos + 8 + chunk_len > bytes.size()) break;
+    if (std::memcmp(bytes.data() + pos, "fmt ", 4) == 0 && chunk_len >= 16) {
+      const std::uint16_t format = get_u16(body);
+      VIBGUARD_REQUIRE(format == 1, "only PCM WAV supported: " + path);
+      channels = get_u16(body + 2);
+      rate = get_u32(body + 4);
+      bits = get_u16(body + 14);
+    } else if (std::memcmp(bytes.data() + pos, "data", 4) == 0) {
+      data_ptr = body;
+      data_len = chunk_len;
+    }
+    pos += 8 + chunk_len + (chunk_len & 1);
+  }
+  VIBGUARD_REQUIRE(data_ptr != nullptr && rate > 0,
+                   "missing fmt/data chunk: " + path);
+  VIBGUARD_REQUIRE(bits == 16, "only 16-bit PCM supported: " + path);
+  VIBGUARD_REQUIRE(channels >= 1, "no channels: " + path);
+
+  const std::size_t frames = data_len / (2 * channels);
+  std::vector<double> samples(frames);
+  for (std::size_t i = 0; i < frames; ++i) {
+    const auto raw = static_cast<std::int16_t>(
+        get_u16(data_ptr + i * 2 * channels));
+    samples[i] = static_cast<double>(raw) / 32768.0;
+  }
+  return Signal(std::move(samples), static_cast<double>(rate));
+}
+
+}  // namespace vibguard

@@ -1,0 +1,19 @@
+// Minimal RIFF/WAVE I/O (16-bit PCM, mono) so signals can be exported for
+// listening and imported from real recordings.
+#pragma once
+
+#include <string>
+
+#include "common/signal.hpp"
+
+namespace vibguard {
+
+/// Writes `signal` as a mono 16-bit PCM WAV file. Samples are clipped to
+/// [-1, 1] before quantization. Throws Error on I/O failure.
+void write_wav(const std::string& path, const Signal& signal);
+
+/// Reads a mono (or first-channel of a multichannel) 16-bit PCM WAV file.
+/// Throws Error on malformed input or I/O failure.
+Signal read_wav(const std::string& path);
+
+}  // namespace vibguard

@@ -1,0 +1,65 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/db.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/stft.hpp"
+
+namespace vibguard::core {
+
+WearIdVerifier::WearIdVerifier() : WearIdVerifier(Config{}) {}
+
+WearIdVerifier::WearIdVerifier(Config config)
+    : config_(config),
+      wearable_(config.wearable),
+      extractor_(config.features) {}
+
+double WearIdVerifier::score(const Signal& sound_at_wearable,
+                             const Signal& va_recording, Rng& rng) const {
+  // Direct capture: the airborne sound field shakes the watch without any
+  // replay amplification — this is what limits WearID to close range.
+  const Signal direct_vib =
+      wearable_.accelerometer().capture(sound_at_wearable, rng);
+  // Reference: VA recording converted through the wearable replay path.
+  const Signal va_vib = wearable_.cross_domain_capture(va_recording, rng);
+  const auto f_direct = extractor_.extract(direct_vib);
+  const auto f_va = extractor_.extract(va_vib);
+  return dsp::correlation_2d(f_direct, f_va);
+}
+
+TwoMicVerifier::TwoMicVerifier() : TwoMicVerifier(Config{}) {}
+
+TwoMicVerifier::TwoMicVerifier(Config config) : config_(config) {
+  VIBGUARD_REQUIRE(config_.tolerance_db > 0.0,
+                   "tolerance must be positive");
+}
+
+double TwoMicVerifier::score(const Signal& wearable_recording,
+                             const Signal& va_recording) const {
+  const double wr = wearable_recording.rms();
+  const double vr = va_recording.rms();
+  if (wr <= 0.0 || vr <= 0.0) return 0.0;
+  const double delta_db = amplitude_to_db(wr / vr);
+  const double z =
+      (delta_db - config_.expected_level_delta_db) / config_.tolerance_db;
+  return std::exp(-0.5 * z * z);
+}
+
+ThresholdCalibrator::ThresholdCalibrator(double quantile, double margin)
+    : quantile_(quantile), margin_(margin) {
+  VIBGUARD_REQUIRE(quantile > 0.0 && quantile < 1.0,
+                   "quantile must be in (0, 1)");
+  VIBGUARD_REQUIRE(margin >= 0.0, "margin must be non-negative");
+}
+
+double ThresholdCalibrator::calibrate(
+    std::vector<double> legit_scores) const {
+  VIBGUARD_REQUIRE(legit_scores.size() >= 5,
+                   "need at least 5 enrollment scores");
+  return quantile(legit_scores, quantile_) - margin_;
+}
+
+}  // namespace vibguard::core

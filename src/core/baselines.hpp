@@ -1,0 +1,94 @@
+// Related-work comparators (paper Sec. VIII) and threshold calibration.
+//
+// Two prior wearable/second-factor verification approaches are implemented
+// as baselines so their failure modes against thru-barrier attacks can be
+// measured head-to-head with VibGuard:
+//
+//   WearIdVerifier  — WearID-style [30]: the wearable's accelerometer
+//     directly captures the LIVE sound field (no replay); its vibration
+//     features are compared with the VA recording converted to the
+//     vibration domain. Works only when the user speaks close to the
+//     wearable (<~30 cm per the paper) because airborne sound barely
+//     shakes an accelerometer at distance.
+//
+//   TwoMicVerifier  — 2MA-style [27]: verifies the command's source
+//     position from the level difference between the wearable's and the
+//     VA's recordings (the user is expected near the wearable). Cheap, but
+//     fooled by any attacker whose geometry mimics the expected level
+//     ratio.
+//
+// ThresholdCalibrator picks an operating threshold from legitimate-only
+// enrollment scores (the training-free deployment recipe: no attack data
+// needed).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+#include "core/vibration_features.hpp"
+#include "device/wearable.hpp"
+
+namespace vibguard::core {
+
+/// WearID-style direct vibration verification.
+class WearIdVerifier {
+ public:
+  struct Config {
+    device::WearableConfig wearable = device::fossil_gen5();
+    VibrationFeatureConfig features;
+  };
+
+  WearIdVerifier();  // default configuration
+  explicit WearIdVerifier(Config config);
+
+  /// Similarity score: direct accelerometer capture of the sound field at
+  /// the wearable vs. the VA recording converted through the replay path.
+  /// Higher = more consistent = more likely legitimate.
+  double score(const Signal& sound_at_wearable, const Signal& va_recording,
+               Rng& rng) const;
+
+ private:
+  Config config_;
+  device::Wearable wearable_;
+  VibrationFeatureExtractor extractor_;
+};
+
+/// 2MA-style two-microphone level-difference verification.
+class TwoMicVerifier {
+ public:
+  struct Config {
+    /// Expected wearable-minus-VA level difference for a legitimate user
+    /// (mouth ~0.4 m from the wrist vs ~2 m from the VA ≈ +14 dB).
+    double expected_level_delta_db = 14.0;
+    /// Gaussian tolerance around the expectation.
+    double tolerance_db = 6.0;
+  };
+
+  TwoMicVerifier();  // default configuration
+  explicit TwoMicVerifier(Config config);
+
+  /// Score in (0, 1]: 1 when the observed level difference matches the
+  /// expected geometry exactly, falling off with mismatch.
+  double score(const Signal& wearable_recording,
+               const Signal& va_recording) const;
+
+ private:
+  Config config_;
+};
+
+/// Picks a detection threshold from legitimate-only enrollment scores:
+/// the q-quantile minus a safety margin. No attack data required.
+class ThresholdCalibrator {
+ public:
+  explicit ThresholdCalibrator(double quantile = 0.05, double margin = 0.05);
+
+  /// Returns the calibrated threshold; requires at least 5 scores.
+  double calibrate(std::vector<double> legit_scores) const;
+
+ private:
+  double quantile_;
+  double margin_;
+};
+
+}  // namespace vibguard::core

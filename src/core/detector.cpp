@@ -1,0 +1,24 @@
+#include "core/detector.hpp"
+
+#include "common/error.hpp"
+
+namespace vibguard::core {
+
+CorrelationDetector::CorrelationDetector(double threshold)
+    : threshold_(threshold) {
+  VIBGUARD_REQUIRE(threshold >= -1.0 && threshold <= 1.0,
+                   "correlation threshold must be in [-1, 1]");
+}
+
+double CorrelationDetector::score(const dsp::Spectrogram& wearable,
+                                  const dsp::Spectrogram& va) const {
+  return dsp::correlation_2d(wearable, va);
+}
+
+DetectionResult CorrelationDetector::detect(const dsp::Spectrogram& wearable,
+                                            const dsp::Spectrogram& va) const {
+  const double s = score(wearable, va);
+  return DetectionResult{s, s < threshold_};
+}
+
+}  // namespace vibguard::core

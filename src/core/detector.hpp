@@ -1,0 +1,39 @@
+// Thru-barrier attack detector based on 2-D correlation (paper Sec. VI-C).
+//
+// The 2-D Pearson correlation between the wearable's and the VA device's
+// vibration-domain features is high for legitimate speech (both convert to
+// consistent vibrations) and low for thru-barrier attacks (low-frequency-
+// dominated sound excites mostly amplifier noise, decorrelating the two
+// captures). A fixed threshold turns the score into a decision — no
+// training data is required.
+#pragma once
+
+#include "dsp/stft.hpp"
+
+namespace vibguard::core {
+
+struct DetectionResult {
+  double score;     ///< 2-D correlation in [-1, 1]; higher = more legitimate
+  bool is_attack;   ///< score fell below the threshold
+};
+
+class CorrelationDetector {
+ public:
+  /// `threshold` is the minimum correlation accepted as legitimate.
+  explicit CorrelationDetector(double threshold = 0.50);
+
+  double threshold() const { return threshold_; }
+
+  /// Similarity score of two feature spectrograms (Eq. 6). Operands are
+  /// compared over their overlapping frame range.
+  double score(const dsp::Spectrogram& wearable,
+               const dsp::Spectrogram& va) const;
+
+  DetectionResult detect(const dsp::Spectrogram& wearable,
+                         const dsp::Spectrogram& va) const;
+
+ private:
+  double threshold_;
+};
+
+}  // namespace vibguard::core

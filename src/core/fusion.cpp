@@ -1,0 +1,44 @@
+#include "core/fusion.hpp"
+
+#include "common/error.hpp"
+
+namespace vibguard::core {
+namespace {
+
+DefenseConfig with_mode(DefenseConfig cfg, DefenseMode mode) {
+  cfg.mode = mode;
+  return cfg;
+}
+
+}  // namespace
+
+FusionScorer::FusionScorer(FusionConfig config)
+    : config_(config),
+      vibration_(with_mode(config.base, DefenseMode::kFull)),
+      audio_(with_mode(config.base, DefenseMode::kAudioBaseline)) {
+  VIBGUARD_REQUIRE(
+      config_.vibration_weight >= 0.0 && config_.vibration_weight <= 1.0,
+      "vibration weight must be in [0, 1]");
+}
+
+double FusionScorer::score(const Signal& va_recording,
+                           const Signal& wearable_recording,
+                           const Segmenter* segmenter, Rng& rng) const {
+  const double v =
+      vibration_.score(va_recording, wearable_recording, segmenter, rng);
+  const double a =
+      audio_.score(va_recording, wearable_recording, nullptr, rng);
+  return config_.vibration_weight * v +
+         (1.0 - config_.vibration_weight) * a;
+}
+
+DetectionResult FusionScorer::detect(const Signal& va_recording,
+                                     const Signal& wearable_recording,
+                                     const Segmenter* segmenter,
+                                     Rng& rng) const {
+  const double s =
+      score(va_recording, wearable_recording, segmenter, rng);
+  return DetectionResult{s, s < config_.detection_threshold};
+}
+
+}  // namespace vibguard::core

@@ -1,0 +1,40 @@
+// Score-level fusion of the vibration-domain system with the audio-domain
+// correlation (a "future work"-style extension): the two views fail in
+// different ways — the audio domain keys on SNR, the vibration domain on
+// the barrier's frequency selectivity — so a convex combination of their
+// scores can only help when their errors are decorrelated.
+#pragma once
+
+#include "core/pipeline.hpp"
+
+namespace vibguard::core {
+
+struct FusionConfig {
+  DefenseConfig base;          ///< shared device/sync/feature settings
+  double vibration_weight = 0.8;  ///< weight of the full system's score
+  double detection_threshold = 0.45;
+};
+
+/// Weighted fusion of the full vibration-domain pipeline and the
+/// audio-domain baseline.
+class FusionScorer {
+ public:
+  explicit FusionScorer(FusionConfig config = {});
+
+  const FusionConfig& config() const { return config_; }
+
+  /// Fused score: w * vibration_score + (1-w) * audio_score.
+  double score(const Signal& va_recording, const Signal& wearable_recording,
+               const Segmenter* segmenter, Rng& rng) const;
+
+  DetectionResult detect(const Signal& va_recording,
+                         const Signal& wearable_recording,
+                         const Segmenter* segmenter, Rng& rng) const;
+
+ private:
+  FusionConfig config_;
+  DefenseSystem vibration_;
+  DefenseSystem audio_;
+};
+
+}  // namespace vibguard::core

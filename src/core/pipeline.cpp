@@ -1,0 +1,99 @@
+#include "core/pipeline.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vibguard::core {
+
+const char* mode_name(DefenseMode mode) {
+  switch (mode) {
+    case DefenseMode::kFull: return "full";
+    case DefenseMode::kVibrationBaseline: return "vibration_baseline";
+    case DefenseMode::kAudioBaseline: return "audio_baseline";
+  }
+  return "unknown";
+}
+
+DefenseSystem::DefenseSystem(DefenseConfig config)
+    : config_(std::move(config)),
+      wearable_(config_.wearable),
+      sync_(config_.sync),
+      extractor_(config_.features),
+      detector_(config_.detection_threshold) {}
+
+double DefenseSystem::score(const Signal& va_recording,
+                            const Signal& wearable_recording,
+                            const Segmenter* segmenter, Rng& rng,
+                            PipelineTrace* trace) const {
+  VIBGUARD_REQUIRE(!va_recording.empty() && !wearable_recording.empty(),
+                   "both recordings must be non-empty");
+  VIBGUARD_REQUIRE(
+      config_.mode != DefenseMode::kFull || segmenter != nullptr,
+      "full mode requires a segmenter");
+
+  // 1. Cross-device synchronization (Sec. VI-A).
+  const double delay_s =
+      sync_.estimate_delay_s(va_recording, wearable_recording);
+  auto [va, wear] = sync_.synchronize(va_recording, wearable_recording);
+  const auto trim = static_cast<std::size_t>(
+      std::max(0.0, std::round(delay_s * va_recording.sample_rate())));
+  if (trace != nullptr) trace->estimated_delay_s = delay_s;
+
+  // 2. Sensitive-phoneme segmentation (Sec. V) — full mode only.
+  Signal va_seg = va;
+  Signal wear_seg = wear;
+  if (config_.mode == DefenseMode::kFull) {
+    const auto ranges = segmenter->segment(va, trim);
+    if (trace != nullptr) trace->num_ranges = ranges.size();
+    Signal candidate = extract_ranges(va, ranges);
+    // If segmentation found nothing, or the command is so short that the
+    // sensitive segments cannot fill an analysis window, fall back to the
+    // whole command rather than rejecting outright.
+    if (candidate.duration() >= config_.min_segment_seconds) {
+      va_seg = std::move(candidate);
+      wear_seg = extract_ranges(wear, ranges);
+    }
+  }
+  if (trace != nullptr) trace->segment_seconds = va_seg.duration();
+
+  // 3. Feature extraction and 2-D correlation (Sec. VI-B, VI-C).
+  dsp::Spectrogram feat_va, feat_wear;
+  if (config_.mode == DefenseMode::kAudioBaseline) {
+    feat_va = dsp::stft_power(va_seg, config_.audio_window, config_.audio_hop);
+    feat_wear =
+        dsp::stft_power(wear_seg, config_.audio_window, config_.audio_hop);
+    feat_va.normalize_by_max();
+    feat_wear.normalize_by_max();
+  } else {
+    const Signal vib_va =
+        config_.user_activity.has_value()
+            ? wearable_.cross_domain_capture(va_seg, *config_.user_activity,
+                                             rng)
+            : wearable_.cross_domain_capture(va_seg, rng);
+    const Signal vib_wear =
+        config_.user_activity.has_value()
+            ? wearable_.cross_domain_capture(wear_seg,
+                                             *config_.user_activity, rng)
+            : wearable_.cross_domain_capture(wear_seg, rng);
+    feat_va = extractor_.extract(vib_va);
+    feat_wear = extractor_.extract(vib_wear);
+  }
+  const double s = detector_.score(feat_wear, feat_va);
+  if (trace != nullptr) {
+    trace->features_va = std::move(feat_va);
+    trace->features_wearable = std::move(feat_wear);
+  }
+  return s;
+}
+
+DetectionResult DefenseSystem::detect(const Signal& va_recording,
+                                      const Signal& wearable_recording,
+                                      const Segmenter* segmenter, Rng& rng,
+                                      PipelineTrace* trace) const {
+  const double s =
+      score(va_recording, wearable_recording, segmenter, rng, trace);
+  return DetectionResult{s, s < detector_.threshold()};
+}
+
+}  // namespace vibguard::core

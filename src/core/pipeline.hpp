@@ -1,0 +1,98 @@
+// End-to-end defense pipeline (paper Fig. 5).
+//
+// Given the two recordings of one voice command — from the VA device and
+// from the user's wearable — the pipeline synchronizes them, extracts the
+// barrier-effect-sensitive phoneme segments, converts both segment streams
+// to the vibration domain on the wearable, extracts vibration features and
+// scores their 2-D correlation. Three operating modes reproduce the paper's
+// evaluation arms:
+//
+//   kFull              — vibration domain + phoneme selection (the system)
+//   kVibrationBaseline — vibration domain, no phoneme selection
+//   kAudioBaseline     — 2-D correlation directly on audio spectrograms
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+#include "core/detector.hpp"
+#include "core/segmentation.hpp"
+#include "core/vibration_features.hpp"
+#include "device/sync.hpp"
+#include "device/wearable.hpp"
+
+namespace vibguard::core {
+
+enum class DefenseMode {
+  kFull,
+  kVibrationBaseline,
+  kAudioBaseline,
+};
+
+/// Human-readable mode name.
+const char* mode_name(DefenseMode mode);
+
+struct DefenseConfig {
+  DefenseMode mode = DefenseMode::kFull;
+  device::WearableConfig wearable = device::fossil_gen5();
+  device::SyncConfig sync;
+  VibrationFeatureConfig features;
+  double detection_threshold = 0.50;
+
+  /// Minimum total duration of extracted sensitive-phoneme segments; when
+  /// segmentation yields less (very short commands), the whole command is
+  /// scored instead.
+  double min_segment_seconds = 0.65;
+
+  /// When set, the wearer performs this activity during the replay-capture
+  /// step: activity-specific body motion is superimposed on the vibration
+  /// signals (robustness knob; the ≤5 Hz crop is designed to remove it).
+  std::optional<sensors::Activity> user_activity;
+
+  // Audio-baseline spectrogram parameters (16 kHz recordings).
+  std::size_t audio_window = 512;
+  std::size_t audio_hop = 128;
+};
+
+/// Intermediate artifacts, exposed for analysis and tests.
+struct PipelineTrace {
+  double estimated_delay_s = 0.0;
+  std::size_t num_ranges = 0;
+  double segment_seconds = 0.0;
+  dsp::Spectrogram features_va;
+  dsp::Spectrogram features_wearable;
+};
+
+/// The training-free thru-barrier attack detection system.
+class DefenseSystem {
+ public:
+  explicit DefenseSystem(DefenseConfig config);
+
+  const DefenseConfig& config() const { return config_; }
+  const device::Wearable& wearable() const { return wearable_; }
+
+  /// Scores one command: higher = more likely legitimate. `segmenter`
+  /// supplies sensitive-phoneme ranges and is required in kFull mode
+  /// (ignored in the baseline modes). `trace`, when non-null, receives
+  /// intermediate artifacts.
+  double score(const Signal& va_recording, const Signal& wearable_recording,
+               const Segmenter* segmenter, Rng& rng,
+               PipelineTrace* trace = nullptr) const;
+
+  /// Full detection decision at the configured threshold.
+  DetectionResult detect(const Signal& va_recording,
+                         const Signal& wearable_recording,
+                         const Segmenter* segmenter, Rng& rng,
+                         PipelineTrace* trace = nullptr) const;
+
+ private:
+  DefenseConfig config_;
+  device::Wearable wearable_;
+  device::SyncChannel sync_;
+  VibrationFeatureExtractor extractor_;
+  CorrelationDetector detector_;
+};
+
+}  // namespace vibguard::core

@@ -1,0 +1,164 @@
+#include "core/segmentation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vibguard::core {
+
+OracleSegmenter::OracleSegmenter(std::vector<speech::PhonemeSpan> alignment,
+                                 std::set<std::string> sensitive)
+    : alignment_(std::move(alignment)), sensitive_(std::move(sensitive)) {}
+
+std::vector<SampleRange> OracleSegmenter::segment(
+    const Signal& audio, std::size_t timeline_offset) const {
+  std::vector<SampleRange> out;
+  for (const auto& span : alignment_) {
+    if (sensitive_.count(span.symbol) == 0) continue;
+    if (span.end <= timeline_offset) continue;
+    const std::size_t begin =
+        span.begin > timeline_offset ? span.begin - timeline_offset : 0;
+    const std::size_t end =
+        std::min(span.end - timeline_offset, audio.size());
+    if (begin < end) out.push_back({begin, end});
+  }
+  return normalize_ranges(std::move(out));
+}
+
+BrnnSegmenter::BrnnSegmenter(Config config, std::uint64_t seed)
+    : config_(config), brnn_(config.brnn, seed) {
+  VIBGUARD_REQUIRE(config_.brnn.in_dim == config_.mfcc.num_coeffs,
+                   "BRNN input dim must match MFCC order");
+  VIBGUARD_REQUIRE(config_.brnn.num_classes == 2,
+                   "segmentation is binary classification");
+}
+
+nn::LabeledSequence BrnnSegmenter::make_sequence(
+    const Signal& audio, std::span<const speech::PhonemeSpan> alignment,
+    const std::set<std::string>& sensitive) const {
+  nn::LabeledSequence seq;
+  seq.features = dsp::compute_mfcc(audio, config_.mfcc);
+  const double fs = audio.sample_rate();
+  const auto frame_len = static_cast<std::size_t>(
+      std::round(config_.mfcc.frame_seconds * fs));
+  const auto hop =
+      static_cast<std::size_t>(std::round(config_.mfcc.hop_seconds * fs));
+
+  seq.labels.resize(seq.features.size(), 0);
+  for (std::size_t f = 0; f < seq.labels.size(); ++f) {
+    const std::size_t begin = f * hop;
+    const std::size_t end = begin + frame_len;
+    // A frame is positive when sensitive phonemes cover most of it.
+    std::size_t covered = 0;
+    for (const auto& span : alignment) {
+      if (sensitive.count(span.symbol) == 0) continue;
+      const std::size_t lo = std::max(begin, span.begin);
+      const std::size_t hi = std::min(end, span.end);
+      if (lo < hi) covered += hi - lo;
+    }
+    seq.labels[f] = covered * 2 >= frame_len ? 1 : 0;
+  }
+  return seq;
+}
+
+double BrnnSegmenter::train_epoch(std::span<const nn::LabeledSequence> data,
+                                  std::size_t batch_size, Rng& rng) {
+  VIBGUARD_REQUIRE(batch_size > 0, "batch size must be positive");
+  // Shuffled index order each epoch.
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+  double total = 0.0;
+  std::size_t batches = 0;
+  std::vector<nn::LabeledSequence> batch;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    batch.push_back(data[order[i]]);
+    if (batch.size() == batch_size || i + 1 == order.size()) {
+      total += brnn_.train_batch(batch);
+      ++batches;
+      batch.clear();
+    }
+  }
+  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+}
+
+double BrnnSegmenter::evaluate(
+    std::span<const nn::LabeledSequence> data) const {
+  return brnn_.evaluate(data);
+}
+
+std::vector<double> BrnnSegmenter::frame_probabilities(
+    const Signal& audio) const {
+  const auto features = dsp::compute_mfcc(audio, config_.mfcc);
+  const auto probs = brnn_.predict(features);
+  std::vector<double> out(probs.size());
+  for (std::size_t t = 0; t < probs.size(); ++t) out[t] = probs[t][1];
+  return out;
+}
+
+std::vector<SampleRange> BrnnSegmenter::segment(
+    const Signal& audio, std::size_t /*timeline_offset*/) const {
+  const auto probs = frame_probabilities(audio);
+  const double fs = audio.sample_rate();
+  const auto frame_len = static_cast<std::size_t>(
+      std::round(config_.mfcc.frame_seconds * fs));
+  const auto hop =
+      static_cast<std::size_t>(std::round(config_.mfcc.hop_seconds * fs));
+
+  std::vector<SampleRange> ranges;
+  std::size_t run_start = 0;
+  std::size_t run_len = 0;
+  for (std::size_t f = 0; f <= probs.size(); ++f) {
+    const bool on = f < probs.size() && probs[f] >= config_.decision_threshold;
+    if (on) {
+      if (run_len == 0) run_start = f;
+      ++run_len;
+    } else if (run_len > 0) {
+      if (run_len >= config_.min_run_frames) {
+        ranges.push_back(
+            {run_start * hop, (run_start + run_len - 1) * hop + frame_len});
+      }
+      run_len = 0;
+    }
+  }
+  return normalize_ranges(std::move(ranges));
+}
+
+Signal extract_ranges(const Signal& audio,
+                      std::span<const SampleRange> ranges) {
+  Signal out({}, audio.sample_rate());
+  for (const SampleRange& r : ranges) {
+    const std::size_t begin = std::min(r.begin, audio.size());
+    const std::size_t end = std::min(r.end, audio.size());
+    if (begin < end) out.append(audio.slice(begin, end));
+  }
+  return out;
+}
+
+std::vector<SampleRange> normalize_ranges(std::vector<SampleRange> ranges,
+                                          std::size_t min_len) {
+  std::sort(ranges.begin(), ranges.end(),
+            [](const SampleRange& a, const SampleRange& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<SampleRange> merged;
+  for (const SampleRange& r : ranges) {
+    if (r.end <= r.begin) continue;
+    if (!merged.empty() && r.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, r.end);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  std::erase_if(merged, [min_len](const SampleRange& r) {
+    return r.end - r.begin < min_len;
+  });
+  return merged;
+}
+
+}  // namespace vibguard::core

@@ -1,0 +1,55 @@
+#include "core/session.hpp"
+
+#include <limits>
+
+namespace vibguard::core {
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kAccepted: return "accepted";
+    case Verdict::kAttackDetected: return "attack_detected";
+    case Verdict::kWearableAbsent: return "wearable_absent";
+  }
+  return "unknown";
+}
+
+DefenseSession::DefenseSession(DefenseConfig config)
+    : system_(std::move(config)) {}
+
+SessionEvent DefenseSession::process(
+    const std::string& label, const Signal& va_recording,
+    const std::optional<Signal>& wearable_recording,
+    const Segmenter* segmenter, Rng& rng) {
+  SessionEvent event;
+  event.index = log_.size();
+  event.label = label;
+  event.score = std::numeric_limits<double>::quiet_NaN();
+
+  if (!wearable_recording.has_value()) {
+    // Threat-model policy (Sec. II): "Our defense system rejects voice
+    // commands at the VA if the wearable device is absent."
+    event.verdict = Verdict::kWearableAbsent;
+    ++stats_.wearable_absent;
+  } else {
+    const auto result =
+        system_.detect(va_recording, *wearable_recording, segmenter, rng);
+    event.score = result.score;
+    if (result.is_attack) {
+      event.verdict = Verdict::kAttackDetected;
+      ++stats_.attacks_detected;
+    } else {
+      event.verdict = Verdict::kAccepted;
+      ++stats_.accepted;
+    }
+  }
+  ++stats_.processed;
+  log_.push_back(event);
+  return event;
+}
+
+void DefenseSession::reset() {
+  log_.clear();
+  stats_ = SessionStats{};
+}
+
+}  // namespace vibguard::core

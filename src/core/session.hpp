@@ -1,0 +1,67 @@
+// Application-layer session: the policy wrapper a VA integration would use.
+//
+// Wraps DefenseSystem with the deployment rules from the paper's threat
+// model (Sec. II): commands are REJECTED outright when the paired wearable
+// is absent, every decision is recorded in an audit log, and running
+// statistics are kept for monitoring.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace vibguard::core {
+
+/// Why a command was accepted or rejected.
+enum class Verdict {
+  kAccepted,
+  kAttackDetected,
+  kWearableAbsent,
+};
+
+const char* verdict_name(Verdict verdict);
+
+/// One processed command in the audit log.
+struct SessionEvent {
+  std::size_t index;
+  std::string label;    ///< caller-provided description (e.g. command text)
+  Verdict verdict;
+  double score;          ///< correlation score; NaN when not computed
+};
+
+/// Aggregate statistics of a session.
+struct SessionStats {
+  std::size_t processed = 0;
+  std::size_t accepted = 0;
+  std::size_t attacks_detected = 0;
+  std::size_t wearable_absent = 0;
+};
+
+/// Stateful defense endpoint for a stream of commands.
+class DefenseSession {
+ public:
+  explicit DefenseSession(DefenseConfig config = {});
+
+  /// Processes one command. `wearable_recording` is nullopt when no paired
+  /// wearable responded (policy: reject). `segmenter` as in DefenseSystem.
+  SessionEvent process(const std::string& label, const Signal& va_recording,
+                       const std::optional<Signal>& wearable_recording,
+                       const Segmenter* segmenter, Rng& rng);
+
+  const std::vector<SessionEvent>& log() const { return log_; }
+  const SessionStats& stats() const { return stats_; }
+  const DefenseSystem& system() const { return system_; }
+
+  /// Clears the audit log and statistics.
+  void reset();
+
+ private:
+  DefenseSystem system_;
+  std::vector<SessionEvent> log_;
+  SessionStats stats_;
+};
+
+}  // namespace vibguard::core

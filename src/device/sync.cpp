@@ -1,0 +1,56 @@
+#include "device/sync.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/correlate.hpp"
+
+namespace vibguard::device {
+
+SyncChannel::SyncChannel(SyncConfig config) : config_(config) {
+  VIBGUARD_REQUIRE(config_.min_delay_s >= 0.0 &&
+                       config_.max_delay_s >= config_.min_delay_s,
+                   "delay bounds must satisfy 0 <= min <= max");
+}
+
+double SyncChannel::sample_delay(Rng& rng) const {
+  const double d = rng.gaussian(config_.mean_delay_s, config_.delay_stddev_s);
+  return std::clamp(d, config_.min_delay_s, config_.max_delay_s);
+}
+
+Signal SyncChannel::delayed_view(const Signal& sound, double delay_s) const {
+  VIBGUARD_REQUIRE(delay_s >= 0.0, "delay must be non-negative");
+  const auto drop = std::min<std::size_t>(
+      static_cast<std::size_t>(std::round(delay_s * sound.sample_rate())),
+      sound.size());
+  return sound.slice(drop, sound.size());
+}
+
+double SyncChannel::estimate_delay_s(const Signal& va,
+                                     const Signal& wearable) const {
+  VIBGUARD_REQUIRE(va.sample_rate() == wearable.sample_rate(),
+                   "synchronization requires matching sample rates");
+  const auto max_lag = static_cast<std::size_t>(
+      std::round(config_.max_search_s * va.sample_rate()));
+  // The wearable recording starts `delay` seconds late, i.e. its content is
+  // *advanced*: wearable(n) == va(n + delay). Estimate the lag of the VA
+  // signal inside the wearable one.
+  const auto lag =
+      dsp::estimate_delay(wearable.samples(), va.samples(), max_lag);
+  return static_cast<double>(lag) / va.sample_rate();
+}
+
+std::pair<Signal, Signal> SyncChannel::synchronize(
+    const Signal& va, const Signal& wearable) const {
+  const double delay_s = estimate_delay_s(va, wearable);
+  const auto shift = static_cast<std::ptrdiff_t>(
+      std::llround(delay_s * va.sample_rate()));
+  // Positive shift: the VA recording contains `shift` samples the wearable
+  // missed — drop them from the VA side.
+  auto [wearable_aligned, va_aligned] =
+      dsp::align_by_delay(wearable, va, shift);
+  return {std::move(va_aligned), std::move(wearable_aligned)};
+}
+
+}  // namespace vibguard::device

@@ -1,0 +1,52 @@
+// Cross-device synchronization (paper Sec. VI-A).
+//
+// The VA device notifies the wearable over the local WiFi network when a
+// wake word is detected; network delay (~100 ms) offsets the wearable's
+// recording start. The residual offset is estimated with cross-correlation
+// (Eq. 5) and removed before comparison.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+
+namespace vibguard::device {
+
+struct SyncConfig {
+  double mean_delay_s = 0.100;   ///< typical local-WiFi notification delay
+  double delay_stddev_s = 0.030;
+  double min_delay_s = 0.020;
+  double max_delay_s = 0.250;
+  double max_search_s = 0.300;   ///< cross-correlation search window
+};
+
+/// Simulates the notification channel and implements delay compensation.
+class SyncChannel {
+ public:
+  explicit SyncChannel(SyncConfig config = {});
+
+  const SyncConfig& config() const { return config_; }
+
+  /// Samples a network delay in seconds.
+  double sample_delay(Rng& rng) const;
+
+  /// Applies a recording-start delay to `sound`: drops the first
+  /// `delay_s` seconds (the wearable missed them) — what the wearable
+  /// actually captures.
+  Signal delayed_view(const Signal& sound, double delay_s) const;
+
+  /// Estimates the delay of `wearable` relative to `va` in seconds using
+  /// cross-correlation (Eq. 5), searching up to config().max_search_s.
+  double estimate_delay_s(const Signal& va, const Signal& wearable) const;
+
+  /// Full synchronization: estimates and removes the relative delay,
+  /// returning equal-length aligned copies (va, wearable).
+  std::pair<Signal, Signal> synchronize(const Signal& va,
+                                        const Signal& wearable) const;
+
+ private:
+  SyncConfig config_;
+};
+
+}  // namespace vibguard::device

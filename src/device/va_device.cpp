@@ -1,0 +1,111 @@
+#include "device/va_device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/db.hpp"
+#include "common/stats.hpp"
+#include "dsp/spectral.hpp"
+
+namespace vibguard::device {
+namespace {
+
+/// Estimates the command's level above the ambient noise floor: short-window
+/// RMS percentiles separate speech-active windows (p90) from noise-only
+/// windows (p10); the command power is their difference.
+double command_spl_above_noise(const Signal& received) {
+  const auto win = static_cast<std::size_t>(0.05 * received.sample_rate());
+  if (win == 0 || received.size() < 2 * win) {
+    return rms_to_spl(received.rms());
+  }
+  std::vector<double> window_rms;
+  for (std::size_t i = 0; i + win <= received.size(); i += win) {
+    window_rms.push_back(received.slice(i, i + win).rms());
+  }
+  const double speech = quantile(window_rms, 0.9);
+  const double noise = quantile(window_rms, 0.1);
+  const double signal_rms =
+      std::sqrt(std::max(speech * speech - noise * noise, 0.0));
+  return rms_to_spl(signal_rms);
+}
+
+}  // namespace
+
+VaDeviceProfile google_home() {
+  return VaDeviceProfile{"Google Home", "ok google",
+                         /*trigger_threshold_spl=*/31.5,
+                         /*trigger_slope_db=*/3.0,
+                         /*requires_voice_match=*/false};
+}
+
+VaDeviceProfile alexa_echo() {
+  return VaDeviceProfile{"Alexa Echo", "alexa",
+                         /*trigger_threshold_spl=*/41.5,
+                         /*trigger_slope_db=*/3.0,
+                         /*requires_voice_match=*/false};
+}
+
+VaDeviceProfile macbook_pro() {
+  return VaDeviceProfile{"MacBook Pro", "hey siri",
+                         /*trigger_threshold_spl=*/41.5,
+                         /*trigger_slope_db=*/3.0,
+                         /*requires_voice_match=*/true};
+}
+
+VaDeviceProfile iphone() {
+  return VaDeviceProfile{"iPhone", "hey siri",
+                         /*trigger_threshold_spl=*/50.0,
+                         /*trigger_slope_db=*/3.0,
+                         /*requires_voice_match=*/true};
+}
+
+std::vector<VaDeviceProfile> all_va_devices() {
+  return {google_home(), alexa_echo(), macbook_pro(), iphone()};
+}
+
+VaDevice::VaDevice(VaDeviceProfile profile, sensors::MicrophoneConfig mic)
+    : profile_(std::move(profile)), mic_(mic) {}
+
+Signal VaDevice::record(const Signal& sound, Rng& rng) const {
+  return mic_.record(sound, rng);
+}
+
+double VaDevice::trigger_probability(const Signal& received, CommandKind kind,
+                                     bool is_enrolled_voice) const {
+  if (received.empty()) return 0.0;
+
+  // Devices with embedded speaker verification reject voices that do not
+  // match the enrolled user outright (paper: Siri "did not respond to the
+  // voices they cannot recognize").
+  if (profile_.requires_voice_match && !is_enrolled_voice &&
+      (kind == CommandKind::kLiveVoice || kind == CommandKind::kSynthesized ||
+       kind == CommandKind::kHiddenVoice)) {
+    return 0.0;
+  }
+
+  const double received_spl = command_spl_above_noise(received);
+
+  // Recognition penalty: wake-word engines need intelligible mid-frequency
+  // structure. Heavily low-pass-filtered (barrier) sound with almost no
+  // energy above 300 Hz is harder to recognize; synthesis adds its own
+  // mismatch penalty.
+  const double mid_fraction =
+      dsp::band_energy_fraction(received, 300.0, 4000.0);
+  double penalty_db = std::max(0.0, (0.25 - mid_fraction)) * 20.0;
+  if (kind == CommandKind::kSynthesized) penalty_db += 3.0;
+  if (kind == CommandKind::kHiddenVoice) penalty_db += 1.5;
+
+  const double x =
+      (received_spl - penalty_db - profile_.trigger_threshold_spl) /
+      profile_.trigger_slope_db;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+bool VaDevice::triggers(const Signal& received, CommandKind kind,
+                        bool is_enrolled_voice, Rng& rng) const {
+  return rng.bernoulli(
+      trigger_probability(received, kind, is_enrolled_voice));
+}
+
+}  // namespace vibguard::device

@@ -1,0 +1,70 @@
+// Voice-assistant device model: microphone front end plus a wake-word
+// trigger model used by the Table I attack study.
+//
+// The trigger model abstracts the full wake-word engine into the two factors
+// that decide thru-barrier triggering: the received level relative to the
+// device's detection threshold (far-field microphone arrays have lower
+// thresholds) and the spectral integrity of the command (recognition needs
+// mid/high-frequency content; synthesis artifacts lower the match).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+#include "sensors/microphone.hpp"
+
+namespace vibguard::device {
+
+/// Kind of sound presented to the wake-word engine.
+enum class CommandKind {
+  kLiveVoice,    // a person speaking (random attack uses the attacker's own)
+  kReplay,       // loudspeaker replay of a genuine recording
+  kSynthesized,  // TTS/voice-conversion output
+  kHiddenVoice,  // obfuscated machine-recognizable command
+};
+
+struct VaDeviceProfile {
+  std::string name;            ///< e.g. "Google Home"
+  std::string wake_word;
+  double trigger_threshold_spl;///< received SPL for 50% trigger probability
+  double trigger_slope_db;     ///< logistic slope of the psychometric curve
+  bool requires_voice_match;   ///< Siri-style embedded speaker verification
+};
+
+/// The four devices of the paper's attack study (Table I).
+VaDeviceProfile google_home();
+VaDeviceProfile alexa_echo();
+VaDeviceProfile macbook_pro();
+VaDeviceProfile iphone();
+std::vector<VaDeviceProfile> all_va_devices();
+
+/// A VA device: records commands and decides wake-word triggering.
+class VaDevice {
+ public:
+  explicit VaDevice(VaDeviceProfile profile = google_home(),
+                    sensors::MicrophoneConfig mic = {});
+
+  const VaDeviceProfile& profile() const { return profile_; }
+
+  /// Records `sound` with the device microphone.
+  Signal record(const Signal& sound, Rng& rng) const;
+
+  /// Probability that `received` (an already-recorded command) triggers the
+  /// wake-word engine. `kind` applies recognition penalties; devices with
+  /// embedded voice matching return 0 for live/synthesized voices that are
+  /// not the enrolled user (`is_enrolled_voice`).
+  double trigger_probability(const Signal& received, CommandKind kind,
+                             bool is_enrolled_voice) const;
+
+  /// Samples a trigger outcome.
+  bool triggers(const Signal& received, CommandKind kind,
+                bool is_enrolled_voice, Rng& rng) const;
+
+ private:
+  VaDeviceProfile profile_;
+  sensors::Microphone mic_;
+};
+
+}  // namespace vibguard::device

@@ -1,0 +1,39 @@
+// Cross-correlation and time-delay estimation.
+//
+// Implements the paper's cross-device synchronization (Eq. 5): the residual
+// network delay between the VA and wearable recordings is estimated as the
+// lag maximizing the cross-correlation of the two audio signals.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/signal.hpp"
+
+namespace vibguard::dsp {
+
+/// Cross-correlation values for lags in [-max_lag, +max_lag].
+/// out[i] corresponds to lag (i - max_lag); correlation is the raw inner
+/// product sum_n a(n) * b(n + lag).
+std::vector<double> cross_correlate(std::span<const double> a,
+                                    std::span<const double> b,
+                                    std::size_t max_lag);
+
+/// Lag (in samples, possibly negative) maximizing the cross-correlation of
+/// `a` against `b`. Positive result means `b` is delayed relative to `a`.
+std::ptrdiff_t estimate_delay(std::span<const double> a,
+                              std::span<const double> b, std::size_t max_lag);
+
+/// Removes the first `delay` samples of `b` (paper Sec. VI-A) so both
+/// signals start at the same instant; negative delay trims `a` instead.
+/// Returns the aligned pair trimmed to equal length.
+std::pair<Signal, Signal> align_by_delay(const Signal& a, const Signal& b,
+                                         std::ptrdiff_t delay);
+
+/// Normalized cross-correlation peak value in [-1, 1] at the best lag.
+double peak_normalized_correlation(std::span<const double> a,
+                                   std::span<const double> b,
+                                   std::size_t max_lag);
+
+}  // namespace vibguard::dsp

@@ -1,0 +1,82 @@
+#include "dsp/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace vibguard::dsp {
+
+double euclidean(std::span<const double> x, std::span<const double> y) {
+  VIBGUARD_REQUIRE(x.size() == y.size(),
+                   "euclidean distance needs equal dimensions");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+DtwResult dtw(std::span<const std::vector<double>> a,
+              std::span<const std::vector<double>> b, std::size_t window) {
+  DtwResult result;
+  if (a.empty() || b.empty()) {
+    result.distance = std::numeric_limits<double>::infinity();
+    result.normalized = result.distance;
+    return result;
+  }
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Effective band: at least |n - m| so a path exists.
+  std::size_t band = window;
+  if (band > 0) {
+    band = std::max(band, n > m ? n - m : m - n);
+  }
+
+  // Two-row cost matrix plus a step counter for path-length normalization.
+  std::vector<double> prev(m + 1, kInf), curr(m + 1, kInf);
+  std::vector<std::size_t> prev_len(m + 1, 0), curr_len(m + 1, 0);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const std::size_t j_lo =
+        band > 0 ? (i > band ? i - band : 1) : 1;
+    const std::size_t j_hi = band > 0 ? std::min(m, i + band) : m;
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = euclidean(a[i - 1], b[j - 1]);
+      double best = prev[j - 1];  // diagonal
+      std::size_t best_len = prev_len[j - 1];
+      if (prev[j] < best) {
+        best = prev[j];  // insertion
+        best_len = prev_len[j];
+      }
+      if (curr[j - 1] < best) {
+        best = curr[j - 1];  // deletion
+        best_len = curr_len[j - 1];
+      }
+      if (best < kInf) {
+        curr[j] = cost + best;
+        curr_len[j] = best_len + 1;
+      }
+    }
+    std::swap(prev, curr);
+    std::swap(prev_len, curr_len);
+    // Reset column 0 after the first row (only (0,0) is a valid start).
+    prev[0] = kInf;
+  }
+
+  result.distance = prev[m];
+  result.path_length = prev_len[m];
+  result.normalized =
+      result.path_length > 0
+          ? result.distance / static_cast<double>(result.path_length)
+          : result.distance;
+  return result;
+}
+
+}  // namespace vibguard::dsp

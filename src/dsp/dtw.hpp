@@ -1,0 +1,32 @@
+// Dynamic time warping over feature-vector sequences.
+//
+// Used by the wake-word matcher to compare MFCC sequences of different
+// lengths; exposed generally since alignment of variable-rate sequences is
+// a recurring need (e.g. comparing utterances across speakers).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vibguard::dsp {
+
+/// Result of a DTW alignment.
+struct DtwResult {
+  double distance = 0.0;       ///< accumulated cost along the optimal path
+  double normalized = 0.0;     ///< distance / path length
+  std::size_t path_length = 0; ///< number of alignment steps
+};
+
+/// DTW with Euclidean local cost and the standard step pattern
+/// (match/insert/delete). `window` is an optional Sakoe–Chiba band half
+/// width in frames (0 = unconstrained). Either sequence may be empty, in
+/// which case the distance is +infinity with an empty path.
+DtwResult dtw(std::span<const std::vector<double>> a,
+              std::span<const std::vector<double>> b,
+              std::size_t window = 0);
+
+/// Euclidean distance between two equal-length feature vectors.
+double euclidean(std::span<const double> x, std::span<const double> y);
+
+}  // namespace vibguard::dsp

@@ -1,0 +1,100 @@
+#include "dsp/envelope.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/fft.hpp"
+
+namespace vibguard::dsp {
+
+Signal hilbert_envelope(const Signal& in) {
+  if (in.empty()) return in;
+  const std::size_t n = in.size();
+  const std::size_t m = next_pow2(n);
+  std::vector<Complex> buf(m, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) buf[i] = Complex(in[i], 0.0);
+  fft_pow2(buf, false);
+  // Analytic signal: double positive frequencies, zero negative ones.
+  for (std::size_t k = 1; k < m / 2; ++k) buf[k] *= 2.0;
+  for (std::size_t k = m / 2 + 1; k < m; ++k) buf[k] = Complex(0.0, 0.0);
+  fft_pow2(buf, true);
+  std::vector<double> env(n);
+  for (std::size_t i = 0; i < n; ++i) env[i] = std::abs(buf[i]);
+  return Signal(std::move(env), in.sample_rate());
+}
+
+Signal rms_envelope(const Signal& in, std::size_t window, std::size_t hop) {
+  VIBGUARD_REQUIRE(window > 0 && hop > 0, "window and hop must be positive");
+  std::vector<double> env;
+  for (std::size_t i = 0; i + window <= in.size(); i += hop) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < window; ++j) acc += in[i + j] * in[i + j];
+    env.push_back(std::sqrt(acc / static_cast<double>(window)));
+  }
+  return Signal(std::move(env),
+                in.sample_rate() / static_cast<double>(hop));
+}
+
+std::vector<double> real_cepstrum(const Signal& in, std::size_t num_bins) {
+  VIBGUARD_REQUIRE(!in.empty(), "cepstrum of empty signal");
+  const std::size_t m = next_pow2(in.size());
+  std::vector<Complex> buf(m, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < in.size(); ++i) buf[i] = Complex(in[i], 0.0);
+  fft_pow2(buf, false);
+  for (Complex& c : buf) {
+    c = Complex(std::log(std::abs(c) + 1e-12), 0.0);
+  }
+  fft_pow2(buf, true);
+  num_bins = std::min(num_bins, m);
+  std::vector<double> out(num_bins);
+  for (std::size_t i = 0; i < num_bins; ++i) out[i] = buf[i].real();
+  return out;
+}
+
+double cepstral_pitch(const Signal& in, double f_min, double f_max,
+                      double min_prominence) {
+  VIBGUARD_REQUIRE(f_min > 0.0 && f_max > f_min, "need 0 < f_min < f_max");
+  if (in.empty()) return 0.0;
+  const double fs = in.sample_rate();
+  const auto q_min = static_cast<std::size_t>(fs / f_max);
+  const auto q_max = static_cast<std::size_t>(fs / f_min);
+  const auto ceps = real_cepstrum(in, q_max + 1);
+  if (q_min >= ceps.size() || q_min >= q_max) return 0.0;
+
+  std::size_t best = q_min;
+  for (std::size_t q = q_min; q <= std::min(q_max, ceps.size() - 1); ++q) {
+    if (ceps[q] > ceps[best]) best = q;
+  }
+  // Prominence: the peak must stand out from the band's own fluctuation
+  // (mean + min_prominence * stddev), which rejects the random maxima a
+  // noise cepstrum produces.
+  std::vector<double> band;
+  for (std::size_t q = q_min; q <= std::min(q_max, ceps.size() - 1); ++q) {
+    band.push_back(ceps[q]);
+  }
+  const double mu = mean(band);
+  const double sigma = stddev(band);
+  if (ceps[best] < mu + min_prominence * sigma) return 0.0;
+  return fs / static_cast<double>(best);
+}
+
+double goertzel_magnitude(const Signal& in, double frequency_hz) {
+  if (in.empty()) return 0.0;
+  const double w =
+      2.0 * std::numbers::pi * frequency_hz / in.sample_rate();
+  const double coeff = 2.0 * std::cos(w);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+  for (double x : in) {
+    s0 = x + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  const double power =
+      s1 * s1 + s2 * s2 - coeff * s1 * s2;
+  return std::sqrt(std::max(power, 0.0)) / static_cast<double>(in.size());
+}
+
+}  // namespace vibguard::dsp

@@ -1,0 +1,38 @@
+// Amplitude envelopes and cepstral analysis.
+//
+// The analytic (Hilbert) envelope serves the hidden-voice generator's
+// syllabic-structure checks and voice-activity style gating; the real
+// cepstrum supports pitch/F0 analysis of the synthetic speech.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/signal.hpp"
+
+namespace vibguard::dsp {
+
+/// Analytic-signal magnitude |x + i·H(x)| computed via the FFT (one-sided
+/// spectrum doubling). Output has the same length and rate as the input.
+Signal hilbert_envelope(const Signal& in);
+
+/// Short-window RMS envelope: one value per `window` samples, advanced by
+/// `hop` samples, at the implied decimated rate.
+Signal rms_envelope(const Signal& in, std::size_t window, std::size_t hop);
+
+/// Real cepstrum: IFFT(log|FFT(x)|). Returns the first `num_bins`
+/// quefrency bins.
+std::vector<double> real_cepstrum(const Signal& in, std::size_t num_bins);
+
+/// Fundamental-frequency estimate via the cepstral peak within
+/// [f_min, f_max]; returns 0 when no voiced peak stands out (peak less
+/// than `min_prominence` times the local mean).
+double cepstral_pitch(const Signal& in, double f_min = 60.0,
+                      double f_max = 400.0, double min_prominence = 4.0);
+
+/// Goertzel single-bin DFT magnitude at `frequency_hz`, normalized like
+/// magnitude_spectrum (|X|/n). Cheaper than a full FFT when only a few
+/// frequencies are needed.
+double goertzel_magnitude(const Signal& in, double frequency_hz);
+
+}  // namespace vibguard::dsp

@@ -1,0 +1,42 @@
+// Fast Fourier transforms.
+//
+// Provides an in-place iterative radix-2 Cooley–Tukey FFT for power-of-two
+// lengths and a Bluestein chirp-z fallback for arbitrary lengths, so callers
+// never need to pad. Real-signal helpers return one-sided magnitude spectra,
+// the representation used throughout the paper's figures.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vibguard::dsp {
+
+using Complex = std::complex<double>;
+
+/// In-place FFT of a power-of-two-length buffer.
+/// `inverse` selects the inverse transform (scaled by 1/N).
+void fft_pow2(std::span<Complex> data, bool inverse);
+
+/// FFT of arbitrary length (Bluestein for non-power-of-two sizes).
+std::vector<Complex> fft(std::span<const Complex> data, bool inverse = false);
+
+/// FFT of a real signal; returns the full complex spectrum of length n.
+std::vector<Complex> fft_real(std::span<const double> data);
+
+/// One-sided magnitude spectrum of a real signal: |X[k]| for
+/// k = 0..floor(n/2), normalized by n so magnitudes are amplitude-like.
+std::vector<double> magnitude_spectrum(std::span<const double> data);
+
+/// Frequency in Hz of one-sided bin k for an n-point transform at
+/// `sample_rate` Hz.
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+}  // namespace vibguard::dsp

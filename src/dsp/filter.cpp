@@ -1,0 +1,166 @@
+#include "dsp/filter.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+
+namespace vibguard::dsp {
+
+Biquad::Biquad(double b0, double b1, double b2, double a1, double a2)
+    : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+Biquad Biquad::low_pass(double cutoff_hz, double sample_rate, double q) {
+  VIBGUARD_REQUIRE(cutoff_hz > 0.0 && cutoff_hz < sample_rate / 2.0,
+                   "cutoff must be in (0, fs/2)");
+  VIBGUARD_REQUIRE(q > 0.0, "Q must be positive");
+  const double w0 = 2.0 * std::numbers::pi * cutoff_hz / sample_rate;
+  const double cw = std::cos(w0);
+  const double sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  return Biquad((1.0 - cw) / 2.0 / a0, (1.0 - cw) / a0, (1.0 - cw) / 2.0 / a0,
+                -2.0 * cw / a0, (1.0 - alpha) / a0);
+}
+
+Biquad Biquad::high_pass(double cutoff_hz, double sample_rate, double q) {
+  VIBGUARD_REQUIRE(cutoff_hz > 0.0 && cutoff_hz < sample_rate / 2.0,
+                   "cutoff must be in (0, fs/2)");
+  VIBGUARD_REQUIRE(q > 0.0, "Q must be positive");
+  const double w0 = 2.0 * std::numbers::pi * cutoff_hz / sample_rate;
+  const double cw = std::cos(w0);
+  const double sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  return Biquad((1.0 + cw) / 2.0 / a0, -(1.0 + cw) / a0,
+                (1.0 + cw) / 2.0 / a0, -2.0 * cw / a0, (1.0 - alpha) / a0);
+}
+
+double Biquad::process(double x) {
+  const double y = b0_ * x + z1_;
+  z1_ = b1_ * x - a1_ * y + z2_;
+  z2_ = b2_ * x - a2_ * y;
+  return y;
+}
+
+void Biquad::process(std::span<double> xs) {
+  for (double& x : xs) x = process(x);
+}
+
+void Biquad::reset() { z1_ = z2_ = 0.0; }
+
+double Biquad::magnitude_response(double omega) const {
+  const Complex z = std::polar(1.0, omega);
+  const Complex z2 = z * z;
+  const Complex num = b0_ * z2 + b1_ * z + b2_;
+  const Complex den = z2 + a1_ * z + a2_;
+  return std::abs(num / den);
+}
+
+ButterworthFilter::ButterworthFilter(Kind kind, std::size_t order,
+                                     double cutoff_hz, double sample_rate) {
+  VIBGUARD_REQUIRE(order >= 2 && order % 2 == 0,
+                   "Butterworth order must be even and >= 2");
+  const std::size_t pairs = order / 2;
+  sections_.reserve(pairs);
+  for (std::size_t k = 0; k < pairs; ++k) {
+    // Standard Butterworth pole-pair Q values.
+    const double theta = std::numbers::pi *
+                         (2.0 * static_cast<double>(k) + 1.0) /
+                         (2.0 * static_cast<double>(order));
+    const double q = 1.0 / (2.0 * std::sin(theta));
+    sections_.push_back(kind == Kind::kLowPass
+                            ? Biquad::low_pass(cutoff_hz, sample_rate, q)
+                            : Biquad::high_pass(cutoff_hz, sample_rate, q));
+  }
+}
+
+double ButterworthFilter::process(double x) {
+  for (Biquad& s : sections_) x = s.process(x);
+  return x;
+}
+
+void ButterworthFilter::process(std::span<double> xs) {
+  for (double& x : xs) x = process(x);
+}
+
+Signal ButterworthFilter::filtered(const Signal& in) const {
+  ButterworthFilter copy = *this;
+  copy.reset();
+  Signal out = in;
+  copy.process(out.samples());
+  return out;
+}
+
+void ButterworthFilter::reset() {
+  for (Biquad& s : sections_) s.reset();
+}
+
+std::vector<double> design_fir_lowpass(double cutoff_hz, double sample_rate,
+                                       std::size_t num_taps) {
+  VIBGUARD_REQUIRE(num_taps % 2 == 1, "FIR length must be odd");
+  VIBGUARD_REQUIRE(cutoff_hz > 0.0 && cutoff_hz < sample_rate / 2.0,
+                   "cutoff must be in (0, fs/2)");
+  const double fc = cutoff_hz / sample_rate;  // normalized cutoff
+  const auto mid = static_cast<double>(num_taps - 1) / 2.0;
+  std::vector<double> taps(num_taps);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < num_taps; ++i) {
+    const double m = static_cast<double>(i) - mid;
+    const double sinc =
+        m == 0.0 ? 2.0 * fc
+                 : std::sin(2.0 * std::numbers::pi * fc * m) /
+                       (std::numbers::pi * m);
+    const double hamming =
+        0.54 - 0.46 * std::cos(2.0 * std::numbers::pi *
+                               static_cast<double>(i) /
+                               static_cast<double>(num_taps - 1));
+    taps[i] = sinc * hamming;
+    sum += taps[i];
+  }
+  for (double& t : taps) t /= sum;  // unity DC gain
+  return taps;
+}
+
+std::vector<double> fir_filter(std::span<const double> x,
+                               std::span<const double> taps) {
+  VIBGUARD_REQUIRE(!taps.empty(), "FIR taps must be non-empty");
+  const std::size_t n = x.size();
+  const std::size_t delay = (taps.size() - 1) / 2;
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Output index i corresponds to convolution index i + delay.
+    const std::size_t conv = i + delay;
+    double acc = 0.0;
+    for (std::size_t t = 0; t < taps.size(); ++t) {
+      if (conv >= t && conv - t < n) acc += taps[t] * x[conv - t];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+Signal apply_gain_curve(const Signal& in,
+                        const std::function<double(double)>& gain) {
+  if (in.empty()) return in;
+  const std::size_t n = in.size();
+  const std::size_t m = next_pow2(n);
+  std::vector<Complex> buf(m, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) buf[i] = Complex(in[i], 0.0);
+  fft_pow2(buf, false);
+  const double fs = in.sample_rate();
+  // Scale bins conjugate-symmetrically so the inverse transform stays real.
+  for (std::size_t k = 0; k <= m / 2; ++k) {
+    const double f = static_cast<double>(k) * fs / static_cast<double>(m);
+    const double g = gain(f);
+    buf[k] *= g;
+    if (k != 0 && k != m / 2) buf[m - k] *= g;
+  }
+  fft_pow2(buf, true);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = buf[i].real();
+  return Signal(std::move(out), fs);
+}
+
+}  // namespace vibguard::dsp

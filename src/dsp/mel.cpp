@@ -1,0 +1,116 @@
+#include "dsp/mel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/window.hpp"
+
+namespace vibguard::dsp {
+
+double hz_to_mel(double hz) { return 2595.0 * std::log10(1.0 + hz / 700.0); }
+
+double mel_to_hz(double mel) {
+  return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+std::vector<std::vector<double>> mel_filterbank(std::size_t num_filters,
+                                                std::size_t fft_size,
+                                                double sample_rate,
+                                                double low_hz,
+                                                double high_hz) {
+  VIBGUARD_REQUIRE(num_filters > 0, "need at least one mel filter");
+  VIBGUARD_REQUIRE(high_hz > low_hz, "high_hz must exceed low_hz");
+  VIBGUARD_REQUIRE(high_hz <= sample_rate / 2.0,
+                   "high_hz must not exceed Nyquist");
+  const std::size_t num_bins = fft_size / 2 + 1;
+  const double mel_lo = hz_to_mel(low_hz);
+  const double mel_hi = hz_to_mel(high_hz);
+
+  // num_filters + 2 edge points uniformly spaced on the mel scale.
+  std::vector<double> edges_hz(num_filters + 2);
+  for (std::size_t i = 0; i < edges_hz.size(); ++i) {
+    const double mel = mel_lo + (mel_hi - mel_lo) * static_cast<double>(i) /
+                                    static_cast<double>(num_filters + 1);
+    edges_hz[i] = mel_to_hz(mel);
+  }
+
+  std::vector<std::vector<double>> bank(num_filters,
+                                        std::vector<double>(num_bins, 0.0));
+  for (std::size_t m = 0; m < num_filters; ++m) {
+    const double f_lo = edges_hz[m];
+    const double f_mid = edges_hz[m + 1];
+    const double f_hi = edges_hz[m + 2];
+    for (std::size_t k = 0; k < num_bins; ++k) {
+      const double f = bin_frequency(k, fft_size, sample_rate);
+      if (f >= f_lo && f <= f_mid && f_mid > f_lo) {
+        bank[m][k] = (f - f_lo) / (f_mid - f_lo);
+      } else if (f > f_mid && f <= f_hi && f_hi > f_mid) {
+        bank[m][k] = (f_hi - f) / (f_hi - f_mid);
+      }
+    }
+  }
+  return bank;
+}
+
+std::vector<double> dct2(std::span<const double> x, std::size_t num_coeffs) {
+  const std::size_t n = x.size();
+  VIBGUARD_REQUIRE(n > 0, "DCT of empty input");
+  num_coeffs = std::min(num_coeffs, n);
+  std::vector<double> out(num_coeffs, 0.0);
+  const double scale0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double scale = std::sqrt(2.0 / static_cast<double>(n));
+  for (std::size_t k = 0; k < num_coeffs; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += x[i] * std::cos(std::numbers::pi / static_cast<double>(n) *
+                             (static_cast<double>(i) + 0.5) *
+                             static_cast<double>(k));
+    }
+    out[k] = acc * (k == 0 ? scale0 : scale);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> compute_mfcc(const Signal& signal,
+                                              const MfccConfig& cfg) {
+  VIBGUARD_REQUIRE(!signal.empty(), "MFCC of empty signal");
+  const double fs = signal.sample_rate();
+  const auto frame_len =
+      static_cast<std::size_t>(std::round(cfg.frame_seconds * fs));
+  const auto hop = static_cast<std::size_t>(std::round(cfg.hop_seconds * fs));
+  VIBGUARD_REQUIRE(frame_len > 0 && hop > 0,
+                   "frame and hop must be at least one sample");
+  const std::size_t fft_size = next_pow2(frame_len);
+  const auto bank = mel_filterbank(cfg.num_filters, fft_size, fs, cfg.low_hz,
+                                   std::min(cfg.high_hz, fs / 2.0));
+  const auto window = make_window(WindowType::kHamming, frame_len);
+
+  std::vector<std::vector<double>> mfcc;
+  if (signal.size() < frame_len) return mfcc;
+  const std::size_t frames = 1 + (signal.size() - frame_len) / hop;
+  mfcc.reserve(frames);
+  std::vector<double> frame(fft_size, 0.0);
+  for (std::size_t f = 0; f < frames; ++f) {
+    std::fill(frame.begin(), frame.end(), 0.0);
+    const std::size_t start = f * hop;
+    for (std::size_t i = 0; i < frame_len; ++i) {
+      frame[i] = signal[start + i] * window[i];
+    }
+    const auto mag = magnitude_spectrum(frame);
+    std::vector<double> log_mel(cfg.num_filters);
+    for (std::size_t m = 0; m < cfg.num_filters; ++m) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < mag.size(); ++k) {
+        acc += bank[m][k] * mag[k] * mag[k];
+      }
+      log_mel[m] = std::log(acc + 1e-12);
+    }
+    mfcc.push_back(dct2(log_mel, cfg.num_coeffs));
+  }
+  return mfcc;
+}
+
+}  // namespace vibguard::dsp

@@ -1,0 +1,48 @@
+// Mel filterbanks and MFCC extraction.
+//
+// The paper's phoneme detector uses 40 mel filterbank channels and 14th-order
+// cepstral coefficients computed on 25 ms frames with a 10 ms hop, restricted
+// to 0–900 Hz so detection still works on barrier-attenuated sound
+// (Sec. V-B). Those values are the defaults of MfccConfig.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/signal.hpp"
+
+namespace vibguard::dsp {
+
+/// Hz -> mel (HTK formula).
+double hz_to_mel(double hz);
+
+/// mel -> Hz (HTK formula).
+double mel_to_hz(double mel);
+
+/// Triangular mel filterbank: `num_filters` rows over `num_bins` one-sided
+/// FFT bins for an `fft_size`-point transform at `sample_rate`, spanning
+/// [low_hz, high_hz].
+std::vector<std::vector<double>> mel_filterbank(std::size_t num_filters,
+                                                std::size_t fft_size,
+                                                double sample_rate,
+                                                double low_hz, double high_hz);
+
+/// DCT-II of `x`, keeping the first `num_coeffs` outputs (orthonormal
+/// scaling).
+std::vector<double> dct2(std::span<const double> x, std::size_t num_coeffs);
+
+struct MfccConfig {
+  double frame_seconds = 0.025;  ///< 25 ms analysis frames
+  double hop_seconds = 0.010;    ///< 10 ms frame shift
+  std::size_t num_filters = 40;  ///< mel filterbank channels
+  std::size_t num_coeffs = 14;   ///< cepstral coefficients per frame
+  double low_hz = 0.0;           ///< filterbank lower edge
+  double high_hz = 900.0;        ///< filterbank upper edge (barrier-robust)
+};
+
+/// Frame-by-frame MFCC matrix (frames × num_coeffs).
+std::vector<std::vector<double>> compute_mfcc(const Signal& signal,
+                                              const MfccConfig& cfg = {});
+
+}  // namespace vibguard::dsp

@@ -1,0 +1,58 @@
+#include "dsp/resample.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dsp/filter.hpp"
+
+namespace vibguard::dsp {
+namespace {
+
+Signal interpolate_at_rate(const Signal& in, double target_rate) {
+  const double ratio = in.sample_rate() / target_rate;
+  const auto out_len = static_cast<std::size_t>(
+      std::floor(static_cast<double>(in.size()) / ratio));
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double pos = static_cast<double>(i) * ratio;
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = lo + 1 < in.size() ? lo + 1 : lo;
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = in[lo] * (1.0 - frac) + in[hi] * frac;
+  }
+  return Signal(std::move(out), target_rate);
+}
+
+}  // namespace
+
+Signal resample(const Signal& in, double target_rate) {
+  VIBGUARD_REQUIRE(target_rate > 0.0, "target rate must be positive");
+  if (in.empty() || target_rate == in.sample_rate()) {
+    return Signal(std::vector<double>(in.begin(), in.end()),
+                  in.empty() ? target_rate : in.sample_rate());
+  }
+  if (target_rate < in.sample_rate()) {
+    // Anti-alias below the new Nyquist before decimating.
+    const double cutoff = 0.45 * target_rate;
+    const auto taps = design_fir_lowpass(cutoff, in.sample_rate(), 101);
+    Signal filtered(fir_filter(in.samples(), taps), in.sample_rate());
+    return interpolate_at_rate(filtered, target_rate);
+  }
+  return interpolate_at_rate(in, target_rate);
+}
+
+Signal decimate_alias(const Signal& in, double target_rate) {
+  VIBGUARD_REQUIRE(target_rate > 0.0, "target rate must be positive");
+  VIBGUARD_REQUIRE(target_rate <= in.sample_rate(),
+                   "decimate_alias cannot upsample");
+  return interpolate_at_rate(in, target_rate);
+}
+
+Signal sample_linear(const Signal& in, double target_rate) {
+  VIBGUARD_REQUIRE(target_rate > 0.0, "target rate must be positive");
+  return interpolate_at_rate(in, target_rate);
+}
+
+}  // namespace vibguard::dsp

@@ -1,0 +1,36 @@
+// Spectral summary statistics used by the attack study and the phoneme
+// selection criteria.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/signal.hpp"
+
+namespace vibguard::dsp {
+
+/// Signal energy (sum of squared magnitude-spectrum values) within
+/// [low_hz, high_hz].
+double band_energy(const Signal& signal, double low_hz, double high_hz);
+
+/// Fraction of total spectral energy within [low_hz, high_hz]; 0 for a
+/// silent signal.
+double band_energy_fraction(const Signal& signal, double low_hz,
+                            double high_hz);
+
+/// Magnitude-weighted mean frequency; 0 for a silent signal.
+double spectral_centroid(const Signal& signal);
+
+/// Element-wise mean of several equal-length magnitude spectra.
+std::vector<double> average_spectra(
+    std::span<const std::vector<double>> spectra);
+
+/// Magnitude spectrum interpolated onto `num_points` uniformly spaced
+/// frequencies in [0, max_hz] — used to average spectra of signals with
+/// different lengths (the paper's Figs. 3/4/6 average 100 segments).
+std::vector<double> magnitude_spectrum_resampled(const Signal& signal,
+                                                 double max_hz,
+                                                 std::size_t num_points);
+
+}  // namespace vibguard::dsp

@@ -1,0 +1,128 @@
+#include "dsp/stft.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/fft.hpp"
+
+namespace vibguard::dsp {
+
+Spectrogram::Spectrogram(std::size_t frames, std::size_t bins, double bin_hz,
+                         double hop_seconds)
+    : frames_(frames),
+      bins_(bins),
+      bin_hz_(bin_hz),
+      hop_seconds_(hop_seconds),
+      data_(frames * bins, 0.0) {}
+
+double& Spectrogram::at(std::size_t frame, std::size_t bin) {
+  VIBGUARD_REQUIRE(frame < frames_ && bin < bins_,
+                   "spectrogram index out of range");
+  return data_[frame * bins_ + bin];
+}
+
+double Spectrogram::at(std::size_t frame, std::size_t bin) const {
+  VIBGUARD_REQUIRE(frame < frames_ && bin < bins_,
+                   "spectrogram index out of range");
+  return data_[frame * bins_ + bin];
+}
+
+double Spectrogram::max_value() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, v);
+  return best;
+}
+
+void Spectrogram::normalize_by_max() {
+  const double m = max_value();
+  if (m <= 0.0) return;
+  for (double& v : data_) v /= m;
+}
+
+Spectrogram Spectrogram::crop_low_frequencies(double cutoff_hz) const {
+  // Count bins at or below the cutoff, starting from bin0.
+  std::size_t drop = 0;
+  while (drop < bins_ &&
+         bin0_hz_ + static_cast<double>(drop) * bin_hz_ <= cutoff_hz) {
+    ++drop;
+  }
+  Spectrogram out(frames_, bins_ - drop, bin_hz_, hop_seconds_);
+  out.bin0_hz_ = bin0_hz_ + static_cast<double>(drop) * bin_hz_;
+  for (std::size_t f = 0; f < frames_; ++f) {
+    for (std::size_t b = drop; b < bins_; ++b) {
+      out.data_[f * out.bins_ + (b - drop)] = data_[f * bins_ + b];
+    }
+  }
+  return out;
+}
+
+Spectrogram Spectrogram::resized_frames(std::size_t frames) const {
+  Spectrogram out(frames, bins_, bin_hz_, hop_seconds_);
+  out.bin0_hz_ = bin0_hz_;
+  const std::size_t copy = std::min(frames, frames_);
+  std::copy_n(data_.begin(), copy * bins_, out.data_.begin());
+  return out;
+}
+
+std::vector<double> Spectrogram::mean_over_time() const {
+  std::vector<double> avg(bins_, 0.0);
+  if (frames_ == 0) return avg;
+  for (std::size_t f = 0; f < frames_; ++f) {
+    for (std::size_t b = 0; b < bins_; ++b) {
+      avg[b] += data_[f * bins_ + b];
+    }
+  }
+  for (double& v : avg) v /= static_cast<double>(frames_);
+  return avg;
+}
+
+Spectrogram stft_power(const Signal& signal, std::size_t window_size,
+                       std::size_t hop, WindowType window) {
+  VIBGUARD_REQUIRE(window_size > 0, "window size must be positive");
+  VIBGUARD_REQUIRE(hop > 0, "hop must be positive");
+  Signal padded;
+  const Signal* input = &signal;
+  if (!signal.empty() && signal.size() < window_size) {
+    // Guarantee at least one frame for short inputs (e.g. brief commands at
+    // the 200 Hz accelerometer rate).
+    padded = signal;
+    padded.append(Signal::zeros(window_size - signal.size(),
+                                signal.sample_rate()));
+    input = &padded;
+  }
+  const std::size_t n = input->size();
+  const std::size_t frames =
+      n >= window_size ? 1 + (n - window_size) / hop : 0;
+  const std::size_t bins = window_size / 2 + 1;
+  const double bin_hz =
+      input->sample_rate() / static_cast<double>(window_size);
+  Spectrogram out(frames, bins, bin_hz,
+                  static_cast<double>(hop) / input->sample_rate());
+
+  const auto win = make_window(window, window_size);
+  std::vector<double> frame(window_size);
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t start = f * hop;
+    for (std::size_t i = 0; i < window_size; ++i) {
+      frame[i] = (*input)[start + i] * win[i];
+    }
+    const auto mag = magnitude_spectrum(frame);
+    for (std::size_t b = 0; b < bins; ++b) {
+      out.at(f, b) = mag[b] * mag[b];
+    }
+  }
+  return out;
+}
+
+double correlation_2d(const Spectrogram& a, const Spectrogram& b) {
+  VIBGUARD_REQUIRE(a.bins() == b.bins(),
+                   "2-D correlation requires matching bin counts");
+  const std::size_t frames = std::min(a.frames(), b.frames());
+  if (frames == 0 || a.bins() == 0) return 0.0;
+  const std::size_t n = frames * a.bins();
+  return pearson(a.values().subspan(0, n), b.values().subspan(0, n));
+}
+
+}  // namespace vibguard::dsp

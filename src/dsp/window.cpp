@@ -1,0 +1,51 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace vibguard::dsp {
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  VIBGUARD_REQUIRE(n > 0, "window length must be positive");
+  std::vector<double> w(n, 1.0);
+  const double denom = static_cast<double>(n);
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  switch (type) {
+    case WindowType::kRectangular:
+      break;
+    case WindowType::kHann:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * static_cast<double>(i) / denom);
+      }
+      break;
+    case WindowType::kHamming:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] =
+            0.54 - 0.46 * std::cos(kTwoPi * static_cast<double>(i) / denom);
+      }
+      break;
+    case WindowType::kBlackman:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = kTwoPi * static_cast<double>(i) / denom;
+        w[i] = 0.42 - 0.5 * std::cos(x) + 0.08 * std::cos(2.0 * x);
+      }
+      break;
+  }
+  return w;
+}
+
+void apply_window(std::span<double> frame, std::span<const double> window) {
+  VIBGUARD_REQUIRE(frame.size() == window.size(),
+                   "frame and window lengths must match");
+  for (std::size_t i = 0; i < frame.size(); ++i) frame[i] *= window[i];
+}
+
+double window_sum(std::span<const double> window) {
+  double acc = 0.0;
+  for (double w : window) acc += w;
+  return acc;
+}
+
+}  // namespace vibguard::dsp

@@ -1,0 +1,27 @@
+// Analysis window functions for short-time spectral processing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vibguard::dsp {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Returns the n-point window of the given type (periodic form, suitable for
+/// STFT analysis).
+std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Multiplies `frame` element-wise by `window` (equal lengths required).
+void apply_window(std::span<double> frame, std::span<const double> window);
+
+/// Sum of window samples (used for amplitude normalization).
+double window_sum(std::span<const double> window);
+
+}  // namespace vibguard::dsp

@@ -1,0 +1,73 @@
+#include "eval/confidence.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "eval/metrics.hpp"
+
+namespace vibguard::eval {
+namespace {
+
+std::vector<double> resample(std::span<const double> xs, Rng& rng) {
+  std::vector<double> out(xs.size());
+  for (double& v : out) {
+    v = xs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(xs.size()) - 1))];
+  }
+  return out;
+}
+
+template <typename Metric>
+ConfidenceInterval bootstrap_metric(std::span<const double> attack,
+                                    std::span<const double> legit,
+                                    const BootstrapConfig& config,
+                                    Metric metric) {
+  VIBGUARD_REQUIRE(!attack.empty() && !legit.empty(),
+                   "both score populations must be non-empty");
+  VIBGUARD_REQUIRE(config.resamples >= 10, "need at least 10 resamples");
+  VIBGUARD_REQUIRE(config.confidence > 0.0 && config.confidence < 1.0,
+                   "confidence must be in (0, 1)");
+
+  ConfidenceInterval ci;
+  ci.point = metric(attack, legit);
+
+  Rng rng(config.seed);
+  std::vector<double> stats;
+  stats.reserve(config.resamples);
+  for (std::size_t r = 0; r < config.resamples; ++r) {
+    const auto a = resample(attack, rng);
+    const auto l = resample(legit, rng);
+    stats.push_back(metric(a, l));
+  }
+  const double alpha = 1.0 - config.confidence;
+  ci.lower = quantile(stats, alpha / 2.0);
+  ci.upper = quantile(stats, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+}  // namespace
+
+ConfidenceInterval bootstrap_auc(std::span<const double> attack_scores,
+                                 std::span<const double> legit_scores,
+                                 const BootstrapConfig& config) {
+  return bootstrap_metric(
+      attack_scores, legit_scores, config,
+      [](std::span<const double> a, std::span<const double> l) {
+        return compute_roc(a, l).auc;
+      });
+}
+
+ConfidenceInterval bootstrap_eer(std::span<const double> attack_scores,
+                                 std::span<const double> legit_scores,
+                                 const BootstrapConfig& config) {
+  return bootstrap_metric(
+      attack_scores, legit_scores, config,
+      [](std::span<const double> a, std::span<const double> l) {
+        return compute_roc(a, l).eer;
+      });
+}
+
+}  // namespace vibguard::eval

@@ -1,0 +1,36 @@
+// Bootstrap confidence intervals for detection metrics.
+//
+// The paper reports point estimates; for a simulation-based reproduction
+// the sampling uncertainty matters, so AUC/EER are accompanied by
+// percentile-bootstrap intervals over resampled score populations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vibguard::eval {
+
+/// A two-sided percentile interval around a point estimate.
+struct ConfidenceInterval {
+  double point = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+struct BootstrapConfig {
+  std::size_t resamples = 500;
+  double confidence = 0.95;  ///< e.g. 0.95 -> [2.5%, 97.5%] percentiles
+  std::uint64_t seed = 0x9e3779b9ULL;
+};
+
+/// Bootstrap CI for the AUC of attack-vs-legit score populations.
+ConfidenceInterval bootstrap_auc(std::span<const double> attack_scores,
+                                 std::span<const double> legit_scores,
+                                 const BootstrapConfig& config = {});
+
+/// Bootstrap CI for the EER.
+ConfidenceInterval bootstrap_eer(std::span<const double> attack_scores,
+                                 std::span<const double> legit_scores,
+                                 const BootstrapConfig& config = {});
+
+}  // namespace vibguard::eval

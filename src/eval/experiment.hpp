@@ -1,0 +1,70 @@
+// Experiment runner: generates populations of legitimate and attack trials
+// under a scenario, scores them with the defense pipeline in one or more
+// modes, and reduces scores to ROC/AUC/EER (the machinery behind the
+// paper's Figs. 9–11).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "core/pipeline.hpp"
+#include "eval/metrics.hpp"
+#include "eval/scenario.hpp"
+
+namespace vibguard::eval {
+
+struct ExperimentConfig {
+  ScenarioConfig scenario;
+  std::size_t num_speakers = 6;     ///< synthetic participant panel
+  std::size_t legit_trials = 40;    ///< legitimate commands scored
+  std::size_t attack_trials = 40;   ///< attack commands scored
+  /// Barrier-effect-sensitive phonemes used by the full system's oracle
+  /// segmenter (empty = use core's reference set).
+  std::set<std::string> sensitive;
+  core::DefenseConfig defense;      ///< base config; mode is overridden
+  /// When non-null, kFull mode uses this segmenter for every trial instead
+  /// of a per-trial ground-truth OracleSegmenter — e.g. a trained
+  /// core::BrnnSegmenter for fully learned end-to-end evaluation. Borrowed;
+  /// must outlive the runner.
+  const core::Segmenter* segmenter = nullptr;
+};
+
+/// Attack and legitimate score populations for one defense mode.
+struct ScorePopulations {
+  std::vector<double> legit;
+  std::vector<double> attack;
+
+  RocCurve roc() const;
+};
+
+/// Runs trials for one attack type and scores each trial under every
+/// requested mode (trial recordings are shared across modes, as in the
+/// paper's per-attack comparisons).
+class ExperimentRunner {
+ public:
+  ExperimentRunner(ExperimentConfig config, std::uint64_t seed);
+
+  std::map<core::DefenseMode, ScorePopulations> run(
+      attacks::AttackType attack,
+      const std::vector<core::DefenseMode>& modes);
+
+  /// Convenience: EER of the given mode against one attack type.
+  double eer(attacks::AttackType attack, core::DefenseMode mode);
+
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  ExperimentConfig config_;
+  std::uint64_t seed_;
+  std::vector<speech::SpeakerProfile> speakers_;
+};
+
+/// The sensitive-phoneme set produced by the reference selection run
+/// (PhonemeSelector with default config against a glass window); cached
+/// here so experiments need not rerun the offline study.
+const std::set<std::string>& reference_sensitive_set();
+
+}  // namespace vibguard::eval

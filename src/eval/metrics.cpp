@@ -1,0 +1,84 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vibguard::eval {
+namespace {
+
+double fraction_below(std::span<const double> xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x < threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+double true_detection_rate(std::span<const double> attack_scores,
+                           double threshold) {
+  return fraction_below(attack_scores, threshold);
+}
+
+double false_detection_rate(std::span<const double> legit_scores,
+                            double threshold) {
+  return fraction_below(legit_scores, threshold);
+}
+
+RocCurve compute_roc(std::span<const double> attack_scores,
+                     std::span<const double> legit_scores) {
+  VIBGUARD_REQUIRE(!attack_scores.empty() && !legit_scores.empty(),
+                   "both score populations must be non-empty");
+
+  // Candidate thresholds: all distinct scores plus sentinels beyond range.
+  std::vector<double> thresholds(attack_scores.begin(), attack_scores.end());
+  thresholds.insert(thresholds.end(), legit_scores.begin(),
+                    legit_scores.end());
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+  thresholds.insert(thresholds.begin(), thresholds.front() - 1e-9);
+  thresholds.push_back(thresholds.back() + 1e-9);
+
+  RocCurve curve;
+  curve.points.reserve(thresholds.size());
+  for (double t : thresholds) {
+    curve.points.push_back({t, false_detection_rate(legit_scores, t),
+                            true_detection_rate(attack_scores, t)});
+  }
+
+  // AUC by trapezoidal integration over FDR (points are monotone in both
+  // coordinates as the threshold increases).
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    const auto& a = curve.points[i - 1];
+    const auto& b = curve.points[i];
+    auc += (b.fdr - a.fdr) * 0.5 * (a.tdr + b.tdr);
+  }
+  curve.auc = auc;
+
+  // EER: the crossing of FDR(t) and miss rate 1 - TDR(t). FDR rises and the
+  // miss rate falls with t, so scan for the sign change and interpolate.
+  double best_gap = 2.0;
+  double eer = 1.0;
+  double eer_t = curve.points.front().threshold;
+  for (std::size_t i = 0; i < curve.points.size(); ++i) {
+    const double fdr = curve.points[i].fdr;
+    const double miss = 1.0 - curve.points[i].tdr;
+    const double gap = std::abs(fdr - miss);
+    if (gap < best_gap) {
+      best_gap = gap;
+      eer = 0.5 * (fdr + miss);
+      eer_t = curve.points[i].threshold;
+    }
+  }
+  curve.eer = eer;
+  curve.eer_threshold = eer_t;
+  return curve;
+}
+
+}  // namespace vibguard::eval

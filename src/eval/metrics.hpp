@@ -1,0 +1,39 @@
+// Detection metrics (paper Sec. VII-A): TDR, FDR, ROC, AUC, EER.
+//
+// Convention: lower scores indicate attacks. At threshold θ an attack is
+// detected when its score < θ. TDR is the fraction of attack scores below θ;
+// FDR is the fraction of legitimate scores below θ (false alarms).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace vibguard::eval {
+
+struct RocPoint {
+  double threshold;
+  double fdr;  ///< false detection rate at this threshold
+  double tdr;  ///< true detection rate at this threshold
+};
+
+struct RocCurve {
+  std::vector<RocPoint> points;  ///< sorted by increasing threshold
+  double auc = 0.0;              ///< area under TDR-vs-FDR
+  double eer = 0.0;              ///< where FDR == 1 - TDR (miss rate)
+  double eer_threshold = 0.0;    ///< operating threshold at the EER
+};
+
+/// TDR at a given threshold.
+double true_detection_rate(std::span<const double> attack_scores,
+                           double threshold);
+
+/// FDR at a given threshold.
+double false_detection_rate(std::span<const double> legit_scores,
+                            double threshold);
+
+/// Computes the full ROC, AUC and EER from the two score populations.
+/// Both populations must be non-empty.
+RocCurve compute_roc(std::span<const double> attack_scores,
+                     std::span<const double> legit_scores);
+
+}  // namespace vibguard::eval

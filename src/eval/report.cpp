@@ -1,0 +1,49 @@
+#include "eval/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vibguard::eval {
+
+void write_roc_csv(const RocCurve& roc, const std::string& path) {
+  std::ofstream out(path);
+  VIBGUARD_REQUIRE(out.good(), "cannot open for writing: " + path);
+  out << "threshold,fdr,tdr\n" << std::setprecision(10);
+  for (const RocPoint& p : roc.points) {
+    out << p.threshold << "," << p.fdr << "," << p.tdr << "\n";
+  }
+  VIBGUARD_REQUIRE(out.good(), "write failed: " + path);
+}
+
+void write_scores_csv(const ScorePopulations& pops,
+                      const std::string& path) {
+  std::ofstream out(path);
+  VIBGUARD_REQUIRE(out.good(), "cannot open for writing: " + path);
+  out << "label,score\n" << std::setprecision(10);
+  for (double s : pops.legit) out << "legit," << s << "\n";
+  for (double s : pops.attack) out << "attack," << s << "\n";
+  VIBGUARD_REQUIRE(out.good(), "write failed: " + path);
+}
+
+std::string roc_summary_markdown(
+    const std::map<core::DefenseMode, RocCurve>& rocs) {
+  std::ostringstream out;
+  out << "| method | AUC | EER |\n|---|---|---|\n" << std::fixed
+      << std::setprecision(3);
+  for (const auto& [mode, roc] : rocs) {
+    out << "| " << core::mode_name(mode) << " | " << roc.auc << " | "
+        << roc.eer << " |\n";
+  }
+  return out.str();
+}
+
+std::string csv_output_dir() {
+  const char* env = std::getenv("VIBGUARD_CSV_DIR");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+}  // namespace vibguard::eval

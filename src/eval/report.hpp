@@ -1,0 +1,31 @@
+// Result export: CSV and Markdown serialization of score populations and
+// ROC curves, so experiment outputs can be consumed by external plotting
+// tools (the paper's figures are line plots of exactly these series).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+
+namespace vibguard::eval {
+
+/// Writes a ROC curve as CSV: "threshold,fdr,tdr" rows.
+void write_roc_csv(const RocCurve& roc, const std::string& path);
+
+/// Writes raw score populations as CSV: "label,score" rows with labels
+/// "legit" and "attack".
+void write_scores_csv(const ScorePopulations& pops, const std::string& path);
+
+/// Renders per-mode ROC summaries as a Markdown table
+/// (| method | AUC | EER |).
+std::string roc_summary_markdown(
+    const std::map<core::DefenseMode, RocCurve>& rocs);
+
+/// Directory for benchmark CSV dumps, from $VIBGUARD_CSV_DIR; empty when
+/// unset (dumping disabled).
+std::string csv_output_dir();
+
+}  // namespace vibguard::eval

@@ -1,0 +1,78 @@
+#include "eval/scenario.hpp"
+
+#include "common/db.hpp"
+#include "common/error.hpp"
+
+namespace vibguard::eval {
+
+ScenarioSimulator::ScenarioSimulator(ScenarioConfig config,
+                                     std::uint64_t seed)
+    : config_(std::move(config)),
+      rng_(seed),
+      barrier_(config_.room.barrier_material, config_.barrier_thickness),
+      room_(config_.room, rng_.fork(0xacc0)),
+      wearable_(config_.wearable),
+      va_mic_(config_.va_microphone),
+      sync_(config_.sync) {}
+
+TrialRecordings ScenarioSimulator::record_pair(const Signal& source,
+                                               double to_va_m,
+                                               double to_wearable_m) {
+  TrialRecordings t;
+  const Signal at_va = room_.render(source, to_va_m);
+  const Signal at_wear = room_.render(source, to_wearable_m);
+  t.va = va_mic_.record(at_va, rng_);
+  Signal wear_rec = wearable_.record(at_wear, rng_);
+  // Network notification delay: the wearable misses the first part.
+  t.true_delay_s = sync_.sample_delay(rng_);
+  t.wearable = sync_.delayed_view(wear_rec, t.true_delay_s);
+  return t;
+}
+
+TrialRecordings ScenarioSimulator::legitimate_trial(
+    const speech::VoiceCommand& command,
+    const speech::SpeakerProfile& user) {
+  speech::UtteranceBuilder builder;
+  auto utt = builder.build(command, user, rng_);
+  const double spl = rng_.uniform(config_.user_spl_min, config_.user_spl_max);
+  Signal source = utt.audio.scaled_to_rms(spl_to_rms(spl));
+
+  TrialRecordings t =
+      record_pair(source, config_.user_to_va_m, config_.user_to_wearable_m);
+  t.alignment = std::move(utt.alignment);
+  t.is_attack = false;
+  t.command = command.text;
+  return t;
+}
+
+TrialRecordings ScenarioSimulator::attack_trial(
+    attacks::AttackType type, const speech::VoiceCommand& command,
+    const speech::SpeakerProfile& victim,
+    const speech::SpeakerProfile& adversary) {
+  auto attack = attack_gen_.generate(type, command, victim, adversary, rng_);
+  Signal emitted = attack.audio.scaled_to_rms(spl_to_rms(config_.attack_spl));
+
+  // Propagation: emitter -> barrier (short hop) -> through barrier ->
+  // in-room path to each device. The barrier filter commutes with the
+  // (linear) spreading losses, so apply it once and use total distances.
+  Signal through = barrier_.transmit(emitted);
+  const double d0 = config_.attacker_to_barrier_m;
+  TrialRecordings t = record_pair(through, d0 + config_.barrier_to_va_m,
+                                  d0 + config_.barrier_to_wearable_m);
+  t.alignment = std::move(attack.alignment);
+  t.is_attack = true;
+  t.attack_type = type;
+  t.command = attack.command;
+  return t;
+}
+
+Signal ScenarioSimulator::attack_sound_at_va(const Signal& attack_audio,
+                                             double attack_spl) {
+  Signal emitted = attack_audio.scaled_to_rms(spl_to_rms(attack_spl));
+  Signal through = barrier_.transmit(emitted);
+  const Signal at_va = room_.render(
+      through, config_.attacker_to_barrier_m + config_.barrier_to_va_m);
+  return va_mic_.record(at_va, rng_);
+}
+
+}  // namespace vibguard::eval

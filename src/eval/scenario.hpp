@@ -1,0 +1,92 @@
+// Physical scenario simulation: renders legitimate-user and thru-barrier
+// attack trials into paired (VA, wearable) recordings, replacing the paper's
+// four instrumented rooms (Sec. VII-A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "acoustics/barrier.hpp"
+#include "acoustics/room.hpp"
+#include "attacks/attack.hpp"
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+#include "device/sync.hpp"
+#include "device/wearable.hpp"
+#include "sensors/microphone.hpp"
+#include "speech/command.hpp"
+#include "speech/speaker.hpp"
+
+namespace vibguard::eval {
+
+struct ScenarioConfig {
+  acoustics::RoomConfig room = acoustics::room_a();
+  double barrier_thickness = 1.0;
+
+  // Geometry (paper Fig. 8 and Sec. VII-D defaults).
+  double attacker_to_barrier_m = 0.1;  ///< loudspeaker 10 cm from barrier
+  double barrier_to_va_m = 2.0;        ///< VA 2 m behind the barrier
+  double barrier_to_wearable_m = 2.0;  ///< wearable 2 m behind the barrier
+  double user_to_va_m = 2.0;           ///< user's speaking distance to VA
+  double user_to_wearable_m = 0.4;     ///< mouth-to-wrist distance
+
+  // Levels.
+  double user_spl_min = 65.0;  ///< users speak at 65–75 dB
+  double user_spl_max = 75.0;
+  double attack_spl = 75.0;
+
+  device::WearableConfig wearable = device::fossil_gen5();
+  sensors::MicrophoneConfig va_microphone;
+  device::SyncConfig sync;
+};
+
+/// The paired recordings of one trial plus its ground truth.
+struct TrialRecordings {
+  Signal va;        ///< VA device recording (16 kHz)
+  Signal wearable;  ///< wearable recording, network-delayed (16 kHz)
+  std::vector<speech::PhonemeSpan> alignment;  ///< source-timeline phonemes
+  bool is_attack = false;
+  attacks::AttackType attack_type = attacks::AttackType::kRandom;
+  std::string command;
+  double true_delay_s = 0.0;  ///< injected network delay
+};
+
+/// Simulates trials for one room/geometry configuration.
+class ScenarioSimulator {
+ public:
+  ScenarioSimulator(ScenarioConfig config, std::uint64_t seed);
+
+  const ScenarioConfig& config() const { return config_; }
+
+  /// Legitimate user speaks `command` inside the room.
+  TrialRecordings legitimate_trial(const speech::VoiceCommand& command,
+                                   const speech::SpeakerProfile& user);
+
+  /// Adversary launches `type` against `victim` through the room's barrier.
+  TrialRecordings attack_trial(attacks::AttackType type,
+                               const speech::VoiceCommand& command,
+                               const speech::SpeakerProfile& victim,
+                               const speech::SpeakerProfile& adversary);
+
+  /// The sound arriving at the VA device for an arbitrary attack waveform
+  /// (used by the Table I attack study).
+  Signal attack_sound_at_va(const Signal& attack_audio, double attack_spl);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  /// Renders `source` at both device positions and packages recordings.
+  TrialRecordings record_pair(const Signal& source, double to_va_m,
+                              double to_wearable_m);
+
+  ScenarioConfig config_;
+  Rng rng_;
+  acoustics::Barrier barrier_;
+  acoustics::Room room_;
+  device::Wearable wearable_;
+  sensors::Microphone va_mic_;
+  device::SyncChannel sync_;
+  attacks::AttackGenerator attack_gen_;
+};
+
+}  // namespace vibguard::eval

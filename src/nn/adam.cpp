@@ -1,0 +1,43 @@
+#include "nn/adam.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vibguard::nn {
+
+Adam::Adam(AdamConfig config) : config_(config) {
+  VIBGUARD_REQUIRE(config_.learning_rate > 0.0,
+                   "learning rate must be positive");
+}
+
+void Adam::attach(ParamBlock& block) {
+  slots_.push_back({&block, std::vector<double>(block.size(), 0.0),
+                    std::vector<double>(block.size(), 0.0)});
+}
+
+void Adam::step() {
+  ++t_;
+  const double b1t = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double b2t = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (Slot& s : slots_) {
+    auto& val = s.block->value;
+    auto& grad = s.block->grad;
+    for (std::size_t i = 0; i < val.size(); ++i) {
+      double g = grad[i];
+      if (config_.grad_clip > 0.0) {
+        g = std::clamp(g, -config_.grad_clip, config_.grad_clip);
+      }
+      s.m[i] = config_.beta1 * s.m[i] + (1.0 - config_.beta1) * g;
+      s.v[i] = config_.beta2 * s.v[i] + (1.0 - config_.beta2) * g * g;
+      const double mhat = s.m[i] / b1t;
+      const double vhat = s.v[i] / b2t;
+      val[i] -=
+          config_.learning_rate * mhat / (std::sqrt(vhat) + config_.epsilon);
+    }
+    s.block->zero_grad();
+  }
+}
+
+}  // namespace vibguard::nn

@@ -1,0 +1,46 @@
+// ADAM optimizer (Kingma & Ba, 2015) over registered parameter blocks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/params.hpp"
+
+namespace vibguard::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double grad_clip = 5.0;  ///< per-element gradient clipping (0 = off)
+};
+
+/// First/second-moment adaptive optimizer. Register every ParamBlock once;
+/// each step() applies accumulated gradients and clears them.
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {});
+
+  /// Registers a block; the block must outlive the optimizer.
+  void attach(ParamBlock& block);
+
+  /// Applies one update using each block's accumulated gradient, then
+  /// zeroes the gradients.
+  void step();
+
+  std::size_t step_count() const { return t_; }
+
+ private:
+  struct Slot {
+    ParamBlock* block;
+    std::vector<double> m;
+    std::vector<double> v;
+  };
+
+  AdamConfig config_;
+  std::vector<Slot> slots_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace vibguard::nn

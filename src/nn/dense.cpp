@@ -1,0 +1,80 @@
+#include "nn/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vibguard::nn {
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng)
+    : in_dim_(in_dim), out_dim_(out_dim), w_(in_dim * out_dim), b_(out_dim) {
+  VIBGUARD_REQUIRE(in_dim > 0 && out_dim > 0,
+                   "layer dimensions must be positive");
+  // Xavier/Glorot uniform initialization.
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(in_dim + out_dim));
+  for (double& w : w_.value) w = rng.uniform(-limit, limit);
+}
+
+std::vector<double> Dense::forward(std::span<const double> x) const {
+  VIBGUARD_REQUIRE(x.size() == in_dim_, "input dimension mismatch");
+  std::vector<double> y(out_dim_);
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    double acc = b_.value[o];
+    const double* row = &w_.value[o * in_dim_];
+    for (std::size_t i = 0; i < in_dim_; ++i) acc += row[i] * x[i];
+    y[o] = acc;
+  }
+  return y;
+}
+
+std::vector<double> Dense::backward(std::span<const double> x,
+                                    std::span<const double> dy) {
+  VIBGUARD_REQUIRE(x.size() == in_dim_ && dy.size() == out_dim_,
+                   "backward dimension mismatch");
+  std::vector<double> dx(in_dim_, 0.0);
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    const double g = dy[o];
+    b_.grad[o] += g;
+    double* wrow = &w_.grad[o * in_dim_];
+    const double* vrow = &w_.value[o * in_dim_];
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      wrow[i] += g * x[i];
+      dx[i] += g * vrow[i];
+    }
+  }
+  return dx;
+}
+
+void Dense::zero_grad() {
+  w_.zero_grad();
+  b_.zero_grad();
+}
+
+std::vector<double> softmax(std::span<const double> logits) {
+  std::vector<double> out(logits.size());
+  const double m = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - m);
+    sum += out[i];
+  }
+  for (double& v : out) v /= sum;
+  return out;
+}
+
+double cross_entropy(std::span<const double> probs, std::size_t label) {
+  VIBGUARD_REQUIRE(label < probs.size(), "label out of range");
+  return -std::log(std::max(probs[label], 1e-12));
+}
+
+std::vector<double> cross_entropy_grad(std::span<const double> probs,
+                                       std::size_t label) {
+  VIBGUARD_REQUIRE(label < probs.size(), "label out of range");
+  std::vector<double> g(probs.begin(), probs.end());
+  g[label] -= 1.0;
+  return g;
+}
+
+}  // namespace vibguard::nn

@@ -1,0 +1,53 @@
+// Fully connected layer with explicit forward/backward passes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/params.hpp"
+
+namespace vibguard::nn {
+
+/// y = W x + b with W in R^{out×in} (row-major), trained by backprop.
+class Dense {
+ public:
+  Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng);
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+
+  /// Forward pass for one vector.
+  std::vector<double> forward(std::span<const double> x) const;
+
+  /// Backward pass: given x (the forward input) and dL/dy, accumulates
+  /// weight gradients and returns dL/dx.
+  std::vector<double> backward(std::span<const double> x,
+                               std::span<const double> dy);
+
+  ParamBlock& weights() { return w_; }
+  ParamBlock& bias() { return b_; }
+  const ParamBlock& weights() const { return w_; }
+  const ParamBlock& bias() const { return b_; }
+
+  void zero_grad();
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  ParamBlock w_;
+  ParamBlock b_;
+};
+
+/// Numerically stable softmax.
+std::vector<double> softmax(std::span<const double> logits);
+
+/// Cross-entropy loss for a one-hot `label` given `probs` = softmax output.
+double cross_entropy(std::span<const double> probs, std::size_t label);
+
+/// Gradient of cross-entropy w.r.t. logits: probs - onehot(label).
+std::vector<double> cross_entropy_grad(std::span<const double> probs,
+                                       std::size_t label);
+
+}  // namespace vibguard::nn

@@ -1,0 +1,149 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vibguard::nn {
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Lstm::Lstm(std::size_t in_dim, std::size_t hidden_dim, Rng& rng)
+    : in_dim_(in_dim),
+      hidden_dim_(hidden_dim),
+      wx_(4 * hidden_dim * in_dim),
+      wh_(4 * hidden_dim * hidden_dim),
+      b_(4 * hidden_dim) {
+  VIBGUARD_REQUIRE(in_dim > 0 && hidden_dim > 0,
+                   "LSTM dimensions must be positive");
+  const double lx = std::sqrt(6.0 / static_cast<double>(in_dim + hidden_dim));
+  const double lh = std::sqrt(3.0 / static_cast<double>(hidden_dim));
+  for (double& w : wx_.value) w = rng.uniform(-lx, lx);
+  for (double& w : wh_.value) w = rng.uniform(-lh, lh);
+  // Forget-gate bias = 1 (gates are ordered [i, f, g, o]).
+  for (std::size_t j = hidden_dim; j < 2 * hidden_dim; ++j) {
+    b_.value[j] = 1.0;
+  }
+}
+
+std::vector<std::vector<double>> Lstm::forward(
+    std::span<const std::vector<double>> sequence, Cache& cache) const {
+  const std::size_t T = sequence.size();
+  const std::size_t h = hidden_dim_;
+  cache.inputs.assign(sequence.begin(), sequence.end());
+  cache.gates.assign(T, std::vector<double>(4 * h, 0.0));
+  cache.cells.assign(T, std::vector<double>(h, 0.0));
+  cache.hidden.assign(T, std::vector<double>(h, 0.0));
+
+  std::vector<double> h_prev(h, 0.0);
+  std::vector<double> c_prev(h, 0.0);
+  std::vector<double> pre(4 * h);
+
+  for (std::size_t t = 0; t < T; ++t) {
+    const auto& x = sequence[t];
+    VIBGUARD_REQUIRE(x.size() == in_dim_, "sequence feature dim mismatch");
+    // pre = Wx x + Wh h_prev + b
+    for (std::size_t j = 0; j < 4 * h; ++j) {
+      double acc = b_.value[j];
+      const double* wxr = &wx_.value[j * in_dim_];
+      for (std::size_t i = 0; i < in_dim_; ++i) acc += wxr[i] * x[i];
+      const double* whr = &wh_.value[j * h];
+      for (std::size_t i = 0; i < h; ++i) acc += whr[i] * h_prev[i];
+      pre[j] = acc;
+    }
+    auto& g = cache.gates[t];
+    auto& c = cache.cells[t];
+    auto& hh = cache.hidden[t];
+    for (std::size_t j = 0; j < h; ++j) {
+      const double i_g = sigmoid(pre[j]);
+      const double f_g = sigmoid(pre[h + j]);
+      const double g_g = std::tanh(pre[2 * h + j]);
+      const double o_g = sigmoid(pre[3 * h + j]);
+      g[j] = i_g;
+      g[h + j] = f_g;
+      g[2 * h + j] = g_g;
+      g[3 * h + j] = o_g;
+      c[j] = f_g * c_prev[j] + i_g * g_g;
+      hh[j] = o_g * std::tanh(c[j]);
+    }
+    h_prev = hh;
+    c_prev = c;
+  }
+  return cache.hidden;
+}
+
+std::vector<std::vector<double>> Lstm::backward(
+    const Cache& cache, std::span<const std::vector<double>> dh_in) {
+  const std::size_t T = cache.inputs.size();
+  VIBGUARD_REQUIRE(dh_in.size() == T, "gradient sequence length mismatch");
+  const std::size_t h = hidden_dim_;
+
+  std::vector<std::vector<double>> dx(T, std::vector<double>(in_dim_, 0.0));
+  std::vector<double> dh_next(h, 0.0);  // dL/dh_t from step t+1
+  std::vector<double> dc_next(h, 0.0);  // dL/dc_t from step t+1
+  std::vector<double> dpre(4 * h);
+
+  for (std::size_t ti = T; ti-- > 0;) {
+    const auto& g = cache.gates[ti];
+    const auto& c = cache.cells[ti];
+    const auto& x = cache.inputs[ti];
+    const std::vector<double>* c_prev =
+        ti > 0 ? &cache.cells[ti - 1] : nullptr;
+    const std::vector<double>* h_prev =
+        ti > 0 ? &cache.hidden[ti - 1] : nullptr;
+
+    for (std::size_t j = 0; j < h; ++j) {
+      const double dh = dh_in[ti][j] + dh_next[j];
+      const double i_g = g[j];
+      const double f_g = g[h + j];
+      const double g_g = g[2 * h + j];
+      const double o_g = g[3 * h + j];
+      const double tc = std::tanh(c[j]);
+      const double dc = dh * o_g * (1.0 - tc * tc) + dc_next[j];
+      const double cp = c_prev ? (*c_prev)[j] : 0.0;
+
+      const double di = dc * g_g;
+      const double df = dc * cp;
+      const double dg = dc * i_g;
+      const double do_ = dh * tc;
+
+      dpre[j] = di * i_g * (1.0 - i_g);
+      dpre[h + j] = df * f_g * (1.0 - f_g);
+      dpre[2 * h + j] = dg * (1.0 - g_g * g_g);
+      dpre[3 * h + j] = do_ * o_g * (1.0 - o_g);
+
+      dc_next[j] = dc * f_g;
+    }
+
+    // Parameter gradients and upstream gradients.
+    std::fill(dh_next.begin(), dh_next.end(), 0.0);
+    for (std::size_t j = 0; j < 4 * h; ++j) {
+      const double dp = dpre[j];
+      b_.grad[j] += dp;
+      double* wxg = &wx_.grad[j * in_dim_];
+      const double* wxv = &wx_.value[j * in_dim_];
+      for (std::size_t i = 0; i < in_dim_; ++i) {
+        wxg[i] += dp * x[i];
+        dx[ti][i] += dp * wxv[i];
+      }
+      double* whg = &wh_.grad[j * h];
+      const double* whv = &wh_.value[j * h];
+      for (std::size_t i = 0; i < h; ++i) {
+        if (h_prev) whg[i] += dp * (*h_prev)[i];
+        dh_next[i] += dp * whv[i];
+      }
+    }
+  }
+  return dx;
+}
+
+void Lstm::zero_grad() {
+  wx_.zero_grad();
+  wh_.zero_grad();
+  b_.zero_grad();
+}
+
+}  // namespace vibguard::nn

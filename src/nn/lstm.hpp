@@ -1,0 +1,60 @@
+// LSTM layer with full backpropagation through time.
+//
+// Gate layout inside the stacked weight matrices is [i, f, g, o] (input,
+// forget, cell candidate, output). Forget-gate biases are initialized to 1
+// (the standard trick easing gradient flow early in training).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/params.hpp"
+
+namespace vibguard::nn {
+
+/// Unidirectional LSTM processing sequences of feature vectors.
+class Lstm {
+ public:
+  Lstm(std::size_t in_dim, std::size_t hidden_dim, Rng& rng);
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+
+  /// Per-sequence activation cache needed by backward().
+  struct Cache {
+    std::vector<std::vector<double>> inputs;  // T × in
+    std::vector<std::vector<double>> gates;   // T × 4h (post-activation)
+    std::vector<std::vector<double>> cells;   // T × h
+    std::vector<std::vector<double>> hidden;  // T × h
+  };
+
+  /// Runs the sequence (T × in_dim) from a zero initial state; returns the
+  /// hidden states (T × hidden_dim) and fills `cache` for backward().
+  std::vector<std::vector<double>> forward(
+      std::span<const std::vector<double>> sequence, Cache& cache) const;
+
+  /// BPTT: `dh` holds dL/dh_t for every step. Accumulates parameter
+  /// gradients and returns dL/dx_t for every step (T × in_dim).
+  std::vector<std::vector<double>> backward(const Cache& cache,
+                                            std::span<const std::vector<double>> dh);
+
+  ParamBlock& wx() { return wx_; }
+  ParamBlock& wh() { return wh_; }
+  ParamBlock& bias() { return b_; }
+  const ParamBlock& wx() const { return wx_; }
+  const ParamBlock& wh() const { return wh_; }
+  const ParamBlock& bias() const { return b_; }
+
+  void zero_grad();
+
+ private:
+  std::size_t in_dim_;
+  std::size_t hidden_dim_;
+  ParamBlock wx_;  // 4h × in (row-major)
+  ParamBlock wh_;  // 4h × h
+  ParamBlock b_;   // 4h
+};
+
+}  // namespace vibguard::nn

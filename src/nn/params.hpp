@@ -1,0 +1,20 @@
+// Trainable parameter block: a weight vector with its gradient accumulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vibguard::nn {
+
+/// A named flat block of trainable weights plus gradient storage.
+struct ParamBlock {
+  std::vector<double> value;
+  std::vector<double> grad;
+
+  explicit ParamBlock(std::size_t n = 0) : value(n, 0.0), grad(n, 0.0) {}
+
+  std::size_t size() const { return value.size(); }
+  void zero_grad() { std::fill(grad.begin(), grad.end(), 0.0); }
+};
+
+}  // namespace vibguard::nn

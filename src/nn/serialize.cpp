@@ -1,0 +1,66 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vibguard::nn {
+namespace {
+
+constexpr const char* kMagic = "vibguard-brnn-v1";
+
+}  // namespace
+
+void save_brnn(const Brnn& model, std::ostream& out) {
+  const BrnnConfig& cfg = model.config();
+  out << kMagic << "\n"
+      << cfg.in_dim << " " << cfg.hidden_dim << " " << cfg.num_classes
+      << "\n";
+  out << std::setprecision(17);
+  for (const ParamBlock* block : model.parameter_blocks()) {
+    out << block->size() << "\n";
+    for (std::size_t i = 0; i < block->size(); ++i) {
+      out << block->value[i] << (i + 1 == block->size() ? "\n" : " ");
+    }
+  }
+  VIBGUARD_REQUIRE(out.good(), "stream write failed while saving model");
+}
+
+void save_brnn(const Brnn& model, const std::string& path) {
+  std::ofstream file(path);
+  VIBGUARD_REQUIRE(file.good(), "cannot open for writing: " + path);
+  save_brnn(model, file);
+}
+
+Brnn load_brnn(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  VIBGUARD_REQUIRE(magic == kMagic,
+                   "not a vibguard BRNN model (bad magic: " + magic + ")");
+  BrnnConfig cfg;
+  in >> cfg.in_dim >> cfg.hidden_dim >> cfg.num_classes;
+  VIBGUARD_REQUIRE(in.good() && cfg.in_dim > 0 && cfg.hidden_dim > 0 &&
+                       cfg.num_classes > 0,
+                   "malformed model header");
+
+  Brnn model(cfg, /*seed=*/0);
+  for (ParamBlock* block : model.parameter_blocks()) {
+    std::size_t n = 0;
+    in >> n;
+    VIBGUARD_REQUIRE(in.good() && n == block->size(),
+                     "model parameter block size mismatch");
+    for (std::size_t i = 0; i < n; ++i) in >> block->value[i];
+  }
+  VIBGUARD_REQUIRE(!in.fail(), "truncated model file");
+  return model;
+}
+
+Brnn load_brnn(const std::string& path) {
+  std::ifstream file(path);
+  VIBGUARD_REQUIRE(file.good(), "cannot open for reading: " + path);
+  return load_brnn(file);
+}
+
+}  // namespace vibguard::nn

@@ -1,0 +1,26 @@
+// Model persistence: save/load trained networks as a simple, versioned,
+// human-inspectable text format (one parameter block per line group).
+//
+// The segmentation BRNN is trained offline (Sec. V-B); deployments ship the
+// trained weights, so round-trippable serialization is part of the public
+// API.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/brnn.hpp"
+
+namespace vibguard::nn {
+
+/// Writes the network's configuration and weights. Throws Error on I/O
+/// failure.
+void save_brnn(const Brnn& model, std::ostream& out);
+void save_brnn(const Brnn& model, const std::string& path);
+
+/// Reads a network previously written by save_brnn. Throws Error on
+/// malformed input or configuration mismatch with the stored header.
+Brnn load_brnn(std::istream& in);
+Brnn load_brnn(const std::string& path);
+
+}  // namespace vibguard::nn

@@ -1,0 +1,103 @@
+#include "sensors/accelerometer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "dsp/filter.hpp"
+#include "dsp/resample.hpp"
+#include "dsp/spectral.hpp"
+
+namespace vibguard::sensors {
+
+Accelerometer::Accelerometer(AccelerometerConfig config) : config_(config) {
+  VIBGUARD_REQUIRE(config_.sample_rate > 0.0, "sample rate must be positive");
+  VIBGUARD_REQUIRE(config_.coupling_low_gain > 0.0 &&
+                       config_.coupling_low_gain <= 1.0,
+                   "coupling low gain must be in (0, 1]");
+}
+
+double Accelerometer::coupling_gain(double f_hz) const {
+  // Smooth high-pass knee: coupling_low_gain below the knee rising to 1
+  // above it.
+  const double ratio = std::max(f_hz, 1e-3) / config_.coupling_knee_hz;
+  const double hp =
+      1.0 / (1.0 + std::pow(1.0 / ratio, config_.coupling_order));
+  return config_.coupling_low_gain +
+         (1.0 - config_.coupling_low_gain) * hp;
+}
+
+double Accelerometer::sensitivity_gain(double f_hz) const {
+  // Strong DC–5 Hz response decaying exponentially (paper Fig. 7).
+  return 1.0 +
+         config_.lf_boost_gain * std::exp(-f_hz / config_.lf_boost_corner_hz);
+}
+
+double Accelerometer::lf_dominance(const Signal& audio) const {
+  return dsp::band_energy_fraction(audio, 0.0,
+                                   config_.lf_dominance_cutoff_hz);
+}
+
+Signal Accelerometer::capture_with_motion(const Signal& audio,
+                                          const Signal& motion,
+                                          Rng& rng) const {
+  VIBGUARD_REQUIRE(motion.empty() ||
+                       motion.sample_rate() == config_.sample_rate,
+                   "motion signal must be at the accelerometer rate");
+  AccelerometerConfig quiet = config_;
+  quiet.body_motion_rms = 0.0;  // replace the stand-in with real motion
+  Signal vib = Accelerometer(quiet).capture(audio, rng);
+  for (std::size_t i = 0; i < vib.size() && i < motion.size(); ++i) {
+    vib[i] += motion[i];
+  }
+  return vib;
+}
+
+Signal Accelerometer::capture(const Signal& audio, Rng& rng) const {
+  VIBGUARD_REQUIRE(audio.sample_rate() >= 2.0 * config_.sample_rate,
+                   "audio rate must be at least twice the accelerometer rate");
+  if (audio.empty()) return Signal({}, config_.sample_rate);
+
+  // Effect 4's driver: measured before any filtering, on the excitation as
+  // the amplifier sees it.
+  const double dominance = lf_dominance(audio);
+  const double excitation_rms = audio.rms();
+
+  // Effect 1: conductive coupling.
+  Signal coupled = dsp::apply_gain_curve(
+      audio, [this](double f) { return coupling_gain(f); });
+
+  // Effect 2: naive 200 Hz sampling — deliberately NO anti-alias filter
+  // (unless the ablation switch is set).
+  Signal vib = config_.anti_alias
+                   ? dsp::resample(coupled, config_.sample_rate)
+                   : dsp::decimate_alias(coupled, config_.sample_rate);
+
+  // Effect 3: low-frequency sensitivity artifact.
+  vib = dsp::apply_gain_curve(
+      vib, [this](double f) { return sensitivity_gain(f); });
+
+  // Effect 4: amplifier noise grows with low-frequency dominance.
+  const double sat = config_.lf_noise_saturation_rms;
+  const double effective_rms =
+      sat > 0.0 ? sat * excitation_rms / (sat + excitation_rms)
+                : excitation_rms;
+  const double noise_rms =
+      config_.base_noise_rms +
+      config_.lf_noise_coeff * dominance * dominance * effective_rms;
+  for (double& s : vib) s += rng.gaussian(0.0, noise_rms);
+
+  // Body motion: slow oscillation within 0.3–3.5 Hz plus drift.
+  if (config_.body_motion_rms > 0.0) {
+    const double f_motion = rng.uniform(0.3, 3.5);
+    const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double amp = config_.body_motion_rms * std::numbers::sqrt2;
+    for (std::size_t i = 0; i < vib.size(); ++i) {
+      const double t = static_cast<double>(i) / config_.sample_rate;
+      vib[i] += amp * std::sin(2.0 * std::numbers::pi * f_motion * t + phase);
+    }
+  }
+  return vib;
+}
+
+}  // namespace vibguard::sensors

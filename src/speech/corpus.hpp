@@ -1,0 +1,56 @@
+// Synthetic phoneme-segment corpus.
+//
+// Stands in for the TIMIT segments the paper replays in its offline studies:
+// "100 sound segments from five males and five females for each phoneme"
+// (Sec. III-B, V-A). The corpus generator produces labeled phoneme segments
+// for a balanced speaker population, deterministically from a seed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+#include "speech/phoneme.hpp"
+#include "speech/speaker.hpp"
+#include "speech/synthesizer.hpp"
+
+namespace vibguard::speech {
+
+/// One labeled phoneme recording.
+struct PhonemeSegment {
+  std::string symbol;
+  std::string speaker_id;
+  Signal audio;
+};
+
+struct CorpusConfig {
+  std::size_t segments_per_phoneme = 100;  ///< paper uses 100
+  std::size_t num_males = 5;
+  std::size_t num_females = 5;
+  SynthesizerConfig synth;
+};
+
+/// Generates labeled phoneme segments for the 37 common phonemes.
+class PhonemeCorpus {
+ public:
+  PhonemeCorpus(CorpusConfig config, std::uint64_t seed);
+
+  /// Segments for one phoneme, round-robin across the speaker panel.
+  std::vector<PhonemeSegment> segments(const std::string& symbol) const;
+
+  /// Segments for every common phoneme (37 × segments_per_phoneme).
+  std::vector<PhonemeSegment> all_segments() const;
+
+  const std::vector<SpeakerProfile>& speakers() const { return speakers_; }
+  const CorpusConfig& config() const { return config_; }
+
+ private:
+  CorpusConfig config_;
+  std::uint64_t seed_;
+  std::vector<SpeakerProfile> speakers_;
+  Synthesizer synth_;
+};
+
+}  // namespace vibguard::speech

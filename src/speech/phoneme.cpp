@@ -1,0 +1,179 @@
+#include "speech/phoneme.hpp"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace vibguard::speech {
+namespace {
+
+using PC = PhonemeClass;
+
+// Helper builders keep the table readable.
+Phoneme vowel(std::string sym, double f1, double f2, double f3,
+              double intensity_db, double dur, int freq) {
+  return Phoneme{std::move(sym),
+                 PC::kVowel,
+                 true,
+                 {{f1, 60.0}, {f2, 90.0}, {f3, 150.0}},
+                 {},
+                 std::nullopt,
+                 intensity_db,
+                 dur,
+                 freq};
+}
+
+Phoneme diphthong(std::string sym, double f1, double f2, double f3,
+                  double end_f1, double end_f2, double end_f3,
+                  double intensity_db, double dur, int freq) {
+  Phoneme p = vowel(std::move(sym), f1, f2, f3, intensity_db, dur, freq);
+  p.cls = PC::kDiphthong;
+  p.end_formants = {{end_f1, 60.0}, {end_f2, 90.0}, {end_f3, 150.0}};
+  return p;
+}
+
+Phoneme sonorant(std::string sym, PC cls, double f1, double f2, double f3,
+                 double intensity_db, double dur, int freq) {
+  return Phoneme{std::move(sym),
+                 cls,
+                 true,
+                 {{f1, 80.0}, {f2, 120.0}, {f3, 180.0}},
+                 {},
+                 std::nullopt,
+                 intensity_db,
+                 dur,
+                 freq};
+}
+
+Phoneme fricative(std::string sym, bool voiced, double lo, double hi,
+                  double intensity_db, double dur, int freq) {
+  std::vector<Formant> formants;
+  if (voiced) formants = {{350.0, 100.0}, {1400.0, 200.0}};
+  return Phoneme{std::move(sym),
+                 PC::kFricative,
+                 voiced,
+                 std::move(formants),
+                 {},
+                 FricationBand{lo, hi},
+                 intensity_db,
+                 dur,
+                 freq};
+}
+
+Phoneme plosive(std::string sym, bool voiced, double lo, double hi,
+                double intensity_db, double dur, int freq) {
+  std::vector<Formant> formants;
+  if (voiced) formants = {{300.0, 90.0}, {1200.0, 200.0}};
+  return Phoneme{std::move(sym),
+                 PC::kPlosive,
+                 voiced,
+                 std::move(formants),
+                 {},
+                 FricationBand{lo, hi},
+                 intensity_db,
+                 dur,
+                 freq};
+}
+
+Phoneme affricate(std::string sym, bool voiced, double lo, double hi,
+                  double intensity_db, double dur, int freq) {
+  Phoneme p = plosive(std::move(sym), voiced, lo, hi, intensity_db, dur, freq);
+  p.cls = PC::kAffricate;
+  return p;
+}
+
+// Table II phonemes. Intensities are relative to /aa/; formant values follow
+// Peterson–Barney (vowels) and standard consonant loci. Durations are
+// steady-state means. One 'ch' row of Table II is a typographical duplicate;
+// it is rendered here as /eh/ (the only high-frequency TIMIT monophthong
+// otherwise missing from the table).
+const std::vector<Phoneme>& table() {
+  static const std::vector<Phoneme> kPhonemes = {
+      // --- vowels ---
+      vowel("ah", 640, 1190, 2390, -4.0, 0.14, 107),
+      vowel("ih", 390, 1990, 2550, -4.0, 0.12, 99),
+      vowel("iy", 270, 2290, 3010, -4.0, 0.14, 65),
+      vowel("er", 490, 1350, 1690, -3.0, 0.16, 58),
+      vowel("ae", 660, 1720, 2410, -2.0, 0.17, 39),
+      // /aa/ and /ao/ are pronounced markedly louder than other phonemes
+      // (strong larynx vibration, paper Sec. V-A) — the property that makes
+      // them fail Criterion I.
+      vowel("aa", 730, 1090, 2440, 6.0, 0.18, 32),
+      vowel("uw", 300, 920, 2240, -2.5, 0.14, 31),
+      vowel("ao", 570, 860, 2410, 5.5, 0.18, 29),
+      vowel("eh", 530, 1840, 2480, -3.0, 0.13, 13),
+      vowel("uh", 440, 1020, 2240, -4.5, 0.11, 6),
+      // --- diphthongs (mid-trajectory formants) ---
+      diphthong("ey", 530, 1850, 2500, 350, 2200, 2700, -3.0, 0.18, 38),
+      diphthong("ay", 700, 1220, 2400, 400, 1900, 2550, -1.0, 0.20, 36),
+      diphthong("aw", 700, 1150, 2450, 430, 950, 2350, -1.5, 0.20, 15),
+      diphthong("ow", 550, 960, 2350, 430, 880, 2300, -1.5, 0.18, 17),
+      // --- glides & liquids ---
+      sonorant("w", PC::kGlide, 300, 610, 2200, -7.0, 0.08, 40),
+      sonorant("y", PC::kGlide, 280, 2250, 3000, -7.5, 0.08, 15),
+      sonorant("r", PC::kLiquid, 310, 1060, 1380, -4.5, 0.09, 100),
+      sonorant("l", PC::kLiquid, 360, 1300, 2700, -4.0, 0.09, 70),
+      // --- nasals ---
+      sonorant("m", PC::kNasal, 280, 1100, 2200, -8.0, 0.08, 65),
+      sonorant("n", PC::kNasal, 280, 1700, 2600, -8.0, 0.08, 108),
+      sonorant("ng", PC::kNasal, 280, 2300, 2750, -8.5, 0.09, 17),
+      // --- fricatives ---
+      fricative("s", false, 4000, 7800, -11.5, 0.13, 101),
+      fricative("z", true, 4000, 7500, -11.0, 0.12, 49),
+      fricative("sh", false, 2000, 6000, -9.0, 0.13, 8),
+      fricative("f", false, 1500, 7500, -17.0, 0.12, 29),
+      fricative("v", true, 2500, 6500, -13.5, 0.08, 28),
+      fricative("th", false, 1400, 7500, -19.0, 0.11, 10),
+      fricative("dh", true, 1800, 6000, -14.0, 0.06, 12),
+      fricative("hh", false, 500, 3500, -16.0, 0.07, 20),
+      // --- plosives (burst band) ---
+      plosive("t", false, 2500, 4500, -9.5, 0.07, 129),
+      plosive("d", true, 2000, 4000, -9.0, 0.06, 83),
+      plosive("k", false, 1500, 3000, -9.5, 0.07, 70),
+      plosive("g", true, 1200, 2600, -9.0, 0.06, 13),
+      plosive("p", false, 600, 2000, -11.0, 0.07, 37),
+      plosive("b", true, 650, 2000, -10.5, 0.06, 31),
+      // --- affricates ---
+      affricate("ch", false, 2000, 5500, -9.5, 0.10, 69),
+      affricate("jh", true, 1800, 5000, -9.0, 0.09, 14),
+  };
+  return kPhonemes;
+}
+
+}  // namespace
+
+std::span<const Phoneme> common_phonemes() { return table(); }
+
+std::span<const std::string> timit_symbols() {
+  static const std::vector<std::string> kSymbols = {
+      // Full TIMIT inventory (61 phones + 2 closure/silence groupings the
+      // paper counts within its 63).
+      "aa", "ae", "ah", "ao", "aw", "ax", "axr", "ay", "b", "bcl", "ch", "d",
+      "dcl", "dh", "dx", "eh", "el", "em", "en", "eng", "epi", "er", "ey",
+      "f", "g", "gcl", "hh", "hv", "ih", "ix", "iy", "jh", "k", "kcl", "l",
+      "m", "n", "ng", "nx", "ow", "oy", "p", "pau", "pcl", "q", "r", "s",
+      "sh", "t", "tcl", "th", "uh", "uw", "ux", "v", "w", "y", "z", "zh",
+      "h#", "ax-h", "b#", "t#"};
+  return kSymbols;
+}
+
+const Phoneme& phoneme_by_symbol(const std::string& symbol) {
+  static const std::unordered_map<std::string, const Phoneme*> kIndex = [] {
+    std::unordered_map<std::string, const Phoneme*> idx;
+    for (const Phoneme& p : table()) idx.emplace(p.symbol, &p);
+    return idx;
+  }();
+  const auto it = kIndex.find(symbol);
+  VIBGUARD_REQUIRE(it != kIndex.end(), "unknown common phoneme: " + symbol);
+  return *it->second;
+}
+
+bool is_common_phoneme(const std::string& symbol) {
+  for (const Phoneme& p : table()) {
+    if (p.symbol == symbol) return true;
+  }
+  return false;
+}
+
+}  // namespace vibguard::speech

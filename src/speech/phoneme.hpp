@@ -1,0 +1,75 @@
+// TIMIT-style phoneme inventory.
+//
+// The paper works with the 63-phoneme TIMIT set and narrows it to the 37
+// phonemes that appear frequently in voice-assistant commands (Table II).
+// Each phoneme here carries the articulatory-acoustic parameters the
+// formant synthesizer needs: voicing, formant frequencies/bandwidths,
+// frication band, relative intensity and typical duration. Parameter values
+// follow standard phonetics references (Peterson & Barney vowel formants,
+// Fant source–filter theory).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vibguard::speech {
+
+/// Broad articulatory class of a phoneme.
+enum class PhonemeClass {
+  kVowel,
+  kDiphthong,
+  kGlide,      // w, y
+  kLiquid,     // l, r
+  kNasal,      // m, n, ng
+  kFricative,  // f, v, th, dh, s, z, sh, zh, hh
+  kPlosive,    // p, b, t, d, k, g
+  kAffricate,  // ch, jh
+};
+
+/// One formant resonance: center frequency and bandwidth in Hz.
+struct Formant {
+  double frequency_hz;
+  double bandwidth_hz;
+};
+
+/// Band of frication noise energy.
+struct FricationBand {
+  double low_hz;
+  double high_hz;
+};
+
+/// Acoustic-articulatory description of one phoneme.
+struct Phoneme {
+  std::string symbol;        ///< TIMIT symbol, e.g. "ae", "v"
+  PhonemeClass cls;
+  bool voiced;               ///< larynx vibration during production
+  std::vector<Formant> formants;           ///< empty for pure noise sounds
+  /// Diphthong glide targets: formant positions at the END of the phoneme
+  /// (same cardinality as `formants`); empty for static phonemes.
+  std::vector<Formant> end_formants;
+  std::optional<FricationBand> frication;  ///< noise component band
+  double intensity_db;       ///< level relative to /aa/ (0 dB = loudest)
+  double duration_s;         ///< typical steady-state duration
+  int command_frequency;     ///< appearance count in VA commands (Table II)
+
+  bool is_vowel_like() const {
+    return cls == PhonemeClass::kVowel || cls == PhonemeClass::kDiphthong;
+  }
+};
+
+/// The 37 common phonemes of Table II with their appearance counts.
+std::span<const Phoneme> common_phonemes();
+
+/// All 63 TIMIT phoneme symbols (for completeness of the inventory).
+std::span<const std::string> timit_symbols();
+
+/// Looks a common phoneme up by TIMIT symbol; throws InvalidArgument if the
+/// symbol is not one of the 37 common phonemes.
+const Phoneme& phoneme_by_symbol(const std::string& symbol);
+
+/// True if `symbol` names one of the 37 common phonemes.
+bool is_common_phoneme(const std::string& symbol);
+
+}  // namespace vibguard::speech

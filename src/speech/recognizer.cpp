@@ -1,0 +1,67 @@
+#include "speech/recognizer.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "dsp/dtw.hpp"
+
+namespace vibguard::speech {
+namespace {
+
+/// Cepstral mean normalization with the energy coefficient dropped:
+/// removes per-utterance channel/level bias so cross-speaker and
+/// thru-channel comparisons reflect spectral SHAPE over time.
+std::vector<std::vector<double>> normalize_features(
+    std::vector<std::vector<double>> mfcc) {
+  if (mfcc.empty()) return mfcc;
+  const std::size_t dim = mfcc.front().size();
+  std::vector<double> mean_vec(dim, 0.0);
+  for (const auto& f : mfcc) {
+    for (std::size_t k = 0; k < dim; ++k) mean_vec[k] += f[k];
+  }
+  for (double& m : mean_vec) m /= static_cast<double>(mfcc.size());
+  for (auto& f : mfcc) {
+    for (std::size_t k = 0; k < dim; ++k) f[k] -= mean_vec[k];
+    f.erase(f.begin());  // drop c0 (energy)
+  }
+  return mfcc;
+}
+
+}  // namespace
+
+WakeWordRecognizer::WakeWordRecognizer(RecognizerConfig config)
+    : config_(config) {
+  VIBGUARD_REQUIRE(config_.accept_threshold > 0.0,
+                   "accept threshold must be positive");
+}
+
+void WakeWordRecognizer::enroll(const Signal& utterance) {
+  VIBGUARD_REQUIRE(!utterance.empty(), "cannot enroll an empty utterance");
+  auto mfcc = dsp::compute_mfcc(utterance, config_.mfcc);
+  VIBGUARD_REQUIRE(!mfcc.empty(),
+                   "enrollment utterance shorter than one MFCC frame");
+  templates_.push_back(normalize_features(std::move(mfcc)));
+}
+
+MatchResult WakeWordRecognizer::match(const Signal& recording) const {
+  VIBGUARD_REQUIRE(!templates_.empty(), "no enrolled wake-word templates");
+  MatchResult result;
+  result.best_distance = std::numeric_limits<double>::infinity();
+  const auto features =
+      normalize_features(dsp::compute_mfcc(recording, config_.mfcc));
+  for (std::size_t i = 0; i < templates_.size(); ++i) {
+    const auto r = dsp::dtw(features, templates_[i], config_.dtw_window);
+    if (r.normalized < result.best_distance) {
+      result.best_distance = r.normalized;
+      result.best_template = i;
+    }
+  }
+  result.matched = result.best_distance < config_.accept_threshold;
+  return result;
+}
+
+double WakeWordRecognizer::distance(const Signal& recording) const {
+  return match(recording).best_distance;
+}
+
+}  // namespace vibguard::speech

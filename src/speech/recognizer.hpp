@@ -1,0 +1,58 @@
+// Template-based wake-word recognizer.
+//
+// A lightweight stand-in for the VA's embedded wake-word engine: MFCC
+// sequences of enrolled utterances serve as templates, and an incoming
+// recording matches when its DTW distance to any template falls below a
+// threshold. This substrate backs the attack study at the recognition level
+// (beyond the level-based trigger model in device::VaDevice) and
+// demonstrates why heavily barrier-filtered audio is harder to recognize.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/signal.hpp"
+#include "dsp/mel.hpp"
+
+namespace vibguard::speech {
+
+struct RecognizerConfig {
+  RecognizerConfig() { mfcc.high_hz = 7800.0; }  // full-band recognition
+  dsp::MfccConfig mfcc;           ///< feature front end
+  double accept_threshold = 5.0;  ///< normalized DTW distance for a match
+  std::size_t dtw_window = 40;    ///< Sakoe–Chiba band (frames); 0 = off
+};
+
+/// Per-template match detail.
+struct MatchResult {
+  bool matched = false;
+  double best_distance = 0.0;     ///< smallest normalized DTW distance
+  std::size_t best_template = 0;  ///< index of the closest template
+};
+
+/// DTW/MFCC wake-word matcher with enrolled templates.
+class WakeWordRecognizer {
+ public:
+  explicit WakeWordRecognizer(RecognizerConfig config = {});
+
+  const RecognizerConfig& config() const { return config_; }
+
+  /// Enrolls one reference utterance of the wake word.
+  void enroll(const Signal& utterance);
+
+  std::size_t num_templates() const { return templates_.size(); }
+
+  /// Matches a recording against the enrolled templates. Requires at least
+  /// one template.
+  MatchResult match(const Signal& recording) const;
+
+  /// Normalized DTW distance of `recording` to the closest template
+  /// (convenience around match()).
+  double distance(const Signal& recording) const;
+
+ private:
+  RecognizerConfig config_;
+  std::vector<std::vector<std::vector<double>>> templates_;  // MFCC seqs
+};
+
+}  // namespace vibguard::speech

@@ -1,0 +1,50 @@
+#include "speech/speaker.hpp"
+
+#include <algorithm>
+
+namespace vibguard::speech {
+
+SpeakerProfile sample_speaker(Sex sex, Rng& rng) {
+  SpeakerProfile p;
+  p.sex = sex;
+  if (sex == Sex::kMale) {
+    p.f0_hz = rng.uniform(95.0, 145.0);
+    p.formant_scale = rng.uniform(0.94, 1.04);
+  } else {
+    p.f0_hz = rng.uniform(175.0, 240.0);
+    p.formant_scale = rng.uniform(1.08, 1.20);
+  }
+  p.f0_jitter = rng.uniform(0.005, 0.02);
+  p.shimmer = rng.uniform(0.02, 0.08);
+  p.breathiness = rng.uniform(0.01, 0.06);
+  p.id = "spk";
+  return p;
+}
+
+std::vector<SpeakerProfile> sample_population(std::size_t count, Rng& rng) {
+  std::vector<SpeakerProfile> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Sex sex = i % 2 == 0 ? Sex::kMale : Sex::kFemale;
+    SpeakerProfile p = sample_speaker(sex, rng);
+    p.id = "spk" + std::string(i < 10 ? "0" : "") + std::to_string(i);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+SpeakerProfile clone_with_estimation_error(const SpeakerProfile& target,
+                                           Rng& rng) {
+  SpeakerProfile clone = target;
+  clone.id = target.id + "_synth";
+  // A few-shot synthesis model recovers F0 and vocal-tract scale with some
+  // error, and produces over-smoothed speech with reduced micro-variability.
+  clone.f0_hz *= 1.0 + rng.gaussian(0.0, 0.03);
+  clone.formant_scale *= 1.0 + rng.gaussian(0.0, 0.02);
+  clone.f0_jitter = std::max(0.002, target.f0_jitter * 0.4);
+  clone.shimmer = std::max(0.01, target.shimmer * 0.4);
+  clone.breathiness = std::min(0.12, target.breathiness + 0.02);
+  return clone;
+}
+
+}  // namespace vibguard::speech

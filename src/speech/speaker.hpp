@@ -1,0 +1,43 @@
+// Speaker voice profiles.
+//
+// Replaces the paper's 20 human participants: each profile captures the
+// speaker-level parameters that shape phoneme spectra (fundamental frequency
+// statistics, vocal-tract length via a formant scale factor, and
+// pronunciation variability).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vibguard::speech {
+
+enum class Sex { kMale, kFemale };
+
+/// Voice parameters of one (synthetic) speaker.
+struct SpeakerProfile {
+  std::string id;
+  Sex sex;
+  double f0_hz;            ///< mean fundamental frequency
+  double f0_jitter;        ///< relative cycle-to-cycle F0 perturbation
+  double formant_scale;    ///< vocal-tract length factor (1.0 = reference)
+  double shimmer;          ///< relative amplitude perturbation
+  double breathiness;      ///< aspiration noise mixed into voiced sounds
+};
+
+/// Samples a random plausible speaker of the given sex.
+SpeakerProfile sample_speaker(Sex sex, Rng& rng);
+
+/// Samples a balanced population of `count` speakers (alternating sex),
+/// with ids "spk00", "spk01", ...
+std::vector<SpeakerProfile> sample_population(std::size_t count, Rng& rng);
+
+/// Produces an *estimate* of `target` as a voice-synthesis model would
+/// recover it from a few enrollment samples: parameters are perturbed by
+/// estimation error and micro-variability is smoothed (vocoder artifact).
+/// Used by the voice-synthesis attack.
+SpeakerProfile clone_with_estimation_error(const SpeakerProfile& target,
+                                           Rng& rng);
+
+}  // namespace vibguard::speech

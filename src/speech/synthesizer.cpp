@@ -1,0 +1,245 @@
+#include "speech/synthesizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/db.hpp"
+#include "common/error.hpp"
+#include "dsp/filter.hpp"
+#include "dsp/generate.hpp"
+
+namespace vibguard::speech {
+namespace {
+
+/// Glottal source spectral envelope: flat to ~200 Hz, then -6 dB/octave
+/// (glottal -12 dB/oct plus +6 dB/oct lip radiation).
+double source_tilt(double f_hz) {
+  constexpr double kCorner = 200.0;
+  if (f_hz <= kCorner) return 1.0;
+  return kCorner / f_hz;
+}
+
+/// Second-order resonance magnitude, unity at DC, peaking near F.
+double resonance_gain(double f_hz, const Formant& fm) {
+  const double f2 = f_hz * f_hz;
+  const double cf2 = fm.frequency_hz * fm.frequency_hz;
+  const double num = cf2;
+  const double den = std::sqrt((cf2 - f2) * (cf2 - f2) +
+                               fm.bandwidth_hz * fm.bandwidth_hz * f2);
+  return num / std::max(den, 1e-9);
+}
+
+/// Smooth band-pass gain for frication noise (fourth-order edges).
+double band_gain(double f_hz, const FricationBand& band) {
+  const double lo = band.low_hz;
+  const double hi = band.high_hz;
+  const double g_lo = 1.0 / (1.0 + std::pow(lo / std::max(f_hz, 1.0), 4.0));
+  const double g_hi = 1.0 / (1.0 + std::pow(f_hz / hi, 4.0));
+  return g_lo * g_hi;
+}
+
+}  // namespace
+
+Synthesizer::Synthesizer(SynthesizerConfig config) : config_(config) {
+  VIBGUARD_REQUIRE(config_.sample_rate > 0.0, "sample rate must be positive");
+  VIBGUARD_REQUIRE(config_.max_harmonic_hz < config_.sample_rate / 2.0,
+                   "harmonic ceiling must be below Nyquist");
+}
+
+namespace {
+
+double formant_set_gain(const std::vector<Formant>& formants,
+                        double formant_scale, double f_hz) {
+  double g = 1.0;
+  for (const Formant& fm : formants) {
+    Formant scaled = fm;
+    scaled.frequency_hz *= formant_scale;
+    g *= resonance_gain(f_hz, scaled);
+  }
+  return g;
+}
+
+}  // namespace
+
+double Synthesizer::formant_gain(const Phoneme& phoneme,
+                                 const SpeakerProfile& speaker, double f_hz) {
+  return formant_set_gain(phoneme.formants, speaker.formant_scale, f_hz);
+}
+
+Signal Synthesizer::voiced_component(const Phoneme& phoneme,
+                                     const SpeakerProfile& speaker,
+                                     double duration_s, Rng& rng) const {
+  const double fs = config_.sample_rate;
+  const auto n = static_cast<std::size_t>(std::round(duration_s * fs));
+  std::vector<double> out(n, 0.0);
+  const double f0 = speaker.f0_hz * (1.0 + rng.gaussian(0.0, 0.03));
+  const auto harmonics =
+      static_cast<std::size_t>(config_.max_harmonic_hz / f0);
+
+  // Slow F0 drift across the phoneme (declination + jitter).
+  const double drift = rng.gaussian(0.0, speaker.f0_jitter * 2.0);
+
+  // Diphthongs glide from `formants` to `end_formants`; static phonemes
+  // keep a constant per-harmonic amplitude.
+  const bool glide = !phoneme.end_formants.empty();
+  for (std::size_t k = 1; k <= harmonics; ++k) {
+    const double fk = f0 * static_cast<double>(k);
+    const double shimmer = 1.0 + rng.gaussian(0.0, speaker.shimmer);
+    const double amp_start =
+        source_tilt(fk) * formant_gain(phoneme, speaker, fk) * shimmer;
+    const double amp_end =
+        glide ? source_tilt(fk) *
+                    formant_set_gain(phoneme.end_formants,
+                                     speaker.formant_scale, fk) *
+                    shimmer
+              : amp_start;
+    if (std::abs(amp_start) < 1e-6 && std::abs(amp_end) < 1e-6) continue;
+    const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double w = 2.0 * std::numbers::pi * fk / fs;
+    const double dw = w * drift / static_cast<double>(std::max<std::size_t>(n, 1));
+    const double amp_step =
+        n > 1 ? (amp_end - amp_start) / static_cast<double>(n - 1) : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i);
+      out[i] += (amp_start + amp_step * t) *
+                std::sin((w + dw * t * 0.5) * t + phase);
+    }
+  }
+  Signal sig(std::move(out), fs);
+
+  // Breathiness: aspiration noise shaped by the same formants.
+  if (speaker.breathiness > 0.0 && !phoneme.formants.empty()) {
+    Signal breath = dsp::white_noise(duration_s, fs, 1.0, rng);
+    breath = dsp::apply_gain_curve(breath, [&](double f) {
+      return source_tilt(f) * formant_gain(phoneme, speaker, f);
+    });
+    const double target = sig.rms() * speaker.breathiness;
+    breath = breath.scaled_to_rms(target);
+    if (breath.size() == sig.size()) sig.add(breath);
+  }
+  return sig;
+}
+
+Signal Synthesizer::noise_component(const Phoneme& phoneme,
+                                    double duration_s,
+                                    const SpeakerProfile& speaker,
+                                    Rng& rng) const {
+  const double fs = config_.sample_rate;
+  if (!phoneme.frication.has_value()) {
+    return Signal::zeros(
+        static_cast<std::size_t>(std::round(duration_s * fs)), fs);
+  }
+  FricationBand band = *phoneme.frication;
+  band.low_hz *= speaker.formant_scale;
+  band.high_hz = std::min(band.high_hz * speaker.formant_scale,
+                          config_.max_harmonic_hz);
+  Signal noise = dsp::white_noise(duration_s, fs, 1.0, rng);
+  return dsp::apply_gain_curve(
+      noise, [&band](double f) { return band_gain(f, band); });
+}
+
+void Synthesizer::apply_edge_ramp(Signal& s) const {
+  const auto ramp = std::min<std::size_t>(
+      static_cast<std::size_t>(config_.edge_ramp_s * s.sample_rate()),
+      s.size() / 2);
+  for (std::size_t i = 0; i < ramp; ++i) {
+    const double g = static_cast<double>(i) / static_cast<double>(ramp);
+    s[i] *= g;
+    s[s.size() - 1 - i] *= g;
+  }
+}
+
+Signal Synthesizer::synthesize(const Phoneme& phoneme,
+                               const SpeakerProfile& speaker, Rng& rng,
+                               double duration_scale) const {
+  VIBGUARD_REQUIRE(duration_scale > 0.0, "duration scale must be positive");
+  const double fs = config_.sample_rate;
+  const double dur =
+      phoneme.duration_s * duration_scale * rng.uniform(0.85, 1.15);
+
+  Signal out;
+  switch (phoneme.cls) {
+    case PhonemeClass::kPlosive:
+    case PhonemeClass::kAffricate: {
+      // Closure silence, then a noise burst; voiced stops add a low
+      // "voice bar" during closure; affricates extend the frication.
+      const double closure_s = 0.4 * dur;
+      const double burst_s =
+          phoneme.cls == PhonemeClass::kAffricate ? 0.6 * dur : 0.35 * dur;
+      Signal closure = Signal::zeros(
+          static_cast<std::size_t>(std::round(closure_s * fs)), fs);
+      if (phoneme.voiced && !phoneme.formants.empty()) {
+        // Voice bar: weak low-frequency periodicity during closure.
+        Phoneme bar = phoneme;
+        bar.formants = {{250.0, 80.0}};
+        Signal vb = voiced_component(bar, speaker, closure_s, rng);
+        vb = vb.scaled_to_rms(0.15);
+        if (vb.size() == closure.size()) closure.add(vb);
+      }
+      Signal burst = noise_component(phoneme, burst_s, speaker, rng);
+      apply_edge_ramp(burst);
+      closure.append(burst);
+      out = std::move(closure);
+      break;
+    }
+    default: {
+      Signal voiced;
+      if (phoneme.voiced && !phoneme.formants.empty()) {
+        voiced = voiced_component(phoneme, speaker, dur, rng);
+      }
+      Signal noise;
+      if (phoneme.frication.has_value()) {
+        noise = noise_component(phoneme, dur, speaker, rng);
+      }
+      if (!voiced.empty() && !noise.empty()) {
+        // Voiced fricatives: frication rides on voicing at ~1:1 power.
+        noise = noise.scaled_to_rms(voiced.rms());
+        const std::size_t m = std::min(voiced.size(), noise.size());
+        out = voiced.slice(0, m);
+        Signal tail = noise.slice(0, m);
+        out.add(tail);
+      } else if (!voiced.empty()) {
+        out = std::move(voiced);
+      } else {
+        out = std::move(noise);
+      }
+      break;
+    }
+  }
+
+  // Encode the phoneme's relative intensity into the waveform amplitude
+  // (ramp first so the final RMS is exact).
+  apply_edge_ramp(out);
+  const double target_rms =
+      kReferenceRms * db_to_amplitude(phoneme.intensity_db);
+  out = out.scaled_to_rms(target_rms);
+  return out;
+}
+
+Signal Synthesizer::synthesize_sequence(std::span<const Phoneme> phonemes,
+                                        const SpeakerProfile& speaker,
+                                        Rng& rng) const {
+  Signal out;
+  const double fs = config_.sample_rate;
+  for (const Phoneme& p : phonemes) {
+    Signal seg = synthesize(p, speaker, rng);
+    if (out.empty()) {
+      out = std::move(seg);
+      continue;
+    }
+    // Short cross-fade emulating coarticulation.
+    const auto fade = std::min<std::size_t>(
+        {static_cast<std::size_t>(0.005 * fs), out.size(), seg.size()});
+    const std::size_t base = out.size() - fade;
+    for (std::size_t i = 0; i < fade; ++i) {
+      const double g = static_cast<double>(i) / static_cast<double>(fade);
+      out[base + i] = out[base + i] * (1.0 - g) + seg[i] * g;
+    }
+    out.append(seg.slice(fade, seg.size()));
+  }
+  return out;
+}
+
+}  // namespace vibguard::speech

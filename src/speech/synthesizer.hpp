@@ -1,0 +1,56 @@
+// Formant-based source–filter phoneme synthesizer.
+//
+// Stands in for TIMIT recordings: voiced sounds are additive harmonic series
+// shaped by glottal spectral tilt and formant resonances; unvoiced sounds are
+// band-shaped noise; plosives are closure + burst; affricates are burst +
+// frication. The synthesizer reproduces the property the defense depends on:
+// each phoneme's characteristic distribution of energy across frequency.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+#include "speech/phoneme.hpp"
+#include "speech/speaker.hpp"
+
+namespace vibguard::speech {
+
+struct SynthesizerConfig {
+  double sample_rate = 16000.0;  ///< paper's microphone rate
+  double max_harmonic_hz = 7800.0;
+  double edge_ramp_s = 0.010;    ///< onset/offset amplitude ramp
+};
+
+/// Synthesizes phoneme sounds for a given speaker.
+class Synthesizer {
+ public:
+  explicit Synthesizer(SynthesizerConfig config = {});
+
+  const SynthesizerConfig& config() const { return config_; }
+
+  /// Renders one phoneme at its typical duration (scaled by
+  /// `duration_scale`) for `speaker`. Amplitude encodes the phoneme's
+  /// relative intensity; callers rescale utterances to a target SPL.
+  Signal synthesize(const Phoneme& phoneme, const SpeakerProfile& speaker,
+                    Rng& rng, double duration_scale = 1.0) const;
+
+  /// Renders a phoneme sequence with short coarticulation cross-fades.
+  Signal synthesize_sequence(std::span<const Phoneme> phonemes,
+                             const SpeakerProfile& speaker, Rng& rng) const;
+
+  /// Magnitude gain of the cascaded formant resonators at frequency f for a
+  /// given speaker (exposed for tests and analysis tools).
+  static double formant_gain(const Phoneme& phoneme,
+                             const SpeakerProfile& speaker, double f_hz);
+
+ private:
+  Signal voiced_component(const Phoneme& phoneme,
+                          const SpeakerProfile& speaker, double duration_s,
+                          Rng& rng) const;
+  Signal noise_component(const Phoneme& phoneme, double duration_s,
+                         const SpeakerProfile& speaker, Rng& rng) const;
+  void apply_edge_ramp(Signal& s) const;
+
+  SynthesizerConfig config_;
+};
+
+}  // namespace vibguard::speech

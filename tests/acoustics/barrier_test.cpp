@@ -1,0 +1,63 @@
+#include "acoustics/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/generate.hpp"
+#include "dsp/spectral.hpp"
+
+namespace vibguard::acoustics {
+namespace {
+
+TEST(BarrierTest, TransmitPreservesLengthAndRate) {
+  Rng rng(1);
+  const Signal in = dsp::white_noise(0.5, 16000.0, 0.1, rng);
+  const Barrier b(glass_window());
+  const Signal out = b.transmit(in);
+  EXPECT_EQ(out.size(), in.size());
+  EXPECT_DOUBLE_EQ(out.sample_rate(), in.sample_rate());
+}
+
+TEST(BarrierTest, AttenuatesHighMoreThanLow) {
+  const Barrier b(glass_window());
+  const Signal low = dsp::tone(200.0, 1.0, 16000.0);
+  const Signal high = dsp::tone(2000.0, 1.0, 16000.0);
+  const double low_gain = b.transmit(low).rms() / low.rms();
+  const double high_gain = b.transmit(high).rms() / high.rms();
+  EXPECT_GT(low_gain, 4.0 * high_gain);
+}
+
+TEST(BarrierTest, ShiftsSpectralBalanceTowardLowFrequencies) {
+  Rng rng(2);
+  const Signal in = dsp::white_noise(1.0, 16000.0, 0.1, rng);
+  const Barrier b(wooden_door());
+  const Signal out = b.transmit(in);
+  EXPECT_GT(dsp::band_energy_fraction(out, 0.0, 500.0),
+            dsp::band_energy_fraction(in, 0.0, 500.0) + 0.2);
+}
+
+TEST(BarrierTest, ThickerBarrierLosesMore) {
+  const Signal in = dsp::tone(500.0, 0.5, 16000.0);
+  const Barrier thin(glass_window(), 1.0);
+  const Barrier thick(glass_window(), 2.0);
+  EXPECT_GT(thin.transmit(in).rms(), 1.5 * thick.transmit(in).rms());
+}
+
+TEST(BarrierTest, GainMatchesMaterialTimesThickness) {
+  const Barrier b(glass_window(), 2.0);
+  const Material m = glass_window();
+  for (double f : {100.0, 1000.0, 3000.0}) {
+    EXPECT_NEAR(-20.0 * std::log10(b.gain(f)),
+                2.0 * m.transmission_loss_db(f), 1e-9);
+  }
+}
+
+TEST(BarrierTest, RejectsNonPositiveThickness) {
+  EXPECT_THROW(Barrier(glass_window(), 0.0), vibguard::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vibguard::acoustics

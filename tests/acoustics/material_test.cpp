@@ -1,0 +1,76 @@
+#include "acoustics/material.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vibguard::acoustics {
+namespace {
+
+class MaterialParamTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MaterialParamTest, LossIsMonotoneNonDecreasingInFrequency) {
+  const Material m = material_by_name(GetParam());
+  double prev = 0.0;
+  for (double f = 50.0; f <= 8000.0; f *= 1.2) {
+    const double loss = m.transmission_loss_db(f);
+    EXPECT_GE(loss, prev - 1e-9) << m.name << " at " << f;
+    prev = loss;
+  }
+}
+
+TEST_P(MaterialParamTest, GainMatchesLoss) {
+  const Material m = material_by_name(GetParam());
+  for (double f : {100.0, 500.0, 1000.0, 4000.0}) {
+    const double g = m.transmission_gain(f);
+    EXPECT_GT(g, 0.0);
+    EXPECT_LE(g, 1.0);
+    EXPECT_NEAR(-20.0 * std::log10(g), m.transmission_loss_db(f), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMaterials, MaterialParamTest,
+                         ::testing::Values("glass_window", "glass_wall",
+                                           "wooden_door", "brick_wall"));
+
+TEST(MaterialTest, BarrierEffectShape) {
+  // The paper's core observation (Sec. III-B): glass/wood attenuate >500 Hz
+  // far more than 85-500 Hz content.
+  for (const Material& m : {glass_window(), wooden_door()}) {
+    const double low = m.transmission_loss_db(200.0);
+    const double high = m.transmission_loss_db(2000.0);
+    EXPECT_GT(high, low + 12.0) << m.name;
+  }
+}
+
+TEST(MaterialTest, BrickBlocksEverything) {
+  const Material b = brick_wall();
+  EXPECT_GT(b.transmission_loss_db(200.0), 40.0);
+  EXPECT_GT(b.transmission_loss_db(2000.0), 50.0);
+  // Brick's low-frequency loss exceeds glass's by a wide margin — why the
+  // paper's adversary targets windows and doors.
+  EXPECT_GT(b.transmission_loss_db(200.0),
+            glass_window().transmission_loss_db(200.0) + 15.0);
+}
+
+TEST(MaterialTest, WoodLossierThanGlass) {
+  EXPECT_GT(wooden_door().transmission_loss_db(300.0),
+            glass_window().transmission_loss_db(300.0));
+}
+
+TEST(MaterialTest, LookupByNameRoundTrips) {
+  EXPECT_EQ(material_by_name("glass_window").name, "glass_window");
+  EXPECT_EQ(material_by_name("wooden_door").name, "wooden_door");
+  EXPECT_THROW(material_by_name("cardboard"), vibguard::InvalidArgument);
+}
+
+TEST(MaterialTest, NonPositiveFrequencyUsesFloorLoss) {
+  const Material m = glass_window();
+  EXPECT_DOUBLE_EQ(m.transmission_loss_db(0.0), m.low_loss_db);
+  EXPECT_DOUBLE_EQ(m.transmission_loss_db(-5.0), m.low_loss_db);
+}
+
+}  // namespace
+}  // namespace vibguard::acoustics

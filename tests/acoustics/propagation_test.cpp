@@ -1,0 +1,50 @@
+#include "acoustics/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dsp/generate.hpp"
+
+namespace vibguard::acoustics {
+namespace {
+
+TEST(PropagationTest, InverseDistanceLaw) {
+  EXPECT_DOUBLE_EQ(spreading_gain(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(spreading_gain(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(spreading_gain(4.0), 0.25);
+}
+
+TEST(PropagationTest, NearFieldClamped) {
+  EXPECT_DOUBLE_EQ(spreading_gain(0.01), 10.0);
+  EXPECT_DOUBLE_EQ(spreading_gain(0.0), 10.0);
+}
+
+TEST(PropagationTest, RejectsNegativeDistance) {
+  EXPECT_THROW(spreading_gain(-1.0), vibguard::InvalidArgument);
+}
+
+TEST(PropagationTest, AirAbsorptionNegligibleAtLowFrequency) {
+  EXPECT_NEAR(air_absorption_gain(100.0, 5.0), 1.0, 1e-3);
+}
+
+TEST(PropagationTest, AirAbsorptionGrowsWithFrequencyAndDistance) {
+  EXPECT_LT(air_absorption_gain(8000.0, 10.0),
+            air_absorption_gain(1000.0, 10.0));
+  EXPECT_LT(air_absorption_gain(8000.0, 10.0),
+            air_absorption_gain(8000.0, 1.0));
+}
+
+TEST(PropagationTest, PropagateScalesRmsByDistance) {
+  const Signal in = dsp::tone(500.0, 0.5, 16000.0);
+  const Signal out = propagate(in, 2.0);
+  EXPECT_NEAR(out.rms(), in.rms() / 2.0, 0.02 * in.rms());
+}
+
+TEST(PropagationTest, PropagatePreservesShape) {
+  const Signal in = dsp::tone(500.0, 0.5, 16000.0);
+  const Signal out = propagate(in, 3.0);
+  EXPECT_EQ(out.size(), in.size());
+}
+
+}  // namespace
+}  // namespace vibguard::acoustics

@@ -1,0 +1,132 @@
+#include "attacks/attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsp/spectral.hpp"
+
+namespace vibguard::attacks {
+namespace {
+
+speech::SpeakerProfile victim() {
+  Rng rng(10);
+  auto p = speech::sample_speaker(speech::Sex::kFemale, rng);
+  p.id = "victim";
+  return p;
+}
+
+speech::SpeakerProfile adversary() {
+  Rng rng(20);
+  auto p = speech::sample_speaker(speech::Sex::kMale, rng);
+  p.id = "adversary";
+  return p;
+}
+
+class AttackTypeTest : public ::testing::TestWithParam<AttackType> {};
+
+TEST_P(AttackTypeTest, GeneratesNonEmptyAudioWithMetadata) {
+  AttackGenerator gen;
+  Rng rng(1);
+  const auto& cmd = speech::command_by_text("unlock the front door");
+  const auto sound = gen.generate(GetParam(), cmd, victim(), adversary(), rng);
+  EXPECT_EQ(sound.type, GetParam());
+  EXPECT_FALSE(sound.audio.empty());
+  EXPECT_GT(sound.audio.rms(), 0.0);
+  EXPECT_EQ(sound.command, cmd.text);
+}
+
+TEST_P(AttackTypeTest, NameAndKindConsistent) {
+  EXPECT_FALSE(attack_name(GetParam()).empty());
+  (void)command_kind(GetParam());  // must not throw
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, AttackTypeTest,
+                         ::testing::ValuesIn(all_attack_types()));
+
+TEST(AttackTest, FourAttackTypes) {
+  EXPECT_EQ(all_attack_types().size(), 4u);
+  EXPECT_EQ(attack_name(AttackType::kHiddenVoice), "hidden_voice");
+}
+
+TEST(AttackTest, SpeechAttacksCarryAlignment) {
+  AttackGenerator gen;
+  Rng rng(2);
+  const auto& cmd = speech::command_by_text("turn on the lights");
+  for (AttackType t : {AttackType::kRandom, AttackType::kReplay,
+                       AttackType::kSynthesis}) {
+    const auto sound = gen.generate(t, cmd, victim(), adversary(), rng);
+    EXPECT_EQ(sound.alignment.size(), cmd.phonemes.size())
+        << attack_name(t);
+  }
+}
+
+TEST(AttackTest, HiddenVoiceHasNoAlignment) {
+  AttackGenerator gen;
+  Rng rng(3);
+  const auto sound = gen.hidden_voice_attack("ok google", rng);
+  EXPECT_TRUE(sound.alignment.empty());
+}
+
+TEST(AttackTest, HiddenVoiceIsWideband) {
+  AttackGenerator gen;
+  Rng rng(4);
+  const auto sound = gen.hidden_voice_attack("ok google", rng, 1.5);
+  // Paper Sec. VII-D: hidden commands occupy 0-6 kHz.
+  EXPECT_GT(dsp::band_energy_fraction(sound.audio, 0.0, 6200.0), 0.9);
+  EXPECT_GT(dsp::band_energy_fraction(sound.audio, 3000.0, 6200.0), 0.2);
+}
+
+TEST(AttackTest, HiddenVoiceHasSyllabicEnvelope) {
+  AttackGenerator gen;
+  Rng rng(5);
+  const auto sound = gen.hidden_voice_attack("x", rng, 2.0);
+  // Short-window RMS should oscillate (modulated), unlike flat noise.
+  const double fs = sound.audio.sample_rate();
+  const auto win = static_cast<std::size_t>(fs * 0.02);
+  std::vector<double> env;
+  for (std::size_t i = 0; i + win < sound.audio.size(); i += win) {
+    env.push_back(sound.audio.slice(i, i + win).rms());
+  }
+  double mx = 0.0, mn = 1e9;
+  for (double e : env) {
+    mx = std::max(mx, e);
+    mn = std::min(mn, e);
+  }
+  EXPECT_GT(mx, 2.0 * mn);
+}
+
+TEST(AttackTest, RandomAttackUsesAdversaryVoice) {
+  AttackGenerator gen;
+  Rng r1(6), r2(6);
+  const auto& cmd = speech::command_by_text("stop");
+  const auto a = gen.random_attack(cmd, adversary(), r1);
+  const auto b = gen.replay_attack(cmd, victim(), r2);
+  // Different speakers (different sex) give different spectral centroids.
+  EXPECT_NE(dsp::spectral_centroid(a.audio), dsp::spectral_centroid(b.audio));
+}
+
+TEST(AttackTest, SynthesisIsSmootherThanReplay) {
+  AttackGenerator gen;
+  Rng r1(7), r2(7);
+  const auto& cmd = speech::command_by_text("open the garage");
+  const auto replay = gen.replay_attack(cmd, victim(), r1);
+  const auto synth = gen.synthesis_attack(cmd, victim(), r2);
+  // Vocoder shelf cuts the highest band relative to replay.
+  const double r_hf = dsp::band_energy_fraction(replay.audio, 7000.0, 8000.0);
+  const double s_hf = dsp::band_energy_fraction(synth.audio, 7000.0, 8000.0);
+  EXPECT_LE(s_hf, r_hf + 1e-6);
+}
+
+TEST(AttackTest, DeterministicGivenSeed) {
+  AttackGenerator gen;
+  Rng r1(8), r2(8);
+  const auto& cmd = speech::command_by_text("stop");
+  const auto a = gen.replay_attack(cmd, victim(), r1);
+  const auto b = gen.replay_attack(cmd, victim(), r2);
+  ASSERT_EQ(a.audio.size(), b.audio.size());
+  for (std::size_t i = 0; i < a.audio.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.audio[i], b.audio[i]);
+  }
+}
+
+}  // namespace
+}  // namespace vibguard::attacks

@@ -1,0 +1,49 @@
+#include "common/db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vibguard {
+namespace {
+
+TEST(DbTest, ReferencePointRoundTrips) {
+  EXPECT_NEAR(spl_to_rms(kReferenceSpl), kReferenceRms, 1e-12);
+  EXPECT_NEAR(rms_to_spl(kReferenceRms), kReferenceSpl, 1e-12);
+}
+
+TEST(DbTest, TwentyDbIsTenfoldAmplitude) {
+  EXPECT_NEAR(spl_to_rms(kReferenceSpl + 20.0), 10.0 * kReferenceRms, 1e-12);
+  EXPECT_NEAR(spl_to_rms(kReferenceSpl - 20.0), 0.1 * kReferenceRms, 1e-12);
+}
+
+TEST(DbTest, SplRmsInverse) {
+  for (double spl = 40.0; spl <= 90.0; spl += 7.0) {
+    EXPECT_NEAR(rms_to_spl(spl_to_rms(spl)), spl, 1e-9);
+  }
+}
+
+TEST(DbTest, ZeroRmsIsNegativeInfinity) {
+  EXPECT_TRUE(std::isinf(rms_to_spl(0.0)));
+  EXPECT_LT(rms_to_spl(0.0), 0.0);
+}
+
+TEST(DbTest, PowerToDb) {
+  EXPECT_NEAR(power_to_db(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(power_to_db(100.0), 20.0, 1e-12);
+  EXPECT_TRUE(std::isinf(power_to_db(0.0)));
+}
+
+TEST(DbTest, AmplitudeToDb) {
+  EXPECT_NEAR(amplitude_to_db(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(amplitude_to_db(0.5), -6.0206, 1e-3);
+}
+
+TEST(DbTest, DbToAmplitudeInverse) {
+  for (double db = -40.0; db <= 40.0; db += 5.0) {
+    EXPECT_NEAR(amplitude_to_db(db_to_amplitude(db)), db, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vibguard

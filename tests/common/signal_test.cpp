@@ -1,0 +1,134 @@
+#include "common/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vibguard {
+namespace {
+
+TEST(SignalTest, ConstructionStoresSamplesAndRate) {
+  Signal s({1.0, 2.0, 3.0}, 100.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.sample_rate(), 100.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+}
+
+TEST(SignalTest, RejectsNonPositiveRate) {
+  EXPECT_THROW(Signal({1.0}, 0.0), InvalidArgument);
+  EXPECT_THROW(Signal({1.0}, -10.0), InvalidArgument);
+}
+
+TEST(SignalTest, ZerosFactory) {
+  const auto s = Signal::zeros(10, 50.0);
+  EXPECT_EQ(s.size(), 10u);
+  for (double v : s) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SignalTest, DurationIsSizeOverRate) {
+  const auto s = Signal::zeros(200, 100.0);
+  EXPECT_DOUBLE_EQ(s.duration(), 2.0);
+  EXPECT_DOUBLE_EQ(Signal().duration(), 0.0);
+}
+
+TEST(SignalTest, RmsOfConstantSignal) {
+  Signal s({3.0, 3.0, 3.0, 3.0}, 10.0);
+  EXPECT_DOUBLE_EQ(s.rms(), 3.0);
+}
+
+TEST(SignalTest, RmsOfSineIsAmplitudeOverSqrt2) {
+  std::vector<double> v(1000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = 2.0 * std::sin(2.0 * M_PI * 10.0 * i / 1000.0);
+  }
+  Signal s(std::move(v), 1000.0);
+  EXPECT_NEAR(s.rms(), 2.0 / std::sqrt(2.0), 1e-6);
+}
+
+TEST(SignalTest, PeakIsMaxAbsolute) {
+  Signal s({1.0, -5.0, 2.0}, 10.0);
+  EXPECT_DOUBLE_EQ(s.peak(), 5.0);
+}
+
+TEST(SignalTest, ScaleMultipliesAllSamples) {
+  Signal s({1.0, -2.0}, 10.0);
+  s.scale(3.0);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], -6.0);
+}
+
+TEST(SignalTest, ScaledToRmsHitsTarget) {
+  Signal s({1.0, -1.0, 1.0, -1.0}, 10.0);
+  const auto t = s.scaled_to_rms(0.5);
+  EXPECT_NEAR(t.rms(), 0.5, 1e-12);
+}
+
+TEST(SignalTest, ScaledToRmsOfSilenceStaysSilent) {
+  const auto s = Signal::zeros(8, 10.0);
+  const auto t = s.scaled_to_rms(1.0);
+  EXPECT_DOUBLE_EQ(t.rms(), 0.0);
+}
+
+TEST(SignalTest, AddIsElementwise) {
+  Signal a({1.0, 2.0}, 10.0);
+  Signal b({10.0, 20.0}, 10.0);
+  a.add(b);
+  EXPECT_DOUBLE_EQ(a[0], 11.0);
+  EXPECT_DOUBLE_EQ(a[1], 22.0);
+}
+
+TEST(SignalTest, AddRejectsLengthMismatch) {
+  Signal a({1.0, 2.0}, 10.0);
+  Signal b({1.0}, 10.0);
+  EXPECT_THROW(a.add(b), InvalidArgument);
+}
+
+TEST(SignalTest, AddRejectsRateMismatch) {
+  Signal a({1.0}, 10.0);
+  Signal b({1.0}, 20.0);
+  EXPECT_THROW(a.add(b), InvalidArgument);
+}
+
+TEST(SignalTest, AppendConcatenates) {
+  Signal a({1.0}, 10.0);
+  Signal b({2.0, 3.0}, 10.0);
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[2], 3.0);
+}
+
+TEST(SignalTest, AppendToDefaultAdoptsRate) {
+  Signal a;
+  a.append(Signal({1.0}, 44100.0));
+  EXPECT_DOUBLE_EQ(a.sample_rate(), 44100.0);
+}
+
+TEST(SignalTest, SliceReturnsHalfOpenRange) {
+  Signal s({0.0, 1.0, 2.0, 3.0}, 10.0);
+  const auto t = s.slice(1, 3);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t[0], 1.0);
+  EXPECT_DOUBLE_EQ(t[1], 2.0);
+}
+
+TEST(SignalTest, SliceRejectsOutOfBounds) {
+  Signal s({0.0, 1.0}, 10.0);
+  EXPECT_THROW(s.slice(1, 3), InvalidArgument);
+  EXPECT_THROW(s.slice(2, 1), InvalidArgument);
+}
+
+TEST(SignalTest, ConcatenateJoinsParts) {
+  std::vector<Signal> parts = {Signal({1.0}, 10.0), Signal({2.0}, 10.0)};
+  const auto s = concatenate(parts);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(SignalTest, ConcatenateEmptyGivesEmpty) {
+  const auto s = concatenate({});
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace vibguard

@@ -1,0 +1,103 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vibguard {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, VarianceOfConstantIsZero) {
+  std::vector<double> xs = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(StatsTest, VarianceKnownValue) {
+  std::vector<double> xs = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 1.0);  // population variance
+  EXPECT_DOUBLE_EQ(stddev(xs), 1.0);
+}
+
+TEST(StatsTest, QuantileEndpoints) {
+  std::vector<double> xs = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(median(xs), 2.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(third_quartile(xs), 7.5);
+}
+
+TEST(StatsTest, QuantileRejectsBadInput) {
+  std::vector<double> xs = {1.0};
+  EXPECT_THROW(quantile(xs, 1.5), InvalidArgument);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), InvalidArgument);
+}
+
+TEST(StatsTest, ThirdQuartileOfSequence) {
+  // 0..99: Q3 = 74.25 under linear interpolation.
+  std::vector<double> xs(100);
+  for (int i = 0; i < 100; ++i) xs[i] = i;
+  EXPECT_NEAR(third_quartile(xs), 74.25, 1e-9);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectAnticorrelation) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonZeroVarianceGivesZero) {
+  std::vector<double> a = {1.0, 1.0, 1.0};
+  std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(StatsTest, PearsonIndependentNoiseNearZero) {
+  Rng rng(5);
+  const auto a = rng.gaussian_vector(20000);
+  const auto b = rng.gaussian_vector(20000);
+  EXPECT_NEAR(pearson(a, b), 0.0, 0.03);
+}
+
+TEST(StatsTest, PearsonRejectsLengthMismatch) {
+  std::vector<double> a = {1.0, 2.0};
+  std::vector<double> b = {1.0};
+  EXPECT_THROW(pearson(a, b), InvalidArgument);
+}
+
+TEST(StatsTest, PearsonShiftAndScaleInvariant) {
+  Rng rng(9);
+  const auto a = rng.gaussian_vector(1000);
+  std::vector<double> b(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) b[i] = 5.0 * a[i] - 2.0;
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(StatsTest, MinMaxArgmax) {
+  std::vector<double> xs = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_EQ(argmax(xs), 2u);
+}
+
+}  // namespace
+}  // namespace vibguard

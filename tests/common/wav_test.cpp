@@ -1,0 +1,76 @@
+#include "common/wav.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/generate.hpp"
+
+namespace vibguard {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(WavTest, RoundTripPreservesSignal) {
+  Rng rng(1);
+  const Signal original = dsp::white_noise(0.25, 16000.0, 0.1, rng);
+  const std::string path = temp_path("vibguard_roundtrip.wav");
+  write_wav(path, original);
+  const Signal loaded = read_wav(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_DOUBLE_EQ(loaded.sample_rate(), 16000.0);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(loaded[i], original[i], 1.0 / 32768.0 + 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, ClipsOutOfRangeSamples) {
+  Signal loud({2.0, -3.0, 0.5}, 8000.0);
+  const std::string path = temp_path("vibguard_clip.wav");
+  write_wav(path, loud);
+  const Signal loaded = read_wav(path);
+  EXPECT_NEAR(loaded[0], 1.0, 0.001);
+  EXPECT_NEAR(loaded[1], -1.0, 0.001);
+  EXPECT_NEAR(loaded[2], 0.5, 0.001);
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, PreservesSampleRate) {
+  const Signal s = Signal::zeros(100, 200.0);
+  const std::string path = temp_path("vibguard_rate.wav");
+  write_wav(path, s);
+  EXPECT_DOUBLE_EQ(read_wav(path).sample_rate(), 200.0);
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, EmptySignalRoundTrips) {
+  const Signal s({}, 16000.0);
+  const std::string path = temp_path("vibguard_empty.wav");
+  write_wav(path, s);
+  EXPECT_TRUE(read_wav(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, ReadRejectsMissingFile) {
+  EXPECT_THROW(read_wav("/nonexistent/dir/x.wav"), Error);
+}
+
+TEST(WavTest, ReadRejectsGarbage) {
+  const std::string path = temp_path("vibguard_garbage.wav");
+  {
+    std::ofstream f(path);
+    f << "this is definitely not a wav file, not even close to 44 bytes..";
+  }
+  EXPECT_THROW(read_wav(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vibguard

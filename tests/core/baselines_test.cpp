@@ -1,0 +1,141 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acoustics/barrier.hpp"
+#include "acoustics/propagation.hpp"
+#include "common/db.hpp"
+#include "common/error.hpp"
+#include "core/pipeline.hpp"
+#include "core/segmentation.hpp"
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+
+namespace vibguard::core {
+namespace {
+
+TEST(WearIdTest, CloseSpeechVerifies) {
+  // The user speaks 25 cm from the wearable: direct vibration is strong and
+  // consistent with the VA recording.
+  WearIdVerifier verifier;
+  speech::UtteranceBuilder builder;
+  Rng rng(1);
+  const auto spk = speech::sample_speaker(speech::Sex::kMale, rng);
+  auto utt = builder.build(speech::command_by_text("turn on the lights"),
+                           spk, rng);
+  Signal source = utt.audio.scaled_to_rms(spl_to_rms(72.0));
+  const Signal at_wearable = acoustics::propagate(source, 0.25);
+  const Signal at_va = acoustics::propagate(source, 2.0);
+  Rng r(2);
+  EXPECT_GT(verifier.score(at_wearable, at_va, r), 0.4);
+}
+
+TEST(WearIdTest, DistantSpeechFailsToVerify) {
+  // WearID's documented limitation (paper Sec. VIII): beyond ~30 cm the
+  // airborne sound cannot shake the accelerometer, so verification fails
+  // even for the legitimate user.
+  WearIdVerifier verifier;
+  speech::UtteranceBuilder builder;
+  Rng rng(3);
+  const auto spk = speech::sample_speaker(speech::Sex::kFemale, rng);
+  auto utt = builder.build(speech::command_by_text("turn on the lights"),
+                           spk, rng);
+  Signal source = utt.audio.scaled_to_rms(spl_to_rms(70.0));
+  const Signal at_wearable = acoustics::propagate(source, 2.5);
+  const Signal at_va = acoustics::propagate(source, 2.0);
+  Rng r_near(4), r_far(4);
+  const Signal near_field = acoustics::propagate(source, 0.25);
+  const double close_score = verifier.score(near_field, at_va, r_near);
+  const double far_score = verifier.score(at_wearable, at_va, r_far);
+  EXPECT_LT(far_score, close_score);
+}
+
+TEST(TwoMicTest, ExpectedGeometryScoresHigh) {
+  TwoMicVerifier verifier;
+  // Wearable 14 dB louder than VA -> matches the expected user geometry.
+  Signal wearable({0.5, -0.5, 0.5, -0.5}, 16000.0);
+  Signal va = wearable;
+  va.scale(db_to_amplitude(-14.0));
+  EXPECT_GT(verifier.score(wearable, va), 0.95);
+}
+
+TEST(TwoMicTest, EqualLevelsScoreLow) {
+  // Thru-barrier attack: both devices hear roughly the same level.
+  TwoMicVerifier verifier;
+  Signal a({0.5, -0.5, 0.5, -0.5}, 16000.0);
+  EXPECT_LT(verifier.score(a, a), 0.1);
+}
+
+TEST(TwoMicTest, FooledByGeometryMimicry) {
+  // An attacker much closer to the wearable than to the VA reproduces the
+  // expected level ratio — 2MA's structural weakness.
+  TwoMicVerifier verifier;
+  Signal wearable({0.5, -0.5, 0.5, -0.5}, 16000.0);
+  Signal va = wearable;
+  va.scale(db_to_amplitude(-14.0));  // attacker-side geometry mimicry
+  EXPECT_GT(verifier.score(wearable, va), 0.9);
+}
+
+TEST(TwoMicTest, SilenceScoresZero) {
+  TwoMicVerifier verifier;
+  const Signal silence = Signal::zeros(16, 16000.0);
+  const Signal speech({0.1, -0.1}, 16000.0);
+  EXPECT_DOUBLE_EQ(verifier.score(silence, speech), 0.0);
+}
+
+TEST(TwoMicTest, RejectsBadTolerance) {
+  TwoMicVerifier::Config cfg;
+  cfg.tolerance_db = 0.0;
+  EXPECT_THROW(TwoMicVerifier{cfg}, vibguard::InvalidArgument);
+}
+
+TEST(ThresholdCalibratorTest, PicksBelowScoreMass) {
+  ThresholdCalibrator cal(0.05, 0.05);
+  std::vector<double> scores;
+  for (int i = 0; i < 100; ++i) scores.push_back(0.7 + 0.002 * i);
+  const double theta = cal.calibrate(scores);
+  EXPECT_LT(theta, 0.71);
+  EXPECT_GT(theta, 0.55);
+}
+
+TEST(ThresholdCalibratorTest, RejectsTooFewScores) {
+  ThresholdCalibrator cal;
+  EXPECT_THROW(cal.calibrate({0.5, 0.6}), vibguard::InvalidArgument);
+}
+
+TEST(ThresholdCalibratorTest, RejectsBadQuantile) {
+  EXPECT_THROW(ThresholdCalibrator(0.0, 0.0), vibguard::InvalidArgument);
+  EXPECT_THROW(ThresholdCalibrator(1.0, 0.0), vibguard::InvalidArgument);
+  EXPECT_THROW(ThresholdCalibrator(0.5, -0.1), vibguard::InvalidArgument);
+}
+
+TEST(ThresholdCalibratorTest, CalibratedThresholdWorksInPipeline) {
+  // Enrollment: legit-only scores from the simulator; the calibrated
+  // threshold should then separate a fresh attack.
+  eval::ScenarioSimulator sim(eval::ScenarioConfig{}, 5);
+  Rng rng(6);
+  const auto user = speech::sample_speaker(speech::Sex::kMale, rng);
+  const auto adversary = speech::sample_speaker(speech::Sex::kFemale, rng);
+  DefenseSystem system{DefenseConfig{}};
+
+  std::vector<double> enroll;
+  const auto lexicon = speech::command_lexicon();
+  for (int i = 0; i < 8; ++i) {
+    const auto t = sim.legitimate_trial(lexicon[i], user);
+    OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+    Rng r(100 + i);
+    enroll.push_back(system.score(t.va, t.wearable, &seg, r));
+  }
+  const double theta = ThresholdCalibrator(0.1, 0.05).calibrate(enroll);
+  EXPECT_GT(theta, 0.2);
+  EXPECT_LT(theta, 0.9);
+
+  const auto attack = sim.attack_trial(attacks::AttackType::kReplay,
+                                       lexicon[0], user, adversary);
+  OracleSegmenter seg(attack.alignment, eval::reference_sensitive_set());
+  Rng r(200);
+  EXPECT_LT(system.score(attack.va, attack.wearable, &seg, r), theta);
+}
+
+}  // namespace
+}  // namespace vibguard::core

@@ -1,0 +1,72 @@
+#include "core/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/vibration_features.hpp"
+#include "dsp/generate.hpp"
+
+namespace vibguard::core {
+namespace {
+
+dsp::Spectrogram features_of(const Signal& vib) {
+  return VibrationFeatureExtractor{}.extract(vib);
+}
+
+TEST(DetectorTest, IdenticalFeaturesScoreOne) {
+  Rng rng(1);
+  const Signal vib = dsp::white_noise(2.0, 200.0, 0.01, rng);
+  const auto f = features_of(vib);
+  CorrelationDetector det;
+  EXPECT_NEAR(det.score(f, f), 1.0, 1e-9);
+  EXPECT_FALSE(det.detect(f, f).is_attack);
+}
+
+TEST(DetectorTest, IndependentNoiseDetectedAsAttack) {
+  Rng rng(2);
+  const Signal v1 = dsp::white_noise(5.0, 200.0, 0.01, rng);
+  const Signal v2 = dsp::white_noise(5.0, 200.0, 0.01, rng);
+  CorrelationDetector det(0.35);
+  const auto result = det.detect(features_of(v1), features_of(v2));
+  EXPECT_LT(result.score, 0.35);
+  EXPECT_TRUE(result.is_attack);
+}
+
+TEST(DetectorTest, SharedSignalWithSmallNoiseAccepted) {
+  Rng rng(3);
+  const Signal base = dsp::tone(30.0, 5.0, 200.0, 0.05);
+  Signal v1 = base, v2 = base;
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    v1[i] += rng.gaussian(0.0, 0.002);
+    v2[i] += rng.gaussian(0.0, 0.002);
+  }
+  CorrelationDetector det(0.35);
+  const auto result = det.detect(features_of(v1), features_of(v2));
+  EXPECT_GT(result.score, 0.7);
+  EXPECT_FALSE(result.is_attack);
+}
+
+TEST(DetectorTest, ThresholdBoundaryBehaviour) {
+  CorrelationDetector det(0.5);
+  EXPECT_DOUBLE_EQ(det.threshold(), 0.5);
+  dsp::Spectrogram a(2, 3, 1.0, 0.1), b(2, 3, 1.0, 0.1);
+  // Zero-variance spectrograms -> score 0 -> attack at any threshold > 0.
+  EXPECT_TRUE(det.detect(a, b).is_attack);
+}
+
+TEST(DetectorTest, RejectsInvalidThreshold) {
+  EXPECT_THROW(CorrelationDetector(1.5), vibguard::InvalidArgument);
+  EXPECT_THROW(CorrelationDetector(-1.5), vibguard::InvalidArgument);
+}
+
+TEST(DetectorTest, ScoreSymmetry) {
+  Rng rng(4);
+  const auto a = features_of(dsp::white_noise(3.0, 200.0, 0.01, rng));
+  const auto b = features_of(dsp::white_noise(3.0, 200.0, 0.01, rng));
+  CorrelationDetector det;
+  EXPECT_NEAR(det.score(a, b), det.score(b, a), 1e-12);
+}
+
+}  // namespace
+}  // namespace vibguard::core

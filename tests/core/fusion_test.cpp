@@ -1,0 +1,80 @@
+#include "core/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+
+namespace vibguard::core {
+namespace {
+
+struct Fixture {
+  eval::ScenarioSimulator sim{eval::ScenarioConfig{}, 21};
+  speech::SpeakerProfile user;
+  speech::SpeakerProfile adversary;
+
+  Fixture() {
+    Rng rng(22);
+    user = speech::sample_speaker(speech::Sex::kFemale, rng);
+    adversary = speech::sample_speaker(speech::Sex::kMale, rng);
+  }
+};
+
+TEST(FusionTest, WeightOneEqualsVibrationScore) {
+  Fixture fx;
+  const auto t = fx.sim.legitimate_trial(
+      speech::command_by_text("turn on the lights"), fx.user);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+
+  FusionConfig cfg;
+  cfg.vibration_weight = 1.0;
+  FusionScorer fusion(cfg);
+  DefenseSystem vibration{DefenseConfig{}};
+  Rng r1(1), r2(1);
+  // Same rng stream: the vibration path consumes identical draws first.
+  const double fused = fusion.score(t.va, t.wearable, &seg, r1);
+  const double direct = vibration.score(t.va, t.wearable, &seg, r2);
+  EXPECT_DOUBLE_EQ(fused, direct);
+}
+
+TEST(FusionTest, ScoresBlendBetweenComponents) {
+  Fixture fx;
+  const auto t = fx.sim.legitimate_trial(
+      speech::command_by_text("play some music"), fx.user);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  FusionConfig half;
+  half.vibration_weight = 0.5;
+  Rng r(2);
+  const double s = FusionScorer(half).score(t.va, t.wearable, &seg, r);
+  EXPECT_GE(s, -1.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(FusionTest, SeparatesLegitimateFromAttack) {
+  Fixture fx;
+  FusionScorer fusion;
+  const auto legit = fx.sim.legitimate_trial(
+      speech::command_by_text("unlock the front door"), fx.user);
+  const auto attack = fx.sim.attack_trial(
+      attacks::AttackType::kHiddenVoice,
+      speech::command_by_text("unlock the front door"), fx.user,
+      fx.adversary);
+  OracleSegmenter seg_l(legit.alignment, eval::reference_sensitive_set());
+  OracleSegmenter seg_a(attack.alignment, eval::reference_sensitive_set());
+  Rng r1(3), r2(4);
+  const auto ok = fusion.detect(legit.va, legit.wearable, &seg_l, r1);
+  const auto bad = fusion.detect(attack.va, attack.wearable, &seg_a, r2);
+  EXPECT_FALSE(ok.is_attack);
+  EXPECT_TRUE(bad.is_attack);
+  EXPECT_GT(ok.score, bad.score);
+}
+
+TEST(FusionTest, RejectsBadWeight) {
+  FusionConfig cfg;
+  cfg.vibration_weight = 1.5;
+  EXPECT_THROW(FusionScorer{cfg}, vibguard::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vibguard::core

@@ -1,0 +1,152 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/attack.hpp"
+#include "common/error.hpp"
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+
+namespace vibguard::core {
+namespace {
+
+eval::TrialRecordings legit_trial(std::uint64_t seed) {
+  eval::ScenarioSimulator sim(eval::ScenarioConfig{}, seed);
+  Rng rng(seed + 1);
+  const auto spk = speech::sample_speaker(speech::Sex::kMale, rng);
+  return sim.legitimate_trial(
+      speech::command_by_text("turn on the lights"), spk);
+}
+
+eval::TrialRecordings attack_trial(std::uint64_t seed) {
+  eval::ScenarioSimulator sim(eval::ScenarioConfig{}, seed);
+  Rng rng(seed + 1);
+  const auto victim = speech::sample_speaker(speech::Sex::kMale, rng);
+  const auto adv = speech::sample_speaker(speech::Sex::kFemale, rng);
+  return sim.attack_trial(attacks::AttackType::kReplay,
+                          speech::command_by_text("turn on the lights"),
+                          victim, adv);
+}
+
+TEST(PipelineTest, ModeNames) {
+  EXPECT_STREQ(mode_name(DefenseMode::kFull), "full");
+  EXPECT_STREQ(mode_name(DefenseMode::kVibrationBaseline),
+               "vibration_baseline");
+  EXPECT_STREQ(mode_name(DefenseMode::kAudioBaseline), "audio_baseline");
+}
+
+TEST(PipelineTest, FullModeRequiresSegmenter) {
+  DefenseConfig cfg;
+  cfg.mode = DefenseMode::kFull;
+  DefenseSystem sys(cfg);
+  const auto t = legit_trial(1);
+  Rng rng(2);
+  EXPECT_THROW(sys.score(t.va, t.wearable, nullptr, rng),
+               vibguard::InvalidArgument);
+}
+
+TEST(PipelineTest, LegitimateCommandScoresHigh) {
+  DefenseConfig cfg;
+  DefenseSystem sys(cfg);
+  const auto t = legit_trial(3);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  Rng rng(4);
+  PipelineTrace trace;
+  const double s = sys.score(t.va, t.wearable, &seg, rng, &trace);
+  EXPECT_GT(s, 0.6);
+  EXPECT_GT(trace.num_ranges, 0u);
+  EXPECT_GT(trace.segment_seconds, 0.0);
+}
+
+TEST(PipelineTest, AttackScoresLowAndIsDetected) {
+  DefenseConfig cfg;
+  DefenseSystem sys(cfg);
+  const auto t = attack_trial(5);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  Rng rng(6);
+  const auto result = sys.detect(t.va, t.wearable, &seg, rng);
+  EXPECT_LT(result.score, 0.6);
+}
+
+TEST(PipelineTest, SyncEstimateMatchesInjectedDelay) {
+  DefenseConfig cfg;
+  DefenseSystem sys(cfg);
+  const auto t = legit_trial(7);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  Rng rng(8);
+  PipelineTrace trace;
+  sys.score(t.va, t.wearable, &seg, rng, &trace);
+  EXPECT_NEAR(trace.estimated_delay_s, t.true_delay_s, 0.01);
+}
+
+TEST(PipelineTest, BaselineModesIgnoreSegmenter) {
+  for (DefenseMode mode :
+       {DefenseMode::kVibrationBaseline, DefenseMode::kAudioBaseline}) {
+    DefenseConfig cfg;
+    cfg.mode = mode;
+    DefenseSystem sys(cfg);
+    const auto t = legit_trial(9);
+    Rng rng(10);
+    EXPECT_NO_THROW(sys.score(t.va, t.wearable, nullptr, rng));
+  }
+}
+
+TEST(PipelineTest, SeparationExistsInVibrationModes) {
+  // Average over a few trials: legit must outscore attack in both vibration
+  // modes (the core claim of the system).
+  for (DefenseMode mode : {DefenseMode::kFull,
+                           DefenseMode::kVibrationBaseline}) {
+    DefenseConfig cfg;
+    cfg.mode = mode;
+    DefenseSystem sys(cfg);
+    double legit_acc = 0.0, attack_acc = 0.0;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      const auto lt = legit_trial(20 + i);
+      const auto at = attack_trial(30 + i);
+      OracleSegmenter seg_l(lt.alignment, eval::reference_sensitive_set());
+      OracleSegmenter seg_a(at.alignment, eval::reference_sensitive_set());
+      Rng r1(40 + i), r2(50 + i);
+      legit_acc += sys.score(lt.va, lt.wearable, &seg_l, r1);
+      attack_acc += sys.score(at.va, at.wearable, &seg_a, r2);
+    }
+    EXPECT_GT(legit_acc, attack_acc + 0.5) << mode_name(mode);
+  }
+}
+
+TEST(PipelineTest, ShortSegmentsFallBackToWholeCommand) {
+  DefenseConfig cfg;
+  cfg.min_segment_seconds = 100.0;  // force fallback
+  DefenseSystem sys(cfg);
+  const auto t = legit_trial(11);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  Rng rng(12);
+  PipelineTrace trace;
+  sys.score(t.va, t.wearable, &seg, rng, &trace);
+  // Fallback scores the full synchronized command.
+  EXPECT_GT(trace.segment_seconds, 0.8);
+}
+
+TEST(PipelineTest, RejectsEmptyRecordings) {
+  DefenseConfig cfg;
+  cfg.mode = DefenseMode::kVibrationBaseline;
+  DefenseSystem sys(cfg);
+  Rng rng(13);
+  EXPECT_THROW(
+      sys.score(Signal({}, 16000.0), Signal({1.0}, 16000.0), nullptr, rng),
+      vibguard::InvalidArgument);
+}
+
+TEST(PipelineTest, TraceExposesFeatures) {
+  DefenseConfig cfg;
+  cfg.mode = DefenseMode::kVibrationBaseline;
+  DefenseSystem sys(cfg);
+  const auto t = legit_trial(14);
+  Rng rng(15);
+  PipelineTrace trace;
+  sys.score(t.va, t.wearable, nullptr, rng, &trace);
+  EXPECT_GT(trace.features_va.frames(), 0u);
+  EXPECT_EQ(trace.features_va.bins(), trace.features_wearable.bins());
+}
+
+}  // namespace
+}  // namespace vibguard::core

@@ -1,0 +1,162 @@
+#include "core/segmentation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "eval/experiment.hpp"
+
+namespace vibguard::core {
+namespace {
+
+speech::Utterance make_utterance(const char* text, std::uint64_t seed) {
+  speech::UtteranceBuilder builder;
+  Rng rng(seed);
+  auto spk = speech::sample_speaker(speech::Sex::kMale, rng);
+  return builder.build(speech::command_by_text(text), spk, rng);
+}
+
+TEST(RangeUtilsTest, NormalizeMergesOverlaps) {
+  auto merged = normalize_ranges({{10, 20}, {15, 30}, {40, 50}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].begin, 10u);
+  EXPECT_EQ(merged[0].end, 30u);
+  EXPECT_EQ(merged[1].begin, 40u);
+}
+
+TEST(RangeUtilsTest, NormalizeSortsAndDropsEmpty) {
+  auto merged = normalize_ranges({{40, 50}, {10, 20}, {30, 30}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].begin, 10u);
+}
+
+TEST(RangeUtilsTest, MinLengthFilter) {
+  auto merged = normalize_ranges({{0, 5}, {10, 100}}, 10);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].begin, 10u);
+}
+
+TEST(RangeUtilsTest, AdjacentRangesMerge) {
+  auto merged = normalize_ranges({{0, 10}, {10, 20}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].end, 20u);
+}
+
+TEST(ExtractRangesTest, ConcatenatesSelectedContent) {
+  Signal s({0.0, 1.0, 2.0, 3.0, 4.0, 5.0}, 10.0);
+  const std::vector<SampleRange> ranges = {{1, 3}, {4, 6}};
+  const Signal out = extract_ranges(s, ranges);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 4.0);
+}
+
+TEST(ExtractRangesTest, ClampsOutOfBounds) {
+  Signal s({0.0, 1.0}, 10.0);
+  const std::vector<SampleRange> ranges = {{1, 99}};
+  EXPECT_EQ(extract_ranges(s, ranges).size(), 1u);
+}
+
+TEST(ExtractRangesTest, EmptyRangesGiveEmptySignal) {
+  Signal s({0.0, 1.0}, 10.0);
+  const Signal out = extract_ranges(s, {});
+  EXPECT_TRUE(out.empty());
+  EXPECT_DOUBLE_EQ(out.sample_rate(), 10.0);
+}
+
+TEST(OracleSegmenterTest, SelectsOnlySensitiveSpans) {
+  const auto utt = make_utterance("turn on the lights", 1);
+  // "turn on the lights": t er n aa n dh ah l ay t s; /aa/ and /n/ are not
+  // in the reference sensitive set.
+  OracleSegmenter seg(utt.alignment, eval::reference_sensitive_set());
+  const auto ranges = seg.segment(utt.audio, 0);
+  std::size_t covered = 0;
+  for (const auto& r : ranges) covered += r.end - r.begin;
+  // Sensitive coverage is strictly partial.
+  EXPECT_GT(covered, 0u);
+  EXPECT_LT(covered, utt.audio.size());
+}
+
+TEST(OracleSegmenterTest, TimelineOffsetShiftsRanges) {
+  const auto utt = make_utterance("turn on the lights", 2);
+  OracleSegmenter seg(utt.alignment, eval::reference_sensitive_set());
+  const auto base = seg.segment(utt.audio, 0);
+  const std::size_t offset = 800;
+  const auto shifted = seg.segment(utt.audio.slice(offset, utt.audio.size()),
+                                   offset);
+  ASSERT_FALSE(base.empty());
+  ASSERT_FALSE(shifted.empty());
+  // First sensitive span begins at least `offset` later in base timeline.
+  EXPECT_LE(shifted[0].begin + offset,
+            base[0].begin + offset + utt.audio.size());
+  for (const auto& r : shifted) {
+    EXPECT_LE(r.end, utt.audio.size() - offset);
+  }
+}
+
+TEST(OracleSegmenterTest, EmptySensitiveSetGivesNoRanges) {
+  const auto utt = make_utterance("stop", 3);
+  OracleSegmenter seg(utt.alignment, {});
+  EXPECT_TRUE(seg.segment(utt.audio, 0).empty());
+}
+
+TEST(BrnnSegmenterTest, MakeSequenceLabelsSensitiveFrames) {
+  const auto utt = make_utterance("turn on the lights", 4);
+  BrnnSegmenter::Config cfg;
+  BrnnSegmenter seg(cfg, 1);
+  const auto data =
+      seg.make_sequence(utt.audio, utt.alignment,
+                        eval::reference_sensitive_set());
+  ASSERT_EQ(data.features.size(), data.labels.size());
+  ASSERT_FALSE(data.features.empty());
+  // Both classes present for this command.
+  bool has0 = false, has1 = false;
+  for (auto l : data.labels) {
+    has0 |= l == 0;
+    has1 |= l == 1;
+  }
+  EXPECT_TRUE(has0);
+  EXPECT_TRUE(has1);
+  EXPECT_EQ(data.features[0].size(), cfg.mfcc.num_coeffs);
+}
+
+TEST(BrnnSegmenterTest, TrainingImprovesAccuracy) {
+  BrnnSegmenter::Config cfg;
+  cfg.brnn.hidden_dim = 16;
+  cfg.brnn.adam.learning_rate = 5e-3;
+  BrnnSegmenter seg(cfg, 2);
+
+  // Small training set from several utterances.
+  std::vector<nn::LabeledSequence> data;
+  const char* cmds[] = {"turn on the lights", "stop", "call mom",
+                        "play some music", "set an alarm"};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const auto utt = make_utterance(cmds[i % 5], 100 + i);
+    data.push_back(seg.make_sequence(utt.audio, utt.alignment,
+                                     eval::reference_sensitive_set()));
+  }
+  const double before = seg.evaluate(data);
+  Rng rng(3);
+  for (int e = 0; e < 12; ++e) seg.train_epoch(data, 4, rng);
+  const double after = seg.evaluate(data);
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.75);
+}
+
+TEST(BrnnSegmenterTest, SegmentReturnsMergedFrameRuns) {
+  BrnnSegmenter::Config cfg;
+  BrnnSegmenter seg(cfg, 3);
+  const auto utt = make_utterance("what time is it", 5);
+  const auto ranges = seg.segment(utt.audio, 0);
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_GT(ranges[i].begin, ranges[i - 1].end);
+  }
+}
+
+TEST(BrnnSegmenterTest, RejectsMismatchedDims) {
+  BrnnSegmenter::Config cfg;
+  cfg.brnn.in_dim = 10;  // mfcc.num_coeffs is 14
+  EXPECT_THROW(BrnnSegmenter(cfg, 1), vibguard::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vibguard::core

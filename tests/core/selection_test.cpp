@@ -1,0 +1,128 @@
+#include "core/phoneme_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acoustics/material.hpp"
+#include "common/error.hpp"
+
+namespace vibguard::core {
+namespace {
+
+/// Shared across tests: selection is the most expensive offline step, so run
+/// it once on a reduced (but statistically meaningful) corpus.
+const SelectionResult& reference_run() {
+  static const SelectionResult result = [] {
+    speech::CorpusConfig ccfg;
+    ccfg.segments_per_phoneme = 20;
+    speech::PhonemeCorpus corpus(ccfg, 42);
+    PhonemeSelector selector(SelectionConfig{}, device::Wearable{});
+    acoustics::Barrier barrier(acoustics::glass_window());
+    Rng rng(7);
+    return selector.select(corpus, barrier, rng);
+  }();
+  return result;
+}
+
+TEST(PhonemeSelectionTest, CoversAllCommonPhonemes) {
+  const auto& r = reference_run();
+  EXPECT_EQ(r.phonemes.size(), 37u);
+}
+
+TEST(PhonemeSelectionTest, SelectsMajorityOfPhonemes) {
+  // Paper: 31 of 37. Our physics selects 29; accept the same ballpark.
+  const auto& r = reference_run();
+  EXPECT_GE(r.sensitive.size(), 26u);
+  EXPECT_LE(r.sensitive.size(), 33u);
+}
+
+TEST(PhonemeSelectionTest, LoudLowVowelsFailCriterion1) {
+  // The paper's named exclusions: /aa/ and /ao/ still trigger the
+  // accelerometer through the barrier.
+  const auto& r = reference_run();
+  EXPECT_FALSE(r.info("aa").passes_criterion1);
+  EXPECT_FALSE(r.info("ao").passes_criterion1);
+  EXPECT_FALSE(r.is_sensitive("aa"));
+  EXPECT_FALSE(r.is_sensitive("ao"));
+}
+
+TEST(PhonemeSelectionTest, WeakCouplingSonorantsFailCriterion2) {
+  const auto& r = reference_run();
+  for (const char* sym : {"iy", "w", "y", "m", "n", "ng"}) {
+    EXPECT_FALSE(r.info(sym).passes_criterion2) << sym;
+  }
+}
+
+TEST(PhonemeSelectionTest, StrongObstruentsSelected) {
+  const auto& r = reference_run();
+  for (const char* sym : {"t", "d", "k", "s", "sh", "ch"}) {
+    EXPECT_TRUE(r.is_sensitive(sym)) << sym;
+  }
+}
+
+TEST(PhonemeSelectionTest, MidVowelsSelected) {
+  const auto& r = reference_run();
+  for (const char* sym : {"ae", "eh", "ih", "er"}) {
+    EXPECT_TRUE(r.is_sensitive(sym)) << sym;
+  }
+}
+
+TEST(PhonemeSelectionTest, Criterion1MeasuresBarrierResidual) {
+  // Thru-barrier Q3 of the loud vowels must exceed that of fricatives
+  // whose energy the barrier absorbs completely.
+  const auto& r = reference_run();
+  EXPECT_GT(r.info("aa").max_q3_with_barrier,
+            1.5 * r.info("s").max_q3_with_barrier);
+}
+
+TEST(PhonemeSelectionTest, Criterion2MeasuresDirectResponse) {
+  const auto& r = reference_run();
+  EXPECT_GT(r.info("t").min_q3_without_barrier,
+            3.0 * r.info("m").min_q3_without_barrier);
+}
+
+TEST(PhonemeSelectionTest, SpectraBinCountConsistent) {
+  const auto& r = reference_run();
+  for (const auto& p : r.phonemes) {
+    EXPECT_EQ(p.q3_with_barrier.size(), p.q3_without_barrier.size());
+    EXPECT_FALSE(p.q3_with_barrier.empty());
+  }
+  EXPECT_GT(r.bin_hz, 0.0);
+}
+
+TEST(PhonemeSelectionTest, SelectedEqualsBothCriteria) {
+  const auto& r = reference_run();
+  for (const auto& p : r.phonemes) {
+    EXPECT_EQ(p.selected, p.passes_criterion1 && p.passes_criterion2)
+        << p.symbol;
+    EXPECT_EQ(r.is_sensitive(p.symbol), p.selected) << p.symbol;
+  }
+}
+
+TEST(PhonemeSelectionTest, CalibratedThresholdBelowAlpha) {
+  // The noise-floor calibration must land below the operating threshold
+  // (otherwise silence would "trigger" the accelerometer).
+  PhonemeSelector selector(SelectionConfig{}, device::Wearable{});
+  Rng rng(11);
+  const double cal = selector.calibrate_threshold(rng);
+  EXPECT_GT(cal, 0.0);
+  EXPECT_LT(cal, SelectionConfig{}.alpha);
+}
+
+TEST(PhonemeSelectionTest, InfoLookupRejectsUnknown) {
+  const auto& r = reference_run();
+  EXPECT_THROW(r.info("zz"), vibguard::InvalidArgument);
+}
+
+TEST(PhonemeSelectionTest, RejectsBadConfig) {
+  SelectionConfig cfg;
+  cfg.alpha = 0.0;
+  EXPECT_THROW(PhonemeSelector(cfg, device::Wearable{}),
+               vibguard::InvalidArgument);
+  SelectionConfig cfg2;
+  cfg2.spl_levels.clear();
+  EXPECT_THROW(PhonemeSelector(cfg2, device::Wearable{}),
+               vibguard::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vibguard::core

@@ -1,0 +1,103 @@
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+
+namespace vibguard::core {
+namespace {
+
+struct Fixture {
+  eval::ScenarioSimulator sim{eval::ScenarioConfig{}, 9};
+  speech::SpeakerProfile user;
+  speech::SpeakerProfile adversary;
+
+  Fixture() {
+    Rng rng(10);
+    user = speech::sample_speaker(speech::Sex::kMale, rng);
+    adversary = speech::sample_speaker(speech::Sex::kFemale, rng);
+  }
+};
+
+TEST(SessionTest, VerdictNames) {
+  EXPECT_STREQ(verdict_name(Verdict::kAccepted), "accepted");
+  EXPECT_STREQ(verdict_name(Verdict::kAttackDetected), "attack_detected");
+  EXPECT_STREQ(verdict_name(Verdict::kWearableAbsent), "wearable_absent");
+}
+
+TEST(SessionTest, AcceptsLegitimateCommand) {
+  Fixture fx;
+  DefenseSession session;
+  const auto t = fx.sim.legitimate_trial(
+      speech::command_by_text("turn on the lights"), fx.user);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  Rng rng(1);
+  const auto event = session.process("lights on", t.va, t.wearable, &seg, rng);
+  EXPECT_EQ(event.verdict, Verdict::kAccepted);
+  EXPECT_GT(event.score, 0.5);
+  EXPECT_EQ(session.stats().accepted, 1u);
+}
+
+TEST(SessionTest, BlocksThruBarrierAttack) {
+  Fixture fx;
+  DefenseSession session;
+  // Hidden-voice attacks are the most reliably detected class; replay
+  // borderline cases are covered statistically by the eval tests.
+  const auto t = fx.sim.attack_trial(
+      attacks::AttackType::kHiddenVoice,
+      speech::command_by_text("unlock the front door"), fx.user,
+      fx.adversary);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  Rng rng(2);
+  const auto event = session.process("unlock", t.va, t.wearable, &seg, rng);
+  EXPECT_EQ(event.verdict, Verdict::kAttackDetected);
+  EXPECT_EQ(session.stats().attacks_detected, 1u);
+}
+
+TEST(SessionTest, RejectsWhenWearableAbsent) {
+  Fixture fx;
+  DefenseSession session;
+  const auto t = fx.sim.legitimate_trial(
+      speech::command_by_text("stop"), fx.user);
+  Rng rng(3);
+  const auto event =
+      session.process("stop", t.va, std::nullopt, nullptr, rng);
+  EXPECT_EQ(event.verdict, Verdict::kWearableAbsent);
+  EXPECT_TRUE(std::isnan(event.score));
+  EXPECT_EQ(session.stats().wearable_absent, 1u);
+  EXPECT_EQ(session.stats().accepted, 0u);
+}
+
+TEST(SessionTest, AuditLogAccumulatesInOrder) {
+  Fixture fx;
+  DefenseSession session;
+  Rng rng(4);
+  const auto t1 = fx.sim.legitimate_trial(
+      speech::command_by_text("stop"), fx.user);
+  OracleSegmenter seg1(t1.alignment, eval::reference_sensitive_set());
+  session.process("first", t1.va, t1.wearable, &seg1, rng);
+  session.process("second", t1.va, std::nullopt, nullptr, rng);
+  ASSERT_EQ(session.log().size(), 2u);
+  EXPECT_EQ(session.log()[0].index, 0u);
+  EXPECT_EQ(session.log()[0].label, "first");
+  EXPECT_EQ(session.log()[1].label, "second");
+  EXPECT_EQ(session.stats().processed, 2u);
+}
+
+TEST(SessionTest, ResetClearsState) {
+  Fixture fx;
+  DefenseSession session;
+  Rng rng(5);
+  const auto t = fx.sim.legitimate_trial(
+      speech::command_by_text("stop"), fx.user);
+  session.process("x", t.va, std::nullopt, nullptr, rng);
+  session.reset();
+  EXPECT_TRUE(session.log().empty());
+  EXPECT_EQ(session.stats().processed, 0u);
+}
+
+}  // namespace
+}  // namespace vibguard::core

@@ -1,0 +1,111 @@
+#include "device/va_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/db.hpp"
+#include "dsp/generate.hpp"
+
+namespace vibguard::device {
+namespace {
+
+Signal speech_like(double spl, Rng& rng) {
+  Signal s = dsp::pink_noise(1.0, 16000.0, 1.0, rng);
+  return s.scaled_to_rms(spl_to_rms(spl));
+}
+
+TEST(VaDeviceTest, FourPaperDevices) {
+  const auto devices = all_va_devices();
+  ASSERT_EQ(devices.size(), 4u);
+  EXPECT_EQ(devices[0].name, "Google Home");
+  EXPECT_EQ(devices[3].name, "iPhone");
+}
+
+TEST(VaDeviceTest, SmartSpeakersMoreSensitiveThanPhone) {
+  EXPECT_LT(google_home().trigger_threshold_spl,
+            iphone().trigger_threshold_spl);
+  EXPECT_LT(alexa_echo().trigger_threshold_spl,
+            iphone().trigger_threshold_spl);
+}
+
+TEST(VaDeviceTest, SiriDevicesRequireVoiceMatch) {
+  EXPECT_TRUE(macbook_pro().requires_voice_match);
+  EXPECT_TRUE(iphone().requires_voice_match);
+  EXPECT_FALSE(google_home().requires_voice_match);
+}
+
+TEST(VaDeviceTest, LoudCommandsTriggerQuietOnesDoNot) {
+  VaDevice dev(google_home());
+  Rng rng(1);
+  const Signal loud = speech_like(70.0, rng);
+  const Signal quiet = speech_like(15.0, rng);
+  EXPECT_GT(dev.trigger_probability(loud, CommandKind::kReplay, false), 0.95);
+  EXPECT_LT(dev.trigger_probability(quiet, CommandKind::kReplay, false),
+            0.05);
+}
+
+TEST(VaDeviceTest, TriggerProbabilityMonotoneInLevel) {
+  VaDevice dev(alexa_echo());
+  Rng rng(2);
+  double prev = 0.0;
+  for (double spl : {20.0, 30.0, 40.0, 50.0, 60.0}) {
+    const double p = dev.trigger_probability(speech_like(spl, rng),
+                                             CommandKind::kReplay, false);
+    EXPECT_GE(p, prev - 1e-9);
+    prev = p;
+  }
+}
+
+TEST(VaDeviceTest, SiriRejectsUnknownLiveAndSynthesizedVoices) {
+  VaDevice dev(iphone());
+  Rng rng(3);
+  const Signal s = speech_like(80.0, rng);
+  EXPECT_DOUBLE_EQ(
+      dev.trigger_probability(s, CommandKind::kLiveVoice, false), 0.0);
+  EXPECT_DOUBLE_EQ(
+      dev.trigger_probability(s, CommandKind::kSynthesized, false), 0.0);
+  // Replay of the enrolled user's own recording passes the voice check.
+  EXPECT_GT(dev.trigger_probability(s, CommandKind::kReplay, false), 0.5);
+  // The enrolled user speaking live is accepted.
+  EXPECT_GT(dev.trigger_probability(s, CommandKind::kLiveVoice, true), 0.5);
+}
+
+TEST(VaDeviceTest, SynthesisPenalizedVsReplay) {
+  VaDevice dev(google_home());
+  Rng rng(4);
+  const Signal s = speech_like(38.0, rng);  // near threshold
+  EXPECT_LT(dev.trigger_probability(s, CommandKind::kSynthesized, false),
+            dev.trigger_probability(s, CommandKind::kReplay, false));
+}
+
+TEST(VaDeviceTest, HeavilyLowpassedSoundHarderToRecognize) {
+  VaDevice dev(google_home());
+  Rng rng(5);
+  Signal wide = speech_like(45.0, rng);
+  // Same level but all energy below 300 Hz.
+  Signal narrow = dsp::tone(150.0, 1.0, 16000.0, 1.0);
+  narrow = narrow.scaled_to_rms(spl_to_rms(45.0));
+  EXPECT_GT(dev.trigger_probability(wide, CommandKind::kReplay, false),
+            dev.trigger_probability(narrow, CommandKind::kReplay, false));
+}
+
+TEST(VaDeviceTest, EmptyRecordingNeverTriggers) {
+  VaDevice dev(google_home());
+  EXPECT_DOUBLE_EQ(
+      dev.trigger_probability(Signal({}, 16000.0), CommandKind::kReplay,
+                              false),
+      0.0);
+}
+
+TEST(VaDeviceTest, TriggersSamplesBernoulli) {
+  VaDevice dev(google_home());
+  Rng rng(6);
+  const Signal loud = speech_like(80.0, rng);
+  int hits = 0;
+  for (int i = 0; i < 50; ++i) {
+    hits += dev.triggers(loud, CommandKind::kReplay, false, rng) ? 1 : 0;
+  }
+  EXPECT_GT(hits, 45);
+}
+
+}  // namespace
+}  // namespace vibguard::device

@@ -1,0 +1,115 @@
+#include "dsp/correlate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dsp/generate.hpp"
+
+namespace vibguard::dsp {
+namespace {
+
+TEST(CrossCorrelateTest, ZeroLagOfIdenticalSignalsIsEnergy) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  const auto corr = cross_correlate(a, a, 0);
+  ASSERT_EQ(corr.size(), 1u);
+  EXPECT_DOUBLE_EQ(corr[0], 14.0);
+}
+
+TEST(CrossCorrelateTest, KnownShift) {
+  std::vector<double> a = {0.0, 0.0, 1.0, 0.0, 0.0};
+  std::vector<double> b = {0.0, 0.0, 0.0, 0.0, 1.0};
+  // b(n) = a(n - 2), i.e. sum a(n) b(n+lag) peaks at lag = +2.
+  const auto corr = cross_correlate(a, b, 3);
+  const auto best = std::max_element(corr.begin(), corr.end()) - corr.begin();
+  EXPECT_EQ(best - 3, 2);
+}
+
+TEST(EstimateDelayTest, RecoversPositiveDelay) {
+  Rng rng(1);
+  const Signal base = white_noise(1.0, 1000.0, 1.0, rng);
+  // b delayed by 100 samples relative to a.
+  std::vector<double> b(base.size(), 0.0);
+  for (std::size_t i = 100; i < b.size(); ++i) b[i] = base[i - 100];
+  EXPECT_EQ(estimate_delay(base.samples(), b, 200), 100);
+}
+
+TEST(EstimateDelayTest, RecoversNegativeDelay) {
+  Rng rng(2);
+  const Signal base = white_noise(1.0, 1000.0, 1.0, rng);
+  std::vector<double> b(base.size(), 0.0);
+  for (std::size_t i = 0; i + 50 < b.size(); ++i) b[i] = base[i + 50];
+  EXPECT_EQ(estimate_delay(base.samples(), b, 200), -50);
+}
+
+TEST(EstimateDelayTest, RobustToAdditiveNoise) {
+  Rng rng(3);
+  const Signal base = white_noise(1.0, 1000.0, 1.0, rng);
+  std::vector<double> b(base.size(), 0.0);
+  for (std::size_t i = 37; i < b.size(); ++i) {
+    b[i] = base[i - 37] + rng.gaussian(0.0, 0.3);
+  }
+  EXPECT_EQ(estimate_delay(base.samples(), b, 100), 37);
+}
+
+TEST(EstimateDelayTest, FftAndDirectPathsAgree) {
+  // Long enough to trigger the FFT path; compare against a small direct
+  // computation on a shared prefix.
+  Rng rng(4);
+  const Signal a = white_noise(2.0, 16000.0, 1.0, rng);
+  std::vector<double> b(a.size(), 0.0);
+  for (std::size_t i = 1600; i < b.size(); ++i) b[i] = a[i - 1600];
+  // work = 32000 * (2*4800+1) >> 2^18 -> FFT path.
+  EXPECT_EQ(estimate_delay(a.samples(), b, 4800), 1600);
+}
+
+TEST(AlignByDelayTest, PositiveDelayTrimsSecond) {
+  Signal a({1.0, 2.0, 3.0, 4.0}, 10.0);
+  Signal b({9.0, 1.0, 2.0, 3.0}, 10.0);
+  const auto [ta, tb] = align_by_delay(a, b, 1);
+  ASSERT_EQ(ta.size(), 3u);
+  ASSERT_EQ(tb.size(), 3u);
+  EXPECT_DOUBLE_EQ(tb[0], 1.0);
+  EXPECT_DOUBLE_EQ(ta[0], 1.0);
+}
+
+TEST(AlignByDelayTest, NegativeDelayTrimsFirst) {
+  Signal a({9.0, 9.0, 1.0, 2.0}, 10.0);
+  Signal b({1.0, 2.0, 3.0}, 10.0);
+  const auto [ta, tb] = align_by_delay(a, b, -2);
+  EXPECT_DOUBLE_EQ(ta[0], 1.0);
+  EXPECT_DOUBLE_EQ(tb[0], 1.0);
+  EXPECT_EQ(ta.size(), tb.size());
+}
+
+TEST(AlignByDelayTest, ZeroDelayTrimsToCommonLength) {
+  Signal a({1.0, 2.0, 3.0}, 10.0);
+  Signal b({1.0, 2.0}, 10.0);
+  const auto [ta, tb] = align_by_delay(a, b, 0);
+  EXPECT_EQ(ta.size(), 2u);
+  EXPECT_EQ(tb.size(), 2u);
+}
+
+TEST(PeakNormalizedCorrelationTest, IdenticalSignalsGiveOne) {
+  Rng rng(5);
+  const Signal s = white_noise(0.5, 1000.0, 1.0, rng);
+  EXPECT_NEAR(peak_normalized_correlation(s.samples(), s.samples(), 10), 1.0,
+              1e-9);
+}
+
+TEST(PeakNormalizedCorrelationTest, SilenceGivesZero) {
+  std::vector<double> a(100, 0.0);
+  std::vector<double> b(100, 1.0);
+  EXPECT_DOUBLE_EQ(peak_normalized_correlation(a, b, 10), 0.0);
+}
+
+TEST(PeakNormalizedCorrelationTest, IndependentNoiseLow) {
+  Rng rng(6);
+  const auto a = rng.gaussian_vector(4000);
+  const auto b = rng.gaussian_vector(4000);
+  EXPECT_LT(peak_normalized_correlation(a, b, 20), 0.2);
+}
+
+}  // namespace
+}  // namespace vibguard::dsp

@@ -1,0 +1,98 @@
+#include "dsp/dtw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vibguard::dsp {
+namespace {
+
+std::vector<std::vector<double>> seq(std::initializer_list<double> values) {
+  std::vector<std::vector<double>> out;
+  for (double v : values) out.push_back({v});
+  return out;
+}
+
+TEST(EuclideanTest, KnownDistances) {
+  EXPECT_DOUBLE_EQ(euclidean(std::vector<double>{0.0, 0.0},
+                             std::vector<double>{3.0, 4.0}),
+                   5.0);
+  EXPECT_DOUBLE_EQ(euclidean(std::vector<double>{1.0},
+                             std::vector<double>{1.0}),
+                   0.0);
+}
+
+TEST(EuclideanTest, RejectsDimensionMismatch) {
+  EXPECT_THROW(euclidean(std::vector<double>{1.0},
+                         std::vector<double>{1.0, 2.0}),
+               vibguard::InvalidArgument);
+}
+
+TEST(DtwTest, IdenticalSequencesZeroDistance) {
+  const auto a = seq({1.0, 2.0, 3.0, 2.0, 1.0});
+  const auto r = dtw(a, a);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  EXPECT_DOUBLE_EQ(r.normalized, 0.0);
+  EXPECT_EQ(r.path_length, a.size());
+}
+
+TEST(DtwTest, TimeWarpedCopyStillNearZero) {
+  // Same shape at half speed: pure warping cost should be ~0.
+  const auto a = seq({0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 0.0});
+  const auto b = seq({0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 2.0, 2.0,
+                      1.0, 1.0, 0.0, 0.0});
+  EXPECT_NEAR(dtw(a, b).normalized, 0.0, 1e-12);
+}
+
+TEST(DtwTest, DifferentShapesHaveDistance) {
+  const auto a = seq({0.0, 1.0, 0.0});
+  const auto b = seq({5.0, 5.0, 5.0});
+  EXPECT_GT(dtw(a, b).normalized, 3.0);
+}
+
+TEST(DtwTest, SymmetricDistance) {
+  Rng rng(1);
+  std::vector<std::vector<double>> a(6, std::vector<double>(3));
+  std::vector<std::vector<double>> b(9, std::vector<double>(3));
+  for (auto& f : a) {
+    for (double& v : f) v = rng.gaussian();
+  }
+  for (auto& f : b) {
+    for (double& v : f) v = rng.gaussian();
+  }
+  EXPECT_NEAR(dtw(a, b).distance, dtw(b, a).distance, 1e-12);
+}
+
+TEST(DtwTest, BandConstraintStillFindsPath) {
+  const auto a = seq({0.0, 1.0, 2.0, 3.0, 4.0, 5.0});
+  const auto b = seq({0.0, 1.0, 2.0, 3.0, 4.0, 5.0});
+  const auto r = dtw(a, b, 1);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+TEST(DtwTest, BandWidensToLengthDifference) {
+  // |a| - |b| = 4 > window 1; the band must auto-widen so a path exists.
+  const auto a = seq({0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0});
+  const auto b = seq({0.0, 3.5, 7.0});
+  const auto r = dtw(a, b, 1);
+  EXPECT_TRUE(std::isfinite(r.distance));
+}
+
+TEST(DtwTest, EmptySequenceInfiniteDistance) {
+  const auto a = seq({1.0});
+  EXPECT_TRUE(std::isinf(dtw(a, {}).distance));
+  EXPECT_TRUE(std::isinf(dtw({}, a).distance));
+}
+
+TEST(DtwTest, CloserShapeSmallerDistance) {
+  const auto ref = seq({0.0, 2.0, 4.0, 2.0, 0.0});
+  const auto close = seq({0.0, 2.1, 4.2, 2.1, 0.0});
+  const auto far = seq({4.0, 2.0, 0.0, 2.0, 4.0});
+  EXPECT_LT(dtw(ref, close).normalized, dtw(ref, far).normalized);
+}
+
+}  // namespace
+}  // namespace vibguard::dsp

@@ -1,0 +1,99 @@
+#include "dsp/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/generate.hpp"
+
+namespace vibguard::dsp {
+namespace {
+
+TEST(HilbertTest, ToneEnvelopeIsItsAmplitude) {
+  const Signal s = tone(100.0, 0.5, 8000.0, 0.7);
+  const Signal env = hilbert_envelope(s);
+  // Interior samples (edge effects aside) should sit at the amplitude.
+  for (std::size_t i = env.size() / 4; i < 3 * env.size() / 4; ++i) {
+    EXPECT_NEAR(env[i], 0.7, 0.05);
+  }
+}
+
+TEST(HilbertTest, TracksAmplitudeModulation) {
+  const double fs = 8000.0;
+  std::vector<double> x(8000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    const double am = 0.5 + 0.4 * std::sin(2.0 * std::numbers::pi * 3.0 * t);
+    x[i] = am * std::sin(2.0 * std::numbers::pi * 400.0 * t);
+  }
+  const Signal env = hilbert_envelope(Signal(std::move(x), fs));
+  // Envelope range should span roughly [0.1, 0.9].
+  double mx = 0.0, mn = 1e9;
+  for (std::size_t i = 400; i + 400 < env.size(); ++i) {
+    mx = std::max(mx, env[i]);
+    mn = std::min(mn, env[i]);
+  }
+  EXPECT_NEAR(mx, 0.9, 0.08);
+  EXPECT_NEAR(mn, 0.1, 0.08);
+}
+
+TEST(HilbertTest, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(hilbert_envelope(Signal({}, 8000.0)).empty());
+}
+
+TEST(RmsEnvelopeTest, ShapeAndValues) {
+  const Signal s = tone(100.0, 1.0, 1000.0, 1.0);
+  const Signal env = rms_envelope(s, 100, 50);
+  EXPECT_EQ(env.size(), (s.size() - 100) / 50 + 1);
+  EXPECT_DOUBLE_EQ(env.sample_rate(), 20.0);
+  for (double v : env) EXPECT_NEAR(v, 1.0 / std::numbers::sqrt2, 0.02);
+}
+
+TEST(RmsEnvelopeTest, RejectsZeroWindow) {
+  const Signal s = Signal::zeros(10, 100.0);
+  EXPECT_THROW(rms_envelope(s, 0, 1), vibguard::InvalidArgument);
+}
+
+TEST(CepstrumTest, PitchOfHarmonicSeries) {
+  // A pulse-train-like harmonic sum at F0 = 125 Hz.
+  const double fs = 8000.0;
+  const double f0 = 125.0;
+  std::vector<double> x(8192, 0.0);
+  for (int k = 1; k <= 20; ++k) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] += std::sin(2.0 * std::numbers::pi * f0 * k *
+                       static_cast<double>(i) / fs) /
+              static_cast<double>(k);
+    }
+  }
+  const double est = cepstral_pitch(Signal(std::move(x), fs));
+  EXPECT_NEAR(est, f0, 3.0);
+}
+
+TEST(CepstrumTest, NoiseHasNoPitch) {
+  Rng rng(1);
+  const Signal s = white_noise(1.0, 8000.0, 1.0, rng);
+  EXPECT_DOUBLE_EQ(cepstral_pitch(s), 0.0);
+}
+
+TEST(CepstrumTest, RejectsBadRange) {
+  const Signal s = Signal::zeros(64, 8000.0);
+  EXPECT_THROW(cepstral_pitch(s, 400.0, 100.0), vibguard::InvalidArgument);
+}
+
+TEST(GoertzelTest, MatchesFftBinMagnitude) {
+  const Signal s = tone(250.0, 0.512, 1000.0, 0.8);  // 512 samples
+  // Exact-bin tone: one-sided |X|/n = A/2... Goertzel returns |X|/n.
+  EXPECT_NEAR(goertzel_magnitude(s, 250.0), 0.4, 0.01);
+  EXPECT_LT(goertzel_magnitude(s, 400.0), 0.02);
+}
+
+TEST(GoertzelTest, EmptySignalGivesZero) {
+  EXPECT_DOUBLE_EQ(goertzel_magnitude(Signal({}, 1000.0), 100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vibguard::dsp

@@ -1,0 +1,141 @@
+#include "dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace vibguard::dsp {
+namespace {
+
+// Naive O(n^2) DFT reference.
+std::vector<Complex> naive_dft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      out[k] += x[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  return out;
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  const auto fast = fft(x);
+  const auto slow = naive_dft(x);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(fast[k].real(), slow[k].real(), 1e-8 * n) << "bin " << k;
+    EXPECT_NEAR(fast[k].imag(), slow[k].imag(), 1e-8 * n) << "bin " << k;
+  }
+}
+
+TEST_P(FftSizeTest, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 7 + 1);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  const auto spec = fft(x);
+  const auto back = fft(spec, /*inverse=*/true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-9 * n);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-9 * n);
+  }
+}
+
+TEST_P(FftSizeTest, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 13 + 5);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.gaussian(), 0.0);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  const auto spec = fft(x);
+  double freq_energy = 0.0;
+  for (const auto& v : spec) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndOddSizes, FftSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17,
+                                           31, 32, 45, 64, 100, 128, 243,
+                                           255, 256));
+
+TEST(FftTest, ToneLandsInCorrectBin) {
+  const std::size_t n = 256;
+  const std::size_t bin = 19;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(2.0 * std::numbers::pi * static_cast<double>(bin * i) /
+                    static_cast<double>(n));
+  }
+  const auto mag = magnitude_spectrum(x);
+  // A unit cosine at an exact bin has one-sided normalized magnitude 1/2.
+  EXPECT_NEAR(mag[bin], 0.5, 1e-9);
+  for (std::size_t k = 0; k < mag.size(); ++k) {
+    if (k != bin) EXPECT_LT(mag[k], 1e-9);
+  }
+}
+
+TEST(FftTest, MagnitudeSpectrumSizeIsHalfPlusOne) {
+  std::vector<double> x(100, 1.0);
+  EXPECT_EQ(magnitude_spectrum(x).size(), 51u);
+  EXPECT_TRUE(magnitude_spectrum({}).empty());
+}
+
+TEST(FftTest, DcSignalAllEnergyInBinZero) {
+  std::vector<double> x(64, 3.0);
+  const auto mag = magnitude_spectrum(x);
+  EXPECT_NEAR(mag[0], 3.0, 1e-9);
+  for (std::size_t k = 1; k < mag.size(); ++k) EXPECT_LT(mag[k], 1e-9);
+}
+
+TEST(FftTest, BinFrequency) {
+  EXPECT_DOUBLE_EQ(bin_frequency(0, 64, 200.0), 0.0);
+  EXPECT_DOUBLE_EQ(bin_frequency(32, 64, 200.0), 100.0);
+  EXPECT_DOUBLE_EQ(bin_frequency(1, 100, 1000.0), 10.0);
+}
+
+TEST(FftTest, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(100));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+}
+
+TEST(FftTest, LinearityProperty) {
+  Rng rng(99);
+  const std::size_t n = 64;
+  std::vector<Complex> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = Complex(rng.gaussian(), 0.0);
+    b[i] = Complex(rng.gaussian(), 0.0);
+    sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  const auto fa = fft(a);
+  const auto fb = fft(b);
+  const auto fsum = fft(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex expect = 2.0 * fa[k] + 3.0 * fb[k];
+    EXPECT_NEAR(std::abs(fsum[k] - expect), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vibguard::dsp

@@ -1,0 +1,167 @@
+#include "dsp/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/generate.hpp"
+#include "dsp/spectral.hpp"
+
+namespace vibguard::dsp {
+namespace {
+
+double response_at(const ButterworthFilter& base, double f, double fs) {
+  // Measure empirically by filtering a tone and comparing RMS (skip the
+  // transient).
+  const Signal in = tone(f, 1.0, fs);
+  ButterworthFilter filt = base;
+  const Signal out = filt.filtered(in);
+  const auto steady_in = in.slice(in.size() / 2, in.size());
+  const auto steady_out = out.slice(out.size() / 2, out.size());
+  return steady_out.rms() / steady_in.rms();
+}
+
+TEST(BiquadTest, LowPassAttenuatesHighFrequency) {
+  Biquad lp = Biquad::low_pass(100.0, 1000.0, std::numbers::sqrt2 / 2.0);
+  EXPECT_NEAR(lp.magnitude_response(2.0 * std::numbers::pi * 10.0 / 1000.0),
+              1.0, 0.05);
+  EXPECT_LT(lp.magnitude_response(2.0 * std::numbers::pi * 400.0 / 1000.0),
+            0.1);
+}
+
+TEST(BiquadTest, HighPassAttenuatesLowFrequency) {
+  Biquad hp = Biquad::high_pass(100.0, 1000.0, std::numbers::sqrt2 / 2.0);
+  EXPECT_LT(hp.magnitude_response(2.0 * std::numbers::pi * 10.0 / 1000.0),
+            0.05);
+  EXPECT_NEAR(hp.magnitude_response(2.0 * std::numbers::pi * 400.0 / 1000.0),
+              1.0, 0.05);
+}
+
+TEST(BiquadTest, CutoffIsMinus3Db) {
+  Biquad lp = Biquad::low_pass(100.0, 1000.0, std::numbers::sqrt2 / 2.0);
+  const double g =
+      lp.magnitude_response(2.0 * std::numbers::pi * 100.0 / 1000.0);
+  EXPECT_NEAR(g, std::pow(10.0, -3.0 / 20.0), 0.01);
+}
+
+TEST(BiquadTest, RejectsInvalidParameters) {
+  EXPECT_THROW(Biquad::low_pass(0.0, 1000.0, 0.7), InvalidArgument);
+  EXPECT_THROW(Biquad::low_pass(600.0, 1000.0, 0.7), InvalidArgument);
+  EXPECT_THROW(Biquad::high_pass(100.0, 1000.0, 0.0), InvalidArgument);
+}
+
+TEST(BiquadTest, ResetClearsState) {
+  Biquad lp = Biquad::low_pass(50.0, 1000.0, 0.7);
+  const double first = lp.process(1.0);
+  lp.process(0.5);
+  lp.reset();
+  EXPECT_DOUBLE_EQ(lp.process(1.0), first);
+}
+
+TEST(ButterworthTest, OrderMustBeEvenPositive) {
+  EXPECT_THROW(
+      ButterworthFilter(ButterworthFilter::Kind::kLowPass, 3, 100.0, 1000.0),
+      InvalidArgument);
+  EXPECT_THROW(
+      ButterworthFilter(ButterworthFilter::Kind::kLowPass, 0, 100.0, 1000.0),
+      InvalidArgument);
+}
+
+TEST(ButterworthTest, FourthOrderHighPassRollsOffSteeply) {
+  ButterworthFilter hp(ButterworthFilter::Kind::kHighPass, 4, 4.0, 200.0);
+  EXPECT_LT(response_at(hp, 0.5, 200.0), 0.01);   // deep stopband
+  EXPECT_NEAR(response_at(hp, 40.0, 200.0), 1.0, 0.05);  // passband
+}
+
+TEST(ButterworthTest, PassbandFlat) {
+  ButterworthFilter lp(ButterworthFilter::Kind::kLowPass, 4, 80.0, 1000.0);
+  for (double f : {5.0, 10.0, 20.0, 40.0}) {
+    EXPECT_NEAR(response_at(lp, f, 1000.0), 1.0, 0.05) << f;
+  }
+}
+
+TEST(FirTest, LowpassUnityDcGain) {
+  const auto taps = design_fir_lowpass(100.0, 1000.0, 51);
+  double sum = 0.0;
+  for (double t : taps) sum += t;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FirTest, RejectsEvenLength) {
+  EXPECT_THROW(design_fir_lowpass(100.0, 1000.0, 50), InvalidArgument);
+}
+
+TEST(FirTest, AttenuatesStopband) {
+  const auto taps = design_fir_lowpass(50.0, 1000.0, 101);
+  const Signal in = tone(300.0, 1.0, 1000.0);
+  const auto out = fir_filter(in.samples(), taps);
+  Signal out_sig(std::vector<double>(out.begin(), out.end()), 1000.0);
+  EXPECT_LT(out_sig.slice(200, 800).rms(), 0.01);
+}
+
+TEST(FirTest, PassesPassband) {
+  const auto taps = design_fir_lowpass(200.0, 1000.0, 101);
+  const Signal in = tone(50.0, 1.0, 1000.0);
+  const auto out = fir_filter(in.samples(), taps);
+  Signal out_sig(std::vector<double>(out.begin(), out.end()), 1000.0);
+  EXPECT_NEAR(out_sig.slice(200, 800).rms(), in.slice(200, 800).rms(), 0.02);
+}
+
+TEST(FirTest, GroupDelayCompensated) {
+  // A pulse at the center should stay at the center.
+  std::vector<double> x(101, 0.0);
+  x[50] = 1.0;
+  const auto taps = design_fir_lowpass(100.0, 1000.0, 31);
+  const auto y = fir_filter(x, taps);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    if (y[i] > y[peak]) peak = i;
+  }
+  EXPECT_EQ(peak, 50u);
+}
+
+TEST(GainCurveTest, FlatUnityGainIsIdentity) {
+  Rng rng(1);
+  const Signal in = white_noise(0.5, 1000.0, 1.0, rng);
+  const Signal out = apply_gain_curve(in, [](double) { return 1.0; });
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(out[i], in[i], 1e-9);
+  }
+}
+
+TEST(GainCurveTest, BandStopRemovesBand) {
+  const Signal in = tone(100.0, 1.0, 1000.0);
+  const Signal out = apply_gain_curve(
+      in, [](double f) { return (f > 60.0 && f < 140.0) ? 0.0 : 1.0; });
+  // Zero-padding to the FFT grid leaks some tone energy outside the band.
+  EXPECT_LT(out.rms(), 0.15 * in.rms());
+}
+
+TEST(GainCurveTest, ScalesAmplitudeByGainAtToneFrequency) {
+  const Signal in = tone(100.0, 1.0, 1000.0);
+  const Signal out =
+      apply_gain_curve(in, [](double f) { return f > 50.0 ? 0.25 : 1.0; });
+  EXPECT_NEAR(out.slice(100, 900).rms(), 0.25 * in.slice(100, 900).rms(),
+              0.01);
+}
+
+TEST(GainCurveTest, OutputStaysReal) {
+  Rng rng(2);
+  const Signal in = white_noise(0.3, 1000.0, 1.0, rng);
+  const Signal out =
+      apply_gain_curve(in, [](double f) { return 1.0 / (1.0 + f / 100.0); });
+  for (double v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(GainCurveTest, EmptySignalPassesThrough) {
+  const Signal in({}, 1000.0);
+  const Signal out = apply_gain_curve(in, [](double) { return 1.0; });
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace vibguard::dsp

@@ -1,0 +1,91 @@
+#include "dsp/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/spectral.hpp"
+
+namespace vibguard::dsp {
+namespace {
+
+TEST(ToneTest, LengthAndAmplitude) {
+  const Signal s = tone(100.0, 1.0, 1000.0, 2.0);
+  EXPECT_EQ(s.size(), 1000u);
+  EXPECT_NEAR(s.peak(), 2.0, 0.12);  // sampling can miss the crest
+  EXPECT_NEAR(s.rms(), 2.0 / std::sqrt(2.0), 1e-2);
+}
+
+TEST(ToneTest, FrequencyIsCorrect) {
+  const Signal s = tone(100.0, 1.0, 1000.0);
+  EXPECT_NEAR(spectral_centroid(s), 100.0, 5.0);
+}
+
+TEST(ToneTest, ZeroDurationEmpty) {
+  EXPECT_TRUE(tone(100.0, 0.0, 1000.0).empty());
+}
+
+TEST(ChirpTest, SweepsAcrossBand) {
+  const Signal s = chirp(500.0, 2500.0, 2.0, 16000.0);
+  // Nearly all energy within the sweep band.
+  EXPECT_GT(band_energy_fraction(s, 450.0, 2600.0), 0.97);
+  // First half is low-frequency, second half high.
+  const Signal first = s.slice(0, s.size() / 2);
+  const Signal second = s.slice(s.size() / 2, s.size());
+  EXPECT_LT(spectral_centroid(first), spectral_centroid(second));
+}
+
+TEST(ChirpTest, StartFrequencyDominatesOnset) {
+  const Signal s = chirp(500.0, 2500.0, 2.0, 16000.0);
+  const Signal onset = s.slice(0, 1600);  // first 100 ms: 500-600 Hz
+  EXPECT_GT(band_energy_fraction(onset, 450.0, 700.0), 0.9);
+}
+
+TEST(WhiteNoiseTest, MomentsAndLength) {
+  Rng rng(1);
+  const Signal s = white_noise(2.0, 8000.0, 0.5, rng);
+  EXPECT_EQ(s.size(), 16000u);
+  EXPECT_NEAR(s.rms(), 0.5, 0.02);
+}
+
+TEST(WhiteNoiseTest, SpectrallyFlat) {
+  Rng rng(2);
+  const Signal s = white_noise(4.0, 8000.0, 1.0, rng);
+  const double low = band_energy(s, 0.0, 2000.0);
+  const double high = band_energy(s, 2000.0, 4000.0);
+  EXPECT_NEAR(low / high, 1.0, 0.2);
+}
+
+TEST(PinkNoiseTest, LowFrequencyDominated) {
+  Rng rng(3);
+  const Signal s = pink_noise(4.0, 8000.0, 1.0, rng);
+  const double low = band_energy(s, 0.0, 500.0);
+  const double high = band_energy(s, 2000.0, 4000.0);
+  EXPECT_GT(low, 2.0 * high);
+}
+
+TEST(PinkNoiseTest, RmsMatchesTarget) {
+  Rng rng(4);
+  const Signal s = pink_noise(1.0, 8000.0, 0.25, rng);
+  EXPECT_NEAR(s.rms(), 0.25, 1e-9);
+}
+
+TEST(GenerateTest, RejectsNegativeDuration) {
+  Rng rng(5);
+  EXPECT_THROW(tone(100.0, -1.0, 1000.0), InvalidArgument);
+  EXPECT_THROW(white_noise(-0.1, 1000.0, 1.0, rng), InvalidArgument);
+}
+
+TEST(GenerateTest, DeterministicWithSameSeed) {
+  Rng a(7), b(7);
+  const Signal s1 = white_noise(0.1, 1000.0, 1.0, a);
+  const Signal s2 = white_noise(0.1, 1000.0, 1.0, b);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1[i], s2[i]);
+  }
+}
+
+}  // namespace
+}  // namespace vibguard::dsp

@@ -1,0 +1,143 @@
+#include "dsp/mel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/generate.hpp"
+
+namespace vibguard::dsp {
+namespace {
+
+TEST(MelScaleTest, KnownAnchors) {
+  EXPECT_NEAR(hz_to_mel(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(hz_to_mel(1000.0), 999.99, 1.0);  // ~1000 mel at 1 kHz
+}
+
+TEST(MelScaleTest, RoundTrip) {
+  for (double hz : {50.0, 300.0, 900.0, 4000.0, 8000.0}) {
+    EXPECT_NEAR(mel_to_hz(hz_to_mel(hz)), hz, 1e-6);
+  }
+}
+
+TEST(MelScaleTest, Monotonic) {
+  double prev = -1.0;
+  for (double hz = 0.0; hz <= 8000.0; hz += 100.0) {
+    const double m = hz_to_mel(hz);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(MelFilterbankTest, ShapeAndCoverage) {
+  const auto bank = mel_filterbank(40, 512, 16000.0, 0.0, 900.0);
+  ASSERT_EQ(bank.size(), 40u);
+  for (const auto& row : bank) EXPECT_EQ(row.size(), 257u);
+  // Filters must have no weight above the upper edge.
+  for (const auto& row : bank) {
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      const double f = bin_frequency(k, 512, 16000.0);
+      if (f > 950.0) {
+        EXPECT_DOUBLE_EQ(row[k], 0.0);
+      }
+    }
+  }
+}
+
+TEST(MelFilterbankTest, EachFilterHasMass) {
+  const auto bank = mel_filterbank(20, 512, 16000.0, 0.0, 2000.0);
+  for (const auto& row : bank) {
+    double sum = 0.0;
+    for (double v : row) sum += v;
+    EXPECT_GT(sum, 0.0);
+  }
+}
+
+TEST(MelFilterbankTest, RejectsBadRanges) {
+  EXPECT_THROW(mel_filterbank(0, 512, 16000.0, 0.0, 900.0), InvalidArgument);
+  EXPECT_THROW(mel_filterbank(10, 512, 16000.0, 900.0, 100.0),
+               InvalidArgument);
+  EXPECT_THROW(mel_filterbank(10, 512, 16000.0, 0.0, 9000.0),
+               InvalidArgument);
+}
+
+TEST(DctTest, ConstantInputOnlyDcCoefficient) {
+  std::vector<double> x(16, 2.0);
+  const auto c = dct2(x, 16);
+  EXPECT_GT(std::abs(c[0]), 1.0);
+  for (std::size_t k = 1; k < c.size(); ++k) EXPECT_NEAR(c[k], 0.0, 1e-9);
+}
+
+TEST(DctTest, OrthonormalEnergyPreservation) {
+  Rng rng(1);
+  const auto x = rng.gaussian_vector(32);
+  const auto c = dct2(x, 32);
+  double ex = 0.0, ec = 0.0;
+  for (double v : x) ex += v * v;
+  for (double v : c) ec += v * v;
+  EXPECT_NEAR(ec, ex, 1e-9);
+}
+
+TEST(DctTest, TruncationKeepsPrefix) {
+  Rng rng(2);
+  const auto x = rng.gaussian_vector(32);
+  const auto full = dct2(x, 32);
+  const auto trunc = dct2(x, 8);
+  ASSERT_EQ(trunc.size(), 8u);
+  for (std::size_t k = 0; k < 8; ++k) EXPECT_DOUBLE_EQ(trunc[k], full[k]);
+}
+
+TEST(MfccTest, PaperConfigShape) {
+  // 1 second at 16 kHz, 25 ms frames, 10 ms hop -> 98 frames, 14 coeffs.
+  Rng rng(3);
+  const Signal s = white_noise(1.0, 16000.0, 0.1, rng);
+  const auto mfcc = compute_mfcc(s);
+  EXPECT_EQ(mfcc.size(), 98u);
+  for (const auto& frame : mfcc) EXPECT_EQ(frame.size(), 14u);
+}
+
+TEST(MfccTest, SignalShorterThanFrameGivesNoFrames) {
+  const Signal s = Signal::zeros(100, 16000.0);
+  EXPECT_TRUE(compute_mfcc(s).empty());
+}
+
+TEST(MfccTest, DistinguishesSpectrallyDifferentSounds) {
+  // Low tone vs band noise should produce clearly different mean MFCCs.
+  Rng rng(4);
+  const Signal tone_sig = tone(200.0, 0.5, 16000.0, 0.1);
+  const Signal noise_sig = white_noise(0.5, 16000.0, 0.1, rng);
+  const auto m1 = compute_mfcc(tone_sig);
+  const auto m2 = compute_mfcc(noise_sig);
+  double dist = 0.0;
+  for (std::size_t k = 0; k < 14; ++k) {
+    double a = 0.0, b = 0.0;
+    for (const auto& f : m1) a += f[k];
+    for (const auto& f : m2) b += f[k];
+    a /= static_cast<double>(m1.size());
+    b /= static_cast<double>(m2.size());
+    dist += (a - b) * (a - b);
+  }
+  EXPECT_GT(std::sqrt(dist), 1.0);
+}
+
+TEST(MfccTest, DeterministicForSameInput) {
+  const Signal s = tone(300.0, 0.3, 16000.0, 0.1);
+  const auto a = compute_mfcc(s);
+  const auto b = compute_mfcc(s);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    for (std::size_t k = 0; k < a[f].size(); ++k) {
+      EXPECT_DOUBLE_EQ(a[f][k], b[f][k]);
+    }
+  }
+}
+
+TEST(MfccTest, RejectsEmptySignal) {
+  EXPECT_THROW(compute_mfcc(Signal({}, 16000.0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vibguard::dsp

@@ -1,0 +1,84 @@
+#include "dsp/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/generate.hpp"
+
+namespace vibguard::dsp {
+namespace {
+
+TEST(BandEnergyTest, ToneEnergyInItsBand) {
+  const Signal s = tone(100.0, 1.0, 1000.0);
+  EXPECT_GT(band_energy(s, 90.0, 110.0), 100.0 * band_energy(s, 200.0, 400.0));
+}
+
+TEST(BandEnergyTest, FractionsSumToOne) {
+  Rng rng(1);
+  const Signal s = white_noise(1.0, 1000.0, 1.0, rng);
+  const double lo = band_energy_fraction(s, 0.0, 250.0);
+  const double hi = band_energy_fraction(s, 250.0, 500.0);
+  EXPECT_NEAR(lo + hi, 1.0, 0.02);
+}
+
+TEST(BandEnergyTest, SilenceHasZeroFraction) {
+  const Signal s = Signal::zeros(1000, 1000.0);
+  EXPECT_DOUBLE_EQ(band_energy_fraction(s, 0.0, 500.0), 0.0);
+}
+
+TEST(BandEnergyTest, RejectsInvertedBand) {
+  const Signal s = Signal::zeros(10, 1000.0);
+  EXPECT_THROW(band_energy(s, 100.0, 50.0), InvalidArgument);
+}
+
+TEST(SpectralCentroidTest, ToneCentroidAtToneFrequency) {
+  const Signal s = tone(250.0, 1.0, 2000.0);
+  EXPECT_NEAR(spectral_centroid(s), 250.0, 10.0);
+}
+
+TEST(SpectralCentroidTest, HigherToneHigherCentroid) {
+  const Signal lo = tone(100.0, 1.0, 2000.0);
+  const Signal hi = tone(700.0, 1.0, 2000.0);
+  EXPECT_LT(spectral_centroid(lo), spectral_centroid(hi));
+}
+
+TEST(AverageSpectraTest, MeanOfTwo) {
+  std::vector<std::vector<double>> spectra = {{1.0, 2.0}, {3.0, 4.0}};
+  const auto avg = average_spectra(spectra);
+  EXPECT_DOUBLE_EQ(avg[0], 2.0);
+  EXPECT_DOUBLE_EQ(avg[1], 3.0);
+}
+
+TEST(AverageSpectraTest, RejectsMismatchedLengths) {
+  std::vector<std::vector<double>> spectra = {{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(average_spectra(spectra), InvalidArgument);
+}
+
+TEST(AverageSpectraTest, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(average_spectra({}).empty());
+}
+
+TEST(ResampledSpectrumTest, PeakAtToneFrequency) {
+  const Signal s = tone(50.0, 2.0, 1000.0);
+  const auto mag = magnitude_spectrum_resampled(s, 100.0, 101);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < mag.size(); ++i) {
+    if (mag[i] > mag[best]) best = i;
+  }
+  EXPECT_EQ(best, 50u);  // 1 Hz per point
+}
+
+TEST(ResampledSpectrumTest, OutputSize) {
+  const Signal s = Signal::zeros(512, 1000.0);
+  EXPECT_EQ(magnitude_spectrum_resampled(s, 100.0, 64).size(), 64u);
+}
+
+TEST(ResampledSpectrumTest, RejectsBadArguments) {
+  const Signal s = Signal::zeros(16, 1000.0);
+  EXPECT_THROW(magnitude_spectrum_resampled(s, 100.0, 1), InvalidArgument);
+  EXPECT_THROW(magnitude_spectrum_resampled(s, 600.0, 16), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vibguard::dsp

@@ -1,0 +1,78 @@
+#include "dsp/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace vibguard::dsp {
+namespace {
+
+class WindowTypeTest : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(WindowTypeTest, ValuesWithinUnitRange) {
+  const auto w = make_window(GetParam(), 128);
+  for (double v : w) {
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(WindowTypeTest, RequestedLength) {
+  EXPECT_EQ(make_window(GetParam(), 64).size(), 64u);
+  EXPECT_EQ(make_window(GetParam(), 1).size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, WindowTypeTest,
+                         ::testing::Values(WindowType::kRectangular,
+                                           WindowType::kHann,
+                                           WindowType::kHamming,
+                                           WindowType::kBlackman));
+
+TEST(WindowTest, RectangularIsAllOnes) {
+  const auto w = make_window(WindowType::kRectangular, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(WindowTest, HannStartsAtZeroPeaksAtCenter) {
+  const auto w = make_window(WindowType::kHann, 64);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);  // periodic form peaks at n/2
+}
+
+TEST(WindowTest, HammingEndpointsNonZero) {
+  const auto w = make_window(WindowType::kHamming, 64);
+  EXPECT_NEAR(w[0], 0.08, 1e-12);
+}
+
+TEST(WindowTest, SymmetryAroundCenter) {
+  const auto w = make_window(WindowType::kHann, 64);
+  for (std::size_t i = 1; i < 32; ++i) {
+    EXPECT_NEAR(w[i], w[64 - i], 1e-12);
+  }
+}
+
+TEST(WindowTest, ZeroLengthRejected) {
+  EXPECT_THROW(make_window(WindowType::kHann, 0), InvalidArgument);
+}
+
+TEST(WindowTest, ApplyWindowMultiplies) {
+  std::vector<double> frame = {2.0, 2.0, 2.0, 2.0};
+  const std::vector<double> w = {0.0, 0.5, 1.0, 0.5};
+  apply_window(frame, w);
+  EXPECT_DOUBLE_EQ(frame[0], 0.0);
+  EXPECT_DOUBLE_EQ(frame[2], 2.0);
+}
+
+TEST(WindowTest, ApplyWindowRejectsMismatch) {
+  std::vector<double> frame = {1.0, 2.0};
+  const std::vector<double> w = {1.0};
+  EXPECT_THROW(apply_window(frame, w), InvalidArgument);
+}
+
+TEST(WindowTest, WindowSum) {
+  const std::vector<double> w = {0.5, 1.0, 0.5};
+  EXPECT_DOUBLE_EQ(window_sum(w), 2.0);
+}
+
+}  // namespace
+}  // namespace vibguard::dsp

@@ -1,0 +1,79 @@
+#include "eval/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "eval/metrics.hpp"
+
+namespace vibguard::eval {
+namespace {
+
+TEST(ConfidenceTest, PointEstimateMatchesDirectComputation) {
+  Rng rng(1);
+  std::vector<double> attack(60), legit(60);
+  for (double& v : attack) v = rng.gaussian(0.3, 0.1);
+  for (double& v : legit) v = rng.gaussian(0.8, 0.1);
+  const auto ci = bootstrap_auc(attack, legit);
+  EXPECT_DOUBLE_EQ(ci.point, compute_roc(attack, legit).auc);
+}
+
+TEST(ConfidenceTest, IntervalContainsPoint) {
+  Rng rng(2);
+  std::vector<double> attack(40), legit(40);
+  for (double& v : attack) v = rng.gaussian(0.4, 0.15);
+  for (double& v : legit) v = rng.gaussian(0.7, 0.15);
+  for (const auto& ci : {bootstrap_auc(attack, legit),
+                         bootstrap_eer(attack, legit)}) {
+    EXPECT_LE(ci.lower, ci.point + 1e-9);
+    EXPECT_GE(ci.upper, ci.point - 1e-9);
+  }
+}
+
+TEST(ConfidenceTest, MoreDataTightensInterval) {
+  Rng rng(3);
+  auto make = [&](std::size_t n) {
+    std::vector<double> attack(n), legit(n);
+    for (double& v : attack) v = rng.gaussian(0.4, 0.2);
+    for (double& v : legit) v = rng.gaussian(0.7, 0.2);
+    const auto ci = bootstrap_auc(attack, legit);
+    return ci.upper - ci.lower;
+  };
+  const double narrow = make(400);
+  const double wide = make(20);
+  EXPECT_LT(narrow, wide);
+}
+
+TEST(ConfidenceTest, PerfectSeparationDegenerateInterval) {
+  const std::vector<double> attack = {0.1, 0.15, 0.2};
+  const std::vector<double> legit = {0.8, 0.85, 0.9};
+  const auto ci = bootstrap_auc(attack, legit);
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);
+  EXPECT_DOUBLE_EQ(ci.lower, 1.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+}
+
+TEST(ConfidenceTest, DeterministicGivenSeed) {
+  Rng rng(4);
+  std::vector<double> attack(30), legit(30);
+  for (double& v : attack) v = rng.gaussian(0.4, 0.1);
+  for (double& v : legit) v = rng.gaussian(0.7, 0.1);
+  const auto a = bootstrap_eer(attack, legit);
+  const auto b = bootstrap_eer(attack, legit);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(ConfidenceTest, RejectsBadInputs) {
+  const std::vector<double> some = {0.5, 0.6};
+  EXPECT_THROW(bootstrap_auc({}, some), vibguard::InvalidArgument);
+  BootstrapConfig cfg;
+  cfg.resamples = 2;
+  EXPECT_THROW(bootstrap_auc(some, some, cfg), vibguard::InvalidArgument);
+  BootstrapConfig cfg2;
+  cfg2.confidence = 1.5;
+  EXPECT_THROW(bootstrap_auc(some, some, cfg2), vibguard::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vibguard::eval

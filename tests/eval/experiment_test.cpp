@@ -1,0 +1,103 @@
+#include "eval/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vibguard::eval {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.legit_trials = 8;
+  cfg.attack_trials = 8;
+  cfg.num_speakers = 4;
+  return cfg;
+}
+
+TEST(ExperimentTest, ReferenceSensitiveSetHas29Phonemes) {
+  const auto& set = reference_sensitive_set();
+  EXPECT_EQ(set.size(), 29u);
+  // Paper-named Criterion-I failures are excluded...
+  EXPECT_EQ(set.count("aa"), 0u);
+  EXPECT_EQ(set.count("ao"), 0u);
+  // ...and representative strong phonemes are included.
+  EXPECT_EQ(set.count("t"), 1u);
+  EXPECT_EQ(set.count("ae"), 1u);
+  EXPECT_EQ(set.count("s"), 1u);
+}
+
+TEST(ExperimentTest, RunProducesRequestedPopulations) {
+  ExperimentRunner runner(small_config(), 1);
+  const auto results =
+      runner.run(attacks::AttackType::kReplay, {core::DefenseMode::kFull});
+  ASSERT_EQ(results.size(), 1u);
+  const auto& pops = results.at(core::DefenseMode::kFull);
+  EXPECT_EQ(pops.legit.size(), 8u);
+  EXPECT_EQ(pops.attack.size(), 8u);
+}
+
+TEST(ExperimentTest, MultipleModesShareTrials) {
+  ExperimentRunner runner(small_config(), 2);
+  const auto results = runner.run(
+      attacks::AttackType::kReplay,
+      {core::DefenseMode::kFull, core::DefenseMode::kAudioBaseline});
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_EQ(results.at(core::DefenseMode::kAudioBaseline).legit.size(), 8u);
+}
+
+TEST(ExperimentTest, FullModeSeparatesAttacks) {
+  ExperimentConfig cfg = small_config();
+  cfg.legit_trials = 10;
+  cfg.attack_trials = 10;
+  ExperimentRunner runner(cfg, 3);
+  const auto results =
+      runner.run(attacks::AttackType::kReplay, {core::DefenseMode::kFull});
+  const auto roc = results.at(core::DefenseMode::kFull).roc();
+  EXPECT_GT(roc.auc, 0.8);
+  EXPECT_LT(roc.eer, 0.3);
+}
+
+TEST(ExperimentTest, ScoresAreFinite) {
+  ExperimentRunner runner(small_config(), 4);
+  const auto results = runner.run(attacks::AttackType::kHiddenVoice,
+                                  {core::DefenseMode::kFull});
+  for (double s : results.at(core::DefenseMode::kFull).legit) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(ExperimentTest, DeterministicGivenSeed) {
+  ExperimentRunner r1(small_config(), 5);
+  ExperimentRunner r2(small_config(), 5);
+  const auto a =
+      r1.run(attacks::AttackType::kRandom, {core::DefenseMode::kFull});
+  const auto b =
+      r2.run(attacks::AttackType::kRandom, {core::DefenseMode::kFull});
+  const auto& pa = a.at(core::DefenseMode::kFull);
+  const auto& pb = b.at(core::DefenseMode::kFull);
+  for (std::size_t i = 0; i < pa.legit.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa.legit[i], pb.legit[i]);
+  }
+}
+
+TEST(ExperimentTest, EerHelperMatchesRun) {
+  ExperimentRunner runner(small_config(), 6);
+  const double eer =
+      runner.eer(attacks::AttackType::kReplay, core::DefenseMode::kFull);
+  EXPECT_GE(eer, 0.0);
+  EXPECT_LE(eer, 1.0);
+}
+
+TEST(ExperimentTest, RejectsTooFewSpeakers) {
+  ExperimentConfig cfg = small_config();
+  cfg.num_speakers = 1;
+  EXPECT_THROW(ExperimentRunner(cfg, 1), vibguard::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vibguard::eval

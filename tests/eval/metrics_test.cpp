@@ -1,0 +1,98 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vibguard::eval {
+namespace {
+
+TEST(MetricsTest, RatesAtThreshold) {
+  const std::vector<double> attacks = {0.1, 0.2, 0.3, 0.9};
+  const std::vector<double> legits = {0.5, 0.8, 0.9, 0.95};
+  EXPECT_DOUBLE_EQ(true_detection_rate(attacks, 0.4), 0.75);
+  EXPECT_DOUBLE_EQ(false_detection_rate(legits, 0.4), 0.0);
+  EXPECT_DOUBLE_EQ(false_detection_rate(legits, 0.85), 0.5);
+}
+
+TEST(MetricsTest, PerfectSeparationGivesAucOneEerZero) {
+  const std::vector<double> attacks = {0.0, 0.1, 0.2};
+  const std::vector<double> legits = {0.8, 0.9, 1.0};
+  const auto roc = compute_roc(attacks, legits);
+  EXPECT_NEAR(roc.auc, 1.0, 1e-9);
+  EXPECT_NEAR(roc.eer, 0.0, 1e-9);
+  EXPECT_GT(roc.eer_threshold, 0.2);
+  EXPECT_LT(roc.eer_threshold, 0.8 + 1e-9);
+}
+
+TEST(MetricsTest, IdenticalDistributionsGiveChanceAuc) {
+  Rng rng(1);
+  std::vector<double> a(2000), b(2000);
+  for (double& v : a) v = rng.uniform();
+  for (double& v : b) v = rng.uniform();
+  const auto roc = compute_roc(a, b);
+  EXPECT_NEAR(roc.auc, 0.5, 0.05);
+  EXPECT_NEAR(roc.eer, 0.5, 0.05);
+}
+
+TEST(MetricsTest, InvertedScoresGiveAucBelowHalf) {
+  // Attacks scoring HIGHER than legit -> the detector is worse than chance.
+  const std::vector<double> attacks = {0.8, 0.9, 1.0};
+  const std::vector<double> legits = {0.0, 0.1, 0.2};
+  const auto roc = compute_roc(attacks, legits);
+  EXPECT_LT(roc.auc, 0.1);
+  EXPECT_GT(roc.eer, 0.9);
+}
+
+TEST(MetricsTest, PartialOverlapIntermediateValues) {
+  const std::vector<double> attacks = {0.1, 0.2, 0.45, 0.55};
+  const std::vector<double> legits = {0.4, 0.5, 0.8, 0.9};
+  const auto roc = compute_roc(attacks, legits);
+  EXPECT_GT(roc.auc, 0.5);
+  EXPECT_LT(roc.auc, 1.0);
+  EXPECT_GT(roc.eer, 0.0);
+  EXPECT_LT(roc.eer, 0.5);
+}
+
+TEST(MetricsTest, RocPointsMonotone) {
+  Rng rng(2);
+  std::vector<double> a(200), b(200);
+  for (double& v : a) v = rng.gaussian(0.3, 0.2);
+  for (double& v : b) v = rng.gaussian(0.7, 0.2);
+  const auto roc = compute_roc(a, b);
+  for (std::size_t i = 1; i < roc.points.size(); ++i) {
+    EXPECT_GE(roc.points[i].fdr, roc.points[i - 1].fdr);
+    EXPECT_GE(roc.points[i].tdr, roc.points[i - 1].tdr);
+    EXPECT_GT(roc.points[i].threshold, roc.points[i - 1].threshold);
+  }
+  EXPECT_NEAR(roc.points.front().tdr, 0.0, 1e-9);
+  EXPECT_NEAR(roc.points.back().tdr, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, EerBalancesErrorRates) {
+  Rng rng(3);
+  std::vector<double> a(5000), b(5000);
+  for (double& v : a) v = rng.gaussian(0.4, 0.1);
+  for (double& v : b) v = rng.gaussian(0.6, 0.1);
+  const auto roc = compute_roc(a, b);
+  const double fdr = false_detection_rate(b, roc.eer_threshold);
+  const double miss = 1.0 - true_detection_rate(a, roc.eer_threshold);
+  EXPECT_NEAR(fdr, miss, 0.02);
+  // Two equal Gaussians separated by 2 sigma -> EER = Phi(-1) ~ 15.9%.
+  EXPECT_NEAR(roc.eer, 0.159, 0.02);
+}
+
+TEST(MetricsTest, RejectsEmptyPopulations) {
+  const std::vector<double> some = {0.5};
+  EXPECT_THROW(compute_roc({}, some), vibguard::InvalidArgument);
+  EXPECT_THROW(compute_roc(some, {}), vibguard::InvalidArgument);
+}
+
+TEST(MetricsTest, EmptyPopulationRatesAreZero) {
+  EXPECT_DOUBLE_EQ(true_detection_rate({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(false_detection_rate({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace vibguard::eval

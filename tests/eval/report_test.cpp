@@ -1,0 +1,82 @@
+#include "eval/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vibguard::eval {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+RocCurve sample_roc() {
+  const std::vector<double> attack = {0.1, 0.2};
+  const std::vector<double> legit = {0.8, 0.9};
+  return compute_roc(attack, legit);
+}
+
+TEST(ReportTest, RocCsvHasHeaderAndRows) {
+  const std::string path = temp_path("vibguard_roc.csv");
+  const auto roc = sample_roc();
+  write_roc_csv(roc, path);
+  const std::string text = slurp(path);
+  EXPECT_EQ(text.rfind("threshold,fdr,tdr\n", 0), 0u);
+  // header + one row per point
+  const auto lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), roc.points.size() + 1);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, ScoresCsvLabelsPopulations) {
+  ScorePopulations pops;
+  pops.legit = {0.9, 0.8};
+  pops.attack = {0.1};
+  const std::string path = temp_path("vibguard_scores.csv");
+  write_scores_csv(pops, path);
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("legit,0.9"), std::string::npos);
+  EXPECT_NE(text.find("attack,0.1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, MarkdownSummaryListsAllModes) {
+  std::map<core::DefenseMode, RocCurve> rocs;
+  rocs.emplace(core::DefenseMode::kFull, sample_roc());
+  rocs.emplace(core::DefenseMode::kAudioBaseline, sample_roc());
+  const std::string md = roc_summary_markdown(rocs);
+  EXPECT_NE(md.find("| method | AUC | EER |"), std::string::npos);
+  EXPECT_NE(md.find("full"), std::string::npos);
+  EXPECT_NE(md.find("audio_baseline"), std::string::npos);
+  EXPECT_NE(md.find("1.000"), std::string::npos);  // perfect separation
+}
+
+TEST(ReportTest, WriteRejectsBadPath) {
+  EXPECT_THROW(write_roc_csv(sample_roc(), "/nonexistent/dir/x.csv"),
+               vibguard::Error);
+}
+
+TEST(ReportTest, CsvDirReflectsEnvironment) {
+  // Unset in the test environment by default.
+  unsetenv("VIBGUARD_CSV_DIR");
+  EXPECT_TRUE(csv_output_dir().empty());
+  setenv("VIBGUARD_CSV_DIR", "/tmp/foo", 1);
+  EXPECT_EQ(csv_output_dir(), "/tmp/foo");
+  unsetenv("VIBGUARD_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace vibguard::eval

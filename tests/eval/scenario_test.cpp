@@ -1,0 +1,114 @@
+#include "eval/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/db.hpp"
+#include "dsp/spectral.hpp"
+
+namespace vibguard::eval {
+namespace {
+
+speech::SpeakerProfile user_profile() {
+  Rng rng(55);
+  return speech::sample_speaker(speech::Sex::kFemale, rng);
+}
+
+TEST(ScenarioTest, LegitimateTrialBasics) {
+  ScenarioSimulator sim(ScenarioConfig{}, 1);
+  const auto t = sim.legitimate_trial(
+      speech::command_by_text("play some music"), user_profile());
+  EXPECT_FALSE(t.is_attack);
+  EXPECT_FALSE(t.va.empty());
+  EXPECT_FALSE(t.wearable.empty());
+  EXPECT_EQ(t.command, "play some music");
+  EXPECT_FALSE(t.alignment.empty());
+  EXPECT_GT(t.true_delay_s, 0.0);
+  // Wearable missed the first delay seconds.
+  EXPECT_LT(t.wearable.size(), t.va.size());
+}
+
+TEST(ScenarioTest, WearableCloserSoLouder) {
+  ScenarioSimulator sim(ScenarioConfig{}, 2);
+  const auto t = sim.legitimate_trial(
+      speech::command_by_text("play some music"), user_profile());
+  // User mouth 0.4 m from wearable vs 2 m from VA.
+  EXPECT_GT(t.wearable.rms(), 1.5 * t.va.rms());
+}
+
+TEST(ScenarioTest, AttackTrialIsQuietAndLowFrequency) {
+  ScenarioSimulator sim(ScenarioConfig{}, 3);
+  Rng rng(4);
+  const auto victim = user_profile();
+  const auto adv = speech::sample_speaker(speech::Sex::kMale, rng);
+  const auto t =
+      sim.attack_trial(attacks::AttackType::kReplay,
+                       speech::command_by_text("play some music"), victim,
+                       adv);
+  EXPECT_TRUE(t.is_attack);
+  EXPECT_EQ(t.attack_type, attacks::AttackType::kReplay);
+  // Barrier removes high-frequency content: received sound is dominated by
+  // the sub-1kHz band (plus ambient noise).
+  EXPECT_GT(dsp::band_energy_fraction(t.va, 0.0, 1000.0), 0.5);
+  // And it is much quieter than a legitimate command at the VA.
+  const auto legit = sim.legitimate_trial(
+      speech::command_by_text("play some music"), victim);
+  EXPECT_LT(t.va.rms(), legit.va.rms());
+}
+
+TEST(ScenarioTest, HigherAttackSplLouderAtVa) {
+  ScenarioConfig quiet_cfg;
+  quiet_cfg.attack_spl = 65.0;
+  ScenarioConfig loud_cfg;
+  loud_cfg.attack_spl = 85.0;
+  ScenarioSimulator quiet(quiet_cfg, 5);
+  ScenarioSimulator loud(loud_cfg, 5);
+  Rng rng(6);
+  const auto victim = user_profile();
+  const auto adv = speech::sample_speaker(speech::Sex::kMale, rng);
+  const auto& cmd = speech::command_by_text("stop");
+  const auto tq =
+      quiet.attack_trial(attacks::AttackType::kReplay, cmd, victim, adv);
+  const auto tl =
+      loud.attack_trial(attacks::AttackType::kReplay, cmd, victim, adv);
+  EXPECT_GT(tl.va.rms(), tq.va.rms());
+}
+
+TEST(ScenarioTest, DeterministicGivenSeed) {
+  ScenarioSimulator s1(ScenarioConfig{}, 7);
+  ScenarioSimulator s2(ScenarioConfig{}, 7);
+  const auto t1 = s1.legitimate_trial(
+      speech::command_by_text("stop"), user_profile());
+  const auto t2 = s2.legitimate_trial(
+      speech::command_by_text("stop"), user_profile());
+  ASSERT_EQ(t1.va.size(), t2.va.size());
+  for (std::size_t i = 0; i < t1.va.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t1.va[i], t2.va[i]);
+  }
+}
+
+TEST(ScenarioTest, HiddenVoiceAttackHasNoAlignment) {
+  ScenarioSimulator sim(ScenarioConfig{}, 8);
+  Rng rng(9);
+  const auto victim = user_profile();
+  const auto adv = speech::sample_speaker(speech::Sex::kMale, rng);
+  const auto t = sim.attack_trial(attacks::AttackType::kHiddenVoice,
+                                  speech::command_by_text("stop"), victim,
+                                  adv);
+  EXPECT_TRUE(t.alignment.empty());
+  EXPECT_FALSE(t.va.empty());
+}
+
+TEST(ScenarioTest, AttackSoundAtVaHonorsLevel) {
+  ScenarioSimulator sim(ScenarioConfig{}, 10);
+  Rng rng(11);
+  const Signal wake =
+      speech::UtteranceBuilder{}
+          .build(speech::command_by_text("alexa"), user_profile(), rng)
+          .audio;
+  const Signal at65 = sim.attack_sound_at_va(wake, 65.0);
+  const Signal at85 = sim.attack_sound_at_va(wake, 85.0);
+  EXPECT_GT(at85.rms(), at65.rms());
+}
+
+}  // namespace
+}  // namespace vibguard::eval

@@ -1,0 +1,118 @@
+#include "nn/brnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace vibguard::nn {
+namespace {
+
+BrnnConfig tiny_config() {
+  BrnnConfig cfg;
+  cfg.in_dim = 4;
+  cfg.hidden_dim = 12;
+  cfg.adam.learning_rate = 5e-3;
+  return cfg;
+}
+
+/// Task: label a frame 1 when its first feature is positive. Trivially
+/// learnable and direction-independent.
+LabeledSequence make_threshold_sequence(std::size_t T, Rng& rng) {
+  LabeledSequence seq;
+  seq.features.resize(T, std::vector<double>(4));
+  seq.labels.resize(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (double& v : seq.features[t]) v = rng.gaussian();
+    seq.labels[t] = seq.features[t][0] > 0.0 ? 1 : 0;
+  }
+  return seq;
+}
+
+/// Task requiring context: label 1 iff the PREVIOUS frame's feature-0 was
+/// positive (frame 0 labeled 0). A memoryless classifier scores ~50%.
+LabeledSequence make_context_sequence(std::size_t T, Rng& rng) {
+  LabeledSequence seq;
+  seq.features.resize(T, std::vector<double>(4));
+  seq.labels.resize(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (double& v : seq.features[t]) v = rng.gaussian();
+    seq.labels[t] =
+        t > 0 && seq.features[t - 1][0] > 0.0 ? 1 : 0;
+  }
+  return seq;
+}
+
+TEST(BrnnTest, PredictionShapes) {
+  Brnn net(tiny_config(), 1);
+  Rng rng(2);
+  const auto seq = make_threshold_sequence(9, rng);
+  const auto probs = net.predict(seq.features);
+  ASSERT_EQ(probs.size(), 9u);
+  for (const auto& p : probs) {
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+  }
+  EXPECT_EQ(net.classify(seq.features).size(), 9u);
+}
+
+TEST(BrnnTest, EmptyInputEmptyOutput) {
+  Brnn net(tiny_config(), 1);
+  EXPECT_TRUE(net.predict({}).empty());
+}
+
+TEST(BrnnTest, LossDecreasesWithTraining) {
+  Brnn net(tiny_config(), 3);
+  Rng rng(4);
+  std::vector<LabeledSequence> data;
+  for (int i = 0; i < 16; ++i) data.push_back(make_threshold_sequence(15, rng));
+  const double first = net.train_batch(data);
+  double last = first;
+  for (int e = 0; e < 30; ++e) last = net.train_batch(data);
+  EXPECT_LT(last, 0.6 * first);
+}
+
+TEST(BrnnTest, LearnsThresholdTask) {
+  Brnn net(tiny_config(), 5);
+  Rng rng(6);
+  std::vector<LabeledSequence> train;
+  for (int i = 0; i < 24; ++i) train.push_back(make_threshold_sequence(20, rng));
+  for (int e = 0; e < 60; ++e) net.train_batch(train);
+  std::vector<LabeledSequence> test;
+  for (int i = 0; i < 8; ++i) test.push_back(make_threshold_sequence(20, rng));
+  EXPECT_GT(net.evaluate(test), 0.9);
+}
+
+TEST(BrnnTest, LearnsContextDependentTask) {
+  // Requires recurrence: memoryless accuracy is 50%.
+  BrnnConfig cfg = tiny_config();
+  cfg.hidden_dim = 16;
+  Brnn net(cfg, 7);
+  Rng rng(8);
+  std::vector<LabeledSequence> train;
+  for (int i = 0; i < 40; ++i) train.push_back(make_context_sequence(16, rng));
+  for (int e = 0; e < 120; ++e) net.train_batch(train);
+  std::vector<LabeledSequence> test;
+  for (int i = 0; i < 10; ++i) test.push_back(make_context_sequence(16, rng));
+  EXPECT_GT(net.evaluate(test), 0.8);
+}
+
+TEST(BrnnTest, DeterministicGivenSeed) {
+  Brnn a(tiny_config(), 42), b(tiny_config(), 42);
+  Rng rng(9);
+  const auto seq = make_threshold_sequence(6, rng);
+  const auto pa = a.predict(seq.features);
+  const auto pb = b.predict(seq.features);
+  for (std::size_t t = 0; t < pa.size(); ++t) {
+    EXPECT_DOUBLE_EQ(pa[t][1], pb[t][1]);
+  }
+}
+
+TEST(BrnnTest, EvaluateOnEmptyDataIsZero) {
+  Brnn net(tiny_config(), 1);
+  EXPECT_DOUBLE_EQ(net.evaluate({}), 0.0);
+}
+
+}  // namespace
+}  // namespace vibguard::nn

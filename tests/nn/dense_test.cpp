@@ -1,0 +1,114 @@
+#include "nn/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vibguard::nn {
+namespace {
+
+TEST(DenseTest, ForwardComputesAffineMap) {
+  Rng rng(1);
+  Dense layer(2, 2, rng);
+  // Overwrite weights with known values.
+  layer.weights().value = {1.0, 2.0, 3.0, 4.0};  // row-major 2x2
+  layer.bias().value = {10.0, 20.0};
+  const auto y = layer.forward(std::vector<double>{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 27.0);
+}
+
+TEST(DenseTest, BackwardGradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Dense layer(3, 2, rng);
+  const std::vector<double> x = {0.5, -1.0, 2.0};
+  const std::vector<double> dy = {1.0, -0.5};
+
+  layer.zero_grad();
+  const auto dx = layer.backward(x, dy);
+
+  // Loss L = dy . y  =>  dL/dw and dL/dx from backward must match numeric.
+  const double eps = 1e-6;
+  auto loss = [&](Dense& l) {
+    const auto y = l.forward(x);
+    return dy[0] * y[0] + dy[1] * y[1];
+  };
+  for (std::size_t i = 0; i < layer.weights().size(); ++i) {
+    Dense pert = layer;
+    pert.weights().value[i] += eps;
+    Dense pert2 = layer;
+    pert2.weights().value[i] -= eps;
+    const double numeric = (loss(pert) - loss(pert2)) / (2.0 * eps);
+    EXPECT_NEAR(layer.weights().grad[i], numeric, 1e-6) << "w" << i;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const auto yp = layer.forward(xp);
+    const auto ym = layer.forward(xm);
+    const double numeric = (dy[0] * (yp[0] - ym[0]) +
+                            dy[1] * (yp[1] - ym[1])) /
+                           (2.0 * eps);
+    EXPECT_NEAR(dx[i], numeric, 1e-6) << "x" << i;
+  }
+}
+
+TEST(DenseTest, GradientsAccumulateAcrossCalls) {
+  Rng rng(3);
+  Dense layer(1, 1, rng);
+  const std::vector<double> x = {2.0};
+  const std::vector<double> dy = {1.0};
+  layer.zero_grad();
+  layer.backward(x, dy);
+  const double once = layer.weights().grad[0];
+  layer.backward(x, dy);
+  EXPECT_DOUBLE_EQ(layer.weights().grad[0], 2.0 * once);
+}
+
+TEST(DenseTest, DimensionChecks) {
+  Rng rng(4);
+  Dense layer(3, 2, rng);
+  EXPECT_THROW(layer.forward(std::vector<double>{1.0}),
+               vibguard::InvalidArgument);
+  EXPECT_THROW(Dense(0, 2, rng), vibguard::InvalidArgument);
+}
+
+TEST(SoftmaxTest, SumsToOneAndOrdersCorrectly) {
+  const auto p = softmax(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  const auto p = softmax(std::vector<double>{1000.0, 1001.0});
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+TEST(CrossEntropyTest, PerfectPredictionZeroLoss) {
+  EXPECT_NEAR(cross_entropy(std::vector<double>{0.0, 1.0}, 1), 0.0, 1e-9);
+}
+
+TEST(CrossEntropyTest, WrongConfidentPredictionHighLoss) {
+  EXPECT_GT(cross_entropy(std::vector<double>{0.999, 0.001}, 1), 6.0);
+}
+
+TEST(CrossEntropyTest, GradientIsProbsMinusOneHot) {
+  const std::vector<double> probs = {0.3, 0.7};
+  const auto g = cross_entropy_grad(probs, 0);
+  EXPECT_DOUBLE_EQ(g[0], -0.7);
+  EXPECT_DOUBLE_EQ(g[1], 0.7);
+}
+
+TEST(CrossEntropyTest, RejectsOutOfRangeLabel) {
+  EXPECT_THROW(cross_entropy(std::vector<double>{1.0}, 3),
+               vibguard::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vibguard::nn

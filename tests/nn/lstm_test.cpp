@@ -1,0 +1,156 @@
+#include "nn/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vibguard::nn {
+namespace {
+
+std::vector<std::vector<double>> random_sequence(std::size_t T,
+                                                 std::size_t dim, Rng& rng) {
+  std::vector<std::vector<double>> seq(T, std::vector<double>(dim));
+  for (auto& frame : seq) {
+    for (double& v : frame) v = rng.gaussian(0.0, 0.5);
+  }
+  return seq;
+}
+
+TEST(LstmTest, ForwardShapes) {
+  Rng rng(1);
+  Lstm lstm(3, 5, rng);
+  Lstm::Cache cache;
+  const auto seq = random_sequence(7, 3, rng);
+  const auto h = lstm.forward(seq, cache);
+  ASSERT_EQ(h.size(), 7u);
+  for (const auto& ht : h) EXPECT_EQ(ht.size(), 5u);
+}
+
+TEST(LstmTest, HiddenStatesBounded) {
+  Rng rng(2);
+  Lstm lstm(2, 4, rng);
+  Lstm::Cache cache;
+  const auto seq = random_sequence(20, 2, rng);
+  const auto h = lstm.forward(seq, cache);
+  for (const auto& ht : h) {
+    for (double v : ht) {
+      EXPECT_LT(std::abs(v), 1.0);  // |o * tanh(c)| < 1
+    }
+  }
+}
+
+TEST(LstmTest, DeterministicForward) {
+  Rng r1(3), r2(3);
+  Lstm a(2, 3, r1), b(2, 3, r2);
+  Rng data(4);
+  const auto seq = random_sequence(5, 2, data);
+  Lstm::Cache ca, cb;
+  const auto ha = a.forward(seq, ca);
+  const auto hb = b.forward(seq, cb);
+  for (std::size_t t = 0; t < ha.size(); ++t) {
+    for (std::size_t j = 0; j < ha[t].size(); ++j) {
+      EXPECT_DOUBLE_EQ(ha[t][j], hb[t][j]);
+    }
+  }
+}
+
+TEST(LstmTest, BpttGradientMatchesFiniteDifference) {
+  // Scalar loss: L = sum_t v . h_t with fixed random v.
+  Rng rng(5);
+  const std::size_t T = 4, in = 2, hid = 3;
+  Lstm lstm(in, hid, rng);
+  const auto seq = random_sequence(T, in, rng);
+  std::vector<double> v(hid);
+  for (double& x : v) x = rng.gaussian();
+
+  auto loss = [&](Lstm& net) {
+    Lstm::Cache c;
+    const auto h = net.forward(seq, c);
+    double acc = 0.0;
+    for (const auto& ht : h) {
+      for (std::size_t j = 0; j < hid; ++j) acc += v[j] * ht[j];
+    }
+    return acc;
+  };
+
+  Lstm::Cache cache;
+  lstm.forward(seq, cache);
+  std::vector<std::vector<double>> dh(T, v);
+  lstm.zero_grad();
+  const auto dx = lstm.backward(cache, dh);
+
+  const double eps = 1e-6;
+  auto check_block = [&](ParamBlock& block, const char* name) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(block.size(), 20);
+         ++i) {
+      Lstm pert = lstm;
+      ParamBlock* pb = nullptr;
+      if (std::string(name) == "wx") pb = &pert.wx();
+      if (std::string(name) == "wh") pb = &pert.wh();
+      if (std::string(name) == "b") pb = &pert.bias();
+      pb->value[i] += eps;
+      const double up = loss(pert);
+      pb->value[i] -= 2.0 * eps;
+      const double down = loss(pert);
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(block.grad[i], numeric, 1e-5)
+          << name << "[" << i << "]";
+    }
+  };
+  check_block(lstm.wx(), "wx");
+  check_block(lstm.wh(), "wh");
+  check_block(lstm.bias(), "b");
+
+  // Input gradients.
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t i = 0; i < in; ++i) {
+      auto seq_p = seq;
+      seq_p[t][i] += eps;
+      auto seq_m = seq;
+      seq_m[t][i] -= eps;
+      Lstm::Cache cp, cm;
+      const auto hp = lstm.forward(seq_p, cp);
+      const auto hm = lstm.forward(seq_m, cm);
+      double numeric = 0.0;
+      for (std::size_t tt = 0; tt < T; ++tt) {
+        for (std::size_t j = 0; j < hid; ++j) {
+          numeric += v[j] * (hp[tt][j] - hm[tt][j]);
+        }
+      }
+      numeric /= 2.0 * eps;
+      EXPECT_NEAR(dx[t][i], numeric, 1e-5) << "x[" << t << "][" << i << "]";
+    }
+  }
+}
+
+TEST(LstmTest, ForgetBiasInitializedToOne) {
+  Rng rng(6);
+  Lstm lstm(2, 4, rng);
+  for (std::size_t j = 4; j < 8; ++j) {
+    EXPECT_DOUBLE_EQ(lstm.bias().value[j], 1.0);
+  }
+  EXPECT_DOUBLE_EQ(lstm.bias().value[0], 0.0);
+}
+
+TEST(LstmTest, RejectsDimensionMismatch) {
+  Rng rng(7);
+  Lstm lstm(3, 2, rng);
+  Lstm::Cache cache;
+  std::vector<std::vector<double>> bad = {{1.0, 2.0}};  // dim 2, expect 3
+  EXPECT_THROW(lstm.forward(bad, cache), vibguard::InvalidArgument);
+  EXPECT_THROW(Lstm(0, 2, rng), vibguard::InvalidArgument);
+}
+
+TEST(LstmTest, EmptySequenceGivesEmptyOutput) {
+  Rng rng(8);
+  Lstm lstm(2, 3, rng);
+  Lstm::Cache cache;
+  const auto h = lstm.forward({}, cache);
+  EXPECT_TRUE(h.empty());
+}
+
+}  // namespace
+}  // namespace vibguard::nn

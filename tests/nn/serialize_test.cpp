@@ -1,0 +1,103 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vibguard::nn {
+namespace {
+
+BrnnConfig tiny_config() {
+  BrnnConfig cfg;
+  cfg.in_dim = 3;
+  cfg.hidden_dim = 5;
+  return cfg;
+}
+
+std::vector<std::vector<double>> features(std::size_t T, Rng& rng) {
+  std::vector<std::vector<double>> out(T, std::vector<double>(3));
+  for (auto& f : out) {
+    for (double& v : f) v = rng.gaussian();
+  }
+  return out;
+}
+
+TEST(SerializeTest, RoundTripPreservesPredictions) {
+  Brnn model(tiny_config(), 42);
+  // Train a little so weights are non-trivial.
+  Rng rng(1);
+  LabeledSequence seq;
+  seq.features = features(8, rng);
+  seq.labels.assign(8, 1);
+  for (int i = 0; i < 5; ++i) model.train_batch({&seq, 1});
+
+  std::stringstream buffer;
+  save_brnn(model, buffer);
+  Brnn loaded = load_brnn(buffer);
+
+  const auto test_seq = features(10, rng);
+  const auto p1 = model.predict(test_seq);
+  const auto p2 = loaded.predict(test_seq);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t t = 0; t < p1.size(); ++t) {
+    EXPECT_DOUBLE_EQ(p1[t][0], p2[t][0]);
+    EXPECT_DOUBLE_EQ(p1[t][1], p2[t][1]);
+  }
+}
+
+TEST(SerializeTest, RoundTripViaFile) {
+  Brnn model(tiny_config(), 7);
+  const std::string path = "/tmp/vibguard_brnn_test.model";
+  save_brnn(model, path);
+  Brnn loaded = load_brnn(path);
+  Rng rng(2);
+  const auto test_seq = features(4, rng);
+  const auto p1 = model.predict(test_seq);
+  const auto p2 = loaded.predict(test_seq);
+  for (std::size_t t = 0; t < p1.size(); ++t) {
+    EXPECT_DOUBLE_EQ(p1[t][1], p2[t][1]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadedConfigMatches) {
+  Brnn model(tiny_config(), 3);
+  std::stringstream buffer;
+  save_brnn(model, buffer);
+  Brnn loaded = load_brnn(buffer);
+  EXPECT_EQ(loaded.config().in_dim, 3u);
+  EXPECT_EQ(loaded.config().hidden_dim, 5u);
+  EXPECT_EQ(loaded.config().num_classes, 2u);
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  std::stringstream buffer("not-a-model 1 2 3");
+  EXPECT_THROW(load_brnn(buffer), vibguard::Error);
+}
+
+TEST(SerializeTest, RejectsTruncatedFile) {
+  Brnn model(tiny_config(), 5);
+  std::stringstream buffer;
+  save_brnn(model, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_brnn(truncated), vibguard::Error);
+}
+
+TEST(SerializeTest, ParameterBlockOrderIsStable) {
+  Brnn model(tiny_config(), 11);
+  const auto blocks = model.parameter_blocks();
+  ASSERT_EQ(blocks.size(), 8u);
+  // fwd wx (4h*in), fwd wh (4h*h), fwd b (4h), bwd..., head W (h*2), head b.
+  EXPECT_EQ(blocks[0]->size(), 4u * 5u * 3u);
+  EXPECT_EQ(blocks[1]->size(), 4u * 5u * 5u);
+  EXPECT_EQ(blocks[2]->size(), 4u * 5u);
+  EXPECT_EQ(blocks[6]->size(), 5u * 2u);
+  EXPECT_EQ(blocks[7]->size(), 2u);
+}
+
+}  // namespace
+}  // namespace vibguard::nn

@@ -1,0 +1,158 @@
+#include "sensors/accelerometer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/generate.hpp"
+#include "dsp/spectral.hpp"
+
+namespace vibguard::sensors {
+namespace {
+
+AccelerometerConfig quiet_config() {
+  AccelerometerConfig cfg;
+  cfg.body_motion_rms = 0.0;
+  cfg.base_noise_rms = 0.0;
+  cfg.lf_noise_coeff = 0.0;
+  return cfg;
+}
+
+TEST(AccelerometerTest, OutputAtAccelRate) {
+  Accelerometer acc;
+  Rng rng(1);
+  const Signal audio = dsp::tone(1000.0, 1.0, 16000.0, 0.05);
+  const Signal vib = acc.capture(audio, rng);
+  EXPECT_DOUBLE_EQ(vib.sample_rate(), 200.0);
+  EXPECT_NEAR(static_cast<double>(vib.size()), 200.0, 2.0);
+}
+
+TEST(AccelerometerTest, CouplingAttenuatesLowPassesHigh) {
+  Accelerometer acc;
+  EXPECT_LT(acc.coupling_gain(100.0), 0.1);
+  EXPECT_LT(acc.coupling_gain(300.0), 0.2);
+  EXPECT_GT(acc.coupling_gain(2000.0), 0.8);
+}
+
+TEST(AccelerometerTest, HighFrequencyToneAliasesIntoBand) {
+  // Effect 2: a 1030 Hz tone at 200 Hz sampling aliases to |1030-5*200|=30.
+  Accelerometer acc(quiet_config());
+  Rng rng(2);
+  const Signal audio = dsp::tone(1030.0, 2.0, 16000.0, 0.05);
+  const Signal vib = acc.capture(audio, rng);
+  const auto mag = dsp::magnitude_spectrum(vib.samples());
+  std::size_t best = 3;  // skip DC/LF-boost region
+  for (std::size_t k = 4; k < mag.size(); ++k) {
+    if (mag[k] > mag[best]) best = k;
+  }
+  const double f = dsp::bin_frequency(best, vib.size(), 200.0);
+  EXPECT_NEAR(f, 30.0, 2.0);
+}
+
+TEST(AccelerometerTest, LowFrequencyBoostBelow5Hz) {
+  Accelerometer acc;
+  EXPECT_GT(acc.sensitivity_gain(1.0), 4.0);
+  EXPECT_NEAR(acc.sensitivity_gain(50.0), 1.0, 0.01);
+}
+
+TEST(AccelerometerTest, ChirpResponseShowsLfArtifact) {
+  // Paper Fig. 7: a 500-2500 Hz chirp produces strong 0-5 Hz response.
+  Accelerometer acc;
+  Rng rng(3);
+  const Signal chirp_sig = dsp::chirp(500.0, 2500.0, 2.0, 16000.0, 0.05);
+  const Signal vib = acc.capture(chirp_sig, rng);
+  const double lf = dsp::band_energy(vib, 0.0, 5.0);
+  const double rest_avg =
+      dsp::band_energy(vib, 5.0, 100.0) / 19.0;  // per-5Hz-slice average
+  EXPECT_GT(lf, 2.0 * rest_avg);
+}
+
+TEST(AccelerometerTest, LfDominanceMeasuresBandFraction) {
+  Accelerometer acc;
+  const Signal low = dsp::tone(200.0, 1.0, 16000.0, 0.05);
+  const Signal high = dsp::tone(2000.0, 1.0, 16000.0, 0.05);
+  EXPECT_GT(acc.lf_dominance(low), 0.95);
+  EXPECT_LT(acc.lf_dominance(high), 0.05);
+}
+
+TEST(AccelerometerTest, NoiseGrowsWithLfDominance) {
+  // Effect 4: the paper's key physical mechanism — low-frequency-dominated
+  // excitation produces a noisier vibration capture.
+  AccelerometerConfig cfg;
+  cfg.body_motion_rms = 0.0;
+  Accelerometer acc(cfg);
+  Rng r1(4), r2(4);
+  const Signal low = dsp::tone(200.0, 2.0, 16000.0, 0.05);
+  const Signal high = dsp::tone(2130.0, 2.0, 16000.0, 0.05);
+  const Signal vib_low = acc.capture(low, r1);
+  const Signal vib_high = acc.capture(high, r2);
+  // Residual noise: the low tone couples at ~0.05 so its capture is almost
+  // pure noise; compare that noise against the high tone's noise by looking
+  // off the deterministic bins — simplest robust check: the low capture's
+  // non-deterministic energy dominates.
+  const double det_low = 0.05 * acc.coupling_gain(200.0) / std::sqrt(2.0);
+  EXPECT_GT(vib_low.rms(), 3.0 * det_low);
+  (void)vib_high;
+}
+
+TEST(AccelerometerTest, BroadbandExcitationStaysClean) {
+  AccelerometerConfig cfg;
+  cfg.body_motion_rms = 0.0;
+  Accelerometer acc(cfg);
+  Rng rng(5);
+  // 2130 Hz: NOT a multiple of 200 Hz, so it aliases to 70 Hz instead of DC.
+  const Signal high = dsp::tone(2130.0, 2.0, 16000.0, 0.05);
+  const Signal vib = acc.capture(high, rng);
+  // Deterministic content (aliased tone) should dominate the capture:
+  // total rms close to coupled amplitude / sqrt(2).
+  const double det = 0.05 * acc.coupling_gain(2130.0) / std::sqrt(2.0);
+  EXPECT_NEAR(vib.rms(), det, 0.5 * det);
+}
+
+TEST(AccelerometerTest, BodyMotionConfinedToLowBand) {
+  AccelerometerConfig cfg = quiet_config();
+  cfg.body_motion_rms = 0.05;
+  Accelerometer acc(cfg);
+  Rng rng(6);
+  const Signal silence = Signal::zeros(32000, 16000.0);
+  const Signal vib = acc.capture(silence, rng);
+  EXPECT_GT(dsp::band_energy_fraction(vib, 0.0, 4.0), 0.9);
+}
+
+TEST(AccelerometerTest, SaturationCapsNoiseAtHighDrive) {
+  AccelerometerConfig cfg;
+  cfg.body_motion_rms = 0.0;
+  Accelerometer acc(cfg);
+  Rng r1(7), r2(7);
+  const Signal quiet = dsp::tone(200.0, 2.0, 16000.0, 0.02);
+  const Signal loud = dsp::tone(200.0, 2.0, 16000.0, 2.0);
+  const double n_quiet = acc.capture(quiet, r1).rms();
+  const double n_loud = acc.capture(loud, r2).rms();
+  // 100x louder drive must NOT give 100x the noise (saturation), but the
+  // loud capture carries a 100x bigger deterministic residual, so compare
+  // against the saturation bound instead.
+  const double bound = cfg.base_noise_rms +
+                       cfg.lf_noise_coeff * cfg.lf_noise_saturation_rms +
+                       2.0 * acc.coupling_gain(200.0);
+  EXPECT_LT(n_loud, bound);
+  EXPECT_GT(n_quiet, 0.0);
+}
+
+TEST(AccelerometerTest, RejectsUndersampledAudio) {
+  Accelerometer acc;
+  Rng rng(8);
+  const Signal audio({1.0, 2.0}, 300.0);
+  EXPECT_THROW(acc.capture(audio, rng), vibguard::InvalidArgument);
+}
+
+TEST(AccelerometerTest, EmptyAudioEmptyVibration) {
+  Accelerometer acc;
+  Rng rng(9);
+  const Signal audio({}, 16000.0);
+  EXPECT_TRUE(acc.capture(audio, rng).empty());
+}
+
+}  // namespace
+}  // namespace vibguard::sensors

@@ -1,0 +1,71 @@
+#include "sensors/microphone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dsp/generate.hpp"
+
+namespace vibguard::sensors {
+namespace {
+
+TEST(MicrophoneTest, PassbandNearUnity) {
+  Microphone mic;
+  for (double f : {300.0, 1000.0, 3000.0}) {
+    EXPECT_NEAR(mic.response(f), 1.0, 0.1) << f;
+  }
+}
+
+TEST(MicrophoneTest, RollsOffAtBandEdges) {
+  Microphone mic;
+  EXPECT_LT(mic.response(10.0), 0.1);
+  EXPECT_LT(mic.response(12000.0), 0.3);
+}
+
+TEST(MicrophoneTest, RecordingAddsNoiseFloor) {
+  Microphone mic;
+  Rng rng(1);
+  const Signal silence = Signal::zeros(16000, 16000.0);
+  const Signal rec = mic.record(silence, rng);
+  EXPECT_NEAR(rec.rms(), mic.config().noise_floor_rms,
+              0.1 * mic.config().noise_floor_rms);
+}
+
+TEST(MicrophoneTest, ClipsAtConfiguredLevel) {
+  MicrophoneConfig cfg;
+  cfg.clip_level = 0.5;
+  Microphone mic(cfg);
+  Rng rng(2);
+  const Signal loud = dsp::tone(1000.0, 0.1, 16000.0, 10.0);
+  const Signal rec = mic.record(loud, rng);
+  EXPECT_LE(rec.peak(), 0.5 + 1e-9);
+}
+
+TEST(MicrophoneTest, ResamplesForeignRates) {
+  Microphone mic;
+  Rng rng(3);
+  const Signal in = dsp::tone(1000.0, 0.5, 48000.0, 0.1);
+  const Signal rec = mic.record(in, rng);
+  EXPECT_DOUBLE_EQ(rec.sample_rate(), 16000.0);
+  EXPECT_NEAR(static_cast<double>(rec.size()), 8000.0, 5.0);
+}
+
+TEST(MicrophoneTest, SignalDominatesNoiseAtSpeechLevels) {
+  Microphone mic;
+  Rng rng(4);
+  const Signal speech = dsp::tone(500.0, 0.5, 16000.0, 0.05);
+  const Signal rec = mic.record(speech, rng);
+  EXPECT_NEAR(rec.rms(), speech.rms(), 0.1 * speech.rms());
+}
+
+TEST(MicrophoneTest, RejectsBadConfig) {
+  MicrophoneConfig cfg;
+  cfg.sample_rate = 0.0;
+  EXPECT_THROW(Microphone{cfg}, vibguard::InvalidArgument);
+  MicrophoneConfig cfg2;
+  cfg2.low_cut_hz = 5000.0;
+  cfg2.high_cut_hz = 100.0;
+  EXPECT_THROW(Microphone{cfg2}, vibguard::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vibguard::sensors

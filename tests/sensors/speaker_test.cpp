@@ -1,0 +1,62 @@
+#include "sensors/speaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/generate.hpp"
+#include "dsp/spectral.hpp"
+
+namespace vibguard::sensors {
+namespace {
+
+TEST(SpeakerTest, WearableSpeakerWeakBelow350) {
+  Speaker s(wearable_speaker());
+  EXPECT_LT(s.response(100.0), 0.15);
+  EXPECT_NEAR(s.response(2000.0), 1.0, 0.1);
+}
+
+TEST(SpeakerTest, PlaybackLoudspeakerFullerRange) {
+  Speaker playback(playback_loudspeaker());
+  Speaker wearable(wearable_speaker());
+  EXPECT_GT(playback.response(150.0), 3.0 * wearable.response(150.0));
+}
+
+TEST(SpeakerTest, RenderShiftsBalanceUpward) {
+  Rng rng(1);
+  const Signal in = dsp::pink_noise(1.0, 16000.0, 0.1, rng);
+  Speaker s(wearable_speaker());
+  const Signal out = s.render(in);
+  EXPECT_GT(dsp::spectral_centroid(out), dsp::spectral_centroid(in));
+}
+
+TEST(SpeakerTest, LinearSpeakerPreservesWaveformShape) {
+  SpeakerConfig cfg = playback_loudspeaker();
+  cfg.distortion = 0.0;
+  Speaker s(cfg);
+  const Signal in = dsp::tone(1000.0, 0.2, 16000.0, 0.1);
+  const Signal out = s.render(in);
+  // Mid-band tone passes nearly unchanged.
+  EXPECT_NEAR(out.rms(), in.rms(), 0.05 * in.rms());
+}
+
+TEST(SpeakerTest, DistortionAddsHarmonics) {
+  SpeakerConfig cfg = playback_loudspeaker();
+  cfg.distortion = 0.3;
+  Speaker s(cfg);
+  const Signal in = dsp::tone(500.0, 0.5, 16000.0, 1.0);
+  const Signal out = s.render(in);
+  // Odd-order distortion puts energy at 1500 Hz.
+  EXPECT_GT(dsp::band_energy(out, 1400.0, 1600.0),
+            5.0 * dsp::band_energy(in, 1400.0, 1600.0) + 1e-12);
+}
+
+TEST(SpeakerTest, RejectsBadConfig) {
+  SpeakerConfig cfg{1000.0, 100.0, 0.0};
+  EXPECT_THROW(Speaker{cfg}, vibguard::InvalidArgument);
+  SpeakerConfig cfg2{100.0, 1000.0, -0.1};
+  EXPECT_THROW(Speaker{cfg2}, vibguard::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vibguard::sensors

@@ -1,0 +1,127 @@
+#include "speech/command.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace vibguard::speech {
+namespace {
+
+TEST(CommandTest, LexiconHasTwentyCommands) {
+  EXPECT_EQ(command_lexicon().size(), 20u);
+}
+
+TEST(CommandTest, ThreeWakeWords) {
+  EXPECT_EQ(wake_words().size(), 3u);
+}
+
+TEST(CommandTest, AllTranscriptionsUseCommonPhonemes) {
+  for (const auto& cmd : command_lexicon()) {
+    for (const auto& sym : cmd.phonemes) {
+      EXPECT_TRUE(is_common_phoneme(sym)) << cmd.text << ": " << sym;
+    }
+  }
+  for (const auto& cmd : wake_words()) {
+    for (const auto& sym : cmd.phonemes) {
+      EXPECT_TRUE(is_common_phoneme(sym)) << cmd.text << ": " << sym;
+    }
+  }
+}
+
+TEST(CommandTest, LookupByText) {
+  EXPECT_EQ(command_by_text("alexa").phonemes.size(), 6u);
+  EXPECT_EQ(command_by_text("stop").phonemes.size(), 4u);
+  EXPECT_THROW(command_by_text("fly me to the moon"),
+               vibguard::InvalidArgument);
+}
+
+TEST(UtteranceBuilderTest, AudioAndAlignmentConsistent) {
+  UtteranceBuilder builder;
+  Rng rng(1);
+  const auto& cmd = command_by_text("turn on the lights");
+  SpeakerProfile spk = sample_speaker(Sex::kFemale, rng);
+  const Utterance utt = builder.build(cmd, spk, rng);
+
+  ASSERT_EQ(utt.alignment.size(), cmd.phonemes.size());
+  EXPECT_FALSE(utt.audio.empty());
+  EXPECT_EQ(utt.text, cmd.text);
+
+  // Spans are ordered, non-overlapping and cover the whole signal.
+  EXPECT_EQ(utt.alignment.front().begin, 0u);
+  EXPECT_EQ(utt.alignment.back().end, utt.audio.size());
+  for (std::size_t i = 0; i < utt.alignment.size(); ++i) {
+    EXPECT_LT(utt.alignment[i].begin, utt.alignment[i].end);
+    EXPECT_EQ(utt.alignment[i].symbol, cmd.phonemes[i]);
+    if (i > 0) {
+      EXPECT_EQ(utt.alignment[i].begin, utt.alignment[i - 1].end);
+    }
+  }
+}
+
+TEST(UtteranceBuilderTest, DurationIsPlausible) {
+  UtteranceBuilder builder;
+  Rng rng(2);
+  SpeakerProfile spk = sample_speaker(Sex::kMale, rng);
+  const Utterance utt =
+      builder.build(command_by_text("turn on the lights"), spk, rng);
+  EXPECT_GT(utt.audio.duration(), 0.5);
+  EXPECT_LT(utt.audio.duration(), 3.0);
+}
+
+TEST(UtteranceBuilderTest, RandomSequenceHasRequestedLength) {
+  UtteranceBuilder builder;
+  Rng rng(3);
+  SpeakerProfile spk = sample_speaker(Sex::kMale, rng);
+  const Utterance utt = builder.build_random(12, spk, rng);
+  EXPECT_EQ(utt.alignment.size(), 12u);
+  EXPECT_EQ(utt.text, "<random>");
+}
+
+TEST(UtteranceBuilderTest, RandomSequenceFollowsFrequencyWeights) {
+  UtteranceBuilder builder;
+  Rng rng(4);
+  SpeakerProfile spk = sample_speaker(Sex::kMale, rng);
+  // /t/ appears 129 times vs /uh/ 6 times in Table II; over a long draw the
+  // ratio should show.
+  std::size_t t_count = 0, uh_count = 0;
+  const Utterance utt = builder.build_random(400, spk, rng);
+  for (const auto& span : utt.alignment) {
+    if (span.symbol == "t") ++t_count;
+    if (span.symbol == "uh") ++uh_count;
+  }
+  EXPECT_GT(t_count, uh_count + 10);
+}
+
+TEST(UtteranceBuilderTest, DifferentSpeakersDifferentAudio) {
+  UtteranceBuilder builder;
+  Rng rng(5);
+  const auto& cmd = command_by_text("stop");
+  SpeakerProfile a = sample_speaker(Sex::kMale, rng);
+  SpeakerProfile b = sample_speaker(Sex::kFemale, rng);
+  Rng r1(6), r2(6);
+  const Utterance u1 = builder.build(cmd, a, r1);
+  const Utterance u2 = builder.build(cmd, b, r2);
+  EXPECT_NE(u1.audio.size(), 0u);
+  bool differs = u1.audio.size() != u2.audio.size();
+  if (!differs) {
+    for (std::size_t i = 0; i < u1.audio.size(); ++i) {
+      if (u1.audio[i] != u2.audio[i]) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(UtteranceBuilderTest, RejectsEmptyCommand) {
+  UtteranceBuilder builder;
+  Rng rng(7);
+  SpeakerProfile spk = sample_speaker(Sex::kMale, rng);
+  VoiceCommand empty{"", {}};
+  EXPECT_THROW(builder.build(empty, spk, rng), vibguard::InvalidArgument);
+  EXPECT_THROW(builder.build_random(0, spk, rng), vibguard::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vibguard::speech

@@ -1,0 +1,115 @@
+#include "speech/phoneme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace vibguard::speech {
+namespace {
+
+TEST(PhonemeTest, ThirtySevenCommonPhonemes) {
+  EXPECT_EQ(common_phonemes().size(), 37u);
+}
+
+TEST(PhonemeTest, SymbolsAreUnique) {
+  std::set<std::string> seen;
+  for (const Phoneme& p : common_phonemes()) {
+    EXPECT_TRUE(seen.insert(p.symbol).second) << "duplicate " << p.symbol;
+  }
+}
+
+TEST(PhonemeTest, TimitInventoryHas63Entries) {
+  EXPECT_EQ(timit_symbols().size(), 63u);
+}
+
+TEST(PhonemeTest, TableIIAppearanceCounts) {
+  // Spot-check Table II counts.
+  EXPECT_EQ(phoneme_by_symbol("t").command_frequency, 129);
+  EXPECT_EQ(phoneme_by_symbol("n").command_frequency, 108);
+  EXPECT_EQ(phoneme_by_symbol("ah").command_frequency, 107);
+  EXPECT_EQ(phoneme_by_symbol("s").command_frequency, 101);
+  EXPECT_EQ(phoneme_by_symbol("uh").command_frequency, 6);
+}
+
+TEST(PhonemeTest, VowelsAreVoicedWithThreeFormants) {
+  for (const Phoneme& p : common_phonemes()) {
+    if (p.cls == PhonemeClass::kVowel || p.cls == PhonemeClass::kDiphthong) {
+      EXPECT_TRUE(p.voiced) << p.symbol;
+      EXPECT_EQ(p.formants.size(), 3u) << p.symbol;
+      EXPECT_FALSE(p.frication.has_value()) << p.symbol;
+    }
+  }
+}
+
+TEST(PhonemeTest, UnvoicedFricativesHaveNoFormants) {
+  for (const char* sym : {"s", "sh", "f", "th", "hh"}) {
+    const Phoneme& p = phoneme_by_symbol(sym);
+    EXPECT_FALSE(p.voiced) << sym;
+    EXPECT_TRUE(p.formants.empty()) << sym;
+    EXPECT_TRUE(p.frication.has_value()) << sym;
+  }
+}
+
+TEST(PhonemeTest, VoicedFricativesHaveBoth) {
+  for (const char* sym : {"z", "v", "dh"}) {
+    const Phoneme& p = phoneme_by_symbol(sym);
+    EXPECT_TRUE(p.voiced) << sym;
+    EXPECT_FALSE(p.formants.empty()) << sym;
+    EXPECT_TRUE(p.frication.has_value()) << sym;
+  }
+}
+
+TEST(PhonemeTest, LoudVowelsLouderThanWeakFricatives) {
+  // The intensity ordering the selection criteria depend on.
+  EXPECT_GT(phoneme_by_symbol("aa").intensity_db,
+            phoneme_by_symbol("ih").intensity_db);
+  EXPECT_GT(phoneme_by_symbol("ao").intensity_db,
+            phoneme_by_symbol("eh").intensity_db);
+  EXPECT_GT(phoneme_by_symbol("ih").intensity_db,
+            phoneme_by_symbol("f").intensity_db);
+  EXPECT_GT(phoneme_by_symbol("f").intensity_db,
+            phoneme_by_symbol("th").intensity_db);
+}
+
+TEST(PhonemeTest, FormantsWithinSpeechRange) {
+  for (const Phoneme& p : common_phonemes()) {
+    for (const Formant& f : p.formants) {
+      EXPECT_GT(f.frequency_hz, 100.0) << p.symbol;
+      EXPECT_LT(f.frequency_hz, 4000.0) << p.symbol;
+      EXPECT_GT(f.bandwidth_hz, 0.0) << p.symbol;
+    }
+  }
+}
+
+TEST(PhonemeTest, FricationBandsValid) {
+  for (const Phoneme& p : common_phonemes()) {
+    if (p.frication.has_value()) {
+      EXPECT_LT(p.frication->low_hz, p.frication->high_hz) << p.symbol;
+      EXPECT_LE(p.frication->high_hz, 8000.0) << p.symbol;
+    }
+  }
+}
+
+TEST(PhonemeTest, DurationsPositiveAndPlausible) {
+  for (const Phoneme& p : common_phonemes()) {
+    EXPECT_GT(p.duration_s, 0.02) << p.symbol;
+    EXPECT_LT(p.duration_s, 0.5) << p.symbol;
+  }
+}
+
+TEST(PhonemeTest, LookupFailsForUnknown) {
+  EXPECT_THROW(phoneme_by_symbol("qq"), vibguard::InvalidArgument);
+  EXPECT_FALSE(is_common_phoneme("qq"));
+  EXPECT_TRUE(is_common_phoneme("ae"));
+}
+
+TEST(PhonemeTest, NasalsShareLowFirstFormant) {
+  for (const char* sym : {"m", "n", "ng"}) {
+    EXPECT_NEAR(phoneme_by_symbol(sym).formants[0].frequency_hz, 280.0, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace vibguard::speech

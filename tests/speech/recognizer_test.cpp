@@ -1,0 +1,87 @@
+#include "speech/recognizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acoustics/barrier.hpp"
+#include "common/db.hpp"
+#include "common/error.hpp"
+#include "speech/command.hpp"
+
+namespace vibguard::speech {
+namespace {
+
+Utterance say(const char* text, const SpeakerProfile& spk,
+              std::uint64_t seed) {
+  UtteranceBuilder builder;
+  Rng rng(seed);
+  auto utt = builder.build(command_by_text(text), spk, rng);
+  utt.audio = utt.audio.scaled_to_rms(spl_to_rms(70.0));
+  return utt;
+}
+
+SpeakerProfile speaker(std::uint64_t seed) {
+  Rng rng(seed);
+  return sample_speaker(seed % 2 == 0 ? Sex::kMale : Sex::kFemale, rng);
+}
+
+WakeWordRecognizer enrolled_recognizer(const SpeakerProfile& spk) {
+  WakeWordRecognizer rec;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    rec.enroll(say("ok google", spk, 100 + i).audio);
+  }
+  return rec;
+}
+
+TEST(RecognizerTest, MatchesFreshUtteranceOfSameWord) {
+  const auto spk = speaker(2);
+  auto rec = enrolled_recognizer(spk);
+  EXPECT_EQ(rec.num_templates(), 3u);
+  const auto result = rec.match(say("ok google", spk, 999).audio);
+  EXPECT_TRUE(result.matched);
+}
+
+TEST(RecognizerTest, RejectsDifferentCommand) {
+  const auto spk = speaker(2);
+  auto rec = enrolled_recognizer(spk);
+  const double same = rec.distance(say("ok google", spk, 999).audio);
+  const double other = rec.distance(say("good morning", spk, 999).audio);
+  EXPECT_LT(same, other);
+}
+
+TEST(RecognizerTest, CrossSpeakerDistanceHigherButSameWordCloser) {
+  const auto enrollee = speaker(2);
+  const auto other = speaker(3);
+  auto rec = enrolled_recognizer(enrollee);
+  const double same_word = rec.distance(say("ok google", other, 7).audio);
+  const double diff_word = rec.distance(say("next song", other, 7).audio);
+  EXPECT_LT(same_word, diff_word);
+}
+
+TEST(RecognizerTest, BarrierFilteringIncreasesDistance) {
+  // The recognition penalty the attack study models: thru-barrier audio is
+  // farther from the enrolled templates.
+  const auto spk = speaker(4);
+  auto rec = enrolled_recognizer(spk);
+  const auto utt = say("ok google", spk, 55);
+  acoustics::Barrier barrier(acoustics::glass_window());
+  const double direct = rec.distance(utt.audio);
+  const double through = rec.distance(barrier.transmit(utt.audio));
+  EXPECT_GT(through, direct);
+}
+
+TEST(RecognizerTest, RequiresEnrollment) {
+  WakeWordRecognizer rec;
+  EXPECT_THROW(rec.match(Signal({0.1, 0.2}, 16000.0)),
+               vibguard::InvalidArgument);
+  EXPECT_THROW(rec.enroll(Signal({}, 16000.0)), vibguard::InvalidArgument);
+}
+
+TEST(RecognizerTest, BestTemplateIndexValid) {
+  const auto spk = speaker(6);
+  auto rec = enrolled_recognizer(spk);
+  const auto result = rec.match(say("ok google", spk, 42).audio);
+  EXPECT_LT(result.best_template, rec.num_templates());
+}
+
+}  // namespace
+}  // namespace vibguard::speech

@@ -1,0 +1,76 @@
+#include "speech/speaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vibguard::speech {
+namespace {
+
+TEST(SpeakerTest, MaleAndFemaleF0RangesDisjoint) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto m = sample_speaker(Sex::kMale, rng);
+    const auto f = sample_speaker(Sex::kFemale, rng);
+    EXPECT_GE(m.f0_hz, 95.0);
+    EXPECT_LE(m.f0_hz, 145.0);
+    EXPECT_GE(f.f0_hz, 175.0);
+    EXPECT_LE(f.f0_hz, 240.0);
+    EXPECT_LT(m.f0_hz, f.f0_hz);
+  }
+}
+
+TEST(SpeakerTest, FemaleFormantScaleHigher) {
+  Rng rng(2);
+  const auto m = sample_speaker(Sex::kMale, rng);
+  const auto f = sample_speaker(Sex::kFemale, rng);
+  EXPECT_LT(m.formant_scale, f.formant_scale);
+}
+
+TEST(SpeakerTest, PopulationAlternatesSexAndNamesSequentially) {
+  Rng rng(3);
+  const auto pop = sample_population(6, rng);
+  ASSERT_EQ(pop.size(), 6u);
+  EXPECT_EQ(pop[0].sex, Sex::kMale);
+  EXPECT_EQ(pop[1].sex, Sex::kFemale);
+  EXPECT_EQ(pop[0].id, "spk00");
+  EXPECT_EQ(pop[5].id, "spk05");
+}
+
+TEST(SpeakerTest, PopulationIsDiverse) {
+  Rng rng(4);
+  const auto pop = sample_population(10, rng);
+  for (std::size_t i = 1; i < pop.size(); ++i) {
+    EXPECT_NE(pop[i].f0_hz, pop[0].f0_hz);
+  }
+}
+
+TEST(SpeakerTest, CloneApproximatesTarget) {
+  Rng rng(5);
+  const auto target = sample_speaker(Sex::kFemale, rng);
+  const auto clone = clone_with_estimation_error(target, rng);
+  // F0 recovered within ~10%.
+  EXPECT_NEAR(clone.f0_hz, target.f0_hz, 0.12 * target.f0_hz);
+  EXPECT_NEAR(clone.formant_scale, target.formant_scale,
+              0.08 * target.formant_scale);
+  EXPECT_EQ(clone.sex, target.sex);
+}
+
+TEST(SpeakerTest, CloneIsOverSmoothed) {
+  Rng rng(6);
+  const auto target = sample_speaker(Sex::kMale, rng);
+  const auto clone = clone_with_estimation_error(target, rng);
+  // Vocoder artifact: reduced micro-variability.
+  EXPECT_LT(clone.f0_jitter, target.f0_jitter);
+  EXPECT_LT(clone.shimmer, target.shimmer);
+  EXPECT_GE(clone.breathiness, target.breathiness);
+}
+
+TEST(SpeakerTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const auto s1 = sample_speaker(Sex::kMale, a);
+  const auto s2 = sample_speaker(Sex::kMale, b);
+  EXPECT_DOUBLE_EQ(s1.f0_hz, s2.f0_hz);
+  EXPECT_DOUBLE_EQ(s1.formant_scale, s2.formant_scale);
+}
+
+}  // namespace
+}  // namespace vibguard::speech
