@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_barrier_material.dir/bench_fig11b_barrier_material.cpp.o"
+  "CMakeFiles/bench_fig11b_barrier_material.dir/bench_fig11b_barrier_material.cpp.o.d"
+  "bench_fig11b_barrier_material"
+  "bench_fig11b_barrier_material.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_barrier_material.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11d_rooms.dir/bench_fig11d_rooms.cpp.o"
+  "CMakeFiles/bench_fig11d_rooms.dir/bench_fig11d_rooms.cpp.o.d"
+  "bench_fig11d_rooms"
+  "bench_fig11d_rooms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11d_rooms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_selection_quartiles.dir/bench_fig6_selection_quartiles.cpp.o"
+  "CMakeFiles/bench_fig6_selection_quartiles.dir/bench_fig6_selection_quartiles.cpp.o.d"
+  "bench_fig6_selection_quartiles"
+  "bench_fig6_selection_quartiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_selection_quartiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

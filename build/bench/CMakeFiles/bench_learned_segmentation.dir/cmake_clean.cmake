@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_learned_segmentation.dir/bench_learned_segmentation.cpp.o"
+  "CMakeFiles/bench_learned_segmentation.dir/bench_learned_segmentation.cpp.o.d"
+  "bench_learned_segmentation"
+  "bench_learned_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_learned_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

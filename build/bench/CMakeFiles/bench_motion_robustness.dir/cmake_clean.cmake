@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motion_robustness.dir/bench_motion_robustness.cpp.o"
+  "CMakeFiles/bench_motion_robustness.dir/bench_motion_robustness.cpp.o.d"
+  "bench_motion_robustness"
+  "bench_motion_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motion_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

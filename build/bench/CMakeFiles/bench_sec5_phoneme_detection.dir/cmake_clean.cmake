@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_phoneme_detection.dir/bench_sec5_phoneme_detection.cpp.o"
+  "CMakeFiles/bench_sec5_phoneme_detection.dir/bench_sec5_phoneme_detection.cpp.o.d"
+  "bench_sec5_phoneme_detection"
+  "bench_sec5_phoneme_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_phoneme_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

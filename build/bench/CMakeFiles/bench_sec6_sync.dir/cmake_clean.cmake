@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_sync.dir/bench_sec6_sync.cpp.o"
+  "CMakeFiles/bench_sec6_sync.dir/bench_sec6_sync.cpp.o.d"
+  "bench_sec6_sync"
+  "bench_sec6_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

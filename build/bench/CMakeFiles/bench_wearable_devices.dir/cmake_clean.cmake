@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wearable_devices.dir/bench_wearable_devices.cpp.o"
+  "CMakeFiles/bench_wearable_devices.dir/bench_wearable_devices.cpp.o.d"
+  "bench_wearable_devices"
+  "bench_wearable_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wearable_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_range.dir/attack_range.cpp.o"
+  "CMakeFiles/attack_range.dir/attack_range.cpp.o.d"
+  "attack_range"
+  "attack_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

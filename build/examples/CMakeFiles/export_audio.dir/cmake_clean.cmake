@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_audio.dir/export_audio.cpp.o"
+  "CMakeFiles/export_audio.dir/export_audio.cpp.o.d"
+  "export_audio"
+  "export_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

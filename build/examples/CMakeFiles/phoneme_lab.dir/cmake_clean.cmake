@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoneme_lab.dir/phoneme_lab.cpp.o"
+  "CMakeFiles/phoneme_lab.dir/phoneme_lab.cpp.o.d"
+  "phoneme_lab"
+  "phoneme_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoneme_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_guard.dir/smart_home_guard.cpp.o"
+  "CMakeFiles/smart_home_guard.dir/smart_home_guard.cpp.o.d"
+  "smart_home_guard"
+  "smart_home_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

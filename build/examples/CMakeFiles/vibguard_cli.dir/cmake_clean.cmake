@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibguard_cli.dir/vibguard_cli.cpp.o"
+  "CMakeFiles/vibguard_cli.dir/vibguard_cli.cpp.o.d"
+  "vibguard_cli"
+  "vibguard_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibguard_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acoustics/ambient.cpp" "src/acoustics/CMakeFiles/vibguard_acoustics.dir/ambient.cpp.o" "gcc" "src/acoustics/CMakeFiles/vibguard_acoustics.dir/ambient.cpp.o.d"
+  "/root/repo/src/acoustics/barrier.cpp" "src/acoustics/CMakeFiles/vibguard_acoustics.dir/barrier.cpp.o" "gcc" "src/acoustics/CMakeFiles/vibguard_acoustics.dir/barrier.cpp.o.d"
+  "/root/repo/src/acoustics/material.cpp" "src/acoustics/CMakeFiles/vibguard_acoustics.dir/material.cpp.o" "gcc" "src/acoustics/CMakeFiles/vibguard_acoustics.dir/material.cpp.o.d"
+  "/root/repo/src/acoustics/propagation.cpp" "src/acoustics/CMakeFiles/vibguard_acoustics.dir/propagation.cpp.o" "gcc" "src/acoustics/CMakeFiles/vibguard_acoustics.dir/propagation.cpp.o.d"
+  "/root/repo/src/acoustics/room.cpp" "src/acoustics/CMakeFiles/vibguard_acoustics.dir/room.cpp.o" "gcc" "src/acoustics/CMakeFiles/vibguard_acoustics.dir/room.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vibguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vibguard_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

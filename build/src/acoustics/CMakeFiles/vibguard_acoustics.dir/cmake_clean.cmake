@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibguard_acoustics.dir/ambient.cpp.o"
+  "CMakeFiles/vibguard_acoustics.dir/ambient.cpp.o.d"
+  "CMakeFiles/vibguard_acoustics.dir/barrier.cpp.o"
+  "CMakeFiles/vibguard_acoustics.dir/barrier.cpp.o.d"
+  "CMakeFiles/vibguard_acoustics.dir/material.cpp.o"
+  "CMakeFiles/vibguard_acoustics.dir/material.cpp.o.d"
+  "CMakeFiles/vibguard_acoustics.dir/propagation.cpp.o"
+  "CMakeFiles/vibguard_acoustics.dir/propagation.cpp.o.d"
+  "CMakeFiles/vibguard_acoustics.dir/room.cpp.o"
+  "CMakeFiles/vibguard_acoustics.dir/room.cpp.o.d"
+  "libvibguard_acoustics.a"
+  "libvibguard_acoustics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibguard_acoustics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

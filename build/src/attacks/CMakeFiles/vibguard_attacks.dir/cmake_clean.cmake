@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibguard_attacks.dir/attack.cpp.o"
+  "CMakeFiles/vibguard_attacks.dir/attack.cpp.o.d"
+  "libvibguard_attacks.a"
+  "libvibguard_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibguard_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

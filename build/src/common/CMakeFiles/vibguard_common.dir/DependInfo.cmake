@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/db.cpp" "src/common/CMakeFiles/vibguard_common.dir/db.cpp.o" "gcc" "src/common/CMakeFiles/vibguard_common.dir/db.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/vibguard_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/vibguard_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/signal.cpp" "src/common/CMakeFiles/vibguard_common.dir/signal.cpp.o" "gcc" "src/common/CMakeFiles/vibguard_common.dir/signal.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/vibguard_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/vibguard_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/wav.cpp" "src/common/CMakeFiles/vibguard_common.dir/wav.cpp.o" "gcc" "src/common/CMakeFiles/vibguard_common.dir/wav.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibguard_common.dir/db.cpp.o"
+  "CMakeFiles/vibguard_common.dir/db.cpp.o.d"
+  "CMakeFiles/vibguard_common.dir/rng.cpp.o"
+  "CMakeFiles/vibguard_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vibguard_common.dir/signal.cpp.o"
+  "CMakeFiles/vibguard_common.dir/signal.cpp.o.d"
+  "CMakeFiles/vibguard_common.dir/stats.cpp.o"
+  "CMakeFiles/vibguard_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vibguard_common.dir/wav.cpp.o"
+  "CMakeFiles/vibguard_common.dir/wav.cpp.o.d"
+  "libvibguard_common.a"
+  "libvibguard_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibguard_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

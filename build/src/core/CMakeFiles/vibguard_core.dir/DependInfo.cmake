@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/vibguard_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/vibguard_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/vibguard_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/vibguard_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/fusion.cpp" "src/core/CMakeFiles/vibguard_core.dir/fusion.cpp.o" "gcc" "src/core/CMakeFiles/vibguard_core.dir/fusion.cpp.o.d"
+  "/root/repo/src/core/phoneme_selection.cpp" "src/core/CMakeFiles/vibguard_core.dir/phoneme_selection.cpp.o" "gcc" "src/core/CMakeFiles/vibguard_core.dir/phoneme_selection.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/vibguard_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/vibguard_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/segmentation.cpp" "src/core/CMakeFiles/vibguard_core.dir/segmentation.cpp.o" "gcc" "src/core/CMakeFiles/vibguard_core.dir/segmentation.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/vibguard_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/vibguard_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/vibration_features.cpp" "src/core/CMakeFiles/vibguard_core.dir/vibration_features.cpp.o" "gcc" "src/core/CMakeFiles/vibguard_core.dir/vibration_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vibguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vibguard_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/vibguard_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/vibguard_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/vibguard_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/acoustics/CMakeFiles/vibguard_acoustics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/vibguard_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

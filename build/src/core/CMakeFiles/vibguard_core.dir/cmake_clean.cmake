@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibguard_core.dir/baselines.cpp.o"
+  "CMakeFiles/vibguard_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/vibguard_core.dir/detector.cpp.o"
+  "CMakeFiles/vibguard_core.dir/detector.cpp.o.d"
+  "CMakeFiles/vibguard_core.dir/fusion.cpp.o"
+  "CMakeFiles/vibguard_core.dir/fusion.cpp.o.d"
+  "CMakeFiles/vibguard_core.dir/phoneme_selection.cpp.o"
+  "CMakeFiles/vibguard_core.dir/phoneme_selection.cpp.o.d"
+  "CMakeFiles/vibguard_core.dir/pipeline.cpp.o"
+  "CMakeFiles/vibguard_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/vibguard_core.dir/segmentation.cpp.o"
+  "CMakeFiles/vibguard_core.dir/segmentation.cpp.o.d"
+  "CMakeFiles/vibguard_core.dir/session.cpp.o"
+  "CMakeFiles/vibguard_core.dir/session.cpp.o.d"
+  "CMakeFiles/vibguard_core.dir/vibration_features.cpp.o"
+  "CMakeFiles/vibguard_core.dir/vibration_features.cpp.o.d"
+  "libvibguard_core.a"
+  "libvibguard_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibguard_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

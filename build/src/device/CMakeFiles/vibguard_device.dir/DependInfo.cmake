@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/sync.cpp" "src/device/CMakeFiles/vibguard_device.dir/sync.cpp.o" "gcc" "src/device/CMakeFiles/vibguard_device.dir/sync.cpp.o.d"
+  "/root/repo/src/device/va_device.cpp" "src/device/CMakeFiles/vibguard_device.dir/va_device.cpp.o" "gcc" "src/device/CMakeFiles/vibguard_device.dir/va_device.cpp.o.d"
+  "/root/repo/src/device/wearable.cpp" "src/device/CMakeFiles/vibguard_device.dir/wearable.cpp.o" "gcc" "src/device/CMakeFiles/vibguard_device.dir/wearable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vibguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vibguard_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/vibguard_sensors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

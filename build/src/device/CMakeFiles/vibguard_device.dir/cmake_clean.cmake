@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibguard_device.dir/sync.cpp.o"
+  "CMakeFiles/vibguard_device.dir/sync.cpp.o.d"
+  "CMakeFiles/vibguard_device.dir/va_device.cpp.o"
+  "CMakeFiles/vibguard_device.dir/va_device.cpp.o.d"
+  "CMakeFiles/vibguard_device.dir/wearable.cpp.o"
+  "CMakeFiles/vibguard_device.dir/wearable.cpp.o.d"
+  "libvibguard_device.a"
+  "libvibguard_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibguard_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

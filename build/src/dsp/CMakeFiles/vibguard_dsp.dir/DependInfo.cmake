@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/correlate.cpp" "src/dsp/CMakeFiles/vibguard_dsp.dir/correlate.cpp.o" "gcc" "src/dsp/CMakeFiles/vibguard_dsp.dir/correlate.cpp.o.d"
+  "/root/repo/src/dsp/dtw.cpp" "src/dsp/CMakeFiles/vibguard_dsp.dir/dtw.cpp.o" "gcc" "src/dsp/CMakeFiles/vibguard_dsp.dir/dtw.cpp.o.d"
+  "/root/repo/src/dsp/envelope.cpp" "src/dsp/CMakeFiles/vibguard_dsp.dir/envelope.cpp.o" "gcc" "src/dsp/CMakeFiles/vibguard_dsp.dir/envelope.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/vibguard_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/vibguard_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/filter.cpp" "src/dsp/CMakeFiles/vibguard_dsp.dir/filter.cpp.o" "gcc" "src/dsp/CMakeFiles/vibguard_dsp.dir/filter.cpp.o.d"
+  "/root/repo/src/dsp/generate.cpp" "src/dsp/CMakeFiles/vibguard_dsp.dir/generate.cpp.o" "gcc" "src/dsp/CMakeFiles/vibguard_dsp.dir/generate.cpp.o.d"
+  "/root/repo/src/dsp/mel.cpp" "src/dsp/CMakeFiles/vibguard_dsp.dir/mel.cpp.o" "gcc" "src/dsp/CMakeFiles/vibguard_dsp.dir/mel.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/vibguard_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/vibguard_dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/spectral.cpp" "src/dsp/CMakeFiles/vibguard_dsp.dir/spectral.cpp.o" "gcc" "src/dsp/CMakeFiles/vibguard_dsp.dir/spectral.cpp.o.d"
+  "/root/repo/src/dsp/stft.cpp" "src/dsp/CMakeFiles/vibguard_dsp.dir/stft.cpp.o" "gcc" "src/dsp/CMakeFiles/vibguard_dsp.dir/stft.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/vibguard_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/vibguard_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vibguard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

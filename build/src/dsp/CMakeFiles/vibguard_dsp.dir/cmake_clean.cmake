@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibguard_dsp.dir/correlate.cpp.o"
+  "CMakeFiles/vibguard_dsp.dir/correlate.cpp.o.d"
+  "CMakeFiles/vibguard_dsp.dir/dtw.cpp.o"
+  "CMakeFiles/vibguard_dsp.dir/dtw.cpp.o.d"
+  "CMakeFiles/vibguard_dsp.dir/envelope.cpp.o"
+  "CMakeFiles/vibguard_dsp.dir/envelope.cpp.o.d"
+  "CMakeFiles/vibguard_dsp.dir/fft.cpp.o"
+  "CMakeFiles/vibguard_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/vibguard_dsp.dir/filter.cpp.o"
+  "CMakeFiles/vibguard_dsp.dir/filter.cpp.o.d"
+  "CMakeFiles/vibguard_dsp.dir/generate.cpp.o"
+  "CMakeFiles/vibguard_dsp.dir/generate.cpp.o.d"
+  "CMakeFiles/vibguard_dsp.dir/mel.cpp.o"
+  "CMakeFiles/vibguard_dsp.dir/mel.cpp.o.d"
+  "CMakeFiles/vibguard_dsp.dir/resample.cpp.o"
+  "CMakeFiles/vibguard_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/vibguard_dsp.dir/spectral.cpp.o"
+  "CMakeFiles/vibguard_dsp.dir/spectral.cpp.o.d"
+  "CMakeFiles/vibguard_dsp.dir/stft.cpp.o"
+  "CMakeFiles/vibguard_dsp.dir/stft.cpp.o.d"
+  "CMakeFiles/vibguard_dsp.dir/window.cpp.o"
+  "CMakeFiles/vibguard_dsp.dir/window.cpp.o.d"
+  "libvibguard_dsp.a"
+  "libvibguard_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibguard_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/confidence.cpp" "src/eval/CMakeFiles/vibguard_eval.dir/confidence.cpp.o" "gcc" "src/eval/CMakeFiles/vibguard_eval.dir/confidence.cpp.o.d"
+  "/root/repo/src/eval/experiment.cpp" "src/eval/CMakeFiles/vibguard_eval.dir/experiment.cpp.o" "gcc" "src/eval/CMakeFiles/vibguard_eval.dir/experiment.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/vibguard_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/vibguard_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/vibguard_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/vibguard_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/scenario.cpp" "src/eval/CMakeFiles/vibguard_eval.dir/scenario.cpp.o" "gcc" "src/eval/CMakeFiles/vibguard_eval.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vibguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vibguard_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/vibguard_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/vibguard_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/vibguard_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/acoustics/CMakeFiles/vibguard_acoustics.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/vibguard_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vibguard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/vibguard_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibguard_eval.dir/confidence.cpp.o"
+  "CMakeFiles/vibguard_eval.dir/confidence.cpp.o.d"
+  "CMakeFiles/vibguard_eval.dir/experiment.cpp.o"
+  "CMakeFiles/vibguard_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/vibguard_eval.dir/metrics.cpp.o"
+  "CMakeFiles/vibguard_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/vibguard_eval.dir/report.cpp.o"
+  "CMakeFiles/vibguard_eval.dir/report.cpp.o.d"
+  "CMakeFiles/vibguard_eval.dir/scenario.cpp.o"
+  "CMakeFiles/vibguard_eval.dir/scenario.cpp.o.d"
+  "libvibguard_eval.a"
+  "libvibguard_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibguard_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/vibguard_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/vibguard_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/brnn.cpp" "src/nn/CMakeFiles/vibguard_nn.dir/brnn.cpp.o" "gcc" "src/nn/CMakeFiles/vibguard_nn.dir/brnn.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/vibguard_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/vibguard_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/vibguard_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/vibguard_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/vibguard_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/vibguard_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vibguard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibguard_nn.dir/adam.cpp.o"
+  "CMakeFiles/vibguard_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/vibguard_nn.dir/brnn.cpp.o"
+  "CMakeFiles/vibguard_nn.dir/brnn.cpp.o.d"
+  "CMakeFiles/vibguard_nn.dir/dense.cpp.o"
+  "CMakeFiles/vibguard_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/vibguard_nn.dir/lstm.cpp.o"
+  "CMakeFiles/vibguard_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/vibguard_nn.dir/serialize.cpp.o"
+  "CMakeFiles/vibguard_nn.dir/serialize.cpp.o.d"
+  "libvibguard_nn.a"
+  "libvibguard_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibguard_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

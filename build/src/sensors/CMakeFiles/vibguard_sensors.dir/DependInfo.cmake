@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/accelerometer.cpp" "src/sensors/CMakeFiles/vibguard_sensors.dir/accelerometer.cpp.o" "gcc" "src/sensors/CMakeFiles/vibguard_sensors.dir/accelerometer.cpp.o.d"
+  "/root/repo/src/sensors/body_motion.cpp" "src/sensors/CMakeFiles/vibguard_sensors.dir/body_motion.cpp.o" "gcc" "src/sensors/CMakeFiles/vibguard_sensors.dir/body_motion.cpp.o.d"
+  "/root/repo/src/sensors/microphone.cpp" "src/sensors/CMakeFiles/vibguard_sensors.dir/microphone.cpp.o" "gcc" "src/sensors/CMakeFiles/vibguard_sensors.dir/microphone.cpp.o.d"
+  "/root/repo/src/sensors/speaker.cpp" "src/sensors/CMakeFiles/vibguard_sensors.dir/speaker.cpp.o" "gcc" "src/sensors/CMakeFiles/vibguard_sensors.dir/speaker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vibguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vibguard_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibguard_sensors.dir/accelerometer.cpp.o"
+  "CMakeFiles/vibguard_sensors.dir/accelerometer.cpp.o.d"
+  "CMakeFiles/vibguard_sensors.dir/body_motion.cpp.o"
+  "CMakeFiles/vibguard_sensors.dir/body_motion.cpp.o.d"
+  "CMakeFiles/vibguard_sensors.dir/microphone.cpp.o"
+  "CMakeFiles/vibguard_sensors.dir/microphone.cpp.o.d"
+  "CMakeFiles/vibguard_sensors.dir/speaker.cpp.o"
+  "CMakeFiles/vibguard_sensors.dir/speaker.cpp.o.d"
+  "libvibguard_sensors.a"
+  "libvibguard_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibguard_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvibguard_sensors.a"
+)

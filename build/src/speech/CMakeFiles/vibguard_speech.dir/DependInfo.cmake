@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/speech/command.cpp" "src/speech/CMakeFiles/vibguard_speech.dir/command.cpp.o" "gcc" "src/speech/CMakeFiles/vibguard_speech.dir/command.cpp.o.d"
+  "/root/repo/src/speech/corpus.cpp" "src/speech/CMakeFiles/vibguard_speech.dir/corpus.cpp.o" "gcc" "src/speech/CMakeFiles/vibguard_speech.dir/corpus.cpp.o.d"
+  "/root/repo/src/speech/phoneme.cpp" "src/speech/CMakeFiles/vibguard_speech.dir/phoneme.cpp.o" "gcc" "src/speech/CMakeFiles/vibguard_speech.dir/phoneme.cpp.o.d"
+  "/root/repo/src/speech/recognizer.cpp" "src/speech/CMakeFiles/vibguard_speech.dir/recognizer.cpp.o" "gcc" "src/speech/CMakeFiles/vibguard_speech.dir/recognizer.cpp.o.d"
+  "/root/repo/src/speech/speaker.cpp" "src/speech/CMakeFiles/vibguard_speech.dir/speaker.cpp.o" "gcc" "src/speech/CMakeFiles/vibguard_speech.dir/speaker.cpp.o.d"
+  "/root/repo/src/speech/synthesizer.cpp" "src/speech/CMakeFiles/vibguard_speech.dir/synthesizer.cpp.o" "gcc" "src/speech/CMakeFiles/vibguard_speech.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vibguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vibguard_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

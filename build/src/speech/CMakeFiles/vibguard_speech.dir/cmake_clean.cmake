@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibguard_speech.dir/command.cpp.o"
+  "CMakeFiles/vibguard_speech.dir/command.cpp.o.d"
+  "CMakeFiles/vibguard_speech.dir/corpus.cpp.o"
+  "CMakeFiles/vibguard_speech.dir/corpus.cpp.o.d"
+  "CMakeFiles/vibguard_speech.dir/phoneme.cpp.o"
+  "CMakeFiles/vibguard_speech.dir/phoneme.cpp.o.d"
+  "CMakeFiles/vibguard_speech.dir/recognizer.cpp.o"
+  "CMakeFiles/vibguard_speech.dir/recognizer.cpp.o.d"
+  "CMakeFiles/vibguard_speech.dir/speaker.cpp.o"
+  "CMakeFiles/vibguard_speech.dir/speaker.cpp.o.d"
+  "CMakeFiles/vibguard_speech.dir/synthesizer.cpp.o"
+  "CMakeFiles/vibguard_speech.dir/synthesizer.cpp.o.d"
+  "libvibguard_speech.a"
+  "libvibguard_speech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibguard_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

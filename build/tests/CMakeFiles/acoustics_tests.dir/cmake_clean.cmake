@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustics_tests.dir/acoustics/ambient_test.cpp.o"
+  "CMakeFiles/acoustics_tests.dir/acoustics/ambient_test.cpp.o.d"
+  "CMakeFiles/acoustics_tests.dir/acoustics/barrier_test.cpp.o"
+  "CMakeFiles/acoustics_tests.dir/acoustics/barrier_test.cpp.o.d"
+  "CMakeFiles/acoustics_tests.dir/acoustics/material_test.cpp.o"
+  "CMakeFiles/acoustics_tests.dir/acoustics/material_test.cpp.o.d"
+  "CMakeFiles/acoustics_tests.dir/acoustics/propagation_test.cpp.o"
+  "CMakeFiles/acoustics_tests.dir/acoustics/propagation_test.cpp.o.d"
+  "CMakeFiles/acoustics_tests.dir/acoustics/room_test.cpp.o"
+  "CMakeFiles/acoustics_tests.dir/acoustics/room_test.cpp.o.d"
+  "acoustics_tests"
+  "acoustics_tests.pdb"
+  "acoustics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

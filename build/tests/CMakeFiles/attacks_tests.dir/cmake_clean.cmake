@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attacks_tests.dir/attacks/attack_test.cpp.o"
+  "CMakeFiles/attacks_tests.dir/attacks/attack_test.cpp.o.d"
+  "attacks_tests"
+  "attacks_tests.pdb"
+  "attacks_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attacks_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

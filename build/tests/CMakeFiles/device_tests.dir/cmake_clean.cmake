@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_tests.dir/device/sync_test.cpp.o"
+  "CMakeFiles/device_tests.dir/device/sync_test.cpp.o.d"
+  "CMakeFiles/device_tests.dir/device/va_device_test.cpp.o"
+  "CMakeFiles/device_tests.dir/device/va_device_test.cpp.o.d"
+  "CMakeFiles/device_tests.dir/device/wearable_test.cpp.o"
+  "CMakeFiles/device_tests.dir/device/wearable_test.cpp.o.d"
+  "device_tests"
+  "device_tests.pdb"
+  "device_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsp/correlate_test.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/correlate_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/correlate_test.cpp.o.d"
+  "/root/repo/tests/dsp/dtw_test.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/dtw_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/dtw_test.cpp.o.d"
+  "/root/repo/tests/dsp/envelope_test.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/envelope_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/envelope_test.cpp.o.d"
+  "/root/repo/tests/dsp/fft_test.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/fft_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/fft_test.cpp.o.d"
+  "/root/repo/tests/dsp/filter_test.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/filter_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/filter_test.cpp.o.d"
+  "/root/repo/tests/dsp/generate_test.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/generate_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/generate_test.cpp.o.d"
+  "/root/repo/tests/dsp/mel_test.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/mel_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/mel_test.cpp.o.d"
+  "/root/repo/tests/dsp/property_test.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/property_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/property_test.cpp.o.d"
+  "/root/repo/tests/dsp/resample_test.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/resample_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/resample_test.cpp.o.d"
+  "/root/repo/tests/dsp/spectral_test.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/spectral_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/spectral_test.cpp.o.d"
+  "/root/repo/tests/dsp/stft_test.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/stft_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/stft_test.cpp.o.d"
+  "/root/repo/tests/dsp/window_test.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/window_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/window_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/vibguard_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vibguard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/vibguard_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/vibguard_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/vibguard_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/vibguard_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/vibguard_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/acoustics/CMakeFiles/vibguard_acoustics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vibguard_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vibguard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

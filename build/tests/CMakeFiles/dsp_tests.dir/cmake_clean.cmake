@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_tests.dir/dsp/correlate_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/correlate_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/dtw_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/dtw_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/envelope_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/envelope_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/fft_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/fft_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/filter_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/filter_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/generate_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/generate_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/mel_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/mel_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/property_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/property_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/resample_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/resample_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/spectral_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/spectral_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/stft_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/stft_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/window_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/window_test.cpp.o.d"
+  "dsp_tests"
+  "dsp_tests.pdb"
+  "dsp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/adam_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/adam_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/brnn_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/brnn_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/dense_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/dense_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/lstm_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/lstm_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+  "nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sensors/accelerometer_test.cpp" "tests/CMakeFiles/sensors_tests.dir/sensors/accelerometer_test.cpp.o" "gcc" "tests/CMakeFiles/sensors_tests.dir/sensors/accelerometer_test.cpp.o.d"
+  "/root/repo/tests/sensors/body_motion_test.cpp" "tests/CMakeFiles/sensors_tests.dir/sensors/body_motion_test.cpp.o" "gcc" "tests/CMakeFiles/sensors_tests.dir/sensors/body_motion_test.cpp.o.d"
+  "/root/repo/tests/sensors/microphone_test.cpp" "tests/CMakeFiles/sensors_tests.dir/sensors/microphone_test.cpp.o" "gcc" "tests/CMakeFiles/sensors_tests.dir/sensors/microphone_test.cpp.o.d"
+  "/root/repo/tests/sensors/speaker_test.cpp" "tests/CMakeFiles/sensors_tests.dir/sensors/speaker_test.cpp.o" "gcc" "tests/CMakeFiles/sensors_tests.dir/sensors/speaker_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/vibguard_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vibguard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/vibguard_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/vibguard_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/vibguard_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/vibguard_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/vibguard_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/acoustics/CMakeFiles/vibguard_acoustics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vibguard_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vibguard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

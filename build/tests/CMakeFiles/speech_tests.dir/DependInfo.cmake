@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/speech/command_test.cpp" "tests/CMakeFiles/speech_tests.dir/speech/command_test.cpp.o" "gcc" "tests/CMakeFiles/speech_tests.dir/speech/command_test.cpp.o.d"
+  "/root/repo/tests/speech/corpus_test.cpp" "tests/CMakeFiles/speech_tests.dir/speech/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/speech_tests.dir/speech/corpus_test.cpp.o.d"
+  "/root/repo/tests/speech/phoneme_test.cpp" "tests/CMakeFiles/speech_tests.dir/speech/phoneme_test.cpp.o" "gcc" "tests/CMakeFiles/speech_tests.dir/speech/phoneme_test.cpp.o.d"
+  "/root/repo/tests/speech/recognizer_test.cpp" "tests/CMakeFiles/speech_tests.dir/speech/recognizer_test.cpp.o" "gcc" "tests/CMakeFiles/speech_tests.dir/speech/recognizer_test.cpp.o.d"
+  "/root/repo/tests/speech/speaker_test.cpp" "tests/CMakeFiles/speech_tests.dir/speech/speaker_test.cpp.o" "gcc" "tests/CMakeFiles/speech_tests.dir/speech/speaker_test.cpp.o.d"
+  "/root/repo/tests/speech/synthesizer_test.cpp" "tests/CMakeFiles/speech_tests.dir/speech/synthesizer_test.cpp.o" "gcc" "tests/CMakeFiles/speech_tests.dir/speech/synthesizer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/vibguard_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vibguard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/vibguard_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/vibguard_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/vibguard_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/vibguard_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/vibguard_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/acoustics/CMakeFiles/vibguard_acoustics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vibguard_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vibguard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_tests.dir/speech/command_test.cpp.o"
+  "CMakeFiles/speech_tests.dir/speech/command_test.cpp.o.d"
+  "CMakeFiles/speech_tests.dir/speech/corpus_test.cpp.o"
+  "CMakeFiles/speech_tests.dir/speech/corpus_test.cpp.o.d"
+  "CMakeFiles/speech_tests.dir/speech/phoneme_test.cpp.o"
+  "CMakeFiles/speech_tests.dir/speech/phoneme_test.cpp.o.d"
+  "CMakeFiles/speech_tests.dir/speech/recognizer_test.cpp.o"
+  "CMakeFiles/speech_tests.dir/speech/recognizer_test.cpp.o.d"
+  "CMakeFiles/speech_tests.dir/speech/speaker_test.cpp.o"
+  "CMakeFiles/speech_tests.dir/speech/speaker_test.cpp.o.d"
+  "CMakeFiles/speech_tests.dir/speech/synthesizer_test.cpp.o"
+  "CMakeFiles/speech_tests.dir/speech/synthesizer_test.cpp.o.d"
+  "speech_tests"
+  "speech_tests.pdb"
+  "speech_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/dsp_tests[1]_include.cmake")
+include("/root/repo/build/tests/acoustics_tests[1]_include.cmake")
+include("/root/repo/build/tests/speech_tests[1]_include.cmake")
+include("/root/repo/build/tests/sensors_tests[1]_include.cmake")
+include("/root/repo/build/tests/device_tests[1]_include.cmake")
+include("/root/repo/build/tests/nn_tests[1]_include.cmake")
+include("/root/repo/build/tests/attacks_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/eval_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
