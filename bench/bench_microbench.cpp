@@ -41,6 +41,19 @@ void BM_FftBluestein(benchmark::State& state) {
 }
 BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(6300);
 
+void BM_Rfft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<double> buf(n);
+  for (auto& v : buf) v = rng.gaussian();
+  for (auto _ : state) {
+    auto spec = dsp::rfft(buf);
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Rfft)->Arg(64)->Arg(1024)->Arg(16384);
+
 void BM_StftPower(benchmark::State& state) {
   Rng rng(3);
   const Signal vib = dsp::white_noise(5.0, 200.0, 0.01, rng);
@@ -50,6 +63,19 @@ void BM_StftPower(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StftPower);
+
+void BM_StftPlanned(benchmark::State& state) {
+  // Audio-baseline shape: 16 kHz recording, 512-point window, 128 hop —
+  // exercises the plan cache and the allocation-free frame loop at the
+  // audio rate (BM_StftPower covers the 200 Hz accelerometer shape).
+  Rng rng(12);
+  const Signal audio = dsp::white_noise(1.0, 16000.0, 0.05, rng);
+  for (auto _ : state) {
+    auto spec = dsp::stft_power(audio, 512, 128);
+    benchmark::DoNotOptimize(spec);
+  }
+}
+BENCHMARK(BM_StftPlanned);
 
 void BM_Mfcc(benchmark::State& state) {
   Rng rng(4);
@@ -100,6 +126,29 @@ void BM_FullPipelineScore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullPipelineScore);
+
+void BM_ExperimentParallel(benchmark::State& state) {
+  // Full Fig. 9-style evaluation at the requested thread count (arg 0 uses
+  // the auto/VIBGUARD_THREADS setting). Scores are bit-identical at every
+  // thread count; only wall-clock changes.
+  eval::ExperimentConfig cfg;
+  cfg.num_speakers = 4;
+  cfg.legit_trials = 8;
+  cfg.attack_trials = 8;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    eval::ExperimentRunner runner(cfg, 21);
+    auto results =
+        runner.run(attacks::AttackType::kReplay, {core::DefenseMode::kFull});
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_ExperimentParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace vibguard

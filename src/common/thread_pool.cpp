@@ -1,0 +1,88 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace vibguard {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads < 2) return;  // serial fallback: run inline
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty() || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  job_count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  idle_workers_ = 0;
+  first_error_ = nullptr;
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return idle_workers_ == workers_.size(); });
+  job_ = nullptr;
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const auto* fn = job_;
+    const std::size_t count = job_count_;
+    lock.unlock();
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        // Remember the first failure and drain the remaining iterations so
+        // the range still completes deterministically.
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+      }
+    }
+    lock.lock();
+    if (++idle_workers_ == workers_.size()) done_cv_.notify_all();
+  }
+}
+
+std::size_t recommended_threads() {
+  if (const char* env = std::getenv("VIBGUARD_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0) {
+      return static_cast<std::size_t>(value);
+    }
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+}  // namespace vibguard

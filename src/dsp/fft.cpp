@@ -1,24 +1,9 @@
 #include "dsp/fft.hpp"
 
-#include <cmath>
-#include <numbers>
-
 #include "common/error.hpp"
+#include "dsp/fft_plan.hpp"
 
 namespace vibguard::dsp {
-namespace {
-
-void bit_reverse_permute(std::span<Complex> a) {
-  const std::size_t n = a.size();
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
-}
-
-}  // namespace
 
 bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
@@ -29,86 +14,42 @@ std::size_t next_pow2(std::size_t n) {
 }
 
 void fft_pow2(std::span<Complex> data, bool inverse) {
-  const std::size_t n = data.size();
-  VIBGUARD_REQUIRE(is_pow2(n), "fft_pow2 requires a power-of-two length");
-  bit_reverse_permute(data);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
-                         static_cast<double>(len);
-    const Complex wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t j = 0; j < len / 2; ++j) {
-        const Complex u = data[i + j];
-        const Complex v = data[i + j + len / 2] * w;
-        data[i + j] = u + v;
-        data[i + j + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-  if (inverse) {
-    const double inv_n = 1.0 / static_cast<double>(n);
-    for (Complex& x : data) x *= inv_n;
-  }
+  VIBGUARD_REQUIRE(is_pow2(data.size()),
+                   "fft_pow2 requires a power-of-two length");
+  get_plan(data.size()).transform(data, inverse);
 }
 
 std::vector<Complex> fft(std::span<const Complex> data, bool inverse) {
-  const std::size_t n = data.size();
-  if (n == 0) return {};
+  if (data.empty()) return {};
   std::vector<Complex> out(data.begin(), data.end());
-  if (is_pow2(n)) {
-    fft_pow2(out, inverse);
-    return out;
-  }
-
-  // Bluestein's algorithm: express the DFT as a convolution and evaluate the
-  // convolution with a power-of-two FFT.
-  const double sign = inverse ? 1.0 : -1.0;
-  std::vector<Complex> w(n);  // chirp: exp(sign * i * pi * k^2 / n)
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n avoids precision loss for large k.
-    const auto k2 = static_cast<double>((k * k) % (2 * n));
-    const double angle = sign * std::numbers::pi * k2 / static_cast<double>(n);
-    w[k] = Complex(std::cos(angle), std::sin(angle));
-  }
-
-  const std::size_t m = next_pow2(2 * n - 1);
-  std::vector<Complex> a(m, Complex(0.0, 0.0));
-  std::vector<Complex> b(m, Complex(0.0, 0.0));
-  for (std::size_t k = 0; k < n; ++k) a[k] = out[k] * w[k];
-  b[0] = std::conj(w[0]);
-  for (std::size_t k = 1; k < n; ++k) {
-    b[k] = b[m - k] = std::conj(w[k]);
-  }
-  fft_pow2(a, false);
-  fft_pow2(b, false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_pow2(a, true);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * w[k];
-  if (inverse) {
-    const double inv_n = 1.0 / static_cast<double>(n);
-    for (Complex& x : out) x *= inv_n;
-  }
+  get_plan(out.size()).transform(out, inverse);
   return out;
 }
 
 std::vector<Complex> fft_real(std::span<const double> data) {
   std::vector<Complex> buf(data.size());
   for (std::size_t i = 0; i < data.size(); ++i) buf[i] = Complex(data[i], 0.0);
-  return fft(buf, false);
+  if (!buf.empty()) get_plan(buf.size()).transform(buf, false);
+  return buf;
+}
+
+std::vector<Complex> rfft(std::span<const double> data) {
+  if (data.empty()) return {};
+  std::vector<Complex> out(data.size() / 2 + 1);
+  get_plan(data.size()).rfft(data, out);
+  return out;
 }
 
 std::vector<double> magnitude_spectrum(std::span<const double> data) {
   if (data.empty()) return {};
-  const auto spec = fft_real(data);
-  const std::size_t n = data.size();
-  std::vector<double> mag(n / 2 + 1);
-  const double norm = 1.0 / static_cast<double>(n);
-  for (std::size_t k = 0; k < mag.size(); ++k) {
-    mag[k] = std::abs(spec[k]) * norm;
-  }
+  std::vector<double> mag(data.size() / 2 + 1);
+  get_plan(data.size()).magnitude(data, mag);
   return mag;
+}
+
+void magnitude_spectrum(std::span<const double> data, std::span<double> out) {
+  if (data.empty()) return;
+  get_plan(data.size()).magnitude(data, out);
 }
 
 double bin_frequency(std::size_t k, std::size_t n, double sample_rate) {

@@ -4,6 +4,10 @@
 // lengths and a Bluestein chirp-z fallback for arbitrary lengths, so callers
 // never need to pad. Real-signal helpers return one-sided magnitude spectra,
 // the representation used throughout the paper's figures.
+//
+// All entry points run on cached per-size plans (see fft_plan.hpp): the
+// bit-reversal table, per-stage twiddles and Bluestein chirp spectra are
+// computed once per (thread, size) instead of on every call.
 #pragma once
 
 #include <complex>
@@ -25,9 +29,17 @@ std::vector<Complex> fft(std::span<const Complex> data, bool inverse = false);
 /// FFT of a real signal; returns the full complex spectrum of length n.
 std::vector<Complex> fft_real(std::span<const double> data);
 
+/// Real-input FFT: the one-sided spectrum X[0..n/2] (n/2 + 1 bins) of a
+/// real signal, computed through an n/2-point complex transform for even n.
+std::vector<Complex> rfft(std::span<const double> data);
+
 /// One-sided magnitude spectrum of a real signal: |X[k]| for
 /// k = 0..floor(n/2), normalized by n so magnitudes are amplitude-like.
 std::vector<double> magnitude_spectrum(std::span<const double> data);
+
+/// In-place overload: fills `out` (which must hold n/2 + 1 values) without
+/// allocating — the STFT/MFCC frame-loop workhorse.
+void magnitude_spectrum(std::span<const double> data, std::span<double> out);
 
 /// Frequency in Hz of one-sided bin k for an n-point transform at
 /// `sample_rate` Hz.

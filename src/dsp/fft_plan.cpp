@@ -1,0 +1,292 @@
+#include "dsp/fft_plan.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+
+namespace vibguard::dsp {
+namespace {
+
+// exp(-2*pi*i * j / len) — forward-transform twiddle.
+Complex unit_root(std::size_t j, std::size_t len) {
+  const double angle =
+      -2.0 * std::numbers::pi * static_cast<double>(j) /
+      static_cast<double>(len);
+  return Complex(std::cos(angle), std::sin(angle));
+}
+
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n) : n_(n) { init(/*build_real=*/true); }
+
+FftPlan::FftPlan(std::size_t n, bool build_real) : n_(n) { init(build_real); }
+
+void FftPlan::init(bool build_real) {
+  VIBGUARD_REQUIRE(n_ > 0, "FFT plan size must be positive");
+  is_pow2_ = is_pow2(n_);
+  pow2_n_ = is_pow2_ ? n_ : next_pow2(2 * n_ - 1);
+
+  // Bit-reversal permutation, stored as the swap pairs (i < j) the in-place
+  // pass applies, so the hot loop touches each pair exactly once.
+  const std::size_t pn = pow2_n_;
+  bitrev_.clear();
+  for (std::size_t i = 1, j = 0; i < pn; ++i) {
+    std::size_t bit = pn >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      bitrev_.push_back(i);
+      bitrev_.push_back(j);
+    }
+  }
+
+  // Per-stage twiddles for stages len = 8..pn (the len = 2 and len = 4
+  // stages are multiplication-free and handled inline).
+  twiddles_.clear();
+  for (std::size_t len = 8; len <= pn; len <<= 1) {
+    for (std::size_t j = 0; j < len / 2; ++j) {
+      twiddles_.push_back(unit_root(j, len));
+    }
+  }
+
+  if (!is_pow2_) {
+    // Bluestein: cache the chirp w[k] = exp(-i*pi*k^2/n) and the forward
+    // FFT of the convolution kernel b[k] = conj(w[|k|]).
+    m_ = pow2_n_;
+    chirp_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      // k^2 mod 2n avoids precision loss for large k.
+      const auto k2 = static_cast<double>((k * k) % (2 * n_));
+      const double angle =
+          -std::numbers::pi * k2 / static_cast<double>(n_);
+      chirp_[k] = Complex(std::cos(angle), std::sin(angle));
+    }
+    bspec_.assign(m_, Complex(0.0, 0.0));
+    bspec_[0] = std::conj(chirp_[0]);
+    for (std::size_t k = 1; k < n_; ++k) {
+      bspec_[k] = bspec_[m_ - k] = std::conj(chirp_[k]);
+    }
+    run_pow2(bspec_, false);
+    work_.resize(m_);
+  }
+
+  if (build_real && n_ % 2 == 0) {
+    const std::size_t h = n_ / 2;
+    half_ = std::unique_ptr<FftPlan>(new FftPlan(h, /*build_real=*/false));
+    rtwiddle_.resize(h + 1);
+    for (std::size_t k = 0; k <= h; ++k) rtwiddle_[k] = unit_root(k, n_);
+    rscratch_.resize(h);
+  }
+}
+
+void FftPlan::run_pow2(std::span<Complex> data, bool inverse) const {
+  const std::size_t n = data.size();
+  Complex* d = data.data();
+  for (std::size_t p = 0; p + 1 < bitrev_.size(); p += 2) {
+    std::swap(d[bitrev_[p]], d[bitrev_[p + 1]]);
+  }
+
+  // Stage len = 2: butterflies with w = 1.
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    const Complex u = d[i];
+    const Complex v = d[i + 1];
+    d[i] = u + v;
+    d[i + 1] = u - v;
+  }
+  // Stage len = 4: w is 1 or -i (forward) / +i (inverse).
+  if (n >= 4) {
+    for (std::size_t i = 0; i < n; i += 4) {
+      const Complex u0 = d[i];
+      const Complex v0 = d[i + 2];
+      d[i] = u0 + v0;
+      d[i + 2] = u0 - v0;
+      const Complex x = d[i + 3];
+      const Complex v1 = inverse ? Complex(-x.imag(), x.real())
+                                 : Complex(x.imag(), -x.real());
+      const Complex u1 = d[i + 1];
+      d[i + 1] = u1 + v1;
+      d[i + 3] = u1 - v1;
+    }
+  }
+
+  // Remaining stages read twiddles from the table. The butterflies are
+  // spelled out on raw doubles so the compiler can vectorize without the
+  // NaN-handling branches of complex operator*.
+  const Complex* tw = twiddles_.data();
+  for (std::size_t len = 8; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex* lo = d + i;
+      Complex* hi = lo + half;
+      for (std::size_t j = 0; j < half; ++j) {
+        const double wr = tw[j].real();
+        const double wi = inverse ? -tw[j].imag() : tw[j].imag();
+        const double xr = hi[j].real();
+        const double xi = hi[j].imag();
+        const double vr = xr * wr - xi * wi;
+        const double vi = xr * wi + xi * wr;
+        const double ur = lo[j].real();
+        const double ui = lo[j].imag();
+        lo[j] = Complex(ur + vr, ui + vi);
+        hi[j] = Complex(ur - vr, ui - vi);
+      }
+    }
+    tw += half;
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) d[i] *= inv_n;
+  }
+}
+
+void FftPlan::transform(std::span<Complex> data, bool inverse) const {
+  VIBGUARD_REQUIRE(data.size() == n_, "buffer size must match plan size");
+  if (is_pow2_) {
+    run_pow2(data, inverse);
+    return;
+  }
+
+  // Bluestein via the cached chirp. The inverse transform reuses the
+  // forward chirp through DFT^-1(x) = conj(DFT(conj(x))) / n.
+  if (inverse) {
+    for (Complex& x : data) x = std::conj(x);
+  }
+  std::fill(work_.begin() + static_cast<std::ptrdiff_t>(n_), work_.end(),
+            Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n_; ++k) work_[k] = data[k] * chirp_[k];
+  run_pow2(work_, false);
+  for (std::size_t k = 0; k < m_; ++k) work_[k] *= bspec_[k];
+  run_pow2(work_, true);
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      data[k] = std::conj(work_[k] * chirp_[k]) * inv_n;
+    }
+  } else {
+    for (std::size_t k = 0; k < n_; ++k) data[k] = work_[k] * chirp_[k];
+  }
+}
+
+void FftPlan::rfft(std::span<const double> in, std::span<Complex> out) const {
+  VIBGUARD_REQUIRE(in.size() == n_, "input size must match plan size");
+  VIBGUARD_REQUIRE(out.size() == n_ / 2 + 1,
+                   "rfft output needs n/2 + 1 bins");
+  if (n_ == 1) {
+    out[0] = Complex(in[0], 0.0);
+    return;
+  }
+  if (n_ % 2 != 0) {
+    // Odd length: no conjugate-symmetric split; run the complex path.
+    rscratch_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) rscratch_[i] = Complex(in[i], 0.0);
+    transform(rscratch_, false);
+    for (std::size_t k = 0; k < out.size(); ++k) out[k] = rscratch_[k];
+    return;
+  }
+
+  // Pack adjacent real samples into one complex sequence of half length,
+  // transform, then split the even/odd sub-spectra by conjugate symmetry:
+  //   X[k] = E[k] + exp(-2*pi*i*k/n) * O[k].
+  const std::size_t h = n_ / 2;
+  rscratch_.resize(h);
+  for (std::size_t j = 0; j < h; ++j) {
+    rscratch_[j] = Complex(in[2 * j], in[2 * j + 1]);
+  }
+  half_->transform(rscratch_, false);
+
+  const Complex z0 = rscratch_[0];
+  out[0] = Complex(z0.real() + z0.imag(), 0.0);
+  out[h] = Complex(z0.real() - z0.imag(), 0.0);
+  for (std::size_t k = 1; k < h; ++k) {
+    const Complex zk = rscratch_[k];
+    const Complex zc = std::conj(rscratch_[h - k]);
+    const Complex even = 0.5 * (zk + zc);
+    const Complex odd = Complex(0.0, -0.5) * (zk - zc);
+    out[k] = even + rtwiddle_[k] * odd;
+  }
+}
+
+void FftPlan::magnitude(std::span<const double> in,
+                        std::span<double> out) const {
+  power(in, out);
+  for (double& v : out) v = std::sqrt(v);
+}
+
+void FftPlan::packed_power(std::span<double> out, double norm2) const {
+  const std::size_t h = n_ / 2;
+  half_->transform(rscratch_, false);
+  const Complex z0 = rscratch_[0];
+  const double x0 = z0.real() + z0.imag();
+  const double xh = z0.real() - z0.imag();
+  out[0] = x0 * x0 * norm2;
+  out[h] = xh * xh * norm2;
+  for (std::size_t k = 1; k < h; ++k) {
+    const Complex zk = rscratch_[k];
+    const Complex zc = std::conj(rscratch_[h - k]);
+    const Complex even = 0.5 * (zk + zc);
+    const Complex odd = Complex(0.0, -0.5) * (zk - zc);
+    const Complex x = even + rtwiddle_[k] * odd;
+    out[k] = (x.real() * x.real() + x.imag() * x.imag()) * norm2;
+  }
+}
+
+void FftPlan::power(std::span<const double> in, std::span<double> out) const {
+  VIBGUARD_REQUIRE(in.size() == n_, "input size must match plan size");
+  VIBGUARD_REQUIRE(out.size() == n_ / 2 + 1,
+                   "power spectrum needs n/2 + 1 bins");
+  const double norm = 1.0 / static_cast<double>(n_);
+  const double norm2 = norm * norm;
+  if (n_ > 1 && n_ % 2 == 0) {
+    const std::size_t h = n_ / 2;
+    rscratch_.resize(h);
+    for (std::size_t j = 0; j < h; ++j) {
+      rscratch_[j] = Complex(in[2 * j], in[2 * j + 1]);
+    }
+    packed_power(out, norm2);
+    return;
+  }
+  thread_local std::vector<Complex> spec;
+  spec.resize(n_ / 2 + 1);
+  rfft(in, spec);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k] = std::norm(spec[k]) * norm2;
+  }
+}
+
+void FftPlan::windowed_power(const double* in, const double* window,
+                             std::span<double> out) const {
+  VIBGUARD_REQUIRE(out.size() == n_ / 2 + 1,
+                   "power spectrum needs n/2 + 1 bins");
+  const double norm = 1.0 / static_cast<double>(n_);
+  const double norm2 = norm * norm;
+  if (n_ > 1 && n_ % 2 == 0) {
+    // Window while packing: the windowed frame never hits memory.
+    const std::size_t h = n_ / 2;
+    rscratch_.resize(h);
+    for (std::size_t j = 0; j < h; ++j) {
+      rscratch_[j] = Complex(in[2 * j] * window[2 * j],
+                             in[2 * j + 1] * window[2 * j + 1]);
+    }
+    packed_power(out, norm2);
+    return;
+  }
+  thread_local std::vector<double> frame;
+  frame.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) frame[i] = in[i] * window[i];
+  power(frame, out);
+}
+
+const FftPlan& get_plan(std::size_t n) {
+  thread_local std::unordered_map<std::size_t, std::unique_ptr<FftPlan>>
+      cache;
+  auto& slot = cache[n];
+  if (slot == nullptr) slot = std::make_unique<FftPlan>(n);
+  return *slot;
+}
+
+}  // namespace vibguard::dsp

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 #include "dsp/window.hpp"
 
 namespace vibguard::dsp {
@@ -92,23 +93,77 @@ std::vector<std::vector<double>> compute_mfcc(const Signal& signal,
   if (signal.size() < frame_len) return mfcc;
   const std::size_t frames = 1 + (signal.size() - frame_len) / hop;
   mfcc.reserve(frames);
-  std::vector<double> frame(fft_size, 0.0);
-  for (std::size_t f = 0; f < frames; ++f) {
-    std::fill(frame.begin(), frame.end(), 0.0);
-    const std::size_t start = f * hop;
-    for (std::size_t i = 0; i < frame_len; ++i) {
-      frame[i] = signal[start + i] * window[i];
+
+  // Hoist everything frame-invariant out of the loop.
+  //
+  // Triangular mel filters are nonzero on a short contiguous bin range, so
+  // store each filter as (first bin, weights) and skip the zero tails.
+  const std::size_t num_bins = fft_size / 2 + 1;
+  struct SparseFilter {
+    std::size_t first = 0;
+    std::vector<double> weights;
+  };
+  std::vector<SparseFilter> sparse(cfg.num_filters);
+  for (std::size_t m = 0; m < cfg.num_filters; ++m) {
+    std::size_t first = 0;
+    while (first < num_bins && bank[m][first] == 0.0) ++first;
+    std::size_t last = num_bins;
+    while (last > first && bank[m][last - 1] == 0.0) --last;
+    sparse[m].first = first;
+    sparse[m].weights.assign(bank[m].begin() + static_cast<std::ptrdiff_t>(first),
+                             bank[m].begin() + static_cast<std::ptrdiff_t>(last));
+  }
+
+  // DCT-II as a (num_coeffs x num_filters) coefficient table: the per-frame
+  // transform becomes a small matrix-vector product instead of
+  // num_coeffs * num_filters cosine evaluations.
+  const std::size_t num_coeffs = std::min(cfg.num_coeffs, cfg.num_filters);
+  const double nf = static_cast<double>(cfg.num_filters);
+  const double scale0 = std::sqrt(1.0 / nf);
+  const double scale = std::sqrt(2.0 / nf);
+  std::vector<double> dct_table(num_coeffs * cfg.num_filters);
+  for (std::size_t k = 0; k < num_coeffs; ++k) {
+    const double row_scale = k == 0 ? scale0 : scale;
+    for (std::size_t i = 0; i < cfg.num_filters; ++i) {
+      dct_table[k * cfg.num_filters + i] =
+          row_scale * std::cos(std::numbers::pi / nf *
+                               (static_cast<double>(i) + 0.5) *
+                               static_cast<double>(k));
     }
-    const auto mag = magnitude_spectrum(frame);
-    std::vector<double> log_mel(cfg.num_filters);
+  }
+
+  const FftPlan& plan = get_plan(fft_size);
+  const double* samples = signal.samples().data();
+  // The zero padding beyond frame_len is written once; every frame only
+  // overwrites the first frame_len entries.
+  std::vector<double> frame(fft_size, 0.0);
+  std::vector<double> power(num_bins);
+  std::vector<double> log_mel(cfg.num_filters);
+  for (std::size_t f = 0; f < frames; ++f) {
+    const double* src = samples + f * hop;
+    for (std::size_t i = 0; i < frame_len; ++i) {
+      frame[i] = src[i] * window[i];
+    }
+    plan.power(frame, power);
     for (std::size_t m = 0; m < cfg.num_filters; ++m) {
+      const SparseFilter& flt = sparse[m];
+      const double* p = power.data() + flt.first;
       double acc = 0.0;
-      for (std::size_t k = 0; k < mag.size(); ++k) {
-        acc += bank[m][k] * mag[k] * mag[k];
+      for (std::size_t k = 0; k < flt.weights.size(); ++k) {
+        acc += flt.weights[k] * p[k];
       }
       log_mel[m] = std::log(acc + 1e-12);
     }
-    mfcc.push_back(dct2(log_mel, cfg.num_coeffs));
+    std::vector<double> coeffs(num_coeffs);
+    for (std::size_t k = 0; k < num_coeffs; ++k) {
+      const double* row = dct_table.data() + k * cfg.num_filters;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < cfg.num_filters; ++i) {
+        acc += row[i] * log_mel[i];
+      }
+      coeffs[k] = acc;
+    }
+    mfcc.push_back(std::move(coeffs));
   }
   return mfcc;
 }

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/error.hpp"
-#include "common/stats.hpp"
-#include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 
 namespace vibguard::dsp {
 
@@ -50,10 +50,11 @@ Spectrogram Spectrogram::crop_low_frequencies(double cutoff_hz) const {
   }
   Spectrogram out(frames_, bins_ - drop, bin_hz_, hop_seconds_);
   out.bin0_hz_ = bin0_hz_ + static_cast<double>(drop) * bin_hz_;
+  // Each cropped frame is a contiguous run of the source frame.
   for (std::size_t f = 0; f < frames_; ++f) {
-    for (std::size_t b = drop; b < bins_; ++b) {
-      out.data_[f * out.bins_ + (b - drop)] = data_[f * bins_ + b];
-    }
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(f * bins_ + drop),
+                out.bins_,
+                out.data_.begin() + static_cast<std::ptrdiff_t>(f * out.bins_));
   }
   return out;
 }
@@ -101,17 +102,15 @@ Spectrogram stft_power(const Signal& signal, std::size_t window_size,
   Spectrogram out(frames, bins, bin_hz,
                   static_cast<double>(hop) / input->sample_rate());
 
+  // One plan and one window for the whole signal; each frame's windowing,
+  // transform and squaring run fused, writing straight through the
+  // unchecked row pointer.
   const auto win = make_window(window, window_size);
-  std::vector<double> frame(window_size);
+  const FftPlan& plan = get_plan(window_size);
+  const double* samples = input->samples().data();
   for (std::size_t f = 0; f < frames; ++f) {
-    const std::size_t start = f * hop;
-    for (std::size_t i = 0; i < window_size; ++i) {
-      frame[i] = (*input)[start + i] * win[i];
-    }
-    const auto mag = magnitude_spectrum(frame);
-    for (std::size_t b = 0; b < bins; ++b) {
-      out.at(f, b) = mag[b] * mag[b];
-    }
+    plan.windowed_power(samples + f * hop, win.data(),
+                        std::span<double>(out.row(f), bins));
   }
   return out;
 }
@@ -122,7 +121,26 @@ double correlation_2d(const Spectrogram& a, const Spectrogram& b) {
   const std::size_t frames = std::min(a.frames(), b.frames());
   if (frames == 0 || a.bins() == 0) return 0.0;
   const std::size_t n = frames * a.bins();
-  return pearson(a.values().subspan(0, n), b.values().subspan(0, n));
+  // Single fused accumulation of all five moments (instead of separate
+  // mean passes followed by a centered pass).
+  const double* pa = a.values().data();
+  const double* pb = b.values().data();
+  double sa = 0.0, sb = 0.0, saa = 0.0, sbb = 0.0, sab = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xa = pa[i];
+    const double xb = pb[i];
+    sa += xa;
+    sb += xb;
+    saa += xa * xa;
+    sbb += xb * xb;
+    sab += xa * xb;
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double cov = sab - sa * sb * inv_n;
+  const double var_a = saa - sa * sa * inv_n;
+  const double var_b = sbb - sb * sb * inv_n;
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
 }
 
 }  // namespace vibguard::dsp

@@ -31,6 +31,13 @@ class Spectrogram {
   double& at(std::size_t frame, std::size_t bin);
   double at(std::size_t frame, std::size_t bin) const;
 
+  /// Raw pointer to one frame's `bins()` contiguous values — the unchecked
+  /// fast path for inner loops (`frame` must be < frames()).
+  double* row(std::size_t frame) { return data_.data() + frame * bins_; }
+  const double* row(std::size_t frame) const {
+    return data_.data() + frame * bins_;
+  }
+
   /// Row-major flat view (frame-major).
   std::span<const double> values() const { return data_; }
   std::span<double> values() { return data_; }

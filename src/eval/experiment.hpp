@@ -30,6 +30,11 @@ struct ExperimentConfig {
   /// core::BrnnSegmenter for fully learned end-to-end evaluation. Borrowed;
   /// must outlive the runner.
   const core::Segmenter* segmenter = nullptr;
+  /// Worker threads for trial scoring: 0 = auto (the VIBGUARD_THREADS
+  /// environment variable, else hardware concurrency), 1 = serial. Scores
+  /// are bit-identical at every thread count: each trial's RNG fork label
+  /// is derived from its position, not from execution order.
+  std::size_t threads = 0;
 };
 
 /// Attack and legitimate score populations for one defense mode.

@@ -1,0 +1,87 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace vibguard {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SinglethreadedPoolFallsBackToInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.parallel_for(8, [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossLoops) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(round + 1, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // 1 + 2 + ... + 10
+  EXPECT_EQ(total.load(), 55u);
+}
+
+TEST(ThreadPoolTest, ZeroAndSingleIterationCountsWork) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesAfterDrain) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                          completed.fetch_add(1, std::memory_order_relaxed);
+                        }),
+      std::runtime_error);
+  // Every non-throwing iteration still ran.
+  EXPECT_EQ(completed.load(), 63u);
+  // The pool survives an exception and accepts further work.
+  std::atomic<int> after{0};
+  pool.parallel_for(5, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 5);
+}
+
+TEST(ThreadPoolTest, RecommendedThreadsHonorsEnvOverride) {
+  ASSERT_EQ(setenv("VIBGUARD_THREADS", "3", 1), 0);
+  EXPECT_EQ(recommended_threads(), 3u);
+  ASSERT_EQ(setenv("VIBGUARD_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(recommended_threads(), 1u);  // invalid value falls back to auto
+  ASSERT_EQ(unsetenv("VIBGUARD_THREADS"), 0);
+  EXPECT_GE(recommended_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace vibguard

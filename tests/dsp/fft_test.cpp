@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "common/rng.hpp"
+#include "dsp/fft_plan.hpp"
 
 namespace vibguard::dsp {
 namespace {
@@ -68,10 +69,70 @@ TEST_P(FftSizeTest, ParsevalHolds) {
               1e-8 * n);
 }
 
+// Covers powers of two (1..256), odd composites (45, 243, 255), primes
+// (3, 5, 7, 17, 31) and even non-powers-of-two (12, 100), so both rfft
+// paths (conjugate-symmetric split and odd-length fallback) and both
+// complex paths (radix-2 and Bluestein) are exercised.
 INSTANTIATE_TEST_SUITE_P(PowersAndOddSizes, FftSizeTest,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17,
                                            31, 32, 45, 64, 100, 128, 243,
                                            255, 256));
+
+TEST_P(FftSizeTest, RfftMatchesComplexFftReference) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 3 + 2);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.gaussian();
+  const auto full = fft_real(x);  // complex transform of the real input
+  const auto half = rfft(x);
+  ASSERT_EQ(half.size(), n / 2 + 1);
+  const double tol = 1e-9 * static_cast<double>(n) + 1e-12;
+  for (std::size_t k = 0; k < half.size(); ++k) {
+    EXPECT_NEAR(half[k].real(), full[k].real(), tol) << "bin " << k;
+    EXPECT_NEAR(half[k].imag(), full[k].imag(), tol) << "bin " << k;
+  }
+}
+
+TEST_P(FftSizeTest, PlannedAndFreeFunctionPathsAgree) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 17 + 3);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+
+  // A freshly constructed plan and the cached free-function path must
+  // produce identical results bit for bit.
+  const FftPlan plan(n);
+  std::vector<Complex> planned(x);
+  plan.transform(planned, false);
+  const auto free_fn = fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_DOUBLE_EQ(planned[k].real(), free_fn[k].real()) << "bin " << k;
+    EXPECT_DOUBLE_EQ(planned[k].imag(), free_fn[k].imag()) << "bin " << k;
+  }
+
+  // Inverse round trip through the same plan recovers the input.
+  plan.transform(planned, true);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(planned[k].real(), x[k].real(),
+                1e-9 * static_cast<double>(n));
+    EXPECT_NEAR(planned[k].imag(), x[k].imag(),
+                1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftSizeTest, InPlaceMagnitudeMatchesAllocatingOverload) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 23 + 7);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.gaussian();
+  const auto allocated = magnitude_spectrum(x);
+  std::vector<double> in_place(n / 2 + 1, -1.0);
+  magnitude_spectrum(x, in_place);
+  ASSERT_EQ(allocated.size(), in_place.size());
+  for (std::size_t k = 0; k < allocated.size(); ++k) {
+    EXPECT_DOUBLE_EQ(allocated[k], in_place[k]) << "bin " << k;
+  }
+}
 
 TEST(FftTest, ToneLandsInCorrectBin) {
   const std::size_t n = 256;
@@ -85,7 +146,9 @@ TEST(FftTest, ToneLandsInCorrectBin) {
   // A unit cosine at an exact bin has one-sided normalized magnitude 1/2.
   EXPECT_NEAR(mag[bin], 0.5, 1e-9);
   for (std::size_t k = 0; k < mag.size(); ++k) {
-    if (k != bin) EXPECT_LT(mag[k], 1e-9);
+    if (k != bin) {
+      EXPECT_LT(mag[k], 1e-9);
+    }
   }
 }
 

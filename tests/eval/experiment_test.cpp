@@ -85,6 +85,34 @@ TEST(ExperimentTest, DeterministicGivenSeed) {
   }
 }
 
+TEST(ExperimentTest, ScoresAreBitIdenticalAtEveryThreadCount) {
+  auto run_with = [](std::size_t threads) {
+    ExperimentConfig cfg = small_config();
+    cfg.threads = threads;
+    ExperimentRunner runner(cfg, 7);
+    return runner.run(attacks::AttackType::kReplay,
+                      {core::DefenseMode::kFull,
+                       core::DefenseMode::kAudioBaseline});
+  };
+  const auto serial = run_with(1);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto parallel = run_with(threads);
+    for (const auto& [mode, expected] : serial) {
+      const auto& got = parallel.at(mode);
+      ASSERT_EQ(got.legit.size(), expected.legit.size());
+      ASSERT_EQ(got.attack.size(), expected.attack.size());
+      for (std::size_t i = 0; i < expected.legit.size(); ++i) {
+        EXPECT_DOUBLE_EQ(got.legit[i], expected.legit[i])
+            << "legit trial " << i << " with " << threads << " threads";
+      }
+      for (std::size_t i = 0; i < expected.attack.size(); ++i) {
+        EXPECT_DOUBLE_EQ(got.attack[i], expected.attack[i])
+            << "attack trial " << i << " with " << threads << " threads";
+      }
+    }
+  }
+}
+
 TEST(ExperimentTest, EerHelperMatchesRun) {
   ExperimentRunner runner(small_config(), 6);
   const double eer =
