@@ -3,13 +3,14 @@
 // Simulates a stream of voice interactions with a smart speaker in Room B
 // (wooden door): the resident issues routine commands, while an adversary
 // outside the door periodically attempts random, replay, synthesis and
-// hidden-voice attacks. The guard scores every command and prints an audit
-// log plus end-of-day statistics.
+// hidden-voice attacks. A DefenseSession scores every command, keeps the
+// audit log, and reports end-of-day statistics plus per-stage pipeline
+// timings.
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/pipeline.hpp"
+#include "core/session.hpp"
 #include "eval/experiment.hpp"
 #include "eval/scenario.hpp"
 
@@ -33,7 +34,7 @@ int main() {
   const auto resident = speech::sample_speaker(speech::Sex::kMale, rng);
   const auto intruder = speech::sample_speaker(speech::Sex::kFemale, rng);
 
-  core::DefenseSystem guard{core::DefenseConfig{}};
+  core::DefenseSession guard{core::DefenseConfig{}};
 
   const std::vector<Event> day = {
       {false, {}, "good morning"},
@@ -65,18 +66,20 @@ int main() {
     core::OracleSegmenter segmenter(trial.alignment,
                                     eval::reference_sensitive_set());
     Rng r(trial_seed++);
-    const auto result = guard.detect(trial.va, trial.wearable, &segmenter, r);
+    const auto event =
+        guard.process(ev.command, trial.va, trial.wearable, &segmenter, r);
+    const bool flagged = event.verdict == core::Verdict::kAttackDetected;
 
     const char* source =
         ev.is_attack ? attacks::attack_name(ev.type).c_str() : "resident";
     const char* decision;
-    if (ev.is_attack && result.is_attack) {
+    if (ev.is_attack && flagged) {
       decision = "BLOCKED (attack caught)";
       ++caught;
     } else if (ev.is_attack) {
       decision = "EXECUTED (attack missed!)";
       ++missed;
-    } else if (result.is_attack) {
+    } else if (flagged) {
       decision = "BLOCKED (false alarm)";
       ++false_alarms;
     } else {
@@ -84,12 +87,16 @@ int main() {
       ++accepted;
     }
     std::printf("%-4zu %-30s %-10s %8.3f  %s\n", i + 1, ev.command.c_str(),
-                source, result.score, decision);
+                source, event.score, decision);
   }
 
+  const core::SessionStats& stats = guard.stats();
   std::printf(
       "\nsummary: %d legitimate commands executed, %d false alarms, "
       "%d attacks blocked, %d attacks missed\n",
       accepted, false_alarms, caught, missed);
+  std::printf("session: %zu processed, %zu accepted, %zu flagged\n",
+              stats.processed, stats.accepted, stats.attacks_detected);
+  std::printf("\n%s", guard.pipeline_stats().summary().c_str());
   return missed == 0 && false_alarms == 0 ? 0 : 1;
 }

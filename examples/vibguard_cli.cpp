@@ -19,6 +19,7 @@
 #include "common/wav.hpp"
 #include "core/phoneme_selection.hpp"
 #include "core/pipeline.hpp"
+#include "core/session.hpp"
 #include "eval/confidence.hpp"
 #include "eval/experiment.hpp"
 #include "eval/scenario.hpp"
@@ -72,25 +73,34 @@ int cmd_demo(const Args& args) {
   const auto user = speech::sample_speaker(speech::Sex::kFemale, rng);
   const auto adversary = speech::sample_speaker(speech::Sex::kMale, rng);
   const auto& cmd = speech::command_by_text("unlock the front door");
-  core::DefenseSystem guard{core::DefenseConfig{}};
+  core::DefenseSession guard{core::DefenseConfig{}};
 
   const auto legit = sim.legitimate_trial(cmd, user);
   core::OracleSegmenter seg_l(legit.alignment,
                               eval::reference_sensitive_set());
   Rng r1(args.seed + 2);
-  const auto ok = guard.detect(legit.va, legit.wearable, &seg_l, r1);
+  const auto ok =
+      guard.process("legitimate command", legit.va, legit.wearable, &seg_l, r1);
   std::printf("legitimate command: score %.3f -> %s\n", ok.score,
-              ok.is_attack ? "REJECTED (false alarm)" : "accepted");
+              ok.verdict == core::Verdict::kAccepted ? "accepted"
+                                                     : "REJECTED (false alarm)");
 
   const auto attack = sim.attack_trial(attack_by_name(args.attack), cmd,
                                        user, adversary);
   core::OracleSegmenter seg_a(attack.alignment,
                               eval::reference_sensitive_set());
   Rng r2(args.seed + 3);
-  const auto bad = guard.detect(attack.va, attack.wearable, &seg_a, r2);
-  std::printf("%s attack: score %.3f -> %s\n", args.attack.c_str(),
-              bad.score, bad.is_attack ? "ATTACK DETECTED" : "missed");
-  return ok.is_attack || !bad.is_attack ? 1 : 0;
+  const auto bad = guard.process(args.attack + " attack", attack.va,
+                                 attack.wearable, &seg_a, r2);
+  std::printf("%s attack: score %.3f -> %s\n", args.attack.c_str(), bad.score,
+              bad.verdict == core::Verdict::kAttackDetected ? "ATTACK DETECTED"
+                                                            : "missed");
+
+  std::printf("\n%s", guard.pipeline_stats().summary().c_str());
+  return ok.verdict == core::Verdict::kAccepted &&
+                 bad.verdict == core::Verdict::kAttackDetected
+             ? 0
+             : 1;
 }
 
 int cmd_selection(const Args& args) {

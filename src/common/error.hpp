@@ -62,3 +62,15 @@ namespace detail {
                                          (msg));                          \
     }                                                                     \
   } while (false)
+
+/// Marks a path the program guarantees is never executed — typically after
+/// a switch that covers every enumerator (kept honest by -Wswitch). The
+/// optimizer drops the path; UBSan traps it if the guarantee is ever
+/// violated. Falls back to throwing on compilers without the builtin.
+#if defined(__GNUC__) || defined(__clang__)
+#define VIBGUARD_UNREACHABLE() __builtin_unreachable()
+#else
+#define VIBGUARD_UNREACHABLE()                                            \
+  ::vibguard::detail::throw_internal("false", __FILE__, __LINE__,         \
+                                     "unreachable code executed")
+#endif

@@ -69,6 +69,31 @@ void Signal::append(const Signal& other) {
                   other.samples_.end());
 }
 
+void Signal::append(std::span<const double> samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+}
+
+void Signal::reset(double sample_rate_hz) {
+  VIBGUARD_REQUIRE(sample_rate_hz > 0.0, "sample rate must be positive");
+  samples_.clear();
+  sample_rate_hz_ = sample_rate_hz;
+}
+
+void Signal::assign(std::span<const double> samples, double sample_rate_hz) {
+  VIBGUARD_REQUIRE(sample_rate_hz > 0.0, "sample rate must be positive");
+  samples_.assign(samples.begin(), samples.end());
+  sample_rate_hz_ = sample_rate_hz;
+}
+
+void Signal::assign_slice(const Signal& src, std::size_t begin,
+                          std::size_t end) {
+  const std::size_t hi = std::min(end, src.size());
+  const std::size_t lo = std::min(begin, hi);
+  samples_.assign(src.samples_.begin() + static_cast<std::ptrdiff_t>(lo),
+                  src.samples_.begin() + static_cast<std::ptrdiff_t>(hi));
+  sample_rate_hz_ = src.sample_rate_hz_;
+}
+
 Signal Signal::slice(std::size_t begin, std::size_t end) const {
   VIBGUARD_REQUIRE(begin <= end && end <= samples_.size(),
                    "slice range out of bounds");

@@ -63,8 +63,30 @@ class Signal {
   /// Appends `other` (same sample rate required).
   void append(const Signal& other);
 
+  /// Appends raw samples (assumed to be at this signal's rate).
+  void append(std::span<const double> samples);
+
   /// Returns the half-open sample range [begin, end) as a new signal.
   Signal slice(std::size_t begin, std::size_t end) const;
+
+  // In-place variants for allocation-free reuse: all of them keep the
+  // existing heap buffer when its capacity suffices, so a Signal cycled
+  // through a pipeline Workspace stops allocating once it has seen its
+  // largest payload.
+
+  /// Drops all samples (capacity retained) and sets the sample rate.
+  void reset(double sample_rate_hz);
+
+  /// Replaces the contents with a copy of `samples` at `sample_rate_hz`.
+  void assign(std::span<const double> samples, double sample_rate_hz);
+
+  /// Replaces the contents with `src`'s half-open range [begin, end)
+  /// (clamped to src.size()), adopting src's sample rate. `src` must be a
+  /// different signal object.
+  void assign_slice(const Signal& src, std::size_t begin, std::size_t end);
+
+  /// Resizes to `n` samples; new samples are zero.
+  void resize(std::size_t n) { samples_.resize(n, 0.0); }
 
  private:
   std::vector<double> samples_;

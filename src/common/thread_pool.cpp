@@ -9,7 +9,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads < 2) return;  // serial fallback: run inline
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -24,8 +24,15 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for_indexed(
+      count, [&fn](std::size_t /*worker*/, std::size_t i) { fn(i); });
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (workers_.empty() || count < 2) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
     return;
   }
   std::unique_lock<std::mutex> lock(mutex_);
@@ -46,7 +53,7 @@ void ThreadPool::parallel_for(std::size_t count,
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_id) {
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -60,7 +67,7 @@ void ThreadPool::worker_loop() {
       const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
       try {
-        (*fn)(i);
+        (*fn)(worker_id, i);
       } catch (...) {
         // Remember the first failure and drain the remaining iterations so
         // the range still completes deterministically.

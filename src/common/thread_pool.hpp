@@ -39,8 +39,16 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Like parallel_for, but fn also receives the id of the worker running
+  /// the iteration — a stable value in [0, max(1, num_threads())) — so
+  /// callers can hand each worker its own reusable workspace. In the serial
+  /// fallback every iteration runs inline with worker id 0.
+  void parallel_for_indexed(
+      std::size_t count,
+      const std::function<void(std::size_t worker, std::size_t i)>& fn);
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_id);
 
   std::vector<std::thread> workers_;
 
@@ -49,7 +57,7 @@ class ThreadPool {
   std::condition_variable done_cv_;
   bool stop_ = false;
   std::uint64_t generation_ = 0;  ///< bumped once per parallel_for
-  const std::function<void(std::size_t)>* job_ = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
   std::size_t job_count_ = 0;
   std::atomic<std::size_t> next_{0};   ///< next unclaimed index
   std::size_t idle_workers_ = 0;       ///< workers finished with current job

@@ -1,7 +1,9 @@
 #include "core/pipeline.hpp"
 
-#include <cmath>
+#include <algorithm>
+#include <chrono>
 
+#include "common/alloc_counter.hpp"
 #include "common/error.hpp"
 
 namespace vibguard::core {
@@ -12,7 +14,7 @@ const char* mode_name(DefenseMode mode) {
     case DefenseMode::kVibrationBaseline: return "vibration_baseline";
     case DefenseMode::kAudioBaseline: return "audio_baseline";
   }
-  return "unknown";
+  VIBGUARD_UNREACHABLE();
 }
 
 DefenseSystem::DefenseSystem(DefenseConfig config)
@@ -26,65 +28,109 @@ double DefenseSystem::score(const Signal& va_recording,
                             const Signal& wearable_recording,
                             const Segmenter* segmenter, Rng& rng,
                             PipelineTrace* trace) const {
+  // Workspace-less compatibility path: one warm workspace per thread keeps
+  // the historical signature allocation-free too.
+  static thread_local Workspace workspace;
+  return score(va_recording, wearable_recording, segmenter, rng, workspace,
+               trace);
+}
+
+double DefenseSystem::score(const Signal& va_recording,
+                            const Signal& wearable_recording,
+                            const Segmenter* segmenter, Rng& rng,
+                            Workspace& workspace,
+                            PipelineTrace* trace) const {
   VIBGUARD_REQUIRE(!va_recording.empty() && !wearable_recording.empty(),
                    "both recordings must be non-empty");
   VIBGUARD_REQUIRE(
       config_.mode != DefenseMode::kFull || segmenter != nullptr,
       "full mode requires a segmenter");
 
-  // 1. Cross-device synchronization (Sec. VI-A).
-  const double delay_s =
-      sync_.estimate_delay_s(va_recording, wearable_recording);
-  auto [va, wear] = sync_.synchronize(va_recording, wearable_recording);
-  const auto trim = static_cast<std::size_t>(
-      std::max(0.0, std::round(delay_s * va_recording.sample_rate())));
-  if (trace != nullptr) trace->estimated_delay_s = delay_s;
+  PipelineContext ctx;
+  ctx.config = &config_;
+  ctx.wearable = &wearable_;
+  ctx.sync = &sync_;
+  ctx.extractor = &extractor_;
+  ctx.detector = &detector_;
+  ctx.va_in = &va_recording;
+  ctx.wear_in = &wearable_recording;
+  ctx.segmenter = segmenter;
+  ctx.rng = &rng;
+  ctx.ws = &workspace;
+  ctx.trace = trace;
 
-  // 2. Sensitive-phoneme segmentation (Sec. V) — full mode only.
-  Signal va_seg = va;
-  Signal wear_seg = wear;
-  if (config_.mode == DefenseMode::kFull) {
-    const auto ranges = segmenter->segment(va, trim);
-    if (trace != nullptr) trace->num_ranges = ranges.size();
-    Signal candidate = extract_ranges(va, ranges);
-    // If segmentation found nothing, or the command is so short that the
-    // sensitive segments cannot fill an analysis window, fall back to the
-    // whole command rather than rejecting outright.
-    if (candidate.duration() >= config_.min_segment_seconds) {
-      va_seg = std::move(candidate);
-      wear_seg = extract_ranges(wear, ranges);
+  if (trace != nullptr) trace->begin_run();
+
+  using Clock = std::chrono::steady_clock;
+  const auto run_start = Clock::now();
+  std::size_t samples_in = va_recording.size() + wearable_recording.size();
+  for (const Stage* stage : stage_sequence(config_.mode)) {
+    const std::uint64_t allocs_before = allocation_count();
+    const auto stage_start = Clock::now();
+    ctx.stage_samples_out = 0;
+    stage->run(ctx);
+    const auto stage_end = Clock::now();
+    if (trace != nullptr) {
+      StageTrace record;
+      record.name = stage->name();
+      record.start_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(stage_start -
+                                                                run_start)
+              .count());
+      record.wall_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(stage_end -
+                                                                stage_start)
+              .count());
+      record.samples_in = samples_in;
+      record.samples_out = ctx.stage_samples_out;
+      record.allocations = allocation_count() - allocs_before;
+      trace->stages.push_back(record);
     }
+    samples_in = ctx.stage_samples_out;
   }
-  if (trace != nullptr) trace->segment_seconds = va_seg.duration();
 
-  // 3. Feature extraction and 2-D correlation (Sec. VI-B, VI-C).
-  dsp::Spectrogram feat_va, feat_wear;
-  if (config_.mode == DefenseMode::kAudioBaseline) {
-    feat_va = dsp::stft_power(va_seg, config_.audio_window, config_.audio_hop);
-    feat_wear =
-        dsp::stft_power(wear_seg, config_.audio_window, config_.audio_hop);
-    feat_va.normalize_by_max();
-    feat_wear.normalize_by_max();
-  } else {
-    const Signal vib_va =
-        config_.user_activity.has_value()
-            ? wearable_.cross_domain_capture(va_seg, *config_.user_activity,
-                                             rng)
-            : wearable_.cross_domain_capture(va_seg, rng);
-    const Signal vib_wear =
-        config_.user_activity.has_value()
-            ? wearable_.cross_domain_capture(wear_seg,
-                                             *config_.user_activity, rng)
-            : wearable_.cross_domain_capture(wear_seg, rng);
-    feat_va = extractor_.extract(vib_va);
-    feat_wear = extractor_.extract(vib_wear);
-  }
-  const double s = detector_.score(feat_wear, feat_va);
   if (trace != nullptr) {
-    trace->features_va = std::move(feat_va);
-    trace->features_wearable = std::move(feat_wear);
+    trace->features_va = workspace.feat_va;
+    trace->features_wearable = workspace.feat_wear;
   }
-  return s;
+  return ctx.score;
+}
+
+void DefenseSystem::score_batch(std::span<const ScoreRequest> requests,
+                                std::span<double> out, Workspace& workspace,
+                                PipelineTrace* trace,
+                                PipelineStats* stats) const {
+  VIBGUARD_REQUIRE(out.size() == requests.size(),
+                   "output span must match the request count");
+  // Stats need per-stage records even when the caller did not ask for a
+  // trace; route through a local reusable one in that case.
+  PipelineTrace local_trace;
+  PipelineTrace* sink =
+      trace != nullptr ? trace : (stats != nullptr ? &local_trace : nullptr);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ScoreRequest& req = requests[i];
+    Rng rng = req.rng;  // each request scores from its own stream copy
+    out[i] = score(*req.va, *req.wearable, req.segmenter, rng, workspace,
+                   sink);
+    if (stats != nullptr) stats->add(*sink);
+  }
+}
+
+void DefenseSystem::score_batch(std::span<const ScoreRequest> requests,
+                                std::span<double> out, ThreadPool& pool,
+                                std::span<Workspace> workspaces) const {
+  VIBGUARD_REQUIRE(out.size() == requests.size(),
+                   "output span must match the request count");
+  const std::size_t needed = std::max<std::size_t>(1, pool.num_threads());
+  VIBGUARD_REQUIRE(workspaces.size() >= needed,
+                   "need one workspace per pool worker");
+  pool.parallel_for_indexed(
+      requests.size(), [&](std::size_t worker, std::size_t i) {
+        const ScoreRequest& req = requests[i];
+        Rng rng = req.rng;
+        out[i] = score(*req.va, *req.wearable, req.segmenter, rng,
+                       workspaces[worker]);
+      });
 }
 
 DetectionResult DefenseSystem::detect(const Signal& va_recording,

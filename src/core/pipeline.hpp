@@ -10,15 +10,24 @@
 //   kFull              — vibration domain + phoneme selection (the system)
 //   kVibrationBaseline — vibration domain, no phoneme selection
 //   kAudioBaseline     — 2-D correlation directly on audio spectrograms
+//
+// Each mode is a declaratively composed sequence of pipeline stages (see
+// core/stages.hpp); DefenseSystem::score drives the sequence over a
+// PipelineContext. Repeated scoring through a caller-owned Workspace — or
+// the batch API — performs zero steady-state heap allocations.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "common/rng.hpp"
 #include "common/signal.hpp"
+#include "common/thread_pool.hpp"
 #include "core/detector.hpp"
 #include "core/segmentation.hpp"
+#include "core/stages.hpp"
+#include "core/trace.hpp"
 #include "core/vibration_features.hpp"
 #include "device/sync.hpp"
 #include "device/wearable.hpp"
@@ -56,13 +65,14 @@ struct DefenseConfig {
   std::size_t audio_hop = 128;
 };
 
-/// Intermediate artifacts, exposed for analysis and tests.
-struct PipelineTrace {
-  double estimated_delay_s = 0.0;
-  std::size_t num_ranges = 0;
-  double segment_seconds = 0.0;
-  dsp::Spectrogram features_va;
-  dsp::Spectrogram features_wearable;
+/// One command to score through the batch API. The signals are borrowed
+/// (must outlive the score_batch call); the rng is owned so every request
+/// carries its independent, reproducible stream.
+struct ScoreRequest {
+  const Signal* va = nullptr;
+  const Signal* wearable = nullptr;
+  const Segmenter* segmenter = nullptr;  ///< required in kFull mode
+  Rng rng;
 };
 
 /// The training-free thru-barrier attack detection system.
@@ -76,10 +86,35 @@ class DefenseSystem {
   /// Scores one command: higher = more likely legitimate. `segmenter`
   /// supplies sensitive-phoneme ranges and is required in kFull mode
   /// (ignored in the baseline modes). `trace`, when non-null, receives
-  /// intermediate artifacts.
+  /// intermediate artifacts and per-stage instrumentation.
   double score(const Signal& va_recording, const Signal& wearable_recording,
                const Segmenter* segmenter, Rng& rng,
                PipelineTrace* trace = nullptr) const;
+
+  /// Workspace overload: identical semantics and bit-identical scores, but
+  /// all intermediate storage lives in the caller-owned `workspace`, so
+  /// repeated calls allocate nothing once the workspace is warm.
+  double score(const Signal& va_recording, const Signal& wearable_recording,
+               const Segmenter* segmenter, Rng& rng, Workspace& workspace,
+               PipelineTrace* trace = nullptr) const;
+
+  /// Scores `requests.size()` commands into `out` (same size required),
+  /// reusing one workspace across the whole batch. Each request's scoring
+  /// draws only from its own rng copy, so results are independent of batch
+  /// composition and order. When `stats` is non-null, per-stage aggregates
+  /// over the batch are folded into it (`trace` may additionally capture
+  /// the last request's artifacts).
+  void score_batch(std::span<const ScoreRequest> requests,
+                   std::span<double> out, Workspace& workspace,
+                   PipelineTrace* trace = nullptr,
+                   PipelineStats* stats = nullptr) const;
+
+  /// Parallel batch scoring over `pool`, with one workspace per pool worker
+  /// (`workspaces.size()` must be >= max(1, pool.num_threads())). Scores
+  /// are bit-identical to the serial overload at any thread count.
+  void score_batch(std::span<const ScoreRequest> requests,
+                   std::span<double> out, ThreadPool& pool,
+                   std::span<Workspace> workspaces) const;
 
   /// Full detection decision at the configured threshold.
   DetectionResult detect(const Signal& va_recording,

@@ -14,6 +14,14 @@ OracleSegmenter::OracleSegmenter(std::vector<speech::PhonemeSpan> alignment,
 std::vector<SampleRange> OracleSegmenter::segment(
     const Signal& audio, std::size_t timeline_offset) const {
   std::vector<SampleRange> out;
+  segment_into(audio, timeline_offset, out);
+  return out;
+}
+
+void OracleSegmenter::segment_into(const Signal& audio,
+                                   std::size_t timeline_offset,
+                                   std::vector<SampleRange>& out) const {
+  out.clear();
   for (const auto& span : alignment_) {
     if (sensitive_.count(span.symbol) == 0) continue;
     if (span.end <= timeline_offset) continue;
@@ -23,7 +31,7 @@ std::vector<SampleRange> OracleSegmenter::segment(
         std::min(span.end - timeline_offset, audio.size());
     if (begin < end) out.push_back({begin, end});
   }
-  return normalize_ranges(std::move(out));
+  normalize_ranges_in_place(out);
 }
 
 BrnnSegmenter::BrnnSegmenter(Config config, std::uint64_t seed)
@@ -131,34 +139,51 @@ std::vector<SampleRange> BrnnSegmenter::segment(
 
 Signal extract_ranges(const Signal& audio,
                       std::span<const SampleRange> ranges) {
-  Signal out({}, audio.sample_rate());
+  Signal out;
+  extract_ranges_into(audio, ranges, out);
+  return out;
+}
+
+void extract_ranges_into(const Signal& audio,
+                         std::span<const SampleRange> ranges, Signal& out) {
+  out.reset(audio.sample_rate());
   for (const SampleRange& r : ranges) {
     const std::size_t begin = std::min(r.begin, audio.size());
     const std::size_t end = std::min(r.end, audio.size());
-    if (begin < end) out.append(audio.slice(begin, end));
+    if (begin < end) {
+      out.append(audio.samples().subspan(begin, end - begin));
+    }
   }
-  return out;
 }
 
 std::vector<SampleRange> normalize_ranges(std::vector<SampleRange> ranges,
                                           std::size_t min_len) {
+  normalize_ranges_in_place(ranges, min_len);
+  return ranges;
+}
+
+void normalize_ranges_in_place(std::vector<SampleRange>& ranges,
+                               std::size_t min_len) {
   std::sort(ranges.begin(), ranges.end(),
             [](const SampleRange& a, const SampleRange& b) {
               return a.begin < b.begin;
             });
-  std::vector<SampleRange> merged;
-  for (const SampleRange& r : ranges) {
+  // Compact merged ranges toward the front; the write cursor never passes
+  // the read cursor, so the merge is safe in place.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const SampleRange r = ranges[i];
     if (r.end <= r.begin) continue;
-    if (!merged.empty() && r.begin <= merged.back().end) {
-      merged.back().end = std::max(merged.back().end, r.end);
+    if (w > 0 && r.begin <= ranges[w - 1].end) {
+      ranges[w - 1].end = std::max(ranges[w - 1].end, r.end);
     } else {
-      merged.push_back(r);
+      ranges[w++] = r;
     }
   }
-  std::erase_if(merged, [min_len](const SampleRange& r) {
+  ranges.resize(w);
+  std::erase_if(ranges, [min_len](const SampleRange& r) {
     return r.end - r.begin < min_len;
   });
-  return merged;
 }
 
 }  // namespace vibguard::core

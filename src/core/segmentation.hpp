@@ -43,6 +43,15 @@ class Segmenter {
   virtual ~Segmenter() = default;
   virtual std::vector<SampleRange> segment(
       const Signal& audio, std::size_t timeline_offset) const = 0;
+
+  /// Allocation-aware variant writing into `out` (cleared first, capacity
+  /// reused). The default implementation delegates to segment();
+  /// implementations whose work is cheap enough to matter (OracleSegmenter)
+  /// override it to fill `out` directly.
+  virtual void segment_into(const Signal& audio, std::size_t timeline_offset,
+                            std::vector<SampleRange>& out) const {
+    out = segment(audio, timeline_offset);
+  }
 };
 
 /// Ground-truth-alignment segmenter.
@@ -53,6 +62,9 @@ class OracleSegmenter : public Segmenter {
 
   std::vector<SampleRange> segment(const Signal& audio,
                                    std::size_t timeline_offset) const override;
+
+  void segment_into(const Signal& audio, std::size_t timeline_offset,
+                    std::vector<SampleRange>& out) const override;
 
  private:
   std::vector<speech::PhonemeSpan> alignment_;
@@ -104,9 +116,18 @@ class BrnnSegmenter : public Segmenter {
 Signal extract_ranges(const Signal& audio,
                       std::span<const SampleRange> ranges);
 
+/// Allocation-free overload: concatenates into `out`, reusing its capacity.
+/// `out` must not alias `audio`.
+void extract_ranges_into(const Signal& audio,
+                         std::span<const SampleRange> ranges, Signal& out);
+
 /// Merges overlapping/adjacent ranges and drops ranges shorter than
 /// `min_len` samples.
 std::vector<SampleRange> normalize_ranges(std::vector<SampleRange> ranges,
                                           std::size_t min_len = 0);
+
+/// In-place variant of normalize_ranges (no allocation).
+void normalize_ranges_in_place(std::vector<SampleRange>& ranges,
+                               std::size_t min_len = 0);
 
 }  // namespace vibguard::core

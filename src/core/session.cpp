@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/error.hpp"
+
 namespace vibguard::core {
 
 const char* verdict_name(Verdict verdict) {
@@ -10,7 +12,7 @@ const char* verdict_name(Verdict verdict) {
     case Verdict::kAttackDetected: return "attack_detected";
     case Verdict::kWearableAbsent: return "wearable_absent";
   }
-  return "unknown";
+  VIBGUARD_UNREACHABLE();
 }
 
 DefenseSession::DefenseSession(DefenseConfig config)
@@ -31,10 +33,11 @@ SessionEvent DefenseSession::process(
     event.verdict = Verdict::kWearableAbsent;
     ++stats_.wearable_absent;
   } else {
-    const auto result =
-        system_.detect(va_recording, *wearable_recording, segmenter, rng);
-    event.score = result.score;
-    if (result.is_attack) {
+    const double score = system_.score(va_recording, *wearable_recording,
+                                       segmenter, rng, workspace_, &trace_);
+    pipeline_stats_.add(trace_);
+    event.score = score;
+    if (score < system_.config().detection_threshold) {
       event.verdict = Verdict::kAttackDetected;
       ++stats_.attacks_detected;
     } else {
@@ -47,9 +50,55 @@ SessionEvent DefenseSession::process(
   return event;
 }
 
+std::vector<SessionEvent> DefenseSession::process_batch(
+    std::span<const SessionRequest> requests) {
+  // Score the wearable-present commands in one batch pass, then emit the
+  // audit-log entries in request order.
+  std::vector<ScoreRequest> to_score;
+  to_score.reserve(requests.size());
+  for (const SessionRequest& req : requests) {
+    VIBGUARD_REQUIRE(req.va != nullptr, "session request needs a VA signal");
+    if (req.wearable == nullptr) continue;
+    to_score.push_back(
+        ScoreRequest{req.va, req.wearable, req.segmenter, req.rng});
+  }
+  std::vector<double> scores(to_score.size());
+  system_.score_batch(to_score, scores, workspace_, &trace_,
+                      &pipeline_stats_);
+
+  std::vector<SessionEvent> events;
+  events.reserve(requests.size());
+  std::size_t next_scored = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const SessionRequest& req = requests[i];
+    SessionEvent event;
+    event.index = log_.size();
+    event.label = req.label;
+    event.score = std::numeric_limits<double>::quiet_NaN();
+    if (req.wearable == nullptr) {
+      event.verdict = Verdict::kWearableAbsent;
+      ++stats_.wearable_absent;
+    } else {
+      event.score = scores[next_scored++];
+      if (event.score < system_.config().detection_threshold) {
+        event.verdict = Verdict::kAttackDetected;
+        ++stats_.attacks_detected;
+      } else {
+        event.verdict = Verdict::kAccepted;
+        ++stats_.accepted;
+      }
+    }
+    ++stats_.processed;
+    log_.push_back(event);
+    events.push_back(event);
+  }
+  return events;
+}
+
 void DefenseSession::reset() {
   log_.clear();
   stats_ = SessionStats{};
+  pipeline_stats_.clear();
 }
 
 }  // namespace vibguard::core

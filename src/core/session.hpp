@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,17 @@ struct SessionStats {
   std::size_t wearable_absent = 0;
 };
 
+/// One command for DefenseSession::process_batch. Signals are borrowed and
+/// must outlive the call; a null `wearable` means no paired wearable
+/// responded (policy: reject).
+struct SessionRequest {
+  std::string label;
+  const Signal* va = nullptr;
+  const Signal* wearable = nullptr;
+  const Segmenter* segmenter = nullptr;  ///< as in DefenseSystem::score
+  Rng rng;
+};
+
 /// Stateful defense endpoint for a stream of commands.
 class DefenseSession {
  public:
@@ -51,15 +63,28 @@ class DefenseSession {
                        const std::optional<Signal>& wearable_recording,
                        const Segmenter* segmenter, Rng& rng);
 
+  /// Processes a batch of commands through the batch scoring API.
+  /// Equivalent to calling process() per element (same audit-log entries,
+  /// statistics and scores); wearable-absent requests are rejected without
+  /// being scored. Returns the new audit-log entries.
+  std::vector<SessionEvent> process_batch(
+      std::span<const SessionRequest> requests);
+
   const std::vector<SessionEvent>& log() const { return log_; }
   const SessionStats& stats() const { return stats_; }
   const DefenseSystem& system() const { return system_; }
 
-  /// Clears the audit log and statistics.
+  /// Per-stage pipeline aggregates over every command scored so far.
+  const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
+
+  /// Clears the audit log and all statistics.
   void reset();
 
  private:
   DefenseSystem system_;
+  Workspace workspace_;
+  PipelineTrace trace_;
+  PipelineStats pipeline_stats_;
   std::vector<SessionEvent> log_;
   SessionStats stats_;
 };

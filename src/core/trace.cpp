@@ -1,0 +1,76 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace vibguard::core {
+
+void PipelineTrace::begin_run() {
+  estimated_delay_s = 0.0;
+  num_ranges = 0;
+  segment_seconds = 0.0;
+  stages.clear();
+}
+
+void PipelineStats::add(const PipelineTrace& trace) {
+  ++commands;
+  for (const StageTrace& st : trace.stages) {
+    auto it = std::find_if(
+        stages.begin(), stages.end(),
+        [&st](const StageStats& s) { return s.name == st.name; });
+    if (it == stages.end()) {
+      stages.push_back(StageStats{st.name, 0, 0, 0, 0});
+      it = stages.end() - 1;
+    }
+    ++it->calls;
+    it->total_wall_us += st.wall_us;
+    it->max_wall_us = std::max(it->max_wall_us, st.wall_us);
+    it->total_allocations += st.allocations;
+  }
+}
+
+void PipelineStats::merge(const PipelineStats& other) {
+  commands += other.commands;
+  for (const StageStats& os : other.stages) {
+    auto it = std::find_if(
+        stages.begin(), stages.end(),
+        [&os](const StageStats& s) { return s.name == os.name; });
+    if (it == stages.end()) {
+      stages.push_back(os);
+      continue;
+    }
+    it->calls += os.calls;
+    it->total_wall_us += os.total_wall_us;
+    it->max_wall_us = std::max(it->max_wall_us, os.max_wall_us);
+    it->total_allocations += os.total_allocations;
+  }
+}
+
+void PipelineStats::clear() {
+  commands = 0;
+  stages.clear();
+}
+
+std::string PipelineStats::summary() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "pipeline stats over %llu command(s)\n",
+                static_cast<unsigned long long>(commands));
+  out += line;
+  std::snprintf(line, sizeof(line), "  %-14s %8s %12s %12s %10s\n", "stage",
+                "calls", "mean us", "max us", "allocs");
+  out += line;
+  for (const StageStats& s : stages) {
+    std::snprintf(line, sizeof(line), "  %-14s %8llu %12.1f %12llu %10llu\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.calls),
+                  s.mean_wall_us(),
+                  static_cast<unsigned long long>(s.max_wall_us),
+                  static_cast<unsigned long long>(s.total_allocations));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace vibguard::core

@@ -1,0 +1,81 @@
+// Pipeline instrumentation: per-stage trace records and aggregate stats.
+//
+// Every run of the staged pipeline (core/stages.hpp) can record, per stage,
+// the wall time, the sample counts flowing in and out, and the number of
+// heap allocations performed (via common/alloc_counter.hpp). PipelineTrace
+// collects one command's records plus the intermediate artifacts tests and
+// analysis tools inspect; PipelineStats aggregates many traces into the
+// per-stage totals printed by vibguard_cli.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsp/stft.hpp"
+
+namespace vibguard::core {
+
+/// Instrumentation record for one stage execution.
+struct StageTrace {
+  const char* name = "";        ///< static stage name (see Stage::name)
+  std::uint64_t start_us = 0;   ///< offset from the pipeline run's start
+  std::uint64_t wall_us = 0;    ///< stage wall time
+  std::size_t samples_in = 0;   ///< elements flowing into the stage
+  std::size_t samples_out = 0;  ///< elements the stage produced
+  std::uint64_t allocations = 0;  ///< heap allocations during the stage
+};
+
+/// Intermediate artifacts and per-stage records of one scored command,
+/// exposed for analysis and tests. Reusable: every run overwrites all
+/// fields, retaining heap capacity across runs.
+struct PipelineTrace {
+  double estimated_delay_s = 0.0;
+  std::size_t num_ranges = 0;
+  double segment_seconds = 0.0;
+  dsp::Spectrogram features_va;
+  dsp::Spectrogram features_wearable;
+
+  /// One record per executed stage, in execution order.
+  std::vector<StageTrace> stages;
+
+  /// Resets the scalar fields and stage records for the next run while
+  /// keeping vector/spectrogram capacity. The pipeline driver calls this;
+  /// callers handing a fresh trace never need to.
+  void begin_run();
+};
+
+/// Per-stage aggregates over many scored commands.
+struct PipelineStats {
+  struct StageStats {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t total_wall_us = 0;
+    std::uint64_t max_wall_us = 0;
+    std::uint64_t total_allocations = 0;
+
+    double mean_wall_us() const {
+      return calls > 0 ? static_cast<double>(total_wall_us) /
+                             static_cast<double>(calls)
+                       : 0.0;
+    }
+  };
+
+  std::uint64_t commands = 0;
+  std::vector<StageStats> stages;  ///< first-seen stage order
+
+  /// Folds one command's stage records into the aggregates.
+  void add(const PipelineTrace& trace);
+
+  /// Folds another aggregate in (e.g. per-worker stats after a parallel
+  /// batch).
+  void merge(const PipelineStats& other);
+
+  void clear();
+
+  /// Multi-line human-readable table (one row per stage).
+  std::string summary() const;
+};
+
+}  // namespace vibguard::core

@@ -17,24 +17,36 @@ VibrationFeatureExtractor::VibrationFeatureExtractor(
 
 dsp::Spectrogram VibrationFeatureExtractor::extract(
     const Signal& vibration) const {
-  Signal filtered = vibration;
+  dsp::Spectrogram out;
+  dsp::Scratch scratch;
+  extract_into(vibration, out, scratch);
+  return out;
+}
+
+void VibrationFeatureExtractor::extract_into(const Signal& vibration,
+                                             dsp::Spectrogram& out,
+                                             dsp::Scratch& scratch) const {
+  const Signal* input = &vibration;
   if (config_.highpass_hz > 0.0 && !vibration.empty()) {
     // Zero-phase FFT-domain high-pass: body motion (e.g. walking at 2 Hz)
     // can be 10-50x stronger than the acoustic vibration, and an IIR this
     // steep at 0.02*fs rings for hundreds of milliseconds; the frequency-
     // domain filter removes the interference without a transient.
     const double hp = config_.highpass_hz;
-    filtered = dsp::apply_gain_curve(vibration, [hp](double f) {
-      return 1.0 / (1.0 + std::pow(hp / std::max(f, 1e-6), 12.0));
-    });
+    dsp::apply_gain_curve(
+        vibration,
+        [hp](double f) {
+          return 1.0 / (1.0 + std::pow(hp / std::max(f, 1e-6), 12.0));
+        },
+        scratch.filtered, scratch.cwork);
+    input = &scratch.filtered;
   }
-  dsp::Spectrogram spec = dsp::stft_power(filtered, config_.window_size,
-                                          config_.hop, config_.window);
+  dsp::stft_power_into(*input, config_.window_size, config_.hop, out,
+                       config_.window);
   if (config_.crop_below_hz > 0.0) {
-    spec = spec.crop_low_frequencies(config_.crop_below_hz);
+    out.crop_low_frequencies_in_place(config_.crop_below_hz);
   }
-  if (config_.normalize) spec.normalize_by_max();
-  return spec;
+  if (config_.normalize) out.normalize_by_max();
 }
 
 }  // namespace vibguard::core

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "common/signal.hpp"
+#include "dsp/scratch.hpp"
 #include "dsp/stft.hpp"
 
 namespace vibguard::core {
@@ -30,6 +31,12 @@ class VibrationFeatureExtractor {
   const VibrationFeatureConfig& config() const { return config_; }
 
   dsp::Spectrogram extract(const Signal& vibration) const;
+
+  /// Allocation-free overload: writes the feature spectrogram into `out`
+  /// and routes the high-pass temporary through `scratch`, reusing
+  /// capacity. Bit-identical to extract().
+  void extract_into(const Signal& vibration, dsp::Spectrogram& out,
+                    dsp::Scratch& scratch) const;
 
  private:
   VibrationFeatureConfig config_;

@@ -29,6 +29,13 @@ Signal SyncChannel::delayed_view(const Signal& sound, double delay_s) const {
 
 double SyncChannel::estimate_delay_s(const Signal& va,
                                      const Signal& wearable) const {
+  dsp::CorrelationScratch scratch;
+  return estimate_delay_s(va, wearable, scratch);
+}
+
+double SyncChannel::estimate_delay_s(
+    const Signal& va, const Signal& wearable,
+    dsp::CorrelationScratch& scratch) const {
   VIBGUARD_REQUIRE(va.sample_rate() == wearable.sample_rate(),
                    "synchronization requires matching sample rates");
   const auto max_lag = static_cast<std::size_t>(
@@ -37,7 +44,7 @@ double SyncChannel::estimate_delay_s(const Signal& va,
   // *advanced*: wearable(n) == va(n + delay). Estimate the lag of the VA
   // signal inside the wearable one.
   const auto lag =
-      dsp::estimate_delay(wearable.samples(), va.samples(), max_lag);
+      dsp::estimate_delay(wearable.samples(), va.samples(), max_lag, scratch);
   return static_cast<double>(lag) / va.sample_rate();
 }
 
@@ -51,6 +58,29 @@ std::pair<Signal, Signal> SyncChannel::synchronize(
   auto [wearable_aligned, va_aligned] =
       dsp::align_by_delay(wearable, va, shift);
   return {std::move(va_aligned), std::move(wearable_aligned)};
+}
+
+double SyncChannel::synchronize_into(const Signal& va, const Signal& wearable,
+                                     Signal& va_out, Signal& wearable_out,
+                                     dsp::CorrelationScratch& scratch) const {
+  const double delay_s = estimate_delay_s(va, wearable, scratch);
+  const auto shift = static_cast<std::ptrdiff_t>(
+      std::llround(delay_s * va.sample_rate()));
+  // Same trimming as align_by_delay(wearable, va, shift): positive shift
+  // drops the samples the wearable missed from the VA side.
+  std::size_t va_begin = 0, wear_begin = 0;
+  if (shift > 0) {
+    va_begin = std::min<std::size_t>(static_cast<std::size_t>(shift),
+                                     va.size());
+  } else if (shift < 0) {
+    wear_begin = std::min<std::size_t>(static_cast<std::size_t>(-shift),
+                                       wearable.size());
+  }
+  const std::size_t n =
+      std::min(va.size() - va_begin, wearable.size() - wear_begin);
+  va_out.assign_slice(va, va_begin, va_begin + n);
+  wearable_out.assign_slice(wearable, wear_begin, wear_begin + n);
+  return delay_s;
 }
 
 }  // namespace vibguard::device

@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "common/signal.hpp"
+#include "dsp/scratch.hpp"
 
 namespace vibguard::device {
 
@@ -40,10 +41,23 @@ class SyncChannel {
   /// cross-correlation (Eq. 5), searching up to config().max_search_s.
   double estimate_delay_s(const Signal& va, const Signal& wearable) const;
 
+  /// Allocation-free overload reusing `scratch` correlation buffers.
+  double estimate_delay_s(const Signal& va, const Signal& wearable,
+                          dsp::CorrelationScratch& scratch) const;
+
   /// Full synchronization: estimates and removes the relative delay,
   /// returning equal-length aligned copies (va, wearable).
   std::pair<Signal, Signal> synchronize(const Signal& va,
                                         const Signal& wearable) const;
+
+  /// Allocation-free synchronization: estimates the delay ONCE, writes the
+  /// aligned equal-length copies into `va_out` / `wearable_out` (reusing
+  /// capacity) and returns the estimated delay in seconds. The outputs must
+  /// not alias the inputs. Bit-identical to estimate_delay_s followed by
+  /// synchronize.
+  double synchronize_into(const Signal& va, const Signal& wearable,
+                          Signal& va_out, Signal& wearable_out,
+                          dsp::CorrelationScratch& scratch) const;
 
  private:
   SyncConfig config_;

@@ -35,18 +35,38 @@ Signal Wearable::record(const Signal& sound, Rng& rng) const {
 
 Signal Wearable::cross_domain_capture(const Signal& recording,
                                       Rng& rng) const {
-  const Signal played = speaker_.render(recording);
-  return accel_.capture(played, rng);
+  Signal out;
+  dsp::Scratch scratch;
+  cross_domain_capture_into(recording, rng, out, scratch);
+  return out;
+}
+
+void Wearable::cross_domain_capture_into(const Signal& recording, Rng& rng,
+                                         Signal& out,
+                                         dsp::Scratch& scratch) const {
+  speaker_.render_into(recording, scratch.rendered, scratch.cwork);
+  accel_.capture_into(scratch.rendered, rng, out, scratch);
 }
 
 Signal Wearable::cross_domain_capture(const Signal& recording,
                                       sensors::Activity activity,
                                       Rng& rng) const {
-  const Signal played = speaker_.render(recording);
+  Signal out;
+  dsp::Scratch scratch;
+  cross_domain_capture_into(recording, activity, rng, out, scratch);
+  return out;
+}
+
+void Wearable::cross_domain_capture_into(const Signal& recording,
+                                         sensors::Activity activity, Rng& rng,
+                                         Signal& out,
+                                         dsp::Scratch& scratch) const {
+  speaker_.render_into(recording, scratch.rendered, scratch.cwork);
   const Signal motion = sensors::body_motion(
       activity, recording.duration() + 0.1,
       accel_.config().sample_rate, rng);
-  return accel_.capture_with_motion(played, motion, rng);
+  accel_.capture_with_motion_into(scratch.rendered, motion, rng, out,
+                                  scratch);
 }
 
 }  // namespace vibguard::device

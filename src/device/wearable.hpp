@@ -44,11 +44,24 @@ class Wearable {
   /// This is the audio→vibration conversion of Sec. IV-A.
   Signal cross_domain_capture(const Signal& recording, Rng& rng) const;
 
+  /// Allocation-free overload: writes the vibration signal into `out`,
+  /// routing the rendered replay and all DSP temporaries through `scratch`.
+  /// Bit-identical to cross_domain_capture (same rng draw order).
+  void cross_domain_capture_into(const Signal& recording, Rng& rng,
+                                 Signal& out, dsp::Scratch& scratch) const;
+
   /// Cross-domain sensing while the wearer performs `activity`:
   /// activity-specific motion interference replaces the config's built-in
   /// stand-in (see sensors::body_motion).
   Signal cross_domain_capture(const Signal& recording,
                               sensors::Activity activity, Rng& rng) const;
+
+  /// Activity overload writing into `out`. The generated motion signal
+  /// itself still allocates (see sensors::body_motion); everything else
+  /// reuses `scratch`.
+  void cross_domain_capture_into(const Signal& recording,
+                                 sensors::Activity activity, Rng& rng,
+                                 Signal& out, dsp::Scratch& scratch) const;
 
   const sensors::Accelerometer& accelerometer() const { return accel_; }
   const sensors::Speaker& speaker() const { return speaker_; }

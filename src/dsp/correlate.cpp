@@ -9,10 +9,10 @@
 namespace vibguard::dsp {
 namespace {
 
-std::vector<double> cross_correlate_direct(std::span<const double> a,
-                                           std::span<const double> b,
-                                           std::size_t max_lag) {
-  std::vector<double> out(2 * max_lag + 1, 0.0);
+void cross_correlate_direct(std::span<const double> a,
+                            std::span<const double> b, std::size_t max_lag,
+                            std::vector<double>& out) {
+  out.assign(2 * max_lag + 1, 0.0);
   const auto na = static_cast<std::ptrdiff_t>(a.size());
   const auto nb = static_cast<std::ptrdiff_t>(b.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -26,24 +26,25 @@ std::vector<double> cross_correlate_direct(std::span<const double> a,
     }
     out[i] = acc;
   }
-  return out;
 }
 
-std::vector<double> cross_correlate_fft(std::span<const double> a,
-                                        std::span<const double> b,
-                                        std::size_t max_lag) {
+void cross_correlate_fft(std::span<const double> a, std::span<const double> b,
+                         std::size_t max_lag, CorrelationScratch& scratch) {
   // corr(lag) = sum_n a(n) b(n+lag) = IFFT(conj(FFT(a)) * FFT(b)) with
   // enough zero padding to avoid circular wrap.
   const std::size_t m = next_pow2(a.size() + b.size() + 2 * max_lag);
-  std::vector<Complex> fa(m, Complex(0.0, 0.0));
-  std::vector<Complex> fb(m, Complex(0.0, 0.0));
+  std::vector<Complex>& fa = scratch.fa;
+  std::vector<Complex>& fb = scratch.fb;
+  fa.assign(m, Complex(0.0, 0.0));
+  fb.assign(m, Complex(0.0, 0.0));
   for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0.0);
   for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0.0);
   fft_pow2(fa, false);
   fft_pow2(fb, false);
   for (std::size_t i = 0; i < m; ++i) fa[i] = std::conj(fa[i]) * fb[i];
   fft_pow2(fa, true);
-  std::vector<double> out(2 * max_lag + 1, 0.0);
+  std::vector<double>& out = scratch.corr;
+  out.assign(2 * max_lag + 1, 0.0);
   for (std::size_t i = 0; i < out.size(); ++i) {
     const auto lag = static_cast<std::ptrdiff_t>(i) -
                      static_cast<std::ptrdiff_t>(max_lag);
@@ -52,28 +53,47 @@ std::vector<double> cross_correlate_fft(std::span<const double> a,
                  : m - static_cast<std::size_t>(-lag);
     out[i] = fa[idx].real();
   }
-  return out;
 }
 
 }  // namespace
 
-std::vector<double> cross_correlate(std::span<const double> a,
-                                    std::span<const double> b,
-                                    std::size_t max_lag) {
+const std::vector<double>& cross_correlate(std::span<const double> a,
+                                           std::span<const double> b,
+                                           std::size_t max_lag,
+                                           CorrelationScratch& scratch) {
   // Direct evaluation is cheaper for short inputs; FFT wins decisively for
   // the second-scale 16 kHz recordings the synchronizer handles.
   const std::size_t work = std::min(a.size(), b.size()) * (2 * max_lag + 1);
-  if (work < 1u << 18) return cross_correlate_direct(a, b, max_lag);
-  return cross_correlate_fft(a, b, max_lag);
+  if (work < 1u << 18) {
+    cross_correlate_direct(a, b, max_lag, scratch.corr);
+  } else {
+    cross_correlate_fft(a, b, max_lag, scratch);
+  }
+  return scratch.corr;
+}
+
+std::vector<double> cross_correlate(std::span<const double> a,
+                                    std::span<const double> b,
+                                    std::size_t max_lag) {
+  CorrelationScratch scratch;
+  cross_correlate(a, b, max_lag, scratch);
+  return std::move(scratch.corr);
+}
+
+std::ptrdiff_t estimate_delay(std::span<const double> a,
+                              std::span<const double> b, std::size_t max_lag,
+                              CorrelationScratch& scratch) {
+  const auto& corr = cross_correlate(a, b, max_lag, scratch);
+  const auto best =
+      std::max_element(corr.begin(), corr.end()) - corr.begin();
+  return best - static_cast<std::ptrdiff_t>(max_lag);
 }
 
 std::ptrdiff_t estimate_delay(std::span<const double> a,
                               std::span<const double> b,
                               std::size_t max_lag) {
-  const auto corr = cross_correlate(a, b, max_lag);
-  const auto best =
-      std::max_element(corr.begin(), corr.end()) - corr.begin();
-  return best - static_cast<std::ptrdiff_t>(max_lag);
+  CorrelationScratch scratch;
+  return estimate_delay(a, b, max_lag, scratch);
 }
 
 std::pair<Signal, Signal> align_by_delay(const Signal& a, const Signal& b,

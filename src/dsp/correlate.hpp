@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/signal.hpp"
+#include "dsp/scratch.hpp"
 
 namespace vibguard::dsp {
 
@@ -20,10 +21,22 @@ std::vector<double> cross_correlate(std::span<const double> a,
                                     std::span<const double> b,
                                     std::size_t max_lag);
 
+/// Allocation-free overload: computes into scratch.corr (reusing capacity)
+/// and returns a reference to it, valid until the next call on `scratch`.
+const std::vector<double>& cross_correlate(std::span<const double> a,
+                                           std::span<const double> b,
+                                           std::size_t max_lag,
+                                           CorrelationScratch& scratch);
+
 /// Lag (in samples, possibly negative) maximizing the cross-correlation of
 /// `a` against `b`. Positive result means `b` is delayed relative to `a`.
 std::ptrdiff_t estimate_delay(std::span<const double> a,
                               std::span<const double> b, std::size_t max_lag);
+
+/// Allocation-free overload reusing `scratch` buffers.
+std::ptrdiff_t estimate_delay(std::span<const double> a,
+                              std::span<const double> b, std::size_t max_lag,
+                              CorrelationScratch& scratch);
 
 /// Removes the first `delay` samples of `b` (paper Sec. VI-A) so both
 /// signals start at the same instant; negative delay trims `a` instead.

@@ -143,24 +143,37 @@ std::vector<double> fir_filter(std::span<const double> x,
 
 Signal apply_gain_curve(const Signal& in,
                         const std::function<double(double)>& gain) {
-  if (in.empty()) return in;
+  Signal out;
+  std::vector<Complex> work;
+  apply_gain_curve(in, gain, out, work);
+  return out;
+}
+
+void apply_gain_curve(const Signal& in,
+                      const std::function<double(double)>& gain, Signal& out,
+                      std::vector<std::complex<double>>& work) {
+  if (in.empty()) {
+    if (&out != &in) out = in;
+    return;
+  }
   const std::size_t n = in.size();
   const std::size_t m = next_pow2(n);
-  std::vector<Complex> buf(m, Complex(0.0, 0.0));
-  for (std::size_t i = 0; i < n; ++i) buf[i] = Complex(in[i], 0.0);
-  fft_pow2(buf, false);
   const double fs = in.sample_rate();
+  work.assign(m, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) work[i] = Complex(in[i], 0.0);
+  fft_pow2(work, false);
   // Scale bins conjugate-symmetrically so the inverse transform stays real.
   for (std::size_t k = 0; k <= m / 2; ++k) {
     const double f = static_cast<double>(k) * fs / static_cast<double>(m);
     const double g = gain(f);
-    buf[k] *= g;
-    if (k != 0 && k != m / 2) buf[m - k] *= g;
+    work[k] *= g;
+    if (k != 0 && k != m / 2) work[m - k] *= g;
   }
-  fft_pow2(buf, true);
-  std::vector<double> out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = buf[i].real();
-  return Signal(std::move(out), fs);
+  fft_pow2(work, true);
+  // `in` is fully consumed; writing `out` now makes in-place calls safe.
+  if (&out != &in) out.reset(fs);
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = work[i].real();
 }
 
 }  // namespace vibguard::dsp

@@ -6,6 +6,7 @@
 // are all specified as |H(f)| curves and applied in the frequency domain.
 #pragma once
 
+#include <complex>
 #include <cstddef>
 #include <functional>
 #include <span>
@@ -79,5 +80,12 @@ std::vector<double> fir_filter(std::span<const double> x,
 /// scaled bin-by-bin (conjugate-symmetrically) and inverse-transformed.
 Signal apply_gain_curve(const Signal& in,
                         const std::function<double(double)>& gain);
+
+/// Allocation-free overload: writes the filtered signal into `out` and uses
+/// `work` as the FFT buffer, both reusing existing capacity. `out` may alias
+/// `in` (in-place filtering); `work` must not be read afterwards.
+void apply_gain_curve(const Signal& in,
+                      const std::function<double(double)>& gain, Signal& out,
+                      std::vector<std::complex<double>>& work);
 
 }  // namespace vibguard::dsp

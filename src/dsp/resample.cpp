@@ -10,11 +10,13 @@
 namespace vibguard::dsp {
 namespace {
 
-Signal interpolate_at_rate(const Signal& in, double target_rate) {
+void interpolate_at_rate_into(const Signal& in, double target_rate,
+                              Signal& out) {
   const double ratio = in.sample_rate() / target_rate;
   const auto out_len = static_cast<std::size_t>(
       std::floor(static_cast<double>(in.size()) / ratio));
-  std::vector<double> out(out_len);
+  out.reset(target_rate);
+  out.resize(out_len);
   for (std::size_t i = 0; i < out_len; ++i) {
     const double pos = static_cast<double>(i) * ratio;
     const auto lo = static_cast<std::size_t>(pos);
@@ -22,7 +24,12 @@ Signal interpolate_at_rate(const Signal& in, double target_rate) {
     const double frac = pos - static_cast<double>(lo);
     out[i] = in[lo] * (1.0 - frac) + in[hi] * frac;
   }
-  return Signal(std::move(out), target_rate);
+}
+
+Signal interpolate_at_rate(const Signal& in, double target_rate) {
+  Signal out;
+  interpolate_at_rate_into(in, target_rate, out);
+  return out;
 }
 
 }  // namespace
@@ -44,10 +51,16 @@ Signal resample(const Signal& in, double target_rate) {
 }
 
 Signal decimate_alias(const Signal& in, double target_rate) {
+  Signal out;
+  decimate_alias_into(in, target_rate, out);
+  return out;
+}
+
+void decimate_alias_into(const Signal& in, double target_rate, Signal& out) {
   VIBGUARD_REQUIRE(target_rate > 0.0, "target rate must be positive");
   VIBGUARD_REQUIRE(target_rate <= in.sample_rate(),
                    "decimate_alias cannot upsample");
-  return interpolate_at_rate(in, target_rate);
+  interpolate_at_rate_into(in, target_rate, out);
 }
 
 Signal sample_linear(const Signal& in, double target_rate) {

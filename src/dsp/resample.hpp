@@ -23,6 +23,10 @@ Signal resample(const Signal& in, double target_rate);
 /// intentionally folding content above target_rate/2 into the output band.
 Signal decimate_alias(const Signal& in, double target_rate);
 
+/// Allocation-free overload: writes the decimated signal into `out`,
+/// reusing its capacity. `out` must not alias `in`.
+void decimate_alias_into(const Signal& in, double target_rate, Signal& out);
+
 /// Linear-interpolated sampling at arbitrary positions (no filtering).
 Signal sample_linear(const Signal& in, double target_rate);
 

@@ -59,6 +59,36 @@ Spectrogram Spectrogram::crop_low_frequencies(double cutoff_hz) const {
   return out;
 }
 
+void Spectrogram::crop_low_frequencies_in_place(double cutoff_hz) {
+  std::size_t drop = 0;
+  while (drop < bins_ &&
+         bin0_hz_ + static_cast<double>(drop) * bin_hz_ <= cutoff_hz) {
+    ++drop;
+  }
+  if (drop == 0) return;
+  const std::size_t new_bins = bins_ - drop;
+  // Each destination run starts strictly before its source run, so a
+  // forward copy compacts safely.
+  for (std::size_t f = 0; f < frames_; ++f) {
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(f * bins_ + drop),
+                new_bins,
+                data_.begin() + static_cast<std::ptrdiff_t>(f * new_bins));
+  }
+  bin0_hz_ += static_cast<double>(drop) * bin_hz_;
+  bins_ = new_bins;
+  data_.resize(frames_ * bins_);
+}
+
+void Spectrogram::reshape(std::size_t frames, std::size_t bins, double bin_hz,
+                          double hop_seconds) {
+  frames_ = frames;
+  bins_ = bins;
+  bin_hz_ = bin_hz;
+  hop_seconds_ = hop_seconds;
+  bin0_hz_ = 0.0;
+  data_.assign(frames * bins, 0.0);
+}
+
 Spectrogram Spectrogram::resized_frames(std::size_t frames) const {
   Spectrogram out(frames, bins_, bin_hz_, hop_seconds_);
   out.bin0_hz_ = bin0_hz_;
@@ -81,38 +111,43 @@ std::vector<double> Spectrogram::mean_over_time() const {
 
 Spectrogram stft_power(const Signal& signal, std::size_t window_size,
                        std::size_t hop, WindowType window) {
+  Spectrogram out;
+  stft_power_into(signal, window_size, hop, out, window);
+  return out;
+}
+
+void stft_power_into(const Signal& signal, std::size_t window_size,
+                     std::size_t hop, Spectrogram& out, WindowType window) {
   VIBGUARD_REQUIRE(window_size > 0, "window size must be positive");
   VIBGUARD_REQUIRE(hop > 0, "hop must be positive");
-  Signal padded;
-  const Signal* input = &signal;
-  if (!signal.empty() && signal.size() < window_size) {
+  const double* samples = signal.samples().data();
+  std::size_t n = signal.size();
+  const double rate = signal.sample_rate();
+  if (n != 0 && n < window_size) {
     // Guarantee at least one frame for short inputs (e.g. brief commands at
-    // the 200 Hz accelerometer rate).
-    padded = signal;
-    padded.append(Signal::zeros(window_size - signal.size(),
-                                signal.sample_rate()));
-    input = &padded;
+    // the 200 Hz accelerometer rate). The pad buffer is thread-local so the
+    // steady state stays allocation-free.
+    thread_local std::vector<double> padded;
+    padded.assign(window_size, 0.0);
+    std::copy_n(samples, n, padded.begin());
+    samples = padded.data();
+    n = window_size;
   }
-  const std::size_t n = input->size();
   const std::size_t frames =
       n >= window_size ? 1 + (n - window_size) / hop : 0;
   const std::size_t bins = window_size / 2 + 1;
-  const double bin_hz =
-      input->sample_rate() / static_cast<double>(window_size);
-  Spectrogram out(frames, bins, bin_hz,
-                  static_cast<double>(hop) / input->sample_rate());
+  out.reshape(frames, bins, rate / static_cast<double>(window_size),
+              static_cast<double>(hop) / rate);
 
   // One plan and one window for the whole signal; each frame's windowing,
   // transform and squaring run fused, writing straight through the
   // unchecked row pointer.
-  const auto win = make_window(window, window_size);
+  const auto& win = cached_window(window, window_size);
   const FftPlan& plan = get_plan(window_size);
-  const double* samples = input->samples().data();
   for (std::size_t f = 0; f < frames; ++f) {
     plan.windowed_power(samples + f * hop, win.data(),
                         std::span<double>(out.row(f), bins));
   }
-  return out;
 }
 
 double correlation_2d(const Spectrogram& a, const Spectrogram& b) {

@@ -53,6 +53,15 @@ class Spectrogram {
   /// removed. Implements the accelerometer-artifact crop (Sec. VI-B).
   Spectrogram crop_low_frequencies(double cutoff_hz) const;
 
+  /// In-place variant of crop_low_frequencies: compacts the surviving bins
+  /// within the existing storage (no allocation).
+  void crop_low_frequencies_in_place(double cutoff_hz);
+
+  /// Reconfigures shape and metadata in place, reusing storage capacity.
+  /// All cells are reset to zero and bin 0 is re-centered at 0 Hz.
+  void reshape(std::size_t frames, std::size_t bins, double bin_hz,
+               double hop_seconds);
+
   /// Truncates/zero-pads along time to exactly `frames` rows.
   Spectrogram resized_frames(std::size_t frames) const;
 
@@ -77,6 +86,13 @@ class Spectrogram {
 Spectrogram stft_power(const Signal& signal, std::size_t window_size,
                        std::size_t hop,
                        WindowType window = WindowType::kHann);
+
+/// Allocation-free overload: reshapes `out` (reusing its storage) and fills
+/// it with the power spectrogram. Uses the thread-local window/plan caches,
+/// so repeated calls at steady state perform no heap allocations.
+void stft_power_into(const Signal& signal, std::size_t window_size,
+                     std::size_t hop, Spectrogram& out,
+                     WindowType window = WindowType::kHann);
 
 /// 2-D Pearson correlation of two equal-shaped spectrograms (paper Eq. 6).
 /// Shorter inputs are compared over the overlapping frame range; returns 0

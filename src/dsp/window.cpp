@@ -1,6 +1,7 @@
 #include "dsp/window.hpp"
 
 #include <cmath>
+#include <map>
 #include <numbers>
 
 #include "common/error.hpp"
@@ -34,6 +35,22 @@ std::vector<double> make_window(WindowType type, std::size_t n) {
       break;
   }
   return w;
+}
+
+const std::vector<double>& cached_window(WindowType type, std::size_t n) {
+  struct Key {
+    WindowType type;
+    std::size_t n;
+    bool operator<(const Key& o) const {
+      return type != o.type ? type < o.type : n < o.n;
+    }
+  };
+  thread_local std::map<Key, std::vector<double>> cache;
+  auto it = cache.find(Key{type, n});
+  if (it == cache.end()) {
+    it = cache.emplace(Key{type, n}, make_window(type, n)).first;
+  }
+  return it->second;
 }
 
 void apply_window(std::span<double> frame, std::span<const double> window) {

@@ -18,6 +18,11 @@ enum class WindowType {
 /// STFT analysis).
 std::vector<double> make_window(WindowType type, std::size_t n);
 
+/// Thread-local cached window table: computed once per (thread, type, n) and
+/// reused, so STFT hot loops pay no per-call window allocation. The returned
+/// reference stays valid for the calling thread's lifetime.
+const std::vector<double>& cached_window(WindowType type, std::size_t n);
+
 /// Multiplies `frame` element-wise by `window` (equal lengths required).
 void apply_window(std::span<double> frame, std::span<const double> window);
 

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attacks/attack.hpp"
@@ -52,19 +53,36 @@ class ExperimentRunner {
  public:
   ExperimentRunner(ExperimentConfig config, std::uint64_t seed);
 
+  /// Scores the trial populations for `attack` under each mode. Populations
+  /// are cached per (attack, mode): repeated calls — including through
+  /// eer() — return the cached scores instead of regenerating and rescoring
+  /// trials. Caching is sound because a trial's scoring rng is forked from
+  /// a position-derived label, making each mode's scores independent of
+  /// which other modes were requested.
   std::map<core::DefenseMode, ScorePopulations> run(
       attacks::AttackType attack,
       const std::vector<core::DefenseMode>& modes);
 
-  /// Convenience: EER of the given mode against one attack type.
+  /// Convenience: EER of the given mode against one attack type. Served
+  /// from the population cache when run() already scored the pair.
   double eer(attacks::AttackType attack, core::DefenseMode mode);
 
   const ExperimentConfig& config() const { return config_; }
+
+  /// Score populations cached so far, keyed by (attack, mode).
+  const std::map<std::pair<attacks::AttackType, core::DefenseMode>,
+                 ScorePopulations>&
+  cached_populations() const {
+    return cache_;
+  }
 
  private:
   ExperimentConfig config_;
   std::uint64_t seed_;
   std::vector<speech::SpeakerProfile> speakers_;
+  std::map<std::pair<attacks::AttackType, core::DefenseMode>,
+           ScorePopulations>
+      cache_;
 };
 
 /// The sensitive-phoneme set produced by the reference selection run

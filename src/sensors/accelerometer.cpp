@@ -41,41 +41,66 @@ double Accelerometer::lf_dominance(const Signal& audio) const {
 Signal Accelerometer::capture_with_motion(const Signal& audio,
                                           const Signal& motion,
                                           Rng& rng) const {
+  Signal out;
+  dsp::Scratch scratch;
+  capture_with_motion_into(audio, motion, rng, out, scratch);
+  return out;
+}
+
+void Accelerometer::capture_with_motion_into(const Signal& audio,
+                                             const Signal& motion, Rng& rng,
+                                             Signal& out,
+                                             dsp::Scratch& scratch) const {
   VIBGUARD_REQUIRE(motion.empty() ||
                        motion.sample_rate() == config_.sample_rate,
                    "motion signal must be at the accelerometer rate");
   AccelerometerConfig quiet = config_;
   quiet.body_motion_rms = 0.0;  // replace the stand-in with real motion
-  Signal vib = Accelerometer(quiet).capture(audio, rng);
-  for (std::size_t i = 0; i < vib.size() && i < motion.size(); ++i) {
-    vib[i] += motion[i];
+  Accelerometer(quiet).capture_into(audio, rng, out, scratch);
+  for (std::size_t i = 0; i < out.size() && i < motion.size(); ++i) {
+    out[i] += motion[i];
   }
-  return vib;
 }
 
 Signal Accelerometer::capture(const Signal& audio, Rng& rng) const {
+  Signal out;
+  dsp::Scratch scratch;
+  capture_into(audio, rng, out, scratch);
+  return out;
+}
+
+void Accelerometer::capture_into(const Signal& audio, Rng& rng, Signal& out,
+                                 dsp::Scratch& scratch) const {
   VIBGUARD_REQUIRE(audio.sample_rate() >= 2.0 * config_.sample_rate,
                    "audio rate must be at least twice the accelerometer rate");
-  if (audio.empty()) return Signal({}, config_.sample_rate);
+  if (audio.empty()) {
+    out.reset(config_.sample_rate);
+    return;
+  }
 
   // Effect 4's driver: measured before any filtering, on the excitation as
   // the amplifier sees it.
-  const double dominance = lf_dominance(audio);
+  const double dominance = dsp::band_energy_fraction(
+      audio, 0.0, config_.lf_dominance_cutoff_hz, scratch.mag);
   const double excitation_rms = audio.rms();
 
   // Effect 1: conductive coupling.
-  Signal coupled = dsp::apply_gain_curve(
-      audio, [this](double f) { return coupling_gain(f); });
+  dsp::apply_gain_curve(
+      audio, [this](double f) { return coupling_gain(f); }, scratch.coupled,
+      scratch.cwork);
 
   // Effect 2: naive 200 Hz sampling — deliberately NO anti-alias filter
   // (unless the ablation switch is set).
-  Signal vib = config_.anti_alias
-                   ? dsp::resample(coupled, config_.sample_rate)
-                   : dsp::decimate_alias(coupled, config_.sample_rate);
+  if (config_.anti_alias) {
+    out = dsp::resample(scratch.coupled, config_.sample_rate);
+  } else {
+    dsp::decimate_alias_into(scratch.coupled, config_.sample_rate, out);
+  }
 
-  // Effect 3: low-frequency sensitivity artifact.
-  vib = dsp::apply_gain_curve(
-      vib, [this](double f) { return sensitivity_gain(f); });
+  // Effect 3: low-frequency sensitivity artifact (applied in place).
+  dsp::apply_gain_curve(
+      out, [this](double f) { return sensitivity_gain(f); }, out,
+      scratch.cwork);
 
   // Effect 4: amplifier noise grows with low-frequency dominance.
   const double sat = config_.lf_noise_saturation_rms;
@@ -85,19 +110,18 @@ Signal Accelerometer::capture(const Signal& audio, Rng& rng) const {
   const double noise_rms =
       config_.base_noise_rms +
       config_.lf_noise_coeff * dominance * dominance * effective_rms;
-  for (double& s : vib) s += rng.gaussian(0.0, noise_rms);
+  for (double& s : out) s += rng.gaussian(0.0, noise_rms);
 
   // Body motion: slow oscillation within 0.3–3.5 Hz plus drift.
   if (config_.body_motion_rms > 0.0) {
     const double f_motion = rng.uniform(0.3, 3.5);
     const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
     const double amp = config_.body_motion_rms * std::numbers::sqrt2;
-    for (std::size_t i = 0; i < vib.size(); ++i) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
       const double t = static_cast<double>(i) / config_.sample_rate;
-      vib[i] += amp * std::sin(2.0 * std::numbers::pi * f_motion * t + phase);
+      out[i] += amp * std::sin(2.0 * std::numbers::pi * f_motion * t + phase);
     }
   }
-  return vib;
 }
 
 }  // namespace vibguard::sensors

@@ -20,6 +20,7 @@
 
 #include "common/rng.hpp"
 #include "common/signal.hpp"
+#include "dsp/scratch.hpp"
 
 namespace vibguard::sensors {
 
@@ -70,11 +71,23 @@ class Accelerometer {
   /// The returned signal is sampled at config().sample_rate.
   Signal capture(const Signal& audio, Rng& rng) const;
 
+  /// Allocation-free overload of capture(): writes the vibration signal
+  /// into `out` and routes every temporary through `scratch`, all reusing
+  /// existing capacity. Draws from `rng` in the same order as capture(), so
+  /// results are bit-identical.
+  void capture_into(const Signal& audio, Rng& rng, Signal& out,
+                    dsp::Scratch& scratch) const;
+
   /// Like capture(), but with an explicit body-motion interference signal
   /// (already at the accelerometer rate, e.g. from sensors::body_motion)
   /// superimposed instead of the config's built-in sinusoidal stand-in.
   Signal capture_with_motion(const Signal& audio, const Signal& motion,
                              Rng& rng) const;
+
+  /// Allocation-free overload of capture_with_motion().
+  void capture_with_motion_into(const Signal& audio, const Signal& motion,
+                                Rng& rng, Signal& out,
+                                dsp::Scratch& scratch) const;
 
   /// Coupling gain (effect 1) at audio frequency `f_hz`.
   double coupling_gain(double f_hz) const;

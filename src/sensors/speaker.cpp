@@ -33,8 +33,16 @@ double Speaker::response(double f_hz) const {
 }
 
 Signal Speaker::render(const Signal& in) const {
-  Signal out =
-      dsp::apply_gain_curve(in, [this](double f) { return response(f); });
+  Signal out;
+  std::vector<std::complex<double>> work;
+  render_into(in, out, work);
+  return out;
+}
+
+void Speaker::render_into(const Signal& in, Signal& out,
+                          std::vector<std::complex<double>>& work) const {
+  dsp::apply_gain_curve(in, [this](double f) { return response(f); }, out,
+                        work);
   if (config_.distortion > 0.0) {
     // Gentle odd-order nonlinearity (tanh soft clipper) around the signal's
     // own scale, so distortion is level-independent in this normalized
@@ -47,7 +55,6 @@ Signal Speaker::render(const Signal& in) const {
       }
     }
   }
-  return out;
 }
 
 }  // namespace vibguard::sensors

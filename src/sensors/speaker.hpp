@@ -2,6 +2,9 @@
 // small built-in speaker used for cross-domain replay.
 #pragma once
 
+#include <complex>
+#include <vector>
+
 #include "common/signal.hpp"
 
 namespace vibguard::sensors {
@@ -27,6 +30,11 @@ class Speaker {
   const SpeakerConfig& config() const { return config_; }
 
   Signal render(const Signal& in) const;
+
+  /// Allocation-free overload: renders into `out` using `work` as the FFT
+  /// buffer, both reusing existing capacity.
+  void render_into(const Signal& in, Signal& out,
+                   std::vector<std::complex<double>>& work) const;
 
   /// Amplitude response at frequency `f_hz`.
   double response(double f_hz) const;

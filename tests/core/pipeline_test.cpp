@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "attacks/attack.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "eval/experiment.hpp"
 #include "eval/scenario.hpp"
 
@@ -134,6 +138,80 @@ TEST(PipelineTest, RejectsEmptyRecordings) {
   EXPECT_THROW(
       sys.score(Signal({}, 16000.0), Signal({1.0}, 16000.0), nullptr, rng),
       vibguard::InvalidArgument);
+}
+
+TEST(PipelineTest, WorkspaceReuseGivesBitIdenticalScores) {
+  DefenseSystem sys{DefenseConfig{}};
+  const auto t = legit_trial(16);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  Rng r1(17);
+  const double fresh = sys.score(t.va, t.wearable, &seg, r1);
+  Workspace workspace;
+  for (int pass = 0; pass < 3; ++pass) {
+    Rng r(17);
+    EXPECT_EQ(sys.score(t.va, t.wearable, &seg, r, workspace), fresh);
+  }
+}
+
+TEST(PipelineTest, ScoreBatchMatchesSingleShotAtEveryThreadCount) {
+  DefenseSystem sys{DefenseConfig{}};
+  std::vector<eval::TrialRecordings> trials;
+  std::vector<OracleSegmenter> segmenters;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    trials.push_back(i % 2 == 0 ? legit_trial(80 + i) : attack_trial(80 + i));
+    segmenters.emplace_back(trials.back().alignment,
+                            eval::reference_sensitive_set());
+  }
+  std::vector<ScoreRequest> requests;
+  std::vector<double> expected;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    requests.push_back(ScoreRequest{&trials[i].va, &trials[i].wearable,
+                                    &segmenters[i], Rng(90 + i)});
+    Rng rng(90 + i);
+    expected.push_back(
+        sys.score(trials[i].va, trials[i].wearable, &segmenters[i], rng));
+  }
+
+  // Serial batch through one workspace.
+  Workspace workspace;
+  std::vector<double> scores(requests.size());
+  sys.score_batch(requests, scores, workspace);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scores[i], expected[i]) << "serial trial " << i;
+  }
+
+  // Parallel batch with one warm workspace per worker, at several thread
+  // counts: scheduling must never change a score.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    ThreadPool pool(threads);
+    std::vector<Workspace> workspaces(
+        std::max<std::size_t>(1, pool.num_threads()));
+    std::vector<double> parallel(requests.size(), 0.0);
+    sys.score_batch(requests, parallel, pool, workspaces);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_DOUBLE_EQ(parallel[i], expected[i])
+          << "trial " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(PipelineTest, ScoreBatchCollectsStats) {
+  DefenseSystem sys{DefenseConfig{}};
+  const auto t = legit_trial(18);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  std::vector<ScoreRequest> requests(
+      3, ScoreRequest{&t.va, &t.wearable, &seg, Rng(19)});
+  Workspace workspace;
+  std::vector<double> scores(requests.size());
+  PipelineStats stats;
+  sys.score_batch(requests, scores, workspace, nullptr, &stats);
+  EXPECT_EQ(stats.commands, 3u);
+  ASSERT_FALSE(stats.stages.empty());
+  EXPECT_EQ(stats.stages.front().calls, 3u);
+  // Identical requests (same rng seed) must score identically.
+  EXPECT_DOUBLE_EQ(scores[0], scores[1]);
+  EXPECT_DOUBLE_EQ(scores[1], scores[2]);
 }
 
 TEST(PipelineTest, TraceExposesFeatures) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "common/error.hpp"
 #include "eval/experiment.hpp"
 #include "eval/scenario.hpp"
 
@@ -97,6 +99,87 @@ TEST(SessionTest, ResetClearsState) {
   session.reset();
   EXPECT_TRUE(session.log().empty());
   EXPECT_EQ(session.stats().processed, 0u);
+}
+
+TEST(SessionTest, PipelineStatsTrackScoredCommandsOnly) {
+  Fixture fx;
+  DefenseSession session;
+  const auto t = fx.sim.legitimate_trial(
+      speech::command_by_text("turn on the lights"), fx.user);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  Rng r1(6), r2(7);
+  session.process("scored", t.va, t.wearable, &seg, r1);
+  session.process("absent", t.va, std::nullopt, nullptr, r2);
+  // Wearable-absent commands are rejected without running the pipeline.
+  EXPECT_EQ(session.pipeline_stats().commands, 1u);
+  EXPECT_FALSE(session.pipeline_stats().stages.empty());
+  session.reset();
+  EXPECT_EQ(session.pipeline_stats().commands, 0u);
+  EXPECT_TRUE(session.pipeline_stats().stages.empty());
+}
+
+TEST(SessionTest, ProcessBatchMatchesSequentialProcess) {
+  Fixture fx;
+  const auto legit = fx.sim.legitimate_trial(
+      speech::command_by_text("turn on the lights"), fx.user);
+  const auto attack = fx.sim.attack_trial(
+      attacks::AttackType::kHiddenVoice,
+      speech::command_by_text("unlock the front door"), fx.user,
+      fx.adversary);
+  OracleSegmenter seg_l(legit.alignment, eval::reference_sensitive_set());
+  OracleSegmenter seg_a(attack.alignment, eval::reference_sensitive_set());
+
+  std::vector<SessionRequest> requests;
+  requests.push_back(
+      SessionRequest{"legit", &legit.va, &legit.wearable, &seg_l, Rng(21)});
+  requests.push_back(
+      SessionRequest{"absent", &legit.va, nullptr, nullptr, Rng(22)});
+  requests.push_back(
+      SessionRequest{"attack", &attack.va, &attack.wearable, &seg_a,
+                     Rng(23)});
+
+  DefenseSession batched;
+  const auto events = batched.process_batch(requests);
+
+  DefenseSession sequential;
+  Rng r1(21), r2(22), r3(23);
+  const auto e1 =
+      sequential.process("legit", legit.va, legit.wearable, &seg_l, r1);
+  const auto e2 =
+      sequential.process("absent", legit.va, std::nullopt, nullptr, r2);
+  const auto e3 =
+      sequential.process("attack", attack.va, attack.wearable, &seg_a, r3);
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].verdict, e1.verdict);
+  EXPECT_DOUBLE_EQ(events[0].score, e1.score);
+  EXPECT_EQ(events[1].verdict, e2.verdict);
+  EXPECT_TRUE(std::isnan(events[1].score));
+  EXPECT_EQ(events[2].verdict, e3.verdict);
+  EXPECT_DOUBLE_EQ(events[2].score, e3.score);
+
+  // Audit log, running stats and pipeline aggregates match the sequential
+  // path entry for entry.
+  ASSERT_EQ(batched.log().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(batched.log()[i].index, i);
+    EXPECT_EQ(batched.log()[i].label, sequential.log()[i].label);
+    EXPECT_EQ(batched.log()[i].verdict, sequential.log()[i].verdict);
+  }
+  EXPECT_EQ(batched.stats().processed, 3u);
+  EXPECT_EQ(batched.stats().wearable_absent, 1u);
+  EXPECT_EQ(batched.stats().accepted, sequential.stats().accepted);
+  EXPECT_EQ(batched.stats().attacks_detected,
+            sequential.stats().attacks_detected);
+  EXPECT_EQ(batched.pipeline_stats().commands,
+            sequential.pipeline_stats().commands);
+}
+
+TEST(SessionTest, ProcessBatchRequiresVaSignal) {
+  DefenseSession session;
+  std::vector<SessionRequest> requests;
+  requests.push_back(SessionRequest{"bad", nullptr, nullptr, nullptr, Rng(1)});
+  EXPECT_THROW(session.process_batch(requests), vibguard::InvalidArgument);
 }
 
 }  // namespace

@@ -113,6 +113,61 @@ TEST(ExperimentTest, ScoresAreBitIdenticalAtEveryThreadCount) {
   }
 }
 
+TEST(ExperimentTest, PopulationsAreCachedPerAttackAndMode) {
+  ExperimentRunner runner(small_config(), 8);
+  const auto first =
+      runner.run(attacks::AttackType::kReplay, {core::DefenseMode::kFull});
+  ASSERT_EQ(runner.cached_populations().size(), 1u);
+
+  // eer() for the same pair is served from the cache: no new entries, and
+  // the value matches the ROC of the cached populations.
+  const double eer =
+      runner.eer(attacks::AttackType::kReplay, core::DefenseMode::kFull);
+  EXPECT_EQ(runner.cached_populations().size(), 1u);
+  EXPECT_DOUBLE_EQ(eer, first.at(core::DefenseMode::kFull).roc().eer);
+
+  // Repeat runs return the cached scores verbatim.
+  const auto second =
+      runner.run(attacks::AttackType::kReplay, {core::DefenseMode::kFull});
+  EXPECT_EQ(second.at(core::DefenseMode::kFull).legit,
+            first.at(core::DefenseMode::kFull).legit);
+  EXPECT_EQ(second.at(core::DefenseMode::kFull).attack,
+            first.at(core::DefenseMode::kFull).attack);
+
+  // A different (attack, mode) pair is a fresh cache entry.
+  runner.eer(attacks::AttackType::kRandom, core::DefenseMode::kFull);
+  EXPECT_EQ(runner.cached_populations().size(), 2u);
+}
+
+TEST(ExperimentTest, CachedAndFreshModesCompose) {
+  // Scoring kFull first and adding kAudioBaseline later must give the same
+  // populations as scoring both at once: each mode's scores are independent
+  // of which other modes were requested alongside it.
+  ExperimentRunner incremental(small_config(), 9);
+  incremental.run(attacks::AttackType::kReplay, {core::DefenseMode::kFull});
+  const auto mixed = incremental.run(
+      attacks::AttackType::kReplay,
+      {core::DefenseMode::kFull, core::DefenseMode::kAudioBaseline});
+
+  ExperimentRunner oneshot(small_config(), 9);
+  const auto together = oneshot.run(
+      attacks::AttackType::kReplay,
+      {core::DefenseMode::kFull, core::DefenseMode::kAudioBaseline});
+
+  for (const auto& [mode, expected] : together) {
+    const auto& got = mixed.at(mode);
+    ASSERT_EQ(got.legit.size(), expected.legit.size());
+    for (std::size_t i = 0; i < expected.legit.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got.legit[i], expected.legit[i])
+          << core::mode_name(mode) << " legit trial " << i;
+    }
+    for (std::size_t i = 0; i < expected.attack.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got.attack[i], expected.attack[i])
+          << core::mode_name(mode) << " attack trial " << i;
+    }
+  }
+}
+
 TEST(ExperimentTest, EerHelperMatchesRun) {
   ExperimentRunner runner(small_config(), 6);
   const double eer =
