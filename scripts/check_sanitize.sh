@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds with VIBGUARD_SANITIZE=ON (ASan + UBSan, recovery
+# disabled) and runs the tier-1 smoke tests plus the differential fuzz soak
+# slice. Any sanitizer report aborts the offending test, which fails ctest,
+# which fails this script — so a clean exit means 1000+ seeded iterations
+# per kernel ran UB- and leak-free.
+#
+# Usage: scripts/check_sanitize.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Belt and braces: -fno-sanitize-recover=all already makes reports fatal,
+# these options make the failure mode explicit and stack traces readable.
+export ASAN_OPTIONS="abort_on_error=1:${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1:${UBSAN_OPTIONS:-}"
+
+cmake --preset sanitize
+cmake --build --preset sanitize -j"$(nproc)"
+ctest --preset sanitize -j"$(nproc)" "$@"

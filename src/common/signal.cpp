@@ -87,6 +87,8 @@ void Signal::assign(std::span<const double> samples, double sample_rate_hz) {
 
 void Signal::assign_slice(const Signal& src, std::size_t begin,
                           std::size_t end) {
+  VIBGUARD_REQUIRE(&src != this,
+                   "assign_slice source must be a different signal");
   const std::size_t hi = std::min(end, src.size());
   const std::size_t lo = std::min(begin, hi);
   samples_.assign(src.samples_.begin() + static_cast<std::ptrdiff_t>(lo),

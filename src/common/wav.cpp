@@ -114,12 +114,20 @@ Signal read_wav(const std::string& path) {
   VIBGUARD_REQUIRE(bits == 16, "only 16-bit PCM supported: " + path);
   VIBGUARD_REQUIRE(channels >= 1, "no channels: " + path);
 
+  // One quantization convention for both directions: write_wav scales by
+  // 32767, so dividing by the same constant makes the round trip of any
+  // already-quantized signal exact (see DESIGN.md). Multichannel files are
+  // downmixed by averaging the channels of each frame.
   const std::size_t frames = data_len / (2 * channels);
   std::vector<double> samples(frames);
+  const double scale = 32767.0 * static_cast<double>(channels);
   for (std::size_t i = 0; i < frames; ++i) {
-    const auto raw = static_cast<std::int16_t>(
-        get_u16(data_ptr + i * 2 * channels));
-    samples[i] = static_cast<double>(raw) / 32768.0;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < channels; ++c) {
+      acc += static_cast<std::int16_t>(
+          get_u16(data_ptr + (i * channels + c) * 2));
+    }
+    samples[i] = acc / scale;
   }
   return Signal(std::move(samples), static_cast<double>(rate));
 }

@@ -9,10 +9,13 @@
 namespace vibguard {
 
 /// Writes `signal` as a mono 16-bit PCM WAV file. Samples are clipped to
-/// [-1, 1] before quantization. Throws Error on I/O failure.
+/// [-1, 1] and quantized as round(s * 32767). Throws Error on I/O failure.
 void write_wav(const std::string& path, const Signal& signal);
 
-/// Reads a mono (or first-channel of a multichannel) 16-bit PCM WAV file.
+/// Reads a 16-bit PCM WAV file. Samples are rescaled by the same 32767
+/// constant write_wav uses, so write_wav -> read_wav round trips are exact
+/// for already-quantized signals and within 0.5/32767 otherwise.
+/// Multichannel files are downmixed to mono by averaging the channels.
 /// Throws Error on malformed input or I/O failure.
 Signal read_wav(const std::string& path);
 

@@ -63,6 +63,11 @@ std::pair<Signal, Signal> SyncChannel::synchronize(
 double SyncChannel::synchronize_into(const Signal& va, const Signal& wearable,
                                      Signal& va_out, Signal& wearable_out,
                                      dsp::CorrelationScratch& scratch) const {
+  VIBGUARD_REQUIRE(&va_out != &va && &va_out != &wearable &&
+                       &wearable_out != &va && &wearable_out != &wearable &&
+                       &va_out != &wearable_out,
+                   "synchronize_into outputs must not alias the inputs or "
+                   "each other");
   const double delay_s = estimate_delay_s(va, wearable, scratch);
   const auto shift = static_cast<std::ptrdiff_t>(
       std::llround(delay_s * va.sample_rate()));

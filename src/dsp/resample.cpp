@@ -12,6 +12,22 @@ namespace {
 
 void interpolate_at_rate_into(const Signal& in, double target_rate,
                               Signal& out) {
+  if (in.empty()) {
+    // Avoids the 0/0 ratio below when `in` is empty (a default-constructed
+    // Signal also has sample rate 0, making the ratio NaN).
+    out.reset(target_rate);
+    return;
+  }
+  if (&in == &out) {
+    // Self-aliasing: out.reset()/resize() below would destroy the input
+    // before it is read, so interpolate from a scratch copy instead. The
+    // copy is thread-local so repeated aliased calls stay allocation-free
+    // at steady state.
+    thread_local Signal scratch;
+    scratch.assign(in.samples(), in.sample_rate());
+    interpolate_at_rate_into(scratch, target_rate, out);
+    return;
+  }
   const double ratio = in.sample_rate() / target_rate;
   const auto out_len = static_cast<std::size_t>(
       std::floor(static_cast<double>(in.size()) / ratio));

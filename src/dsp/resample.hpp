@@ -24,7 +24,8 @@ Signal resample(const Signal& in, double target_rate);
 Signal decimate_alias(const Signal& in, double target_rate);
 
 /// Allocation-free overload: writes the decimated signal into `out`,
-/// reusing its capacity. `out` must not alias `in`.
+/// reusing its capacity. Passing the same Signal object as `in` and `out`
+/// is safe: the input is staged through a thread-local scratch copy first.
 void decimate_alias_into(const Signal& in, double target_rate, Signal& out);
 
 /// Linear-interpolated sampling at arbitrary positions (no filtering).

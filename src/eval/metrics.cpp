@@ -61,20 +61,34 @@ RocCurve compute_roc(std::span<const double> attack_scores,
   }
   curve.auc = auc;
 
-  // EER: the crossing of FDR(t) and miss rate 1 - TDR(t). FDR rises and the
-  // miss rate falls with t, so scan for the sign change and interpolate.
-  double best_gap = 2.0;
+  // EER: the crossing of FDR(t) and miss rate 1 - TDR(t). The gap
+  // g(t) = FDR(t) - miss(t) runs from -1 at the low sentinel to +1 at the
+  // high one, so a sign change always exists; locate it and interpolate the
+  // curve linearly between the bracketing grid points, which keeps the EER
+  // smooth even for small score populations whose rates move in coarse
+  // 1/n steps.
   double eer = 1.0;
   double eer_t = curve.points.front().threshold;
   for (std::size_t i = 0; i < curve.points.size(); ++i) {
     const double fdr = curve.points[i].fdr;
     const double miss = 1.0 - curve.points[i].tdr;
-    const double gap = std::abs(fdr - miss);
-    if (gap < best_gap) {
-      best_gap = gap;
+    const double gap = fdr - miss;
+    if (gap < 0.0) continue;
+    if (gap == 0.0 || i == 0) {
       eer = 0.5 * (fdr + miss);
       eer_t = curve.points[i].threshold;
+    } else {
+      const double prev_fdr = curve.points[i - 1].fdr;
+      const double prev_miss = 1.0 - curve.points[i - 1].tdr;
+      const double prev_gap = prev_fdr - prev_miss;
+      // prev_gap < 0 <= gap, so the linear crossing parameter is in [0, 1).
+      const double alpha = -prev_gap / (gap - prev_gap);
+      eer = prev_fdr + alpha * (fdr - prev_fdr);
+      eer_t = curve.points[i - 1].threshold +
+              alpha * (curve.points[i].threshold -
+                       curve.points[i - 1].threshold);
     }
+    break;
   }
   curve.eer = eer;
   curve.eer_threshold = eer_t;

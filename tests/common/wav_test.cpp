@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -55,6 +58,94 @@ TEST(WavTest, EmptySignalRoundTrips) {
   const std::string path = temp_path("vibguard_empty.wav");
   write_wav(path, s);
   EXPECT_TRUE(read_wav(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, QuantizedValuesRoundTripExactly) {
+  // The PR 3 scaling-asymmetry regression: write_wav quantizes by 32767,
+  // so values already on the q/32767 grid must survive a round trip
+  // bit-exactly. The old read path divided by 32768, biasing every
+  // round-tripped amplitude low by a factor 32767/32768.
+  const std::vector<int> quants = {-32767, -12345, -1, 0, 1, 777, 32767};
+  std::vector<double> samples;
+  for (int q : quants) samples.push_back(q / 32767.0);
+  const Signal original(std::move(samples), 8000.0);
+  const std::string path = temp_path("vibguard_quantized.wav");
+  write_wav(path, original);
+  const Signal loaded = read_wav(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i], original[i]) << "sample " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, FullScaleIsSymmetric) {
+  const Signal original({1.0, -1.0}, 8000.0);
+  const std::string path = temp_path("vibguard_fullscale.wav");
+  write_wav(path, original);
+  const Signal loaded = read_wav(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[0], 1.0);
+  EXPECT_DOUBLE_EQ(loaded[1], -1.0);
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, StereoDownmixAveragesChannels) {
+  // Hand-built 2-channel PCM file: read_wav must average the channels of
+  // each frame, not silently keep channel 0.
+  const std::vector<std::pair<std::int16_t, std::int16_t>> frames = {
+      {32767, -32767},  // cancels to 0
+      {1000, 3000},     // averages to 2000
+      {-500, -500},     // equal channels pass through
+  };
+  std::vector<std::uint8_t> bytes;
+  auto u16 = [&bytes](std::uint16_t v) {
+    bytes.push_back(static_cast<std::uint8_t>(v & 0xff));
+    bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+  };
+  auto u32 = [&bytes](std::uint32_t v) {
+    bytes.push_back(static_cast<std::uint8_t>(v & 0xff));
+    bytes.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    bytes.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    bytes.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+  };
+  auto tag = [&bytes](const std::string& s) {
+    bytes.insert(bytes.end(), s.begin(), s.end());
+  };
+  const auto data_bytes =
+      static_cast<std::uint32_t>(frames.size() * 2 * sizeof(std::int16_t));
+  tag("RIFF");
+  u32(36 + data_bytes);
+  tag("WAVEfmt ");
+  u32(16);     // fmt chunk size
+  u16(1);      // PCM
+  u16(2);      // stereo
+  u32(8000);   // sample rate
+  u32(8000 * 4);
+  u16(4);      // block align
+  u16(16);     // bits per sample
+  tag("data");
+  u32(data_bytes);
+  for (const auto& [left, right] : frames) {
+    u16(static_cast<std::uint16_t>(left));
+    u16(static_cast<std::uint16_t>(right));
+  }
+
+  const std::string path = temp_path("vibguard_stereo.wav");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  }
+  const Signal loaded = read_wav(path);
+  ASSERT_EQ(loaded.size(), frames.size());
+  EXPECT_DOUBLE_EQ(loaded.sample_rate(), 8000.0);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const double want =
+        (frames[i].first + frames[i].second) / (2.0 * 32767.0);
+    EXPECT_DOUBLE_EQ(loaded[i], want) << "frame " << i;
+  }
   std::remove(path.c_str());
 }
 

@@ -90,6 +90,114 @@ TEST(SyncTest, SynchronizeAlignsContent) {
   EXPECT_NEAR(err, 0.0, 1e-9);
 }
 
+TEST(SyncTest, SynchronizeIntoMatchesSynchronize) {
+  SyncChannel sync;
+  Rng rng(7);
+  const Signal scene = dsp::white_noise(1.5, 16000.0, 1.0, rng);
+  const Signal wearable = sync.delayed_view(scene, 0.12);
+  const auto [va_ref, wear_ref] = sync.synchronize(scene, wearable);
+  Signal va_out, wear_out;
+  dsp::CorrelationScratch scratch;
+  const double delay =
+      sync.synchronize_into(scene, wearable, va_out, wear_out, scratch);
+  EXPECT_NEAR(delay, 0.12, 0.002);
+  ASSERT_EQ(va_out.size(), va_ref.size());
+  ASSERT_EQ(wear_out.size(), wear_ref.size());
+  for (std::size_t i = 0; i < va_out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(va_out[i], va_ref[i]);
+    EXPECT_DOUBLE_EQ(wear_out[i], wear_ref[i]);
+  }
+}
+
+TEST(SyncTest, SynchronizeIntoNegativeShiftTrimsWearable) {
+  // The wearable *leads* here (the VA recording is the delayed one), so the
+  // estimated delay and shift are negative and the trim falls on the
+  // wearable side.
+  SyncChannel sync;
+  Rng rng(8);
+  const Signal scene = dsp::white_noise(1.0, 1000.0, 1.0, rng);
+  const Signal va = sync.delayed_view(scene, 0.1);  // va(n) = scene(n + 100)
+  const Signal& wearable = scene;
+  Signal va_out, wear_out;
+  dsp::CorrelationScratch scratch;
+  const double delay =
+      sync.synchronize_into(va, wearable, va_out, wear_out, scratch);
+  EXPECT_NEAR(delay, -0.1, 0.002);
+  ASSERT_EQ(va_out.size(), wear_out.size());
+  ASSERT_GT(va_out.size(), 0u);
+  double err = 0.0;
+  for (std::size_t i = 0; i < va_out.size(); ++i) {
+    err += std::abs(va_out[i] - wear_out[i]);
+  }
+  EXPECT_NEAR(err, 0.0, 1e-9);
+}
+
+TEST(SyncTest, SynchronizeIntoZeroOverlapYieldsEmptySignals) {
+  // Anti-correlated constants: every overlapping lag scores negative, so
+  // the correlation peak (zero) sits at the far no-overlap extreme,
+  // |shift| = max_search exceeds both signal lengths, and the trimmed
+  // overlap is empty. Must degrade gracefully, not crash or misindex.
+  SyncChannel sync;
+  const Signal va(std::vector<double>(50, 1.0), 1000.0);
+  const Signal wearable(std::vector<double>(40, -1.0), 1000.0);
+  Signal va_out, wear_out;
+  dsp::CorrelationScratch scratch;
+  const double delay =
+      sync.synchronize_into(va, wearable, va_out, wear_out, scratch);
+  EXPECT_DOUBLE_EQ(delay, -sync.config().max_search_s);
+  EXPECT_TRUE(va_out.empty());
+  EXPECT_TRUE(wear_out.empty());
+  // The copying overload must agree.
+  const auto [va2, wear2] = sync.synchronize(va, wearable);
+  EXPECT_TRUE(va2.empty());
+  EXPECT_TRUE(wear2.empty());
+}
+
+TEST(SyncTest, SynchronizeIntoEmptyWearable) {
+  SyncChannel sync;
+  Rng rng(9);
+  const Signal va = dsp::white_noise(0.5, 1000.0, 1.0, rng);
+  const Signal wearable(std::vector<double>{}, 1000.0);
+  Signal va_out, wear_out;
+  dsp::CorrelationScratch scratch;
+  sync.synchronize_into(va, wearable, va_out, wear_out, scratch);
+  EXPECT_TRUE(va_out.empty());
+  EXPECT_TRUE(wear_out.empty());
+}
+
+TEST(SyncTest, SynchronizeIntoDelayNearSearchLimit) {
+  // Positive shift close to max_search_s: va_begin lands deep into the VA
+  // recording and the overlap shrinks to wearable length.
+  SyncChannel sync;
+  Rng rng(10);
+  const Signal scene = dsp::white_noise(0.5, 1000.0, 1.0, rng);
+  const Signal wearable = sync.delayed_view(scene, 0.28);
+  Signal va_out, wear_out;
+  dsp::CorrelationScratch scratch;
+  const double delay =
+      sync.synchronize_into(scene, wearable, va_out, wear_out, scratch);
+  EXPECT_NEAR(delay, 0.28, 0.005);
+  ASSERT_EQ(va_out.size(), wear_out.size());
+  ASSERT_EQ(va_out.size(), wearable.size());
+  for (std::size_t i = 0; i < va_out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(va_out[i], wear_out[i]);
+  }
+}
+
+TEST(SyncTest, SynchronizeIntoRejectsAliasedOutputs) {
+  SyncChannel sync;
+  Signal va = Signal::zeros(100, 1000.0);
+  Signal wearable = Signal::zeros(100, 1000.0);
+  Signal out;
+  dsp::CorrelationScratch scratch;
+  EXPECT_THROW(sync.synchronize_into(va, wearable, va, out, scratch),
+               vibguard::InvalidArgument);
+  EXPECT_THROW(sync.synchronize_into(va, wearable, out, wearable, scratch),
+               vibguard::InvalidArgument);
+  EXPECT_THROW(sync.synchronize_into(va, wearable, out, out, scratch),
+               vibguard::InvalidArgument);
+}
+
 TEST(SyncTest, RejectsMismatchedRates) {
   SyncChannel sync;
   const Signal a = Signal::zeros(100, 16000.0);

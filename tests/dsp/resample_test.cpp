@@ -75,6 +75,45 @@ TEST(DecimateAliasTest, InBandToneUnchanged) {
   EXPECT_NEAR(dominant_frequency(out), 40.0, 1.0);
 }
 
+TEST(DecimateAliasTest, IntoSelfAliasingMatchesFreshOutput) {
+  // The PR 3 aliasing regression: decimate_alias_into used to reset/resize
+  // `out` before reading `in`, so passing the same Signal for both
+  // destroyed the input mid-read and produced (mostly) zeros.
+  Rng rng(7);
+  const Signal in = white_noise(0.5, 16000.0, 0.3, rng);
+  const Signal expected = decimate_alias(in, 200.0);
+  Signal sig = in;
+  decimate_alias_into(sig, 200.0, sig);
+  ASSERT_EQ(sig.size(), expected.size());
+  EXPECT_DOUBLE_EQ(sig.sample_rate(), 200.0);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sig[i], expected[i]) << "sample " << i;
+  }
+}
+
+TEST(DecimateAliasTest, IntoReusesOutputAcrossCalls) {
+  Rng rng(8);
+  const Signal a = white_noise(0.25, 16000.0, 0.3, rng);
+  const Signal b = white_noise(0.5, 8000.0, 0.3, rng);
+  Signal out;
+  decimate_alias_into(a, 200.0, out);
+  decimate_alias_into(b, 150.0, out);
+  const Signal fresh = decimate_alias(b, 150.0);
+  ASSERT_EQ(out.size(), fresh.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], fresh[i]) << "sample " << i;
+  }
+}
+
+TEST(SampleLinearTest, EmptyInputYieldsEmptyAtTargetRate) {
+  // A default-constructed Signal has sample rate 0; the empty guard must
+  // keep the in/out ratio from going 0/0.
+  const Signal empty;
+  const Signal out = sample_linear(empty, 100.0);
+  EXPECT_TRUE(out.empty());
+  EXPECT_DOUBLE_EQ(out.sample_rate(), 100.0);
+}
+
 TEST(DecimateAliasTest, RejectsUpsampling) {
   const Signal in = Signal::zeros(100, 100.0);
   EXPECT_THROW(decimate_alias(in, 200.0), InvalidArgument);

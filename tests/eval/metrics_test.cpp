@@ -83,6 +83,30 @@ TEST(MetricsTest, EerBalancesErrorRates) {
   EXPECT_NEAR(roc.eer, 0.159, 0.02);
 }
 
+TEST(MetricsTest, EerInterpolatesBetweenGridPoints) {
+  // Analytically known crossing (the PR 3 EER-quantization regression):
+  // with attacks {0.2, 0.6} and legits {0.3, 0.4, 0.5}, the gap
+  // g = FDR - miss is -1/6 at threshold 0.4 and +1/6 at threshold 0.5
+  // without ever hitting zero on the grid. The documented linear
+  // interpolation lands exactly halfway: EER = 1/2 at threshold 0.45.
+  // Snapping to the nearest grid point instead would report 5/12.
+  const std::vector<double> attacks = {0.2, 0.6};
+  const std::vector<double> legits = {0.3, 0.4, 0.5};
+  const auto roc = compute_roc(attacks, legits);
+  EXPECT_NEAR(roc.eer, 0.5, 1e-12);
+  EXPECT_NEAR(roc.eer_threshold, 0.45, 1e-12);
+}
+
+TEST(MetricsTest, EerExactGridCrossingIsPreserved) {
+  // Here the crossing lands exactly on a grid point: at threshold 0.4 both
+  // FDR and the miss rate equal 1/2.
+  const std::vector<double> attacks = {0.2, 0.4};
+  const std::vector<double> legits = {0.3, 0.5};
+  const auto roc = compute_roc(attacks, legits);
+  EXPECT_NEAR(roc.eer, 0.5, 1e-12);
+  EXPECT_NEAR(roc.eer_threshold, 0.4, 1e-12);
+}
+
 TEST(MetricsTest, RejectsEmptyPopulations) {
   const std::vector<double> some = {0.5};
   EXPECT_THROW(compute_roc({}, some), vibguard::InvalidArgument);

@@ -1,0 +1,345 @@
+// Differential fuzz driver: every optimized kernel is cross-checked against
+// the deliberately naive implementations in tests/reference on randomized
+// sizes, rates and contents. All randomness flows through vibguard::Rng
+// seeded from fuzz_base_seed() + trial index (no wall clock anywhere), so
+// each trial is reproducible from the seed printed on failure — see
+// fuzz_util.hpp for the replay recipe.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+#include "common/wav.hpp"
+#include "dsp/correlate.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
+#include "dsp/resample.hpp"
+#include "dsp/stft.hpp"
+#include "eval/metrics.hpp"
+#include "fuzz/fuzz_util.hpp"
+#include "reference/reference_dft.hpp"
+#include "reference/reference_dsp.hpp"
+#include "reference/reference_metrics.hpp"
+
+namespace vibguard {
+namespace {
+
+std::vector<double> random_vector(Rng& rng, std::size_t n, double lo,
+                                  double hi) {
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.uniform(lo, hi);
+  return out;
+}
+
+void expect_complex_near(std::span<const dsp::Complex> got,
+                         std::span<const dsp::Complex> want, double tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].real(), want[i].real(), tol) << "bin " << i;
+    EXPECT_NEAR(got[i].imag(), want[i].imag(), tol) << "bin " << i;
+  }
+}
+
+TEST(FuzzDifferential, FftPlanTransformMatchesNaiveDft) {
+  const std::size_t iters = testing::fuzz_iterations();
+  const std::uint64_t base = testing::fuzz_base_seed();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base + it;
+    SCOPED_TRACE(testing::seed_note(seed));
+    Rng rng(seed);
+    // Mix of power-of-two and Bluestein sizes, including 1.
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 96));
+    std::vector<dsp::Complex> x(n);
+    for (auto& v : x) {
+      v = dsp::Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    }
+    const double tol = 1e-9 * static_cast<double>(n) + 1e-10;
+
+    std::vector<dsp::Complex> fwd = x;
+    dsp::get_plan(n).transform(fwd, false);
+    expect_complex_near(fwd, testing::naive_dft(x, false), tol);
+
+    std::vector<dsp::Complex> inv = x;
+    dsp::get_plan(n).transform(inv, true);
+    expect_complex_near(inv, testing::naive_dft(x, true), tol);
+
+    // Round trip back to the input.
+    dsp::get_plan(n).transform(fwd, true);
+    expect_complex_near(fwd, x, tol);
+  }
+}
+
+TEST(FuzzDifferential, RfftMatchesNaiveDft) {
+  const std::size_t iters = testing::fuzz_iterations();
+  const std::uint64_t base = testing::fuzz_base_seed();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base + it;
+    SCOPED_TRACE(testing::seed_note(seed));
+    Rng rng(seed);
+    // Even sizes exercise the packed half-length fast path, odd sizes the
+    // complex fallback.
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 128));
+    const auto x = random_vector(rng, n, -1.0, 1.0);
+    const double tol = 1e-9 * static_cast<double>(n) + 1e-10;
+
+    expect_complex_near(dsp::rfft(x), testing::naive_rfft(x), tol);
+
+    const auto mag_ref = testing::naive_magnitude_spectrum(x);
+    const auto mag = dsp::magnitude_spectrum(x);
+    ASSERT_EQ(mag.size(), mag_ref.size());
+    for (std::size_t k = 0; k < mag.size(); ++k) {
+      EXPECT_NEAR(mag[k], mag_ref[k], tol) << "bin " << k;
+    }
+
+    std::vector<double> pow(n / 2 + 1, 0.0);
+    dsp::get_plan(n).power(x, pow);
+    const auto pow_ref = testing::naive_power_spectrum(x);
+    for (std::size_t k = 0; k < pow.size(); ++k) {
+      EXPECT_NEAR(pow[k], pow_ref[k], tol) << "bin " << k;
+    }
+  }
+}
+
+TEST(FuzzDifferential, PlannedStftPowerMatchesNaive) {
+  const std::size_t iters = testing::fuzz_iterations();
+  const std::uint64_t base = testing::fuzz_base_seed();
+  constexpr dsp::WindowType kWindows[] = {
+      dsp::WindowType::kRectangular, dsp::WindowType::kHann,
+      dsp::WindowType::kHamming, dsp::WindowType::kBlackman};
+  for (std::size_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base + it;
+    SCOPED_TRACE(testing::seed_note(seed));
+    Rng rng(seed);
+    const auto ws = static_cast<std::size_t>(rng.uniform_int(4, 64));
+    const auto hop = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(ws)));
+    // Includes empty and shorter-than-one-window inputs (padded path).
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 400));
+    const double rate = rng.uniform(50.0, 16000.0);
+    const auto window = kWindows[rng.uniform_int(0, 3)];
+    const Signal sig(random_vector(rng, len, -1.0, 1.0), rate);
+
+    dsp::Spectrogram out;
+    dsp::stft_power_into(sig, ws, hop, out, window);
+    const auto ref = testing::naive_stft_power(sig, ws, hop, window);
+
+    ASSERT_EQ(out.frames(), ref.size());
+    ASSERT_EQ(out.bins(), ws / 2 + 1);
+    EXPECT_NEAR(out.bin_hz(), rate / static_cast<double>(ws), 1e-9);
+    EXPECT_NEAR(out.hop_seconds(), static_cast<double>(hop) / rate, 1e-12);
+    for (std::size_t f = 0; f < out.frames(); ++f) {
+      for (std::size_t b = 0; b < out.bins(); ++b) {
+        EXPECT_NEAR(out.at(f, b), ref[f][b], 1e-9)
+            << "frame " << f << " bin " << b;
+      }
+    }
+  }
+}
+
+TEST(FuzzDifferential, Correlation2dMatchesScalarPearson) {
+  const std::size_t iters = testing::fuzz_iterations();
+  const std::uint64_t base = testing::fuzz_base_seed();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base + it;
+    SCOPED_TRACE(testing::seed_note(seed));
+    Rng rng(seed);
+    const auto bins = static_cast<std::size_t>(rng.uniform_int(1, 24));
+    const auto fa = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    const auto fb = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    dsp::Spectrogram a(fa, bins, 1.0, 0.01);
+    dsp::Spectrogram b(fb, bins, 1.0, 0.01);
+    for (double& v : a.values()) v = rng.gaussian(0.5, 1.0);
+    for (double& v : b.values()) v = rng.gaussian(-0.25, 2.0);
+
+    const std::size_t n = std::min(fa, fb) * bins;
+    const double ref = testing::naive_pearson(
+        std::span<const double>(a.values().data(), n),
+        std::span<const double>(b.values().data(), n));
+    EXPECT_NEAR(dsp::correlation_2d(a, b), ref, 1e-9);
+  }
+}
+
+TEST(FuzzDifferential, CrossCorrelateMatchesDirectReference) {
+  const std::size_t iters = testing::fuzz_iterations();
+  const std::uint64_t base = testing::fuzz_base_seed();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base + it;
+    SCOPED_TRACE(testing::seed_note(seed));
+    Rng rng(seed);
+
+    // Small problem: exercises the library's direct evaluation path.
+    {
+      const auto la = static_cast<std::size_t>(rng.uniform_int(0, 120));
+      const auto lb = static_cast<std::size_t>(rng.uniform_int(0, 120));
+      const auto lag = static_cast<std::size_t>(rng.uniform_int(0, 40));
+      const auto a = rng.gaussian_vector(la);
+      const auto b = rng.gaussian_vector(lb);
+      const auto got = dsp::cross_correlate(a, b, lag);
+      const auto ref = testing::naive_cross_correlate(a, b, lag);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i], ref[i], 1e-9) << "lag index " << i;
+      }
+    }
+
+    // Large problem: min(len) * (2*max_lag + 1) >= 2^18 forces the
+    // FFT-based path (see correlate.cpp's crossover).
+    {
+      const auto len = static_cast<std::size_t>(rng.uniform_int(640, 760));
+      const auto lag = static_cast<std::size_t>(rng.uniform_int(220, 240));
+      const auto a = rng.gaussian_vector(len);
+      const auto b = rng.gaussian_vector(len);
+      const auto got = dsp::cross_correlate(a, b, lag);
+      const auto ref = testing::naive_cross_correlate(a, b, lag);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i], ref[i], 1e-6) << "lag index " << i;
+      }
+    }
+  }
+}
+
+TEST(FuzzDifferential, DecimateAliasMatchesNaiveLinearResampler) {
+  const std::size_t iters = testing::fuzz_iterations();
+  const std::uint64_t base = testing::fuzz_base_seed();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base + it;
+    SCOPED_TRACE(testing::seed_note(seed));
+    Rng rng(seed);
+    const double in_rate = rng.uniform(100.0, 16000.0);
+    const double target = rng.uniform(0.05 * in_rate, in_rate);
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 600));
+    const Signal sig(rng.gaussian_vector(len), in_rate);
+
+    const Signal got = dsp::decimate_alias(sig, target);
+    const Signal ref = testing::naive_linear_resample(sig, target);
+    ASSERT_EQ(got.size(), ref.size());
+    EXPECT_DOUBLE_EQ(got.sample_rate(), target);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i], ref[i], 1e-12) << "sample " << i;
+    }
+
+    // The _into overload must agree bit-for-bit, including when the output
+    // aliases the input (the PR 3 aliasing regression).
+    Signal out;
+    dsp::decimate_alias_into(sig, target, out);
+    ASSERT_EQ(out.size(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_DOUBLE_EQ(out[i], got[i]) << "sample " << i;
+    }
+    Signal self = sig;
+    dsp::decimate_alias_into(self, target, self);
+    ASSERT_EQ(self.size(), got.size());
+    EXPECT_DOUBLE_EQ(self.sample_rate(), target);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_DOUBLE_EQ(self[i], got[i]) << "sample " << i;
+    }
+  }
+}
+
+TEST(FuzzDifferential, ResampleMatchesNaiveReference) {
+  const std::size_t iters = testing::fuzz_iterations();
+  const std::uint64_t base = testing::fuzz_base_seed();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base + it;
+    SCOPED_TRACE(testing::seed_note(seed));
+    Rng rng(seed);
+    const double in_rate = rng.uniform(200.0, 16000.0);
+    const bool down = rng.bernoulli(0.5);
+    const double target = down ? rng.uniform(0.1 * in_rate, 0.95 * in_rate)
+                               : rng.uniform(1.05 * in_rate, 4.0 * in_rate);
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 500));
+    const Signal sig(rng.gaussian_vector(len), in_rate);
+
+    const Signal got = dsp::resample(sig, target);
+    const Signal ref = testing::naive_resample(sig, target);
+    ASSERT_EQ(got.size(), ref.size());
+    EXPECT_DOUBLE_EQ(got.sample_rate(), ref.sample_rate());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i], ref[i], 1e-9) << "sample " << i;
+    }
+  }
+}
+
+TEST(FuzzDifferential, ComputeRocMatchesBruteForce) {
+  const std::size_t iters = testing::fuzz_iterations();
+  const std::uint64_t base = testing::fuzz_base_seed();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base + it;
+    SCOPED_TRACE(testing::seed_note(seed));
+    Rng rng(seed);
+    const auto na = static_cast<std::size_t>(rng.uniform_int(1, 50));
+    const auto nl = static_cast<std::size_t>(rng.uniform_int(1, 50));
+    // Quantized scores so duplicate values and exact rate ties are common.
+    std::vector<double> attacks(na), legits(nl);
+    for (double& v : attacks) {
+      v = std::round(rng.uniform(0.0, 1.0) * 8.0) / 8.0;
+    }
+    for (double& v : legits) {
+      v = std::round(rng.uniform(0.2, 1.2) * 8.0) / 8.0;
+    }
+
+    const auto roc = eval::compute_roc(attacks, legits);
+    const auto ref = testing::naive_roc(attacks, legits);
+
+    ASSERT_EQ(roc.points.size(), ref.thresholds.size());
+    for (std::size_t i = 0; i < roc.points.size(); ++i) {
+      EXPECT_DOUBLE_EQ(roc.points[i].threshold, ref.thresholds[i]);
+      EXPECT_DOUBLE_EQ(roc.points[i].fdr, ref.fdr[i]) << "point " << i;
+      EXPECT_DOUBLE_EQ(roc.points[i].tdr, ref.tdr[i]) << "point " << i;
+    }
+    EXPECT_NEAR(roc.auc, ref.auc, 1e-12);
+    EXPECT_NEAR(roc.eer, ref.eer, 1e-12);
+    EXPECT_NEAR(roc.eer_threshold, ref.eer_threshold, 1e-9);
+  }
+}
+
+TEST(FuzzDifferential, WavRoundTripWithinQuantization) {
+  const std::size_t iters = testing::fuzz_iterations();
+  const std::uint64_t base = testing::fuzz_base_seed();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vibguard_fuzz_roundtrip.wav")
+          .string();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base + it;
+    SCOPED_TRACE(testing::seed_note(seed));
+    Rng rng(seed);
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 400));
+    const double rate = static_cast<double>(rng.uniform_int(100, 48000));
+    // Beyond [-1, 1] on purpose: clipping is part of the contract.
+    const Signal sig(random_vector(rng, len, -1.3, 1.3), rate);
+
+    write_wav(path, sig);
+    const Signal loaded = read_wav(path);
+    ASSERT_EQ(loaded.size(), sig.size());
+    EXPECT_DOUBLE_EQ(loaded.sample_rate(), rate);
+    for (std::size_t i = 0; i < sig.size(); ++i) {
+      const double clipped = std::clamp(sig[i], -1.0, 1.0);
+      const double quantized =
+          static_cast<double>(std::lround(clipped * 32767.0)) / 32767.0;
+      // Exactly the documented quantization, i.e. within half an LSB of the
+      // clipped input.
+      EXPECT_DOUBLE_EQ(loaded[i], quantized) << "sample " << i;
+      EXPECT_LE(std::abs(loaded[i] - clipped), 0.5 / 32767.0 + 1e-12)
+          << "sample " << i;
+    }
+
+    // A second round trip of already-quantized data must be exact.
+    write_wav(path, loaded);
+    const Signal again = read_wav(path);
+    ASSERT_EQ(again.size(), loaded.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+      EXPECT_DOUBLE_EQ(again[i], loaded[i]) << "sample " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vibguard

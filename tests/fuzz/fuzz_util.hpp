@@ -1,0 +1,41 @@
+// Shared knobs for the differential fuzz driver.
+//
+// Every fuzz test runs `fuzz_iterations()` randomized trials. Each trial
+// derives its own vibguard::Rng seed as fuzz_base_seed() + trial index and
+// announces it through SCOPED_TRACE, so any failure prints the exact seed
+// needed to replay it:
+//
+//   VIBGUARD_FUZZ_SEED=<seed> VIBGUARD_FUZZ_ITERS=1 ./fuzz_tests
+//
+// The tier-1 smoke slice uses the small default iteration count; the
+// `fuzz`-labeled ctest soak slice sets VIBGUARD_FUZZ_ITERS=1000.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace vibguard::testing {
+
+inline std::size_t fuzz_iterations(std::size_t smoke_default = 25) {
+  if (const char* env = std::getenv("VIBGUARD_FUZZ_ITERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return smoke_default;
+}
+
+inline std::uint64_t fuzz_base_seed() {
+  if (const char* env = std::getenv("VIBGUARD_FUZZ_SEED")) {
+    const unsigned long long v = std::strtoull(env, nullptr, 10);
+    if (v != 0) return static_cast<std::uint64_t>(v);
+  }
+  return 20260806ULL;
+}
+
+inline std::string seed_note(std::uint64_t seed) {
+  return "replay: VIBGUARD_FUZZ_SEED=" + std::to_string(seed) +
+         " VIBGUARD_FUZZ_ITERS=1";
+}
+
+}  // namespace vibguard::testing

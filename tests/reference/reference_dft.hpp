@@ -1,0 +1,37 @@
+// Deliberately naive spectral reference implementations.
+//
+// Everything in tests/reference trades speed for obviousness: O(n^2) DFT
+// sums written straight from the textbook definition, no plans, no caches,
+// no shared state. The differential fuzz driver (tests/fuzz) cross-checks
+// the optimized kernels in src/dsp against these within tight tolerances,
+// so a regression in the fast paths shows up as a numeric mismatch against
+// code simple enough to audit by eye.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vibguard::testing {
+
+using Complex = std::complex<double>;
+
+/// O(n^2) DFT by direct evaluation of X[k] = sum_n x[n] e^{-2*pi*i*k*n/N}.
+/// `inverse` evaluates the inverse transform (conjugate kernel, scaled by
+/// 1/N), matching the convention of dsp::fft / FftPlan::transform.
+std::vector<Complex> naive_dft(std::span<const Complex> x, bool inverse);
+
+/// One-sided spectrum X[0..n/2] (n/2 + 1 bins) of a real signal by direct
+/// summation — the reference for dsp::rfft / FftPlan::rfft.
+std::vector<Complex> naive_rfft(std::span<const double> x);
+
+/// One-sided magnitude spectrum |X[k]|/n — the reference for
+/// dsp::magnitude_spectrum and FftPlan::magnitude.
+std::vector<double> naive_magnitude_spectrum(std::span<const double> x);
+
+/// One-sided power spectrum (|X[k]|/n)^2 — the reference for
+/// FftPlan::power / FftPlan::windowed_power.
+std::vector<double> naive_power_spectrum(std::span<const double> x);
+
+}  // namespace vibguard::testing

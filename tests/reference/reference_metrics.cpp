@@ -1,0 +1,64 @@
+#include "reference/reference_metrics.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace vibguard::testing {
+namespace {
+
+double count_below(std::span<const double> xs, double threshold) {
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x < threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+NaiveRoc naive_roc(std::span<const double> attack_scores,
+                   std::span<const double> legit_scores) {
+  NaiveRoc roc;
+  roc.thresholds.assign(attack_scores.begin(), attack_scores.end());
+  roc.thresholds.insert(roc.thresholds.end(), legit_scores.begin(),
+                        legit_scores.end());
+  std::sort(roc.thresholds.begin(), roc.thresholds.end());
+  roc.thresholds.erase(
+      std::unique(roc.thresholds.begin(), roc.thresholds.end()),
+      roc.thresholds.end());
+  roc.thresholds.insert(roc.thresholds.begin(), roc.thresholds.front() - 1e-9);
+  roc.thresholds.push_back(roc.thresholds.back() + 1e-9);
+
+  for (double t : roc.thresholds) {
+    roc.fdr.push_back(count_below(legit_scores, t));
+    roc.tdr.push_back(count_below(attack_scores, t));
+  }
+
+  for (std::size_t i = 1; i < roc.thresholds.size(); ++i) {
+    roc.auc += (roc.fdr[i] - roc.fdr[i - 1]) * 0.5 *
+               (roc.tdr[i] + roc.tdr[i - 1]);
+  }
+
+  // EER: first adjacent pair where g = FDR - (1 - TDR) changes sign (g is
+  // -1 at the low sentinel and +1 at the high one, so a crossing exists).
+  for (std::size_t i = 1; i < roc.thresholds.size(); ++i) {
+    const double g0 = roc.fdr[i - 1] - (1.0 - roc.tdr[i - 1]);
+    const double g1 = roc.fdr[i] - (1.0 - roc.tdr[i]);
+    if (g0 == 0.0) {
+      roc.eer = roc.fdr[i - 1];
+      roc.eer_threshold = roc.thresholds[i - 1];
+      break;
+    }
+    if (g0 < 0.0 && g1 >= 0.0) {
+      const double alpha = g1 == g0 ? 0.0 : -g0 / (g1 - g0);
+      roc.eer = roc.fdr[i - 1] + alpha * (roc.fdr[i] - roc.fdr[i - 1]);
+      roc.eer_threshold =
+          roc.thresholds[i - 1] +
+          alpha * (roc.thresholds[i] - roc.thresholds[i - 1]);
+      break;
+    }
+  }
+  return roc;
+}
+
+}  // namespace vibguard::testing

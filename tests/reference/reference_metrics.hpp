@@ -1,0 +1,27 @@
+// Brute-force ROC/EER reference (see reference_dft.hpp for the philosophy).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace vibguard::testing {
+
+/// ROC computed by brute force: per-threshold rates by direct counting,
+/// AUC by trapezoid sums, EER by scanning every adjacent threshold pair
+/// for the FDR / miss-rate sign change and solving the linear crossing.
+struct NaiveRoc {
+  std::vector<double> thresholds;  ///< ascending candidate grid
+  std::vector<double> fdr;         ///< false detection rate per threshold
+  std::vector<double> tdr;         ///< true detection rate per threshold
+  double auc = 0.0;
+  double eer = 1.0;
+  double eer_threshold = 0.0;
+};
+
+/// Evaluates the ROC over every distinct score (plus sentinels just outside
+/// the score range, the grid documented by eval::compute_roc). Scores below
+/// a threshold count as detections, matching eval/metrics.hpp.
+NaiveRoc naive_roc(std::span<const double> attack_scores,
+                   std::span<const double> legit_scores);
+
+}  // namespace vibguard::testing
