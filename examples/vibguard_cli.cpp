@@ -5,6 +5,8 @@
 //   vibguard_cli experiment [--attack T] [--room R] [--trials N]
 //                                          ROC/AUC/EER for all three arms
 //   vibguard_cli attack-study              Table I style trigger study
+//   vibguard_cli fault-sweep [--fault F] [--trials N]
+//                                          EER-vs-fault-severity robustness
 //   vibguard_cli export-audio [DIR]        write demo WAV files
 //
 // All subcommands are deterministic for a fixed --seed (default 42).
@@ -22,7 +24,9 @@
 #include "core/session.hpp"
 #include "eval/confidence.hpp"
 #include "eval/experiment.hpp"
+#include "eval/fault_sweep.hpp"
 #include "eval/scenario.hpp"
+#include "faults/fault.hpp"
 #include "speech/corpus.hpp"
 
 using namespace vibguard;
@@ -33,6 +37,7 @@ struct Args {
   std::string command;
   std::string attack = "replay";
   std::string room = "A";
+  std::string fault = "all";
   std::size_t trials = 20;
   std::size_t segments = 20;
   std::uint64_t seed = 42;
@@ -48,6 +53,7 @@ Args parse(int argc, char** argv) {
       return i + 1 < argc ? argv[++i] : "";
     };
     if (flag == "--attack") args.attack = next();
+    else if (flag == "--fault") args.fault = next();
     else if (flag == "--room") args.room = next();
     else if (flag == "--trials") args.trials = std::stoul(next());
     else if (flag == "--segments") args.segments = std::stoul(next());
@@ -170,6 +176,26 @@ int cmd_attack_study(const Args& args) {
   return 0;
 }
 
+int cmd_fault_sweep(const Args& args) {
+  std::vector<faults::FaultKind> kinds;
+  if (args.fault == "all") {
+    kinds = faults::all_fault_kinds();
+  } else {
+    kinds.push_back(faults::fault_by_name(args.fault));
+  }
+  for (faults::FaultKind kind : kinds) {
+    eval::FaultSweepConfig cfg;
+    cfg.scenario.room = acoustics::room_by_name(args.room);
+    cfg.attack = attack_by_name(args.attack);
+    cfg.legit_trials = args.trials;
+    cfg.attack_trials = args.trials;
+    cfg.fault = kind;
+    const auto result = eval::run_fault_sweep(cfg, args.seed);
+    std::printf("%s", result.summary().c_str());
+  }
+  return 0;
+}
+
 int cmd_export_audio(const Args& args) {
   std::filesystem::create_directories(args.dir);
   Rng rng(args.seed);
@@ -194,8 +220,11 @@ void usage() {
       "  selection       run offline phoneme selection\n"
       "  experiment      ROC/AUC/EER for all three evaluation arms\n"
       "  attack-study    VA trigger probabilities vs SPL\n"
+      "  fault-sweep     EER vs fault severity (robustness curves)\n"
       "  export-audio    write demo WAV files\n"
       "options: --attack random|replay|synthesis|hidden_voice\n"
+      "         --fault all|dropout|clipping|stuck_at|clock_drift|burst|\n"
+      "                 truncation|non_finite\n"
       "         --room A|B|C|D  --trials N  --segments N  --seed S\n");
 }
 
@@ -208,6 +237,7 @@ int main(int argc, char** argv) {
     if (args.command == "selection") return cmd_selection(args);
     if (args.command == "experiment") return cmd_experiment(args);
     if (args.command == "attack-study") return cmd_attack_study(args);
+    if (args.command == "fault-sweep") return cmd_fault_sweep(args);
     if (args.command == "export-audio") return cmd_export_audio(args);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -32,7 +32,17 @@ void ThreadPool::parallel_for_indexed(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (workers_.empty() || count < 2) {
-    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    // Same exception semantics as the threaded path: remember the first
+    // failure, drain the remaining iterations, rethrow at the join point.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(0, i);
+      } catch (...) {
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    }
+    if (first_error != nullptr) std::rethrow_exception(first_error);
     return;
   }
   std::unique_lock<std::mutex> lock(mutex_);

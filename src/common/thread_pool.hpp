@@ -35,7 +35,10 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [0, count) and blocks until all calls have
   /// returned. Iterations may run in any order and on any worker; the first
-  /// exception thrown by fn is rethrown here after the loop drains.
+  /// exception thrown by fn is rethrown here after the loop drains — every
+  /// iteration is attempted exactly once regardless of earlier failures,
+  /// in the serial fallback as well as the threaded path, and an exception
+  /// never reaches std::terminate.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 

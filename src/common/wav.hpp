@@ -2,21 +2,39 @@
 // listening and imported from real recordings.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/signal.hpp"
 
 namespace vibguard {
 
-/// Writes `signal` as a mono 16-bit PCM WAV file. Samples are clipped to
-/// [-1, 1] and quantized as round(s * 32767). Throws Error on I/O failure.
+/// Encodes `signal` as a mono 16-bit PCM WAV byte stream. Samples are
+/// clipped to [-1, 1] and quantized as round(s * 32767).
+std::vector<std::uint8_t> encode_wav(const Signal& signal);
+
+/// Decodes a 16-bit PCM WAV byte stream. Samples are rescaled by the same
+/// 32767 constant encode_wav uses, so encode -> decode round trips are
+/// exact for already-quantized signals and within 0.5/32767 otherwise.
+/// Multichannel streams are downmixed to mono by averaging the channels.
+///
+/// Hardened against malformed input — bad magic, short reads, chunk sizes
+/// claiming more bytes than present, zero sample rates, unsupported
+/// formats — every such stream raises Error (never UB or a crash). A final
+/// data chunk cut off mid-stream (the classic interrupted-upload
+/// truncation) is tolerated: the samples actually present are decoded.
+/// `context` names the source in error messages (e.g. the file path).
+Signal decode_wav(std::span<const std::uint8_t> bytes,
+                  const std::string& context = "<memory>");
+
+/// Writes `signal` as a mono 16-bit PCM WAV file (encode_wav + file I/O).
+/// Throws Error on I/O failure.
 void write_wav(const std::string& path, const Signal& signal);
 
-/// Reads a 16-bit PCM WAV file. Samples are rescaled by the same 32767
-/// constant write_wav uses, so write_wav -> read_wav round trips are exact
-/// for already-quantized signals and within 0.5/32767 otherwise.
-/// Multichannel files are downmixed to mono by averaging the channels.
-/// Throws Error on malformed input or I/O failure.
+/// Reads a WAV file through decode_wav. Throws Error on malformed input or
+/// I/O failure.
 Signal read_wav(const std::string& path);
 
 }  // namespace vibguard

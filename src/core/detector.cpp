@@ -12,7 +12,12 @@ CorrelationDetector::CorrelationDetector(double threshold)
 
 double CorrelationDetector::score(const dsp::Spectrogram& wearable,
                                   const dsp::Spectrogram& va) const {
-  return dsp::correlation_2d(wearable, va);
+  const dsp::Correlation2dResult r = dsp::correlation_2d_ex(wearable, va);
+  // Degenerate feature pairs (empty overlap, zero variance, NaN/Inf
+  // contamination) have no meaningful correlation: return the documented
+  // sentinel rather than a fake 0, so a plain threshold comparison fails
+  // closed and quality-aware callers can report "indeterminate".
+  return r.degenerate ? kIndeterminateScore : r.value;
 }
 
 DetectionResult CorrelationDetector::detect(const dsp::Spectrogram& wearable,

@@ -8,6 +8,8 @@
 // training data is required.
 #pragma once
 
+#include <cmath>
+
 #include "dsp/stft.hpp"
 
 namespace vibguard::core {
@@ -17,6 +19,23 @@ struct DetectionResult {
   bool is_attack;   ///< score fell below the threshold
 };
 
+/// Sentinel returned by CorrelationDetector::score when no meaningful
+/// correlation exists (empty features, zero variance, NaN/Inf-contaminated
+/// input). It is finite and strictly below every valid correlation (and
+/// every valid threshold), so naive threshold comparisons fail closed — a
+/// degenerate trial reads as an attack, never as a legitimate command —
+/// while quality-aware callers (DefenseSystem::try_score) detect it with
+/// is_indeterminate_score and report the trial as unscoreable instead.
+inline constexpr double kIndeterminateScore = -2.0;
+
+/// True for the sentinel and for any non-finite value (defense in depth:
+/// a NaN leaking from an unexpected path is also "not a real score").
+/// Deliberately NOT a range check — floating-point rounding can push a
+/// genuine correlation infinitesimally past ±1.
+inline bool is_indeterminate_score(double score) {
+  return score == kIndeterminateScore || !std::isfinite(score);
+}
+
 class CorrelationDetector {
  public:
   /// `threshold` is the minimum correlation accepted as legitimate.
@@ -25,7 +44,9 @@ class CorrelationDetector {
   double threshold() const { return threshold_; }
 
   /// Similarity score of two feature spectrograms (Eq. 6). Operands are
-  /// compared over their overlapping frame range.
+  /// compared over their overlapping frame range. Returns
+  /// kIndeterminateScore when the correlation is degenerate (empty overlap,
+  /// zero variance, non-finite input) — see is_indeterminate_score.
   double score(const dsp::Spectrogram& wearable,
                const dsp::Spectrogram& va) const;
 

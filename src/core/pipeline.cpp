@@ -17,6 +17,15 @@ const char* mode_name(DefenseMode mode) {
   VIBGUARD_UNREACHABLE();
 }
 
+const char* score_status_name(ScoreStatus status) {
+  switch (status) {
+    case ScoreStatus::kOk: return "ok";
+    case ScoreStatus::kIndeterminate: return "indeterminate";
+    case ScoreStatus::kError: return "error";
+  }
+  VIBGUARD_UNREACHABLE();
+}
+
 DefenseSystem::DefenseSystem(DefenseConfig config)
     : config_(std::move(config)),
       wearable_(config_.wearable),
@@ -60,6 +69,8 @@ double DefenseSystem::score(const Signal& va_recording,
   ctx.trace = trace;
 
   if (trace != nullptr) trace->begin_run();
+  workspace.quality.clear();
+  workspace.current_stage = "";
 
   using Clock = std::chrono::steady_clock;
   const auto run_start = Clock::now();
@@ -68,6 +79,7 @@ double DefenseSystem::score(const Signal& va_recording,
     const std::uint64_t allocs_before = allocation_count();
     const auto stage_start = Clock::now();
     ctx.stage_samples_out = 0;
+    workspace.current_stage = stage->name();
     stage->run(ctx);
     const auto stage_end = Clock::now();
     if (trace != nullptr) {
@@ -87,13 +99,63 @@ double DefenseSystem::score(const Signal& va_recording,
       trace->stages.push_back(record);
     }
     samples_in = ctx.stage_samples_out;
+    // The quality gate decided the trial cannot be scored trustworthily:
+    // skip the remaining stages and report the sentinel.
+    if (ctx.halted) {
+      ctx.score = kIndeterminateScore;
+      break;
+    }
   }
 
   if (trace != nullptr) {
     trace->features_va = workspace.feat_va;
     trace->features_wearable = workspace.feat_wear;
+    trace->quality = workspace.quality;
   }
   return ctx.score;
+}
+
+ScoreOutcome DefenseSystem::try_score(const Signal& va_recording,
+                                      const Signal& wearable_recording,
+                                      const Segmenter* segmenter, Rng& rng,
+                                      Workspace& workspace,
+                                      PipelineTrace* trace) const {
+  ScoreOutcome outcome;
+  // The plain API treats empty inputs as caller errors; here they are a
+  // deployment reality (absent wearable capture, zero-length upload) and
+  // map to a structured indeterminate outcome.
+  if (va_recording.empty() || wearable_recording.empty()) {
+    outcome.status = ScoreStatus::kIndeterminate;
+    outcome.reason = "empty_input";
+    outcome.quality.scoreable = false;
+    outcome.quality.reason = "empty_input";
+    return outcome;
+  }
+  workspace.current_stage = "precheck";  // config errors throw before stage 1
+  // A throw before the stage driver's own clear() (e.g. a missing
+  // segmenter) must not leak the previous trial's quality report out of a
+  // reused workspace.
+  workspace.quality.clear();
+  try {
+    const double s = score(va_recording, wearable_recording, segmenter, rng,
+                           workspace, trace);
+    outcome.quality = workspace.quality;
+    if (is_indeterminate_score(s)) {
+      outcome.status = ScoreStatus::kIndeterminate;
+      outcome.reason = workspace.quality.scoreable
+                           ? "degenerate_features"
+                           : workspace.quality.reason;
+    } else {
+      outcome.status = ScoreStatus::kOk;
+      outcome.score = s;
+    }
+  } catch (const std::exception& e) {
+    outcome.status = ScoreStatus::kError;
+    outcome.reason = workspace.current_stage;
+    outcome.error = e.what();
+    outcome.quality = workspace.quality;
+  }
+  return outcome;
 }
 
 void DefenseSystem::score_batch(std::span<const ScoreRequest> requests,
@@ -130,6 +192,41 @@ void DefenseSystem::score_batch(std::span<const ScoreRequest> requests,
         Rng rng = req.rng;
         out[i] = score(*req.va, *req.wearable, req.segmenter, rng,
                        workspaces[worker]);
+      });
+}
+
+void DefenseSystem::score_batch(std::span<const ScoreRequest> requests,
+                                std::span<ScoreOutcome> out,
+                                Workspace& workspace, PipelineTrace* trace,
+                                PipelineStats* stats) const {
+  VIBGUARD_REQUIRE(out.size() == requests.size(),
+                   "output span must match the request count");
+  PipelineTrace local_trace;
+  PipelineTrace* sink =
+      trace != nullptr ? trace : (stats != nullptr ? &local_trace : nullptr);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ScoreRequest& req = requests[i];
+    Rng rng = req.rng;  // each request scores from its own stream copy
+    out[i] = try_score(*req.va, *req.wearable, req.segmenter, rng, workspace,
+                       sink);
+    if (stats != nullptr) stats->add(*sink);
+  }
+}
+
+void DefenseSystem::score_batch(std::span<const ScoreRequest> requests,
+                                std::span<ScoreOutcome> out, ThreadPool& pool,
+                                std::span<Workspace> workspaces) const {
+  VIBGUARD_REQUIRE(out.size() == requests.size(),
+                   "output span must match the request count");
+  const std::size_t needed = std::max<std::size_t>(1, pool.num_threads());
+  VIBGUARD_REQUIRE(workspaces.size() >= needed,
+                   "need one workspace per pool worker");
+  pool.parallel_for_indexed(
+      requests.size(), [&](std::size_t worker, std::size_t i) {
+        const ScoreRequest& req = requests[i];
+        Rng rng = req.rng;
+        out[i] = try_score(*req.va, *req.wearable, req.segmenter, rng,
+                           workspaces[worker]);
       });
 }
 

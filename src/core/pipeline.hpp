@@ -63,6 +63,12 @@ struct DefenseConfig {
   // Audio-baseline spectrogram parameters (16 kHz recordings).
   std::size_t audio_window = 512;
   std::size_t audio_hop = 128;
+
+  /// Signal-quality gate (see core/quality.hpp). The default permissive
+  /// gate only halts on inputs no pipeline could score (non-finite samples,
+  /// dead channels, too-short captures); healthy trials score bit-identical
+  /// whether the gate is on or off.
+  QualityConfig quality;
 };
 
 /// One command to score through the batch API. The signals are borrowed
@@ -73,6 +79,34 @@ struct ScoreRequest {
   const Signal* wearable = nullptr;
   const Segmenter* segmenter = nullptr;  ///< required in kFull mode
   Rng rng;
+};
+
+/// How one trial through the quality-aware scoring API ended.
+enum class ScoreStatus {
+  kOk,             ///< pipeline produced a real correlation score
+  kIndeterminate,  ///< quality gate halted the run / degenerate features
+  kError,          ///< a stage threw; the exception was captured per-trial
+};
+
+/// Human-readable status name.
+const char* score_status_name(ScoreStatus status);
+
+/// Structured per-trial outcome of the exception-safe scoring API. Exactly
+/// one of the three shapes occurs:
+///   kOk            — `score` is a real correlation in [-1, 1].
+///   kIndeterminate — `score` is kIndeterminateScore; `reason` names the
+///                    gate decision ("non_finite_samples", "too_short", …)
+///                    or "degenerate_features"; `quality` has the details.
+///   kError         — a stage threw; `reason` is the stage name and `error`
+///                    the exception message. The batch continues.
+struct ScoreOutcome {
+  ScoreStatus status = ScoreStatus::kOk;
+  double score = kIndeterminateScore;
+  const char* reason = "";   ///< static string; "" when kOk
+  std::string error;         ///< exception message; empty unless kError
+  QualityReport quality;     ///< the run's quality report (all statuses)
+
+  bool ok() const { return status == ScoreStatus::kOk; }
 };
 
 /// The training-free thru-barrier attack detection system.
@@ -86,7 +120,10 @@ class DefenseSystem {
   /// Scores one command: higher = more likely legitimate. `segmenter`
   /// supplies sensitive-phoneme ranges and is required in kFull mode
   /// (ignored in the baseline modes). `trace`, when non-null, receives
-  /// intermediate artifacts and per-stage instrumentation.
+  /// intermediate artifacts and per-stage instrumentation. When the quality
+  /// gate halts the run, or the features are degenerate, the return value
+  /// is kIndeterminateScore (fails closed under a plain threshold test);
+  /// use try_score for the structured outcome.
   double score(const Signal& va_recording, const Signal& wearable_recording,
                const Segmenter* segmenter, Rng& rng,
                PipelineTrace* trace = nullptr) const;
@@ -97,6 +134,16 @@ class DefenseSystem {
   double score(const Signal& va_recording, const Signal& wearable_recording,
                const Segmenter* segmenter, Rng& rng, Workspace& workspace,
                PipelineTrace* trace = nullptr) const;
+
+  /// Exception-safe, quality-aware scoring: never throws for malformed
+  /// inputs. Empty recordings, gate-halted runs and degenerate features
+  /// yield kIndeterminate; a throwing stage yields kError with the stage
+  /// name and message. Healthy inputs score bit-identical to score().
+  ScoreOutcome try_score(const Signal& va_recording,
+                         const Signal& wearable_recording,
+                         const Segmenter* segmenter, Rng& rng,
+                         Workspace& workspace,
+                         PipelineTrace* trace = nullptr) const;
 
   /// Scores `requests.size()` commands into `out` (same size required),
   /// reusing one workspace across the whole batch. Each request's scoring
@@ -114,6 +161,21 @@ class DefenseSystem {
   /// are bit-identical to the serial overload at any thread count.
   void score_batch(std::span<const ScoreRequest> requests,
                    std::span<double> out, ThreadPool& pool,
+                   std::span<Workspace> workspaces) const;
+
+  /// Outcome batch (serial): like the plain serial score_batch but every
+  /// trial ends in a structured ScoreOutcome — a bad trial never aborts the
+  /// batch or poisons its neighbours. Healthy trials score bit-identical to
+  /// the plain API.
+  void score_batch(std::span<const ScoreRequest> requests,
+                   std::span<ScoreOutcome> out, Workspace& workspace,
+                   PipelineTrace* trace = nullptr,
+                   PipelineStats* stats = nullptr) const;
+
+  /// Outcome batch (parallel): per-trial isolation at any thread count,
+  /// bit-identical outcomes to the serial outcome overload.
+  void score_batch(std::span<const ScoreRequest> requests,
+                   std::span<ScoreOutcome> out, ThreadPool& pool,
                    std::span<Workspace> workspaces) const;
 
   /// Full detection decision at the configured threshold.

@@ -5,18 +5,75 @@
 #include "common/error.hpp"
 
 namespace vibguard::core {
+namespace {
+
+/// Retry forks are labeled from this base ("Retr") so they are decorrelated
+/// from every other consumer of the command's rng stream.
+constexpr std::uint64_t kRetryForkLabel = 0x52657472ULL;
+
+double nan_score() { return std::numeric_limits<double>::quiet_NaN(); }
+
+/// Audit-log phrasing of an unscoreable outcome.
+std::string outcome_note(const ScoreOutcome& outcome) {
+  if (outcome.status == ScoreStatus::kError) {
+    return std::string("error at stage ") + outcome.reason + ": " +
+           outcome.error;
+  }
+  return outcome.reason;
+}
+
+}  // namespace
 
 const char* verdict_name(Verdict verdict) {
   switch (verdict) {
     case Verdict::kAccepted: return "accepted";
     case Verdict::kAttackDetected: return "attack_detected";
     case Verdict::kWearableAbsent: return "wearable_absent";
+    case Verdict::kIndeterminate: return "indeterminate";
   }
   VIBGUARD_UNREACHABLE();
 }
 
-DefenseSession::DefenseSession(DefenseConfig config)
-    : system_(std::move(config)) {}
+DefenseSession::DefenseSession(DefenseConfig config, SessionPolicy policy)
+    : system_(std::move(config)), policy_(policy) {}
+
+void DefenseSession::score_with_retries(SessionEvent& event, const Signal& va,
+                                        const Signal& wearable,
+                                        const Segmenter* segmenter,
+                                        const Rng& base, Rng& rng) {
+  ScoreOutcome outcome =
+      system_.try_score(va, wearable, segmenter, rng, workspace_, &trace_);
+  pipeline_stats_.add(trace_);
+  // An unscoreable command models as a re-request: retry on a decorrelated
+  // fork of the command's entry stream. Forking from `base` (not from the
+  // advanced caller stream) keeps sequential and batch processing
+  // bit-identical.
+  for (std::size_t attempt = 1;
+       !outcome.ok() && attempt <= policy_.max_retries; ++attempt) {
+    Rng retry_rng = base.fork(kRetryForkLabel + attempt);
+    outcome = system_.try_score(va, wearable, segmenter, retry_rng,
+                                workspace_, &trace_);
+    pipeline_stats_.add(trace_);
+    ++stats_.retries;
+    event.attempts = attempt + 1;
+  }
+
+  if (outcome.ok()) {
+    event.score = outcome.score;
+    if (outcome.score < system_.config().detection_threshold) {
+      event.verdict = Verdict::kAttackDetected;
+      ++stats_.attacks_detected;
+    } else {
+      event.verdict = Verdict::kAccepted;
+      ++stats_.accepted;
+    }
+  } else {
+    event.verdict = Verdict::kIndeterminate;
+    event.score = nan_score();
+    event.note = outcome_note(outcome);
+    ++stats_.indeterminate;
+  }
+}
 
 SessionEvent DefenseSession::process(
     const std::string& label, const Signal& va_recording,
@@ -25,7 +82,7 @@ SessionEvent DefenseSession::process(
   SessionEvent event;
   event.index = log_.size();
   event.label = label;
-  event.score = std::numeric_limits<double>::quiet_NaN();
+  event.score = nan_score();
 
   if (!wearable_recording.has_value()) {
     // Threat-model policy (Sec. II): "Our defense system rejects voice
@@ -33,17 +90,9 @@ SessionEvent DefenseSession::process(
     event.verdict = Verdict::kWearableAbsent;
     ++stats_.wearable_absent;
   } else {
-    const double score = system_.score(va_recording, *wearable_recording,
-                                       segmenter, rng, workspace_, &trace_);
-    pipeline_stats_.add(trace_);
-    event.score = score;
-    if (score < system_.config().detection_threshold) {
-      event.verdict = Verdict::kAttackDetected;
-      ++stats_.attacks_detected;
-    } else {
-      event.verdict = Verdict::kAccepted;
-      ++stats_.accepted;
-    }
+    const Rng base = rng;  // entry-point stream, for retry forks
+    score_with_retries(event, va_recording, *wearable_recording, segmenter,
+                       base, rng);
   }
   ++stats_.processed;
   log_.push_back(event);
@@ -62,9 +111,9 @@ std::vector<SessionEvent> DefenseSession::process_batch(
     to_score.push_back(
         ScoreRequest{req.va, req.wearable, req.segmenter, req.rng});
   }
-  std::vector<double> scores(to_score.size());
-  system_.score_batch(to_score, scores, workspace_, &trace_,
-                      &pipeline_stats_);
+  std::vector<ScoreOutcome> outcomes(to_score.size());
+  system_.score_batch(to_score, std::span<ScoreOutcome>(outcomes), workspace_,
+                      &trace_, &pipeline_stats_);
 
   std::vector<SessionEvent> events;
   events.reserve(requests.size());
@@ -74,18 +123,36 @@ std::vector<SessionEvent> DefenseSession::process_batch(
     SessionEvent event;
     event.index = log_.size();
     event.label = req.label;
-    event.score = std::numeric_limits<double>::quiet_NaN();
+    event.score = nan_score();
     if (req.wearable == nullptr) {
       event.verdict = Verdict::kWearableAbsent;
       ++stats_.wearable_absent;
     } else {
-      event.score = scores[next_scored++];
-      if (event.score < system_.config().detection_threshold) {
-        event.verdict = Verdict::kAttackDetected;
-        ++stats_.attacks_detected;
+      ScoreOutcome outcome = outcomes[next_scored++];
+      // Retry unscoreable commands exactly as process() does: forks of the
+      // request's own stream, so batch and sequential processing agree.
+      for (std::size_t attempt = 1;
+           !outcome.ok() && attempt <= policy_.max_retries; ++attempt) {
+        Rng retry_rng = req.rng.fork(kRetryForkLabel + attempt);
+        outcome = system_.try_score(*req.va, *req.wearable, req.segmenter,
+                                    retry_rng, workspace_, &trace_);
+        pipeline_stats_.add(trace_);
+        ++stats_.retries;
+        event.attempts = attempt + 1;
+      }
+      if (outcome.ok()) {
+        event.score = outcome.score;
+        if (event.score < system_.config().detection_threshold) {
+          event.verdict = Verdict::kAttackDetected;
+          ++stats_.attacks_detected;
+        } else {
+          event.verdict = Verdict::kAccepted;
+          ++stats_.accepted;
+        }
       } else {
-        event.verdict = Verdict::kAccepted;
-        ++stats_.accepted;
+        event.verdict = Verdict::kIndeterminate;
+        event.note = outcome_note(outcome);
+        ++stats_.indeterminate;
       }
     }
     ++stats_.processed;

@@ -21,9 +21,23 @@ enum class Verdict {
   kAccepted,
   kAttackDetected,
   kWearableAbsent,
+  /// The command could not be scored trustworthily (quality gate halted,
+  /// degenerate features, or a pipeline error) even after the configured
+  /// retries. Distinct from kAttackDetected: the integration should
+  /// re-request the command rather than treat the user as hostile.
+  kIndeterminate,
 };
 
 const char* verdict_name(Verdict verdict);
+
+/// Session-level deployment policy.
+struct SessionPolicy {
+  /// How many times an unscoreable command is re-scored (modeling a
+  /// re-request) before the session settles on kIndeterminate. Retries draw
+  /// from a decorrelated fork of the command's rng stream, so they are
+  /// deterministic but independent of the first attempt.
+  std::size_t max_retries = 1;
+};
 
 /// One processed command in the audit log.
 struct SessionEvent {
@@ -31,6 +45,8 @@ struct SessionEvent {
   std::string label;    ///< caller-provided description (e.g. command text)
   Verdict verdict;
   double score;          ///< correlation score; NaN when not computed
+  std::string note;      ///< why kIndeterminate ("" otherwise)
+  std::size_t attempts = 1;  ///< scoring attempts (1 + retries used)
 };
 
 /// Aggregate statistics of a session.
@@ -39,6 +55,8 @@ struct SessionStats {
   std::size_t accepted = 0;
   std::size_t attacks_detected = 0;
   std::size_t wearable_absent = 0;
+  std::size_t indeterminate = 0;
+  std::size_t retries = 0;  ///< extra scoring attempts across all commands
 };
 
 /// One command for DefenseSession::process_batch. Signals are borrowed and
@@ -55,7 +73,10 @@ struct SessionRequest {
 /// Stateful defense endpoint for a stream of commands.
 class DefenseSession {
  public:
-  explicit DefenseSession(DefenseConfig config = {});
+  explicit DefenseSession(DefenseConfig config = {},
+                          SessionPolicy policy = {});
+
+  const SessionPolicy& policy() const { return policy_; }
 
   /// Processes one command. `wearable_recording` is nullopt when no paired
   /// wearable responded (policy: reject). `segmenter` as in DefenseSystem.
@@ -81,7 +102,16 @@ class DefenseSession {
   void reset();
 
  private:
+  /// Scores one wearable-present command with retry-on-unscoreable, filling
+  /// the event's score/verdict/note/attempts and updating the statistics.
+  /// `base` is the command's rng stream at entry (retries fork from it);
+  /// `rng` is the stream attempt 0 consumes.
+  void score_with_retries(SessionEvent& event, const Signal& va,
+                          const Signal& wearable, const Segmenter* segmenter,
+                          const Rng& base, Rng& rng);
+
   DefenseSystem system_;
+  SessionPolicy policy_;
   Workspace workspace_;
   PipelineTrace trace_;
   PipelineStats pipeline_stats_;

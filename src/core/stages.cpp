@@ -8,6 +8,20 @@
 
 namespace vibguard::core {
 
+const QualityStage& QualityStage::instance() {
+  static const QualityStage stage;
+  return stage;
+}
+
+void QualityStage::run(PipelineContext& ctx) const {
+  Workspace& ws = *ctx.ws;
+  assess_pair(*ctx.va_in, *ctx.wear_in, ctx.config->quality, ws.quality);
+  if (!ws.quality.scoreable) ctx.halted = true;
+  // Pass-through for the instrumentation dataflow chain: the inputs reach
+  // the next stage unmodified.
+  ctx.stage_samples_out = ctx.va_in->size() + ctx.wear_in->size();
+}
+
 const SyncStage& SyncStage::instance() {
   static const SyncStage stage;
   return stage;
@@ -27,6 +41,25 @@ void SyncStage::run(PipelineContext& ctx) const {
     // Baseline modes score the whole synchronized command; SegmentStage
     // narrows this in kFull mode.
     ctx.trace->segment_seconds = ws.va_sync.duration();
+  }
+
+  // Post-alignment quality flags, routed through the same gate as the raw
+  // input assessment. A delay estimate pinned at the edge of the
+  // cross-correlation search window usually means the true offset lies
+  // beyond it (e.g. severe clock drift) and the "alignment" is arbitrary;
+  // an overlap shorter than the minimum duration cannot carry a score.
+  const QualityConfig& qcfg = ctx.config->quality;
+  const double rate = ctx.va_in->sample_rate();
+  std::uint32_t extra = 0;
+  if (ws.va_sync.duration() < qcfg.min_duration_s) extra |= kIssueTooShort;
+  if (rate > 0.0 &&
+      std::abs(ctx.delay_s) >= ctx.sync->config().max_search_s - 1.5 / rate) {
+    extra |= kIssueDesync;
+  }
+  if (extra != 0) {
+    ws.quality.issues |= extra;
+    apply_gate(qcfg, ws.quality);
+    if (!ws.quality.scoreable) ctx.halted = true;
   }
   ctx.stage_samples_out = ws.va_sync.size() + ws.wear_sync.size();
 }
@@ -126,17 +159,18 @@ void CorrelateStage::run(PipelineContext& ctx) const {
 
 std::span<const Stage* const> stage_sequence(DefenseMode mode) {
   static const Stage* const kFullSequence[] = {
-      &SyncStage::instance(),           &SegmentStage::instance(),
+      &QualityStage::instance(),          &SyncStage::instance(),
+      &SegmentStage::instance(),          &VibrationCaptureStage::instance(),
+      &FeatureStage::instance(),          &CorrelateStage::instance(),
+  };
+  static const Stage* const kVibrationSequence[] = {
+      &QualityStage::instance(), &SyncStage::instance(),
       &VibrationCaptureStage::instance(), &FeatureStage::instance(),
       &CorrelateStage::instance(),
   };
-  static const Stage* const kVibrationSequence[] = {
-      &SyncStage::instance(), &VibrationCaptureStage::instance(),
-      &FeatureStage::instance(), &CorrelateStage::instance(),
-  };
   static const Stage* const kAudioSequence[] = {
-      &SyncStage::instance(), &AudioFeatureStage::instance(),
-      &CorrelateStage::instance(),
+      &QualityStage::instance(), &SyncStage::instance(),
+      &AudioFeatureStage::instance(), &CorrelateStage::instance(),
   };
   switch (mode) {
     case DefenseMode::kFull: return kFullSequence;

@@ -10,10 +10,17 @@
 //
 // The three DefenseModes are stage sequences:
 //
-//   kFull              sync → segment → vibration_capture → features →
+//   kFull              quality → sync → segment → vibration_capture →
+//                      features → correlate
+//   kVibrationBaseline quality → sync → vibration_capture → features →
 //                      correlate
-//   kVibrationBaseline sync → vibration_capture → features → correlate
-//   kAudioBaseline     sync → audio_features → correlate
+//   kAudioBaseline     quality → sync → audio_features → correlate
+//
+// QualityStage (core/quality.hpp) measures the raw input pair and — per the
+// configured QualityConfig::Gate — may halt the run: the driver then skips
+// the remaining stages and reports kIndeterminateScore instead of scoring
+// garbage. SyncStage raises additional flags (too-short overlap, delay
+// pinned at the search-window edge) through the same gate.
 //
 // A Workspace owns every reusable buffer one scoring thread needs. After a
 // few warm-up commands all buffers reach their high-water capacity and
@@ -28,6 +35,7 @@
 #include "common/rng.hpp"
 #include "common/signal.hpp"
 #include "core/detector.hpp"
+#include "core/quality.hpp"
 #include "core/segmentation.hpp"
 #include "core/trace.hpp"
 #include "core/vibration_features.hpp"
@@ -65,6 +73,14 @@ struct Workspace {
   // FeatureStage / AudioFeatureStage outputs.
   dsp::Spectrogram feat_va;
   dsp::Spectrogram feat_wear;
+
+  // QualityStage output (SyncStage may add flags); cleared by the driver at
+  // the start of every run.
+  QualityReport quality;
+
+  /// The stage currently executing (static name), for structured error
+  /// reports when a stage throws. Maintained by the pipeline driver.
+  const char* current_stage = "";
 };
 
 /// Everything one pipeline run reads and writes. Collaborator pointers are
@@ -103,6 +119,11 @@ struct PipelineContext {
   /// The pipeline's result, written by CorrelateStage.
   double score = 0.0;
 
+  /// Set by a stage when the quality gate decides the trial cannot be
+  /// scored trustworthily; the driver stops executing stages and reports
+  /// kIndeterminateScore (the structured reason lives in ws->quality).
+  bool halted = false;
+
   /// Set by each stage for instrumentation: elements it produced. The
   /// driver feeds it forward as the next stage's samples_in.
   std::size_t stage_samples_out = 0;
@@ -116,6 +137,17 @@ class Stage {
   virtual ~Stage() = default;
   virtual const char* name() const = 0;
   virtual void run(PipelineContext& ctx) const = 0;
+};
+
+/// Signal-quality gate (see core/quality.hpp): measures both raw inputs
+/// (clipping, gaps, DC offset, dead channels, non-finite contamination,
+/// too-short captures) into Workspace::quality and halts the run when the
+/// configured gate deems the pair unscoreable. Always first in every mode.
+class QualityStage final : public Stage {
+ public:
+  const char* name() const override { return "quality"; }
+  void run(PipelineContext& ctx) const override;
+  static const QualityStage& instance();
 };
 
 /// Cross-device synchronization (paper Sec. VI-A): estimates the network

@@ -10,6 +10,7 @@ void PipelineTrace::begin_run() {
   estimated_delay_s = 0.0;
   num_ranges = 0;
   segment_seconds = 0.0;
+  quality.clear();
   stages.clear();
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/quality.hpp"
 #include "dsp/stft.hpp"
 
 namespace vibguard::core {
@@ -37,7 +38,12 @@ struct PipelineTrace {
   dsp::Spectrogram features_va;
   dsp::Spectrogram features_wearable;
 
-  /// One record per executed stage, in execution order.
+  /// Signal-quality report of the run (copied from the workspace at the end
+  /// of the run; meaningful for halted runs too).
+  QualityReport quality;
+
+  /// One record per executed stage, in execution order. Halted runs only
+  /// record the stages that actually executed.
   std::vector<StageTrace> stages;
 
   /// Resets the scalar fields and stage records for the next run while

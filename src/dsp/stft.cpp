@@ -151,10 +151,15 @@ void stft_power_into(const Signal& signal, std::size_t window_size,
 }
 
 double correlation_2d(const Spectrogram& a, const Spectrogram& b) {
+  return correlation_2d_ex(a, b).value;
+}
+
+Correlation2dResult correlation_2d_ex(const Spectrogram& a,
+                                      const Spectrogram& b) {
   VIBGUARD_REQUIRE(a.bins() == b.bins(),
                    "2-D correlation requires matching bin counts");
   const std::size_t frames = std::min(a.frames(), b.frames());
-  if (frames == 0 || a.bins() == 0) return 0.0;
+  if (frames == 0 || a.bins() == 0) return {0.0, true};
   const std::size_t n = frames * a.bins();
   // Single fused accumulation of all five moments (instead of separate
   // mean passes followed by a centered pass).
@@ -174,8 +179,15 @@ double correlation_2d(const Spectrogram& a, const Spectrogram& b) {
   const double cov = sab - sa * sb * inv_n;
   const double var_a = saa - sa * sa * inv_n;
   const double var_b = sbb - sb * sb * inv_n;
-  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
-  return cov / std::sqrt(var_a * var_b);
+  // NaN anywhere in the inputs poisons the moments; the comparisons below
+  // are written so a NaN variance lands in the degenerate branch instead of
+  // propagating into the score.
+  if (!(var_a > 0.0) || !(var_b > 0.0) || !std::isfinite(cov)) {
+    return {0.0, true};
+  }
+  const double r = cov / std::sqrt(var_a * var_b);
+  if (!std::isfinite(r)) return {0.0, true};
+  return {r, false};
 }
 
 }  // namespace vibguard::dsp

@@ -96,7 +96,21 @@ void stft_power_into(const Signal& signal, std::size_t window_size,
 
 /// 2-D Pearson correlation of two equal-shaped spectrograms (paper Eq. 6).
 /// Shorter inputs are compared over the overlapping frame range; returns 0
-/// if either operand has zero variance over that range.
+/// if the correlation is degenerate (see correlation_2d_ex).
 double correlation_2d(const Spectrogram& a, const Spectrogram& b);
+
+/// correlation_2d result with an explicit degeneracy flag. `degenerate` is
+/// true when no meaningful correlation exists: the overlap is empty, either
+/// operand has zero variance over it, or the inputs contain non-finite
+/// values; `value` is 0 in that case. Callers that must distinguish "truly
+/// uncorrelated" from "cannot be correlated" (core/detector.hpp) use this
+/// instead of the plain wrapper.
+struct Correlation2dResult {
+  double value = 0.0;
+  bool degenerate = false;
+};
+
+Correlation2dResult correlation_2d_ex(const Spectrogram& a,
+                                      const Spectrogram& b);
 
 }  // namespace vibguard::dsp

@@ -38,10 +38,15 @@ struct ExperimentConfig {
   std::size_t threads = 0;
 };
 
-/// Attack and legitimate score populations for one defense mode.
+/// Attack and legitimate score populations for one defense mode. Trials
+/// whose outcome was not a real score (quality-gated, degenerate, or a
+/// captured per-trial error) are excluded from the populations and counted
+/// in the *_unscored tallies, so one bad trial cannot poison the curve.
 struct ScorePopulations {
   std::vector<double> legit;
   std::vector<double> attack;
+  std::size_t legit_unscored = 0;
+  std::size_t attack_unscored = 0;
 
   RocCurve roc() const;
 };

@@ -1,0 +1,107 @@
+#include "faults/fault.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "faults/injectors.hpp"
+
+namespace vibguard::faults {
+
+const char* fault_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropout:
+      return "dropout";
+    case FaultKind::kClipping:
+      return "clipping";
+    case FaultKind::kStuckAt:
+      return "stuck_at";
+    case FaultKind::kClockDrift:
+      return "clock_drift";
+    case FaultKind::kBurst:
+      return "burst";
+    case FaultKind::kTruncation:
+      return "truncation";
+    case FaultKind::kNonFinite:
+      return "non_finite";
+  }
+  VIBGUARD_UNREACHABLE();
+}
+
+FaultKind fault_by_name(const std::string& name) {
+  for (FaultKind kind : all_fault_kinds()) {
+    if (name == fault_name(kind)) return kind;
+  }
+  throw InvalidArgument("unknown fault kind: " + name);
+}
+
+std::vector<FaultKind> all_fault_kinds() {
+  return {FaultKind::kDropout,    FaultKind::kClipping,
+          FaultKind::kStuckAt,    FaultKind::kClockDrift,
+          FaultKind::kBurst,      FaultKind::kTruncation,
+          FaultKind::kNonFinite};
+}
+
+FaultPlan& FaultPlan::add(std::shared_ptr<const FaultInjector> injector) {
+  VIBGUARD_REQUIRE(injector != nullptr, "FaultPlan::add: null injector");
+  injectors_.push_back(std::move(injector));
+  return *this;
+}
+
+void FaultPlan::apply(Signal& signal, Rng& rng) const {
+  for (const auto& injector : injectors_) {
+    injector->apply(signal, rng);
+  }
+}
+
+std::string FaultPlan::describe() const {
+  if (injectors_.empty()) return "none";
+  std::string out;
+  for (const auto& injector : injectors_) {
+    if (!out.empty()) out += '+';
+    out += injector->name();
+  }
+  return out;
+}
+
+FaultPlan severity_plan(FaultKind kind, double severity) {
+  FaultPlan plan;
+  if (severity <= 0.0) return plan;
+  const double s = std::min(severity, 1.0);
+  switch (kind) {
+    case FaultKind::kDropout:
+      plan.add(std::make_shared<DropoutInjector>(
+          /*drops_per_second=*/20.0 * s,
+          /*mean_gap_seconds=*/0.005 + 0.045 * s));
+      break;
+    case FaultKind::kClipping:
+      plan.add(std::make_shared<ClippingInjector>(
+          /*level_fraction=*/1.0 - 0.9 * s));
+      break;
+    case FaultKind::kStuckAt:
+      plan.add(std::make_shared<StuckAtInjector>(
+          /*duration_seconds=*/2.0 * s));
+      break;
+    case FaultKind::kClockDrift:
+      plan.add(std::make_shared<ClockDriftInjector>(
+          /*drift_ppm=*/20000.0 * s,
+          /*jitter_std_samples=*/0.5 * s));
+      break;
+    case FaultKind::kBurst:
+      plan.add(std::make_shared<BurstInjector>(
+          /*bursts_per_second=*/8.0 * s,
+          /*burst_seconds=*/0.02 + 0.03 * s,
+          /*amplitude=*/2.0 * s));
+      break;
+    case FaultKind::kTruncation:
+      plan.add(std::make_shared<TruncationInjector>(
+          /*keep_fraction=*/1.0 - 0.95 * s));
+      break;
+    case FaultKind::kNonFinite:
+      plan.add(std::make_shared<NonFiniteInjector>(
+          /*probability=*/1e-5 + 1e-3 * s));
+      break;
+  }
+  return plan;
+}
+
+}  // namespace vibguard::faults

@@ -1,0 +1,81 @@
+// Deterministic fault injection for cross-domain sensing signals.
+//
+// Real deployments of the defense see degraded captures: wearables drop
+// accelerometer samples over BLE, VA microphones clip, cheap sensor clocks
+// drift, recordings arrive truncated or contaminated with NaN/Inf after a
+// firmware hiccup. This library models those failure modes as composable,
+// seeded injectors so the robustness of the whole pipeline — signal-quality
+// gating, graceful degradation, fault-severity sweeps — can be exercised
+// reproducibly. All randomness flows through a caller-supplied vibguard::Rng;
+// applying the same plan with the same seed yields bit-identical corruption.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+
+namespace vibguard::faults {
+
+/// The modeled wearable/VA capture failure modes.
+enum class FaultKind {
+  kDropout,     ///< dropped samples / transmission gaps (zero or held fill)
+  kClipping,    ///< amplitude saturation at a fraction of the peak
+  kStuckAt,     ///< sensor stuck at one reading for a stretch
+  kClockDrift,  ///< clock skew + sampling jitter (gradual desync)
+  kBurst,       ///< short loud interference bursts
+  kTruncation,  ///< capture ends early
+  kNonFinite,   ///< NaN/Inf contamination
+};
+
+/// Stable lower_snake name of a fault kind (CLI and report currency).
+const char* fault_name(FaultKind kind);
+
+/// Parses a fault_name string; throws InvalidArgument for unknown names.
+FaultKind fault_by_name(const std::string& name);
+
+/// All fault kinds in declaration order.
+std::vector<FaultKind> all_fault_kinds();
+
+/// One failure mode applied in place to a Signal. Implementations are
+/// immutable after construction and thread-safe to share; all randomness
+/// comes from the Rng argument.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual const char* name() const = 0;
+  virtual void apply(Signal& signal, Rng& rng) const = 0;
+};
+
+/// An ordered, composable sequence of injectors. Copyable (injectors are
+/// shared immutable objects); apply() runs each injector in order, drawing
+/// from one Rng stream so the composition is deterministic.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Appends an injector; returns *this for chaining.
+  FaultPlan& add(std::shared_ptr<const FaultInjector> injector);
+
+  bool empty() const { return injectors_.empty(); }
+  std::size_t size() const { return injectors_.size(); }
+
+  /// Applies every injector to `signal` in order.
+  void apply(Signal& signal, Rng& rng) const;
+
+  /// "dropout+clipping" style summary ("none" when empty).
+  std::string describe() const;
+
+ private:
+  std::vector<std::shared_ptr<const FaultInjector>> injectors_;
+};
+
+/// Canonical severity parameterization used by the fault-sweep experiment:
+/// maps `severity` in [0, 1] to one `kind` injector with increasingly harsh
+/// parameters. Severity <= 0 returns an empty plan (the uninjected
+/// baseline); severity is clamped to 1 above.
+FaultPlan severity_plan(FaultKind kind, double severity);
+
+}  // namespace vibguard::faults

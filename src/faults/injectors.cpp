@@ -1,0 +1,183 @@
+#include "faults/injectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vibguard::faults {
+namespace {
+
+/// Exponential draw with the given mean, guarded against log(0).
+double exponential(Rng& rng, double mean) {
+  const double u = std::max(rng.uniform(), 1e-12);
+  return -std::log(u) * mean;
+}
+
+std::size_t seconds_to_samples(double seconds, double rate) {
+  return static_cast<std::size_t>(std::max(0.0, seconds) * rate);
+}
+
+}  // namespace
+
+DropoutInjector::DropoutInjector(double drops_per_second,
+                                 double mean_gap_seconds, Fill fill)
+    : drops_per_second_(drops_per_second),
+      mean_gap_seconds_(mean_gap_seconds),
+      fill_(fill) {
+  VIBGUARD_REQUIRE(drops_per_second >= 0.0 && mean_gap_seconds >= 0.0,
+                   "dropout rate and gap length must be non-negative");
+}
+
+void DropoutInjector::apply(Signal& signal, Rng& rng) const {
+  const double rate = signal.sample_rate();
+  if (signal.empty() || rate <= 0.0 || drops_per_second_ <= 0.0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const double spacing_s = exponential(rng, 1.0 / drops_per_second_);
+    i += seconds_to_samples(spacing_s, rate) + 1;
+    if (i >= signal.size()) break;
+    const std::size_t gap = std::max<std::size_t>(
+        1, seconds_to_samples(exponential(rng, mean_gap_seconds_), rate));
+    const double hold = fill_ == Fill::kHold ? signal[i - 1] : 0.0;
+    const std::size_t end = std::min(signal.size(), i + gap);
+    for (; i < end; ++i) signal[i] = hold;
+    if (i >= signal.size()) break;
+  }
+}
+
+ClippingInjector::ClippingInjector(double level_fraction)
+    : level_fraction_(level_fraction) {
+  VIBGUARD_REQUIRE(level_fraction >= 0.0,
+                   "clipping level must be non-negative");
+}
+
+void ClippingInjector::apply(Signal& signal, Rng& /*rng*/) const {
+  const double peak = signal.peak();
+  if (peak <= 0.0 || level_fraction_ >= 1.0) return;
+  const double level = level_fraction_ * peak;
+  for (double& v : signal) v = std::clamp(v, -level, level);
+}
+
+StuckAtInjector::StuckAtInjector(double duration_seconds)
+    : duration_seconds_(duration_seconds) {
+  VIBGUARD_REQUIRE(duration_seconds >= 0.0,
+                   "stuck duration must be non-negative");
+}
+
+void StuckAtInjector::apply(Signal& signal, Rng& rng) const {
+  const double rate = signal.sample_rate();
+  if (signal.empty() || rate <= 0.0 || duration_seconds_ <= 0.0) return;
+  const auto start = static_cast<std::size_t>(
+      rng.uniform() * static_cast<double>(signal.size()));
+  if (start >= signal.size()) return;
+  const std::size_t len =
+      std::max<std::size_t>(1, seconds_to_samples(duration_seconds_, rate));
+  const std::size_t end = std::min(signal.size(), start + len);
+  const double held = signal[start];
+  for (std::size_t i = start; i < end; ++i) signal[i] = held;
+}
+
+ClockDriftInjector::ClockDriftInjector(double drift_ppm,
+                                       double jitter_std_samples)
+    : drift_ppm_(drift_ppm), jitter_std_samples_(jitter_std_samples) {
+  VIBGUARD_REQUIRE(drift_ppm >= 0.0 && jitter_std_samples >= 0.0,
+                   "drift and jitter must be non-negative");
+}
+
+void ClockDriftInjector::apply(Signal& signal, Rng& rng) const {
+  if (signal.size() < 2) return;
+  if (drift_ppm_ <= 0.0 && jitter_std_samples_ <= 0.0) return;
+  // The device clock runs `factor` fast: output sample i reads the true
+  // waveform at position i * factor (plus timing jitter), linearly
+  // interpolated. The capture keeps its nominal rate label — the point of
+  // the fault is that the samples no longer line up with it.
+  const double factor = 1.0 + drift_ppm_ * 1e-6;
+  const double last = static_cast<double>(signal.size() - 1);
+  std::vector<double> out;
+  out.reserve(signal.size());
+  for (std::size_t i = 0;; ++i) {
+    double pos = static_cast<double>(i) * factor;
+    if (jitter_std_samples_ > 0.0) {
+      pos += rng.gaussian(0.0, jitter_std_samples_);
+    }
+    if (pos > last) break;
+    pos = std::clamp(pos, 0.0, last);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, signal.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out.push_back(signal[lo] + frac * (signal[hi] - signal[lo]));
+    if (out.size() >= signal.size()) break;  // jitter cannot extend a capture
+  }
+  signal = Signal(std::move(out), signal.sample_rate());
+}
+
+BurstInjector::BurstInjector(double bursts_per_second, double burst_seconds,
+                             double amplitude)
+    : bursts_per_second_(bursts_per_second),
+      burst_seconds_(burst_seconds),
+      amplitude_(amplitude) {
+  VIBGUARD_REQUIRE(
+      bursts_per_second >= 0.0 && burst_seconds >= 0.0 && amplitude >= 0.0,
+      "burst parameters must be non-negative");
+}
+
+void BurstInjector::apply(Signal& signal, Rng& rng) const {
+  const double rate = signal.sample_rate();
+  if (signal.empty() || rate <= 0.0 || bursts_per_second_ <= 0.0 ||
+      amplitude_ <= 0.0) {
+    return;
+  }
+  std::size_t i = 0;
+  for (;;) {
+    i += seconds_to_samples(exponential(rng, 1.0 / bursts_per_second_),
+                            rate) +
+         1;
+    if (i >= signal.size()) break;
+    const std::size_t len =
+        std::max<std::size_t>(1, seconds_to_samples(burst_seconds_, rate));
+    const std::size_t end = std::min(signal.size(), i + len);
+    for (; i < end; ++i) {
+      signal[i] += rng.uniform(-amplitude_, amplitude_);
+    }
+    if (i >= signal.size()) break;
+  }
+}
+
+TruncationInjector::TruncationInjector(double keep_fraction)
+    : keep_fraction_(keep_fraction) {
+  VIBGUARD_REQUIRE(keep_fraction >= 0.0 && keep_fraction <= 1.0,
+                   "keep fraction must be in [0, 1]");
+}
+
+void TruncationInjector::apply(Signal& signal, Rng& /*rng*/) const {
+  const auto keep = static_cast<std::size_t>(
+      keep_fraction_ * static_cast<double>(signal.size()));
+  if (keep >= signal.size()) return;
+  signal = signal.slice(0, keep);
+}
+
+NonFiniteInjector::NonFiniteInjector(double probability, double inf_fraction)
+    : probability_(probability), inf_fraction_(inf_fraction) {
+  VIBGUARD_REQUIRE(probability >= 0.0 && probability <= 1.0,
+                   "contamination probability must be in [0, 1]");
+  VIBGUARD_REQUIRE(inf_fraction >= 0.0 && inf_fraction <= 1.0,
+                   "inf fraction must be in [0, 1]");
+}
+
+void NonFiniteInjector::apply(Signal& signal, Rng& rng) const {
+  if (probability_ <= 0.0) return;
+  for (double& v : signal) {
+    if (!rng.bernoulli(probability_)) continue;
+    if (rng.bernoulli(inf_fraction_)) {
+      v = rng.bernoulli(0.5) ? std::numeric_limits<double>::infinity()
+                             : -std::numeric_limits<double>::infinity();
+    } else {
+      v = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+}
+
+}  // namespace vibguard::faults

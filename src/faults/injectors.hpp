@@ -1,0 +1,123 @@
+// Concrete fault injectors (see faults/fault.hpp for the contract).
+//
+// Each injector is a small config struct + apply(). Parameters are chosen in
+// physical units (seconds, rates, fractions of peak) so plans transfer
+// between the 16 kHz audio recordings and the 200 Hz accelerometer domain.
+#pragma once
+
+#include "faults/fault.hpp"
+
+namespace vibguard::faults {
+
+/// Dropped samples / transmission gaps: gap starts arrive as a Poisson
+/// process at `drops_per_second`; each gap's length is exponentially
+/// distributed around `mean_gap_seconds` (at least one sample). The gap is
+/// filled with zeros (packet loss) or the last good sample (sample-and-hold
+/// codecs).
+class DropoutInjector final : public FaultInjector {
+ public:
+  enum class Fill { kZero, kHold };
+
+  DropoutInjector(double drops_per_second, double mean_gap_seconds,
+                  Fill fill = Fill::kZero);
+
+  const char* name() const override { return "dropout"; }
+  void apply(Signal& signal, Rng& rng) const override;
+
+ private:
+  double drops_per_second_;
+  double mean_gap_seconds_;
+  Fill fill_;
+};
+
+/// Amplitude saturation: clamps every sample to ±(level_fraction · peak),
+/// the overdriven-microphone / limited-ADC failure. level_fraction >= 1 or a
+/// silent signal is a no-op.
+class ClippingInjector final : public FaultInjector {
+ public:
+  explicit ClippingInjector(double level_fraction);
+
+  const char* name() const override { return "clipping"; }
+  void apply(Signal& signal, Rng& rng) const override;
+
+ private:
+  double level_fraction_;
+};
+
+/// Stuck sensor: from a uniformly drawn start position, holds the reading
+/// constant for `duration_seconds` (clamped to the end of the capture).
+class StuckAtInjector final : public FaultInjector {
+ public:
+  explicit StuckAtInjector(double duration_seconds);
+
+  const char* name() const override { return "stuck_at"; }
+  void apply(Signal& signal, Rng& rng) const override;
+
+ private:
+  double duration_seconds_;
+};
+
+/// Clock skew and sampling jitter: the device's real sampling clock runs
+/// `drift_ppm` parts-per-million fast, so the capture is resampled onto the
+/// skewed grid (shortening it and desynchronizing it gradually) while the
+/// nominal rate label is kept. `jitter_std_samples` adds zero-mean Gaussian
+/// timing noise to each resampling position.
+class ClockDriftInjector final : public FaultInjector {
+ public:
+  ClockDriftInjector(double drift_ppm, double jitter_std_samples = 0.0);
+
+  const char* name() const override { return "clock_drift"; }
+  void apply(Signal& signal, Rng& rng) const override;
+
+ private:
+  double drift_ppm_;
+  double jitter_std_samples_;
+};
+
+/// Burst interference: short additive uniform-noise bursts of `amplitude`,
+/// arriving as a Poisson process at `bursts_per_second`, each
+/// `burst_seconds` long.
+class BurstInjector final : public FaultInjector {
+ public:
+  BurstInjector(double bursts_per_second, double burst_seconds,
+                double amplitude);
+
+  const char* name() const override { return "burst"; }
+  void apply(Signal& signal, Rng& rng) const override;
+
+ private:
+  double bursts_per_second_;
+  double burst_seconds_;
+  double amplitude_;
+};
+
+/// Early end of capture: keeps only the leading `keep_fraction` of the
+/// samples (possibly none — downstream layers must treat an empty capture
+/// as unscoreable, not crash).
+class TruncationInjector final : public FaultInjector {
+ public:
+  explicit TruncationInjector(double keep_fraction);
+
+  const char* name() const override { return "truncation"; }
+  void apply(Signal& signal, Rng& rng) const override;
+
+ private:
+  double keep_fraction_;
+};
+
+/// NaN/Inf contamination: each sample independently becomes non-finite with
+/// `probability`; a contaminated sample is ±Inf with `inf_fraction`, NaN
+/// otherwise.
+class NonFiniteInjector final : public FaultInjector {
+ public:
+  NonFiniteInjector(double probability, double inf_fraction = 0.25);
+
+  const char* name() const override { return "non_finite"; }
+  void apply(Signal& signal, Rng& rng) const override;
+
+ private:
+  double probability_;
+  double inf_fraction_;
+};
+
+}  // namespace vibguard::faults

@@ -74,6 +74,30 @@ TEST(ThreadPoolTest, FirstExceptionPropagatesAfterDrain) {
   EXPECT_EQ(after.load(), 5);
 }
 
+TEST(ThreadPoolTest, SerialFallbackAlsoDrainsBeforeThrowing) {
+  // The single-threaded inline path must give the same guarantee as the
+  // threaded one: every iteration is attempted exactly once, then the first
+  // exception propagates — a mid-batch throw cannot skip later iterations.
+  ThreadPool pool(1);
+  ASSERT_EQ(pool.num_threads(), 0u);
+  std::vector<int> attempted(16, 0);
+  EXPECT_THROW(
+      pool.parallel_for(attempted.size(),
+                        [&](std::size_t i) {
+                          attempted[i] += 1;
+                          if (i == 3) throw std::runtime_error("early");
+                          if (i == 11) throw std::logic_error("late");
+                        }),
+      std::runtime_error);  // the first exception wins, not the last
+  for (std::size_t i = 0; i < attempted.size(); ++i) {
+    EXPECT_EQ(attempted[i], 1) << "index " << i;
+  }
+  // Still usable afterwards.
+  std::atomic<int> after{0};
+  pool.parallel_for(3, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 3);
+}
+
 TEST(ThreadPoolTest, RecommendedThreadsHonorsEnvOverride) {
   ASSERT_EQ(setenv("VIBGUARD_THREADS", "3", 1), 0);
   EXPECT_EQ(recommended_threads(), 3u);

@@ -149,6 +149,123 @@ TEST(WavTest, StereoDownmixAveragesChannels) {
   std::remove(path.c_str());
 }
 
+TEST(WavTest, EncodeDecodeMemoryRoundTrip) {
+  Rng rng(2);
+  const Signal original = dsp::white_noise(0.1, 8000.0, 0.1, rng);
+  const auto bytes = encode_wav(original);
+  EXPECT_EQ(bytes.size(), 44 + original.size() * 2);
+  const Signal decoded = decode_wav(bytes);
+  ASSERT_EQ(decoded.size(), original.size());
+  EXPECT_DOUBLE_EQ(decoded.sample_rate(), 8000.0);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(decoded[i], original[i], 1.0 / 32768.0 + 1e-9);
+  }
+}
+
+TEST(WavTest, TruncatedDataChunkDecodesPresentSamples) {
+  // The interrupted-upload case: the data chunk claims more bytes than the
+  // stream holds. The decoder keeps the samples actually present and drops
+  // a trailing partial frame instead of rejecting the capture.
+  const Signal original({0.1, 0.2, 0.3, 0.4, 0.5, 0.6}, 8000.0);
+  const auto full = encode_wav(original);
+  // Cut mid-way through sample 4 (one of its two bytes survives).
+  const std::vector<std::uint8_t> cut(full.begin(),
+                                      full.begin() + 44 + 4 * 2 + 1);
+  const Signal decoded = decode_wav(cut, "truncated");
+  ASSERT_EQ(decoded.size(), 4u);
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_NEAR(decoded[i], original[i], 1.0 / 32768.0 + 1e-9);
+  }
+}
+
+TEST(WavTest, DecodeRejectsMalformedStreams) {
+  const Signal tiny({0.25, -0.25}, 8000.0);
+  const auto good = encode_wav(tiny);
+
+  // Shorter than any RIFF header.
+  EXPECT_THROW(decode_wav(std::vector<std::uint8_t>{'R', 'I', 'F'}), Error);
+  // Bad magic in either slot.
+  {
+    auto bad = good;
+    bad[0] = 'X';
+    EXPECT_THROW(decode_wav(bad), Error);
+  }
+  {
+    auto bad = good;
+    bad[8] = 'X';  // WAVE tag
+    EXPECT_THROW(decode_wav(bad), Error);
+  }
+  // fmt chunk claiming fewer than the 16 load-bearing bytes.
+  {
+    auto bad = good;
+    bad[16] = 8;  // fmt chunk size low byte
+    EXPECT_THROW(decode_wav(bad), Error);
+  }
+  // fmt chunk claiming more bytes than the stream holds.
+  {
+    auto bad = good;
+    bad[19] = 0x7f;  // fmt chunk size high byte -> gigantic claim
+    EXPECT_THROW(decode_wav(bad), Error);
+  }
+  // Non-PCM format code.
+  {
+    auto bad = good;
+    bad[20] = 3;  // IEEE float
+    EXPECT_THROW(decode_wav(bad), Error);
+  }
+  // Zero channels.
+  {
+    auto bad = good;
+    bad[22] = 0;
+    EXPECT_THROW(decode_wav(bad), Error);
+  }
+  // Zero sample rate.
+  {
+    auto bad = good;
+    bad[24] = bad[25] = bad[26] = bad[27] = 0;
+    EXPECT_THROW(decode_wav(bad), Error);
+  }
+  // Unsupported bit depth.
+  {
+    auto bad = good;
+    bad[34] = 8;
+    EXPECT_THROW(decode_wav(bad), Error);
+  }
+  // Header only, no data chunk.
+  {
+    const std::vector<std::uint8_t> header_only(good.begin(),
+                                                good.begin() + 36);
+    EXPECT_THROW(decode_wav(header_only), Error);
+  }
+  // The untouched original still decodes.
+  EXPECT_EQ(decode_wav(good).size(), 2u);
+}
+
+TEST(WavTest, DecodeSkipsUnknownChunks) {
+  // LIST/INFO style metadata between fmt and data must be walked over.
+  const Signal original({0.5, -0.5}, 8000.0);
+  const auto plain = encode_wav(original);
+  std::vector<std::uint8_t> bytes(plain.begin(), plain.begin() + 36);
+  const char* junk = "LIST";
+  bytes.insert(bytes.end(), junk, junk + 4);
+  bytes.push_back(4);  // chunk length 4, little endian
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.insert(bytes.end(), {'I', 'N', 'F', 'O'});
+  bytes.insert(bytes.end(), plain.begin() + 36, plain.end());
+  // Patch the RIFF size claim (not validated strictly, but keep it honest).
+  const auto riff_len = static_cast<std::uint32_t>(bytes.size() - 8);
+  bytes[4] = static_cast<std::uint8_t>(riff_len & 0xff);
+  bytes[5] = static_cast<std::uint8_t>((riff_len >> 8) & 0xff);
+  bytes[6] = static_cast<std::uint8_t>((riff_len >> 16) & 0xff);
+  bytes[7] = static_cast<std::uint8_t>((riff_len >> 24) & 0xff);
+  const Signal decoded = decode_wav(bytes);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_NEAR(decoded[0], 0.5, 1e-3);
+  EXPECT_NEAR(decoded[1], -0.5, 1e-3);
+}
+
 TEST(WavTest, ReadRejectsMissingFile) {
   EXPECT_THROW(read_wav("/nonexistent/dir/x.wav"), Error);
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/vibration_features.hpp"
@@ -51,8 +53,52 @@ TEST(DetectorTest, ThresholdBoundaryBehaviour) {
   CorrelationDetector det(0.5);
   EXPECT_DOUBLE_EQ(det.threshold(), 0.5);
   dsp::Spectrogram a(2, 3, 1.0, 0.1), b(2, 3, 1.0, 0.1);
-  // Zero-variance spectrograms -> score 0 -> attack at any threshold > 0.
+  // Zero-variance spectrograms -> sentinel score -> fails closed as an
+  // attack at any threshold.
   EXPECT_TRUE(det.detect(a, b).is_attack);
+}
+
+TEST(DetectorTest, DegenerateFeaturesReturnSentinel) {
+  CorrelationDetector det;
+  // Zero variance: every cell identical.
+  dsp::Spectrogram flat_a(4, 3, 1.0, 0.1), flat_b(4, 3, 1.0, 0.1);
+  for (double& v : flat_a.values()) v = 0.7;
+  for (double& v : flat_b.values()) v = 0.7;
+  EXPECT_EQ(det.score(flat_a, flat_b), kIndeterminateScore);
+
+  // Empty overlap: no frames at all.
+  dsp::Spectrogram empty(0, 3, 1.0, 0.1);
+  EXPECT_EQ(det.score(empty, empty), kIndeterminateScore);
+
+  // NaN contamination: one poisoned cell corrupts the accumulators.
+  Rng rng(5);
+  dsp::Spectrogram noisy_a(8, 4, 1.0, 0.1), noisy_b(8, 4, 1.0, 0.1);
+  for (double& v : noisy_a.values()) v = rng.gaussian();
+  for (double& v : noisy_b.values()) v = rng.gaussian();
+  noisy_a.values()[5] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(det.score(noisy_a, noisy_b), kIndeterminateScore);
+
+  // All sentinel results fail closed under detect().
+  EXPECT_TRUE(det.detect(flat_a, flat_b).is_attack);
+  EXPECT_TRUE(det.detect(noisy_a, noisy_b).is_attack);
+}
+
+TEST(DetectorTest, IndeterminateScorePredicate) {
+  EXPECT_TRUE(is_indeterminate_score(kIndeterminateScore));
+  EXPECT_TRUE(
+      is_indeterminate_score(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_TRUE(
+      is_indeterminate_score(std::numeric_limits<double>::infinity()));
+  // The sentinel sits strictly below every valid correlation and every
+  // valid threshold, so naive comparisons fail closed.
+  EXPECT_LT(kIndeterminateScore, -1.0);
+  // Real correlations are never flagged — including values rounding just
+  // past the mathematical range (deliberately not a range check).
+  EXPECT_FALSE(is_indeterminate_score(0.0));
+  EXPECT_FALSE(is_indeterminate_score(1.0));
+  EXPECT_FALSE(is_indeterminate_score(-1.0));
+  EXPECT_FALSE(is_indeterminate_score(1.0 + 1e-12));
+  EXPECT_FALSE(is_indeterminate_score(-1.0 - 1e-12));
 }
 
 TEST(DetectorTest, RejectsInvalidThreshold) {

@@ -28,6 +28,7 @@ TEST(SessionTest, VerdictNames) {
   EXPECT_STREQ(verdict_name(Verdict::kAccepted), "accepted");
   EXPECT_STREQ(verdict_name(Verdict::kAttackDetected), "attack_detected");
   EXPECT_STREQ(verdict_name(Verdict::kWearableAbsent), "wearable_absent");
+  EXPECT_STREQ(verdict_name(Verdict::kIndeterminate), "indeterminate");
 }
 
 TEST(SessionTest, AcceptsLegitimateCommand) {
@@ -173,6 +174,107 @@ TEST(SessionTest, ProcessBatchMatchesSequentialProcess) {
             sequential.stats().attacks_detected);
   EXPECT_EQ(batched.pipeline_stats().commands,
             sequential.pipeline_stats().commands);
+}
+
+TEST(SessionTest, IndeterminateVerdictOnUnscoreableCommand) {
+  Fixture fx;
+  DefenseSession session;
+  EXPECT_EQ(session.policy().max_retries, 1u);
+  const auto t = fx.sim.legitimate_trial(
+      speech::command_by_text("stop"), fx.user);
+  // A dead wearable channel is unscoreable on every attempt: the session
+  // retries per policy, then settles on kIndeterminate (re-request the
+  // command), never on a hostile verdict.
+  const Signal dead = Signal::zeros(t.wearable.size(),
+                                    t.wearable.sample_rate());
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  Rng rng(31);
+  const auto event = session.process("dead wearable", t.va, dead, &seg, rng);
+  EXPECT_EQ(event.verdict, Verdict::kIndeterminate);
+  EXPECT_TRUE(std::isnan(event.score));
+  EXPECT_EQ(event.note, "low_signal");
+  EXPECT_EQ(event.attempts, 2u);  // 1 attempt + 1 retry
+  EXPECT_EQ(session.stats().indeterminate, 1u);
+  EXPECT_EQ(session.stats().retries, 1u);
+  EXPECT_EQ(session.stats().accepted, 0u);
+  EXPECT_EQ(session.stats().attacks_detected, 0u);
+}
+
+TEST(SessionTest, RetryPolicyControlsAttemptCount) {
+  Fixture fx;
+  const auto t = fx.sim.legitimate_trial(
+      speech::command_by_text("stop"), fx.user);
+  const Signal dead = Signal::zeros(t.wearable.size(),
+                                    t.wearable.sample_rate());
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  for (std::size_t retries : {std::size_t{0}, std::size_t{3}}) {
+    DefenseSession session(DefenseConfig{}, SessionPolicy{retries});
+    Rng rng(32);
+    const auto event = session.process("dead", t.va, dead, &seg, rng);
+    EXPECT_EQ(event.verdict, Verdict::kIndeterminate);
+    EXPECT_EQ(event.attempts, retries + 1) << retries << " retries";
+    EXPECT_EQ(session.stats().retries, retries);
+  }
+}
+
+TEST(SessionTest, ErrorNoteNamesFailingStage) {
+  Fixture fx;
+  DefenseSession session;  // kFull mode needs a segmenter
+  const auto t = fx.sim.legitimate_trial(
+      speech::command_by_text("stop"), fx.user);
+  Rng rng(33);
+  const auto event =
+      session.process("no segmenter", t.va, t.wearable, nullptr, rng);
+  EXPECT_EQ(event.verdict, Verdict::kIndeterminate);
+  EXPECT_TRUE(std::isnan(event.score));
+  EXPECT_NE(event.note.find("error at stage precheck"), std::string::npos)
+      << event.note;
+  EXPECT_EQ(session.stats().indeterminate, 1u);
+}
+
+TEST(SessionTest, BatchMatchesSequentialWithIndeterminateRequests) {
+  Fixture fx;
+  const auto good = fx.sim.legitimate_trial(
+      speech::command_by_text("turn on the lights"), fx.user);
+  OracleSegmenter seg(good.alignment, eval::reference_sensitive_set());
+  const Signal dead = Signal::zeros(good.wearable.size(),
+                                    good.wearable.sample_rate());
+
+  std::vector<SessionRequest> requests;
+  requests.push_back(
+      SessionRequest{"good", &good.va, &good.wearable, &seg, Rng(41)});
+  requests.push_back(
+      SessionRequest{"dead", &good.va, &dead, &seg, Rng(42)});
+  requests.push_back(
+      SessionRequest{"good again", &good.va, &good.wearable, &seg, Rng(43)});
+
+  DefenseSession batched;
+  const auto events = batched.process_batch(requests);
+
+  DefenseSession sequential;
+  Rng r1(41), r2(42), r3(43);
+  const auto e1 =
+      sequential.process("good", good.va, good.wearable, &seg, r1);
+  const auto e2 = sequential.process("dead", good.va, dead, &seg, r2);
+  const auto e3 =
+      sequential.process("good again", good.va, good.wearable, &seg, r3);
+
+  ASSERT_EQ(events.size(), 3u);
+  const std::vector<SessionEvent> expected = {e1, e2, e3};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(events[i].verdict, expected[i].verdict) << "event " << i;
+    EXPECT_EQ(events[i].note, expected[i].note) << "event " << i;
+    EXPECT_EQ(events[i].attempts, expected[i].attempts) << "event " << i;
+    if (std::isnan(expected[i].score)) {
+      EXPECT_TRUE(std::isnan(events[i].score)) << "event " << i;
+    } else {
+      EXPECT_DOUBLE_EQ(events[i].score, expected[i].score) << "event " << i;
+    }
+  }
+  EXPECT_EQ(events[1].verdict, Verdict::kIndeterminate);
+  EXPECT_EQ(batched.stats().indeterminate, sequential.stats().indeterminate);
+  EXPECT_EQ(batched.stats().retries, sequential.stats().retries);
+  EXPECT_EQ(batched.stats().accepted, sequential.stats().accepted);
 }
 
 TEST(SessionTest, ProcessBatchRequiresVaSignal) {

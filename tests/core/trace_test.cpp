@@ -36,11 +36,12 @@ TEST(TraceTest, StagesRecordedInAllModes) {
   };
   const std::vector<Case> cases = {
       {DefenseMode::kFull, true,
-       {"sync", "segment", "vib_capture", "features", "correlate"}},
+       {"quality", "sync", "segment", "vib_capture", "features",
+        "correlate"}},
       {DefenseMode::kVibrationBaseline, false,
-       {"sync", "vib_capture", "features", "correlate"}},
+       {"quality", "sync", "vib_capture", "features", "correlate"}},
       {DefenseMode::kAudioBaseline, false,
-       {"sync", "audio_features", "correlate"}},
+       {"quality", "sync", "audio_features", "correlate"}},
   };
   const auto t = make_trial(61);
   OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
@@ -63,7 +64,7 @@ TEST(TraceTest, StageTimingsAreMonotone) {
   Rng rng(64);
   PipelineTrace trace;
   sys.score(t.va, t.wearable, &seg, rng, &trace);
-  ASSERT_EQ(trace.stages.size(), 5u);
+  ASSERT_EQ(trace.stages.size(), 6u);
   for (std::size_t i = 0; i + 1 < trace.stages.size(); ++i) {
     // Each stage begins only after the previous one ended.
     EXPECT_LE(trace.stages[i].start_us + trace.stages[i].wall_us,
@@ -79,10 +80,12 @@ TEST(TraceTest, SampleCountsChainAcrossStages) {
   Rng rng(66);
   PipelineTrace trace;
   sys.score(t.va, t.wearable, &seg, rng, &trace);
-  ASSERT_EQ(trace.stages.size(), 5u);
-  // The first stage sees both raw recordings; after that every stage
-  // consumes exactly what its predecessor produced.
+  ASSERT_EQ(trace.stages.size(), 6u);
+  // The first stage (the pass-through quality gate) sees both raw
+  // recordings; after that every stage consumes exactly what its
+  // predecessor produced.
   EXPECT_EQ(trace.stages[0].samples_in, t.va.size() + t.wearable.size());
+  EXPECT_EQ(trace.stages[0].samples_out, t.va.size() + t.wearable.size());
   for (std::size_t i = 0; i + 1 < trace.stages.size(); ++i) {
     EXPECT_EQ(trace.stages[i + 1].samples_in, trace.stages[i].samples_out)
         << trace.stages[i].name;
@@ -92,7 +95,7 @@ TEST(TraceTest, SampleCountsChainAcrossStages) {
   ASSERT_GT(trace.num_ranges, 0u);
   const auto segment_samples = static_cast<std::size_t>(
       std::llround(trace.segment_seconds * t.va.sample_rate()));
-  EXPECT_EQ(trace.stages[1].samples_out, 2 * segment_samples);
+  EXPECT_EQ(trace.stages[2].samples_out, 2 * segment_samples);
   // Correlation reduces everything to a single score.
   EXPECT_EQ(trace.stages.back().samples_out, 1u);
 }
@@ -125,7 +128,7 @@ TEST(TraceTest, TraceResetsBetweenRuns) {
     DefenseSystem sys{DefenseConfig{}};
     Rng rng(70);
     sys.score(t.va, t.wearable, &seg, rng, &trace);
-    EXPECT_EQ(trace.stages.size(), 5u);
+    EXPECT_EQ(trace.stages.size(), 6u);
     EXPECT_GT(trace.num_ranges, 0u);
   }
   {
@@ -135,7 +138,7 @@ TEST(TraceTest, TraceResetsBetweenRuns) {
     Rng rng(71);
     sys.score(t.va, t.wearable, nullptr, rng, &trace);
     // Records are replaced, not appended, and full-mode scalars are reset.
-    EXPECT_EQ(trace.stages.size(), 3u);
+    EXPECT_EQ(trace.stages.size(), 4u);
     EXPECT_EQ(trace.num_ranges, 0u);
   }
 }

@@ -1,0 +1,275 @@
+// Graceful-degradation contract of the quality-aware scoring API: corrupted
+// captures end as structured outcomes (never exceptions), bad trials cannot
+// poison batch neighbours, and healthy trials stay bit-identical to the
+// plain scoring path at any thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/pipeline.hpp"
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+#include "faults/fault.hpp"
+#include "faults/injectors.hpp"
+
+namespace vibguard::core {
+namespace {
+
+eval::TrialRecordings legit_trial(std::uint64_t seed) {
+  eval::ScenarioSimulator sim(eval::ScenarioConfig{}, seed);
+  Rng rng(seed + 1);
+  const auto spk = speech::sample_speaker(speech::Sex::kMale, rng);
+  return sim.legitimate_trial(
+      speech::command_by_text("turn on the lights"), spk);
+}
+
+TEST(FaultPipelineTest, TryScoreHealthyMatchesPlainScore) {
+  DefenseSystem sys{DefenseConfig{}};
+  const auto t = legit_trial(201);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  Rng r1(202);
+  const double plain = sys.score(t.va, t.wearable, &seg, r1);
+
+  Workspace workspace;
+  Rng r2(202);
+  const auto outcome = sys.try_score(t.va, t.wearable, &seg, r2, workspace);
+  EXPECT_EQ(outcome.status, ScoreStatus::kOk);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_DOUBLE_EQ(outcome.score, plain);
+  EXPECT_STREQ(outcome.reason, "");
+  EXPECT_TRUE(outcome.error.empty());
+  EXPECT_TRUE(outcome.quality.scoreable);
+}
+
+TEST(FaultPipelineTest, EmptyInputIsIndeterminateNotAnException) {
+  DefenseConfig cfg;
+  cfg.mode = DefenseMode::kVibrationBaseline;
+  DefenseSystem sys(cfg);
+  Workspace workspace;
+  Rng rng(203);
+  const auto outcome = sys.try_score(Signal({}, 16000.0),
+                                     Signal({1.0}, 200.0), nullptr, rng,
+                                     workspace);
+  EXPECT_EQ(outcome.status, ScoreStatus::kIndeterminate);
+  EXPECT_STREQ(outcome.reason, "empty_input");
+  EXPECT_TRUE(is_indeterminate_score(outcome.score));
+  EXPECT_FALSE(outcome.quality.scoreable);
+}
+
+TEST(FaultPipelineTest, NonFiniteContaminationIsGated) {
+  DefenseSystem sys{DefenseConfig{}};
+  const auto t = legit_trial(204);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  Signal va = t.va;
+  Rng fault_rng(1);
+  faults::NonFiniteInjector(0.01).apply(va, fault_rng);
+
+  Workspace workspace;
+  Rng rng(205);
+  const auto outcome = sys.try_score(va, t.wearable, &seg, rng, workspace);
+  EXPECT_EQ(outcome.status, ScoreStatus::kIndeterminate);
+  EXPECT_STREQ(outcome.reason, "non_finite_samples");
+  EXPECT_EQ(outcome.score, kIndeterminateScore);
+  EXPECT_GT(outcome.quality.va.non_finite, 0u);
+}
+
+TEST(FaultPipelineTest, TruncatedCaptureIsTooShort) {
+  DefenseSystem sys{DefenseConfig{}};
+  const auto t = legit_trial(206);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  const Signal va = t.va.slice(0, static_cast<std::size_t>(
+                                      0.01 * t.va.sample_rate()));
+  Workspace workspace;
+  Rng rng(207);
+  const auto outcome = sys.try_score(va, t.wearable, &seg, rng, workspace);
+  EXPECT_EQ(outcome.status, ScoreStatus::kIndeterminate);
+  EXPECT_STREQ(outcome.reason, "too_short");
+}
+
+TEST(FaultPipelineTest, DeadChannelIsLowSignal) {
+  DefenseConfig cfg;
+  cfg.mode = DefenseMode::kVibrationBaseline;
+  DefenseSystem sys(cfg);
+  const auto t = legit_trial(208);
+  const Signal dead = Signal::zeros(t.wearable.size(),
+                                    t.wearable.sample_rate());
+  Workspace workspace;
+  Rng rng(209);
+  const auto outcome = sys.try_score(t.va, dead, nullptr, rng, workspace);
+  EXPECT_EQ(outcome.status, ScoreStatus::kIndeterminate);
+  EXPECT_STREQ(outcome.reason, "low_signal");
+}
+
+TEST(FaultPipelineTest, DegenerateFeaturesReportedWhenGateIsOff) {
+  // With the gate off, silence flows through the whole pipeline; the
+  // zero-variance spectrograms make the correlation degenerate, and
+  // try_score still reports a structured indeterminate outcome instead of
+  // a garbage score. The audio baseline correlates the raw spectrograms
+  // directly (no capture-noise stage), so silence stays exactly silent.
+  DefenseConfig cfg;
+  cfg.mode = DefenseMode::kAudioBaseline;
+  cfg.quality.gate = QualityConfig::Gate::kOff;
+  DefenseSystem sys(cfg);
+  const auto t = legit_trial(210);
+  const Signal dead_va = Signal::zeros(t.va.size(), t.va.sample_rate());
+  const Signal dead_wear = Signal::zeros(t.wearable.size(),
+                                         t.wearable.sample_rate());
+  Workspace workspace;
+  Rng rng(211);
+  const auto outcome =
+      sys.try_score(dead_va, dead_wear, nullptr, rng, workspace);
+  EXPECT_EQ(outcome.status, ScoreStatus::kIndeterminate);
+  EXPECT_STREQ(outcome.reason, "degenerate_features");
+  // The gate was off, so the report flags the issue without being fatal.
+  EXPECT_TRUE(outcome.quality.scoreable);
+  EXPECT_TRUE(outcome.quality.issues & kIssueLowSignal);
+}
+
+TEST(FaultPipelineTest, StageErrorsAreCapturedPerTrial) {
+  DefenseSystem sys{DefenseConfig{}};  // kFull requires a segmenter
+  const auto t = legit_trial(212);
+  Workspace workspace;
+  Rng rng(213);
+  const auto outcome =
+      sys.try_score(t.va, t.wearable, nullptr, rng, workspace);
+  EXPECT_EQ(outcome.status, ScoreStatus::kError);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_STREQ(outcome.reason, "precheck");
+  EXPECT_FALSE(outcome.error.empty());
+  EXPECT_TRUE(is_indeterminate_score(outcome.score));
+}
+
+TEST(FaultPipelineTest, OutcomeBatchIsolatesBadTrialsAtEveryThreadCount) {
+  DefenseSystem sys{DefenseConfig{}};
+  const auto healthy_a = legit_trial(214);
+  const auto healthy_b = legit_trial(215);
+  OracleSegmenter seg_a(healthy_a.alignment, eval::reference_sensitive_set());
+  OracleSegmenter seg_b(healthy_b.alignment, eval::reference_sensitive_set());
+
+  Signal poisoned = healthy_a.va;
+  Rng fault_rng(2);
+  faults::NonFiniteInjector(0.01).apply(poisoned, fault_rng);
+  const Signal empty({}, 16000.0);
+
+  std::vector<ScoreRequest> requests;
+  requests.push_back(ScoreRequest{&healthy_a.va, &healthy_a.wearable, &seg_a,
+                                  Rng(301)});
+  requests.push_back(ScoreRequest{&poisoned, &healthy_a.wearable, &seg_a,
+                                  Rng(302)});
+  requests.push_back(ScoreRequest{&healthy_b.va, &healthy_b.wearable, nullptr,
+                                  Rng(303)});  // precheck error
+  requests.push_back(ScoreRequest{&empty, &healthy_a.wearable, &seg_a,
+                                  Rng(304)});
+  requests.push_back(ScoreRequest{&healthy_b.va, &healthy_b.wearable, &seg_b,
+                                  Rng(305)});
+
+  // Expected: one isolated try_score per request.
+  std::vector<ScoreOutcome> expected;
+  for (const ScoreRequest& req : requests) {
+    Workspace workspace;
+    Rng rng = req.rng;
+    expected.push_back(sys.try_score(*req.va, *req.wearable, req.segmenter,
+                                     rng, workspace));
+  }
+  EXPECT_EQ(expected[0].status, ScoreStatus::kOk);
+  EXPECT_EQ(expected[1].status, ScoreStatus::kIndeterminate);
+  EXPECT_EQ(expected[2].status, ScoreStatus::kError);
+  EXPECT_EQ(expected[3].status, ScoreStatus::kIndeterminate);
+  EXPECT_EQ(expected[4].status, ScoreStatus::kOk);
+
+  auto expect_same = [&](const std::vector<ScoreOutcome>& got,
+                         const std::string& label) {
+    ASSERT_EQ(got.size(), expected.size()) << label;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].status, expected[i].status) << label << " trial " << i;
+      EXPECT_STREQ(got[i].reason, expected[i].reason)
+          << label << " trial " << i;
+      EXPECT_EQ(got[i].error, expected[i].error) << label << " trial " << i;
+      // Bit-identical scores, including the sentinel.
+      EXPECT_DOUBLE_EQ(got[i].score, expected[i].score)
+          << label << " trial " << i;
+      EXPECT_EQ(got[i].quality.scoreable, expected[i].quality.scoreable)
+          << label << " trial " << i;
+    }
+  };
+
+  Workspace workspace;
+  std::vector<ScoreOutcome> serial(requests.size());
+  sys.score_batch(requests, serial, workspace);
+  expect_same(serial, "serial");
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    ThreadPool pool(threads);
+    std::vector<Workspace> workspaces(
+        std::max<std::size_t>(1, pool.num_threads()));
+    std::vector<ScoreOutcome> parallel(requests.size());
+    sys.score_batch(requests, parallel, pool, workspaces);
+    expect_same(parallel, std::to_string(threads) + " threads");
+  }
+}
+
+TEST(FaultPipelineTest, EveryFaultKindAtFullSeverityEndsStructured) {
+  DefenseSystem sys{DefenseConfig{}};
+  const auto t = legit_trial(216);
+  OracleSegmenter seg(t.alignment, eval::reference_sensitive_set());
+  Workspace workspace;
+  for (faults::FaultKind kind : faults::all_fault_kinds()) {
+    Signal va = t.va, wear = t.wearable;
+    Rng fault_rng(400 + static_cast<std::uint64_t>(kind));
+    const auto plan = faults::severity_plan(kind, 1.0);
+    plan.apply(va, fault_rng);
+    plan.apply(wear, fault_rng);
+    Rng rng(217);
+    ScoreOutcome outcome;
+    ASSERT_NO_THROW(outcome = sys.try_score(va, wear, &seg, rng, workspace))
+        << faults::fault_name(kind);
+    // Whatever the corruption did, the outcome is one of the three
+    // documented shapes with a finite-or-sentinel score.
+    if (outcome.ok()) {
+      EXPECT_TRUE(std::isfinite(outcome.score)) << faults::fault_name(kind);
+    } else {
+      EXPECT_TRUE(is_indeterminate_score(outcome.score))
+          << faults::fault_name(kind);
+    }
+  }
+}
+
+TEST(FaultPipelineTest, RandomFaultComboSoakNeverThrows) {
+  DefenseConfig cfg;
+  cfg.mode = DefenseMode::kVibrationBaseline;  // widest reachable surface
+  DefenseSystem sys(cfg);
+  const auto t = legit_trial(218);
+  Workspace workspace;
+  Rng pick(219);
+  const auto kinds = faults::all_fault_kinds();
+  for (int iter = 0; iter < 12; ++iter) {
+    // 1-3 random fault kinds at random severities, stacked in order on
+    // both channels.
+    Signal va = t.va, wear = t.wearable;
+    Rng fault_rng(500 + static_cast<std::uint64_t>(iter));
+    const auto count = static_cast<std::size_t>(pick.uniform_int(1, 3));
+    for (std::size_t k = 0; k < count; ++k) {
+      const auto kind = kinds[static_cast<std::size_t>(
+          pick.uniform_int(0, static_cast<std::int64_t>(kinds.size()) - 1))];
+      const auto plan = faults::severity_plan(kind, pick.uniform(0.1, 1.0));
+      plan.apply(va, fault_rng);
+      plan.apply(wear, fault_rng);
+    }
+    Rng rng(220);
+    ScoreOutcome outcome;
+    ASSERT_NO_THROW(outcome = sys.try_score(va, wear, nullptr, rng,
+                                            workspace))
+        << "iteration " << iter;
+    EXPECT_TRUE(outcome.status == ScoreStatus::kOk ||
+                outcome.status == ScoreStatus::kIndeterminate ||
+                outcome.status == ScoreStatus::kError)
+        << "iteration " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace vibguard::core

@@ -1,0 +1,233 @@
+#include "faults/injectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/generate.hpp"
+
+namespace vibguard::faults {
+namespace {
+
+Signal test_tone() { return dsp::tone(50.0, 1.0, 1000.0, 0.5); }
+
+bool identical(const Signal& a, const Signal& b) {
+  if (a.size() != b.size() || a.sample_rate() != b.sample_rate()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool both_nan = std::isnan(a[i]) && std::isnan(b[i]);
+    if (!both_nan && a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+TEST(FaultsTest, NamesRoundTripForEveryKind) {
+  const auto kinds = all_fault_kinds();
+  EXPECT_EQ(kinds.size(), 7u);
+  for (FaultKind kind : kinds) {
+    EXPECT_EQ(fault_by_name(fault_name(kind)), kind) << fault_name(kind);
+  }
+  EXPECT_THROW(fault_by_name("cosmic_rays"), vibguard::InvalidArgument);
+}
+
+TEST(FaultsTest, PlanComposesAndDescribes) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.describe(), "none");
+  // An empty plan is the identity.
+  Signal s = test_tone();
+  const Signal before = s;
+  Rng rng(1);
+  plan.apply(s, rng);
+  EXPECT_TRUE(identical(s, before));
+
+  plan.add(std::make_shared<TruncationInjector>(0.5))
+      .add(std::make_shared<ClippingInjector>(0.5));
+  EXPECT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.describe(), "truncation+clipping");
+  EXPECT_THROW(plan.add(nullptr), vibguard::InvalidArgument);
+}
+
+TEST(FaultsTest, EveryInjectorIsSeedDeterministic) {
+  for (FaultKind kind : all_fault_kinds()) {
+    const FaultPlan plan = severity_plan(kind, 0.7);
+    ASSERT_FALSE(plan.empty()) << fault_name(kind);
+    Signal a = test_tone(), b = test_tone();
+    Rng ra(99), rb(99);
+    plan.apply(a, ra);
+    plan.apply(b, rb);
+    EXPECT_TRUE(identical(a, b)) << fault_name(kind);
+  }
+}
+
+TEST(FaultsTest, SeverityPlanZeroIsBaselineAndClampsAbove) {
+  EXPECT_TRUE(severity_plan(FaultKind::kDropout, 0.0).empty());
+  EXPECT_TRUE(severity_plan(FaultKind::kBurst, -1.0).empty());
+  // Severity clamps to 1: the same seed gives the same corruption at 1 and 5.
+  Signal a = test_tone(), b = test_tone();
+  Rng ra(3), rb(3);
+  severity_plan(FaultKind::kClipping, 1.0).apply(a, ra);
+  severity_plan(FaultKind::kClipping, 5.0).apply(b, rb);
+  EXPECT_TRUE(identical(a, b));
+}
+
+TEST(FaultsTest, DropoutZeroFillCreatesGaps) {
+  Signal s = dsp::tone(50.0, 2.0, 1000.0, 0.5);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] += 1.0;  // no natural zeros
+  Rng rng(7);
+  DropoutInjector(20.0, 0.05).apply(s, rng);
+  const std::size_t zeros = static_cast<std::size_t>(
+      std::count(s.begin(), s.end(), 0.0));
+  EXPECT_GT(zeros, 0u);
+  EXPECT_LT(zeros, s.size());  // some signal survives
+}
+
+TEST(FaultsTest, DropoutHoldFillRepeatsLastGoodSample) {
+  // On a strictly increasing ramp, a held gap shows up as repeated values;
+  // zero-fill would introduce values outside the ramp's range.
+  std::vector<double> ramp(2000);
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = 1.0 + static_cast<double>(i) * 1e-3;
+  }
+  Signal s(std::move(ramp), 1000.0);
+  Rng rng(8);
+  DropoutInjector(10.0, 0.05, DropoutInjector::Fill::kHold).apply(s, rng);
+  std::size_t repeats = 0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_GE(s[i - 1], 1.0);  // hold never writes zeros
+    if (s[i] == s[i - 1]) ++repeats;
+  }
+  EXPECT_GT(repeats, 0u);
+}
+
+TEST(FaultsTest, ClippingClampsToFractionOfPeak) {
+  Signal s = test_tone();
+  Rng rng(9);
+  ClippingInjector(0.4).apply(s, rng);
+  double peak = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    peak = std::max(peak, std::abs(s[i]));
+  }
+  EXPECT_NEAR(peak, 0.4 * 0.5, 1e-12);
+
+  // level_fraction >= 1 and silence are no-ops.
+  Signal t = test_tone();
+  const Signal before = t;
+  ClippingInjector(1.0).apply(t, rng);
+  EXPECT_TRUE(identical(t, before));
+  Signal silent = Signal::zeros(100, 1000.0);
+  ClippingInjector(0.1).apply(silent, rng);
+  for (std::size_t i = 0; i < silent.size(); ++i) EXPECT_EQ(silent[i], 0.0);
+}
+
+TEST(FaultsTest, StuckAtHoldsOneReading) {
+  // The start position is uniform, so any single seed may clamp the stuck
+  // stretch at the end of the capture; over several seeds the full 300
+  // samples (0.3 s at 1 kHz) must show up, and never more than 300 + 1.
+  std::size_t best = 1;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Signal s = test_tone();
+    Rng rng(seed);
+    StuckAtInjector(0.3).apply(s, rng);
+    std::size_t longest = 1, run = 1;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      run = (s[i] == s[i - 1]) ? run + 1 : 1;
+      longest = std::max(longest, run);
+    }
+    EXPECT_GT(longest, 1u) << "seed " << seed;
+    EXPECT_LE(longest, 301u) << "seed " << seed;
+    best = std::max(best, longest);
+  }
+  EXPECT_GE(best, 300u);
+}
+
+TEST(FaultsTest, ClockDriftShortensCaptureKeepsRateLabel) {
+  const Signal before = test_tone();
+  Signal s = before;
+  Rng rng(11);
+  ClockDriftInjector(20000.0).apply(s, rng);  // 2% fast clock
+  EXPECT_LT(s.size(), before.size());
+  EXPECT_GE(s.size(), before.size() - before.size() / 40);
+  EXPECT_DOUBLE_EQ(s.sample_rate(), before.sample_rate());
+
+  // Zero drift, zero jitter resamples onto the identity grid.
+  Signal id = before;
+  ClockDriftInjector(0.0).apply(id, rng);
+  EXPECT_TRUE(identical(id, before));
+}
+
+TEST(FaultsTest, BurstAddsInterferenceEnergy) {
+  const Signal before = test_tone();
+  Signal s = before;
+  Rng rng(12);
+  BurstInjector(8.0, 0.05, 2.0).apply(s, rng);
+  ASSERT_EQ(s.size(), before.size());
+  double diff_energy = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double d = s[i] - before[i];
+    diff_energy += d * d;
+  }
+  EXPECT_GT(diff_energy, 0.0);
+}
+
+TEST(FaultsTest, TruncationKeepsLeadingFraction) {
+  const Signal before = test_tone();
+  Signal s = before;
+  Rng rng(13);
+  TruncationInjector(0.25).apply(s, rng);
+  ASSERT_EQ(s.size(), before.size() / 4);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i], before[i]) << "sample " << i;
+  }
+  Signal gone = before;
+  TruncationInjector(0.0).apply(gone, rng);
+  EXPECT_TRUE(gone.empty());
+}
+
+TEST(FaultsTest, NonFiniteContaminatesAtConfiguredRate) {
+  Signal s = dsp::tone(50.0, 10.0, 1000.0, 0.5);
+  Rng rng(14);
+  NonFiniteInjector(0.1, 0.5).apply(s, rng);
+  std::size_t nans = 0, infs = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (std::isnan(s[i])) ++nans;
+    if (std::isinf(s[i])) ++infs;
+  }
+  EXPECT_GT(nans, 0u);
+  EXPECT_GT(infs, 0u);
+  // ~10% of 10000 samples; a loose band catches rate bugs, not rng drift.
+  EXPECT_NEAR(static_cast<double>(nans + infs), 1000.0, 300.0);
+
+  Signal clean = test_tone();
+  const Signal before = clean;
+  NonFiniteInjector(0.0).apply(clean, rng);
+  EXPECT_TRUE(identical(clean, before));
+}
+
+TEST(FaultsTest, ConstructorsRejectInvalidParameters) {
+  EXPECT_THROW(DropoutInjector(-1.0, 0.1), vibguard::InvalidArgument);
+  EXPECT_THROW(DropoutInjector(1.0, -0.1), vibguard::InvalidArgument);
+  EXPECT_THROW(ClippingInjector(-0.5), vibguard::InvalidArgument);
+  EXPECT_THROW(StuckAtInjector(-1.0), vibguard::InvalidArgument);
+  EXPECT_THROW(ClockDriftInjector(1.0, -1.0), vibguard::InvalidArgument);
+  EXPECT_THROW(BurstInjector(-1.0, 0.1, 1.0), vibguard::InvalidArgument);
+  EXPECT_THROW(TruncationInjector(-0.1), vibguard::InvalidArgument);
+  EXPECT_THROW(TruncationInjector(1.5), vibguard::InvalidArgument);
+  EXPECT_THROW(NonFiniteInjector(2.0), vibguard::InvalidArgument);
+  EXPECT_THROW(NonFiniteInjector(0.5, 2.0), vibguard::InvalidArgument);
+}
+
+TEST(FaultsTest, InjectorsAreSafeOnEmptySignals) {
+  for (FaultKind kind : all_fault_kinds()) {
+    Signal empty({}, 1000.0);
+    Rng rng(15);
+    EXPECT_NO_THROW(severity_plan(kind, 1.0).apply(empty, rng))
+        << fault_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace vibguard::faults
