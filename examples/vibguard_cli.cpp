@@ -7,12 +7,15 @@
 //   vibguard_cli attack-study              Table I style trigger study
 //   vibguard_cli fault-sweep [--fault F] [--trials N]
 //                                          EER-vs-fault-severity robustness
+//   vibguard_cli load-sweep [--trials N] [--capacity N] [--deadline-ms N]
+//                                          overload behavior vs offered load
 //   vibguard_cli export-audio [DIR]        write demo WAV files
 //
 // All subcommands are deterministic for a fixed --seed (default 42).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 
 #include "acoustics/barrier.hpp"
@@ -25,6 +28,7 @@
 #include "eval/confidence.hpp"
 #include "eval/experiment.hpp"
 #include "eval/fault_sweep.hpp"
+#include "eval/load_sweep.hpp"
 #include "eval/scenario.hpp"
 #include "faults/fault.hpp"
 #include "speech/corpus.hpp"
@@ -41,8 +45,29 @@ struct Args {
   std::size_t trials = 20;
   std::size_t segments = 20;
   std::uint64_t seed = 42;
+  std::size_t capacity = 8;
+  std::uint64_t deadline_ms = 400;
   std::string dir = "vibguard_audio";
 };
+
+/// Parses a numeric flag value, turning every malformed shape — empty,
+/// non-numeric, trailing junk, negative, out of range — into an
+/// InvalidArgument with the flag name, instead of the uncaught std::stoul
+/// exceptions (or silent partial parses) that would otherwise crash the CLI.
+std::uint64_t parse_number(const std::string& flag, const std::string& text) {
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (text.empty() || pos != text.size() || text[0] == '-') {
+    throw InvalidArgument(flag + " needs a non-negative integer, got '" +
+                          text + "'");
+  }
+  return value;
+}
 
 Args parse(int argc, char** argv) {
   Args args;
@@ -52,13 +77,17 @@ Args parse(int argc, char** argv) {
     auto next = [&]() -> std::string {
       return i + 1 < argc ? argv[++i] : "";
     };
+    auto number = [&]() { return parse_number(flag, next()); };
     if (flag == "--attack") args.attack = next();
     else if (flag == "--fault") args.fault = next();
     else if (flag == "--room") args.room = next();
-    else if (flag == "--trials") args.trials = std::stoul(next());
-    else if (flag == "--segments") args.segments = std::stoul(next());
-    else if (flag == "--seed") args.seed = std::stoull(next());
+    else if (flag == "--trials") args.trials = number();
+    else if (flag == "--segments") args.segments = number();
+    else if (flag == "--seed") args.seed = number();
+    else if (flag == "--capacity") args.capacity = number();
+    else if (flag == "--deadline-ms") args.deadline_ms = number();
     else if (flag[0] != '-') args.dir = flag;
+    else throw InvalidArgument("unknown flag: " + flag);
   }
   return args;
 }
@@ -196,6 +225,19 @@ int cmd_fault_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_load_sweep(const Args& args) {
+  eval::LoadSweepConfig cfg;
+  cfg.scenario.room = acoustics::room_by_name(args.room);
+  cfg.attack = attack_by_name(args.attack);
+  cfg.legit_trials = args.trials;
+  cfg.attack_trials = args.trials;
+  cfg.queue_capacity = args.capacity;
+  cfg.deadline_us = args.deadline_ms * 1000;
+  const auto result = eval::run_load_sweep(cfg, args.seed);
+  std::printf("%s", result.summary().c_str());
+  return 0;
+}
+
 int cmd_export_audio(const Args& args) {
   std::filesystem::create_directories(args.dir);
   Rng rng(args.seed);
@@ -221,28 +263,35 @@ void usage() {
       "  experiment      ROC/AUC/EER for all three evaluation arms\n"
       "  attack-study    VA trigger probabilities vs SPL\n"
       "  fault-sweep     EER vs fault severity (robustness curves)\n"
+      "  load-sweep      serving rates and EER vs offered load\n"
       "  export-audio    write demo WAV files\n"
       "options: --attack random|replay|synthesis|hidden_voice\n"
       "         --fault all|dropout|clipping|stuck_at|clock_drift|burst|\n"
       "                 truncation|non_finite\n"
-      "         --room A|B|C|D  --trials N  --segments N  --seed S\n");
+      "         --room A|B|C|D  --trials N  --segments N  --seed S\n"
+      "         --capacity N  --deadline-ms N  (load-sweep)\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse(argc, argv);
+  // parse() throws on malformed flags (bad numbers, unknown options), so it
+  // runs inside the same guard as the subcommands: the user gets a usage
+  // error and exit code 2, never an uncaught-exception crash.
   try {
+    const Args args = parse(argc, argv);
     if (args.command == "demo") return cmd_demo(args);
     if (args.command == "selection") return cmd_selection(args);
     if (args.command == "experiment") return cmd_experiment(args);
     if (args.command == "attack-study") return cmd_attack_study(args);
     if (args.command == "fault-sweep") return cmd_fault_sweep(args);
+    if (args.command == "load-sweep") return cmd_load_sweep(args);
     if (args.command == "export-audio") return cmd_export_audio(args);
+    usage();
+    return args.command.empty() ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    usage();
     return 2;
   }
-  usage();
-  return args.command.empty() ? 0 : 1;
 }

@@ -1,0 +1,36 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace vibguard {
+
+std::uint64_t SteadyClock::now_us() const {
+  // Anchor the epoch at the first query so values stay small and uniform
+  // across platforms whose steady_clock epochs differ.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void SteadyClock::sleep_us(std::uint64_t us) const {
+  if (us == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+const SteadyClock& SteadyClock::instance() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+void VirtualClock::set(std::uint64_t us) const {
+  const std::uint64_t current = now_.load(std::memory_order_relaxed);
+  VIBGUARD_REQUIRE(us >= current, "virtual clock cannot move backwards");
+  now_.store(us, std::memory_order_relaxed);
+}
+
+}  // namespace vibguard

@@ -1,0 +1,113 @@
+// Injectable time source and deadline budgets for the serving runtime.
+//
+// Every serving-layer feature that depends on time — per-command deadline
+// budgets, retry backoff waits, circuit-breaker cooldowns, queue-time
+// accounting — reads the clock through this abstraction instead of calling
+// std::chrono directly. Production code injects SteadyClock (monotonic wall
+// time); tests and the discrete-event load sweep inject VirtualClock, whose
+// time only moves when the caller advances it, so every timeout, backoff
+// schedule and breaker transition is bit-reproducible. Pipeline scoring
+// itself never reads a clock unless a Deadline is supplied, which keeps the
+// repo's determinism guarantee: with no deadline configured, scores are
+// bit-identical whether or not a clock exists.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+namespace vibguard {
+
+/// Monotonic microsecond time source. Implementations must be safe to share
+/// across threads.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary fixed epoch (monotonic, never
+  /// decreasing).
+  virtual std::uint64_t now_us() const = 0;
+
+  /// Blocks (or, for virtual clocks, advances time) for `us` microseconds.
+  virtual void sleep_us(std::uint64_t us) const = 0;
+};
+
+/// Wall-clock implementation over std::chrono::steady_clock. The epoch is
+/// the first use within the process.
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t now_us() const override;
+  void sleep_us(std::uint64_t us) const override;
+
+  /// Shared process-wide instance.
+  static const SteadyClock& instance();
+};
+
+/// Deterministic manually-advanced clock for tests and simulation. Time
+/// starts at `start_us` and moves only through advance()/set()/sleep_us().
+/// Thread-safe: the current time is a single atomic.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(std::uint64_t start_us = 0) : now_(start_us) {}
+
+  std::uint64_t now_us() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  /// Sleeping on a virtual clock advances it: code written against the
+  /// Clock interface behaves identically under simulation.
+  void sleep_us(std::uint64_t us) const override { advance(us); }
+
+  /// Moves time forward by `us` microseconds.
+  void advance(std::uint64_t us) const {
+    now_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+  /// Jumps to an absolute time; must not move backwards.
+  void set(std::uint64_t us) const;
+
+ private:
+  mutable std::atomic<std::uint64_t> now_;
+};
+
+/// A point in time a unit of work must finish by, bound to the clock that
+/// defines it. A default-constructed Deadline never expires (and reads no
+/// clock at all), so APIs can accept `const Deadline*` with nullptr meaning
+/// "no budget" at zero cost.
+class Deadline {
+ public:
+  /// No deadline: never expires, never reads a clock.
+  Deadline() = default;
+
+  /// Expires when `clock` reaches `expires_at_us`.
+  Deadline(const Clock& clock, std::uint64_t expires_at_us)
+      : clock_(&clock), expires_at_us_(expires_at_us) {}
+
+  /// Deadline `budget_us` from now on `clock`.
+  static Deadline after(const Clock& clock, std::uint64_t budget_us) {
+    return Deadline(clock, clock.now_us() + budget_us);
+  }
+
+  /// True when a finite budget is attached.
+  bool bounded() const { return clock_ != nullptr; }
+
+  /// True once the clock has reached the expiry time.
+  bool expired() const {
+    return clock_ != nullptr && clock_->now_us() >= expires_at_us_;
+  }
+
+  /// Microseconds left before expiry; 0 when expired, max() when unbounded.
+  std::uint64_t remaining_us() const {
+    if (clock_ == nullptr) return std::numeric_limits<std::uint64_t>::max();
+    const std::uint64_t now = clock_->now_us();
+    return now >= expires_at_us_ ? 0 : expires_at_us_ - now;
+  }
+
+  std::uint64_t expires_at_us() const { return expires_at_us_; }
+
+ private:
+  const Clock* clock_ = nullptr;
+  std::uint64_t expires_at_us_ = 0;
+};
+
+}  // namespace vibguard

@@ -1,5 +1,7 @@
 #include "common/thread_pool.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -91,15 +93,28 @@ void ThreadPool::worker_loop(std::size_t worker_id) {
 }
 
 std::size_t recommended_threads() {
-  if (const char* env = std::getenv("VIBGUARD_THREADS")) {
-    char* end = nullptr;
-    const long value = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && value > 0) {
-      return static_cast<std::size_t>(value);
-    }
-  }
   const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+  const std::size_t fallback = hc == 0 ? 1 : static_cast<std::size_t>(hc);
+  const char* env = std::getenv("VIBGUARD_THREADS");
+  if (env == nullptr) return fallback;
+  // Guard against every malformed shape — non-numeric, trailing junk,
+  // negative, zero, or overflowing strtol (ERANGE) — and against absurd
+  // but representable counts that would exhaust the process spawning
+  // threads. All of them fall back to the hardware default with one
+  // warning rather than undefined behavior.
+  constexpr long kMaxThreads = 4096;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || value <= 0 ||
+      value > kMaxThreads) {
+    std::fprintf(stderr,
+                 "vibguard: ignoring invalid VIBGUARD_THREADS='%s' "
+                 "(want an integer in 1..%ld); using %zu thread(s)\n",
+                 env, kMaxThreads, fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(value);
 }
 
 }  // namespace vibguard

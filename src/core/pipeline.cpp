@@ -22,6 +22,7 @@ const char* score_status_name(ScoreStatus status) {
     case ScoreStatus::kOk: return "ok";
     case ScoreStatus::kIndeterminate: return "indeterminate";
     case ScoreStatus::kError: return "error";
+    case ScoreStatus::kDeadlineExceeded: return "deadline_exceeded";
   }
   VIBGUARD_UNREACHABLE();
 }
@@ -47,8 +48,8 @@ double DefenseSystem::score(const Signal& va_recording,
 double DefenseSystem::score(const Signal& va_recording,
                             const Signal& wearable_recording,
                             const Segmenter* segmenter, Rng& rng,
-                            Workspace& workspace,
-                            PipelineTrace* trace) const {
+                            Workspace& workspace, PipelineTrace* trace,
+                            const Deadline* deadline) const {
   VIBGUARD_REQUIRE(!va_recording.empty() && !wearable_recording.empty(),
                    "both recordings must be non-empty");
   VIBGUARD_REQUIRE(
@@ -67,15 +68,26 @@ double DefenseSystem::score(const Signal& va_recording,
   ctx.rng = &rng;
   ctx.ws = &workspace;
   ctx.trace = trace;
+  ctx.deadline = deadline;
 
   if (trace != nullptr) trace->begin_run();
   workspace.quality.clear();
   workspace.current_stage = "";
+  workspace.deadline_expired = false;
 
   using Clock = std::chrono::steady_clock;
   const auto run_start = Clock::now();
   std::size_t samples_in = va_recording.size() + wearable_recording.size();
   for (const Stage* stage : stage_sequence(config_.mode)) {
+    // Cooperative cancellation: the budget is checked between stages only,
+    // so an expired trial ends cleanly at a stage boundary (the workspace
+    // holds no partial state the next run would observe) and a null
+    // deadline costs nothing.
+    if (deadline != nullptr && deadline->expired()) {
+      workspace.deadline_expired = true;
+      ctx.score = kIndeterminateScore;
+      break;
+    }
     const std::uint64_t allocs_before = allocation_count();
     const auto stage_start = Clock::now();
     ctx.stage_samples_out = 0;
@@ -119,7 +131,8 @@ ScoreOutcome DefenseSystem::try_score(const Signal& va_recording,
                                       const Signal& wearable_recording,
                                       const Segmenter* segmenter, Rng& rng,
                                       Workspace& workspace,
-                                      PipelineTrace* trace) const {
+                                      PipelineTrace* trace,
+                                      const Deadline* deadline) const {
   ScoreOutcome outcome;
   // The plain API treats empty inputs as caller errors; here they are a
   // deployment reality (absent wearable capture, zero-length upload) and
@@ -133,14 +146,18 @@ ScoreOutcome DefenseSystem::try_score(const Signal& va_recording,
   }
   workspace.current_stage = "precheck";  // config errors throw before stage 1
   // A throw before the stage driver's own clear() (e.g. a missing
-  // segmenter) must not leak the previous trial's quality report out of a
-  // reused workspace.
+  // segmenter) must not leak the previous trial's quality report — or its
+  // deadline flag — out of a reused workspace.
   workspace.quality.clear();
+  workspace.deadline_expired = false;
   try {
     const double s = score(va_recording, wearable_recording, segmenter, rng,
-                           workspace, trace);
+                           workspace, trace, deadline);
     outcome.quality = workspace.quality;
-    if (is_indeterminate_score(s)) {
+    if (workspace.deadline_expired) {
+      outcome.status = ScoreStatus::kDeadlineExceeded;
+      outcome.reason = "deadline_exceeded";
+    } else if (is_indeterminate_score(s)) {
       outcome.status = ScoreStatus::kIndeterminate;
       outcome.reason = workspace.quality.scoreable
                            ? "degenerate_features"
@@ -173,7 +190,7 @@ void DefenseSystem::score_batch(std::span<const ScoreRequest> requests,
     const ScoreRequest& req = requests[i];
     Rng rng = req.rng;  // each request scores from its own stream copy
     out[i] = score(*req.va, *req.wearable, req.segmenter, rng, workspace,
-                   sink);
+                   sink, req.deadline);
     if (stats != nullptr) stats->add(*sink);
   }
 }
@@ -191,7 +208,7 @@ void DefenseSystem::score_batch(std::span<const ScoreRequest> requests,
         const ScoreRequest& req = requests[i];
         Rng rng = req.rng;
         out[i] = score(*req.va, *req.wearable, req.segmenter, rng,
-                       workspaces[worker]);
+                       workspaces[worker], nullptr, req.deadline);
       });
 }
 
@@ -208,7 +225,7 @@ void DefenseSystem::score_batch(std::span<const ScoreRequest> requests,
     const ScoreRequest& req = requests[i];
     Rng rng = req.rng;  // each request scores from its own stream copy
     out[i] = try_score(*req.va, *req.wearable, req.segmenter, rng, workspace,
-                       sink);
+                       sink, req.deadline);
     if (stats != nullptr) stats->add(*sink);
   }
 }
@@ -226,7 +243,7 @@ void DefenseSystem::score_batch(std::span<const ScoreRequest> requests,
         const ScoreRequest& req = requests[i];
         Rng rng = req.rng;
         out[i] = try_score(*req.va, *req.wearable, req.segmenter, rng,
-                           workspaces[worker]);
+                           workspaces[worker], nullptr, req.deadline);
       });
 }
 

@@ -79,6 +79,8 @@ struct ScoreRequest {
   const Signal* wearable = nullptr;
   const Segmenter* segmenter = nullptr;  ///< required in kFull mode
   Rng rng;
+  /// Optional per-request time budget (borrowed; null = unbounded).
+  const Deadline* deadline = nullptr;
 };
 
 /// How one trial through the quality-aware scoring API ended.
@@ -86,6 +88,7 @@ enum class ScoreStatus {
   kOk,             ///< pipeline produced a real correlation score
   kIndeterminate,  ///< quality gate halted the run / degenerate features
   kError,          ///< a stage threw; the exception was captured per-trial
+  kDeadlineExceeded,  ///< the trial's Deadline expired at a stage boundary
 };
 
 /// Human-readable status name.
@@ -99,6 +102,10 @@ const char* score_status_name(ScoreStatus status);
 ///                    or "degenerate_features"; `quality` has the details.
 ///   kError         — a stage threw; `reason` is the stage name and `error`
 ///                    the exception message. The batch continues.
+///   kDeadlineExceeded — the request's Deadline expired before the pipeline
+///                    finished; `score` is kIndeterminateScore and `reason`
+///                    is "deadline_exceeded". The trial was cancelled
+///                    cooperatively at a stage boundary, never mid-stage.
 struct ScoreOutcome {
   ScoreStatus status = ScoreStatus::kOk;
   double score = kIndeterminateScore;
@@ -130,20 +137,27 @@ class DefenseSystem {
 
   /// Workspace overload: identical semantics and bit-identical scores, but
   /// all intermediate storage lives in the caller-owned `workspace`, so
-  /// repeated calls allocate nothing once the workspace is warm.
+  /// repeated calls allocate nothing once the workspace is warm. When
+  /// `deadline` is non-null it is checked at every stage boundary; an
+  /// expired run stops cooperatively, returns kIndeterminateScore and sets
+  /// Workspace::deadline_expired (try_score surfaces the distinct status).
+  /// A null deadline — the default — reads no clock at all.
   double score(const Signal& va_recording, const Signal& wearable_recording,
                const Segmenter* segmenter, Rng& rng, Workspace& workspace,
-               PipelineTrace* trace = nullptr) const;
+               PipelineTrace* trace = nullptr,
+               const Deadline* deadline = nullptr) const;
 
   /// Exception-safe, quality-aware scoring: never throws for malformed
   /// inputs. Empty recordings, gate-halted runs and degenerate features
   /// yield kIndeterminate; a throwing stage yields kError with the stage
-  /// name and message. Healthy inputs score bit-identical to score().
+  /// name and message; an expired `deadline` yields kDeadlineExceeded.
+  /// Healthy inputs score bit-identical to score().
   ScoreOutcome try_score(const Signal& va_recording,
                          const Signal& wearable_recording,
                          const Segmenter* segmenter, Rng& rng,
                          Workspace& workspace,
-                         PipelineTrace* trace = nullptr) const;
+                         PipelineTrace* trace = nullptr,
+                         const Deadline* deadline = nullptr) const;
 
   /// Scores `requests.size()` commands into `out` (same size required),
   /// reusing one workspace across the whole batch. Each request's scoring

@@ -1,5 +1,6 @@
 #include "core/session.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/error.hpp"
@@ -10,6 +11,11 @@ namespace {
 /// Retry forks are labeled from this base ("Retr") so they are decorrelated
 /// from every other consumer of the command's rng stream.
 constexpr std::uint64_t kRetryForkLabel = 0x52657472ULL;
+
+/// Backoff delays draw from this fork ("Bkof") of the command's entry
+/// stream: the schedule is deterministic per command yet never touches the
+/// scoring streams, so enabling backoff cannot perturb scores.
+constexpr std::uint64_t kBackoffForkLabel = 0x426b6f66ULL;
 
 double nan_score() { return std::numeric_limits<double>::quiet_NaN(); }
 
@@ -30,29 +36,56 @@ const char* verdict_name(Verdict verdict) {
     case Verdict::kAttackDetected: return "attack_detected";
     case Verdict::kWearableAbsent: return "wearable_absent";
     case Verdict::kIndeterminate: return "indeterminate";
+    case Verdict::kRejectedOverload: return "rejected_overload";
   }
   VIBGUARD_UNREACHABLE();
 }
 
-DefenseSession::DefenseSession(DefenseConfig config, SessionPolicy policy)
-    : system_(std::move(config)), policy_(policy) {}
+DefenseSession::DefenseSession(DefenseConfig config, SessionPolicy policy,
+                               const Clock* clock)
+    : system_(std::move(config)), policy_(policy), clock_(clock) {
+  if (policy_.breaker.has_value()) {
+    DefenseConfig degraded = system_.config();
+    degraded.mode = policy_.degraded_mode;
+    degraded_system_.emplace(std::move(degraded));
+    breaker_.emplace(*policy_.breaker, this->clock());
+  }
+}
 
-void DefenseSession::score_with_retries(SessionEvent& event, const Signal& va,
-                                        const Signal& wearable,
-                                        const Segmenter* segmenter,
-                                        const Rng& base, Rng& rng) {
-  ScoreOutcome outcome =
-      system_.try_score(va, wearable, segmenter, rng, workspace_, &trace_);
+ScoreOutcome DefenseSession::score_with_retries(
+    SessionEvent& event, const DefenseSystem& system, const Signal& va,
+    const Signal& wearable, const Segmenter* segmenter, const Rng& base,
+    Rng& rng, const Deadline* deadline) {
+  ScoreOutcome outcome = system.try_score(va, wearable, segmenter, rng,
+                                          workspace_, &trace_, deadline);
   pipeline_stats_.add(trace_);
   // An unscoreable command models as a re-request: retry on a decorrelated
   // fork of the command's entry stream. Forking from `base` (not from the
   // advanced caller stream) keeps sequential and batch processing
-  // bit-identical.
+  // bit-identical. A deadline-exceeded attempt is never retried — the
+  // budget covers the whole command, and it is spent.
+  std::optional<serving::BackoffSchedule> backoff;
   for (std::size_t attempt = 1;
-       !outcome.ok() && attempt <= policy_.max_retries; ++attempt) {
+       !outcome.ok() && outcome.status != ScoreStatus::kDeadlineExceeded &&
+       attempt <= policy_.max_retries;
+       ++attempt) {
+    if (clock_ != nullptr && policy_.backoff.base_us > 0) {
+      if (!backoff.has_value()) {
+        backoff.emplace(policy_.backoff, base.fork(kBackoffForkLabel));
+      }
+      std::uint64_t delay = backoff->next();
+      // Never wait past the command's budget: the retry after a clipped
+      // wait observes the expiry at its first stage boundary and settles
+      // on kDeadlineExceeded instead of blocking.
+      if (deadline != nullptr) {
+        delay = std::min(delay, deadline->remaining_us());
+      }
+      clock().sleep_us(delay);
+      event.backoff_us += delay;
+    }
     Rng retry_rng = base.fork(kRetryForkLabel + attempt);
-    outcome = system_.try_score(va, wearable, segmenter, retry_rng,
-                                workspace_, &trace_);
+    outcome = system.try_score(va, wearable, segmenter, retry_rng,
+                               workspace_, &trace_, deadline);
     pipeline_stats_.add(trace_);
     ++stats_.retries;
     event.attempts = attempt + 1;
@@ -60,7 +93,7 @@ void DefenseSession::score_with_retries(SessionEvent& event, const Signal& va,
 
   if (outcome.ok()) {
     event.score = outcome.score;
-    if (outcome.score < system_.config().detection_threshold) {
+    if (outcome.score < system.config().detection_threshold) {
       event.verdict = Verdict::kAttackDetected;
       ++stats_.attacks_detected;
     } else {
@@ -72,6 +105,51 @@ void DefenseSession::score_with_retries(SessionEvent& event, const Signal& va,
     event.score = nan_score();
     event.note = outcome_note(outcome);
     ++stats_.indeterminate;
+    if (outcome.status == ScoreStatus::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+    }
+  }
+  return outcome;
+}
+
+void DefenseSession::run_policy(SessionEvent& event, const Signal& va,
+                                const Signal& wearable,
+                                const Segmenter* segmenter, Rng& rng) {
+  // Breaker routing: while the primary pipeline is unhealthy, score in the
+  // cheaper degraded mode instead of failing the same way again. Half-open
+  // probes come back as allow_primary() == true.
+  const DefenseSystem* route = &system_;
+  if (breaker_.has_value() && !breaker_->allow_primary()) {
+    route = &*degraded_system_;
+    event.degraded = true;
+    ++stats_.degraded;
+  }
+
+  Deadline deadline_storage;
+  const Deadline* deadline = nullptr;
+  if (policy_.deadline_us.has_value()) {
+    deadline_storage = Deadline::after(clock(), *policy_.deadline_us);
+    deadline = &deadline_storage;
+  }
+
+  const Rng base = rng;  // entry-point stream, for retry/backoff forks
+  const ScoreOutcome outcome = score_with_retries(
+      event, *route, va, wearable, segmenter, base, rng, deadline);
+
+  if (breaker_.has_value() && route == &system_) {
+    // Only hard failures indict the pipeline: stage errors keyed by the
+    // failing stage, deadline expiry under its own key. Quality-gated
+    // (kIndeterminate) trials are the input's fault and stay neutral.
+    if (outcome.status == ScoreStatus::kError ||
+        outcome.status == ScoreStatus::kDeadlineExceeded) {
+      breaker_->record_failure(outcome.reason);
+    } else if (outcome.status == ScoreStatus::kOk) {
+      breaker_->record_success();
+    }
+  }
+  if (event.degraded && event.note.empty()) {
+    event.note = std::string("degraded: breaker open (") +
+                 breaker_->tripped_stage() + ")";
   }
 }
 
@@ -90,9 +168,7 @@ SessionEvent DefenseSession::process(
     event.verdict = Verdict::kWearableAbsent;
     ++stats_.wearable_absent;
   } else {
-    const Rng base = rng;  // entry-point stream, for retry forks
-    score_with_retries(event, va_recording, *wearable_recording, segmenter,
-                       base, rng);
+    run_policy(event, va_recording, *wearable_recording, segmenter, rng);
   }
   ++stats_.processed;
   log_.push_back(event);
@@ -101,8 +177,38 @@ SessionEvent DefenseSession::process(
 
 std::vector<SessionEvent> DefenseSession::process_batch(
     std::span<const SessionRequest> requests) {
-  // Score the wearable-present commands in one batch pass, then emit the
-  // audit-log entries in request order.
+  // Deadlines, breaker routing and backoff are stateful per command, so
+  // when any of them is active the batch must walk the commands in order
+  // through the same policy path process() uses — equivalence with
+  // sequential processing is the API contract.
+  const bool serving_features =
+      breaker_.has_value() || policy_.deadline_us.has_value() ||
+      (clock_ != nullptr && policy_.backoff.base_us > 0);
+  if (serving_features) {
+    std::vector<SessionEvent> events;
+    events.reserve(requests.size());
+    for (const SessionRequest& req : requests) {
+      VIBGUARD_REQUIRE(req.va != nullptr, "session request needs a VA signal");
+      SessionEvent event;
+      event.index = log_.size();
+      event.label = req.label;
+      event.score = nan_score();
+      if (req.wearable == nullptr) {
+        event.verdict = Verdict::kWearableAbsent;
+        ++stats_.wearable_absent;
+      } else {
+        Rng rng = req.rng;
+        run_policy(event, *req.va, *req.wearable, req.segmenter, rng);
+      }
+      ++stats_.processed;
+      log_.push_back(event);
+      events.push_back(event);
+    }
+    return events;
+  }
+
+  // Default-policy fast path: score the wearable-present commands in one
+  // batch pass, then emit the audit-log entries in request order.
   std::vector<ScoreRequest> to_score;
   to_score.reserve(requests.size());
   for (const SessionRequest& req : requests) {
@@ -162,10 +268,68 @@ std::vector<SessionEvent> DefenseSession::process_batch(
   return events;
 }
 
+std::vector<SessionEvent> DefenseSession::process_admitted(
+    std::span<const SessionRequest> requests,
+    serving::AdmissionController& admission) {
+  std::vector<SessionEvent> events;
+  events.reserve(requests.size());
+  PipelineStats::QueueStats& q = pipeline_stats_.queue;
+
+  // Submission pass: a burst of `requests` arrives at once; whatever does
+  // not fit the bounded queue is rejected immediately — explicit
+  // backpressure, logged but never scored.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    VIBGUARD_REQUIRE(requests[i].va != nullptr,
+                     "session request needs a VA signal");
+    if (admission.try_admit(i)) {
+      ++q.admitted;
+      continue;
+    }
+    ++q.rejected;
+    SessionEvent event;
+    event.index = log_.size();
+    event.label = requests[i].label;
+    event.verdict = Verdict::kRejectedOverload;
+    event.score = nan_score();
+    event.note = "queue_full";
+    ++stats_.rejected_overload;
+    ++stats_.processed;
+    log_.push_back(event);
+    events.push_back(event);
+  }
+
+  // Drain pass: FIFO through the ordinary per-command policy path.
+  while (auto admitted = admission.next()) {
+    const SessionRequest& req = requests[admitted->request_id];
+    SessionEvent event;
+    event.index = log_.size();
+    event.label = req.label;
+    event.score = nan_score();
+    event.queue_us = admitted->queue_us;
+    ++q.dequeued;
+    q.total_queue_us += admitted->queue_us;
+    q.max_queue_us = std::max(q.max_queue_us, admitted->queue_us);
+    if (req.wearable == nullptr) {
+      event.verdict = Verdict::kWearableAbsent;
+      ++stats_.wearable_absent;
+    } else {
+      Rng rng = req.rng;
+      run_policy(event, *req.va, *req.wearable, req.segmenter, rng);
+    }
+    ++stats_.processed;
+    log_.push_back(event);
+    events.push_back(event);
+  }
+  return events;
+}
+
 void DefenseSession::reset() {
   log_.clear();
   stats_ = SessionStats{};
   pipeline_stats_.clear();
+  if (breaker_.has_value()) {
+    breaker_.emplace(*policy_.breaker, clock());
+  }
 }
 
 }  // namespace vibguard::core

@@ -32,6 +32,7 @@
 #include <span>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "common/signal.hpp"
 #include "core/detector.hpp"
@@ -81,6 +82,11 @@ struct Workspace {
   /// The stage currently executing (static name), for structured error
   /// reports when a stage throws. Maintained by the pipeline driver.
   const char* current_stage = "";
+
+  /// Set by the driver when the run's Deadline expired at a stage boundary
+  /// (cooperative cancellation); try_score maps it to
+  /// ScoreStatus::kDeadlineExceeded. Cleared at the start of every run.
+  bool deadline_expired = false;
 };
 
 /// Everything one pipeline run reads and writes. Collaborator pointers are
@@ -106,6 +112,11 @@ struct PipelineContext {
 
   // Optional trace sink (may be null).
   PipelineTrace* trace = nullptr;
+
+  /// Optional per-run time budget (may be null = unbounded). The driver
+  /// checks it at stage boundaries only — cooperative cancellation, never
+  /// mid-stage — and a null deadline reads no clock at all.
+  const Deadline* deadline = nullptr;
 
   // Dataflow cursors: the current (VA, wearable) signal pair.
   const Signal* cur_va = nullptr;

@@ -46,11 +46,17 @@ void PipelineStats::merge(const PipelineStats& other) {
     it->max_wall_us = std::max(it->max_wall_us, os.max_wall_us);
     it->total_allocations += os.total_allocations;
   }
+  queue.admitted += other.queue.admitted;
+  queue.rejected += other.queue.rejected;
+  queue.dequeued += other.queue.dequeued;
+  queue.total_queue_us += other.queue.total_queue_us;
+  queue.max_queue_us = std::max(queue.max_queue_us, other.queue.max_queue_us);
 }
 
 void PipelineStats::clear() {
   commands = 0;
   stages.clear();
+  queue = QueueStats{};
 }
 
 std::string PipelineStats::summary() const {
@@ -69,6 +75,16 @@ std::string PipelineStats::summary() const {
                   s.mean_wall_us(),
                   static_cast<unsigned long long>(s.max_wall_us),
                   static_cast<unsigned long long>(s.total_allocations));
+    out += line;
+  }
+  if (queue.admitted + queue.rejected > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  queue: %llu admitted, %llu rejected, mean wait %.1f us, "
+                  "max wait %llu us\n",
+                  static_cast<unsigned long long>(queue.admitted),
+                  static_cast<unsigned long long>(queue.rejected),
+                  queue.mean_queue_us(),
+                  static_cast<unsigned long long>(queue.max_queue_us));
     out += line;
   }
   return out;

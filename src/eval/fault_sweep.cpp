@@ -153,6 +153,11 @@ FaultSweepResult run_fault_sweep(const FaultSweepConfig& config,
         case core::ScoreStatus::kError:
           ++point.errors;
           break;
+        case core::ScoreStatus::kDeadlineExceeded:
+          // Unreachable here (the sweep scores without a deadline), but the
+          // status space must stay covered.
+          ++point.errors;
+          break;
       }
     }
     if (legit.size() >= kMinClassScores && attack.size() >= kMinClassScores) {

@@ -1,0 +1,265 @@
+#include "eval/load_sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "core/segmentation.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "speech/command.hpp"
+#include "speech/speaker.hpp"
+
+namespace vibguard::eval {
+namespace {
+
+/// EER needs a minimally populated pair of score classes to mean anything;
+/// below this we report NaN instead of a fabricated number.
+constexpr std::size_t kMinClassScores = 2;
+
+double nan_metric() { return std::numeric_limits<double>::quiet_NaN(); }
+
+double eer_or_nan(const std::vector<double>& attack,
+                  const std::vector<double>& legit) {
+  if (attack.size() < kMinClassScores || legit.size() < kMinClassScores) {
+    return nan_metric();
+  }
+  return compute_roc(attack, legit).eer;
+}
+
+}  // namespace
+
+std::string LoadSweepResult::summary() const {
+  std::string out = "load sweep\n";
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "  %7s %5s %6s %6s %7s %8s %8s %6s %5s %10s %8s %8s\n",
+                "rps", "arr", "reject", "dlmiss", "primary", "degraded",
+                "indeterm", "error", "trips", "queue us", "EERpri",
+                "EERdeg");
+  out += line;
+  for (const LoadSweepPoint& p : points) {
+    std::snprintf(line, sizeof(line),
+                  "  %7.1f %5zu %6zu %6zu %7zu %8zu %8zu %6zu %5zu %10.0f "
+                  "%8.3f %8.3f\n",
+                  p.offered_rps, p.arrivals, p.rejected, p.deadline_missed,
+                  p.scored_primary, p.scored_degraded, p.indeterminate,
+                  p.errors, p.breaker_trips, p.mean_queue_us, p.eer_primary,
+                  p.eer_degraded);
+    out += line;
+  }
+  return out;
+}
+
+LoadSweepResult run_load_sweep(const LoadSweepConfig& config,
+                               std::uint64_t seed) {
+  VIBGUARD_REQUIRE(config.num_speakers >= 2,
+                   "need at least two speakers (victim + adversary)");
+  VIBGUARD_REQUIRE(!config.offered_rps.empty(),
+                   "offered-load grid must be non-empty");
+  for (const double rps : config.offered_rps) {
+    VIBGUARD_REQUIRE(rps > 0.0, "offered load must be positive");
+  }
+
+  // Render the trial population once, mirroring the fault sweep's
+  // deterministic definition: one shared simulator stream in a fixed order.
+  Rng rng(seed);
+  const auto speakers = speech::sample_population(config.num_speakers, rng);
+  ScenarioSimulator sim(config.scenario, seed ^ 0x5ce9a21ULL);
+  const auto lexicon = speech::command_lexicon();
+
+  std::vector<TrialRecordings> trials;
+  trials.reserve(config.legit_trials + config.attack_trials);
+  for (std::size_t i = 0; i < config.legit_trials; ++i) {
+    const auto& user = speakers[i % speakers.size()];
+    const auto& cmd = lexicon[i % lexicon.size()];
+    trials.push_back(sim.legitimate_trial(cmd, user));
+  }
+  for (std::size_t i = 0; i < config.attack_trials; ++i) {
+    const auto& victim = speakers[i % speakers.size()];
+    const auto& adversary = speakers[(i + 1) % speakers.size()];
+    const auto& cmd = lexicon[(i * 3 + 1) % lexicon.size()];
+    trials.push_back(sim.attack_trial(config.attack, cmd, victim, adversary));
+  }
+
+  const auto& sensitive = reference_sensitive_set();
+  std::vector<core::OracleSegmenter> oracles;
+  oracles.reserve(trials.size());
+  for (const TrialRecordings& trial : trials) {
+    oracles.emplace_back(trial.alignment, sensitive);
+  }
+
+  core::DefenseConfig primary_cfg = config.defense;
+  primary_cfg.wearable = config.scenario.wearable;
+  primary_cfg.sync = config.scenario.sync;
+  const core::DefenseSystem primary(primary_cfg);
+  core::DefenseConfig degraded_cfg = primary_cfg;
+  degraded_cfg.mode = config.degraded_mode;
+  const core::DefenseSystem degraded(degraded_cfg);
+
+  // Request order: one deterministic interleaving of the population, shared
+  // by every load point so the points differ only in timing.
+  std::vector<std::size_t> order(trials.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng shuffle_rng = rng.fork(0x0de1ULL);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        shuffle_rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+
+  const Rng score_rng(seed ^ 0x7e57ULL);
+  const Rng arrival_rng(seed ^ 0xa331a1ULL);
+
+  core::Workspace workspace;
+  LoadSweepResult result;
+
+  for (std::size_t p_idx = 0; p_idx < config.offered_rps.size(); ++p_idx) {
+    const double rps = config.offered_rps[p_idx];
+
+    // Poisson arrival process: i.i.d. exponential inter-arrival gaps at the
+    // offered rate, quantized to >= 1 virtual microsecond.
+    Rng arrivals_rng = arrival_rng.fork(p_idx);
+    std::vector<std::uint64_t> arrival_us(order.size());
+    std::uint64_t t_us = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const double gap_s = -std::log(1.0 - arrivals_rng.uniform()) / rps;
+      t_us += std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::llround(gap_s * 1e6)));
+      arrival_us[i] = t_us;
+    }
+
+    // One single-server serving node, simulated event by event in time
+    // order on a virtual clock. `server_free_us` is the completion time of
+    // the request in service; the clock itself tracks the latest processed
+    // event (an arrival or a service start), so queue times and breaker
+    // cooldowns are exact without ever sleeping.
+    VirtualClock clock;
+    serving::AdmissionController admission({config.queue_capacity}, clock);
+    serving::CircuitBreaker breaker(config.breaker, clock);
+    std::vector<std::uint64_t> deadline_at(order.size(), 0);
+    std::uint64_t server_free_us = 0;
+
+    LoadSweepPoint point;
+    point.offered_rps = rps;
+    point.arrivals = order.size();
+    std::uint64_t total_queue_us = 0;
+    std::size_t served = 0;
+    std::vector<double> legit_pri, attack_pri, legit_deg, attack_deg;
+
+    std::size_t next_arrival = 0;
+    while (next_arrival < order.size() || admission.depth() > 0) {
+      const bool have_arrival = next_arrival < order.size();
+      // Serve the queue head whenever its start would precede the next
+      // arrival (departures at equal times win the tie, freeing queue
+      // space before the arrival is offered).
+      if (admission.depth() > 0 &&
+          (!have_arrival || server_free_us <= arrival_us[next_arrival])) {
+        const std::uint64_t start = std::max(server_free_us, clock.now_us());
+        clock.set(start);
+        const auto admitted = admission.next();
+        const std::size_t slot = admitted->request_id;
+        const std::size_t t = order[slot];
+        total_queue_us += admitted->queue_us;
+        ++served;
+
+        const bool on_primary = breaker.allow_primary();
+        const core::DefenseSystem& route = on_primary ? primary : degraded;
+        const std::uint64_t service_us =
+            on_primary ? config.service_us_primary : config.service_us_degraded;
+        const std::uint64_t expires = deadline_at[slot];
+
+        // The service time is modeled, so mid-flight expiry cannot be
+        // observed by really running the clock into the deadline (that
+        // would reorder events against later arrivals). Instead the expiry
+        // is decided analytically and, for a doomed request, the pipeline
+        // runs under an already-expired Deadline: cooperative cancellation
+        // trips at the first stage boundary, exactly the observable
+        // behavior of a cancelled command, while the server stays occupied
+        // until the cancellation instant.
+        core::ScoreOutcome outcome;
+        Rng trial_rng = score_rng.fork(t);
+        if (start >= expires) {
+          // Expired while queued: cancelled before consuming any service.
+          const Deadline dl(clock, expires);
+          outcome = route.try_score(trials[t].va, trials[t].wearable,
+                                    &oracles[t], trial_rng, workspace, nullptr,
+                                    &dl);
+          server_free_us = start;
+        } else if (start + service_us > expires) {
+          // Would miss mid-flight: cancelled at the deadline instant.
+          const Deadline dl(clock, start);
+          outcome = route.try_score(trials[t].va, trials[t].wearable,
+                                    &oracles[t], trial_rng, workspace, nullptr,
+                                    &dl);
+          server_free_us = expires;
+        } else {
+          const Deadline dl(clock, expires);
+          outcome = route.try_score(trials[t].va, trials[t].wearable,
+                                    &oracles[t], trial_rng, workspace, nullptr,
+                                    &dl);
+          server_free_us = start + service_us;
+        }
+
+        switch (outcome.status) {
+          case core::ScoreStatus::kOk:
+            if (on_primary) {
+              ++point.scored_primary;
+              (trials[t].is_attack ? attack_pri : legit_pri)
+                  .push_back(outcome.score);
+            } else {
+              ++point.scored_degraded;
+              (trials[t].is_attack ? attack_deg : legit_deg)
+                  .push_back(outcome.score);
+            }
+            break;
+          case core::ScoreStatus::kIndeterminate:
+            ++point.indeterminate;
+            break;
+          case core::ScoreStatus::kError:
+            ++point.errors;
+            break;
+          case core::ScoreStatus::kDeadlineExceeded:
+            ++point.deadline_missed;
+            break;
+        }
+        // Breaker accounting mirrors the session: only primary-route hard
+        // failures indict the pipeline; quality-gated trials stay neutral.
+        if (on_primary) {
+          if (outcome.status == core::ScoreStatus::kError ||
+              outcome.status == core::ScoreStatus::kDeadlineExceeded) {
+            breaker.record_failure(outcome.reason);
+          } else if (outcome.status == core::ScoreStatus::kOk) {
+            breaker.record_success();
+          }
+        }
+        continue;
+      }
+
+      // Next event is an arrival: offer it to the bounded queue.
+      clock.set(arrival_us[next_arrival]);
+      deadline_at[next_arrival] = arrival_us[next_arrival] + config.deadline_us;
+      if (admission.try_admit(next_arrival)) {
+        ++point.admitted;
+      } else {
+        ++point.rejected;
+      }
+      ++next_arrival;
+    }
+
+    point.breaker_trips = breaker.trips();
+    point.mean_queue_us =
+        served > 0
+            ? static_cast<double>(total_queue_us) / static_cast<double>(served)
+            : 0.0;
+    point.eer_primary = eer_or_nan(attack_pri, legit_pri);
+    point.eer_degraded = eer_or_nan(attack_deg, legit_deg);
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace vibguard::eval

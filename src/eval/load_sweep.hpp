@@ -1,0 +1,90 @@
+// Overload sweep: serving behavior and detection quality vs offered load.
+//
+// Renders one fixed population of legitimate and attack trials, then — for
+// each offered arrival rate — replays the population as a Poisson request
+// stream through a discrete-event simulation of a single-server serving
+// node built from the src/serving/ primitives: a bounded admission queue
+// with reject-on-full backpressure, a per-command deadline budget with
+// cooperative cancellation, and a per-stage circuit breaker that routes
+// commands to the cheap degraded DefenseMode while the primary pipeline is
+// saturated. Service times are modeled (virtual microseconds on a
+// VirtualClock; nothing ever sleeps), while the scores themselves come from
+// the real pipeline, so each sweep point reports both the serving-side
+// rates (accept / reject / deadline-miss / degraded) and the detection
+// quality (EER) of whatever the node actually answered at that load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "core/pipeline.hpp"
+#include "eval/scenario.hpp"
+#include "serving/admission.hpp"
+#include "serving/circuit_breaker.hpp"
+
+namespace vibguard::eval {
+
+struct LoadSweepConfig {
+  ScenarioConfig scenario;
+  std::size_t num_speakers = 4;
+  std::size_t legit_trials = 20;
+  std::size_t attack_trials = 20;
+  attacks::AttackType attack = attacks::AttackType::kReplay;
+  core::DefenseConfig defense;  ///< primary mode under test
+
+  /// Offered load grid, requests per (virtual) second.
+  std::vector<double> offered_rps = {2.0, 5.0, 10.0, 20.0, 50.0};
+
+  /// Modeled service time of one command, virtual microseconds. The primary
+  /// pipeline is the expensive path; the degraded mode is the cheap one.
+  std::uint64_t service_us_primary = 180'000;
+  std::uint64_t service_us_degraded = 40'000;
+
+  /// Per-request deadline budget from arrival, virtual microseconds.
+  std::uint64_t deadline_us = 400'000;
+
+  /// Admission queue bound (reject-on-full beyond it).
+  std::size_t queue_capacity = 8;
+
+  /// Breaker tripped by consecutive deadline misses on the primary route.
+  serving::BreakerConfig breaker;
+
+  /// Cheap route used while the breaker is open.
+  core::DefenseMode degraded_mode = core::DefenseMode::kAudioBaseline;
+};
+
+/// Results at one offered load.
+struct LoadSweepPoint {
+  double offered_rps = 0.0;
+  std::size_t arrivals = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;         ///< refused at the full queue
+  std::size_t deadline_missed = 0;  ///< admitted but expired (queue or flight)
+  std::size_t scored_primary = 0;   ///< real scores from the primary mode
+  std::size_t scored_degraded = 0;  ///< real scores from the degraded mode
+  std::size_t indeterminate = 0;    ///< quality-gated / degenerate trials
+  std::size_t errors = 0;           ///< captured per-trial stage errors
+  std::size_t breaker_trips = 0;    ///< closed->open transitions
+  double mean_queue_us = 0.0;       ///< over served requests
+  /// EER per answered route; NaN when either class kept fewer than two
+  /// scores on that route (the curve is meaningless there, not zero).
+  double eer_primary = 0.0;
+  double eer_degraded = 0.0;
+};
+
+struct LoadSweepResult {
+  std::vector<LoadSweepPoint> points;
+
+  /// Multi-line table: one row per offered load.
+  std::string summary() const;
+};
+
+/// Runs the sweep. Deterministic in `seed` (trial rendering, arrival
+/// process, and scoring all derive from it); all time is virtual, so the
+/// run never sleeps and never reads the wall clock.
+LoadSweepResult run_load_sweep(const LoadSweepConfig& config,
+                               std::uint64_t seed);
+
+}  // namespace vibguard::eval

@@ -1,0 +1,45 @@
+#include "serving/admission.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vibguard::serving {
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         const Clock& clock)
+    : config_(config), clock_(&clock) {
+  VIBGUARD_REQUIRE(config_.queue_capacity > 0,
+                   "queue capacity must be positive");
+}
+
+bool AdmissionController::try_admit(std::size_t request_id) {
+  if (queue_.size() >= config_.queue_capacity) {
+    ++stats_.rejected;
+    return false;
+  }
+  queue_.push_back(Entry{request_id, clock_->now_us()});
+  ++stats_.admitted;
+  return true;
+}
+
+std::optional<AdmissionController::Admitted> AdmissionController::next() {
+  if (queue_.empty()) return std::nullopt;
+  const Entry entry = queue_.front();
+  queue_.pop_front();
+  const std::uint64_t now = clock_->now_us();
+  Admitted admitted;
+  admitted.request_id = entry.request_id;
+  admitted.queue_us = now >= entry.enqueued_us ? now - entry.enqueued_us : 0;
+  ++stats_.dequeued;
+  stats_.total_queue_us += admitted.queue_us;
+  stats_.max_queue_us = std::max(stats_.max_queue_us, admitted.queue_us);
+  return admitted;
+}
+
+void AdmissionController::clear() {
+  queue_.clear();
+  stats_ = AdmissionStats{};
+}
+
+}  // namespace vibguard::serving

@@ -1,0 +1,82 @@
+// Admission control: bounded request queue with explicit backpressure.
+//
+// A serving endpoint that accepts every request under overload only
+// converts queueing delay into deadline misses; the admission controller
+// instead bounds the queue and rejects on full, so the caller gets an
+// immediate, explicit backpressure signal it can surface to the client
+// (re-request later) instead of silently blowing every budget. Requests
+// are identified by caller-chosen ids (indices into the caller's request
+// array); the controller tracks FIFO order, per-request queue time through
+// the injectable Clock, and aggregate admitted/rejected/queue-time
+// statistics that the session folds into PipelineStats. Not thread-safe:
+// one controller serves one session/drain loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/clock.hpp"
+
+namespace vibguard::serving {
+
+struct AdmissionConfig {
+  /// Maximum requests waiting at once; submissions beyond this are
+  /// rejected (explicit backpressure), never silently queued.
+  std::size_t queue_capacity = 64;
+};
+
+/// Aggregate admission/queue-time accounting.
+struct AdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t total_queue_us = 0;  ///< summed over dequeued requests
+  std::uint64_t max_queue_us = 0;
+
+  double mean_queue_us() const {
+    return dequeued > 0 ? static_cast<double>(total_queue_us) /
+                              static_cast<double>(dequeued)
+                        : 0.0;
+  }
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionConfig config, const Clock& clock);
+
+  /// Admits `request_id` into the queue, timestamped now. Returns false —
+  /// and counts a rejection — when the queue is full.
+  bool try_admit(std::size_t request_id);
+
+  struct Admitted {
+    std::size_t request_id = 0;
+    std::uint64_t queue_us = 0;  ///< admission → dequeue on the clock
+  };
+
+  /// Pops the oldest queued request (FIFO) and accounts its queue time;
+  /// nullopt when the queue is empty.
+  std::optional<Admitted> next();
+
+  std::size_t depth() const { return queue_.size(); }
+  std::size_t capacity() const { return config_.queue_capacity; }
+  const AdmissionStats& stats() const { return stats_; }
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Drops queued requests and zeroes the statistics.
+  void clear();
+
+ private:
+  struct Entry {
+    std::size_t request_id;
+    std::uint64_t enqueued_us;
+  };
+
+  AdmissionConfig config_;
+  const Clock* clock_;
+  std::deque<Entry> queue_;
+  AdmissionStats stats_;
+};
+
+}  // namespace vibguard::serving

@@ -1,0 +1,34 @@
+#include "serving/backoff.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vibguard::serving {
+
+BackoffSchedule::BackoffSchedule(BackoffPolicy policy, Rng rng)
+    : policy_(policy), rng_(rng) {
+  VIBGUARD_REQUIRE(policy_.multiplier >= 1.0,
+                   "backoff multiplier must be >= 1");
+  policy_.cap_us = std::max(policy_.cap_us, policy_.base_us);
+}
+
+std::uint64_t BackoffSchedule::next() {
+  if (policy_.base_us == 0) return 0;  // backoff disabled
+  std::uint64_t delay;
+  if (prev_us_ == 0) {
+    delay = policy_.base_us;
+  } else {
+    const double hi =
+        std::min(static_cast<double>(policy_.cap_us),
+                 static_cast<double>(prev_us_) * policy_.multiplier);
+    const double lo = static_cast<double>(policy_.base_us);
+    delay = static_cast<std::uint64_t>(
+        rng_.uniform(lo, std::max(lo + 1.0, hi)));
+  }
+  delay = std::min(delay, policy_.cap_us);
+  prev_us_ = delay;
+  return delay;
+}
+
+}  // namespace vibguard::serving

@@ -1,0 +1,47 @@
+// Decorrelated exponential retry backoff.
+//
+// When a command fails to score and the session policy allows a retry, the
+// serving layer waits before the next attempt so a struggling pipeline (or
+// a flaky capture channel) is not hammered at full rate. The schedule is
+// the classic decorrelated-jitter variant of exponential backoff: each
+// delay is drawn uniformly from [base, prev * multiplier] and clamped to a
+// cap, which spreads concurrent retriers apart instead of synchronizing
+// them into waves. All randomness comes from a caller-supplied Rng fork of
+// the command's stream, so the schedule is bit-reproducible and — because
+// the fork is decorrelated from the scoring streams — never perturbs
+// scores.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace vibguard::serving {
+
+/// Parameters of the decorrelated-jitter backoff schedule.
+struct BackoffPolicy {
+  std::uint64_t base_us = 50'000;  ///< first delay and per-draw lower bound
+  std::uint64_t cap_us = 2'000'000;  ///< upper clamp on every delay
+  double multiplier = 3.0;  ///< upper bound growth: [base, prev * multiplier]
+};
+
+/// One command's deterministic retry-delay sequence. Construct with a fork
+/// of the command's rng; successive next() calls yield the delays to wait
+/// before retry 1, 2, ...
+class BackoffSchedule {
+ public:
+  BackoffSchedule(BackoffPolicy policy, Rng rng);
+
+  /// The next delay in microseconds: base_us for the first draw, then
+  /// uniform in [base_us, prev * multiplier] clamped to cap_us.
+  std::uint64_t next();
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  std::uint64_t prev_us_ = 0;  ///< 0 until the first draw
+};
+
+}  // namespace vibguard::serving

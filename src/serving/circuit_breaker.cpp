@@ -1,0 +1,95 @@
+#include "serving/circuit_breaker.hpp"
+
+#include "common/error.hpp"
+
+namespace vibguard::serving {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  VIBGUARD_UNREACHABLE();
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config, const Clock& clock)
+    : config_(config), clock_(&clock) {
+  VIBGUARD_REQUIRE(config_.failure_threshold > 0,
+                   "failure threshold must be positive");
+  VIBGUARD_REQUIRE(config_.half_open_successes > 0,
+                   "half-open success count must be positive");
+}
+
+BreakerState CircuitBreaker::state() const {
+  if (state_ == BreakerState::kOpen &&
+      clock_->now_us() - opened_at_us_ >= config_.cooldown_us) {
+    return BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
+bool CircuitBreaker::allow_primary() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (clock_->now_us() - opened_at_us_ >= config_.cooldown_us) {
+        state_ = BreakerState::kHalfOpen;
+        half_open_ok_ = 0;
+        return true;  // the probe
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      return true;
+  }
+  VIBGUARD_UNREACHABLE();
+}
+
+void CircuitBreaker::open_now() {
+  state_ = BreakerState::kOpen;
+  opened_at_us_ = clock_->now_us();
+  half_open_ok_ = 0;
+  consecutive_.clear();
+}
+
+void CircuitBreaker::record_success() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_.clear();
+      return;
+    case BreakerState::kHalfOpen:
+      if (++half_open_ok_ >= config_.half_open_successes) {
+        state_ = BreakerState::kClosed;
+        consecutive_.clear();
+      }
+      return;
+    case BreakerState::kOpen:
+      // Degraded-path outcomes are not reported here; a success while open
+      // can only be a stale report and is ignored.
+      return;
+  }
+  VIBGUARD_UNREACHABLE();
+}
+
+void CircuitBreaker::record_failure(const std::string& stage) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_[stage] >= config_.failure_threshold) {
+        tripped_stage_ = stage;
+        ++trips_;
+        open_now();
+      }
+      return;
+    case BreakerState::kHalfOpen:
+      // The probe failed: back to a full cooldown.
+      tripped_stage_ = stage;
+      open_now();
+      return;
+    case BreakerState::kOpen:
+      return;
+  }
+  VIBGUARD_UNREACHABLE();
+}
+
+}  // namespace vibguard::serving

@@ -1,0 +1,92 @@
+// Per-stage circuit breaker with half-open probing.
+//
+// A pipeline stage that starts failing repeatedly (a fault-injection
+// campaign, a dead sensor feed, a regression) should not be retried blindly
+// on every command: the breaker observes the stream of primary-path
+// outcomes, counts consecutive hard failures per failing stage, and — once
+// one stage accumulates `failure_threshold` of them — trips. While tripped
+// (open) the caller routes commands to its configured degraded path instead
+// of the primary pipeline. After `cooldown_us` of breaker time the breaker
+// lets exactly one probe command through (half-open); a successful probe
+// closes the breaker, a failed probe reopens it for another cooldown.
+//
+// The breaker is deliberately generic: failures are keyed by a stage-name
+// string and time flows through the injectable Clock, so with a
+// VirtualClock every transition is deterministic and unit-testable. Not
+// thread-safe; serving sessions are single-threaded per session.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/clock.hpp"
+
+namespace vibguard::serving {
+
+struct BreakerConfig {
+  /// Consecutive hard failures of one stage that trip the breaker.
+  std::size_t failure_threshold = 3;
+  /// Breaker-clock microseconds the breaker stays open before allowing a
+  /// half-open probe.
+  std::uint64_t cooldown_us = 5'000'000;
+  /// Consecutive probe successes required to close again.
+  std::size_t half_open_successes = 1;
+};
+
+enum class BreakerState {
+  kClosed,    ///< primary path healthy; all commands routed to it
+  kOpen,      ///< tripped; commands routed to the degraded path
+  kHalfOpen,  ///< cooldown elapsed; probing the primary path
+};
+
+/// Stable lower_snake name of a breaker state.
+const char* breaker_state_name(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker(BreakerConfig config, const Clock& clock);
+
+  /// Current state. Reports kHalfOpen once an open breaker's cooldown has
+  /// elapsed (the transition itself is committed by allow_primary()).
+  BreakerState state() const;
+
+  /// Routing decision for the next command: true = run the primary
+  /// pipeline (closed, or a half-open probe), false = run the degraded
+  /// path. Commits the open → half-open transition when the cooldown has
+  /// elapsed.
+  bool allow_primary();
+
+  /// Reports the outcome of a primary-path command. `record_failure` takes
+  /// the name of the failing stage; only hard failures (stage errors,
+  /// deadline expiry) should be recorded — quality-gated inputs are the
+  /// input's fault, not the pipeline's.
+  void record_success();
+  void record_failure(const std::string& stage);
+
+  /// The stage whose failures tripped the breaker ("" while closed and
+  /// never tripped).
+  const std::string& tripped_stage() const { return tripped_stage_; }
+
+  /// Lifetime count of closed→open transitions.
+  std::uint64_t trips() const { return trips_; }
+
+  const BreakerConfig& config() const { return config_; }
+
+ private:
+  void open_now();
+
+  BreakerConfig config_;
+  const Clock* clock_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::uint64_t opened_at_us_ = 0;
+  std::size_t half_open_ok_ = 0;
+  std::uint64_t trips_ = 0;
+  std::string tripped_stage_;
+  /// Consecutive-failure counters keyed by failing stage; any success on
+  /// the primary path clears all of them.
+  std::map<std::string, std::size_t> consecutive_;
+};
+
+}  // namespace vibguard::serving

@@ -107,5 +107,26 @@ TEST(ThreadPoolTest, RecommendedThreadsHonorsEnvOverride) {
   EXPECT_GE(recommended_threads(), 1u);
 }
 
+TEST(ThreadPoolTest, RecommendedThreadsIgnoresEveryMalformedEnvShape) {
+  const std::size_t fallback = [] {
+    unsetenv("VIBGUARD_THREADS");
+    return recommended_threads();
+  }();
+  // None of these may crash, overflow, or be taken at face value — each
+  // falls back to the hardware default with a warning.
+  for (const char* bad :
+       {"", "abc", "4x", "-2", "0", "+", "3 ",
+        "99999999999999999999999999", "1e3", "0x10", "5000"}) {
+    ASSERT_EQ(setenv("VIBGUARD_THREADS", bad, 1), 0) << bad;
+    EXPECT_EQ(recommended_threads(), fallback) << "env='" << bad << "'";
+  }
+  // Boundary values that are valid stay honored.
+  ASSERT_EQ(setenv("VIBGUARD_THREADS", "1", 1), 0);
+  EXPECT_EQ(recommended_threads(), 1u);
+  ASSERT_EQ(setenv("VIBGUARD_THREADS", "4096", 1), 0);
+  EXPECT_EQ(recommended_threads(), 4096u);
+  ASSERT_EQ(unsetenv("VIBGUARD_THREADS"), 0);
+}
+
 }  // namespace
 }  // namespace vibguard

@@ -1,0 +1,116 @@
+#include "eval/load_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vibguard::eval {
+namespace {
+
+LoadSweepConfig small_config() {
+  LoadSweepConfig cfg;
+  cfg.num_speakers = 2;
+  cfg.legit_trials = 8;
+  cfg.attack_trials = 8;
+  // One light point (offered interarrival ~10x the service time) and one
+  // overloaded point. The heavy rate is deliberately moderate (~1.5x the
+  // service rate, not 1000x): the queue must stay saturated yet keep
+  // draining, so the server both rejects at the full queue AND works
+  // through enough stale requests to string consecutive deadline misses
+  // together — an arrival burst far faster than the server just bounces
+  // everything off the queue before a second miss can happen — and the
+  // post-trip backlog still has budget left to be answered degraded.
+  cfg.offered_rps = {0.5, 10.0};
+  cfg.service_us_primary = 150'000;
+  cfg.service_us_degraded = 30'000;
+  cfg.deadline_us = 400'000;
+  cfg.queue_capacity = 4;
+  cfg.breaker = serving::BreakerConfig{2, 500'000, 1};
+  return cfg;
+}
+
+TEST(LoadSweepTest, RunsEndToEndAndConservesCounts) {
+  const LoadSweepConfig cfg = small_config();
+  const LoadSweepResult result = run_load_sweep(cfg, 42);
+  ASSERT_EQ(result.points.size(), cfg.offered_rps.size());
+  for (const LoadSweepPoint& p : result.points) {
+    EXPECT_EQ(p.arrivals, cfg.legit_trials + cfg.attack_trials);
+    // Every arrival is either admitted or rejected...
+    EXPECT_EQ(p.admitted + p.rejected, p.arrivals);
+    // ...and every admitted request ends in exactly one terminal state.
+    EXPECT_EQ(p.scored_primary + p.scored_degraded + p.indeterminate +
+                  p.errors + p.deadline_missed,
+              p.admitted);
+  }
+}
+
+TEST(LoadSweepTest, LightLoadServesEverythingInBudget) {
+  const LoadSweepResult result = run_load_sweep(small_config(), 42);
+  const LoadSweepPoint& light = result.points.front();
+  EXPECT_EQ(light.rejected, 0u);
+  EXPECT_EQ(light.deadline_missed, 0u);
+  EXPECT_EQ(light.scored_degraded, 0u);  // breaker never needed
+  EXPECT_GT(light.scored_primary, 0u);
+  // With 6+6 mostly-scored trials the primary EER is a real number.
+  EXPECT_FALSE(std::isnan(light.eer_primary));
+}
+
+TEST(LoadSweepTest, OverloadTriggersBackpressureAndDeadlineMisses) {
+  const LoadSweepResult result = run_load_sweep(small_config(), 42);
+  const LoadSweepPoint& heavy = result.points.back();
+  // At 10 rps against a 150 ms server the queue of 4 cannot keep up:
+  // arrivals bounce off the full queue, queued requests blow their 400 ms
+  // budgets, consecutive misses trip the breaker, and the remaining
+  // backlog is answered on the cheap degraded path within budget.
+  EXPECT_GT(heavy.rejected, 0u);
+  EXPECT_GT(heavy.deadline_missed, 0u);
+  EXPECT_GT(heavy.breaker_trips, 0u);
+  EXPECT_GT(heavy.scored_degraded, 0u);
+  EXPECT_GT(heavy.mean_queue_us, 0.0);
+}
+
+TEST(LoadSweepTest, DeterministicForSameSeed) {
+  const LoadSweepConfig cfg = small_config();
+  const LoadSweepResult a = run_load_sweep(cfg, 7);
+  const LoadSweepResult b = run_load_sweep(cfg, 7);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].admitted, b.points[i].admitted);
+    EXPECT_EQ(a.points[i].rejected, b.points[i].rejected);
+    EXPECT_EQ(a.points[i].deadline_missed, b.points[i].deadline_missed);
+    EXPECT_EQ(a.points[i].scored_primary, b.points[i].scored_primary);
+    EXPECT_EQ(a.points[i].scored_degraded, b.points[i].scored_degraded);
+    EXPECT_EQ(a.points[i].breaker_trips, b.points[i].breaker_trips);
+    EXPECT_DOUBLE_EQ(a.points[i].mean_queue_us, b.points[i].mean_queue_us);
+    if (!std::isnan(a.points[i].eer_primary)) {
+      EXPECT_DOUBLE_EQ(a.points[i].eer_primary, b.points[i].eer_primary);
+    }
+  }
+}
+
+TEST(LoadSweepTest, SummaryPrintsOneRowPerLoadPoint) {
+  const LoadSweepResult result = run_load_sweep(small_config(), 42);
+  const std::string summary = result.summary();
+  EXPECT_NE(summary.find("load sweep"), std::string::npos);
+  EXPECT_NE(summary.find("EERpri"), std::string::npos);
+  std::size_t rows = 0;
+  for (char c : summary) rows += c == '\n';
+  EXPECT_EQ(rows, 2 + result.points.size());  // title + header + points
+}
+
+TEST(LoadSweepTest, RejectsBadConfig) {
+  LoadSweepConfig cfg = small_config();
+  cfg.offered_rps.clear();
+  EXPECT_THROW(run_load_sweep(cfg, 1), Error);
+  cfg = small_config();
+  cfg.offered_rps = {0.0};
+  EXPECT_THROW(run_load_sweep(cfg, 1), Error);
+  cfg = small_config();
+  cfg.num_speakers = 1;
+  EXPECT_THROW(run_load_sweep(cfg, 1), Error);
+}
+
+}  // namespace
+}  // namespace vibguard::eval

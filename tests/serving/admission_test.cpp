@@ -1,0 +1,76 @@
+#include "serving/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace vibguard::serving {
+namespace {
+
+TEST(AdmissionTest, RejectsWhenQueueIsFull) {
+  VirtualClock clock;
+  AdmissionController admission({2}, clock);
+  EXPECT_TRUE(admission.try_admit(0));
+  EXPECT_TRUE(admission.try_admit(1));
+  EXPECT_FALSE(admission.try_admit(2));  // explicit backpressure
+  EXPECT_EQ(admission.depth(), 2u);
+  EXPECT_EQ(admission.stats().admitted, 2u);
+  EXPECT_EQ(admission.stats().rejected, 1u);
+}
+
+TEST(AdmissionTest, DrainsFifoWithQueueTimes) {
+  VirtualClock clock;
+  AdmissionController admission({4}, clock);
+  admission.try_admit(7);
+  clock.advance(100);
+  admission.try_admit(8);
+  clock.advance(50);
+
+  auto first = admission.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->request_id, 7u);
+  EXPECT_EQ(first->queue_us, 150u);
+
+  clock.advance(25);
+  auto second = admission.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->request_id, 8u);
+  EXPECT_EQ(second->queue_us, 75u);
+
+  EXPECT_FALSE(admission.next().has_value());
+  EXPECT_EQ(admission.stats().dequeued, 2u);
+  EXPECT_EQ(admission.stats().total_queue_us, 225u);
+  EXPECT_EQ(admission.stats().max_queue_us, 150u);
+  EXPECT_DOUBLE_EQ(admission.stats().mean_queue_us(), 112.5);
+}
+
+TEST(AdmissionTest, CapacityFreesAsRequestsDequeue) {
+  VirtualClock clock;
+  AdmissionController admission({1}, clock);
+  EXPECT_TRUE(admission.try_admit(0));
+  EXPECT_FALSE(admission.try_admit(1));
+  ASSERT_TRUE(admission.next().has_value());
+  EXPECT_TRUE(admission.try_admit(1));
+}
+
+TEST(AdmissionTest, ClearDropsQueueAndStats) {
+  VirtualClock clock;
+  AdmissionController admission({2}, clock);
+  admission.try_admit(0);
+  admission.try_admit(1);
+  admission.try_admit(2);
+  admission.clear();
+  EXPECT_EQ(admission.depth(), 0u);
+  EXPECT_EQ(admission.stats().admitted, 0u);
+  EXPECT_EQ(admission.stats().rejected, 0u);
+  EXPECT_FALSE(admission.next().has_value());
+}
+
+TEST(AdmissionTest, RejectsZeroCapacity) {
+  VirtualClock clock;
+  EXPECT_THROW(AdmissionController({0}, clock), Error);
+}
+
+}  // namespace
+}  // namespace vibguard::serving

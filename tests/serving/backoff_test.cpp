@@ -1,0 +1,66 @@
+#include "serving/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vibguard::serving {
+namespace {
+
+TEST(BackoffTest, FirstDelayIsBase) {
+  BackoffSchedule schedule({1000, 60000, 3.0}, Rng(7));
+  EXPECT_EQ(schedule.next(), 1000u);
+}
+
+TEST(BackoffTest, DelaysStayWithinBaseAndCap) {
+  const BackoffPolicy policy{500, 4000, 3.0};
+  BackoffSchedule schedule(policy, Rng(11));
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t delay = schedule.next();
+    EXPECT_GE(delay, policy.base_us) << "draw " << i;
+    EXPECT_LE(delay, policy.cap_us) << "draw " << i;
+  }
+}
+
+TEST(BackoffTest, GrowthBoundedByMultiplier) {
+  const BackoffPolicy policy{100, 1'000'000, 2.0};
+  BackoffSchedule schedule(policy, Rng(13));
+  std::uint64_t prev = schedule.next();
+  for (int i = 0; i < 32; ++i) {
+    const std::uint64_t delay = schedule.next();
+    // Decorrelated jitter: each draw is uniform in [base, prev*multiplier],
+    // so it can shrink but never exceed the multiplied previous delay.
+    EXPECT_LE(static_cast<double>(delay),
+              static_cast<double>(prev) * policy.multiplier + 1.0);
+    prev = delay;
+  }
+}
+
+TEST(BackoffTest, DeterministicForSameRngStream) {
+  const BackoffPolicy policy{250, 8000, 3.0};
+  BackoffSchedule a(policy, Rng(99));
+  BackoffSchedule b(policy, Rng(99));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next(), b.next()) << "draw " << i;
+  }
+}
+
+TEST(BackoffTest, ZeroBaseDisablesBackoff) {
+  BackoffSchedule schedule({0, 8000, 3.0}, Rng(1));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(schedule.next(), 0u);
+}
+
+TEST(BackoffTest, CapBelowBaseIsRaisedToBase) {
+  BackoffSchedule schedule({1000, 10, 2.0}, Rng(3));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(schedule.next(), 1000u);
+}
+
+TEST(BackoffTest, RejectsShrinkingMultiplier) {
+  EXPECT_THROW(BackoffSchedule({100, 1000, 0.5}, Rng(1)), Error);
+}
+
+}  // namespace
+}  // namespace vibguard::serving

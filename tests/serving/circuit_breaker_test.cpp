@@ -1,0 +1,128 @@
+#include "serving/circuit_breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace vibguard::serving {
+namespace {
+
+constexpr BreakerConfig kConfig{/*failure_threshold=*/3,
+                                /*cooldown_us=*/1000,
+                                /*half_open_successes=*/1};
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(breaker_state_name(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(breaker_state_name(BreakerState::kOpen), "open");
+  EXPECT_STREQ(breaker_state_name(BreakerState::kHalfOpen), "half_open");
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllowsPrimary) {
+  VirtualClock clock;
+  CircuitBreaker breaker(kConfig, clock);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow_primary());
+  EXPECT_EQ(breaker.trips(), 0u);
+  EXPECT_EQ(breaker.tripped_stage(), "");
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresOfOneStage) {
+  VirtualClock clock;
+  CircuitBreaker breaker(kConfig, clock);
+  breaker.record_failure("vib_capture");
+  breaker.record_failure("vib_capture");
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure("vib_capture");
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow_primary());
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_EQ(breaker.tripped_stage(), "vib_capture");
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveCounts) {
+  VirtualClock clock;
+  CircuitBreaker breaker(kConfig, clock);
+  breaker.record_failure("sync");
+  breaker.record_failure("sync");
+  breaker.record_success();
+  breaker.record_failure("sync");
+  breaker.record_failure("sync");
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, FailuresAcrossStagesDoNotPool) {
+  VirtualClock clock;
+  CircuitBreaker breaker(kConfig, clock);
+  // The trip condition is per-stage: two stages each failing twice is four
+  // failures but no stage has reached the threshold of three.
+  breaker.record_failure("sync");
+  breaker.record_failure("sync");
+  breaker.record_failure("segment");
+  breaker.record_failure("segment");
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure("segment");
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.tripped_stage(), "segment");
+}
+
+TEST(CircuitBreakerTest, CooldownLeadsToHalfOpenProbe) {
+  VirtualClock clock;
+  CircuitBreaker breaker(kConfig, clock);
+  for (int i = 0; i < 3; ++i) breaker.record_failure("correlate");
+  EXPECT_FALSE(breaker.allow_primary());
+  clock.advance(kConfig.cooldown_us - 1);
+  EXPECT_FALSE(breaker.allow_primary());
+  clock.advance(1);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allow_primary());  // the probe goes through
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessCloses) {
+  VirtualClock clock;
+  CircuitBreaker breaker(kConfig, clock);
+  for (int i = 0; i < 3; ++i) breaker.record_failure("correlate");
+  clock.advance(kConfig.cooldown_us);
+  ASSERT_TRUE(breaker.allow_primary());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow_primary());
+  EXPECT_EQ(breaker.trips(), 1u);  // closing does not add a trip
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensForFullCooldown) {
+  VirtualClock clock;
+  CircuitBreaker breaker(kConfig, clock);
+  for (int i = 0; i < 3; ++i) breaker.record_failure("correlate");
+  clock.advance(kConfig.cooldown_us);
+  ASSERT_TRUE(breaker.allow_primary());
+  breaker.record_failure("correlate");  // probe failed
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow_primary());
+  clock.advance(kConfig.cooldown_us - 1);
+  EXPECT_FALSE(breaker.allow_primary());
+  clock.advance(1);
+  EXPECT_TRUE(breaker.allow_primary());
+}
+
+TEST(CircuitBreakerTest, RequiresMultipleProbeSuccessesWhenConfigured) {
+  VirtualClock clock;
+  CircuitBreaker breaker({3, 1000, 2}, clock);
+  for (int i = 0; i < 3; ++i) breaker.record_failure("sync");
+  clock.advance(1000);
+  ASSERT_TRUE(breaker.allow_primary());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  ASSERT_TRUE(breaker.allow_primary());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, RejectsDegenerateConfig) {
+  VirtualClock clock;
+  EXPECT_THROW(CircuitBreaker({0, 1000, 1}, clock), Error);
+  EXPECT_THROW(CircuitBreaker({3, 1000, 0}, clock), Error);
+}
+
+}  // namespace
+}  // namespace vibguard::serving

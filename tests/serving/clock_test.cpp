@@ -1,0 +1,68 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace vibguard {
+namespace {
+
+TEST(VirtualClockTest, StartsAtConfiguredTimeAndAdvances) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.now_us(), 100u);
+  clock.advance(50);
+  EXPECT_EQ(clock.now_us(), 150u);
+  clock.sleep_us(25);  // sleeping on a virtual clock advances it
+  EXPECT_EQ(clock.now_us(), 175u);
+  clock.set(1000);
+  EXPECT_EQ(clock.now_us(), 1000u);
+  clock.set(1000);  // equal time is allowed
+  EXPECT_EQ(clock.now_us(), 1000u);
+}
+
+TEST(VirtualClockTest, RefusesToMoveBackwards) {
+  VirtualClock clock(10);
+  EXPECT_THROW(clock.set(9), Error);
+}
+
+TEST(SteadyClockTest, IsMonotonic) {
+  const SteadyClock& clock = SteadyClock::instance();
+  const std::uint64_t a = clock.now_us();
+  const std::uint64_t b = clock.now_us();
+  EXPECT_LE(a, b);
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  const Deadline none;
+  EXPECT_FALSE(none.bounded());
+  EXPECT_FALSE(none.expired());
+  EXPECT_EQ(none.remaining_us(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(DeadlineTest, ExpiresWhenClockReachesBudget) {
+  VirtualClock clock;
+  const Deadline dl = Deadline::after(clock, 100);
+  EXPECT_TRUE(dl.bounded());
+  EXPECT_FALSE(dl.expired());
+  EXPECT_EQ(dl.remaining_us(), 100u);
+  clock.advance(99);
+  EXPECT_FALSE(dl.expired());
+  EXPECT_EQ(dl.remaining_us(), 1u);
+  clock.advance(1);  // expiry is inclusive: now == expires_at is expired
+  EXPECT_TRUE(dl.expired());
+  EXPECT_EQ(dl.remaining_us(), 0u);
+  clock.advance(1000);
+  EXPECT_TRUE(dl.expired());
+  EXPECT_EQ(dl.remaining_us(), 0u);
+}
+
+TEST(DeadlineTest, ZeroBudgetIsImmediatelyExpired) {
+  VirtualClock clock(5);
+  const Deadline dl = Deadline::after(clock, 0);
+  EXPECT_TRUE(dl.expired());
+}
+
+}  // namespace
+}  // namespace vibguard

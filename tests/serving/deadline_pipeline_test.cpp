@@ -1,0 +1,167 @@
+// Cooperative deadline cancellation in the staged pipeline: expiry is
+// observed at stage boundaries only, an expired trial ends as a structured
+// kDeadlineExceeded outcome (never mid-stage), and supplying a deadline
+// that never fires leaves every score bit-identical to the no-deadline run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "core/pipeline.hpp"
+#include "core/segmentation.hpp"
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+
+namespace vibguard::core {
+namespace {
+
+/// Clock whose time advances by a fixed step on every query, so a deadline
+/// mid-way through the budget expires after a predictable number of
+/// stage-boundary checks — without any real sleeping.
+class TickingClock final : public Clock {
+ public:
+  explicit TickingClock(std::uint64_t step_us) : step_us_(step_us) {}
+  std::uint64_t now_us() const override { return now_us_ += step_us_; }
+  void sleep_us(std::uint64_t us) const override { now_us_ += us; }
+
+ private:
+  std::uint64_t step_us_;
+  mutable std::uint64_t now_us_ = 0;
+};
+
+struct Fixture {
+  eval::ScenarioSimulator sim{eval::ScenarioConfig{}, 17};
+  eval::TrialRecordings trial;
+  OracleSegmenter segmenter;
+
+  Fixture()
+      : trial(sim.legitimate_trial(
+            speech::command_by_text("turn on the lights"),
+            [] {
+              Rng rng(18);
+              return speech::sample_speaker(speech::Sex::kFemale, rng);
+            }())),
+        segmenter(trial.alignment, eval::reference_sensitive_set()) {}
+};
+
+TEST(DeadlinePipelineTest, PreExpiredDeadlineEndsBeforeAnyStage) {
+  Fixture fx;
+  const DefenseSystem system{DefenseConfig{}};
+  VirtualClock clock(10);
+  const Deadline dl(clock, 10);  // now >= expires_at: already expired
+  Workspace ws;
+  PipelineTrace trace;
+  Rng rng(1);
+  const ScoreOutcome outcome = system.try_score(
+      fx.trial.va, fx.trial.wearable, &fx.segmenter, rng, ws, &trace, &dl);
+  EXPECT_EQ(outcome.status, ScoreStatus::kDeadlineExceeded);
+  EXPECT_STREQ(outcome.reason, "deadline_exceeded");
+  EXPECT_EQ(outcome.score, kIndeterminateScore);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(trace.stages.empty());  // cancelled at the first boundary
+}
+
+TEST(DeadlinePipelineTest, MidRunExpiryStopsAtAStageBoundary) {
+  Fixture fx;
+  const DefenseSystem system{DefenseConfig{}};
+  // Every deadline check advances time by one tick and the budget is worth
+  // three ticks, so the run is cancelled part-way through the stage
+  // sequence: some stages have executed, the rest never run.
+  TickingClock clock(10);
+  const Deadline dl = Deadline::after(clock, 25);
+  Workspace ws;
+  PipelineTrace trace;
+  Rng rng(2);
+  const ScoreOutcome outcome = system.try_score(
+      fx.trial.va, fx.trial.wearable, &fx.segmenter, rng, ws, &trace, &dl);
+  EXPECT_EQ(outcome.status, ScoreStatus::kDeadlineExceeded);
+  const std::size_t full_stages = [&] {
+    Workspace ws2;
+    PipelineTrace full;
+    Rng rng2(2);
+    system.try_score(fx.trial.va, fx.trial.wearable, &fx.segmenter, rng2, ws2,
+                     &full);
+    return full.stages.size();
+  }();
+  EXPECT_GT(trace.stages.size(), 0u);
+  EXPECT_LT(trace.stages.size(), full_stages);
+}
+
+TEST(DeadlinePipelineTest, GenerousDeadlineIsBitIdenticalToNone) {
+  Fixture fx;
+  const DefenseSystem system{DefenseConfig{}};
+  Workspace ws;
+  Rng rng_plain(3);
+  const double plain = system.score(fx.trial.va, fx.trial.wearable,
+                                    &fx.segmenter, rng_plain, ws);
+
+  VirtualClock clock;
+  const Deadline dl = Deadline::after(clock, 1'000'000'000);
+  Rng rng_dl(3);
+  const double bounded = system.score(fx.trial.va, fx.trial.wearable,
+                                      &fx.segmenter, rng_dl, ws, nullptr, &dl);
+  EXPECT_DOUBLE_EQ(plain, bounded);
+}
+
+TEST(DeadlinePipelineTest, PlainScoreApiReturnsSentinelOnExpiry) {
+  Fixture fx;
+  const DefenseSystem system{DefenseConfig{}};
+  VirtualClock clock(1);
+  const Deadline dl(clock, 0);
+  Workspace ws;
+  Rng rng(4);
+  const double s = system.score(fx.trial.va, fx.trial.wearable, &fx.segmenter,
+                                rng, ws, nullptr, &dl);
+  EXPECT_TRUE(is_indeterminate_score(s));
+}
+
+TEST(DeadlinePipelineTest, BatchHonorsPerRequestDeadlines) {
+  Fixture fx;
+  const DefenseSystem system{DefenseConfig{}};
+  VirtualClock clock(5);
+  const Deadline expired(clock, 0);
+
+  std::vector<ScoreRequest> requests(3);
+  for (auto& req : requests) {
+    req.va = &fx.trial.va;
+    req.wearable = &fx.trial.wearable;
+    req.segmenter = &fx.segmenter;
+  }
+  requests[0].rng = Rng(5);
+  requests[1].rng = Rng(5);
+  requests[1].deadline = &expired;
+  requests[2].rng = Rng(5);
+
+  std::vector<ScoreOutcome> outcomes(3);
+  Workspace ws;
+  system.score_batch(requests, std::span<ScoreOutcome>(outcomes), ws);
+
+  EXPECT_EQ(outcomes[0].status, ScoreStatus::kOk);
+  EXPECT_EQ(outcomes[1].status, ScoreStatus::kDeadlineExceeded);
+  EXPECT_EQ(outcomes[2].status, ScoreStatus::kOk);
+  // The expired neighbour does not perturb the healthy requests.
+  EXPECT_DOUBLE_EQ(outcomes[0].score, outcomes[2].score);
+}
+
+TEST(DeadlinePipelineTest, ExpiryDoesNotLeakIntoFollowingRuns) {
+  Fixture fx;
+  const DefenseSystem system{DefenseConfig{}};
+  VirtualClock clock(1);
+  const Deadline expired(clock, 0);
+  Workspace ws;
+  Rng r1(6);
+  const ScoreOutcome cancelled =
+      system.try_score(fx.trial.va, fx.trial.wearable, &fx.segmenter, r1, ws,
+                       nullptr, &expired);
+  ASSERT_EQ(cancelled.status, ScoreStatus::kDeadlineExceeded);
+  // Reusing the same workspace without any deadline must score normally:
+  // the expiry flag belongs to the run, not the workspace's lifetime.
+  Rng r2(6);
+  const ScoreOutcome healthy = system.try_score(
+      fx.trial.va, fx.trial.wearable, &fx.segmenter, r2, ws);
+  EXPECT_EQ(healthy.status, ScoreStatus::kOk);
+}
+
+}  // namespace
+}  // namespace vibguard::core
