@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a freshly generated BENCH_microbench.json against the committed
+baseline and fails (exit 1) if any benchmark's auto-level time regressed by
+more than the threshold (default 15%). Benchmarks present only on one side
+are reported but do not fail the gate (they are new or retired, not
+regressed).
+
+Usage:
+  check_bench_regression.py --baseline BENCH_microbench.json \
+      --current new.json [--threshold 0.15] [--metric auto_ns]
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "vibguard-bench-v1":
+        print(f"warning: {path} has unexpected schema "
+              f"{doc.get('schema')!r}", file=sys.stderr)
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_microbench.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated result file")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional slowdown (default 0.15)")
+    parser.add_argument("--metric", default="auto_ns",
+                        choices=["auto_ns", "scalar_ns"],
+                        help="which per-benchmark time to compare")
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    only_base = sorted(set(baseline) - set(current))
+    only_curr = sorted(set(current) - set(baseline))
+    for name in only_base:
+        print(f"note: {name} only in baseline (retired?)")
+    for name in only_curr:
+        print(f"note: {name} only in current run (new benchmark)")
+
+    failures = []
+    print(f"{'benchmark':<28} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(set(baseline) & set(current)):
+        base = baseline[name].get(args.metric)
+        curr = current[name].get(args.metric)
+        if not base or not curr:
+            continue
+        delta = (curr - base) / base
+        marker = ""
+        if delta > args.threshold:
+            failures.append((name, delta))
+            marker = "  << REGRESSION"
+        print(f"{name:<28} {base:>12.1f} {curr:>12.1f} "
+              f"{delta:>+7.1%}{marker}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} on {args.metric}:")
+        for name, delta in failures:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%} "
+          f"on {args.metric}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,54 @@
+// Cache-line-aligned storage for SIMD workspaces.
+//
+// The vector kernels in dsp/simd use unaligned loads, so alignment is a
+// throughput nicety rather than a correctness requirement — but the FFT
+// twiddle/scratch tables and mel/DCT coefficient matrices live for the
+// whole process and are streamed every trial, so pinning them to 64-byte
+// boundaries keeps every vector touch within one cache line.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace vibguard {
+
+/// Minimal C++17 allocator handing out `Align`-byte aligned blocks via the
+/// aligned operator new. Allocators of any two types compare equal so
+/// containers can propagate/swap freely.
+template <typename T, std::size_t Align = 64>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// std::vector with 64-byte aligned storage.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace vibguard

@@ -1,12 +1,14 @@
 #include "dsp/fft_plan.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <numbers>
 #include <unordered_map>
 #include <utility>
 
 #include "common/error.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/simd.hpp"
 
 namespace vibguard::dsp {
 namespace {
@@ -90,53 +92,15 @@ void FftPlan::run_pow2(std::span<Complex> data, bool inverse) const {
     std::swap(d[bitrev_[p]], d[bitrev_[p + 1]]);
   }
 
-  // Stage len = 2: butterflies with w = 1.
-  for (std::size_t i = 0; i + 1 < n; i += 2) {
-    const Complex u = d[i];
-    const Complex v = d[i + 1];
-    d[i] = u + v;
-    d[i + 1] = u - v;
-  }
-  // Stage len = 4: w is 1 or -i (forward) / +i (inverse).
-  if (n >= 4) {
-    for (std::size_t i = 0; i < n; i += 4) {
-      const Complex u0 = d[i];
-      const Complex v0 = d[i + 2];
-      d[i] = u0 + v0;
-      d[i + 2] = u0 - v0;
-      const Complex x = d[i + 3];
-      const Complex v1 = inverse ? Complex(-x.imag(), x.real())
-                                 : Complex(x.imag(), -x.real());
-      const Complex u1 = d[i + 1];
-      d[i + 1] = u1 + v1;
-      d[i + 3] = u1 - v1;
-    }
-  }
+  const simd::Ops& ops = simd::ops();
 
-  // Remaining stages read twiddles from the table. The butterflies are
-  // spelled out on raw doubles so the compiler can vectorize without the
-  // NaN-handling branches of complex operator*.
-  const Complex* tw = twiddles_.data();
-  for (std::size_t len = 8; len <= n; len <<= 1) {
-    const std::size_t half = len / 2;
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex* lo = d + i;
-      Complex* hi = lo + half;
-      for (std::size_t j = 0; j < half; ++j) {
-        const double wr = tw[j].real();
-        const double wi = inverse ? -tw[j].imag() : tw[j].imag();
-        const double xr = hi[j].real();
-        const double xi = hi[j].imag();
-        const double vr = xr * wr - xi * wi;
-        const double vi = xr * wi + xi * wr;
-        const double ur = lo[j].real();
-        const double ui = lo[j].imag();
-        lo[j] = Complex(ur + vr, ui + vi);
-        hi[j] = Complex(ur - vr, ui - vi);
-      }
-    }
-    tw += half;
-  }
+  // The len = 2 and len = 4 stages have multiplication-free twiddles (1 and
+  // ∓i) and run fused through one dispatched kernel.
+  ops.fft_stage2_4(d, n, inverse);
+
+  // Remaining stages read twiddles from the table and run fused through one
+  // dispatched kernel (scalar fallback is the pre-SIMD loop).
+  ops.fft_stages(d, n, twiddles_.data(), inverse);
 
   if (inverse) {
     const double inv_n = 1.0 / static_cast<double>(n);
@@ -158,9 +122,10 @@ void FftPlan::transform(std::span<Complex> data, bool inverse) const {
   }
   std::fill(work_.begin() + static_cast<std::ptrdiff_t>(n_), work_.end(),
             Complex(0.0, 0.0));
-  for (std::size_t k = 0; k < n_; ++k) work_[k] = data[k] * chirp_[k];
+  const simd::Ops& ops = simd::ops();
+  ops.complex_multiply_to(work_.data(), data.data(), chirp_.data(), n_);
   run_pow2(work_, false);
-  for (std::size_t k = 0; k < m_; ++k) work_[k] *= bspec_[k];
+  ops.complex_multiply_to(work_.data(), work_.data(), bspec_.data(), m_);
   run_pow2(work_, true);
   if (inverse) {
     const double inv_n = 1.0 / static_cast<double>(n_);
@@ -225,14 +190,8 @@ void FftPlan::packed_power(std::span<double> out, double norm2) const {
   const double xh = z0.real() - z0.imag();
   out[0] = x0 * x0 * norm2;
   out[h] = xh * xh * norm2;
-  for (std::size_t k = 1; k < h; ++k) {
-    const Complex zk = rscratch_[k];
-    const Complex zc = std::conj(rscratch_[h - k]);
-    const Complex even = 0.5 * (zk + zc);
-    const Complex odd = Complex(0.0, -0.5) * (zk - zc);
-    const Complex x = even + rtwiddle_[k] * odd;
-    out[k] = (x.real() * x.real() + x.imag() * x.imag()) * norm2;
-  }
+  simd::ops().rfft_split_power(rscratch_.data(), rtwiddle_.data(), h, norm2,
+                               out.data());
 }
 
 void FftPlan::power(std::span<const double> in, std::span<double> out) const {
@@ -242,11 +201,11 @@ void FftPlan::power(std::span<const double> in, std::span<double> out) const {
   const double norm = 1.0 / static_cast<double>(n_);
   const double norm2 = norm * norm;
   if (n_ > 1 && n_ % 2 == 0) {
+    // Packing adjacent real samples into complex pairs is a straight copy.
     const std::size_t h = n_ / 2;
     rscratch_.resize(h);
-    for (std::size_t j = 0; j < h; ++j) {
-      rscratch_[j] = Complex(in[2 * j], in[2 * j + 1]);
-    }
+    std::memcpy(reinterpret_cast<double*>(rscratch_.data()), in.data(),
+                n_ * sizeof(double));
     packed_power(out, norm2);
     return;
   }
@@ -265,19 +224,19 @@ void FftPlan::windowed_power(const double* in, const double* window,
   const double norm = 1.0 / static_cast<double>(n_);
   const double norm2 = norm * norm;
   if (n_ > 1 && n_ % 2 == 0) {
-    // Window while packing: the windowed frame never hits memory.
+    // Window while packing: the windowed frame never hits memory. A
+    // complex<double> array is array-of-double compatible, so the packed
+    // buffer is just the elementwise product written in place.
     const std::size_t h = n_ / 2;
     rscratch_.resize(h);
-    for (std::size_t j = 0; j < h; ++j) {
-      rscratch_[j] = Complex(in[2 * j] * window[2 * j],
-                             in[2 * j + 1] * window[2 * j + 1]);
-    }
+    simd::multiply(in, window, reinterpret_cast<double*>(rscratch_.data()),
+                   n_);
     packed_power(out, norm2);
     return;
   }
   thread_local std::vector<double> frame;
   frame.resize(n_);
-  for (std::size_t i = 0; i < n_; ++i) frame[i] = in[i] * window[i];
+  simd::multiply(in, window, frame.data(), n_);
   power(frame, out);
 }
 

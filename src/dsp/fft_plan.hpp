@@ -19,6 +19,8 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
+
 namespace vibguard::dsp {
 
 using Complex = std::complex<double>;
@@ -74,21 +76,23 @@ class FftPlan {
   std::size_t n_ = 0;
   bool is_pow2_ = false;
 
-  // Power-of-two machinery (for n_ or, when Bluestein, for m_).
+  // Power-of-two machinery (for n_ or, when Bluestein, for m_). The
+  // Complex tables are 64-byte aligned: the SIMD butterfly/split kernels
+  // stream them every transform.
   std::size_t pow2_n_ = 0;
   std::vector<std::size_t> bitrev_;
-  std::vector<Complex> twiddles_;  ///< stages concatenated: len=8,16,...,n
+  AlignedVector<Complex> twiddles_;  ///< stages concatenated: len=8,16,...,n
 
   // Bluestein machinery (non-power-of-two sizes).
-  std::size_t m_ = 0;              ///< next_pow2(2n - 1) work size
-  std::vector<Complex> chirp_;     ///< w[k] = exp(-i*pi*k^2/n)
-  std::vector<Complex> bspec_;     ///< forward FFT of the chirp kernel b
-  mutable std::vector<Complex> work_;  ///< length-m_ convolution scratch
+  std::size_t m_ = 0;                ///< next_pow2(2n - 1) work size
+  AlignedVector<Complex> chirp_;     ///< w[k] = exp(-i*pi*k^2/n)
+  AlignedVector<Complex> bspec_;     ///< forward FFT of the chirp kernel b
+  mutable AlignedVector<Complex> work_;  ///< length-m_ convolution scratch
 
   // Real-input machinery (even n_ only).
-  std::unique_ptr<FftPlan> half_;      ///< n_/2-point complex plan
-  std::vector<Complex> rtwiddle_;      ///< exp(-2*pi*i*k/n), k = 0..n/2
-  mutable std::vector<Complex> rscratch_;  ///< packed half-length buffer
+  std::unique_ptr<FftPlan> half_;       ///< n_/2-point complex plan
+  AlignedVector<Complex> rtwiddle_;     ///< exp(-2*pi*i*k/n), k = 0..n/2
+  mutable AlignedVector<Complex> rscratch_;  ///< packed half-length buffer
 };
 
 /// Thread-local size-keyed plan cache. The returned reference stays valid

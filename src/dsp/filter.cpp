@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/simd.hpp"
 
 namespace vibguard::dsp {
 
@@ -127,13 +128,21 @@ std::vector<double> fir_filter(std::span<const double> x,
                                std::span<const double> taps) {
   VIBGUARD_REQUIRE(!taps.empty(), "FIR taps must be non-empty");
   const std::size_t n = x.size();
-  const std::size_t delay = (taps.size() - 1) / 2;
+  const std::size_t num_taps = taps.size();
+  const std::size_t delay = (num_taps - 1) / 2;
   std::vector<double> y(n, 0.0);
+  const simd::Ops& ops = simd::ops();
   for (std::size_t i = 0; i < n; ++i) {
     // Output index i corresponds to convolution index i + delay.
     const std::size_t conv = i + delay;
+    if (conv + 1 >= num_taps && conv < n) {
+      // Interior sample: every tap lands in-bounds, so the whole
+      // convolution is one reverse dot product.
+      y[i] = ops.dot_reverse(taps.data(), x.data() + conv, num_taps);
+      continue;
+    }
     double acc = 0.0;
-    for (std::size_t t = 0; t < taps.size(); ++t) {
+    for (std::size_t t = 0; t < num_taps; ++t) {
       if (conv >= t && conv - t < n) acc += taps[t] * x[conv - t];
     }
     y[i] = acc;

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fft_plan.hpp"
+#include "dsp/simd.hpp"
 #include "dsp/window.hpp"
 
 namespace vibguard::dsp {
@@ -17,11 +18,40 @@ double mel_to_hz(double mel) {
   return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
 }
 
-std::vector<std::vector<double>> mel_filterbank(std::size_t num_filters,
-                                                std::size_t fft_size,
-                                                double sample_rate,
-                                                double low_hz,
-                                                double high_hz) {
+MelFilterbank::MelFilterbank(std::size_t filters, std::size_t bins)
+    : filters_(filters),
+      bins_(bins),
+      weights_(filters * bins, 0.0),
+      first_(filters, bins),
+      last_(filters, bins) {}
+
+void MelFilterbank::seal() {
+  for (std::size_t m = 0; m < filters_; ++m) {
+    const double* w = weights_.data() + m * bins_;
+    std::size_t first = 0;
+    while (first < bins_ && w[first] == 0.0) ++first;
+    std::size_t last = bins_;
+    while (last > first && w[last - 1] == 0.0) --last;
+    first_[m] = first;
+    last_[m] = last;
+  }
+}
+
+void MelFilterbank::apply(std::span<const double> power,
+                          std::span<double> out) const {
+  VIBGUARD_REQUIRE(power.size() == bins_, "power size must match filterbank");
+  VIBGUARD_REQUIRE(out.size() == filters_, "output size must match filters");
+  const simd::Ops& ops = simd::ops();
+  for (std::size_t m = 0; m < filters_; ++m) {
+    const std::size_t first = first_[m];
+    out[m] = ops.dot(weights_.data() + m * bins_ + first,
+                     power.data() + first, last_[m] - first);
+  }
+}
+
+MelFilterbank mel_filterbank(std::size_t num_filters, std::size_t fft_size,
+                             double sample_rate, double low_hz,
+                             double high_hz) {
   VIBGUARD_REQUIRE(num_filters > 0, "need at least one mel filter");
   VIBGUARD_REQUIRE(high_hz > low_hz, "high_hz must exceed low_hz");
   VIBGUARD_REQUIRE(high_hz <= sample_rate / 2.0,
@@ -38,40 +68,89 @@ std::vector<std::vector<double>> mel_filterbank(std::size_t num_filters,
     edges_hz[i] = mel_to_hz(mel);
   }
 
-  std::vector<std::vector<double>> bank(num_filters,
-                                        std::vector<double>(num_bins, 0.0));
+  MelFilterbank bank(num_filters, num_bins);
   for (std::size_t m = 0; m < num_filters; ++m) {
     const double f_lo = edges_hz[m];
     const double f_mid = edges_hz[m + 1];
     const double f_hi = edges_hz[m + 2];
+    std::span<double> row = bank.row(m);
     for (std::size_t k = 0; k < num_bins; ++k) {
       const double f = bin_frequency(k, fft_size, sample_rate);
       if (f >= f_lo && f <= f_mid && f_mid > f_lo) {
-        bank[m][k] = (f - f_lo) / (f_mid - f_lo);
+        row[k] = (f - f_lo) / (f_mid - f_lo);
       } else if (f > f_mid && f <= f_hi && f_hi > f_mid) {
-        bank[m][k] = (f_hi - f) / (f_hi - f_mid);
+        row[k] = (f_hi - f) / (f_hi - f_mid);
       }
     }
   }
+  bank.seal();
   return bank;
 }
 
-std::vector<double> dct2(std::span<const double> x, std::size_t num_coeffs) {
+std::vector<std::vector<double>> mel_filterbank_rows(std::size_t num_filters,
+                                                     std::size_t fft_size,
+                                                     double sample_rate,
+                                                     double low_hz,
+                                                     double high_hz) {
+  const MelFilterbank bank =
+      mel_filterbank(num_filters, fft_size, sample_rate, low_hz, high_hz);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(bank.size());
+  for (std::span<const double> row : bank) {
+    rows.emplace_back(row.begin(), row.end());
+  }
+  return rows;
+}
+
+namespace {
+
+// Thread-local cache of the n x n orthonormal DCT-II coefficient table,
+// rows pre-scaled by sqrt(1/n) (k = 0) / sqrt(2/n) (k > 0). Rebuilt only
+// when the transform length changes, so per-frame MFCC extraction never
+// recomputes cosines.
+const double* cached_dct_table(std::size_t n) {
+  thread_local std::size_t cached_n = 0;
+  thread_local AlignedVector<double> table;
+  if (cached_n != n) {
+    table.resize(n * n);
+    const double nf = static_cast<double>(n);
+    const double scale0 = std::sqrt(1.0 / nf);
+    const double scale = std::sqrt(2.0 / nf);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double row_scale = k == 0 ? scale0 : scale;
+      for (std::size_t i = 0; i < n; ++i) {
+        table[k * n + i] =
+            row_scale * std::cos(std::numbers::pi / nf *
+                                 (static_cast<double>(i) + 0.5) *
+                                 static_cast<double>(k));
+      }
+    }
+    cached_n = n;
+  }
+  return table.data();
+}
+
+}  // namespace
+
+void dct2_into(std::span<const double> x, std::span<double> out) {
   const std::size_t n = x.size();
   VIBGUARD_REQUIRE(n > 0, "DCT of empty input");
-  num_coeffs = std::min(num_coeffs, n);
-  std::vector<double> out(num_coeffs, 0.0);
-  const double scale0 = std::sqrt(1.0 / static_cast<double>(n));
-  const double scale = std::sqrt(2.0 / static_cast<double>(n));
+  const std::size_t num_coeffs = std::min(out.size(), n);
+  const double* table = cached_dct_table(n);
+  const simd::Ops& ops = simd::ops();
   for (std::size_t k = 0; k < num_coeffs; ++k) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      acc += x[i] * std::cos(std::numbers::pi / static_cast<double>(n) *
-                             (static_cast<double>(i) + 0.5) *
-                             static_cast<double>(k));
-    }
-    out[k] = acc * (k == 0 ? scale0 : scale);
+    out[k] = ops.dot(table + k * n, x.data(), n);
   }
+  // Coefficients past the transform length do not exist; zero-fill so the
+  // output span is fully defined.
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(num_coeffs), out.end(),
+            0.0);
+}
+
+std::vector<double> dct2(std::span<const double> x, std::size_t num_coeffs) {
+  VIBGUARD_REQUIRE(!x.empty(), "DCT of empty input");
+  std::vector<double> out(std::min(num_coeffs, x.size()));
+  dct2_into(x, out);
   return out;
 }
 
@@ -85,8 +164,8 @@ std::vector<std::vector<double>> compute_mfcc(const Signal& signal,
   VIBGUARD_REQUIRE(frame_len > 0 && hop > 0,
                    "frame and hop must be at least one sample");
   const std::size_t fft_size = next_pow2(frame_len);
-  const auto bank = mel_filterbank(cfg.num_filters, fft_size, fs, cfg.low_hz,
-                                   std::min(cfg.high_hz, fs / 2.0));
+  const MelFilterbank bank = mel_filterbank(
+      cfg.num_filters, fft_size, fs, cfg.low_hz, std::min(cfg.high_hz, fs / 2.0));
   const auto window = make_window(WindowType::kHamming, frame_len);
 
   std::vector<std::vector<double>> mfcc;
@@ -94,75 +173,25 @@ std::vector<std::vector<double>> compute_mfcc(const Signal& signal,
   const std::size_t frames = 1 + (signal.size() - frame_len) / hop;
   mfcc.reserve(frames);
 
-  // Hoist everything frame-invariant out of the loop.
-  //
-  // Triangular mel filters are nonzero on a short contiguous bin range, so
-  // store each filter as (first bin, weights) and skip the zero tails.
   const std::size_t num_bins = fft_size / 2 + 1;
-  struct SparseFilter {
-    std::size_t first = 0;
-    std::vector<double> weights;
-  };
-  std::vector<SparseFilter> sparse(cfg.num_filters);
-  for (std::size_t m = 0; m < cfg.num_filters; ++m) {
-    std::size_t first = 0;
-    while (first < num_bins && bank[m][first] == 0.0) ++first;
-    std::size_t last = num_bins;
-    while (last > first && bank[m][last - 1] == 0.0) --last;
-    sparse[m].first = first;
-    sparse[m].weights.assign(bank[m].begin() + static_cast<std::ptrdiff_t>(first),
-                             bank[m].begin() + static_cast<std::ptrdiff_t>(last));
-  }
-
-  // DCT-II as a (num_coeffs x num_filters) coefficient table: the per-frame
-  // transform becomes a small matrix-vector product instead of
-  // num_coeffs * num_filters cosine evaluations.
   const std::size_t num_coeffs = std::min(cfg.num_coeffs, cfg.num_filters);
-  const double nf = static_cast<double>(cfg.num_filters);
-  const double scale0 = std::sqrt(1.0 / nf);
-  const double scale = std::sqrt(2.0 / nf);
-  std::vector<double> dct_table(num_coeffs * cfg.num_filters);
-  for (std::size_t k = 0; k < num_coeffs; ++k) {
-    const double row_scale = k == 0 ? scale0 : scale;
-    for (std::size_t i = 0; i < cfg.num_filters; ++i) {
-      dct_table[k * cfg.num_filters + i] =
-          row_scale * std::cos(std::numbers::pi / nf *
-                               (static_cast<double>(i) + 0.5) *
-                               static_cast<double>(k));
-    }
-  }
-
   const FftPlan& plan = get_plan(fft_size);
   const double* samples = signal.samples().data();
   // The zero padding beyond frame_len is written once; every frame only
   // overwrites the first frame_len entries.
-  std::vector<double> frame(fft_size, 0.0);
-  std::vector<double> power(num_bins);
-  std::vector<double> log_mel(cfg.num_filters);
+  AlignedVector<double> frame(fft_size, 0.0);
+  AlignedVector<double> power(num_bins);
+  AlignedVector<double> mel_energy(cfg.num_filters);
+  AlignedVector<double> log_mel(cfg.num_filters);
   for (std::size_t f = 0; f < frames; ++f) {
-    const double* src = samples + f * hop;
-    for (std::size_t i = 0; i < frame_len; ++i) {
-      frame[i] = src[i] * window[i];
-    }
+    simd::multiply(samples + f * hop, window.data(), frame.data(), frame_len);
     plan.power(frame, power);
+    bank.apply(power, mel_energy);
     for (std::size_t m = 0; m < cfg.num_filters; ++m) {
-      const SparseFilter& flt = sparse[m];
-      const double* p = power.data() + flt.first;
-      double acc = 0.0;
-      for (std::size_t k = 0; k < flt.weights.size(); ++k) {
-        acc += flt.weights[k] * p[k];
-      }
-      log_mel[m] = std::log(acc + 1e-12);
+      log_mel[m] = std::log(mel_energy[m] + 1e-12);
     }
     std::vector<double> coeffs(num_coeffs);
-    for (std::size_t k = 0; k < num_coeffs; ++k) {
-      const double* row = dct_table.data() + k * cfg.num_filters;
-      double acc = 0.0;
-      for (std::size_t i = 0; i < cfg.num_filters; ++i) {
-        acc += row[i] * log_mel[i];
-      }
-      coeffs[k] = acc;
-    }
+    dct2_into(log_mel, coeffs);
     mfcc.push_back(std::move(coeffs));
   }
   return mfcc;

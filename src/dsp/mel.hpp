@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/signal.hpp"
 
 namespace vibguard::dsp {
@@ -20,17 +21,100 @@ double hz_to_mel(double hz);
 /// mel -> Hz (HTK formula).
 double mel_to_hz(double mel);
 
-/// Triangular mel filterbank: `num_filters` rows over `num_bins` one-sided
-/// FFT bins for an `fft_size`-point transform at `sample_rate`, spanning
+/// Triangular mel filterbank stored as one contiguous row-major matrix
+/// (filters × one-sided FFT bins) — no per-row allocations — plus the
+/// precomputed nonzero column range of each triangle, which lets apply()
+/// skip the zero tails and run each filter as one dense dot product
+/// through the SIMD dispatch layer.
+class MelFilterbank {
+ public:
+  MelFilterbank() = default;
+  MelFilterbank(std::size_t filters, std::size_t bins);
+
+  /// Number of filters (rows). Named size() so row iteration code written
+  /// for the old vector-of-vectors return type keeps working.
+  std::size_t size() const { return filters_; }
+  std::size_t filters() const { return filters_; }
+  std::size_t bins() const { return bins_; }
+  bool empty() const { return filters_ == 0; }
+
+  /// Dense row view (bins() weights, zero tails included).
+  std::span<const double> operator[](std::size_t m) const {
+    return {weights_.data() + m * bins_, bins_};
+  }
+  std::span<double> row(std::size_t m) {
+    return {weights_.data() + m * bins_, bins_};
+  }
+
+  /// Flat row-major weight matrix.
+  std::span<const double> values() const { return weights_; }
+
+  /// First nonzero column of filter m (bins() if the row is all zero).
+  std::size_t first_bin(std::size_t m) const { return first_[m]; }
+  /// One past the last nonzero column of filter m.
+  std::size_t last_bin(std::size_t m) const { return last_[m]; }
+
+  /// out[m] = sum_k weight(m, k) * power[k] for every filter, skipping each
+  /// triangle's zero tails. power must have bins() entries, out filters().
+  void apply(std::span<const double> power, std::span<double> out) const;
+
+  /// Recomputes the nonzero ranges after rows were filled in.
+  void seal();
+
+  // Row iteration (ranged-for compatibility with the old nested-vector
+  // bank: each element is a row span).
+  class RowIterator {
+   public:
+    RowIterator(const MelFilterbank* bank, std::size_t m)
+        : bank_(bank), m_(m) {}
+    std::span<const double> operator*() const { return (*bank_)[m_]; }
+    RowIterator& operator++() {
+      ++m_;
+      return *this;
+    }
+    bool operator!=(const RowIterator& o) const { return m_ != o.m_; }
+    bool operator==(const RowIterator& o) const { return m_ == o.m_; }
+
+   private:
+    const MelFilterbank* bank_;
+    std::size_t m_;
+  };
+  RowIterator begin() const { return {this, 0}; }
+  RowIterator end() const { return {this, filters_}; }
+
+ private:
+  std::size_t filters_ = 0;
+  std::size_t bins_ = 0;
+  AlignedVector<double> weights_;  ///< row-major filters_ × bins_
+  std::vector<std::size_t> first_;
+  std::vector<std::size_t> last_;
+};
+
+/// Triangular mel filterbank: `num_filters` filters over the one-sided bins
+/// of an `fft_size`-point transform at `sample_rate`, spanning
 /// [low_hz, high_hz].
-std::vector<std::vector<double>> mel_filterbank(std::size_t num_filters,
-                                                std::size_t fft_size,
-                                                double sample_rate,
-                                                double low_hz, double high_hz);
+MelFilterbank mel_filterbank(std::size_t num_filters, std::size_t fft_size,
+                             double sample_rate, double low_hz,
+                             double high_hz);
+
+/// Compatibility shim: the filterbank as the old vector-of-vectors shape
+/// (one heap row per filter). Prefer mel_filterbank.
+std::vector<std::vector<double>> mel_filterbank_rows(std::size_t num_filters,
+                                                     std::size_t fft_size,
+                                                     double sample_rate,
+                                                     double low_hz,
+                                                     double high_hz);
 
 /// DCT-II of `x`, keeping the first `num_coeffs` outputs (orthonormal
 /// scaling).
 std::vector<double> dct2(std::span<const double> x, std::size_t num_coeffs);
+
+/// Allocation-free DCT-II: writes out.size() coefficients (truncated to
+/// x.size()) using a thread-local cached cosine table, so steady-state
+/// calls never touch the heap. The table rows are pre-scaled by the
+/// orthonormal factors; each coefficient is one dot product through the
+/// SIMD dispatch layer.
+void dct2_into(std::span<const double> x, std::span<double> out);
 
 struct MfccConfig {
   double frame_seconds = 0.025;  ///< 25 ms analysis frames

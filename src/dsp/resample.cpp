@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "dsp/filter.hpp"
+#include "dsp/simd.hpp"
 
 namespace vibguard::dsp {
 namespace {
@@ -33,13 +34,8 @@ void interpolate_at_rate_into(const Signal& in, double target_rate,
       std::floor(static_cast<double>(in.size()) / ratio));
   out.reset(target_rate);
   out.resize(out_len);
-  for (std::size_t i = 0; i < out_len; ++i) {
-    const double pos = static_cast<double>(i) * ratio;
-    const auto lo = static_cast<std::size_t>(pos);
-    const std::size_t hi = lo + 1 < in.size() ? lo + 1 : lo;
-    const double frac = pos - static_cast<double>(lo);
-    out[i] = in[lo] * (1.0 - frac) + in[hi] * frac;
-  }
+  simd::linear_interp(in.samples().data(), in.size(), ratio,
+                      out.samples().data(), out_len);
 }
 
 Signal interpolate_at_rate(const Signal& in, double target_rate) {

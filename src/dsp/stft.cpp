@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "dsp/fft_plan.hpp"
+#include "dsp/simd.hpp"
 
 namespace vibguard::dsp {
 
@@ -162,27 +163,26 @@ Correlation2dResult correlation_2d_ex(const Spectrogram& a,
   if (frames == 0 || a.bins() == 0) return {0.0, true};
   const std::size_t n = frames * a.bins();
   // Single fused accumulation of all five moments (instead of separate
-  // mean passes followed by a centered pass).
-  const double* pa = a.values().data();
-  const double* pb = b.values().data();
-  double sa = 0.0, sb = 0.0, saa = 0.0, sbb = 0.0, sab = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double xa = pa[i];
-    const double xb = pb[i];
-    sa += xa;
-    sb += xb;
-    saa += xa * xa;
-    sbb += xb * xb;
-    sab += xa * xb;
-  }
+  // mean passes followed by a centered pass), through the dispatched
+  // SIMD kernel.
+  const simd::PearsonMoments m =
+      simd::pearson_moments(a.values().data(), b.values().data(), n);
   const double inv_n = 1.0 / static_cast<double>(n);
-  const double cov = sab - sa * sb * inv_n;
-  const double var_a = saa - sa * sa * inv_n;
-  const double var_b = sbb - sb * sb * inv_n;
+  const double cov = m.sab - m.sa * m.sb * inv_n;
+  const double var_a = m.saa - m.sa * m.sa * inv_n;
+  const double var_b = m.sbb - m.sb * m.sb * inv_n;
   // NaN anywhere in the inputs poisons the moments; the comparisons below
   // are written so a NaN variance lands in the degenerate branch instead of
-  // propagating into the score.
-  if (!(var_a > 0.0) || !(var_b > 0.0) || !std::isfinite(cov)) {
+  // propagating into the score. The variance threshold is relative to the
+  // raw second moment rather than exactly zero: the fused difference
+  // saa - sa^2/n cancels catastrophically on (near-)constant input, and
+  // vectorized accumulation orders leave rounding residue ~ulp(saa) where
+  // the sequential order happens to cancel exactly. Input whose variance is
+  // below 1e-12 of its energy is constant to within float precision, so it
+  // is degenerate regardless of which dispatch level summed it.
+  constexpr double kVarEps = 1e-12;
+  if (!(var_a > kVarEps * m.saa) || !(var_b > kVarEps * m.sbb) ||
+      !std::isfinite(cov)) {
     return {0.0, true};
   }
   const double r = cov / std::sqrt(var_a * var_b);

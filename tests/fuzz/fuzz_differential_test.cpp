@@ -20,7 +20,9 @@
 #include "dsp/correlate.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fft_plan.hpp"
+#include "dsp/mel.hpp"
 #include "dsp/resample.hpp"
+#include "dsp/simd.hpp"
 #include "dsp/stft.hpp"
 #include "eval/metrics.hpp"
 #include "fuzz/fuzz_util.hpp"
@@ -299,6 +301,124 @@ TEST(FuzzDifferential, ComputeRocMatchesBruteForce) {
     EXPECT_NEAR(roc.eer, ref.eer, 1e-12);
     EXPECT_NEAR(roc.eer_threshold, ref.eer_threshold, 1e-9);
   }
+}
+
+// Re-runs the DSP pipelines at every dispatch level this build + CPU
+// provides and holds them to the documented numerical contract versus the
+// scalar reference: pipelines built purely from elementwise kernels (FFT
+// transforms, planned STFT power, decimate_alias) must agree bit-for-bit;
+// pipelines through the reduction kernels (FIR resample, correlation_2d,
+// MFCC) to ULP-scaled tolerance.
+TEST(FuzzDifferential, DispatchLevelsMatchScalarReference) {
+  const auto levels = dsp::simd::available_levels();
+  const dsp::simd::Level entry_level = dsp::simd::active_level();
+  if (levels.size() < 2) {
+    GTEST_SKIP() << "only the scalar dispatch level is available";
+  }
+  const std::size_t iters = testing::fuzz_iterations();
+  const std::uint64_t base = testing::fuzz_base_seed();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base + it;
+    SCOPED_TRACE(testing::seed_note(seed));
+    Rng rng(seed);
+
+    // Shared random inputs for all levels of this trial.
+    const auto fft_n = static_cast<std::size_t>(rng.uniform_int(2, 96));
+    std::vector<dsp::Complex> fft_in(fft_n);
+    for (auto& v : fft_in) {
+      v = dsp::Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    }
+    const auto ws = static_cast<std::size_t>(rng.uniform_int(4, 64));
+    const auto hop = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(ws)));
+    const Signal stft_sig(
+        rng.gaussian_vector(static_cast<std::size_t>(rng.uniform_int(0, 400))),
+        rng.uniform(50.0, 16000.0));
+    const double deci_rate = rng.uniform(100.0, 16000.0);
+    const double deci_target = rng.uniform(0.05 * deci_rate, deci_rate);
+    const Signal deci_sig(
+        rng.gaussian_vector(static_cast<std::size_t>(rng.uniform_int(0, 600))),
+        deci_rate);
+    const double rs_rate = rng.uniform(400.0, 16000.0);
+    const double rs_target = rng.uniform(0.1 * rs_rate, 0.95 * rs_rate);
+    const Signal rs_sig(
+        rng.gaussian_vector(static_cast<std::size_t>(rng.uniform_int(0, 500))),
+        rs_rate);
+    const auto corr_bins = static_cast<std::size_t>(rng.uniform_int(1, 24));
+    dsp::Spectrogram corr_a(static_cast<std::size_t>(rng.uniform_int(1, 40)),
+                            corr_bins, 1.0, 0.01);
+    dsp::Spectrogram corr_b(static_cast<std::size_t>(rng.uniform_int(1, 40)),
+                            corr_bins, 1.0, 0.01);
+    for (double& v : corr_a.values()) v = rng.gaussian(0.5, 1.0);
+    for (double& v : corr_b.values()) v = rng.gaussian(-0.25, 2.0);
+    const Signal mfcc_sig(
+        rng.gaussian_vector(
+            static_cast<std::size_t>(rng.uniform_int(400, 1600))),
+        16000.0);
+
+    // Scalar pass: the reference every other level is held to.
+    ASSERT_TRUE(dsp::simd::set_level(dsp::simd::Level::kScalar));
+    std::vector<dsp::Complex> fft_ref = fft_in;
+    dsp::get_plan(fft_n).transform(fft_ref, false);
+    dsp::Spectrogram stft_ref;
+    dsp::stft_power_into(stft_sig, ws, hop, stft_ref);
+    const Signal deci_ref = dsp::decimate_alias(deci_sig, deci_target);
+    const Signal rs_ref = dsp::resample(rs_sig, rs_target);
+    const double corr_ref = dsp::correlation_2d(corr_a, corr_b);
+    const auto mfcc_ref = dsp::compute_mfcc(mfcc_sig);
+
+    for (dsp::simd::Level level : levels) {
+      if (level == dsp::simd::Level::kScalar) continue;
+      SCOPED_TRACE(dsp::simd::level_name(level));
+      ASSERT_TRUE(dsp::simd::set_level(level));
+
+      // Elementwise-kernel pipelines: bit-identical.
+      std::vector<dsp::Complex> fft_got = fft_in;
+      dsp::get_plan(fft_n).transform(fft_got, false);
+      for (std::size_t i = 0; i < fft_n; ++i) {
+        EXPECT_EQ(fft_got[i].real(), fft_ref[i].real()) << "bin " << i;
+        EXPECT_EQ(fft_got[i].imag(), fft_ref[i].imag()) << "bin " << i;
+      }
+      dsp::Spectrogram stft_got;
+      dsp::stft_power_into(stft_sig, ws, hop, stft_got);
+      ASSERT_EQ(stft_got.frames(), stft_ref.frames());
+      for (std::size_t f = 0; f < stft_got.frames(); ++f) {
+        for (std::size_t b = 0; b < stft_got.bins(); ++b) {
+          EXPECT_EQ(stft_got.at(f, b), stft_ref.at(f, b))
+              << "frame " << f << " bin " << b;
+        }
+      }
+      const Signal deci_got = dsp::decimate_alias(deci_sig, deci_target);
+      ASSERT_EQ(deci_got.size(), deci_ref.size());
+      for (std::size_t i = 0; i < deci_got.size(); ++i) {
+        EXPECT_EQ(deci_got[i], deci_ref[i]) << "sample " << i;
+      }
+
+      // Reduction-kernel pipelines: ULP-scaled tolerance.
+      const Signal rs_got = dsp::resample(rs_sig, rs_target);
+      ASSERT_EQ(rs_got.size(), rs_ref.size());
+      for (std::size_t i = 0; i < rs_got.size(); ++i) {
+        EXPECT_NEAR(rs_got[i], rs_ref[i],
+                    1e-12 * (1.0 + std::abs(rs_ref[i])))
+            << "sample " << i;
+      }
+      EXPECT_NEAR(dsp::correlation_2d(corr_a, corr_b), corr_ref, 1e-12);
+      const auto mfcc_got = dsp::compute_mfcc(mfcc_sig);
+      ASSERT_EQ(mfcc_got.size(), mfcc_ref.size());
+      for (std::size_t f = 0; f < mfcc_got.size(); ++f) {
+        ASSERT_EQ(mfcc_got[f].size(), mfcc_ref[f].size());
+        for (std::size_t k = 0; k < mfcc_got[f].size(); ++k) {
+          // log() of near-zero mel energies amplifies reassociation noise,
+          // so the bound is looser than the raw kernel tolerance.
+          EXPECT_NEAR(mfcc_got[f][k], mfcc_ref[f][k],
+                      1e-6 * (1.0 + std::abs(mfcc_ref[f][k])))
+              << "frame " << f << " coeff " << k;
+        }
+      }
+    }
+    dsp::simd::set_level(entry_level);
+  }
+  dsp::simd::set_level(entry_level);
 }
 
 TEST(FuzzDifferential, WavRoundTripWithinQuantization) {
