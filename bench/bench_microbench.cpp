@@ -7,6 +7,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/segmentation.hpp"
+#include "core/streaming.hpp"
 #include "device/sync.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/generate.hpp"
@@ -179,6 +180,50 @@ void BM_FullPipelineScore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullPipelineScore);
+
+void BM_StreamingScore(benchmark::State& state) {
+  // Time-to-verdict of the streaming pipeline after consuming the given
+  // percentage of the trial's frames (the benchmark arg). 40% and 70% time
+  // the anytime path — ingest, block processing and a provisional verdict
+  // over the prefix; 100% runs to completion in kExactBatch mode, i.e. the
+  // full streaming overhead plus the bit-identical batch re-score. Compare
+  // against BM_FullPipelineScore for the streaming layer's overhead.
+  eval::ScenarioSimulator sim(eval::ScenarioConfig{}, 8);
+  Rng rng(9);
+  const auto user = speech::sample_speaker(speech::Sex::kMale, rng);
+  const auto trial = sim.legitimate_trial(
+      speech::command_by_text("turn on the lights"), user);
+  core::OracleSegmenter segmenter(trial.alignment,
+                                  eval::reference_sensitive_set());
+  core::DefenseSystem system{core::DefenseConfig{}};
+
+  const double pct = static_cast<double>(state.range(0)) / 100.0;
+  const std::size_t va_limit =
+      static_cast<std::size_t>(pct * static_cast<double>(trial.va.size()));
+  const std::size_t wear_limit = static_cast<std::size_t>(
+      pct * static_cast<double>(trial.wearable.size()));
+  core::StreamingConfig cfg;
+  cfg.finalize = state.range(0) >= 100
+                     ? core::StreamingConfig::Finalize::kExactBatch
+                     : core::StreamingConfig::Finalize::kProvisional;
+  core::StreamingPipeline pipeline(system, cfg);
+  constexpr std::size_t kFrame = 1024;  // ~64 ms pushes at 16 kHz
+  for (auto _ : state) {
+    pipeline.begin(trial.va.sample_rate(), &segmenter, Rng(10));
+    for (std::size_t off = 0; off < va_limit || off < wear_limit;
+         off += kFrame) {
+      const auto frame_of = [off](const Signal& s, std::size_t limit) {
+        const std::size_t begin = std::min(off, limit);
+        const std::size_t end = std::min(off + kFrame, limit);
+        return s.samples().subspan(begin, end - begin);
+      };
+      pipeline.push(frame_of(trial.va, va_limit),
+                    frame_of(trial.wearable, wear_limit));
+    }
+    benchmark::DoNotOptimize(pipeline.finalize());
+  }
+}
+BENCHMARK(BM_StreamingScore)->Arg(40)->Arg(70)->Arg(100);
 
 void BM_ExperimentParallel(benchmark::State& state) {
   // Full Fig. 9-style evaluation at the requested thread count (arg 0 uses

@@ -9,6 +9,8 @@
 //                                          EER-vs-fault-severity robustness
 //   vibguard_cli load-sweep [--trials N] [--capacity N] [--deadline-ms N]
 //                                          overload behavior vs offered load
+//   vibguard_cli stream-sweep [--attack T] [--room R] [--trials N]
+//                                          early-exit fraction vs EER table
 //   vibguard_cli export-audio [DIR]        write demo WAV files
 //
 // All subcommands are deterministic for a fixed --seed (default 42).
@@ -30,6 +32,7 @@
 #include "eval/fault_sweep.hpp"
 #include "eval/load_sweep.hpp"
 #include "eval/scenario.hpp"
+#include "eval/stream_sweep.hpp"
 #include "faults/fault.hpp"
 #include "speech/corpus.hpp"
 
@@ -238,6 +241,22 @@ int cmd_load_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_stream_sweep(const Args& args) {
+  eval::StreamSweepConfig cfg;
+  cfg.scenario.room = acoustics::room_by_name(args.room);
+  cfg.attack = attack_by_name(args.attack);
+  cfg.eval_trials = args.trials;
+  const auto result = eval::run_stream_sweep(cfg, args.seed);
+  std::printf("%s attack, %s, %zu calib + %zu eval trials", args.attack.c_str(),
+              cfg.scenario.room.name.c_str(), result.calib_trials,
+              result.eval_trials);
+  if (result.unscored > 0) {
+    std::printf(" (%zu unscored)", result.unscored);
+  }
+  std::printf(":\n%s", result.summary().c_str());
+  return 0;
+}
+
 int cmd_export_audio(const Args& args) {
   std::filesystem::create_directories(args.dir);
   Rng rng(args.seed);
@@ -264,6 +283,7 @@ void usage() {
       "  attack-study    VA trigger probabilities vs SPL\n"
       "  fault-sweep     EER vs fault severity (robustness curves)\n"
       "  load-sweep      serving rates and EER vs offered load\n"
+      "  stream-sweep    streaming early-exit fraction vs EER\n"
       "  export-audio    write demo WAV files\n"
       "options: --attack random|replay|synthesis|hidden_voice\n"
       "         --fault all|dropout|clipping|stuck_at|clock_drift|burst|\n"
@@ -286,6 +306,7 @@ int main(int argc, char** argv) {
     if (args.command == "attack-study") return cmd_attack_study(args);
     if (args.command == "fault-sweep") return cmd_fault_sweep(args);
     if (args.command == "load-sweep") return cmd_load_sweep(args);
+    if (args.command == "stream-sweep") return cmd_stream_sweep(args);
     if (args.command == "export-audio") return cmd_export_audio(args);
     usage();
     return args.command.empty() ? 0 : 1;

@@ -123,6 +123,8 @@ class DefenseSystem {
 
   const DefenseConfig& config() const { return config_; }
   const device::Wearable& wearable() const { return wearable_; }
+  const VibrationFeatureExtractor& extractor() const { return extractor_; }
+  const CorrelationDetector& detector() const { return detector_; }
 
   /// Scores one command: higher = more likely legitimate. `segmenter`
   /// supplies sensitive-phoneme ranges and is required in kFull mode

@@ -42,39 +42,29 @@ std::string quality_issue_names(std::uint32_t issues) {
   return out.empty() ? "unknown" : out;
 }
 
-ChannelQuality assess_channel(const Signal& signal, const QualityConfig& cfg) {
-  ChannelQuality q;
-  q.samples = signal.size();
-  q.duration_s = signal.duration();
-  if (signal.empty()) {
-    q.issues |= kIssueTooShort | kIssueLowSignal;
-    return q;
-  }
+std::size_t min_gap_samples(const QualityConfig& cfg, double sample_rate) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg.min_gap_s * sample_rate));
+}
 
-  const double rate = signal.sample_rate();
-  const std::size_t min_gap_samples = std::max<std::size_t>(
-      1, static_cast<std::size_t>(cfg.min_gap_s * rate));
-
-  // Pass 1: moments over the finite samples, zero-run and constant-run
-  // census. Everything is O(n) streaming with no allocation.
-  double sum = 0.0, sum_sq = 0.0, peak = 0.0;
-  std::size_t finite_count = 0;
-  std::size_t zero_run = 0, gap_samples = 0, longest_gap = 0;
-  std::size_t const_run = 1, longest_const = 0;
-  double prev = 0.0;
-  bool have_prev = false;
-  const std::size_t n = signal.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const double x = signal[i];
+void StreamingCensus::update(std::span<const double> samples,
+                             std::size_t min_gap) {
+  // The loop body is the former assess_channel pass 1 verbatim, with its
+  // state lifted into the struct: every accumulation is strictly
+  // left-to-right, so any chunking of the input reproduces the whole-signal
+  // walk bit for bit.
+  for (const double x : samples) {
+    ++total;
     if (!std::isfinite(x)) {
-      ++q.non_finite;
+      ++non_finite;
       // A non-finite sample terminates both runs.
-      if (zero_run >= min_gap_samples) {
+      if (zero_run >= min_gap) {
         gap_samples += zero_run;
         longest_gap = std::max(longest_gap, zero_run);
       }
       zero_run = 0;
-      longest_const = std::max(longest_const, have_prev ? const_run : std::size_t{0});
+      longest_const =
+          std::max(longest_const, have_prev ? const_run : std::size_t{0});
       have_prev = false;
       continue;
     }
@@ -86,7 +76,7 @@ ChannelQuality assess_channel(const Signal& signal, const QualityConfig& cfg) {
     if (std::abs(x) <= kZeroEps) {
       ++zero_run;
     } else {
-      if (zero_run >= min_gap_samples) {
+      if (zero_run >= min_gap) {
         gap_samples += zero_run;
         longest_gap = std::max(longest_gap, zero_run);
       }
@@ -96,17 +86,39 @@ ChannelQuality assess_channel(const Signal& signal, const QualityConfig& cfg) {
     if (have_prev && x == prev && std::abs(x) > kZeroEps) {
       ++const_run;
     } else {
-      longest_const = std::max(longest_const, have_prev ? const_run : std::size_t{0});
+      longest_const =
+          std::max(longest_const, have_prev ? const_run : std::size_t{0});
       const_run = 1;
     }
     prev = x;
     have_prev = true;
   }
-  if (zero_run >= min_gap_samples) {
-    gap_samples += zero_run;
-    longest_gap = std::max(longest_gap, zero_run);
+}
+
+ChannelQuality StreamingCensus::finalize(const Signal& signal,
+                                         const QualityConfig& cfg) const {
+  ChannelQuality q;
+  q.samples = signal.size();
+  q.duration_s = signal.duration();
+  q.non_finite = non_finite;
+  if (signal.empty()) {
+    q.issues |= kIssueTooShort | kIssueLowSignal;
+    return q;
   }
-  longest_const = std::max(longest_const, have_prev ? const_run : std::size_t{0});
+  const double rate = signal.sample_rate();
+  const std::size_t min_gap = min_gap_samples(cfg, rate);
+  const std::size_t n = signal.size();
+
+  // Close the trailing zero/constant runs on locals so the census itself
+  // remains updatable (a provisional mid-stream report must not disturb the
+  // carried state).
+  std::size_t gaps = gap_samples, top_gap = longest_gap;
+  if (zero_run >= min_gap) {
+    gaps += zero_run;
+    top_gap = std::max(top_gap, zero_run);
+  }
+  const std::size_t top_const =
+      std::max(longest_const, have_prev ? const_run : std::size_t{0});
 
   if (finite_count > 0) {
     const double inv = 1.0 / static_cast<double>(finite_count);
@@ -114,9 +126,9 @@ ChannelQuality assess_channel(const Signal& signal, const QualityConfig& cfg) {
     q.rms = std::sqrt(sum_sq * inv);
     q.peak = peak;
   }
-  q.gap_ratio = static_cast<double>(gap_samples) / static_cast<double>(n);
-  q.longest_gap_s = rate > 0.0 ? static_cast<double>(longest_gap) / rate : 0.0;
-  q.stuck_ratio = static_cast<double>(longest_const) / static_cast<double>(n);
+  q.gap_ratio = static_cast<double>(gaps) / static_cast<double>(n);
+  q.longest_gap_s = rate > 0.0 ? static_cast<double>(top_gap) / rate : 0.0;
+  q.stuck_ratio = static_cast<double>(top_const) / static_cast<double>(n);
 
   // Pass 2: clipping census needs the peak from pass 1.
   if (peak > 0.0) {
@@ -139,6 +151,15 @@ ChannelQuality assess_channel(const Signal& signal, const QualityConfig& cfg) {
   }
   if (q.stuck_ratio > cfg.max_stuck_ratio) q.issues |= kIssueStuck;
   return q;
+}
+
+ChannelQuality assess_channel(const Signal& signal, const QualityConfig& cfg) {
+  StreamingCensus census;
+  if (!signal.empty()) {
+    census.update(signal.samples(),
+                  min_gap_samples(cfg, signal.sample_rate()));
+  }
+  return census.finalize(signal, cfg);
 }
 
 std::uint32_t fatal_issue_mask(QualityConfig::Gate gate) {

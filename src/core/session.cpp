@@ -43,7 +43,10 @@ const char* verdict_name(Verdict verdict) {
 
 DefenseSession::DefenseSession(DefenseConfig config, SessionPolicy policy,
                                const Clock* clock)
-    : system_(std::move(config)), policy_(policy), clock_(clock) {
+    : system_(std::move(config)),
+      streaming_(system_),
+      policy_(policy),
+      clock_(clock) {
   if (policy_.breaker.has_value()) {
     DefenseConfig degraded = system_.config();
     degraded.mode = policy_.degraded_mode;
@@ -169,6 +172,94 @@ SessionEvent DefenseSession::process(
     ++stats_.wearable_absent;
   } else {
     run_policy(event, va_recording, *wearable_recording, segmenter, rng);
+  }
+  ++stats_.processed;
+  log_.push_back(event);
+  return event;
+}
+
+SessionEvent DefenseSession::process_streaming(
+    const std::string& label, const Signal& va_recording,
+    const std::optional<Signal>& wearable_recording, const Segmenter* segmenter,
+    Rng& rng, const StreamingConfig& streaming, std::size_t frame_samples) {
+  VIBGUARD_REQUIRE(frame_samples > 0, "frame size must be positive");
+  SessionEvent event;
+  event.index = log_.size();
+  event.label = label;
+  event.score = nan_score();
+
+  if (!wearable_recording.has_value()) {
+    event.verdict = Verdict::kWearableAbsent;
+    ++stats_.wearable_absent;
+    ++stats_.processed;
+    log_.push_back(event);
+    return event;
+  }
+
+  Deadline deadline_storage;
+  const Deadline* deadline = nullptr;
+  if (policy_.deadline_us.has_value()) {
+    deadline_storage = Deadline::after(clock(), *policy_.deadline_us);
+    deadline = &deadline_storage;
+  }
+
+  streaming_.set_config(streaming);
+  streaming_.begin(va_recording.sample_rate(), segmenter, rng, &trace_,
+                   deadline);
+  const Signal& wear = *wearable_recording;
+  const std::size_t total =
+      std::max(va_recording.size(), wear.size());
+  std::size_t offset = 0;
+  while (offset < total) {
+    const auto frame_of = [&](const Signal& s) {
+      const std::size_t begin = std::min(offset, s.size());
+      const std::size_t end = std::min(offset + frame_samples, s.size());
+      return s.samples().subspan(begin, end - begin);
+    };
+    const StreamStatus st =
+        streaming_.push(frame_of(va_recording), frame_of(wear));
+    offset += frame_samples;
+    // The stopping rule (or a mid-stream quality failure) rendered the
+    // verdict: the remaining frames are never consumed.
+    if (st.verdict != StreamVerdict::kPending) break;
+  }
+  const StreamOutcome out = streaming_.finalize();
+  pipeline_stats_.add(trace_);
+
+  event.early_exit = out.early_exit;
+  event.stream_fraction =
+      std::min(1.0, static_cast<double>(out.pushed_va_samples) /
+                        static_cast<double>(va_recording.size()));
+  if (out.early_exit) {
+    // The anytime layer's calibrated posterior made the call; the
+    // provisional score is on its own scale, so the threshold test does
+    // not apply.
+    ++stats_.early_exits;
+    event.score = out.provisional_score;
+    event.note = stream_verdict_name(out.verdict);
+    if (out.verdict == StreamVerdict::kAttackEarly) {
+      event.verdict = Verdict::kAttackDetected;
+      ++stats_.attacks_detected;
+    } else {
+      event.verdict = Verdict::kAccepted;
+      ++stats_.accepted;
+    }
+  } else if (out.outcome.ok()) {
+    event.score = out.outcome.score;
+    if (event.score < system_.config().detection_threshold) {
+      event.verdict = Verdict::kAttackDetected;
+      ++stats_.attacks_detected;
+    } else {
+      event.verdict = Verdict::kAccepted;
+      ++stats_.accepted;
+    }
+  } else {
+    event.verdict = Verdict::kIndeterminate;
+    event.note = outcome_note(out.outcome);
+    ++stats_.indeterminate;
+    if (out.outcome.status == ScoreStatus::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+    }
   }
   ++stats_.processed;
   log_.push_back(event);

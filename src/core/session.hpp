@@ -26,6 +26,7 @@
 
 #include "common/clock.hpp"
 #include "core/pipeline.hpp"
+#include "core/streaming.hpp"
 #include "serving/admission.hpp"
 #include "serving/backoff.hpp"
 #include "serving/circuit_breaker.hpp"
@@ -101,6 +102,12 @@ struct SessionEvent {
   std::uint64_t queue_us = 0;
   /// Total backoff wait before retries, on the session clock.
   std::uint64_t backoff_us = 0;
+  /// True when the streaming stopping rule rendered the verdict before the
+  /// full command was consumed (process_streaming only).
+  bool early_exit = false;
+  /// Fraction of the command's samples consumed before the verdict
+  /// (process_streaming only; 1.0 elsewhere).
+  double stream_fraction = 1.0;
 };
 
 /// Aggregate statistics of a session.
@@ -114,6 +121,7 @@ struct SessionStats {
   std::size_t deadline_exceeded = 0;  ///< commands whose budget expired
   std::size_t degraded = 0;           ///< commands routed to degraded mode
   std::size_t rejected_overload = 0;  ///< commands refused by admission
+  std::size_t early_exits = 0;        ///< streaming early-exit verdicts
 };
 
 /// One command for DefenseSession::process_batch. Signals are borrowed and
@@ -144,6 +152,22 @@ class DefenseSession {
   SessionEvent process(const std::string& label, const Signal& va_recording,
                        const std::optional<Signal>& wearable_recording,
                        const Segmenter* segmenter, Rng& rng);
+
+  /// Processes one command through the incremental push pipeline
+  /// (core/streaming.hpp), feeding both recordings in interleaved frames of
+  /// `frame_samples`. When `streaming.stop` is enabled and fires, the
+  /// remaining frames are never consumed: the event carries the anytime
+  /// verdict, early_exit = true and the consumed stream_fraction. Without
+  /// an early exit the command finalizes per `streaming.finalize` — the
+  /// default exact-batch mode renders a verdict bit-identical to process()
+  /// with the same rng. Deadline budgets apply as in process(); breaker
+  /// routing and retries do not (a stream is consumed once).
+  SessionEvent process_streaming(const std::string& label,
+                                 const Signal& va_recording,
+                                 const std::optional<Signal>& wearable_recording,
+                                 const Segmenter* segmenter, Rng& rng,
+                                 const StreamingConfig& streaming,
+                                 std::size_t frame_samples = 1024);
 
   /// Processes a batch of commands through the batch scoring API.
   /// Equivalent to calling process() per element (same audit-log entries,
@@ -211,6 +235,7 @@ class DefenseSession {
                                   Rng& rng, const Deadline* deadline);
 
   DefenseSystem system_;
+  StreamingPipeline streaming_;
   SessionPolicy policy_;
   const Clock* clock_ = nullptr;
   std::optional<DefenseSystem> degraded_system_;

@@ -14,6 +14,10 @@ void PipelineTrace::begin_run() {
   stages.clear();
 }
 
+void PipelineTrace::append(const PipelineTrace& other) {
+  stages.insert(stages.end(), other.stages.begin(), other.stages.end());
+}
+
 void PipelineStats::add(const PipelineTrace& trace) {
   ++commands;
   for (const StageTrace& st : trace.stages) {
@@ -21,8 +25,16 @@ void PipelineStats::add(const PipelineTrace& trace) {
         stages.begin(), stages.end(),
         [&st](const StageStats& s) { return s.name == st.name; });
     if (it == stages.end()) {
-      stages.push_back(StageStats{st.name, 0, 0, 0, 0});
+      stages.emplace_back();
       it = stages.end() - 1;
+      it->name = st.name;
+    }
+    // `commands` was already incremented, so it is a nonzero id for this
+    // trial; a stage appearing many times in one trace (streaming pushes)
+    // still counts one trial.
+    if (it->last_seen != commands) {
+      it->last_seen = commands;
+      ++it->trials;
     }
     ++it->calls;
     it->total_wall_us += st.wall_us;
@@ -39,12 +51,15 @@ void PipelineStats::merge(const PipelineStats& other) {
         [&os](const StageStats& s) { return s.name == os.name; });
     if (it == stages.end()) {
       stages.push_back(os);
+      stages.back().last_seen = 0;  // trial ids don't transfer across stats
       continue;
     }
     it->calls += os.calls;
+    it->trials += os.trials;
     it->total_wall_us += os.total_wall_us;
     it->max_wall_us = std::max(it->max_wall_us, os.max_wall_us);
     it->total_allocations += os.total_allocations;
+    it->last_seen = 0;
   }
   queue.admitted += other.queue.admitted;
   queue.rejected += other.queue.rejected;
@@ -66,13 +81,18 @@ std::string PipelineStats::summary() const {
                 "pipeline stats over %llu command(s)\n",
                 static_cast<unsigned long long>(commands));
   out += line;
-  std::snprintf(line, sizeof(line), "  %-14s %8s %12s %12s %10s\n", "stage",
-                "calls", "mean us", "max us", "allocs");
+  std::snprintf(line, sizeof(line),
+                "  %-14s %8s %8s %9s %10s %10s %10s %8s\n", "stage", "calls",
+                "trials", "per-trial", "push us", "trial us", "max us",
+                "allocs");
   out += line;
   for (const StageStats& s : stages) {
-    std::snprintf(line, sizeof(line), "  %-14s %8llu %12.1f %12llu %10llu\n",
+    std::snprintf(line, sizeof(line),
+                  "  %-14s %8llu %8llu %9.1f %10.1f %10.1f %10llu %8llu\n",
                   s.name.c_str(), static_cast<unsigned long long>(s.calls),
-                  s.mean_wall_us(),
+                  static_cast<unsigned long long>(s.trials),
+                  s.mean_calls_per_trial(), s.mean_wall_us(),
+                  s.mean_wall_per_trial_us(),
                   static_cast<unsigned long long>(s.max_wall_us),
                   static_cast<unsigned long long>(s.total_allocations));
     out += line;

@@ -87,21 +87,6 @@ MelFilterbank mel_filterbank(std::size_t num_filters, std::size_t fft_size,
   return bank;
 }
 
-std::vector<std::vector<double>> mel_filterbank_rows(std::size_t num_filters,
-                                                     std::size_t fft_size,
-                                                     double sample_rate,
-                                                     double low_hz,
-                                                     double high_hz) {
-  const MelFilterbank bank =
-      mel_filterbank(num_filters, fft_size, sample_rate, low_hz, high_hz);
-  std::vector<std::vector<double>> rows;
-  rows.reserve(bank.size());
-  for (std::span<const double> row : bank) {
-    rows.emplace_back(row.begin(), row.end());
-  }
-  return rows;
-}
-
 namespace {
 
 // Thread-local cache of the n x n orthonormal DCT-II coefficient table,

@@ -97,14 +97,6 @@ MelFilterbank mel_filterbank(std::size_t num_filters, std::size_t fft_size,
                              double sample_rate, double low_hz,
                              double high_hz);
 
-/// Compatibility shim: the filterbank as the old vector-of-vectors shape
-/// (one heap row per filter). Prefer mel_filterbank.
-std::vector<std::vector<double>> mel_filterbank_rows(std::size_t num_filters,
-                                                     std::size_t fft_size,
-                                                     double sample_rate,
-                                                     double low_hz,
-                                                     double high_hz);
-
 /// DCT-II of `x`, keeping the first `num_coeffs` outputs (orthonormal
 /// scaling).
 std::vector<double> dct2(std::span<const double> x, std::size_t num_coeffs);

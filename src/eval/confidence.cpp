@@ -1,11 +1,13 @@
 #include "eval/confidence.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "core/detector.hpp"
 #include "eval/metrics.hpp"
 
 namespace vibguard::eval {
@@ -68,6 +70,64 @@ ConfidenceInterval bootstrap_eer(std::span<const double> attack_scores,
       [](std::span<const double> a, std::span<const double> l) {
         return compute_roc(a, l).eer;
       });
+}
+
+namespace {
+
+struct ClassMoments {
+  double mean = 0.0;
+  double m2 = 0.0;  ///< sum of squared deviations (Welford)
+  std::size_t n = 0;
+};
+
+ClassMoments moments_of(std::span<const double> scores) {
+  ClassMoments m;
+  for (const double s : scores) {
+    if (core::is_indeterminate_score(s)) continue;
+    ++m.n;
+    const double d = s - m.mean;
+    m.mean += d / static_cast<double>(m.n);
+    m.m2 += d * (s - m.mean);
+  }
+  return m;
+}
+
+}  // namespace
+
+void ScoreCalibration::fit(std::span<const double> attack_scores,
+                           std::span<const double> legit_scores) {
+  const ClassMoments a = moments_of(attack_scores);
+  const ClassMoments l = moments_of(legit_scores);
+  VIBGUARD_REQUIRE(a.n >= 2 && l.n >= 2,
+                   "calibration needs >= 2 determinate scores per class");
+  const double pooled_var =
+      (a.m2 + l.m2) / static_cast<double>(a.n + l.n - 2);
+  // Two identical constant populations carry no information; stay at the
+  // never-confident default rather than fabricating an infinite slope.
+  if (!(pooled_var > 1e-12)) {
+    fitted_ = false;
+    a_ = 0.0;
+    b_ = 0.0;
+    return;
+  }
+  // LDA log-odds: log P(attack|s)/P(legit|s) is linear in s under
+  // equal-variance Gaussians, with empirical class priors.
+  a_ = (a.mean - l.mean) / pooled_var;
+  b_ = (l.mean * l.mean - a.mean * a.mean) / (2.0 * pooled_var) +
+       std::log(static_cast<double>(a.n) / static_cast<double>(l.n));
+  fitted_ = true;
+}
+
+double ScoreCalibration::posterior_attack(double score) const {
+  if (!fitted_ || core::is_indeterminate_score(score)) return 0.5;
+  const double t = a_ * score + b_;
+  // Numerically stable logistic.
+  if (t >= 0.0) {
+    const double e = std::exp(-t);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(t);
+  return e / (1.0 + e);
 }
 
 }  // namespace vibguard::eval

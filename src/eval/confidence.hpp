@@ -1,4 +1,5 @@
-// Bootstrap confidence intervals for detection metrics.
+// Bootstrap confidence intervals for detection metrics, and score
+// calibration for the streaming anytime-verdict layer.
 //
 // The paper reports point estimates; for a simulation-based reproduction
 // the sampling uncertainty matters, so AUC/EER are accompanied by
@@ -7,6 +8,8 @@
 
 #include <cstdint>
 #include <span>
+
+#include "core/streaming.hpp"
 
 namespace vibguard::eval {
 
@@ -32,5 +35,43 @@ ConfidenceInterval bootstrap_auc(std::span<const double> attack_scores,
 ConfidenceInterval bootstrap_eer(std::span<const double> attack_scores,
                                  std::span<const double> legit_scores,
                                  const BootstrapConfig& config = {});
+
+/// Maps correlation scores to calibrated attack posteriors for the
+/// streaming stopping rule (core::ConfidenceModel).
+///
+/// The model is class-conditional Gaussians with a pooled variance — i.e.
+/// linear discriminant analysis — whose posterior is a logistic function of
+/// the score: P(attack | s) = sigmoid(a * s + b) with a < 0 whenever the
+/// attack population scores lower than the legitimate one (it always does
+/// here). Two properties matter:
+///   - the mapping is strictly MONOTONE in the score, so thresholding the
+///     posterior is equivalent to thresholding the score and calibration
+///     cannot change the EER of a score population it is applied to;
+///   - it needs only the two means and the pooled variance, so a few dozen
+///     calibration trials per class suffice.
+class ScoreCalibration final : public core::ConfidenceModel {
+ public:
+  /// Uncalibrated model: posterior_attack returns 0.5 everywhere (never
+  /// confident, so a stopping rule using it never fires).
+  ScoreCalibration() = default;
+
+  /// Fits the pooled-variance Gaussian model. Indeterminate scores
+  /// (core::is_indeterminate_score) are skipped; both populations must
+  /// retain at least two scores each.
+  void fit(std::span<const double> attack_scores,
+           std::span<const double> legit_scores);
+
+  bool fitted() const { return fitted_; }
+  double slope() const { return a_; }
+  double intercept() const { return b_; }
+
+  /// P(attack | score) = sigmoid(a * score + b); 0.5 until fitted.
+  double posterior_attack(double score) const override;
+
+ private:
+  bool fitted_ = false;
+  double a_ = 0.0;  ///< logistic slope (negative after any sane fit)
+  double b_ = 0.0;  ///< logistic intercept
+};
 
 }  // namespace vibguard::eval

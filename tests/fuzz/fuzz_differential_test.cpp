@@ -13,10 +13,13 @@
 #include <filesystem>
 #include <vector>
 
+#include "attacks/attack.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/signal.hpp"
 #include "common/wav.hpp"
+#include "core/segmentation.hpp"
+#include "core/streaming.hpp"
 #include "dsp/correlate.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fft_plan.hpp"
@@ -24,7 +27,9 @@
 #include "dsp/resample.hpp"
 #include "dsp/simd.hpp"
 #include "dsp/stft.hpp"
+#include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
+#include "eval/scenario.hpp"
 #include "fuzz/fuzz_util.hpp"
 #include "reference/reference_dft.hpp"
 #include "reference/reference_dsp.hpp"
@@ -498,6 +503,80 @@ TEST(FuzzDifferential, WavDecodeSurvivesMutatedAndTruncatedStreams) {
       EXPECT_LE(decoded.size(), bytes.size());  // 2 bytes per sample min
     } catch (const Error&) {
       // Malformed input rejected cleanly: the documented contract.
+    }
+  }
+}
+
+TEST(FuzzDifferential, StreamingMatchesBatchScore) {
+  // The streaming pipeline's batch-compatibility invariant, fuzzed: a
+  // run-to-completion kExactBatch stream must reproduce the batch score
+  // BIT-IDENTICALLY for any push schedule — including single-sample pushes,
+  // empty pushes, ragged tails and channels advancing out of lockstep.
+  // Runs at whatever VIBGUARD_SIMD level the environment selects, so the
+  // CI matrix checks the invariant per dispatch level.
+  const std::size_t iters = testing::fuzz_iterations(10);
+  const std::uint64_t base = testing::fuzz_base_seed();
+  core::DefenseConfig full_cfg;
+  const core::DefenseSystem system(full_cfg);
+  core::StreamingPipeline pipeline(system);
+  core::Workspace workspace;
+  for (std::size_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base + it;
+    SCOPED_TRACE(testing::seed_note(seed));
+    Rng rng(seed);
+
+    eval::ScenarioSimulator sim(eval::ScenarioConfig{}, seed);
+    Rng speaker_rng(seed + 1);
+    const auto user =
+        speech::sample_speaker(rng.bernoulli(0.5) ? speech::Sex::kFemale
+                                                  : speech::Sex::kMale,
+                               speaker_rng);
+    const auto& lexicon = speech::command_lexicon();
+    const auto& cmd = lexicon[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(lexicon.size()) - 1))];
+    eval::TrialRecordings trial;
+    if (rng.bernoulli(0.5)) {
+      trial = sim.legitimate_trial(cmd, user);
+    } else {
+      const auto adv = speech::sample_speaker(speech::Sex::kMale, speaker_rng);
+      trial = sim.attack_trial(attacks::AttackType::kReplay, cmd, user, adv);
+    }
+    core::OracleSegmenter seg(trial.alignment,
+                              eval::reference_sensitive_set());
+
+    Rng batch_rng(seed ^ 0xb47c5ULL);
+    const core::ScoreOutcome batch = system.try_score(
+        trial.va, trial.wearable, &seg, batch_rng, workspace);
+
+    // Random interleaved schedule. Frame sizes are drawn from a mixed
+    // distribution so tiny (1-3 sample), medium and block-crossing pushes
+    // all occur, with occasional empty frames on one channel.
+    pipeline.begin(trial.va.sample_rate(), &seg, Rng(seed ^ 0xb47c5ULL));
+    std::size_t va_off = 0;
+    std::size_t wear_off = 0;
+    while (va_off < trial.va.size() || wear_off < trial.wearable.size()) {
+      const auto draw = [&rng]() -> std::size_t {
+        const double u = rng.uniform();
+        if (u < 0.25) return static_cast<std::size_t>(rng.uniform_int(0, 3));
+        if (u < 0.65) {
+          return static_cast<std::size_t>(rng.uniform_int(16, 500));
+        }
+        return static_cast<std::size_t>(rng.uniform_int(1000, 5000));
+      };
+      const std::size_t va_n =
+          std::min(draw(), trial.va.size() - va_off);
+      const std::size_t wear_n =
+          std::min(draw(), trial.wearable.size() - wear_off);
+      pipeline.push(trial.va.samples().subspan(va_off, va_n),
+                    trial.wearable.samples().subspan(wear_off, wear_n));
+      va_off += va_n;
+      wear_off += wear_n;
+    }
+    const core::StreamOutcome streamed = pipeline.finalize();
+
+    ASSERT_EQ(streamed.outcome.status, batch.status);
+    if (batch.ok()) {
+      EXPECT_EQ(streamed.outcome.score, batch.score);  // bitwise
     }
   }
 }
