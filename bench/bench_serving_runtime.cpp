@@ -1,0 +1,115 @@
+// Micro-benchmarks for the sharded serving runtime's data-plane
+// primitives: SessionSlab open/lookup/close churn, MutexRingQueue
+// push/pop, consistent-hash ring placement, and the shard's
+// submit → form_batch hot path (no pipeline scoring — this is the
+// bookkeeping cost a request pays on top of being scored).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "serving/session_slab.hpp"
+#include "serving/shard.hpp"
+
+namespace vibguard::serving {
+namespace {
+
+void BM_SessionSlabInsertEraseChurn(benchmark::State& state) {
+  const auto live = static_cast<std::size_t>(state.range(0));
+  SessionSlab slab;
+  std::vector<SessionHandle> handles;
+  handles.reserve(live);
+  SessionRecord record;
+  for (std::size_t i = 0; i < live; ++i) {
+    record.session_id = i;
+    handles.push_back(slab.insert(record));
+  }
+  // Steady-state churn: one close + one open per iteration, cycling
+  // through the resident set so the free list stays warm.
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    slab.erase(handles[cursor]);
+    record.session_id = 1'000'000 + cursor;
+    handles[cursor] = slab.insert(record);
+    benchmark::DoNotOptimize(handles[cursor]);
+    cursor = (cursor + 1) % live;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SessionSlabInsertEraseChurn)->Arg(1024)->Arg(65536);
+
+void BM_SessionSlabLookup(benchmark::State& state) {
+  const auto live = static_cast<std::size_t>(state.range(0));
+  SessionSlab slab;
+  std::vector<SessionHandle> handles;
+  handles.reserve(live);
+  SessionRecord record;
+  for (std::size_t i = 0; i < live; ++i) {
+    record.session_id = i;
+    handles.push_back(slab.insert(record));
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    SessionRecord* r = slab.get(handles[cursor]);
+    benchmark::DoNotOptimize(r);
+    cursor = (cursor + 1) % live;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SessionSlabLookup)->Arg(1024)->Arg(65536);
+
+void BM_MutexRingQueuePushPop(benchmark::State& state) {
+  MutexRingQueue queue(256);
+  WorkItem item;
+  WorkItem out;
+  for (auto _ : state) {
+    queue.try_push(item);
+    queue.try_pop(out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MutexRingQueuePushPop);
+
+void BM_ConsistentHashRingLookup(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  ConsistentHashRing ring(workers, 64);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    const std::size_t w = ring.worker_for(mix64(id++));
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConsistentHashRingLookup)->Arg(4)->Arg(64);
+
+void BM_ShardSubmitFormBatch(benchmark::State& state) {
+  const auto batch_max = static_cast<std::size_t>(state.range(0));
+  VirtualClock clock;
+  ShardConfig cfg;
+  cfg.queue_capacity = 256;
+  cfg.batch_max = batch_max;
+  cfg.batch_window_us = 0;
+  Shard shard(cfg, clock);
+  std::vector<WorkItem> batch;
+  WorkItem item;
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch_max; ++i) {
+      item.request_id = id++;
+      shard.submit(item);
+    }
+    batch.clear();
+    auto formed = shard.form_batch(batch, /*force=*/true);
+    benchmark::DoNotOptimize(formed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_max));
+}
+BENCHMARK(BM_ShardSubmitFormBatch)->Arg(1)->Arg(8);
+
+}  // namespace
+}  // namespace vibguard::serving
+
+BENCHMARK_MAIN();

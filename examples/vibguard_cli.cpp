@@ -9,6 +9,8 @@
 //                                          EER-vs-fault-severity robustness
 //   vibguard_cli load-sweep [--trials N] [--capacity N] [--deadline-ms N]
 //                                          overload behavior vs offered load
+//   vibguard_cli load-sweep --workers 1,2,4 [--batch N] [--batch-window-ms N]
+//                                          sharded fleet scaling table
 //   vibguard_cli stream-sweep [--attack T] [--room R] [--trials N]
 //                                          early-exit fraction vs EER table
 //   vibguard_cli export-audio [DIR]        write demo WAV files
@@ -19,6 +21,7 @@
 #include <filesystem>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "acoustics/barrier.hpp"
 #include "attacks/attack.hpp"
@@ -50,6 +53,9 @@ struct Args {
   std::uint64_t seed = 42;
   std::size_t capacity = 8;
   std::uint64_t deadline_ms = 400;
+  std::string workers;  ///< CSV worker grid; non-empty = sharded fleet sweep
+  std::size_t batch = 4;
+  std::uint64_t batch_window_ms = 20;
   std::string dir = "vibguard_audio";
 };
 
@@ -89,6 +95,9 @@ Args parse(int argc, char** argv) {
     else if (flag == "--seed") args.seed = number();
     else if (flag == "--capacity") args.capacity = number();
     else if (flag == "--deadline-ms") args.deadline_ms = number();
+    else if (flag == "--workers") args.workers = next();
+    else if (flag == "--batch") args.batch = number();
+    else if (flag == "--batch-window-ms") args.batch_window_ms = number();
     else if (flag[0] != '-') args.dir = flag;
     else throw InvalidArgument("unknown flag: " + flag);
   }
@@ -228,6 +237,25 @@ int cmd_fault_sweep(const Args& args) {
   return 0;
 }
 
+/// Parses the --workers CSV ("1,2,4") into a worker-count grid, rejecting
+/// empty elements and zeros with the same InvalidArgument shape as the
+/// numeric flags.
+std::vector<std::size_t> parse_workers(const std::string& csv) {
+  std::vector<std::size_t> workers;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    const std::size_t n =
+        parse_number("--workers", csv.substr(start, end - start));
+    if (n == 0) throw InvalidArgument("--workers entries must be >= 1");
+    workers.push_back(n);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return workers;
+}
+
 int cmd_load_sweep(const Args& args) {
   eval::LoadSweepConfig cfg;
   cfg.scenario.room = acoustics::room_by_name(args.room);
@@ -236,6 +264,16 @@ int cmd_load_sweep(const Args& args) {
   cfg.attack_trials = args.trials;
   cfg.queue_capacity = args.capacity;
   cfg.deadline_us = args.deadline_ms * 1000;
+  if (!args.workers.empty()) {
+    eval::FleetSweepConfig fleet;
+    fleet.base = cfg;
+    fleet.workers = parse_workers(args.workers);
+    fleet.batch_max = args.batch;
+    fleet.batch_window_us = args.batch_window_ms * 1000;
+    const auto result = eval::run_fleet_sweep(fleet, args.seed);
+    std::printf("%s", result.summary().c_str());
+    return 0;
+  }
   const auto result = eval::run_load_sweep(cfg, args.seed);
   std::printf("%s", result.summary().c_str());
   return 0;
@@ -289,7 +327,9 @@ void usage() {
       "         --fault all|dropout|clipping|stuck_at|clock_drift|burst|\n"
       "                 truncation|non_finite\n"
       "         --room A|B|C|D  --trials N  --segments N  --seed S\n"
-      "         --capacity N  --deadline-ms N  (load-sweep)\n");
+      "         --capacity N  --deadline-ms N  (load-sweep)\n"
+      "         --workers CSV  --batch N  --batch-window-ms N\n"
+      "                 (load-sweep: sharded fleet across the worker grid)\n");
 }
 
 }  // namespace

@@ -3,13 +3,20 @@
 
 Compares a freshly generated BENCH_microbench.json against the committed
 baseline and fails (exit 1) if any benchmark's auto-level time regressed by
-more than the threshold (default 15%). Benchmarks present only on one side
-are reported but do not fail the gate (they are new or retired, not
-regressed).
+more than the threshold (default 15%).
+
+Coverage is part of the gate: a benchmark present on only one side is a
+hard failure, not a note. A kernel missing from the current run means the
+gate silently stopped measuring it (a renamed or dropped benchmark slips
+through ungated); a kernel missing from the baseline means a new benchmark
+landed without a committed reference. Pass --allow-missing to downgrade
+both to notes when intentionally adding or retiring benchmarks.
 
 Usage:
   check_bench_regression.py --baseline BENCH_microbench.json \
-      --current new.json [--threshold 0.15] [--metric auto_ns]
+      --current new.json [--threshold 0.15] [--metric auto_ns] \
+      [--allow-missing]
+  check_bench_regression.py --self-test
 """
 import argparse
 import json
@@ -25,49 +32,125 @@ def load(path):
     return {b["name"]: b for b in doc.get("benchmarks", [])}
 
 
+def compare(baseline, current, threshold, metric, allow_missing):
+    """Returns (failure_lines, report_lines) for the two benchmark maps."""
+    failures = []
+    report = []
+
+    only_base = sorted(set(baseline) - set(current))
+    only_curr = sorted(set(current) - set(baseline))
+    for name in only_base:
+        msg = (f"{name}: in the baseline but missing from the current run "
+               f"— the gate no longer measures it (renamed or dropped "
+               f"without updating the baseline?)")
+        if allow_missing:
+            report.append(f"note: {msg}")
+        else:
+            failures.append(msg)
+    for name in only_curr:
+        msg = (f"{name}: in the current run but missing from the baseline "
+               f"— new benchmark with no committed reference (re-run "
+               f"scripts/run_bench.sh and commit BENCH_microbench.json, "
+               f"or pass --allow-missing)")
+        if allow_missing:
+            report.append(f"note: {msg}")
+        else:
+            failures.append(msg)
+
+    report.append(
+        f"{'benchmark':<28} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(set(baseline) & set(current)):
+        base = baseline[name].get(metric)
+        curr = current[name].get(metric)
+        if not base or not curr:
+            failures.append(
+                f"{name}: metric {metric!r} missing or zero on one side "
+                f"(baseline={base!r}, current={curr!r}) — cannot compare")
+            continue
+        delta = (curr - base) / base
+        marker = ""
+        if delta > threshold:
+            failures.append(f"{name}: regressed {delta:+.1%} on {metric}")
+            marker = "  << REGRESSION"
+        report.append(f"{name:<28} {base:>12.1f} {curr:>12.1f} "
+                      f"{delta:>+7.1%}{marker}")
+    return failures, report
+
+
+def self_test():
+    """Exercises the gate's own failure modes on synthetic inputs."""
+    fast = {"a": {"name": "a", "auto_ns": 100.0}}
+    slow = {"a": {"name": "a", "auto_ns": 200.0}}
+    extra = {"a": {"name": "a", "auto_ns": 100.0},
+             "b": {"name": "b", "auto_ns": 50.0}}
+    broken = {"a": {"name": "a"}}
+
+    cases = [
+        ("identical runs pass",
+         compare(fast, fast, 0.15, "auto_ns", False)[0] == []),
+        ("2x slowdown fails",
+         len(compare(fast, slow, 0.15, "auto_ns", False)[0]) == 1),
+        ("2x speedup passes",
+         compare(slow, fast, 0.15, "auto_ns", False)[0] == []),
+        ("benchmark missing from current fails",
+         any("missing from the current run" in f
+             for f in compare(extra, fast, 0.15, "auto_ns", False)[0])),
+        ("benchmark missing from baseline fails",
+         any("missing from the baseline" in f
+             for f in compare(fast, extra, 0.15, "auto_ns", False)[0])),
+        ("--allow-missing downgrades coverage gaps to notes",
+         compare(extra, fast, 0.15, "auto_ns", True)[0] == []),
+        ("missing metric value fails instead of being skipped",
+         any("cannot compare" in f
+             for f in compare(fast, broken, 0.15, "auto_ns", False)[0])),
+    ]
+    failed = [name for name, ok in cases if not ok]
+    for name, ok in cases:
+        print(f"  {'ok' if ok else 'FAIL'}: {name}")
+    if failed:
+        print(f"\nSELF-TEST FAIL: {len(failed)} case(s)")
+        return 1
+    print(f"\nself-test OK: {len(cases)} cases")
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True,
+    parser.add_argument("--baseline",
                         help="committed BENCH_microbench.json")
-    parser.add_argument("--current", required=True,
+    parser.add_argument("--current",
                         help="freshly generated result file")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed fractional slowdown (default 0.15)")
     parser.add_argument("--metric", default="auto_ns",
                         choices=["auto_ns", "scalar_ns"],
                         help="which per-benchmark time to compare")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="report benchmarks present on only one side "
+                             "as notes instead of failing")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate's own failure-mode checks and "
+                             "exit")
     args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required "
+                     "(unless --self-test)")
 
     baseline = load(args.baseline)
     current = load(args.current)
-
-    only_base = sorted(set(baseline) - set(current))
-    only_curr = sorted(set(current) - set(baseline))
-    for name in only_base:
-        print(f"note: {name} only in baseline (retired?)")
-    for name in only_curr:
-        print(f"note: {name} only in current run (new benchmark)")
-
-    failures = []
-    print(f"{'benchmark':<28} {'baseline':>12} {'current':>12} {'delta':>8}")
-    for name in sorted(set(baseline) & set(current)):
-        base = baseline[name].get(args.metric)
-        curr = current[name].get(args.metric)
-        if not base or not curr:
-            continue
-        delta = (curr - base) / base
-        marker = ""
-        if delta > args.threshold:
-            failures.append((name, delta))
-            marker = "  << REGRESSION"
-        print(f"{name:<28} {base:>12.1f} {curr:>12.1f} "
-              f"{delta:>+7.1%}{marker}")
+    failures, report = compare(baseline, current, args.threshold,
+                               args.metric, args.allow_missing)
+    for line in report:
+        print(line)
 
     if failures:
-        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
-              f"{args.threshold:.0%} on {args.metric}:")
-        for name, delta in failures:
-            print(f"  {name}: {delta:+.1%}")
+        print(f"\nFAIL: {len(failures)} problem(s) "
+              f"(threshold {args.threshold:.0%} on {args.metric}):")
+        for failure in failures:
+            print(f"  {failure}")
         return 1
     print(f"\nOK: no benchmark regressed more than {args.threshold:.0%} "
           f"on {args.metric}")

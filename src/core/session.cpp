@@ -117,7 +117,8 @@ ScoreOutcome DefenseSession::score_with_retries(
 
 void DefenseSession::run_policy(SessionEvent& event, const Signal& va,
                                 const Signal& wearable,
-                                const Segmenter* segmenter, Rng& rng) {
+                                const Segmenter* segmenter, Rng& rng,
+                                const std::uint64_t* deadline_at_us) {
   // Breaker routing: while the primary pipeline is unhealthy, score in the
   // cheaper degraded mode instead of failing the same way again. Half-open
   // probes come back as allow_primary() == true.
@@ -130,7 +131,12 @@ void DefenseSession::run_policy(SessionEvent& event, const Signal& va,
 
   Deadline deadline_storage;
   const Deadline* deadline = nullptr;
-  if (policy_.deadline_us.has_value()) {
+  if (deadline_at_us != nullptr) {
+    // Absolute expiry set by the caller (the budget started at submission,
+    // not at dequeue): queue time already consumed part of it.
+    deadline_storage = Deadline(clock(), *deadline_at_us);
+    deadline = &deadline_storage;
+  } else if (policy_.deadline_us.has_value()) {
     deadline_storage = Deadline::after(clock(), *policy_.deadline_us);
     deadline = &deadline_storage;
   }
@@ -142,12 +148,16 @@ void DefenseSession::run_policy(SessionEvent& event, const Signal& va,
   if (breaker_.has_value() && route == &system_) {
     // Only hard failures indict the pipeline: stage errors keyed by the
     // failing stage, deadline expiry under its own key. Quality-gated
-    // (kIndeterminate) trials are the input's fault and stay neutral.
+    // (kIndeterminate) trials are the input's fault and stay neutral —
+    // but a half-open probe that ends indeterminate must still release
+    // the probe slot, which record_indeterminate does without closing.
     if (outcome.status == ScoreStatus::kError ||
         outcome.status == ScoreStatus::kDeadlineExceeded) {
       breaker_->record_failure(outcome.reason);
     } else if (outcome.status == ScoreStatus::kOk) {
       breaker_->record_success();
+    } else {
+      breaker_->record_indeterminate();
     }
   }
   if (event.degraded && event.note.empty()) {
@@ -368,12 +378,21 @@ std::vector<SessionEvent> DefenseSession::process_admitted(
 
   // Submission pass: a burst of `requests` arrives at once; whatever does
   // not fit the bounded queue is rejected immediately — explicit
-  // backpressure, logged but never scored.
+  // backpressure, logged but never scored. With a deadline policy the
+  // per-command budget starts here, at submission: time spent waiting in
+  // the queue is part of the budget, not free.
+  std::vector<std::uint64_t> deadline_at;
+  if (policy_.deadline_us.has_value()) {
+    deadline_at.resize(requests.size(), 0);
+  }
   for (std::size_t i = 0; i < requests.size(); ++i) {
     VIBGUARD_REQUIRE(requests[i].va != nullptr,
                      "session request needs a VA signal");
     if (admission.try_admit(i)) {
       ++q.admitted;
+      if (!deadline_at.empty()) {
+        deadline_at[i] = clock().now_us() + *policy_.deadline_us;
+      }
       continue;
     }
     ++q.rejected;
@@ -389,8 +408,31 @@ std::vector<SessionEvent> DefenseSession::process_admitted(
     events.push_back(event);
   }
 
-  // Drain pass: FIFO through the ordinary per-command policy path.
-  while (auto admitted = admission.next()) {
+  // Drain pass: FIFO through the ordinary per-command policy path. A
+  // command whose submission-time budget already expired while it sat in
+  // the queue is dropped without scoring — counted as expired, never as a
+  // service dequeue, so it cannot pollute the queue-time means — and its
+  // drop is not a pipeline failure, so the breaker never hears about it.
+  while (auto head = admission.peek()) {
+    if (!deadline_at.empty() && clock().now_us() >= deadline_at[*head]) {
+      const auto expired = admission.next_expired();
+      const SessionRequest& req = requests[expired->request_id];
+      SessionEvent event;
+      event.index = log_.size();
+      event.label = req.label;
+      event.verdict = Verdict::kIndeterminate;
+      event.score = nan_score();
+      event.note = "deadline_expired_in_queue";
+      event.queue_us = expired->queue_us;
+      ++q.expired;
+      ++stats_.indeterminate;
+      ++stats_.deadline_exceeded;
+      ++stats_.processed;
+      log_.push_back(event);
+      events.push_back(event);
+      continue;
+    }
+    const auto admitted = admission.next();
     const SessionRequest& req = requests[admitted->request_id];
     SessionEvent event;
     event.index = log_.size();
@@ -405,7 +447,9 @@ std::vector<SessionEvent> DefenseSession::process_admitted(
       ++stats_.wearable_absent;
     } else {
       Rng rng = req.rng;
-      run_policy(event, *req.va, *req.wearable, req.segmenter, rng);
+      const std::uint64_t* at =
+          deadline_at.empty() ? nullptr : &deadline_at[admitted->request_id];
+      run_policy(event, *req.va, *req.wearable, req.segmenter, rng, at);
     }
     ++stats_.processed;
     log_.push_back(event);

@@ -184,7 +184,10 @@ class DefenseSession {
   /// scored event carries its queue time, and the admission/queue-time
   /// aggregates are folded into pipeline_stats().queue. The audit log
   /// records rejections first (at submission time), then the drained
-  /// commands in FIFO order.
+  /// commands in FIFO order. With a deadline policy the budget starts at
+  /// submission: a command whose budget expires while queued is dropped as
+  /// kIndeterminate ("deadline_expired_in_queue") without being scored,
+  /// counted in queue.expired rather than the service-dequeue aggregates.
   std::vector<SessionEvent> process_admitted(
       std::span<const SessionRequest> requests,
       serving::AdmissionController& admission);
@@ -218,10 +221,14 @@ class DefenseSession {
 
   /// Full policy path for one wearable-present command: breaker routing,
   /// deadline budget, retry with backoff. Fills the event (except index)
-  /// and updates scoring statistics; the caller logs it.
+  /// and updates scoring statistics; the caller logs it. When
+  /// `deadline_at_us` is non-null it is the command's absolute expiry on
+  /// the session clock (a budget that started at submission, e.g. while
+  /// the command sat in an admission queue) and overrides the per-command
+  /// policy deadline.
   void run_policy(SessionEvent& event, const Signal& va,
                   const Signal& wearable, const Segmenter* segmenter,
-                  Rng& rng);
+                  Rng& rng, const std::uint64_t* deadline_at_us = nullptr);
 
   /// Scores one command on `system` with retry-on-unscoreable and backoff,
   /// filling the event's score-related fields. `base` is the command's rng

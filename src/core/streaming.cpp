@@ -83,6 +83,7 @@ void StreamingPipeline::begin(double sample_rate, const Segmenter* segmenter,
   VIBGUARD_REQUIRE(!config_.stop.enabled || config_.stop.confidence != nullptr,
                    "an enabled stopping rule needs a ConfidenceModel");
   active_ = true;
+  finalized_ = false;
   segmenter_ = segmenter;
   trace_ = trace;
   deadline_ = deadline;
@@ -143,6 +144,11 @@ void StreamingPipeline::record_push(const char* name, std::uint64_t start_ns,
 StreamStatus StreamingPipeline::push(std::span<const double> va,
                                      std::span<const double> wearable) {
   VIBGUARD_REQUIRE(active_, "push before begin()");
+  // A zero-length push is a pure no-op: no census update, no trace record,
+  // no deadline or block work — the stream state is exactly as if the call
+  // never happened (callers polling with empty frames must not perturb the
+  // per-push accounting).
+  if (va.empty() && wearable.empty()) return status();
   evaluated_this_push_ = false;
 
   // Ingest: buffer everything (the exact finalize pass needs the complete
@@ -490,8 +496,15 @@ void StreamingPipeline::evaluate_rule() {
 }
 
 StreamOutcome StreamingPipeline::finalize() {
-  VIBGUARD_REQUIRE(active_, "finalize before begin()");
+  if (!active_) {
+    // Idempotent: a second finalize() returns the cached outcome of the
+    // first without re-running the batch rescore or appending anything to
+    // the trace (which would double-count PipelineStats trials downstream).
+    VIBGUARD_REQUIRE(finalized_, "finalize before begin()");
+    return last_outcome_;
+  }
   active_ = false;
+  finalized_ = true;
 
   StreamOutcome out;
   out.verdict =
@@ -532,6 +545,7 @@ StreamOutcome StreamingPipeline::finalize() {
       std::swap(trace_->features_va, finalize_trace_.features_va);
       std::swap(trace_->features_wearable, finalize_trace_.features_wearable);
     }
+    last_outcome_ = out;
     return out;
   }
 
@@ -554,6 +568,7 @@ StreamOutcome StreamingPipeline::finalize() {
     out.outcome.score = provisional_;
   }
   if (trace_ != nullptr) trace_->quality = out.outcome.quality;
+  last_outcome_ = out;
   return out;
 }
 

@@ -243,7 +243,9 @@ class StreamingPipeline {
              const Deadline* deadline = nullptr);
 
   /// Pushes one interleaved frame pair (either span may be empty — the
-  /// channels need not advance in lockstep). Returns the post-push status.
+  /// channels need not advance in lockstep; when both are empty the call is
+  /// a pure no-op that leaves census/trace/block state untouched). Returns
+  /// the post-push status.
   StreamStatus push(std::span<const double> va,
                     std::span<const double> wearable);
 
@@ -256,7 +258,10 @@ class StreamingPipeline {
   StreamStatus status() const;
 
   /// Ends the stream and renders the final outcome (see StreamOutcome).
-  /// The pipeline stays reusable: call begin() for the next stream.
+  /// Idempotent: calling it again before the next begin() returns the same
+  /// cached outcome without re-running the batch rescore or re-appending
+  /// trace records. The pipeline stays reusable: call begin() for the next
+  /// stream.
   StreamOutcome finalize();
 
   std::size_t pushed_va_samples() const { return va_buf_.size(); }
@@ -275,6 +280,8 @@ class StreamingPipeline {
 
   // Per-stream state (reset by begin()).
   bool active_ = false;
+  bool finalized_ = false;        ///< a finalize() outcome is cached
+  StreamOutcome last_outcome_;    ///< returned by repeated finalize()
   const Segmenter* segmenter_ = nullptr;
   PipelineTrace* trace_ = nullptr;
   const Deadline* deadline_ = nullptr;

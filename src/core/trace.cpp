@@ -64,6 +64,7 @@ void PipelineStats::merge(const PipelineStats& other) {
   queue.admitted += other.queue.admitted;
   queue.rejected += other.queue.rejected;
   queue.dequeued += other.queue.dequeued;
+  queue.expired += other.queue.expired;
   queue.total_queue_us += other.queue.total_queue_us;
   queue.max_queue_us = std::max(queue.max_queue_us, other.queue.max_queue_us);
 }
@@ -99,10 +100,11 @@ std::string PipelineStats::summary() const {
   }
   if (queue.admitted + queue.rejected > 0) {
     std::snprintf(line, sizeof(line),
-                  "  queue: %llu admitted, %llu rejected, mean wait %.1f us, "
-                  "max wait %llu us\n",
+                  "  queue: %llu admitted, %llu rejected, %llu expired, "
+                  "mean wait %.1f us, max wait %llu us\n",
                   static_cast<unsigned long long>(queue.admitted),
                   static_cast<unsigned long long>(queue.rejected),
+                  static_cast<unsigned long long>(queue.expired),
                   queue.mean_queue_us(),
                   static_cast<unsigned long long>(queue.max_queue_us));
     out += line;

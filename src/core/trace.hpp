@@ -107,7 +107,8 @@ struct PipelineStats {
   struct QueueStats {
     std::uint64_t admitted = 0;
     std::uint64_t rejected = 0;  ///< refused on full queue (backpressure)
-    std::uint64_t dequeued = 0;
+    std::uint64_t dequeued = 0;  ///< dequeued for service (excludes expired)
+    std::uint64_t expired = 0;   ///< dropped: deadline passed while queued
     std::uint64_t total_queue_us = 0;  ///< summed over dequeued requests
     std::uint64_t max_queue_us = 0;
 

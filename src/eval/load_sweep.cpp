@@ -10,6 +10,7 @@
 #include "core/segmentation.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
+#include "serving/server.hpp"
 #include "speech/command.hpp"
 #include "speech/speaker.hpp"
 
@@ -28,6 +29,93 @@ double eer_or_nan(const std::vector<double>& attack,
     return nan_metric();
   }
   return compute_roc(attack, legit).eer;
+}
+
+/// The deterministic trial population both sweeps replay: trials, their
+/// oracle segmenters, the shared request interleaving, and the rng roots
+/// for scoring and arrivals. Rendering is identical for the single-node
+/// and fleet sweeps so their rows are comparable trial for trial.
+struct Population {
+  std::vector<TrialRecordings> trials;
+  std::vector<core::OracleSegmenter> oracles;
+  std::vector<std::size_t> order;
+  core::DefenseConfig primary_cfg;
+  Rng score_rng{0};
+  Rng arrival_rng{0};
+};
+
+void render_population(const LoadSweepConfig& config, std::uint64_t seed,
+                       Population& pop) {
+  VIBGUARD_REQUIRE(config.num_speakers >= 2,
+                   "need at least two speakers (victim + adversary)");
+  VIBGUARD_REQUIRE(!config.offered_rps.empty(),
+                   "offered-load grid must be non-empty");
+  for (const double rps : config.offered_rps) {
+    VIBGUARD_REQUIRE(rps > 0.0, "offered load must be positive");
+  }
+
+  // Mirror the fault sweep's deterministic definition: one shared
+  // simulator stream in a fixed order.
+  Rng rng(seed);
+  const auto speakers = speech::sample_population(config.num_speakers, rng);
+  ScenarioSimulator sim(config.scenario, seed ^ 0x5ce9a21ULL);
+  const auto lexicon = speech::command_lexicon();
+
+  pop.trials.reserve(config.legit_trials + config.attack_trials);
+  for (std::size_t i = 0; i < config.legit_trials; ++i) {
+    const auto& user = speakers[i % speakers.size()];
+    const auto& cmd = lexicon[i % lexicon.size()];
+    pop.trials.push_back(sim.legitimate_trial(cmd, user));
+  }
+  for (std::size_t i = 0; i < config.attack_trials; ++i) {
+    const auto& victim = speakers[i % speakers.size()];
+    const auto& adversary = speakers[(i + 1) % speakers.size()];
+    const auto& cmd = lexicon[(i * 3 + 1) % lexicon.size()];
+    pop.trials.push_back(
+        sim.attack_trial(config.attack, cmd, victim, adversary));
+  }
+
+  const auto& sensitive = reference_sensitive_set();
+  pop.oracles.reserve(pop.trials.size());
+  for (const TrialRecordings& trial : pop.trials) {
+    pop.oracles.emplace_back(trial.alignment, sensitive);
+  }
+
+  pop.primary_cfg = config.defense;
+  pop.primary_cfg.wearable = config.scenario.wearable;
+  pop.primary_cfg.sync = config.scenario.sync;
+
+  // Request order: one deterministic interleaving of the population,
+  // shared by every load point so the points differ only in timing.
+  pop.order.resize(pop.trials.size());
+  for (std::size_t i = 0; i < pop.order.size(); ++i) pop.order[i] = i;
+  Rng shuffle_rng = rng.fork(0x0de1ULL);
+  for (std::size_t i = pop.order.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        shuffle_rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(pop.order[i - 1], pop.order[j]);
+  }
+
+  pop.score_rng = Rng(seed ^ 0x7e57ULL);
+  pop.arrival_rng = Rng(seed ^ 0xa331a1ULL);
+}
+
+/// Poisson arrivals at `rps`: i.i.d. exponential inter-arrival gaps,
+/// quantized to >= 1 virtual microsecond. Forked from the arrival root by
+/// load index only, so every serving topology replays identical arrivals.
+std::vector<std::uint64_t> poisson_arrivals(const Rng& arrival_rng,
+                                            std::size_t point_index,
+                                            double rps, std::size_t count) {
+  Rng arrivals_rng = arrival_rng.fork(point_index);
+  std::vector<std::uint64_t> arrival_us(count);
+  std::uint64_t t_us = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double gap_s = -std::log(1.0 - arrivals_rng.uniform()) / rps;
+    t_us += std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(gap_s * 1e6)));
+    arrival_us[i] = t_us;
+  }
+  return arrival_us;
 }
 
 }  // namespace
@@ -56,81 +144,26 @@ std::string LoadSweepResult::summary() const {
 
 LoadSweepResult run_load_sweep(const LoadSweepConfig& config,
                                std::uint64_t seed) {
-  VIBGUARD_REQUIRE(config.num_speakers >= 2,
-                   "need at least two speakers (victim + adversary)");
-  VIBGUARD_REQUIRE(!config.offered_rps.empty(),
-                   "offered-load grid must be non-empty");
-  for (const double rps : config.offered_rps) {
-    VIBGUARD_REQUIRE(rps > 0.0, "offered load must be positive");
-  }
+  Population pop;
+  render_population(config, seed, pop);
+  const std::vector<TrialRecordings>& trials = pop.trials;
+  const std::vector<core::OracleSegmenter>& oracles = pop.oracles;
+  const std::vector<std::size_t>& order = pop.order;
 
-  // Render the trial population once, mirroring the fault sweep's
-  // deterministic definition: one shared simulator stream in a fixed order.
-  Rng rng(seed);
-  const auto speakers = speech::sample_population(config.num_speakers, rng);
-  ScenarioSimulator sim(config.scenario, seed ^ 0x5ce9a21ULL);
-  const auto lexicon = speech::command_lexicon();
-
-  std::vector<TrialRecordings> trials;
-  trials.reserve(config.legit_trials + config.attack_trials);
-  for (std::size_t i = 0; i < config.legit_trials; ++i) {
-    const auto& user = speakers[i % speakers.size()];
-    const auto& cmd = lexicon[i % lexicon.size()];
-    trials.push_back(sim.legitimate_trial(cmd, user));
-  }
-  for (std::size_t i = 0; i < config.attack_trials; ++i) {
-    const auto& victim = speakers[i % speakers.size()];
-    const auto& adversary = speakers[(i + 1) % speakers.size()];
-    const auto& cmd = lexicon[(i * 3 + 1) % lexicon.size()];
-    trials.push_back(sim.attack_trial(config.attack, cmd, victim, adversary));
-  }
-
-  const auto& sensitive = reference_sensitive_set();
-  std::vector<core::OracleSegmenter> oracles;
-  oracles.reserve(trials.size());
-  for (const TrialRecordings& trial : trials) {
-    oracles.emplace_back(trial.alignment, sensitive);
-  }
-
-  core::DefenseConfig primary_cfg = config.defense;
-  primary_cfg.wearable = config.scenario.wearable;
-  primary_cfg.sync = config.scenario.sync;
-  const core::DefenseSystem primary(primary_cfg);
-  core::DefenseConfig degraded_cfg = primary_cfg;
+  const core::DefenseSystem primary(pop.primary_cfg);
+  core::DefenseConfig degraded_cfg = pop.primary_cfg;
   degraded_cfg.mode = config.degraded_mode;
   const core::DefenseSystem degraded(degraded_cfg);
 
-  // Request order: one deterministic interleaving of the population, shared
-  // by every load point so the points differ only in timing.
-  std::vector<std::size_t> order(trials.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  Rng shuffle_rng = rng.fork(0x0de1ULL);
-  for (std::size_t i = order.size(); i > 1; --i) {
-    const auto j = static_cast<std::size_t>(
-        shuffle_rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
-    std::swap(order[i - 1], order[j]);
-  }
-
-  const Rng score_rng(seed ^ 0x7e57ULL);
-  const Rng arrival_rng(seed ^ 0xa331a1ULL);
+  const Rng& score_rng = pop.score_rng;
 
   core::Workspace workspace;
   LoadSweepResult result;
 
   for (std::size_t p_idx = 0; p_idx < config.offered_rps.size(); ++p_idx) {
     const double rps = config.offered_rps[p_idx];
-
-    // Poisson arrival process: i.i.d. exponential inter-arrival gaps at the
-    // offered rate, quantized to >= 1 virtual microsecond.
-    Rng arrivals_rng = arrival_rng.fork(p_idx);
-    std::vector<std::uint64_t> arrival_us(order.size());
-    std::uint64_t t_us = 0;
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      const double gap_s = -std::log(1.0 - arrivals_rng.uniform()) / rps;
-      t_us += std::max<std::uint64_t>(
-          1, static_cast<std::uint64_t>(std::llround(gap_s * 1e6)));
-      arrival_us[i] = t_us;
-    }
+    const std::vector<std::uint64_t> arrival_us =
+        poisson_arrivals(pop.arrival_rng, p_idx, rps, order.size());
 
     // One single-server serving node, simulated event by event in time
     // order on a virtual clock. `server_free_us` is the completion time of
@@ -160,6 +193,18 @@ LoadSweepResult run_load_sweep(const LoadSweepConfig& config,
           (!have_arrival || server_free_us <= arrival_us[next_arrival])) {
         const std::uint64_t start = std::max(server_free_us, clock.now_us());
         clock.set(start);
+
+        // Expired while queued: dropped before any service is consumed.
+        // Accounted through the expired path — never a service dequeue, so
+        // it cannot pollute the mean queue time of served requests — and
+        // never reported to the breaker: a request that was never run says
+        // nothing about the pipeline's health.
+        if (start >= deadline_at[*admission.peek()]) {
+          admission.next_expired();
+          ++point.deadline_missed;
+          continue;
+        }
+
         const auto admitted = admission.next();
         const std::size_t slot = admitted->request_id;
         const std::size_t t = order[slot];
@@ -182,14 +227,7 @@ LoadSweepResult run_load_sweep(const LoadSweepConfig& config,
         // until the cancellation instant.
         core::ScoreOutcome outcome;
         Rng trial_rng = score_rng.fork(t);
-        if (start >= expires) {
-          // Expired while queued: cancelled before consuming any service.
-          const Deadline dl(clock, expires);
-          outcome = route.try_score(trials[t].va, trials[t].wearable,
-                                    &oracles[t], trial_rng, workspace, nullptr,
-                                    &dl);
-          server_free_us = start;
-        } else if (start + service_us > expires) {
+        if (start + service_us > expires) {
           // Would miss mid-flight: cancelled at the deadline instant.
           const Deadline dl(clock, start);
           outcome = route.try_score(trials[t].va, trials[t].wearable,
@@ -227,13 +265,16 @@ LoadSweepResult run_load_sweep(const LoadSweepConfig& config,
             break;
         }
         // Breaker accounting mirrors the session: only primary-route hard
-        // failures indict the pipeline; quality-gated trials stay neutral.
+        // failures indict the pipeline; quality-gated trials stay neutral
+        // (but still release a half-open probe slot).
         if (on_primary) {
           if (outcome.status == core::ScoreStatus::kError ||
               outcome.status == core::ScoreStatus::kDeadlineExceeded) {
             breaker.record_failure(outcome.reason);
           } else if (outcome.status == core::ScoreStatus::kOk) {
             breaker.record_success();
+          } else {
+            breaker.record_indeterminate();
           }
         }
         continue;
@@ -258,6 +299,261 @@ LoadSweepResult run_load_sweep(const LoadSweepConfig& config,
     point.eer_primary = eer_or_nan(attack_pri, legit_pri);
     point.eer_degraded = eer_or_nan(attack_deg, legit_deg);
     result.points.push_back(point);
+  }
+  return result;
+}
+
+std::string FleetSweepResult::summary() const {
+  std::string out = "fleet load sweep\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "  %3s %7s %5s %6s %6s %6s %7s %8s %8s %6s %5s %7s %6s "
+                "%9s %9s %8s %8s\n",
+                "wrk", "rps", "arr", "reject", "quota", "dlmiss", "primary",
+                "degraded", "indeterm", "error", "trips", "batches", "avg_b",
+                "queue us", "thr rps", "EERpri", "EERdeg");
+  out += line;
+  for (const FleetSweepPoint& p : points) {
+    std::snprintf(line, sizeof(line),
+                  "  %3zu %7.1f %5zu %6zu %6zu %6zu %7zu %8zu %8zu %6zu "
+                  "%5zu %7zu %6.2f %9.0f %9.2f %8.3f %8.3f\n",
+                  p.workers, p.offered_rps, p.arrivals, p.rejected,
+                  p.quota_rejected, p.deadline_missed, p.scored_primary,
+                  p.scored_degraded, p.indeterminate, p.errors,
+                  p.breaker_trips, p.batches, p.mean_batch, p.mean_queue_us,
+                  p.throughput_rps, p.eer_primary, p.eer_degraded);
+    out += line;
+  }
+  return out;
+}
+
+FleetSweepResult run_fleet_sweep(const FleetSweepConfig& config,
+                                 std::uint64_t seed) {
+  VIBGUARD_REQUIRE(!config.workers.empty(), "worker grid must be non-empty");
+  for (const std::size_t w : config.workers) {
+    VIBGUARD_REQUIRE(w > 0, "worker count must be positive");
+  }
+  VIBGUARD_REQUIRE(config.sessions > 0, "need at least one session");
+  VIBGUARD_REQUIRE(config.tenants > 0, "need at least one tenant");
+
+  Population pop;
+  render_population(config.base, seed, pop);
+  const std::size_t num_requests = pop.order.size();
+  constexpr std::uint64_t kSessionIdBase = 0xA000;
+
+  FleetSweepResult result;
+
+  for (const std::size_t num_workers : config.workers) {
+    for (std::size_t p_idx = 0; p_idx < config.base.offered_rps.size();
+         ++p_idx) {
+      const double rps = config.base.offered_rps[p_idx];
+      // Forked by load index only: every worker count replays the exact
+      // same arrival times, so the scaling columns are comparable.
+      const std::vector<std::uint64_t> arrival_us =
+          poisson_arrivals(pop.arrival_rng, p_idx, rps, num_requests);
+
+      VirtualClock clock;
+      serving::ServerConfig server_cfg;
+      server_cfg.defense = pop.primary_cfg;
+      server_cfg.degraded_mode = config.base.degraded_mode;
+      server_cfg.workers = num_workers;
+      server_cfg.ring_replicas = config.ring_replicas;
+      server_cfg.shard.queue_capacity = config.base.queue_capacity;
+      server_cfg.shard.batch_max = config.batch_max;
+      server_cfg.shard.batch_window_us = config.batch_window_us;
+      server_cfg.shard.tenant_max_queued = config.tenant_max_queued;
+      server_cfg.shard.breaker = config.base.breaker;
+      server_cfg.deadline_us = config.base.deadline_us;
+      serving::Server server(server_cfg, clock);
+
+      std::vector<serving::SessionHandle> handles(config.sessions);
+      for (std::size_t s = 0; s < config.sessions; ++s) {
+        handles[s] = server.open_session(
+            kSessionIdBase + s, static_cast<std::uint32_t>(s) %
+                                    config.tenants);
+      }
+
+      FleetSweepPoint point;
+      point.workers = num_workers;
+      point.offered_rps = rps;
+      point.arrivals = num_requests;
+      std::vector<double> legit_pri, attack_pri, legit_deg, attack_deg;
+      std::uint64_t total_latency_us = 0;
+      std::size_t latency_n = 0;
+      std::uint64_t makespan_us = 0;
+
+      std::vector<std::uint64_t> free_us(num_workers, 0);
+      std::vector<serving::ServedResult> results;
+      std::vector<std::uint64_t> eff;
+
+      const auto total_depth = [&] {
+        std::size_t depth = 0;
+        for (std::size_t w = 0; w < num_workers; ++w) {
+          depth += server.shard(w).depth();
+        }
+        return depth;
+      };
+
+      std::size_t next_arrival = 0;
+      while (next_arrival < num_requests || total_depth() > 0) {
+        // The earliest batch start across workers: a worker can begin when
+        // it is free, its batch window has elapsed (or the batch is full),
+        // and — since queue state only changes at events — never before
+        // the last processed event. Lowest worker index wins time ties.
+        bool have_service = false;
+        std::size_t sw = 0;
+        std::uint64_t s_start = 0;
+        for (std::size_t w = 0; w < num_workers; ++w) {
+          const auto ready = server.shard(w).batch_ready_us();
+          if (!ready.has_value()) continue;
+          const std::uint64_t start =
+              std::max({free_us[w], *ready, clock.now_us()});
+          if (!have_service || start < s_start) {
+            have_service = true;
+            sw = w;
+            s_start = start;
+          }
+        }
+        const bool have_arrival = next_arrival < num_requests;
+
+        if (have_service &&
+            (!have_arrival || s_start <= arrival_us[next_arrival])) {
+          clock.set(s_start);
+          const auto planned = server.form_batch(sw);
+          // s_start >= the shard's ready time and the queue is untouched
+          // since it was computed, so the batch always forms.
+          VIBGUARD_REQUIRE(planned.has_value(), "ready batch failed to form");
+
+          // Walk the batch serially: one setup cost, then per-item
+          // service. Expiry is decided analytically exactly as in the
+          // single-node sweep — a doomed item scores under an
+          // already-expired deadline (cancellation at the first stage
+          // boundary) while the worker stays occupied until the
+          // cancellation instant.
+          std::uint64_t t_us = s_start + config.batch_setup_us;
+          const std::uint64_t service_us =
+              planned->degraded ? config.base.service_us_degraded
+                                : config.base.service_us_primary;
+          eff.clear();
+          for (const serving::WorkItem& item : planned->items) {
+            if (item.expired_in_queue) {
+              ++point.deadline_missed;
+              eff.push_back(item.deadline_at_us);
+              continue;
+            }
+            if (item.deadline_at_us <= t_us) {
+              // Expires before its service begins (earlier batch items
+              // occupy the worker past it): cancelled at zero cost.
+              eff.push_back(s_start);
+              continue;
+            }
+            const std::uint64_t fin = t_us + service_us;
+            if (fin > item.deadline_at_us) {
+              // Mid-flight miss: cancelled at the deadline instant.
+              eff.push_back(s_start);
+              t_us = item.deadline_at_us;
+            } else {
+              eff.push_back(item.deadline_at_us);
+              total_latency_us += fin - item.enqueued_us;
+              ++latency_n;
+              t_us = fin;
+            }
+          }
+          results.clear();
+          server.complete_batch(sw, results, eff);
+          free_us[sw] = t_us;
+          makespan_us = std::max(makespan_us, t_us);
+
+          for (const serving::ServedResult& r : results) {
+            if (r.expired_in_queue) continue;  // counted at formation
+            const std::size_t t = pop.order[r.request_id];
+            switch (r.outcome.status) {
+              case core::ScoreStatus::kOk:
+                if (r.degraded) {
+                  ++point.scored_degraded;
+                  (pop.trials[t].is_attack ? attack_deg : legit_deg)
+                      .push_back(r.outcome.score);
+                } else {
+                  ++point.scored_primary;
+                  (pop.trials[t].is_attack ? attack_pri : legit_pri)
+                      .push_back(r.outcome.score);
+                }
+                break;
+              case core::ScoreStatus::kIndeterminate:
+                ++point.indeterminate;
+                break;
+              case core::ScoreStatus::kError:
+                ++point.errors;
+                break;
+              case core::ScoreStatus::kDeadlineExceeded:
+                ++point.deadline_missed;
+                break;
+            }
+          }
+          continue;
+        }
+
+        // Next event is an arrival: route it to its session's shard.
+        clock.set(arrival_us[next_arrival]);
+        const std::size_t i = next_arrival;
+        const std::size_t t = pop.order[i];
+        const std::size_t s = i % config.sessions;
+        serving::ServerRequest req;
+        req.va = &pop.trials[t].va;
+        req.wearable = &pop.trials[t].wearable;
+        req.segmenter = &pop.oracles[t];
+        req.rng = pop.score_rng.fork(t);
+        req.request_id = i;
+        switch (server.submit(kSessionIdBase + s, handles[s], req)) {
+          case serving::SubmitStatus::kQueued:
+            ++point.admitted;
+            break;
+          case serving::SubmitStatus::kRejectedQueueFull:
+            ++point.rejected;
+            break;
+          case serving::SubmitStatus::kRejectedTenantQuota:
+            ++point.quota_rejected;
+            break;
+          case serving::SubmitStatus::kStaleSession:
+            VIBGUARD_REQUIRE(false, "fleet sweep session went stale");
+        }
+        ++next_arrival;
+      }
+
+      // Fold the per-shard accounting into the grid cell.
+      std::uint64_t dequeued = 0;
+      std::uint64_t total_queue_us = 0;
+      std::uint64_t batched_items = 0;
+      for (std::size_t w = 0; w < num_workers; ++w) {
+        const serving::ShardStats stats = server.shard(w).stats();
+        dequeued += stats.admission.dequeued;
+        total_queue_us += stats.admission.total_queue_us;
+        point.batches += stats.batches;
+        batched_items += stats.batched_items;
+        if (server.shard(w).breaker() != nullptr) {
+          point.breaker_trips += server.shard(w).breaker()->trips();
+        }
+      }
+      point.mean_batch =
+          point.batches > 0 ? static_cast<double>(batched_items) /
+                                  static_cast<double>(point.batches)
+                            : 0.0;
+      point.mean_queue_us =
+          dequeued > 0 ? static_cast<double>(total_queue_us) /
+                             static_cast<double>(dequeued)
+                       : 0.0;
+      point.mean_latency_us =
+          latency_n > 0 ? static_cast<double>(total_latency_us) /
+                              static_cast<double>(latency_n)
+                        : 0.0;
+      point.throughput_rps =
+          makespan_us > 0 ? static_cast<double>(point.admitted) /
+                                (static_cast<double>(makespan_us) * 1e-6)
+                          : 0.0;
+      point.eer_primary = eer_or_nan(attack_pri, legit_pri);
+      point.eer_degraded = eer_or_nan(attack_deg, legit_deg);
+      result.points.push_back(point);
+    }
   }
   return result;
 }

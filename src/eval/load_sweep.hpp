@@ -87,4 +87,74 @@ struct LoadSweepResult {
 LoadSweepResult run_load_sweep(const LoadSweepConfig& config,
                                std::uint64_t seed);
 
+/// Fleet sweep: the same replayed population, served by a sharded
+/// serving::Server instead of one logical node, across a workers × load
+/// grid. Requests belong to a pool of long-lived sessions placed on
+/// workers by the server's consistent-hash ring; each worker micro-batches
+/// admitted requests into score_batch calls. Because every request scores
+/// from its own rng fork (keyed by trial, not by placement), the scores at
+/// a given load are bit-identical across worker counts and batch windows —
+/// the fleet determinism contract the tests pin.
+struct FleetSweepConfig {
+  /// Population, service model, queue bound, deadline and breaker are all
+  /// inherited from the single-node sweep so rows are comparable; the
+  /// queue bound and breaker apply per shard.
+  LoadSweepConfig base;
+
+  /// Worker-count grid (rows = workers × base.offered_rps).
+  std::vector<std::size_t> workers = {1, 2, 4, 8};
+
+  /// Long-lived session pool; request i belongs to session i mod sessions.
+  std::size_t sessions = 16;
+  /// Tenants cycle over sessions (session s → tenant s mod tenants).
+  std::uint32_t tenants = 4;
+  /// Per-tenant queued-item quota per shard (SIZE_MAX = unlimited).
+  std::size_t tenant_max_queued = SIZE_MAX;
+
+  /// Micro-batch limits (see ShardConfig).
+  std::size_t batch_max = 4;
+  std::uint64_t batch_window_us = 20'000;
+  /// Fixed per-batch overhead (virtual us) before the first item serves —
+  /// what batching amortizes: per-item cost stays, setup is paid once.
+  std::uint64_t batch_setup_us = 10'000;
+
+  std::size_t ring_replicas = 64;
+};
+
+/// One (workers, offered load) grid cell.
+struct FleetSweepPoint {
+  std::size_t workers = 0;
+  double offered_rps = 0.0;
+  std::size_t arrivals = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;        ///< full shard queue
+  std::size_t quota_rejected = 0;  ///< tenant over its queued quota
+  std::size_t deadline_missed = 0; ///< expired in queue or mid-flight
+  std::size_t scored_primary = 0;
+  std::size_t scored_degraded = 0;
+  std::size_t indeterminate = 0;
+  std::size_t errors = 0;
+  std::size_t breaker_trips = 0;   ///< summed over shards
+  std::size_t batches = 0;
+  double mean_batch = 0.0;
+  double mean_queue_us = 0.0;      ///< over service dequeues (not expired)
+  double mean_latency_us = 0.0;    ///< arrival → completion, scored requests
+  double throughput_rps = 0.0;     ///< completions per virtual second
+  double eer_primary = 0.0;
+  double eer_degraded = 0.0;
+};
+
+struct FleetSweepResult {
+  std::vector<FleetSweepPoint> points;
+
+  /// Multi-line table: one row per (workers, offered load) cell.
+  std::string summary() const;
+};
+
+/// Runs the fleet sweep. Deterministic in `seed`; the arrival process is
+/// forked per load point only, so every worker count replays identical
+/// arrivals and the scaling columns are directly comparable.
+FleetSweepResult run_fleet_sweep(const FleetSweepConfig& config,
+                                 std::uint64_t seed);
+
 }  // namespace vibguard::eval

@@ -2,16 +2,11 @@
 
 #include <algorithm>
 
-#include "common/error.hpp"
-
 namespace vibguard::serving {
 
 AdmissionController::AdmissionController(AdmissionConfig config,
                                          const Clock& clock)
-    : config_(config), clock_(&clock) {
-  VIBGUARD_REQUIRE(config_.queue_capacity > 0,
-                   "queue capacity must be positive");
-}
+    : config_(config), clock_(&clock) {}
 
 bool AdmissionController::try_admit(std::size_t request_id) {
   if (queue_.size() >= config_.queue_capacity) {
@@ -35,6 +30,24 @@ std::optional<AdmissionController::Admitted> AdmissionController::next() {
   stats_.total_queue_us += admitted.queue_us;
   stats_.max_queue_us = std::max(stats_.max_queue_us, admitted.queue_us);
   return admitted;
+}
+
+std::optional<AdmissionController::Admitted>
+AdmissionController::next_expired() {
+  if (queue_.empty()) return std::nullopt;
+  const Entry entry = queue_.front();
+  queue_.pop_front();
+  const std::uint64_t now = clock_->now_us();
+  Admitted admitted;
+  admitted.request_id = entry.request_id;
+  admitted.queue_us = now >= entry.enqueued_us ? now - entry.enqueued_us : 0;
+  ++stats_.expired;
+  return admitted;
+}
+
+std::optional<std::size_t> AdmissionController::peek() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.front().request_id;
 }
 
 void AdmissionController::clear() {

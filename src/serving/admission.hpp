@@ -27,11 +27,16 @@ struct AdmissionConfig {
   std::size_t queue_capacity = 64;
 };
 
-/// Aggregate admission/queue-time accounting.
+/// Aggregate admission/queue-time accounting. The queue-time aggregates
+/// (total/max/mean) cover only requests dequeued for service: rejected
+/// submissions never enter the queue, and requests dropped because their
+/// deadline expired while queued are tallied in `expired` — neither can
+/// pollute the mean queue time of the requests the server actually ran.
 struct AdmissionStats {
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
-  std::uint64_t dequeued = 0;
+  std::uint64_t dequeued = 0;  ///< dequeued for service (excludes expired)
+  std::uint64_t expired = 0;   ///< dropped: deadline passed while queued
   std::uint64_t total_queue_us = 0;  ///< summed over dequeued requests
   std::uint64_t max_queue_us = 0;
 
@@ -44,6 +49,10 @@ struct AdmissionStats {
 
 class AdmissionController {
  public:
+  /// A capacity of zero is legal and means "admit nothing": every
+  /// submission is rejected with clean backpressure (and the queue-time
+  /// stats stay well defined — no division by a zero dequeue count ever
+  /// happens because mean_queue_us() guards it).
   AdmissionController(AdmissionConfig config, const Clock& clock);
 
   /// Admits `request_id` into the queue, timestamped now. Returns false —
@@ -58,6 +67,16 @@ class AdmissionController {
   /// Pops the oldest queued request (FIFO) and accounts its queue time;
   /// nullopt when the queue is empty.
   std::optional<Admitted> next();
+
+  /// Pops the oldest queued request like next(), but accounts it as a
+  /// deadline-expired-in-queue drop: counted in stats().expired and
+  /// excluded from the queue-time aggregates, so the mean queue time keeps
+  /// describing requests that were genuinely served. The caller decides
+  /// expiry (it owns the deadlines); peek() exposes the head for that test.
+  std::optional<Admitted> next_expired();
+
+  /// Oldest queued request id without popping; nullopt when empty.
+  std::optional<std::size_t> peek() const;
 
   std::size_t depth() const { return queue_.size(); }
   std::size_t capacity() const { return config_.queue_capacity; }

@@ -37,10 +37,13 @@ bool CircuitBreaker::allow_primary() {
       if (clock_->now_us() - opened_at_us_ >= config_.cooldown_us) {
         state_ = BreakerState::kHalfOpen;
         half_open_ok_ = 0;
+        probe_outstanding_ = true;
         return true;  // the probe
       }
       return false;
     case BreakerState::kHalfOpen:
+      if (probe_outstanding_) return false;  // one probe at a time
+      probe_outstanding_ = true;
       return true;
   }
   VIBGUARD_UNREACHABLE();
@@ -50,6 +53,7 @@ void CircuitBreaker::open_now() {
   state_ = BreakerState::kOpen;
   opened_at_us_ = clock_->now_us();
   half_open_ok_ = 0;
+  probe_outstanding_ = false;
   consecutive_.clear();
 }
 
@@ -59,6 +63,7 @@ void CircuitBreaker::record_success() {
       consecutive_.clear();
       return;
     case BreakerState::kHalfOpen:
+      probe_outstanding_ = false;
       if (++half_open_ok_ >= config_.half_open_successes) {
         state_ = BreakerState::kClosed;
         consecutive_.clear();
@@ -85,6 +90,24 @@ void CircuitBreaker::record_failure(const std::string& stage) {
       // The probe failed: back to a full cooldown.
       tripped_stage_ = stage;
       open_now();
+      return;
+    case BreakerState::kOpen:
+      return;
+  }
+  VIBGUARD_UNREACHABLE();
+}
+
+void CircuitBreaker::record_indeterminate() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      // No verdict on pipeline health: neither clears nor extends the
+      // consecutive-failure streaks.
+      return;
+    case BreakerState::kHalfOpen:
+      // The probe came back without a verdict: release the probe slot so
+      // the next command can probe, but stay half-open — an indeterminate
+      // probe is not a success.
+      probe_outstanding_ = false;
       return;
     case BreakerState::kOpen:
       return;

@@ -55,15 +55,27 @@ class CircuitBreaker {
   /// Routing decision for the next command: true = run the primary
   /// pipeline (closed, or a half-open probe), false = run the degraded
   /// path. Commits the open → half-open transition when the cooldown has
-  /// elapsed.
+  /// elapsed. While half-open at most one probe is outstanding at a time:
+  /// further calls return false (degraded) until the probe's outcome is
+  /// reported, so a trial that fails in several stages — or a burst of
+  /// concurrent commands — cannot count as more than one probe.
   bool allow_primary();
 
   /// Reports the outcome of a primary-path command. `record_failure` takes
   /// the name of the failing stage; only hard failures (stage errors,
   /// deadline expiry) should be recorded — quality-gated inputs are the
-  /// input's fault, not the pipeline's.
+  /// input's fault, not the pipeline's. Each call resolves at most one
+  /// outstanding half-open probe; extra reports for the same trial (a
+  /// multi-stage failure) land in the open state and are ignored.
   void record_success();
   void record_failure(const std::string& stage);
+
+  /// Reports a primary-path command that ended without a verdict on the
+  /// pipeline's health (quality-gated input, kIndeterminate). Neutral:
+  /// never trips, never closes. In half-open it releases the probe slot so
+  /// the next command can probe again — an indeterminate probe must not
+  /// close the breaker as a success, but must not wedge probing either.
+  void record_indeterminate();
 
   /// The stage whose failures tripped the breaker ("" while closed and
   /// never tripped).
@@ -82,6 +94,9 @@ class CircuitBreaker {
   BreakerState state_ = BreakerState::kClosed;
   std::uint64_t opened_at_us_ = 0;
   std::size_t half_open_ok_ = 0;
+  /// True while a half-open probe has been dispatched but its outcome not
+  /// yet reported; gates allow_primary() to one probe at a time.
+  bool probe_outstanding_ = false;
   std::uint64_t trips_ = 0;
   std::string tripped_stage_;
   /// Consecutive-failure counters keyed by failing stage; any success on

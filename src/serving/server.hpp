@@ -1,0 +1,215 @@
+// serving::Server — the sharded multi-worker serving runtime.
+//
+// The single-session toolkit (admission queue, breaker, deadlines — PR 5)
+// and the zero-alloc batch scorer (PR 2) compose into a fleet here:
+//
+//   session id ── consistent hash ──▶ worker shard
+//                                      ├─ bounded MPMC work queue
+//                                      ├─ per-tenant admission quotas
+//                                      ├─ per-shard circuit breaker
+//                                      └─ micro-batcher ─▶ score_batch
+//
+// Sessions are placed on workers by a consistent-hash ring over the
+// session id, so one session's requests always land on one shard — its
+// slab record is only ever touched under that shard's lane lock, and the
+// fleet needs no global session table. Idle sessions cost one flat
+// SessionRecord in the worker's SessionSlab (no per-session heap
+// allocation), which is what lets millions of them sit around.
+//
+// Admitted requests from *different* sessions are coalesced by the
+// shard's micro-batcher into DefenseSystem::score_batch calls. The serial
+// outcome overload scores every request from its own owned rng, so a
+// request's score does not depend on which batch it rode in — and
+// therefore not on the worker count, the batch window, or the batch size.
+// That is the fleet determinism contract: for a fixed seed, scoring is
+// bit-identical across every sharding configuration (pinned by
+// tests/serving/server_test.cpp and the fleet sweep).
+//
+// Threading model: submit() may be called from any thread (shard queues
+// are MPMC; slab/payload mutations take the lane lock). Batch formation
+// and completion are designed for ONE drainer per shard at a time — run
+// one pump thread per worker, or drive all shards from a simulator loop
+// (eval/load_sweep's fleet mode does exactly that on a VirtualClock).
+// open_session/close_session are not thread-safe against in-flight
+// submits for the same session.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+#include "core/pipeline.hpp"
+#include "serving/session_slab.hpp"
+#include "serving/shard.hpp"
+
+namespace vibguard::serving {
+
+struct ServerConfig {
+  /// Primary pipeline configuration (every worker scores with an
+  /// identical DefenseSystem, so placement cannot change results).
+  core::DefenseConfig defense;
+  /// The cheaper mode degraded batches are scored in while a shard's
+  /// breaker is open.
+  core::DefenseMode degraded_mode = core::DefenseMode::kAudioBaseline;
+
+  std::size_t workers = 4;
+  /// Ring points per worker; more replicas = smoother session spread.
+  std::size_t ring_replicas = 64;
+  /// Per-worker shard configuration (queue bound, micro-batch window,
+  /// tenant quotas, breaker).
+  ShardConfig shard;
+  /// Per-request budget from submission, on the server clock; requests
+  /// whose budget passes while queued are dropped as expired. nullopt
+  /// disables deadlines.
+  std::optional<std::uint64_t> deadline_us;
+};
+
+/// One request for a session. Signals are borrowed and must stay alive
+/// until the request's ServedResult is emitted; the rng is owned (fork it
+/// per request), which is what makes scoring batch-invariant.
+struct ServerRequest {
+  const Signal* va = nullptr;
+  const Signal* wearable = nullptr;
+  const core::Segmenter* segmenter = nullptr;
+  Rng rng;
+  std::uint64_t request_id = 0;  ///< caller-chosen correlation id
+};
+
+/// One completed (scored, degraded, or expired) request.
+struct ServedResult {
+  std::uint64_t request_id = 0;
+  std::uint64_t session_id = 0;
+  std::size_t worker = 0;
+  std::size_t batch_size = 0;  ///< size of the micro-batch it rode in
+  bool degraded = false;       ///< scored on the degraded route
+  bool expired_in_queue = false;  ///< dropped unscored (deadline passed)
+  std::uint64_t queue_us = 0;  ///< admission → batch formation
+  core::ScoreOutcome outcome;
+};
+
+/// A batch formed and awaiting completion; items borrow the worker lane's
+/// scratch and stay valid until complete_batch().
+struct PlannedBatch {
+  std::size_t worker = 0;
+  bool degraded = false;
+  bool probe = false;
+  std::span<const WorkItem> items;
+};
+
+class Server {
+ public:
+  /// `clock` drives deadlines, queue times and breaker cooldowns; it is
+  /// borrowed and must outlive the server.
+  Server(ServerConfig config, const Clock& clock);
+
+  const ServerConfig& config() const { return config_; }
+  std::size_t workers() const { return lanes_.size(); }
+
+  /// The worker that owns `session_id` (pure function of the id and the
+  /// ring configuration).
+  std::size_t shard_of(std::uint64_t session_id) const;
+
+  /// Registers a session in its shard's slab and returns the handle every
+  /// subsequent submit for it must present.
+  SessionHandle open_session(std::uint64_t session_id,
+                             std::uint32_t tenant = 0);
+
+  /// Frees the session's slab slot; outstanding handles go stale. False
+  /// when the handle is already stale. Requests still queued for the
+  /// session are served normally (their results just stop updating the
+  /// record).
+  bool close_session(std::uint64_t session_id, SessionHandle handle);
+
+  /// Live sessions across all shards.
+  std::size_t sessions() const;
+
+  /// Read access to a session's record (nullptr when stale). The pointer
+  /// is invalidated by the next open_session on the same shard.
+  const SessionRecord* session(std::uint64_t session_id,
+                               SessionHandle handle) const;
+
+  /// Routes one request to the session's shard: tenant quota, bounded
+  /// queue, deadline stamping. kStaleSession when the handle no longer
+  /// matches a live record for `session_id`. Thread-safe.
+  SubmitStatus submit(std::uint64_t session_id, SessionHandle session,
+                      const ServerRequest& request);
+
+  /// Earliest time any shard's next micro-batch is due (nullopt when all
+  /// queues are empty) — the pump's sleep target.
+  std::optional<std::uint64_t> batch_ready_us() const;
+
+  /// Forms worker `w`'s next micro-batch (nullopt: queue empty, or the
+  /// window has not elapsed and `force` is false). The batch is parked in
+  /// the lane until complete_batch(w) — exactly one planned batch per
+  /// worker at a time. Splitting formation from completion lets the
+  /// fleet simulator advance the clock between the two.
+  std::optional<PlannedBatch> form_batch(std::size_t w, bool force = false);
+
+  /// Scores worker `w`'s planned batch and appends one ServedResult per
+  /// item. `deadline_override`, when non-empty (one absolute expiry per
+  /// item), replaces each item's own deadline for the scoring call — the
+  /// simulator uses it to model cancellation at a precomputed time.
+  /// Expired items are emitted unscored; primary-route outcomes feed the
+  /// shard breaker (one outcome per item).
+  void complete_batch(std::size_t w, std::vector<ServedResult>& out,
+                      std::span<const std::uint64_t> deadline_override = {});
+
+  /// Serves everything currently queued (forced windows, live deadlines):
+  /// form + complete per shard until every queue is empty.
+  void drain(std::vector<ServedResult>& out);
+
+  const Shard& shard(std::size_t w) const { return lanes_[w]->shard; }
+  Shard& shard(std::size_t w) { return lanes_[w]->shard; }
+
+  /// Pipeline-stage aggregates accumulated by worker `w`'s scoring calls.
+  const core::PipelineStats& worker_pipeline_stats(std::size_t w) const {
+    return lanes_[w]->pipeline_stats;
+  }
+
+ private:
+  /// Everything one worker owns. Heap-pinned (vector of unique_ptr) so
+  /// lanes never move; `mu` guards the slab and payload slots, the shard
+  /// locks itself.
+  struct Lane {
+    Lane(const ShardConfig& shard_config, const Clock& clock)
+        : shard(shard_config, clock) {}
+
+    Shard shard;
+    mutable std::mutex mu;
+    SessionSlab slab;
+    /// Parked request payloads, indexed by WorkItem::payload; slots are
+    /// recycled LIFO. Holds the borrowed signal pointers and the owned
+    /// rng for exactly as long as the request is in flight.
+    std::vector<ServerRequest> payloads;
+    std::vector<std::size_t> free_payloads;
+
+    // One-drainer scratch (form_batch → complete_batch).
+    std::vector<WorkItem> batch;
+    FormedBatch formed;
+    bool has_batch = false;
+
+    core::Workspace workspace;
+    core::PipelineStats pipeline_stats;
+    std::vector<core::ScoreRequest> reqs;
+    std::vector<core::ScoreOutcome> outs;
+    std::vector<Deadline> deadlines;
+  };
+
+  std::size_t park_payload(Lane& lane, const ServerRequest& request);
+
+  ServerConfig config_;
+  const Clock* clock_;
+  core::DefenseSystem system_;
+  std::optional<core::DefenseSystem> degraded_system_;
+  ConsistentHashRing ring_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace vibguard::serving

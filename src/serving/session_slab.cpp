@@ -1,0 +1,60 @@
+#include "serving/session_slab.hpp"
+
+#include "common/error.hpp"
+
+namespace vibguard::serving {
+
+SessionHandle SessionSlab::insert(const SessionRecord& record) {
+  std::uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    VIBGUARD_REQUIRE(slots_.size() < UINT32_MAX, "session slab full");
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    generations_.push_back(0);
+  }
+  slots_[index] = record;
+  // Free slots carry an even generation; bumping to odd marks the slot
+  // live and distinguishes this occupant from every previous one.
+  ++generations_[index];
+  ++size_;
+  return SessionHandle{index, generations_[index]};
+}
+
+bool SessionSlab::erase(SessionHandle handle) {
+  if (get(handle) == nullptr) return false;
+  // Back to even: every outstanding handle with the old odd generation now
+  // fails the compare. (Handles are null-checked on generation 0, so a
+  // slot generation wrapping to 0 is just another free state; aliasing
+  // needs 2^31 reuses of one slot and is accepted.)
+  ++generations_[handle.index];
+  free_.push_back(handle.index);
+  --size_;
+  return true;
+}
+
+SessionRecord* SessionSlab::get(SessionHandle handle) {
+  if (handle.is_null() || handle.index >= slots_.size() ||
+      generations_[handle.index] != handle.generation ||
+      (handle.generation & 1u) == 0) {
+    return nullptr;
+  }
+  return &slots_[handle.index];
+}
+
+const SessionRecord* SessionSlab::get(SessionHandle handle) const {
+  return const_cast<SessionSlab*>(this)->get(handle);
+}
+
+void SessionSlab::clear() {
+  free_.clear();
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if ((generations_[i] & 1u) != 0) ++generations_[i];
+    free_.push_back(static_cast<std::uint32_t>(slots_.size() - 1 - i));
+  }
+  size_ = 0;
+}
+
+}  // namespace vibguard::serving

@@ -374,6 +374,83 @@ TEST(StreamingPipelineTest, FailsClosedOnNonFiniteSamples) {
 
 // --- instrumentation ------------------------------------------------------
 
+TEST(StreamingPipelineTest, SecondFinalizeIsIdempotent) {
+  const auto trial = make_trial(111, false);
+  OracleSegmenter seg(trial.alignment, eval::reference_sensitive_set());
+  DefenseSystem system((DefenseConfig()));
+  StreamingPipeline pipeline(system);
+
+  PipelineTrace trace;
+  pipeline.begin(trial.va.sample_rate(), &seg, Rng(51), &trace);
+  pipeline.push(trial.va.samples(), trial.wearable.samples());
+  const StreamOutcome first = pipeline.finalize();
+  ASSERT_TRUE(first.outcome.ok());
+  const std::size_t stages_after_first = trace.stages.size();
+
+  // A second finalize() before the next begin() must return the cached
+  // outcome: no batch re-score, no new trace records — so a caller that
+  // add()s the trace into PipelineStats counts this trial exactly once.
+  const StreamOutcome second = pipeline.finalize();
+  EXPECT_EQ(second.outcome.score, first.outcome.score);
+  EXPECT_EQ(second.outcome.status, first.outcome.status);
+  EXPECT_EQ(second.verdict, first.verdict);
+  EXPECT_EQ(second.provisional_score, first.provisional_score);
+  EXPECT_EQ(second.pushed_va_samples, first.pushed_va_samples);
+  EXPECT_EQ(trace.stages.size(), stages_after_first);
+
+  PipelineStats stats;
+  stats.add(trace);
+  EXPECT_EQ(stats.commands, 1u);
+
+  // The pipeline stays reusable after the repeated finalize.
+  pipeline.begin(trial.va.sample_rate(), &seg, Rng(51));
+  pipeline.push(trial.va.samples(), trial.wearable.samples());
+  const StreamOutcome again = pipeline.finalize();
+  EXPECT_EQ(again.outcome.score, first.outcome.score);
+}
+
+TEST(StreamingPipelineTest, ZeroLengthPushIsNoOp) {
+  const auto trial = make_trial(112, false);
+  OracleSegmenter seg(trial.alignment, eval::reference_sensitive_set());
+  DefenseSystem system((DefenseConfig()));
+
+  // Reference stream: no empty pushes.
+  StreamingPipeline reference(system);
+  const StreamOutcome expected =
+      stream_with_schedule(reference, trial, &seg, Rng(53), 2048, 2048);
+  ASSERT_TRUE(expected.outcome.ok());
+
+  // Same schedule with empty pushes interleaved everywhere: the empties
+  // must not advance any carried census/STFT/pairing state, and must not
+  // clobber the evaluated_this_push report of the preceding real push.
+  StreamingPipeline pipeline(system);
+  pipeline.begin(trial.va.sample_rate(), &seg, Rng(53));
+  pipeline.push({}, {});  // before any data
+  std::size_t off = 0;
+  while (off < trial.va.size() || off < trial.wearable.size()) {
+    const auto chunk = [&](const Signal& s) {
+      const std::size_t begin = std::min(off, s.size());
+      const std::size_t end = std::min(off + 2048, s.size());
+      return s.samples().subspan(begin, end - begin);
+    };
+    const StreamStatus after_real = pipeline.push(chunk(trial.va),
+                                                  chunk(trial.wearable));
+    const StreamStatus after_empty = pipeline.push({}, {});
+    EXPECT_EQ(after_empty.blocks, after_real.blocks);
+    EXPECT_EQ(after_empty.paired_frames, after_real.paired_frames);
+    EXPECT_EQ(after_empty.coarse_frames, after_real.coarse_frames);
+    EXPECT_EQ(after_empty.provisional_score, after_real.provisional_score);
+    EXPECT_EQ(after_empty.evaluated_this_push, after_real.evaluated_this_push);
+    off += 2048;
+  }
+  const StreamOutcome out = pipeline.finalize();
+  ASSERT_TRUE(out.outcome.ok());
+  EXPECT_EQ(out.outcome.score, expected.outcome.score);
+  EXPECT_EQ(out.provisional_score, expected.provisional_score);
+  EXPECT_EQ(out.pushed_va_samples, expected.pushed_va_samples);
+  EXPECT_EQ(out.blocks, expected.blocks);
+}
+
 TEST(StreamingTraceTest, TraceAppendConcatenatesStageRecords) {
   PipelineTrace a;
   a.stages.push_back(StageTrace{"x", 0, 5, 10, 10, 0});

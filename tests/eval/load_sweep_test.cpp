@@ -100,6 +100,117 @@ TEST(LoadSweepTest, SummaryPrintsOneRowPerLoadPoint) {
   EXPECT_EQ(rows, 2 + result.points.size());  // title + header + points
 }
 
+FleetSweepConfig small_fleet() {
+  FleetSweepConfig cfg;
+  cfg.base = small_config();
+  cfg.base.offered_rps = {0.5};  // light load: everything should serve
+  cfg.workers = {1, 2, 3};
+  cfg.sessions = 6;
+  cfg.tenants = 2;
+  cfg.batch_max = 3;
+  cfg.batch_window_us = 20'000;
+  return cfg;
+}
+
+TEST(FleetSweepTest, LightLoadServesEverythingOnEveryWorkerCount) {
+  const FleetSweepConfig cfg = small_fleet();
+  const FleetSweepResult result = run_fleet_sweep(cfg, 42);
+  ASSERT_EQ(result.points.size(), cfg.workers.size());
+  for (const FleetSweepPoint& p : result.points) {
+    EXPECT_EQ(p.arrivals, 16u);
+    EXPECT_EQ(p.rejected, 0u);
+    EXPECT_EQ(p.quota_rejected, 0u);
+    EXPECT_EQ(p.deadline_missed, 0u);
+    EXPECT_EQ(p.scored_primary, p.arrivals);
+    EXPECT_EQ(p.scored_degraded, 0u);
+    EXPECT_GT(p.batches, 0u);
+    EXPECT_GT(p.throughput_rps, 0.0);
+    EXPECT_FALSE(std::isnan(p.eer_primary));
+  }
+}
+
+TEST(FleetSweepTest, ScoringIsBitIdenticalAcrossWorkerCountsAndWindows) {
+  // The fleet determinism contract at the sweep level: with a fixed seed,
+  // the detection quality of what the fleet answered must not depend on
+  // how the fleet was sharded or how requests were coalesced — only the
+  // serving-side columns may move.
+  const FleetSweepResult by_workers = run_fleet_sweep(small_fleet(), 42);
+  ASSERT_EQ(by_workers.points.size(), 3u);
+  const double eer = by_workers.points[0].eer_primary;
+  ASSERT_FALSE(std::isnan(eer));
+  for (const FleetSweepPoint& p : by_workers.points) {
+    EXPECT_EQ(p.eer_primary, eer);  // bitwise, not approximate
+    EXPECT_EQ(p.scored_primary, by_workers.points[0].scored_primary);
+  }
+
+  FleetSweepConfig wide = small_fleet();
+  wide.workers = {2};
+  wide.batch_window_us = 0;
+  wide.batch_max = 1;
+  const FleetSweepResult no_batching = run_fleet_sweep(wide, 42);
+  ASSERT_EQ(no_batching.points.size(), 1u);
+  EXPECT_EQ(no_batching.points[0].eer_primary, eer);
+}
+
+TEST(FleetSweepTest, ConservesCountsUnderOverload) {
+  FleetSweepConfig cfg = small_fleet();
+  cfg.base.offered_rps = {0.5, 10.0};
+  cfg.workers = {1, 2};
+  const FleetSweepResult result = run_fleet_sweep(cfg, 42);
+  ASSERT_EQ(result.points.size(), 4u);  // workers grid x load grid
+  for (const FleetSweepPoint& p : result.points) {
+    EXPECT_EQ(p.admitted + p.rejected + p.quota_rejected, p.arrivals);
+    EXPECT_EQ(p.scored_primary + p.scored_degraded + p.indeterminate +
+                  p.errors + p.deadline_missed,
+              p.admitted);
+  }
+  // More workers must not serve less at the overloaded point.
+  const FleetSweepPoint& heavy_1w = result.points[1];
+  const FleetSweepPoint& heavy_2w = result.points[3];
+  ASSERT_EQ(heavy_1w.workers, 1u);
+  ASSERT_EQ(heavy_2w.workers, 2u);
+  EXPECT_GE(heavy_2w.scored_primary + heavy_2w.scored_degraded,
+            heavy_1w.scored_primary + heavy_1w.scored_degraded);
+}
+
+TEST(FleetSweepTest, TenantQuotaRejectsAreCountedSeparately) {
+  FleetSweepConfig cfg = small_fleet();
+  cfg.base.offered_rps = {10.0};
+  cfg.workers = {1};
+  cfg.tenant_max_queued = 1;  // tight quota forces quota rejections
+  const FleetSweepResult result = run_fleet_sweep(cfg, 42);
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_GT(result.points[0].quota_rejected, 0u);
+  EXPECT_EQ(result.points[0].admitted + result.points[0].rejected +
+                result.points[0].quota_rejected,
+            result.points[0].arrivals);
+}
+
+TEST(FleetSweepTest, SummaryPrintsOneRowPerGridCell) {
+  const FleetSweepResult result = run_fleet_sweep(small_fleet(), 42);
+  const std::string summary = result.summary();
+  EXPECT_NE(summary.find("fleet load sweep"), std::string::npos);
+  EXPECT_NE(summary.find("wrk"), std::string::npos);
+  std::size_t rows = 0;
+  for (char c : summary) rows += c == '\n';
+  EXPECT_EQ(rows, 2 + result.points.size());
+}
+
+TEST(FleetSweepTest, RejectsBadConfig) {
+  FleetSweepConfig cfg = small_fleet();
+  cfg.workers.clear();
+  EXPECT_THROW(run_fleet_sweep(cfg, 1), Error);
+  cfg = small_fleet();
+  cfg.workers = {0};
+  EXPECT_THROW(run_fleet_sweep(cfg, 1), Error);
+  cfg = small_fleet();
+  cfg.sessions = 0;
+  EXPECT_THROW(run_fleet_sweep(cfg, 1), Error);
+  cfg = small_fleet();
+  cfg.tenants = 0;
+  EXPECT_THROW(run_fleet_sweep(cfg, 1), Error);
+}
+
 TEST(LoadSweepTest, RejectsBadConfig) {
   LoadSweepConfig cfg = small_config();
   cfg.offered_rps.clear();

@@ -67,9 +67,69 @@ TEST(AdmissionTest, ClearDropsQueueAndStats) {
   EXPECT_FALSE(admission.next().has_value());
 }
 
-TEST(AdmissionTest, RejectsZeroCapacity) {
+TEST(AdmissionTest, ZeroCapacityRejectsCleanly) {
+  // Capacity 0 is a legal "admit nothing" configuration: every try_admit
+  // is a clean, counted rejection — not a constructor throw, and not a
+  // pollution of the queue-time aggregates.
   VirtualClock clock;
-  EXPECT_THROW(AdmissionController({0}, clock), Error);
+  AdmissionController admission({0}, clock);
+  EXPECT_FALSE(admission.try_admit(0));
+  EXPECT_FALSE(admission.try_admit(1));
+  EXPECT_EQ(admission.depth(), 0u);
+  EXPECT_EQ(admission.stats().admitted, 0u);
+  EXPECT_EQ(admission.stats().rejected, 2u);
+  EXPECT_EQ(admission.stats().dequeued, 0u);
+  EXPECT_DOUBLE_EQ(admission.stats().mean_queue_us(), 0.0);
+  EXPECT_FALSE(admission.next().has_value());
+}
+
+TEST(AdmissionTest, PeekShowsHeadWithoutDequeuing) {
+  VirtualClock clock;
+  AdmissionController admission({2}, clock);
+  EXPECT_FALSE(admission.peek().has_value());
+  admission.try_admit(11);
+  admission.try_admit(12);
+  ASSERT_TRUE(admission.peek().has_value());
+  EXPECT_EQ(*admission.peek(), 11u);
+  EXPECT_EQ(admission.depth(), 2u);  // peek must not consume
+  EXPECT_EQ(admission.stats().dequeued, 0u);
+  auto head = admission.next();
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->request_id, 11u);
+  EXPECT_EQ(*admission.peek(), 12u);
+}
+
+TEST(AdmissionTest, ExpiredDequeueDoesNotPolluteQueueTimeStats) {
+  // A request dropped because its deadline passed while queued must not
+  // enter the service-side queue-time aggregates: `dequeued`,
+  // `total_queue_us` and `max_queue_us` describe only requests that went
+  // on to be served, so the mean wait stays meaningful under overload.
+  VirtualClock clock;
+  AdmissionController admission({4}, clock);
+  admission.try_admit(0);
+  clock.advance(100);
+  admission.try_admit(1);
+
+  clock.advance(900);  // request 0 has now waited 1000us — assume expired
+  auto expired = admission.next_expired();
+  ASSERT_TRUE(expired.has_value());
+  EXPECT_EQ(expired->request_id, 0u);
+  EXPECT_EQ(expired->queue_us, 1000u);  // reported, but not aggregated
+  EXPECT_EQ(admission.stats().expired, 1u);
+  EXPECT_EQ(admission.stats().dequeued, 0u);
+  EXPECT_EQ(admission.stats().total_queue_us, 0u);
+  EXPECT_EQ(admission.stats().max_queue_us, 0u);
+  EXPECT_DOUBLE_EQ(admission.stats().mean_queue_us(), 0.0);
+
+  auto served = admission.next();
+  ASSERT_TRUE(served.has_value());
+  EXPECT_EQ(served->request_id, 1u);
+  EXPECT_EQ(served->queue_us, 900u);
+  EXPECT_EQ(admission.stats().dequeued, 1u);
+  EXPECT_EQ(admission.stats().total_queue_us, 900u);
+  EXPECT_DOUBLE_EQ(admission.stats().mean_queue_us(), 900.0);
+
+  EXPECT_FALSE(admission.next_expired().has_value());  // empty queue
 }
 
 }  // namespace

@@ -118,6 +118,67 @@ TEST(CircuitBreakerTest, RequiresMultipleProbeSuccessesWhenConfigured) {
   EXPECT_EQ(breaker.state(), BreakerState::kClosed);
 }
 
+TEST(CircuitBreakerTest, HalfOpenAllowsOnlyOneOutstandingProbe) {
+  VirtualClock clock;
+  CircuitBreaker breaker(kConfig, clock);
+  for (int i = 0; i < 3; ++i) breaker.record_failure("correlate");
+  clock.advance(kConfig.cooldown_us);
+  ASSERT_TRUE(breaker.allow_primary());  // the probe
+  // A burst of further commands while the probe is outstanding must all
+  // take the degraded route — they are not probes.
+  EXPECT_FALSE(breaker.allow_primary());
+  EXPECT_FALSE(breaker.allow_primary());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.record_success();  // probe outcome arrives
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, MultiStageFailureCountsAsOneProbeOutcome) {
+  VirtualClock clock;
+  CircuitBreaker breaker(kConfig, clock);
+  for (int i = 0; i < 3; ++i) breaker.record_failure("correlate");
+  clock.advance(kConfig.cooldown_us);
+  ASSERT_TRUE(breaker.allow_primary());
+  // The probe trial fails in two stages. The first report reopens the
+  // breaker; the second is a stale report for the same trial and must not
+  // restart the cooldown window.
+  breaker.record_failure("sync");
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  clock.advance(kConfig.cooldown_us / 2);
+  breaker.record_failure("segment");  // stale: same trial, later stage
+  EXPECT_EQ(breaker.tripped_stage(), "sync");
+  clock.advance(kConfig.cooldown_us / 2);
+  // Full cooldown since the FIRST report has elapsed; if the stale report
+  // had re-bumped opened_at the breaker would still refuse the probe here.
+  EXPECT_TRUE(breaker.allow_primary());
+}
+
+TEST(CircuitBreakerTest, IndeterminateProbeDoesNotCloseBreaker) {
+  VirtualClock clock;
+  CircuitBreaker breaker(kConfig, clock);
+  for (int i = 0; i < 3; ++i) breaker.record_failure("correlate");
+  clock.advance(kConfig.cooldown_us);
+  ASSERT_TRUE(breaker.allow_primary());
+  breaker.record_indeterminate();  // probe was quality-gated: no verdict
+  // Not closed (an indeterminate probe is not a success)...
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // ...but the probe slot is released, so the next command probes again
+  // instead of the breaker wedging in half-open forever.
+  EXPECT_TRUE(breaker.allow_primary());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, IndeterminateWhileClosedKeepsFailureStreaks) {
+  VirtualClock clock;
+  CircuitBreaker breaker(kConfig, clock);
+  breaker.record_failure("sync");
+  breaker.record_failure("sync");
+  breaker.record_indeterminate();  // neutral: no verdict either way
+  breaker.record_failure("sync");  // third consecutive hard failure
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
 TEST(CircuitBreakerTest, RejectsDegenerateConfig) {
   VirtualClock clock;
   EXPECT_THROW(CircuitBreaker({0, 1000, 1}, clock), Error);

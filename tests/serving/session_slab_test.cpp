@@ -1,0 +1,118 @@
+#include "serving/session_slab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vibguard::serving {
+namespace {
+
+SessionRecord record(std::uint64_t id, std::uint32_t tenant = 0) {
+  SessionRecord r;
+  r.session_id = id;
+  r.tenant = tenant;
+  return r;
+}
+
+TEST(SessionSlabTest, DefaultHandleIsNull) {
+  SessionHandle handle;
+  EXPECT_TRUE(handle.is_null());
+  SessionSlab slab;
+  EXPECT_EQ(slab.get(handle), nullptr);
+  EXPECT_FALSE(slab.erase(handle));
+}
+
+TEST(SessionSlabTest, InsertLookupRoundTrip) {
+  SessionSlab slab;
+  const SessionHandle a = slab.insert(record(100, 1));
+  const SessionHandle b = slab.insert(record(200, 2));
+  EXPECT_FALSE(a.is_null());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(slab.size(), 2u);
+
+  SessionRecord* ra = slab.get(a);
+  ASSERT_NE(ra, nullptr);
+  EXPECT_EQ(ra->session_id, 100u);
+  EXPECT_EQ(ra->tenant, 1u);
+  ra->served = 7;  // mutable through the handle
+  EXPECT_EQ(slab.get(a)->served, 7u);
+
+  const SessionSlab& cslab = slab;
+  const SessionRecord* rb = cslab.get(b);
+  ASSERT_NE(rb, nullptr);
+  EXPECT_EQ(rb->session_id, 200u);
+}
+
+TEST(SessionSlabTest, EraseInvalidatesEveryOutstandingHandle) {
+  SessionSlab slab;
+  const SessionHandle a = slab.insert(record(100));
+  const SessionHandle copy = a;  // handles are value types
+  EXPECT_TRUE(slab.erase(a));
+  EXPECT_EQ(slab.size(), 0u);
+  EXPECT_EQ(slab.get(a), nullptr);
+  EXPECT_EQ(slab.get(copy), nullptr);
+  EXPECT_FALSE(slab.erase(a));  // double-erase is a clean no-op
+}
+
+TEST(SessionSlabTest, RecycledSlotDoesNotAliasStaleHandle) {
+  SessionSlab slab;
+  const SessionHandle old = slab.insert(record(100));
+  ASSERT_TRUE(slab.erase(old));
+  // LIFO recycling: the next insert reuses the freed slot...
+  const SessionHandle fresh = slab.insert(record(999));
+  EXPECT_EQ(fresh.index, old.index);
+  EXPECT_NE(fresh.generation, old.generation);
+  // ...and the stale handle must see nothing, not the new occupant.
+  EXPECT_EQ(slab.get(old), nullptr);
+  ASSERT_NE(slab.get(fresh), nullptr);
+  EXPECT_EQ(slab.get(fresh)->session_id, 999u);
+  EXPECT_EQ(slab.size(), 1u);
+}
+
+TEST(SessionSlabTest, GrowsAndSurvivesChurn) {
+  SessionSlab slab;
+  std::vector<SessionHandle> handles;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    handles.push_back(slab.insert(record(i, static_cast<std::uint32_t>(i % 7))));
+  }
+  EXPECT_EQ(slab.size(), 1000u);
+  EXPECT_GE(slab.capacity(), 1000u);
+  // Erase the even ids, reinsert as fresh sessions, verify nothing aliases.
+  for (std::size_t i = 0; i < handles.size(); i += 2) {
+    ASSERT_TRUE(slab.erase(handles[i]));
+  }
+  EXPECT_EQ(slab.size(), 500u);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    slab.insert(record(10'000 + i));
+  }
+  EXPECT_EQ(slab.size(), 1000u);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const SessionRecord* r = slab.get(handles[i]);
+    if (i % 2 == 0) {
+      EXPECT_EQ(r, nullptr) << i;
+    } else {
+      ASSERT_NE(r, nullptr) << i;
+      EXPECT_EQ(r->session_id, i);
+    }
+  }
+}
+
+TEST(SessionSlabTest, ClearInvalidatesAllHandlesAndKeepsCapacity) {
+  SessionSlab slab;
+  std::vector<SessionHandle> handles;
+  for (std::uint64_t i = 0; i < 16; ++i) handles.push_back(slab.insert(record(i)));
+  const std::size_t capacity = slab.capacity();
+  slab.clear();
+  EXPECT_EQ(slab.size(), 0u);
+  EXPECT_EQ(slab.capacity(), capacity);
+  for (const SessionHandle& h : handles) {
+    EXPECT_EQ(slab.get(h), nullptr);
+  }
+  // Still usable after clear.
+  const SessionHandle fresh = slab.insert(record(42));
+  ASSERT_NE(slab.get(fresh), nullptr);
+  EXPECT_EQ(slab.get(fresh)->session_id, 42u);
+}
+
+}  // namespace
+}  // namespace vibguard::serving
