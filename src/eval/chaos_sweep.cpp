@@ -1,0 +1,440 @@
+#include "eval/chaos_sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "eval/sweep_population.hpp"
+
+namespace vibguard::eval {
+namespace {
+
+/// Simulation bound past the last arrival: a fleet that cannot drain
+/// (e.g. every worker crashed with failover disabled) stops here and the
+/// leftovers are counted as `stranded` instead of looping forever.
+constexpr std::uint64_t kDrainBoundUs = 10'000'000;
+
+/// Earliest time at or after `t` when worker `w` makes progress:
+/// UINT64_MAX when it has crashed by then, the end of the covering stall
+/// window while stalled, `t` itself otherwise.
+std::uint64_t next_alive_at(const faults::ChaosController& chaos,
+                            std::size_t w, std::uint64_t t) {
+  for (;;) {
+    if (chaos.crashed(w, t)) return UINT64_MAX;
+    if (!chaos.stalled(w, t)) return t;
+    std::uint64_t end = t;
+    for (const faults::WorkerFault& fault : chaos.plan().faults()) {
+      if (fault.kind == faults::WorkerFaultKind::kStall &&
+          fault.worker == w && t >= fault.from_us && t < fault.until_us) {
+        end = std::max(end, fault.until_us);
+      }
+    }
+    t = end;  // re-check: windows may chain, or a crash may land inside
+  }
+}
+
+}  // namespace
+
+std::vector<ChaosScenario> default_chaos_scenarios(std::uint64_t horizon_us) {
+  const std::uint64_t h = std::max<std::uint64_t>(horizon_us, 10);
+  std::vector<ChaosScenario> scenarios;
+  scenarios.push_back({"none", faults::ChaosPlan{}, std::nullopt});
+  {
+    ChaosScenario s;
+    s.name = "stall_w1";
+    s.plan.stall(1, 3 * h / 10, 6 * h / 10);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    ChaosScenario s;
+    s.name = "slow_w1";
+    s.plan.slow(1, 2 * h / 10, 8 * h / 10, 4.0);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    ChaosScenario s;
+    s.name = "lossy_w1";
+    s.plan.lossy(1, 2 * h / 10, 8 * h / 10, 0.3);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    ChaosScenario s;
+    s.name = "crash_w1";
+    s.plan.crash(1, 35 * h / 100);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    ChaosScenario s;
+    s.name = "crash_grow";
+    s.plan.crash(1, 35 * h / 100);
+    s.grow_at_us = 6 * h / 10;
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+std::string ChaosSweepResult::summary() const {
+  std::string out = "chaos sweep\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "  %-11s %5s %5s %5s %5s %6s %5s %5s %4s %4s %3s %9s "
+                "%6s %8s\n",
+                "scenario", "wrk", "arr", "ans", "rej", "dlmiss", "lost",
+                "drop", "mig", "fo", "ok", "detect ms", "avail", "EERpri");
+  out += line;
+  for (const ChaosSweepPoint& p : points) {
+    char wrk[16];
+    std::snprintf(wrk, sizeof(wrk), "%zu>%zu", p.workers_start,
+                  p.workers_end);
+    std::snprintf(line, sizeof(line),
+                  "  %-11s %5s %5zu %5zu %5zu %6zu %5zu %5zu %4zu %4zu "
+                  "%3s %9.1f %6.3f %8.3f\n",
+                  p.scenario.c_str(), wrk, p.arrivals, p.answered,
+                  p.rejected + p.quota_rejected + p.closed_rejected,
+                  p.deadline_missed, p.results_lost, p.migration_dropped,
+                  p.sessions_migrated, p.failovers,
+                  p.accounted ? "yes" : "NO",
+                  static_cast<double>(p.detect_us) / 1000.0, p.availability,
+                  p.eer_primary);
+    out += line;
+  }
+  return out;
+}
+
+ChaosSweepResult run_chaos_sweep(const ChaosSweepConfig& config,
+                                 std::uint64_t seed) {
+  VIBGUARD_REQUIRE(config.workers >= 2,
+                   "chaos sweep needs at least two workers to fail over");
+  VIBGUARD_REQUIRE(config.offered_rps > 0.0, "offered load must be positive");
+  VIBGUARD_REQUIRE(config.sessions > 0, "need at least one session");
+  VIBGUARD_REQUIRE(config.tenants > 0, "need at least one tenant");
+
+  SweepPopulation pop;
+  render_sweep_population(config.base, seed, pop);
+  const std::size_t num_requests = pop.order.size();
+  constexpr std::uint64_t kSessionIdBase = 0xA000;
+
+  const std::vector<std::uint64_t> arrival_us = poisson_arrivals(
+      pop.arrival_rng, 0, config.offered_rps, num_requests);
+  const std::uint64_t horizon_us = arrival_us.back();
+
+  std::vector<ChaosScenario> default_scenarios;
+  if (config.scenarios.empty()) {
+    default_scenarios = default_chaos_scenarios(horizon_us);
+  }
+  const std::vector<ChaosScenario>& scenarios =
+      config.scenarios.empty() ? default_scenarios : config.scenarios;
+
+  ChaosSweepResult result;
+
+  for (const ChaosScenario& scenario : scenarios) {
+    VirtualClock clock;
+    serving::ServerConfig server_cfg;
+    server_cfg.defense = pop.primary_cfg;
+    server_cfg.degraded_mode = config.base.degraded_mode;
+    server_cfg.workers = config.workers;
+    server_cfg.ring_replicas = config.ring_replicas;
+    server_cfg.shard.queue_capacity = config.base.queue_capacity;
+    server_cfg.shard.batch_max = config.batch_max;
+    server_cfg.shard.batch_window_us = config.batch_window_us;
+    server_cfg.shard.breaker = config.base.breaker;
+    server_cfg.deadline_us = config.base.deadline_us;
+    serving::Server server(server_cfg, clock);
+    serving::Supervisor supervisor(server, config.supervisor, clock);
+    const faults::ChaosController chaos(scenario.plan, config.chaos_seed);
+
+    std::vector<serving::SessionHandle> handles(config.sessions);
+    for (std::size_t s = 0; s < config.sessions; ++s) {
+      handles[s] = server.open_session(
+          kSessionIdBase + s,
+          static_cast<std::uint32_t>(s) % config.tenants);
+    }
+
+    ChaosSweepPoint point;
+    point.scenario = scenario.name.empty() ? scenario.plan.describe()
+                                           : scenario.name;
+    point.workers_start = config.workers;
+    point.arrivals = num_requests;
+    std::vector<double> legit_pri, attack_pri, legit_deg, attack_deg;
+    std::vector<bool> answered_req(num_requests, false);
+
+    std::uint64_t last_failover_us = 0;
+    bool any_failover = false;
+    std::size_t events_seen = 0;
+
+    // Results from migrations (supervisor poll or growth) fold into the
+    // same buckets as batch results; rehome_items only emits expired or
+    // requeue-rejected items.
+    std::vector<serving::ServedResult> control_out;
+    const auto account_migration_results = [&] {
+      for (const serving::ServedResult& r : control_out) {
+        if (r.outcome.status == core::ScoreStatus::kDeadlineExceeded) {
+          ++point.deadline_missed;
+        } else {
+          ++point.migration_dropped;
+        }
+      }
+      control_out.clear();
+    };
+    const auto apply_new_supervisor_events = [&] {
+      const auto& events = supervisor.events();
+      for (; events_seen < events.size(); ++events_seen) {
+        const serving::SupervisorEvent& event = events[events_seen];
+        if (!event.failover) continue;
+        any_failover = true;
+        last_failover_us = std::max(last_failover_us, event.at_us);
+        point.items_migrated += event.items_requeued;
+        const std::uint64_t crash_at = chaos.crash_at_us(event.worker);
+        if (point.detect_us == 0 && crash_at != UINT64_MAX &&
+            event.at_us >= crash_at) {
+          point.detect_us = event.at_us - crash_at;
+        }
+        for (const auto& moved : event.migrations) {
+          const std::size_t s = moved.session_id - kSessionIdBase;
+          if (s < handles.size() && handles[s] == moved.old_handle) {
+            handles[s] = moved.new_handle;
+          }
+        }
+      }
+    };
+
+    std::vector<std::uint64_t> free_us(config.workers, 0);
+    std::uint64_t poll_t = config.supervisor_poll_us;
+    // UINT64_MAX = no growth pending (plain sentinel; an optional here
+    // draws a -Wmaybe-uninitialized false positive from GCC).
+    std::uint64_t grow_t = scenario.grow_at_us.value_or(UINT64_MAX);
+    const std::uint64_t bound_us = horizon_us + kDrainBoundUs;
+
+    const auto total_depth = [&] {
+      std::size_t depth = 0;
+      for (std::size_t w = 0; w < server.workers(); ++w) {
+        depth += server.shard(w).depth();
+      }
+      return depth;
+    };
+
+    std::vector<serving::ServedResult> results;
+    std::vector<std::uint64_t> eff;
+
+    std::size_t next_arrival = 0;
+    while (next_arrival < num_requests || total_depth() > 0) {
+      // Candidate events, earliest wins; control plane (growth, then the
+      // supervisor) beats the data plane at equal times so failover and
+      // re-placement happen before work lands on a retiring shard.
+      const bool have_arrival = next_arrival < num_requests;
+
+      bool have_service = false;
+      std::size_t sw = 0;
+      std::uint64_t s_start = 0;
+      for (const std::size_t w : server.active_worker_ids()) {
+        const auto ready = server.shard(w).batch_ready_us();
+        if (!ready.has_value()) continue;
+        std::uint64_t start = std::max({free_us[w], *ready, clock.now_us()});
+        start = next_alive_at(chaos, w, start);
+        if (start == UINT64_MAX) continue;  // crashed: waits for failover
+        if (!have_service || start < s_start) {
+          have_service = true;
+          sw = w;
+          s_start = start;
+        }
+      }
+
+      std::uint64_t next_event = grow_t;
+      if (have_arrival) next_event = std::min(next_event, arrival_us[next_arrival]);
+      if (have_service) next_event = std::min(next_event, s_start);
+      next_event = std::min(next_event, poll_t);
+
+      if (next_event > bound_us) break;  // wedged fleet: bail to stranded
+
+      if (grow_t == next_event) {
+        clock.set(grow_t);
+        serving::ResizeReport report;
+        const std::size_t w = server.add_worker(control_out, &report);
+        supervisor.watch(w);
+        free_us.push_back(0);
+        account_migration_results();
+        point.items_migrated += report.items_requeued;
+        point.sessions_migrated += report.sessions.size();
+        for (const auto& moved : report.sessions) {
+          const std::size_t s = moved.session_id - kSessionIdBase;
+          if (s < handles.size() && handles[s] == moved.old_handle) {
+            handles[s] = moved.new_handle;
+          }
+        }
+        grow_t = UINT64_MAX;
+        continue;
+      }
+
+      if (poll_t == next_event) {
+        clock.set(poll_t);
+        // Live workers stamp their heartbeat at the poll tick — the
+        // discrete-time stand-in for the pump's per-iteration beat.
+        for (const std::size_t w : server.active_worker_ids()) {
+          if (chaos.alive(w, poll_t)) server.shard(w).beat();
+        }
+        supervisor.poll(control_out);
+        account_migration_results();
+        apply_new_supervisor_events();
+        poll_t += config.supervisor_poll_us;
+        continue;
+      }
+
+      if (have_service && s_start == next_event) {
+        clock.set(s_start);
+        const auto planned = server.form_batch(sw);
+        VIBGUARD_REQUIRE(planned.has_value(), "ready batch failed to form");
+
+        const double slow = chaos.slowdown(sw, s_start);
+        const std::uint64_t service_us = static_cast<std::uint64_t>(
+            static_cast<double>(planned->degraded
+                                    ? config.base.service_us_degraded
+                                    : config.base.service_us_primary) *
+            slow);
+        std::uint64_t t_us = s_start + config.batch_setup_us;
+        eff.clear();
+        for (const serving::WorkItem& item : planned->items) {
+          if (item.expired_in_queue) {
+            ++point.deadline_missed;
+            eff.push_back(item.deadline_at_us);
+            continue;
+          }
+          if (item.deadline_at_us <= t_us) {
+            eff.push_back(s_start);
+            continue;
+          }
+          const std::uint64_t fin = t_us + service_us;
+          if (fin > item.deadline_at_us) {
+            eff.push_back(s_start);
+            t_us = item.deadline_at_us;
+          } else {
+            eff.push_back(item.deadline_at_us);
+            t_us = fin;
+          }
+        }
+        results.clear();
+        server.complete_batch(sw, results, eff);
+        free_us[sw] = t_us;
+
+        for (const serving::ServedResult& r : results) {
+          if (r.expired_in_queue) continue;  // counted at formation
+          if (r.outcome.status == core::ScoreStatus::kDeadlineExceeded) {
+            ++point.deadline_missed;
+            continue;
+          }
+          if (chaos.result_lost(sw, r.request_id, s_start)) {
+            ++point.results_lost;
+            continue;
+          }
+          ++point.answered;
+          answered_req[r.request_id] = true;
+          if (r.migrated) ++point.served_migrated;
+          const std::size_t t = pop.order[r.request_id];
+          switch (r.outcome.status) {
+            case core::ScoreStatus::kOk:
+              if (r.degraded) {
+                ++point.scored_degraded;
+                (pop.trials[t].is_attack ? attack_deg : legit_deg)
+                    .push_back(r.outcome.score);
+              } else {
+                ++point.scored_primary;
+                (pop.trials[t].is_attack ? attack_pri : legit_pri)
+                    .push_back(r.outcome.score);
+              }
+              break;
+            case core::ScoreStatus::kIndeterminate:
+              ++point.indeterminate;
+              break;
+            case core::ScoreStatus::kError:
+              ++point.errors;
+              break;
+            case core::ScoreStatus::kDeadlineExceeded:
+              break;  // handled above
+          }
+        }
+        continue;
+      }
+
+      // Arrival.
+      clock.set(arrival_us[next_arrival]);
+      const std::size_t i = next_arrival;
+      const std::size_t t = pop.order[i];
+      const std::size_t s = i % config.sessions;
+      serving::ServerRequest req;
+      req.va = &pop.trials[t].va;
+      req.wearable = &pop.trials[t].wearable;
+      req.segmenter = &pop.oracles[t];
+      req.rng = pop.score_rng.fork(t);
+      req.request_id = i;
+      switch (server.submit(kSessionIdBase + s, handles[s], req)) {
+        case serving::SubmitStatus::kQueued:
+          ++point.admitted;
+          break;
+        case serving::SubmitStatus::kRejectedQueueFull:
+          ++point.rejected;
+          break;
+        case serving::SubmitStatus::kRejectedTenantQuota:
+          ++point.quota_rejected;
+          break;
+        case serving::SubmitStatus::kRejectedClosed:
+          ++point.closed_rejected;
+          break;
+        case serving::SubmitStatus::kStaleSession:
+          VIBGUARD_REQUIRE(false,
+                           "chaos sweep lost a session handle across "
+                           "migration");
+      }
+      ++next_arrival;
+    }
+
+    // Whatever is still queued when the bound tripped (a fleet with no
+    // live workers left) is accounted explicitly, never dropped on the
+    // floor.
+    for (std::size_t w = 0; w < server.workers(); ++w) {
+      point.stranded += server.shard(w).depth();
+    }
+
+    point.workers_end = server.active_worker_ids().size();
+    const serving::SupervisorStats& sup = supervisor.stats();
+    point.failovers = sup.failovers;
+    point.sessions_migrated += sup.sessions_migrated;
+    for (std::size_t w = 0; w < server.workers(); ++w) {
+      if (server.shard(w).breaker() != nullptr) {
+        point.breaker_trips += server.shard(w).breaker()->trips();
+      }
+    }
+    point.availability = num_requests > 0
+                             ? static_cast<double>(point.answered) /
+                                   static_cast<double>(num_requests)
+                             : 0.0;
+    if (any_failover) {
+      std::size_t after = 0, answered_after = 0;
+      for (std::size_t i = 0; i < num_requests; ++i) {
+        if (arrival_us[i] <= last_failover_us) continue;
+        ++after;
+        if (answered_req[i]) ++answered_after;
+      }
+      point.post_failover_availability =
+          after > 0 ? static_cast<double>(answered_after) /
+                          static_cast<double>(after)
+                    : std::numeric_limits<double>::quiet_NaN();
+    } else {
+      point.post_failover_availability =
+          std::numeric_limits<double>::quiet_NaN();
+    }
+    point.eer_primary = eer_or_nan(attack_pri, legit_pri);
+    point.eer_degraded = eer_or_nan(attack_deg, legit_deg);
+
+    point.accounted =
+        point.arrivals ==
+        point.rejected + point.quota_rejected + point.closed_rejected +
+            point.answered + point.deadline_missed +
+            point.migration_dropped + point.results_lost + point.stranded;
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace vibguard::eval

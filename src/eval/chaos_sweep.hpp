@@ -1,0 +1,133 @@
+// Chaos sweep: fleet behavior under injected worker faults.
+//
+// Replays the shared sweep population (eval/sweep_population.hpp) through
+// the sharded serving::Server on a VirtualClock — the fleet sweep's
+// discrete-event machinery — while a seeded faults::ChaosController
+// injects worker failures (stall / crash / slow / lossy) and a
+// serving::Supervisor watches heartbeats and fails dead workers over.
+// Each scenario row reports the full request accounting (every arrival
+// ends in exactly one bucket: rejected, answered, expired, dropped in
+// migration, or reply lost — `accounted` pins that the buckets sum to
+// the arrivals), availability, failover detection latency, migration
+// volume, and the detection quality (EER) of what the fleet actually
+// answered while the chaos ran.
+//
+// Everything is deterministic in (seed, chaos_seed): the population, the
+// arrivals, the fault windows, the supervisor's poll-by-poll decisions
+// and the resulting migrations replay bit-identically — a chaos run is a
+// regression test, not a dice roll. With an empty plan the scores are
+// bit-identical to a fault-free fleet at the same seed (the fleet
+// determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/load_sweep.hpp"
+#include "faults/serving_faults.hpp"
+#include "serving/supervisor.hpp"
+
+namespace vibguard::eval {
+
+/// One chaos scenario: a named fault plan, optionally with a mid-run
+/// fleet growth event.
+struct ChaosScenario {
+  std::string name;
+  faults::ChaosPlan plan;
+  /// When set, one worker is added at this virtual time (growth
+  /// migration: only sessions whose owner changed move).
+  std::optional<std::uint64_t> grow_at_us;
+};
+
+struct ChaosSweepConfig {
+  /// Population, service model, deadline and breaker (per shard);
+  /// base.offered_rps is ignored — the chaos sweep runs one load.
+  LoadSweepConfig base;
+  double offered_rps = 30.0;
+
+  std::size_t workers = 4;
+  std::size_t sessions = 16;
+  std::uint32_t tenants = 4;
+  std::size_t batch_max = 4;
+  std::uint64_t batch_window_us = 20'000;
+  std::uint64_t batch_setup_us = 10'000;
+  std::size_t ring_replicas = 64;
+
+  serving::SupervisorConfig supervisor;
+  /// Supervisor poll cadence on the virtual clock. Live workers stamp
+  /// their heartbeat at each poll tick (modeling the pump's idle beat),
+  /// so detection latency resolves at this granularity.
+  std::uint64_t supervisor_poll_us = 20'000;
+
+  std::uint64_t chaos_seed = 0xC4A05ULL;
+
+  /// Scenarios to run; empty selects default_chaos_scenarios().
+  std::vector<ChaosScenario> scenarios;
+};
+
+/// The canonical scenario set: a fault-free baseline plus one scenario
+/// per worker fault kind on worker 1, and a crash followed by fleet
+/// growth. `horizon_us` scales the fault windows (use the expected end
+/// of the arrival stream).
+std::vector<ChaosScenario> default_chaos_scenarios(std::uint64_t horizon_us);
+
+/// One scenario's outcome. The accounting identity (checked in
+/// `accounted`):
+///   arrivals == rejected + quota_rejected + closed_rejected + answered
+///             + deadline_missed + migration_dropped + results_lost
+///             + stranded
+struct ChaosSweepPoint {
+  std::string scenario;
+  std::size_t workers_start = 0;
+  std::size_t workers_end = 0;  ///< active workers when the run finished
+
+  std::size_t arrivals = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;         ///< full shard queue at submit
+  std::size_t quota_rejected = 0;   ///< tenant over quota at submit
+  std::size_t closed_rejected = 0;  ///< submitted to a retiring shard
+  std::size_t answered = 0;         ///< a verdict reached the caller
+  std::size_t scored_primary = 0;
+  std::size_t scored_degraded = 0;
+  std::size_t indeterminate = 0;
+  std::size_t errors = 0;
+  std::size_t deadline_missed = 0;    ///< queue, flight or migration expiry
+  std::size_t migration_dropped = 0;  ///< new owner's queue refused it
+  std::size_t results_lost = 0;       ///< lossy fault ate the reply
+  std::size_t stranded = 0;           ///< unserved at the simulation bound
+  bool accounted = false;             ///< the identity above held exactly
+
+  std::size_t failovers = 0;
+  std::size_t sessions_migrated = 0;
+  std::size_t items_migrated = 0;   ///< queued items re-homed live
+  std::size_t served_migrated = 0;  ///< answered after riding a migration
+  /// Crash → failover completion, for the first failover of a crashed
+  /// worker (0 when no crash was failed over): the time the fleet ran
+  /// headless before the supervisor recovered it.
+  std::uint64_t detect_us = 0;
+
+  double availability = 0.0;  ///< answered / arrivals
+  /// Answered fraction among arrivals after the last failover (NaN when
+  /// no failover or no arrivals after it) — the recovered-fleet accept
+  /// rate the acceptance test compares to baseline.
+  double post_failover_availability = 0.0;
+  std::size_t breaker_trips = 0;
+  double eer_primary = 0.0;
+  double eer_degraded = 0.0;
+};
+
+struct ChaosSweepResult {
+  std::vector<ChaosSweepPoint> points;
+
+  /// Multi-line table: one row per scenario.
+  std::string summary() const;
+};
+
+/// Runs every scenario. Deterministic in (config, seed); all time is
+/// virtual, nothing sleeps.
+ChaosSweepResult run_chaos_sweep(const ChaosSweepConfig& config,
+                                 std::uint64_t seed);
+
+}  // namespace vibguard::eval

@@ -65,7 +65,9 @@ std::string FaultPlan::describe() const {
 
 FaultPlan severity_plan(FaultKind kind, double severity) {
   FaultPlan plan;
-  if (severity <= 0.0) return plan;
+  // !(x > 0) rather than (x <= 0): NaN must land in the empty-plan branch
+  // too, not leak into the injector parameters below.
+  if (!(severity > 0.0)) return plan;
   const double s = std::min(severity, 1.0);
   switch (kind) {
     case FaultKind::kDropout:

@@ -74,8 +74,8 @@ class FaultPlan {
 
 /// Canonical severity parameterization used by the fault-sweep experiment:
 /// maps `severity` in [0, 1] to one `kind` injector with increasingly harsh
-/// parameters. Severity <= 0 returns an empty plan (the uninjected
-/// baseline); severity is clamped to 1 above.
+/// parameters. Severity <= 0 — and NaN — returns an empty plan (the
+/// uninjected baseline); severity is clamped to 1 above.
 FaultPlan severity_plan(FaultKind kind, double severity);
 
 }  // namespace vibguard::faults

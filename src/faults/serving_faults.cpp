@@ -1,0 +1,231 @@
+#include "faults/serving_faults.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace vibguard::faults {
+namespace {
+
+// splitmix64 finalizer, local copy: this layer sits below serving/ (which
+// exposes the same mix as serving::mix64) and must not link against it.
+std::uint64_t chaos_mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string format_ms(std::uint64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fms",
+                static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+const char* worker_fault_name(WorkerFaultKind kind) {
+  switch (kind) {
+    case WorkerFaultKind::kStall:
+      return "stall";
+    case WorkerFaultKind::kCrash:
+      return "crash";
+    case WorkerFaultKind::kSlow:
+      return "slow";
+    case WorkerFaultKind::kLossy:
+      return "lossy";
+  }
+  VIBGUARD_UNREACHABLE();
+}
+
+WorkerFaultKind worker_fault_by_name(const std::string& name) {
+  for (WorkerFaultKind kind : all_worker_fault_kinds()) {
+    if (name == worker_fault_name(kind)) return kind;
+  }
+  throw InvalidArgument("unknown worker fault kind: " + name);
+}
+
+std::vector<WorkerFaultKind> all_worker_fault_kinds() {
+  return {WorkerFaultKind::kStall, WorkerFaultKind::kCrash,
+          WorkerFaultKind::kSlow, WorkerFaultKind::kLossy};
+}
+
+ChaosPlan& ChaosPlan::stall(std::size_t worker, std::uint64_t from_us,
+                            std::uint64_t until_us) {
+  VIBGUARD_REQUIRE(from_us < until_us, "stall window must be non-empty");
+  WorkerFault fault;
+  fault.kind = WorkerFaultKind::kStall;
+  fault.worker = worker;
+  fault.from_us = from_us;
+  fault.until_us = until_us;
+  return add(fault);
+}
+
+ChaosPlan& ChaosPlan::crash(std::size_t worker, std::uint64_t at_us) {
+  WorkerFault fault;
+  fault.kind = WorkerFaultKind::kCrash;
+  fault.worker = worker;
+  fault.from_us = at_us;
+  return add(fault);
+}
+
+ChaosPlan& ChaosPlan::slow(std::size_t worker, std::uint64_t from_us,
+                           std::uint64_t until_us, double factor) {
+  VIBGUARD_REQUIRE(from_us < until_us, "slow window must be non-empty");
+  VIBGUARD_REQUIRE(factor >= 1.0, "slowdown factor must be >= 1");
+  WorkerFault fault;
+  fault.kind = WorkerFaultKind::kSlow;
+  fault.worker = worker;
+  fault.from_us = from_us;
+  fault.until_us = until_us;
+  fault.factor = factor;
+  return add(fault);
+}
+
+ChaosPlan& ChaosPlan::lossy(std::size_t worker, std::uint64_t from_us,
+                            std::uint64_t until_us, double loss) {
+  VIBGUARD_REQUIRE(from_us < until_us, "lossy window must be non-empty");
+  VIBGUARD_REQUIRE(loss >= 0.0 && loss <= 1.0, "loss must be in [0, 1]");
+  WorkerFault fault;
+  fault.kind = WorkerFaultKind::kLossy;
+  fault.worker = worker;
+  fault.from_us = from_us;
+  fault.until_us = until_us;
+  fault.loss = loss;
+  return add(fault);
+}
+
+ChaosPlan& ChaosPlan::add(const WorkerFault& fault) {
+  faults_.push_back(fault);
+  return *this;
+}
+
+std::string ChaosPlan::describe() const {
+  if (faults_.empty()) return "none";
+  std::string out;
+  for (const WorkerFault& fault : faults_) {
+    if (!out.empty()) out += '+';
+    out += worker_fault_name(fault.kind);
+    out += "(w";
+    out += std::to_string(fault.worker);
+    switch (fault.kind) {
+      case WorkerFaultKind::kCrash:
+        out += "@" + format_ms(fault.from_us);
+        break;
+      case WorkerFaultKind::kStall:
+        out += "," + format_ms(fault.from_us) + "-" +
+               format_ms(fault.until_us);
+        break;
+      case WorkerFaultKind::kSlow: {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), ",x%.1f", fault.factor);
+        out += buf;
+        break;
+      }
+      case WorkerFaultKind::kLossy: {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), ",p%.2f", fault.loss);
+        out += buf;
+        break;
+      }
+    }
+    out += ')';
+  }
+  return out;
+}
+
+ChaosPlan worker_severity_plan(WorkerFaultKind kind, double severity,
+                               std::size_t worker, std::uint64_t from_us,
+                               std::uint64_t horizon_us) {
+  VIBGUARD_REQUIRE(from_us < horizon_us, "fault window must be non-empty");
+  ChaosPlan plan;
+  // Same NaN-safe gate as the signal-domain severity_plan.
+  if (!(severity > 0.0)) return plan;
+  const double s = std::min(severity, 1.0);
+  const std::uint64_t span = horizon_us - from_us;
+  switch (kind) {
+    case WorkerFaultKind::kStall:
+      // Stall for up to 80% of the remaining horizon.
+      plan.stall(worker, from_us,
+                 from_us + std::max<std::uint64_t>(
+                               1, static_cast<std::uint64_t>(
+                                      0.8 * s * static_cast<double>(span))));
+      break;
+    case WorkerFaultKind::kCrash:
+      // More severe = dies earlier (s=1 crashes right at from_us).
+      plan.crash(worker,
+                 from_us + static_cast<std::uint64_t>(
+                               (1.0 - s) * static_cast<double>(span)));
+      break;
+    case WorkerFaultKind::kSlow:
+      plan.slow(worker, from_us, horizon_us, 1.0 + 7.0 * s);
+      break;
+    case WorkerFaultKind::kLossy:
+      plan.lossy(worker, from_us, horizon_us, 0.5 * s);
+      break;
+  }
+  return plan;
+}
+
+ChaosController::ChaosController(ChaosPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed) {}
+
+bool ChaosController::stalled(std::size_t w, std::uint64_t now_us) const {
+  if (crashed(w, now_us)) return false;
+  for (const WorkerFault& fault : plan_.faults()) {
+    if (fault.kind == WorkerFaultKind::kStall && fault.worker == w &&
+        now_us >= fault.from_us && now_us < fault.until_us) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t ChaosController::crash_at_us(std::size_t w) const {
+  std::uint64_t at = UINT64_MAX;
+  for (const WorkerFault& fault : plan_.faults()) {
+    if (fault.kind == WorkerFaultKind::kCrash && fault.worker == w) {
+      at = std::min(at, fault.from_us);
+    }
+  }
+  return at;
+}
+
+bool ChaosController::crashed(std::size_t w, std::uint64_t now_us) const {
+  return now_us >= crash_at_us(w);
+}
+
+double ChaosController::slowdown(std::size_t w, std::uint64_t now_us) const {
+  double factor = 1.0;
+  for (const WorkerFault& fault : plan_.faults()) {
+    if (fault.kind == WorkerFaultKind::kSlow && fault.worker == w &&
+        now_us >= fault.from_us && now_us < fault.until_us) {
+      factor *= fault.factor;
+    }
+  }
+  return factor;
+}
+
+bool ChaosController::result_lost(std::size_t w, std::uint64_t request_id,
+                                  std::uint64_t now_us) const {
+  for (const WorkerFault& fault : plan_.faults()) {
+    if (fault.kind != WorkerFaultKind::kLossy || fault.worker != w ||
+        now_us < fault.from_us || now_us >= fault.until_us) {
+      continue;
+    }
+    // The draw hashes (seed, worker, request) — never the time or any
+    // call counter — so every replay and every completion order agrees
+    // on which replies the network ate.
+    const std::uint64_t h = chaos_mix64(
+        seed_ ^ chaos_mix64((static_cast<std::uint64_t>(w) << 48) ^
+                            request_id));
+    const double draw =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (draw < fault.loss) return true;
+  }
+  return false;
+}
+
+}  // namespace vibguard::faults

@@ -1,0 +1,147 @@
+// Serving-domain fault injection: worker-level failure modes.
+//
+// The signal-domain injectors (fault.hpp) corrupt what a request *carries*;
+// this layer corrupts what the fleet *does* with it. Four worker failure
+// modes cover the standard chaos menagerie:
+//
+//   stall  — the worker stops making progress for a window, then resumes
+//            (a GC pause, a cold cache, a noisy neighbor). Heartbeats
+//            freeze for the window; queued work waits.
+//   crash  — the worker dies at a point in time and never comes back. The
+//            supervisor must notice (heartbeat age) and fail it over.
+//   slow   — every batch the worker serves takes `factor`× its nominal
+//            service time for the window (thermal throttling, contention).
+//   lossy  — the worker drops each completed result with probability
+//            `loss`, as if the reply path ate it (the request was still
+//            *served* — loss is observed downstream).
+//
+// Faults compose into a ChaosPlan — the serving-side analogue of a
+// FaultPlan — and a seeded ChaosController answers the questions a fleet
+// driver asks ("is worker w stalled at t?", "did this result get lost?")
+// deterministically: the same plan and seed reproduce the exact same
+// event sequence, which is what makes a chaos sweep a regression test
+// rather than a dice roll. Loss draws hash (seed, worker, request id), so
+// the verdict is a pure function of the request — independent of the
+// order results complete in, which threads race, or how batches formed.
+//
+// This layer is pure data + arithmetic: it depends on nothing above
+// vibguard_common, and in particular not on serving/ — the fleet driver
+// (eval/chaos_sweep) is the one that binds controller verdicts to shard
+// actions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vibguard::faults {
+
+/// The modeled worker failure modes.
+enum class WorkerFaultKind {
+  kStall,  ///< no progress (frozen heartbeat) for a window
+  kCrash,  ///< dies at a point in time, permanently
+  kSlow,   ///< service time multiplied for a window
+  kLossy,  ///< completed results dropped with a probability
+};
+
+/// Stable lower_snake name (CLI and report currency).
+const char* worker_fault_name(WorkerFaultKind kind);
+
+/// Parses a worker_fault_name string; throws InvalidArgument for unknown
+/// names.
+WorkerFaultKind worker_fault_by_name(const std::string& name);
+
+/// All worker fault kinds in declaration order.
+std::vector<WorkerFaultKind> all_worker_fault_kinds();
+
+/// One scheduled fault on one worker. Windows are absolute times on the
+/// fleet clock; `until_us` is exclusive and ignored for kCrash (a crash
+/// has no end).
+struct WorkerFault {
+  WorkerFaultKind kind = WorkerFaultKind::kStall;
+  std::size_t worker = 0;
+  std::uint64_t from_us = 0;
+  std::uint64_t until_us = 0;  ///< exclusive; unused for kCrash
+  double factor = 1.0;         ///< kSlow: service-time multiplier (>= 1)
+  double loss = 0.0;           ///< kLossy: per-result drop probability [0,1]
+};
+
+/// An ordered collection of worker faults — the serving-side FaultPlan.
+/// Copyable plain data; build with the chainable adders.
+class ChaosPlan {
+ public:
+  ChaosPlan() = default;
+
+  ChaosPlan& stall(std::size_t worker, std::uint64_t from_us,
+                   std::uint64_t until_us);
+  ChaosPlan& crash(std::size_t worker, std::uint64_t at_us);
+  ChaosPlan& slow(std::size_t worker, std::uint64_t from_us,
+                  std::uint64_t until_us, double factor);
+  ChaosPlan& lossy(std::size_t worker, std::uint64_t from_us,
+                   std::uint64_t until_us, double loss);
+  ChaosPlan& add(const WorkerFault& fault);
+
+  bool empty() const { return faults_.empty(); }
+  std::size_t size() const { return faults_.size(); }
+  const std::vector<WorkerFault>& faults() const { return faults_; }
+
+  /// "crash(w1@40ms)+slow(w2,x3)" style summary ("none" when empty).
+  std::string describe() const;
+
+ private:
+  std::vector<WorkerFault> faults_;
+};
+
+/// Canonical severity parameterization for the chaos sweep: maps
+/// `severity` in [0, 1] to one `kind` fault on `worker` inside
+/// [from_us, horizon_us) with increasingly harsh parameters (longer
+/// stall/slow windows, higher slowdown and loss; a crash fires earlier
+/// the more severe). Severity <= 0 — and NaN — returns an empty plan;
+/// severity is clamped to 1 above.
+ChaosPlan worker_severity_plan(WorkerFaultKind kind, double severity,
+                               std::size_t worker, std::uint64_t from_us,
+                               std::uint64_t horizon_us);
+
+/// Seeded, deterministic oracle over a ChaosPlan. All queries are pure
+/// functions of (plan, seed, arguments) — no internal mutable state — so
+/// any driver (threaded or simulated) observing the same times and
+/// request ids sees the same faults.
+class ChaosController {
+ public:
+  ChaosController(ChaosPlan plan, std::uint64_t seed);
+
+  const ChaosPlan& plan() const { return plan_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Worker `w` is inside a stall window at `now_us` (crashed workers are
+  /// not "stalled" — they are dead).
+  bool stalled(std::size_t w, std::uint64_t now_us) const;
+
+  /// Worker `w` has crashed at or before `now_us`.
+  bool crashed(std::size_t w, std::uint64_t now_us) const;
+
+  /// The crash time for worker `w`, or UINT64_MAX when it never crashes.
+  std::uint64_t crash_at_us(std::size_t w) const;
+
+  /// Worker `w` makes progress (heartbeats, serves batches) at `now_us`.
+  bool alive(std::size_t w, std::uint64_t now_us) const {
+    return !crashed(w, now_us) && !stalled(w, now_us);
+  }
+
+  /// Service-time multiplier for a batch worker `w` starts at `now_us`
+  /// (1.0 outside slow windows; overlapping windows multiply).
+  double slowdown(std::size_t w, std::uint64_t now_us) const;
+
+  /// True when the reply for (worker, request_id) is eaten by an active
+  /// lossy fault covering `now_us`. Deterministic per (seed, w, request):
+  /// independent of completion order.
+  bool result_lost(std::size_t w, std::uint64_t request_id,
+                   std::uint64_t now_us) const;
+
+ private:
+  ChaosPlan plan_;
+  std::uint64_t seed_;
+};
+
+}  // namespace vibguard::faults

@@ -1,6 +1,7 @@
 #include "serving/server.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -23,8 +24,21 @@ Server::Server(ServerConfig config, const Clock& clock)
   }
 }
 
+Server::~Server() { stop_pumps(); }
+
 std::size_t Server::shard_of(std::uint64_t session_id) const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
   return ring_.worker_for(mix64(session_id));
+}
+
+bool Server::worker_active(std::size_t w) const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  return ring_.contains(w);
+}
+
+std::vector<std::size_t> Server::active_worker_ids() const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  return ring_.active_workers();
 }
 
 SessionHandle Server::open_session(std::uint64_t session_id,
@@ -166,17 +180,23 @@ void Server::complete_batch(std::size_t w, std::vector<ServedResult>& out,
   }
   const core::DefenseSystem& route =
       lane.formed.degraded ? *degraded_system_ : system_;
-  for (std::size_t s = 0; s < scored_item.size(); ++s) {
-    const WorkItem& item = lane.batch[scored_item[s]];
-    const ServerRequest& payload = lane.payloads[item.payload];
-    core::ScoreRequest req;
-    req.va = payload.va;
-    req.wearable = payload.wearable;
-    req.segmenter = payload.segmenter;
-    req.rng = payload.rng;
-    req.deadline =
-        lane.deadlines[s].bounded() ? &lane.deadlines[s] : nullptr;
-    lane.reqs.push_back(req);
+  {
+    // Payload slots are shared with concurrent submit() (park_payload can
+    // reallocate the vector), so the borrow happens under the lane lock —
+    // the ScoreRequests copy out everything they need.
+    std::lock_guard<std::mutex> lock(lane.mu);
+    for (std::size_t s = 0; s < scored_item.size(); ++s) {
+      const WorkItem& item = lane.batch[scored_item[s]];
+      const ServerRequest& payload = lane.payloads[item.payload];
+      core::ScoreRequest req;
+      req.va = payload.va;
+      req.wearable = payload.wearable;
+      req.segmenter = payload.segmenter;
+      req.rng = payload.rng;
+      req.deadline =
+          lane.deadlines[s].bounded() ? &lane.deadlines[s] : nullptr;
+      lane.reqs.push_back(req);
+    }
   }
   lane.outs.resize(lane.reqs.size());
   if (!lane.reqs.empty()) {
@@ -196,6 +216,7 @@ void Server::complete_batch(std::size_t w, std::vector<ServedResult>& out,
     result.batch_size = lane.batch.size();
     result.degraded = lane.formed.degraded;
     result.expired_in_queue = item.expired_in_queue;
+    result.migrated = item.migrations > 0;
     result.queue_us = lane.formed.now_us >= item.enqueued_us
                           ? lane.formed.now_us - item.enqueued_us
                           : 0;
@@ -243,10 +264,233 @@ void Server::complete_batch(std::size_t w, std::vector<ServedResult>& out,
 
 void Server::drain(std::vector<ServedResult>& out) {
   for (std::size_t w = 0; w < lanes_.size(); ++w) {
+    if (!worker_active(w) && lanes_[w]->shard.depth() == 0) continue;
     while (form_batch(w, /*force=*/true).has_value()) {
       complete_batch(w, out);
     }
   }
+}
+
+// ── Ring resize ─────────────────────────────────────────────────────────
+
+void Server::migrate_sessions(
+    std::size_t from, std::vector<ResizeReport::MigratedSession>& moved) {
+  Lane& src = *lanes_[from];
+  // Snapshot, then move one session at a time. Each step holds at most one
+  // lane lock (never two — lane locks do not nest), and shard_of takes the
+  // shared ring lock, so the exclusive ring lock must NOT be held here.
+  std::vector<SessionHandle> live;
+  {
+    std::lock_guard<std::mutex> lock(src.mu);
+    live = src.slab.handles();
+  }
+  for (const SessionHandle handle : live) {
+    SessionRecord record;
+    {
+      std::lock_guard<std::mutex> lock(src.mu);
+      const SessionRecord* ptr = src.slab.get(handle);
+      if (ptr == nullptr) continue;  // closed since the snapshot
+      record = *ptr;
+    }
+    const std::size_t to = shard_of(record.session_id);
+    if (to == from) continue;  // still owned here (growth leaves most be)
+    ResizeReport::MigratedSession entry;
+    entry.session_id = record.session_id;
+    entry.old_handle = handle;
+    entry.from = from;
+    entry.to = to;
+    {
+      Lane& dst = *lanes_[to];
+      std::lock_guard<std::mutex> lock(dst.mu);
+      entry.new_handle = dst.slab.insert(record);
+    }
+    {
+      std::lock_guard<std::mutex> lock(src.mu);
+      src.slab.erase(handle);
+    }
+    moved.push_back(entry);
+  }
+}
+
+void Server::rehome_items(
+    std::size_t from, std::vector<WorkItem>& stranded,
+    const std::vector<ResizeReport::MigratedSession>& moved,
+    ResizeReport& report, std::vector<ServedResult>& out) {
+  Lane& src = *lanes_[from];
+  const std::uint64_t now = clock_->now_us();
+  for (WorkItem& item : stranded) {
+    // Pull the payload off the source lane; it re-parks on the new owner
+    // (or dies with the item).
+    ServerRequest payload;
+    {
+      std::lock_guard<std::mutex> lock(src.mu);
+      payload = src.payloads[item.payload];
+      src.free_payloads.push_back(item.payload);
+    }
+
+    const auto emit = [&](const char* reason, core::ScoreStatus status,
+                          bool expired) {
+      ServedResult result;
+      result.request_id = item.request_id;
+      result.session_id = item.session_id;
+      result.worker = from;
+      result.batch_size = 0;
+      result.expired_in_queue = expired;
+      result.migrated = true;
+      result.queue_us = now >= item.enqueued_us ? now - item.enqueued_us : 0;
+      result.outcome.status = status;
+      result.outcome.reason = reason;
+      result.outcome.score = core::kIndeterminateScore;
+      out.push_back(result);
+    };
+
+    if (item.expired_in_queue ||
+        (item.deadline_at_us != kNoDeadline && item.deadline_at_us <= now)) {
+      emit("deadline_expired_in_migration", core::ScoreStatus::kDeadlineExceeded,
+           /*expired=*/true);
+      ++report.items_expired;
+      continue;
+    }
+
+    // Sessions that moved carry their new handle; an unmoved session's
+    // item goes right back where it was (growth restores donor FIFO).
+    const std::size_t to = shard_of(item.session_id);
+    const bool is_move = to != from;
+    for (const auto& entry : moved) {
+      if (entry.session_id == item.session_id) {
+        item.session = entry.new_handle;
+        break;
+      }
+    }
+    if (is_move) ++item.migrations;
+
+    Lane& dst = *lanes_[to];
+    {
+      std::lock_guard<std::mutex> lock(dst.mu);
+      item.payload = park_payload(dst, payload);
+    }
+    if (dst.shard.requeue(item, /*count_migration=*/is_move)) {
+      if (is_move) ++report.items_requeued;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(dst.mu);
+      dst.free_payloads.push_back(item.payload);
+    }
+    emit("migration_requeue_rejected", core::ScoreStatus::kError,
+         /*expired=*/false);
+    ++report.items_dropped;
+  }
+  stranded.clear();
+}
+
+ResizeReport Server::remove_worker(std::size_t w,
+                                   std::vector<ServedResult>& out) {
+  VIBGUARD_REQUIRE(w < lanes_.size(), "no such worker");
+  VIBGUARD_REQUIRE(worker_active(w), "worker already retired");
+  ResizeReport report;
+  report.worker = w;
+  report.removed = true;
+
+  Lane& lane = *lanes_[w];
+  // Close FIRST, then unmap: a submit racing the removal either lands
+  // before the close (and is migrated with the queue below) or gets an
+  // explicit kRejectedClosed — it can never be stranded on a shard the
+  // ring no longer points at.
+  lane.shard.close();
+  {
+    std::unique_lock<std::shared_mutex> lock(ring_mu_);
+    ring_.remove_worker(w);
+  }
+
+  migrate_sessions(w, report.sessions);
+
+  // Re-home everything the dead worker still held: a parked (formed but
+  // never completed) batch first — those items are the oldest — then the
+  // queue, FIFO.
+  std::vector<WorkItem> stranded;
+  if (lane.has_batch) {
+    lane.has_batch = false;
+    stranded.insert(stranded.end(), lane.batch.begin(), lane.batch.end());
+    lane.batch.clear();
+  }
+  lane.shard.take_all(stranded);
+  rehome_items(w, stranded, report.sessions, report, out);
+  return report;
+}
+
+std::size_t Server::add_worker(std::vector<ServedResult>& out,
+                               ResizeReport* report_out) {
+  VIBGUARD_REQUIRE(pumps_.empty(),
+                   "stop pumps before growing the fleet (lane vector grows)");
+  const std::size_t w = lanes_.size();
+  ResizeReport report;
+  report.worker = w;
+  report.removed = false;
+
+  lanes_.push_back(std::make_unique<Lane>(config_.shard, *clock_));
+  std::vector<std::size_t> donors;
+  {
+    std::unique_lock<std::shared_mutex> lock(ring_mu_);
+    donors = ring_.active_workers();
+    ring_.add_worker(w);
+  }
+
+  // Consistent hashing moves only the new worker's arcs: each existing
+  // worker donates exactly the sessions that now hash to `w`. Donor queues
+  // are drained and restored so donated items leave in FIFO order while
+  // unmoved items keep their place (requeue preserves enqueued_us, so the
+  // round trip is accounting-neutral).
+  std::vector<WorkItem> stranded;
+  for (const std::size_t v : donors) {
+    const std::size_t before = report.sessions.size();
+    migrate_sessions(v, report.sessions);
+    if (report.sessions.size() == before && lanes_[v]->shard.depth() == 0) {
+      continue;
+    }
+    stranded.clear();
+    lanes_[v]->shard.take_all(stranded);
+    rehome_items(v, stranded, report.sessions, report, out);
+  }
+  if (report_out != nullptr) *report_out = std::move(report);
+  return w;
+}
+
+// ── Thread-per-worker pumps ─────────────────────────────────────────────
+
+std::size_t Server::run_pump(std::size_t w, const ResultSink& sink,
+                             const std::atomic<bool>& stop,
+                             const PumpConfig& pump) {
+  Lane& lane = *lanes_[w];
+  std::vector<ServedResult> local;
+  return lane.shard.run_pump(
+      [&](bool force) {
+        if (!form_batch(w, force).has_value()) return false;
+        local.clear();
+        complete_batch(w, local);
+        for (const ServedResult& result : local) sink(result);
+        return true;
+      },
+      stop, pump);
+}
+
+void Server::start_pumps(ResultSink sink, const PumpConfig& pump) {
+  VIBGUARD_REQUIRE(pumps_.empty(), "pumps already running");
+  VIBGUARD_REQUIRE(sink != nullptr, "pumps need a result sink");
+  pump_stop_.store(false, std::memory_order_release);
+  auto shared_sink = std::make_shared<ResultSink>(std::move(sink));
+  for (const std::size_t w : active_worker_ids()) {
+    pumps_.emplace_back([this, w, shared_sink, pump] {
+      run_pump(w, *shared_sink, pump_stop_, pump);
+    });
+  }
+}
+
+void Server::stop_pumps() {
+  if (pumps_.empty()) return;
+  pump_stop_.store(true, std::memory_order_release);
+  for (std::thread& t : pumps_) t.join();
+  pumps_.clear();
 }
 
 }  // namespace vibguard::serving

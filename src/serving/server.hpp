@@ -34,12 +34,16 @@
 // submits for the same session.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -82,7 +86,8 @@ struct ServerRequest {
   std::uint64_t request_id = 0;  ///< caller-chosen correlation id
 };
 
-/// One completed (scored, degraded, or expired) request.
+/// One completed (scored, degraded, expired, or migration-dropped)
+/// request.
 struct ServedResult {
   std::uint64_t request_id = 0;
   std::uint64_t session_id = 0;
@@ -90,8 +95,35 @@ struct ServedResult {
   std::size_t batch_size = 0;  ///< size of the micro-batch it rode in
   bool degraded = false;       ///< scored on the degraded route
   bool expired_in_queue = false;  ///< dropped unscored (deadline passed)
+  bool migrated = false;       ///< re-homed by a ring resize before this
   std::uint64_t queue_us = 0;  ///< admission → batch formation
   core::ScoreOutcome outcome;
+};
+
+/// What one ring resize (remove_worker / add_worker) did. Every queued or
+/// in-flight item the resize touched is accounted exactly once: requeued
+/// onto its new owner, emitted as an expired result (deadline already
+/// passed), or emitted as a dropped result (new owner's queue full) —
+/// never silently discarded.
+struct ResizeReport {
+  std::size_t worker = 0;  ///< the worker removed or added
+  bool removed = false;    ///< false: growth
+
+  /// One entry per re-homed session. Handles from before the resize are
+  /// stale afterwards; callers holding them must switch to new_handle
+  /// (submitting a stale one yields kStaleSession, never aliasing).
+  struct MigratedSession {
+    std::uint64_t session_id = 0;
+    SessionHandle old_handle;
+    SessionHandle new_handle;
+    std::size_t from = 0;
+    std::size_t to = 0;
+  };
+  std::vector<MigratedSession> sessions;
+
+  std::size_t items_requeued = 0;  ///< re-homed onto live shards
+  std::size_t items_expired = 0;   ///< emitted expired (deadline passed)
+  std::size_t items_dropped = 0;   ///< emitted dropped (requeue rejected)
 };
 
 /// A batch formed and awaiting completion; items borrow the worker lane's
@@ -109,11 +141,23 @@ class Server {
   /// borrowed and must outlive the server.
   Server(ServerConfig config, const Clock& clock);
 
+  /// Joins any pump threads still running.
+  ~Server();
+
   const ServerConfig& config() const { return config_; }
+
+  /// Worker lane slots ever created (including retired ones — lane
+  /// indices are stable across resizes). Iterate [0, workers()) and check
+  /// worker_active() for the live set.
   std::size_t workers() const { return lanes_.size(); }
 
+  /// True while worker `w` is on the ring (serving placements).
+  bool worker_active(std::size_t w) const;
+  /// Sorted indices of the workers currently on the ring.
+  std::vector<std::size_t> active_worker_ids() const;
+
   /// The worker that owns `session_id` (pure function of the id and the
-  /// ring configuration).
+  /// ring's active set).
   std::size_t shard_of(std::uint64_t session_id) const;
 
   /// Registers a session in its shard's slab and returns the handle every
@@ -165,6 +209,54 @@ class Server {
   /// form + complete per shard until every queue is empty.
   void drain(std::vector<ServedResult>& out);
 
+  // ── Ring resize (control plane) ───────────────────────────────────────
+  //
+  // Resizes are control-plane operations: no drainer (pump or simulator
+  // loop) may be actively forming/completing a batch on the affected lanes
+  // while one runs — stop the worker's pump first (the Supervisor does).
+  // Concurrent submit() stays safe: a submit racing a removal either lands
+  // before the close (and is migrated with the queue) or gets an explicit
+  // kRejectedClosed.
+
+  /// Retires worker `w` (failover): closes its shard, removes its ring
+  /// points, migrates its live sessions to their new owners (state — the
+  /// full SessionRecord — rides along), and re-homes every queued and
+  /// parked-batch item. Items whose deadline already passed are emitted on
+  /// `out` as expired results; items the new owner cannot accept are
+  /// emitted as dropped (kError) results — nothing is silently lost.
+  /// Re-placement is a pure function of the surviving active set, so a
+  /// fixed seed reproduces the exact same migration.
+  ResizeReport remove_worker(std::size_t w, std::vector<ServedResult>& out);
+
+  /// Grows the fleet by one worker (returns its index): adds its ring
+  /// points, then migrates exactly the sessions whose owner changed —
+  /// everyone else's placement is untouched (the consistent-hash
+  /// guarantee) — along with their queued items. `out` receives results
+  /// for any item that could not be re-homed (same accounting as
+  /// remove_worker; in practice empty unless the new shard's queue is
+  /// undersized).
+  std::size_t add_worker(std::vector<ServedResult>& out,
+                         ResizeReport* report = nullptr);
+
+  // ── Thread-per-worker pumps ───────────────────────────────────────────
+
+  /// Invoked under the pump thread with each completed result; must be
+  /// thread-safe across pumps.
+  using ResultSink = std::function<void(const ServedResult&)>;
+
+  /// Runs worker `w`'s pump loop on the calling thread (Shard::run_pump):
+  /// forms and completes micro-batches as their windows elapse, feeding
+  /// `sink`, heartbeating every iteration. Returns batches served.
+  std::size_t run_pump(std::size_t w, const ResultSink& sink,
+                       const std::atomic<bool>& stop,
+                       const PumpConfig& pump = {});
+
+  /// Spawns one pump thread per currently-active worker. stop_pumps()
+  /// (or destruction) signals stop, force-drains, and joins.
+  void start_pumps(ResultSink sink, const PumpConfig& pump = {});
+  void stop_pumps();
+  bool pumps_running() const { return !pumps_.empty(); }
+
   const Shard& shard(std::size_t w) const { return lanes_[w]->shard; }
   Shard& shard(std::size_t w) { return lanes_[w]->shard; }
 
@@ -204,12 +296,30 @@ class Server {
 
   std::size_t park_payload(Lane& lane, const ServerRequest& request);
 
+  /// Re-homes `stranded` items off retiring/donor lane `from` onto their
+  /// current ring owners, emitting expired/dropped results on `out`.
+  /// `new_handles` maps migrated session ids to their post-resize handles.
+  void rehome_items(std::size_t from, std::vector<WorkItem>& stranded,
+                    const std::vector<ResizeReport::MigratedSession>& moved,
+                    ResizeReport& report, std::vector<ServedResult>& out);
+
+  /// Moves the live sessions of lane `from` whose ring owner is no longer
+  /// `from` into their new lanes; appends one MigratedSession each.
+  void migrate_sessions(std::size_t from,
+                        std::vector<ResizeReport::MigratedSession>& moved);
+
   ServerConfig config_;
   const Clock* clock_;
   core::DefenseSystem system_;
   std::optional<core::DefenseSystem> degraded_system_;
+  /// Placement reads (shard_of) take the shared side; resizes take the
+  /// exclusive side. Lane locks never nest inside it the other way.
+  mutable std::shared_mutex ring_mu_;
   ConsistentHashRing ring_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+
+  std::vector<std::thread> pumps_;
+  std::atomic<bool> pump_stop_{false};
 };
 
 }  // namespace vibguard::serving

@@ -26,11 +26,20 @@ SessionHandle SessionSlab::insert(const SessionRecord& record) {
 bool SessionSlab::erase(SessionHandle handle) {
   if (get(handle) == nullptr) return false;
   // Back to even: every outstanding handle with the old odd generation now
-  // fails the compare. (Handles are null-checked on generation 0, so a
-  // slot generation wrapping to 0 is just another free state; aliasing
-  // needs 2^31 reuses of one slot and is accepted.)
-  ++generations_[handle.index];
-  free_.push_back(handle.index);
+  // fails the compare.
+  if (generations_[handle.index] == UINT32_MAX) {
+    // Generation wraparound guard: incrementing the maximum odd generation
+    // would wrap to 0, and the next insert would mint generation 1 —
+    // resurrecting the slot's very first handles after 2^31 reuses. The
+    // slot is retired instead: generation 0 (the universal null/free
+    // state) and never pushed onto the recycle stack, so no handle can
+    // ever match it again. Capacity loses one slot every 2^31 reuses,
+    // which is free compared to a stale handle aliasing a live session.
+    generations_[handle.index] = 0;
+  } else {
+    ++generations_[handle.index];
+    free_.push_back(handle.index);
+  }
   --size_;
   return true;
 }
@@ -48,13 +57,44 @@ const SessionRecord* SessionSlab::get(SessionHandle handle) const {
   return const_cast<SessionSlab*>(this)->get(handle);
 }
 
+std::vector<SessionHandle> SessionSlab::handles() const {
+  std::vector<SessionHandle> out;
+  out.reserve(size_);
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if ((generations_[i] & 1u) != 0) {
+      out.push_back(SessionHandle{i, generations_[i]});
+    }
+  }
+  return out;
+}
+
 void SessionSlab::clear() {
   free_.clear();
   for (std::uint32_t i = 0; i < slots_.size(); ++i) {
-    if ((generations_[i] & 1u) != 0) ++generations_[i];
-    free_.push_back(static_cast<std::uint32_t>(slots_.size() - 1 - i));
+    const std::uint32_t index =
+        static_cast<std::uint32_t>(slots_.size() - 1 - i);
+    if ((generations_[index] & 1u) != 0) {
+      if (generations_[index] == UINT32_MAX) {
+        generations_[index] = 0;  // retire at the wrap, as in erase()
+        continue;
+      }
+      ++generations_[index];
+    } else if (generations_[index] == 0) {
+      continue;  // retired by a previous wrap: never recycle
+    }
+    free_.push_back(index);
   }
   size_ = 0;
+}
+
+SessionHandle SessionSlab::set_generation_for_test(SessionHandle handle,
+                                                   std::uint32_t generation) {
+  VIBGUARD_REQUIRE(get(handle) != nullptr,
+                   "set_generation_for_test needs a live handle");
+  VIBGUARD_REQUIRE((generation & 1u) != 0,
+                   "live slot generations must stay odd");
+  generations_[handle.index] = generation;
+  return SessionHandle{handle.index, generation};
 }
 
 }  // namespace vibguard::serving

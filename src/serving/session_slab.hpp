@@ -76,8 +76,19 @@ class SessionSlab {
   std::size_t size() const { return size_; }
   std::size_t capacity() const { return slots_.size(); }
 
+  /// Handles of every live slot, in slot order (deterministic — session
+  /// migration iterates this). O(capacity); control-plane only.
+  std::vector<SessionHandle> handles() const;
+
   /// Drops every record and invalidates every handle; capacity retained.
   void clear();
+
+  /// Test-only: jumps a live slot's generation to `generation` (parity
+  /// must stay odd) and returns the rewritten handle. Exists so the
+  /// 2^31-reuse generation wraparound can be exercised without two
+  /// billion insert/erase cycles.
+  SessionHandle set_generation_for_test(SessionHandle handle,
+                                        std::uint32_t generation);
 
  private:
   std::vector<SessionRecord> slots_;

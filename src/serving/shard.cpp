@@ -22,6 +22,7 @@ const char* submit_status_name(SubmitStatus status) {
     case SubmitStatus::kRejectedQueueFull: return "rejected_queue_full";
     case SubmitStatus::kRejectedTenantQuota: return "rejected_tenant_quota";
     case SubmitStatus::kStaleSession: return "stale_session";
+    case SubmitStatus::kRejectedClosed: return "rejected_closed";
   }
   VIBGUARD_UNREACHABLE();
 }
@@ -29,10 +30,13 @@ const char* submit_status_name(SubmitStatus status) {
 MutexRingQueue::MutexRingQueue(std::size_t capacity) : ring_(capacity) {}
 
 bool MutexRingQueue::try_push(const WorkItem& item) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (count_ >= ring_.size()) return false;
-  ring_[(head_ + count_) % ring_.size()] = item;
-  ++count_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || count_ >= ring_.size()) return false;
+    ring_[(head_ + count_) % ring_.size()] = item;
+    ++count_;
+  }
+  cv_.notify_one();
   return true;
 }
 
@@ -43,6 +47,31 @@ bool MutexRingQueue::try_pop(WorkItem& out) {
   head_ = (head_ + 1) % ring_.size();
   --count_;
   return true;
+}
+
+bool MutexRingQueue::pop_blocking(WorkItem& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return count_ > 0 || closed_; });
+  if (count_ == 0) return false;  // closed and drained
+  out = ring_[head_];
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
+  return true;
+}
+
+void MutexRingQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  // Wake EVERY parked consumer: each re-checks the predicate and either
+  // drains a remaining item or sees closed-and-empty and returns false.
+  cv_.notify_all();
+}
+
+bool MutexRingQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
 }
 
 bool MutexRingQueue::try_peek(WorkItem& out) const {
@@ -72,6 +101,10 @@ void TenantQuotas::set_quota(std::uint32_t tenant, std::size_t max_queued) {
   state(tenant).max_queued = max_queued;
 }
 
+void TenantQuotas::charge_unchecked(std::uint32_t tenant) {
+  ++state(tenant).queued;
+}
+
 bool TenantQuotas::try_charge(std::uint32_t tenant) {
   State& s = state(tenant);
   if (s.queued >= s.max_queued) {
@@ -98,27 +131,67 @@ std::uint64_t TenantQuotas::rejected(std::uint32_t tenant) const {
   return it != tenants_.end() ? it->second.rejected : 0;
 }
 
+namespace {
+
+/// The ring's total order: worker index breaks hash ties so the map is
+/// identical on every platform and independent of insertion history.
+bool point_less(const ConsistentHashRing::Point& a,
+                const ConsistentHashRing::Point& b) {
+  return a.hash != b.hash ? a.hash < b.hash : a.worker < b.worker;
+}
+
+}  // namespace
+
 ConsistentHashRing::ConsistentHashRing(std::size_t workers,
                                        std::size_t replicas)
-    : workers_(workers) {
+    : replicas_(replicas) {
   VIBGUARD_REQUIRE(workers > 0, "ring needs at least one worker");
   VIBGUARD_REQUIRE(replicas > 0, "ring needs at least one replica");
   points_.reserve(workers * replicas);
   for (std::size_t w = 0; w < workers; ++w) {
-    for (std::size_t r = 0; r < replicas; ++r) {
-      Point p;
-      p.hash = mix64((static_cast<std::uint64_t>(w) << 32) |
-                     static_cast<std::uint64_t>(r));
-      p.worker = static_cast<std::uint32_t>(w);
-      points_.push_back(p);
-    }
+    add_worker(w);
   }
-  std::sort(points_.begin(), points_.end(), [](const Point& a,
-                                               const Point& b) {
-    // Worker index breaks hash ties so the map is total-ordered and
-    // identical on every platform.
-    return a.hash != b.hash ? a.hash < b.hash : a.worker < b.worker;
-  });
+}
+
+bool ConsistentHashRing::contains(std::size_t worker) const {
+  return std::binary_search(active_.begin(), active_.end(),
+                            static_cast<std::uint32_t>(worker));
+}
+
+std::vector<std::size_t> ConsistentHashRing::active_workers() const {
+  return std::vector<std::size_t>(active_.begin(), active_.end());
+}
+
+void ConsistentHashRing::add_worker(std::size_t w) {
+  VIBGUARD_REQUIRE(w < UINT32_MAX, "worker index out of range");
+  VIBGUARD_REQUIRE(!contains(w), "worker already on the ring");
+  // A worker's points depend only on (worker, replica), so a ring grown
+  // or shrunk incrementally is point-for-point identical to one built
+  // fresh with the same active set — resize placement is deterministic.
+  for (std::size_t r = 0; r < replicas_; ++r) {
+    Point p;
+    p.hash = mix64((static_cast<std::uint64_t>(w) << 32) |
+                   static_cast<std::uint64_t>(r));
+    p.worker = static_cast<std::uint32_t>(w);
+    points_.insert(
+        std::upper_bound(points_.begin(), points_.end(), p, point_less), p);
+  }
+  active_.insert(std::upper_bound(active_.begin(), active_.end(),
+                                  static_cast<std::uint32_t>(w)),
+                 static_cast<std::uint32_t>(w));
+}
+
+void ConsistentHashRing::remove_worker(std::size_t w) {
+  VIBGUARD_REQUIRE(contains(w), "worker not on the ring");
+  VIBGUARD_REQUIRE(active_.size() > 1, "cannot remove the last worker");
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [w](const Point& p) {
+                                 return p.worker ==
+                                        static_cast<std::uint32_t>(w);
+                               }),
+                points_.end());
+  active_.erase(std::find(active_.begin(), active_.end(),
+                          static_cast<std::uint32_t>(w)));
 }
 
 std::size_t ConsistentHashRing::worker_for(std::uint64_t h) const {
@@ -138,10 +211,17 @@ Shard::Shard(ShardConfig config, const Clock& clock)
   if (config_.breaker.has_value()) {
     breaker_.emplace(*config_.breaker, clock);
   }
+  last_beat_us_.store(clock.now_us(), std::memory_order_relaxed);
 }
 
 SubmitStatus Shard::submit(WorkItem item) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (queue_->closed()) {
+    // Retired shard: explicit rejection before any quota charge, so a
+    // racing submit during failover surfaces as backpressure, not a hang.
+    ++stats_.closed_rejected;
+    return SubmitStatus::kRejectedClosed;
+  }
   if (!quotas_.try_charge(item.tenant)) {
     ++stats_.quota_rejected;
     return SubmitStatus::kRejectedTenantQuota;
@@ -154,6 +234,90 @@ SubmitStatus Shard::submit(WorkItem item) {
   }
   ++stats_.admission.admitted;
   return SubmitStatus::kQueued;
+}
+
+bool Shard::requeue(const WorkItem& item, bool count_migration) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_->closed()) return false;
+  // enqueued_us is deliberately preserved: the item's queue time spans the
+  // migration, so a re-homed request cannot dodge its batch window or its
+  // deadline accounting by moving shards.
+  if (!queue_->try_push(item)) return false;
+  quotas_.charge_unchecked(item.tenant);
+  if (count_migration) ++stats_.migrated_in;
+  return true;
+}
+
+std::size_t Shard::take_all(std::vector<WorkItem>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkItem item;
+  std::size_t taken = 0;
+  while (queue_->try_pop(item)) {
+    quotas_.release(item.tenant);
+    out.push_back(item);
+    ++taken;
+  }
+  return taken;
+}
+
+void Shard::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_->close();
+}
+
+bool Shard::is_closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_->closed();
+}
+
+void Shard::beat() {
+  last_beat_us_.store(clock_->now_us(), std::memory_order_relaxed);
+  beats_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Shard::last_beat_us() const {
+  return last_beat_us_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Shard::beats() const {
+  return beats_.load(std::memory_order_relaxed);
+}
+
+std::size_t Shard::run_pump(const std::function<bool(bool force)>& drain_once,
+                            const std::atomic<bool>& stop,
+                            const PumpConfig& pump) {
+  VIBGUARD_REQUIRE(pump.idle_poll_us > 0, "pump poll period must be positive");
+  std::size_t batches = 0;
+  for (;;) {
+    beat();
+    if (stop.load(std::memory_order_acquire)) {
+      // Graceful stop: serve everything still queued (forced windows) so a
+      // shutdown never strands admitted work, then leave.
+      while (drain_once(/*force=*/true)) {
+        ++batches;
+        beat();
+      }
+      return batches;
+    }
+    const auto ready = batch_ready_us();
+    if (!ready.has_value()) {
+      if (is_closed()) return batches;  // retired and drained
+      clock_->sleep_us(pump.idle_poll_us);
+      continue;
+    }
+    const std::uint64_t now = clock_->now_us();
+    if (now < *ready) {
+      // Sleep toward the window in bounded slices so stop and close stay
+      // responsive and the heartbeat keeps proving liveness.
+      clock_->sleep_us(std::min(*ready - now, pump.idle_poll_us));
+      continue;
+    }
+    if (drain_once(/*force=*/false)) {
+      ++batches;
+    } else {
+      clock_->sleep_us(pump.idle_poll_us);
+    }
+  }
 }
 
 std::optional<std::uint64_t> Shard::batch_ready_us() const {

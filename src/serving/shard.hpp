@@ -32,8 +32,11 @@
 // below vibguard_core in the link order.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -65,21 +68,38 @@ struct WorkItem {
   /// Set by form_batch: the item's deadline had already passed at batch
   /// formation (it was accounted as expired, not dequeued).
   bool expired_in_queue = false;
+  /// Times this item was re-homed by a ring resize (dead-worker failover
+  /// or worker growth) before being served.
+  std::uint32_t migrations = 0;
 };
 
 /// Bounded multi-producer queue of WorkItems. Implementations must be
 /// individually thread-safe per call; FIFO order is part of the contract
 /// (the micro-batch window is defined by the oldest item).
+///
+/// Lifecycle: a queue starts open and can be close()d exactly once —
+/// after that every push is rejected (never blocked, never silently
+/// queued) while pops keep draining whatever was already accepted. close()
+/// must wake every consumer blocked in pop_blocking so a shard being
+/// retired can never strand a parked drainer thread.
 class WorkQueue {
  public:
   virtual ~WorkQueue() = default;
 
-  /// False when full (the caller turns that into a rejection).
+  /// False when full or closed (the caller turns that into a rejection).
   virtual bool try_push(const WorkItem& item) = 0;
   /// Pops the oldest item; false when empty.
   virtual bool try_pop(WorkItem& out) = 0;
+  /// Blocks until an item is available or the queue is closed; false only
+  /// when the queue is closed AND drained (every accepted item has been
+  /// handed out).
+  virtual bool pop_blocking(WorkItem& out) = 0;
   /// Copies the oldest item without popping; false when empty.
   virtual bool try_peek(WorkItem& out) const = 0;
+  /// Rejects all future pushes and wakes every blocked consumer.
+  /// Idempotent.
+  virtual void close() = 0;
+  virtual bool closed() const = 0;
 
   virtual std::size_t size() const = 0;
   virtual std::size_t capacity() const = 0;
@@ -94,15 +114,20 @@ class MutexRingQueue final : public WorkQueue {
 
   bool try_push(const WorkItem& item) override;
   bool try_pop(WorkItem& out) override;
+  bool pop_blocking(WorkItem& out) override;
   bool try_peek(WorkItem& out) const override;
+  void close() override;
+  bool closed() const override;
   std::size_t size() const override;
   std::size_t capacity() const override { return ring_.size(); }
 
  private:
   mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< signaled on push and on close
   std::vector<WorkItem> ring_;
   std::size_t head_ = 0;   ///< index of the oldest item
   std::size_t count_ = 0;
+  bool closed_ = false;
 };
 
 /// Per-tenant queued-item quotas. A tenant's in-queue count is charged at
@@ -121,6 +146,12 @@ class TenantQuotas {
   /// Charges one queued item to `tenant`; false (and a rejection tally)
   /// when the tenant is at quota.
   bool try_charge(std::uint32_t tenant);
+  /// Charges one queued item to `tenant` unconditionally — used when a
+  /// ring resize re-homes an already-admitted item onto this shard: the
+  /// work passed admission once fleet-wide, so migration must not be able
+  /// to drop it on a quota technicality, but the count must stay balanced
+  /// against the release() at dequeue.
+  void charge_unchecked(std::uint32_t tenant);
   /// Releases one queued item (pop, or push failure after a charge).
   void release(std::uint32_t tenant);
 
@@ -144,25 +175,44 @@ class TenantQuotas {
 /// Consistent-hash ring mapping 64-bit hashes to workers. Each worker
 /// contributes `replicas` points placed by a splitmix64 mix of
 /// (worker, replica); a key is served by the first point clockwise from
-/// its hash. Adding or removing one worker moves only the keys in that
-/// worker's arcs — and for a fixed worker count the map is a pure
-/// function of (id, workers, replicas), which the determinism tests pin.
+/// its hash. A worker's points are a pure function of (worker, replicas),
+/// so the ring supports deterministic resize: adding or removing one
+/// worker moves only the keys in that worker's arcs, and a ring built
+/// incrementally is point-for-point identical to one constructed with the
+/// same active set — which the resize property tests pin. Not internally
+/// locked; the Server serializes resize against placement reads.
 class ConsistentHashRing {
  public:
   ConsistentHashRing(std::size_t workers, std::size_t replicas);
 
-  std::size_t workers() const { return workers_; }
+  /// Active (placeable) worker count.
+  std::size_t workers() const { return active_.size(); }
+  std::size_t replicas() const { return replicas_; }
+
+  bool contains(std::size_t worker) const;
+  /// Sorted active worker indices.
+  std::vector<std::size_t> active_workers() const;
+
+  /// Inserts worker `w`'s replica points (must not already be present).
+  void add_worker(std::size_t w);
+  /// Removes worker `w`'s points; the last worker cannot be removed (an
+  /// empty ring places nothing).
+  void remove_worker(std::size_t w);
 
   /// The worker owning 64-bit key hash `h`.
   std::size_t worker_for(std::uint64_t h) const;
 
- private:
+  /// One replica point. Public only so the implementation's comparator
+  /// can name it; not part of the placement API.
   struct Point {
     std::uint64_t hash;
     std::uint32_t worker;
   };
-  std::size_t workers_;
-  std::vector<Point> points_;  ///< sorted by hash
+
+ private:
+  std::size_t replicas_;
+  std::vector<Point> points_;        ///< sorted by (hash, worker)
+  std::vector<std::uint32_t> active_;  ///< sorted active worker indices
 };
 
 /// splitmix64 finalizer — the ring's key hash (and the server's session
@@ -188,6 +238,7 @@ enum class SubmitStatus {
   kRejectedQueueFull,    ///< bounded-queue backpressure
   kRejectedTenantQuota,  ///< tenant at its queued-item quota
   kStaleSession,         ///< session handle no longer valid (server-level)
+  kRejectedClosed,       ///< shard retired/draining: explicit rejection
 };
 
 const char* submit_status_name(SubmitStatus status);
@@ -207,6 +258,8 @@ struct ShardStats {
   /// dequeued for service; expired-in-queue items count in `expired`.
   AdmissionStats admission;
   std::uint64_t quota_rejected = 0;  ///< tenant-quota rejections
+  std::uint64_t closed_rejected = 0; ///< submits refused after close()
+  std::uint64_t migrated_in = 0;     ///< items re-homed here by a resize
   std::uint64_t batches = 0;         ///< batches formed
   std::uint64_t batched_items = 0;   ///< items across all batches
   std::uint64_t max_batch = 0;
@@ -227,6 +280,14 @@ struct FormedBatch {
   std::uint64_t now_us = 0;  ///< formation time (queue_us = now - enqueued)
 };
 
+/// Knobs for the thread-per-worker pump loop (Shard::run_pump).
+struct PumpConfig {
+  /// Upper bound on one pump sleep: the loop wakes at least this often to
+  /// re-check the stop flag and stamp its heartbeat, so a supervisor can
+  /// tell "idle but alive" from "wedged" at this granularity.
+  std::uint64_t idle_poll_us = 1'000;
+};
+
 class Shard {
  public:
   Shard(ShardConfig config, const Clock& clock);
@@ -236,6 +297,51 @@ class Shard {
   /// Admits one item: tenant quota first, then the bounded queue; stamps
   /// enqueued_us on success. Thread-safe (any producer).
   SubmitStatus submit(WorkItem item);
+
+  /// Re-homes an already-admitted item onto this shard after a ring
+  /// resize: bypasses the tenant quota check (the item was admitted once
+  /// fleet-wide) but still charges the count, and preserves the original
+  /// enqueued_us so queue-time accounting spans the migration. False when
+  /// the bounded queue is full or closed — the caller must then account
+  /// the item explicitly (it is never silently dropped).
+  /// `count_migration` is false when a growth resize restores an item to
+  /// the very shard it came from (the item did not actually move, so the
+  /// migrated_in stat must not count it).
+  bool requeue(const WorkItem& item, bool count_migration = true);
+
+  /// Pops every queued item (FIFO, releasing tenant charges) into `out`
+  /// without touching the dequeue/queue-time accounting — the items are
+  /// being migrated, not served. Used with close() when retiring a shard.
+  std::size_t take_all(std::vector<WorkItem>& out);
+
+  /// Retires the shard: every future submit is rejected with
+  /// kRejectedClosed and any consumer blocked on the queue is woken.
+  /// Items already queued stay poppable (take_all / form_batch drain
+  /// them). Idempotent.
+  void close();
+  bool is_closed() const;
+
+  /// Stamps this worker's liveness heartbeat at the clock's current time.
+  /// The pump calls it every loop iteration (including idle ones); the
+  /// discrete-event simulator calls it wherever the pump would. Lock-free.
+  void beat();
+  /// Clock time of the most recent beat (construction time before any).
+  std::uint64_t last_beat_us() const;
+  /// Total beats since construction (a progress odometer for tests).
+  std::uint64_t beats() const;
+
+  /// The real thread-per-worker pump loop, run on the calling thread. Each
+  /// iteration stamps the heartbeat, then either sleeps toward the next
+  /// batch-ready time (in slices of pump.idle_poll_us so stop stays
+  /// responsive) or invokes `drain_once(force)` — the server's bound
+  /// form-batch + complete-batch step for this worker, returning whether a
+  /// batch was served. On `stop` the loop force-drains everything still
+  /// queued before returning; on a closed-and-empty shard it returns
+  /// immediately. Returns the number of batches drained. One pump per
+  /// shard at a time (the one-drainer contract).
+  std::size_t run_pump(const std::function<bool(bool force)>& drain_once,
+                       const std::atomic<bool>& stop,
+                       const PumpConfig& pump = {});
 
   /// When the next batch should be formed, on the shard clock: nullopt
   /// when the queue is empty; the oldest item's enqueue time when the
@@ -276,6 +382,8 @@ class Shard {
   TenantQuotas quotas_;
   std::optional<CircuitBreaker> breaker_;
   ShardStats stats_;
+  std::atomic<std::uint64_t> last_beat_us_{0};
+  std::atomic<std::uint64_t> beats_{0};
 };
 
 }  // namespace vibguard::serving

@@ -1,0 +1,103 @@
+#include "serving/supervisor.hpp"
+
+#include "common/error.hpp"
+
+namespace vibguard::serving {
+
+const char* worker_health_name(WorkerHealth health) {
+  switch (health) {
+    case WorkerHealth::kHealthy:
+      return "healthy";
+    case WorkerHealth::kSlow:
+      return "slow";
+    case WorkerHealth::kWedged:
+      return "wedged";
+    case WorkerHealth::kDead:
+      return "dead";
+    case WorkerHealth::kRetired:
+      return "retired";
+  }
+  return "?";
+}
+
+Supervisor::Supervisor(Server& server, SupervisorConfig config,
+                       const Clock& clock)
+    : server_(&server), config_(config), clock_(&clock) {
+  VIBGUARD_REQUIRE(config_.slow_after_us < config_.wedged_after_us &&
+                       config_.wedged_after_us < config_.dead_after_us,
+                   "health thresholds must be strictly increasing");
+  health_.assign(server.workers(), WorkerHealth::kHealthy);
+}
+
+WorkerHealth Supervisor::classify(std::size_t w) const {
+  VIBGUARD_REQUIRE(w < server_->workers(), "no such worker");
+  if (!server_->worker_active(w)) return WorkerHealth::kRetired;
+  const std::uint64_t now = clock_->now_us();
+  const std::uint64_t last = server_->shard(w).last_beat_us();
+  const std::uint64_t age = now >= last ? now - last : 0;
+  if (age < config_.slow_after_us) return WorkerHealth::kHealthy;
+  if (age < config_.wedged_after_us) return WorkerHealth::kSlow;
+  if (age < config_.dead_after_us) return WorkerHealth::kWedged;
+  return WorkerHealth::kDead;
+}
+
+WorkerHealth Supervisor::health(std::size_t w) const {
+  VIBGUARD_REQUIRE(w < health_.size(), "worker not watched");
+  return health_[w];
+}
+
+void Supervisor::watch(std::size_t w) {
+  VIBGUARD_REQUIRE(w < server_->workers(), "no such worker");
+  while (health_.size() <= w) health_.push_back(WorkerHealth::kHealthy);
+}
+
+std::size_t Supervisor::poll(std::vector<ServedResult>& out) {
+  ++stats_.polls;
+  // Growth since the last poll (Server::add_worker) auto-enrolls.
+  while (health_.size() < server_->workers()) {
+    health_.push_back(WorkerHealth::kHealthy);
+  }
+
+  std::size_t failovers = 0;
+  for (std::size_t w = 0; w < health_.size(); ++w) {
+    if (health_[w] == WorkerHealth::kRetired) continue;  // terminal
+    WorkerHealth next = classify(w);
+    const WorkerHealth prev = health_[w];
+
+    bool fail_over = false;
+    if (next == WorkerHealth::kDead && config_.auto_failover &&
+        server_->worker_active(w) &&
+        server_->active_worker_ids().size() > 1) {
+      fail_over = true;
+    }
+
+    if (next == prev && !fail_over) continue;
+
+    SupervisorEvent event;
+    event.at_us = clock_->now_us();
+    event.worker = w;
+    event.from = prev;
+    event.to = next;
+    if (fail_over) {
+      ResizeReport report = server_->remove_worker(w, out);
+      event.failover = true;
+      event.sessions_migrated = report.sessions.size();
+      event.migrations = std::move(report.sessions);
+      event.items_requeued = report.items_requeued;
+      event.items_expired = report.items_expired;
+      event.items_dropped = report.items_dropped;
+      ++stats_.failovers;
+      stats_.sessions_migrated += event.sessions_migrated;
+      stats_.items_requeued += report.items_requeued;
+      stats_.items_expired += report.items_expired;
+      stats_.items_dropped += report.items_dropped;
+      next = WorkerHealth::kRetired;
+      ++failovers;
+    }
+    health_[w] = next;
+    events_.push_back(event);
+  }
+  return failovers;
+}
+
+}  // namespace vibguard::serving

@@ -1,0 +1,139 @@
+// Supervisor: worker health classification and automatic failover.
+//
+// Every shard stamps a heartbeat (Shard::beat) each pump iteration —
+// including idle ones — so "how long since worker w made progress" is one
+// atomic load away. The Supervisor turns that age into a four-step health
+// ladder and, at the bottom of it, into action:
+//
+//        age < slow_after_us    HEALTHY   serving normally
+//        age < wedged_after_us  SLOW      lagging; watch it
+//        age < dead_after_us    WEDGED    no progress; presumed stuck
+//        age >= dead_after_us   DEAD      fail over: drain + migrate
+//        (off the ring)         RETIRED   terminal
+//
+// Classification is a pure function of (heartbeat age, thresholds), and
+// the heartbeat runs on the injected Clock — so a supervisor driven by a
+// VirtualClock in a discrete-event simulation classifies identically to
+// one watching real pump threads on a SteadyClock. That is what lets the
+// chaos sweep (eval/chaos_sweep) reproduce an exact failover sequence
+// from a fixed seed.
+//
+// Failover delegates to Server::remove_worker: close the shard, drop its
+// ring points, migrate live sessions (state rides along), re-home queued
+// items — every item accounted served/rejected/expired/migrated, never
+// silently lost. remove_worker is a control-plane call, so poll() must
+// only run where no drainer is active on the dying lane: in simulations
+// that is trivially true; with real threads the dead worker's pump is —
+// by definition of DEAD — not draining, but it must also not be *blocked
+// inside* the lane (stop it first, or never started; see poll()).
+//
+// The supervisor is single-threaded by design: one control loop calls
+// poll(), the same way one drainer owns each shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "serving/server.hpp"
+
+namespace vibguard::serving {
+
+enum class WorkerHealth {
+  kHealthy,
+  kSlow,     ///< heartbeat lagging past slow_after_us
+  kWedged,   ///< no progress past wedged_after_us; presumed stuck
+  kDead,     ///< past dead_after_us; failover fires here
+  kRetired,  ///< off the ring (failed over or never active) — terminal
+};
+
+const char* worker_health_name(WorkerHealth health);
+
+struct SupervisorConfig {
+  /// Heartbeat-age thresholds, strictly increasing. Defaults suit the
+  /// VirtualClock simulations; real deployments scale them to the batch
+  /// window (a worker sleeping toward a distant batch still beats every
+  /// PumpConfig::idle_poll_us).
+  std::uint64_t slow_after_us = 10'000;
+  std::uint64_t wedged_after_us = 50'000;
+  std::uint64_t dead_after_us = 200'000;
+  /// When true, poll() retires DEAD workers via Server::remove_worker.
+  /// The last active worker is never removed (the ring must place
+  /// somewhere); it stays DEAD until another worker joins.
+  bool auto_failover = true;
+};
+
+/// One health transition observed by poll(). Failover transitions carry
+/// the migration accounting from the ResizeReport.
+struct SupervisorEvent {
+  std::uint64_t at_us = 0;
+  std::size_t worker = 0;
+  WorkerHealth from = WorkerHealth::kHealthy;
+  WorkerHealth to = WorkerHealth::kHealthy;
+  bool failover = false;  ///< this transition retired the worker
+  /// Failover only: the session re-homings the removal performed. Callers
+  /// holding pre-failover handles recover the fresh ones from here.
+  std::vector<ResizeReport::MigratedSession> migrations;
+  std::size_t sessions_migrated = 0;
+  std::size_t items_requeued = 0;
+  std::size_t items_expired = 0;
+  std::size_t items_dropped = 0;
+};
+
+struct SupervisorStats {
+  std::uint64_t polls = 0;
+  std::size_t failovers = 0;
+  std::size_t sessions_migrated = 0;
+  std::size_t items_requeued = 0;
+  std::size_t items_expired = 0;
+  std::size_t items_dropped = 0;
+};
+
+class Supervisor {
+ public:
+  /// Both references are borrowed and must outlive the supervisor. The
+  /// clock must be the same one the server's shards heartbeat on —
+  /// mixing clocks makes every age nonsense.
+  Supervisor(Server& server, SupervisorConfig config, const Clock& clock);
+
+  const SupervisorConfig& config() const { return config_; }
+
+  /// Pure classification of worker `w` right now (no state change):
+  /// heartbeat age against the thresholds, kRetired when off the ring.
+  WorkerHealth classify(std::size_t w) const;
+
+  /// The health poll() last assigned to `w` (kHealthy before any poll).
+  WorkerHealth health(std::size_t w) const;
+
+  /// One supervision pass: classify every worker, record transitions, and
+  /// fail over workers that crossed into DEAD (when auto_failover). Items
+  /// the failover expired or dropped are appended to `out` as results —
+  /// the caller owns the accounting stream, exactly as with drain().
+  /// Returns the number of failovers performed this pass.
+  ///
+  /// Control-plane contract: no drainer may be actively forming or
+  /// completing a batch on a lane this pass might retire. Stop the dying
+  /// worker's pump (or never start it — crash injection does exactly
+  /// that) before the age crosses dead_after_us.
+  std::size_t poll(std::vector<ServedResult>& out);
+
+  /// Start supervising a worker added after construction
+  /// (Server::add_worker growth); new workers start kHealthy.
+  void watch(std::size_t w);
+
+  /// Every transition ever observed, in poll order (deterministic for a
+  /// deterministic clock/heartbeat history).
+  const std::vector<SupervisorEvent>& events() const { return events_; }
+  const SupervisorStats& stats() const { return stats_; }
+
+ private:
+  Server* server_;
+  SupervisorConfig config_;
+  const Clock* clock_;
+  std::vector<WorkerHealth> health_;
+  std::vector<SupervisorEvent> events_;
+  SupervisorStats stats_;
+};
+
+}  // namespace vibguard::serving

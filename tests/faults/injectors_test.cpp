@@ -229,5 +229,26 @@ TEST(FaultsTest, InjectorsAreSafeOnEmptySignals) {
   }
 }
 
+TEST(FaultsTest, SeverityPlanBoundariesForEveryKind) {
+  // The full boundary contract, per kind: severity <= 0 and NaN are the
+  // empty (identity) plan, any positive severity builds a non-empty one,
+  // and severities above 1 clamp (same corruption as exactly 1).
+  for (FaultKind kind : all_fault_kinds()) {
+    EXPECT_TRUE(severity_plan(kind, 0.0).empty()) << fault_name(kind);
+    EXPECT_TRUE(severity_plan(kind, -0.0).empty()) << fault_name(kind);
+    EXPECT_TRUE(severity_plan(kind, -3.0).empty()) << fault_name(kind);
+    EXPECT_TRUE(severity_plan(kind, std::nan("")).empty())
+        << fault_name(kind);
+    EXPECT_FALSE(severity_plan(kind, 1e-9).empty()) << fault_name(kind);
+    EXPECT_FALSE(severity_plan(kind, 1.0).empty()) << fault_name(kind);
+
+    Signal at_one = test_tone(), clamped = test_tone();
+    Rng ra(21), rb(21);
+    severity_plan(kind, 1.0).apply(at_one, ra);
+    severity_plan(kind, 1e9).apply(clamped, rb);
+    EXPECT_TRUE(identical(at_one, clamped)) << fault_name(kind);
+  }
+}
+
 }  // namespace
 }  // namespace vibguard::faults

@@ -1,0 +1,215 @@
+// Serving-domain fault injection: plan construction/validation, the
+// severity parameterization (incl. NaN and out-of-range clamping), and
+// the ChaosController's determinism guarantees — same plan + seed means
+// the same stalls, crashes, slowdowns and lost replies, independent of
+// query order.
+#include "faults/serving_faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace vibguard::faults {
+namespace {
+
+constexpr std::uint64_t kHorizon = 1'000'000;  // 1 s
+
+TEST(ServingFaultsTest, NamesRoundTrip) {
+  for (WorkerFaultKind kind : all_worker_fault_kinds()) {
+    EXPECT_EQ(worker_fault_by_name(worker_fault_name(kind)), kind);
+  }
+  EXPECT_THROW(worker_fault_by_name("meteor"), InvalidArgument);
+}
+
+TEST(ServingFaultsTest, PlanValidatesWindowsAndParameters) {
+  ChaosPlan plan;
+  EXPECT_THROW(plan.stall(0, 100, 100), InvalidArgument);  // empty window
+  EXPECT_THROW(plan.stall(0, 200, 100), InvalidArgument);  // inverted
+  EXPECT_THROW(plan.slow(0, 0, 100, 0.5), InvalidArgument);  // factor < 1
+  EXPECT_THROW(plan.lossy(0, 0, 100, -0.1), InvalidArgument);
+  EXPECT_THROW(plan.lossy(0, 0, 100, 1.1), InvalidArgument);
+  EXPECT_TRUE(plan.empty());  // failed adders left nothing behind
+
+  plan.stall(1, 0, 100).crash(2, 50).slow(3, 0, 100, 4.0).lossy(4, 0, 100,
+                                                                0.25);
+  EXPECT_EQ(plan.size(), 4u);
+}
+
+TEST(ServingFaultsTest, DescribeSummarizesPlan) {
+  EXPECT_EQ(ChaosPlan{}.describe(), "none");
+  ChaosPlan plan;
+  plan.crash(1, 40'000).slow(2, 0, 10'000, 3.0);
+  EXPECT_EQ(plan.describe(), "crash(w1@40.0ms)+slow(w2,x3.0)");
+}
+
+TEST(ServingFaultsTest, SeverityPlanBoundariesForEveryKind) {
+  for (WorkerFaultKind kind : all_worker_fault_kinds()) {
+    // Zero, negative, and NaN severities are all empty plans.
+    EXPECT_TRUE(worker_severity_plan(kind, 0.0, 1, 0, kHorizon).empty());
+    EXPECT_TRUE(worker_severity_plan(kind, -0.5, 1, 0, kHorizon).empty());
+    EXPECT_TRUE(worker_severity_plan(
+                    kind, std::numeric_limits<double>::quiet_NaN(), 1, 0,
+                    kHorizon)
+                    .empty());
+
+    // Any positive severity yields exactly one fault of the right kind on
+    // the right worker, inside [from, horizon).
+    for (double severity : {1e-9, 0.5, 1.0, 7.0}) {  // 7.0 clamps to 1
+      const ChaosPlan plan =
+          worker_severity_plan(kind, severity, 3, 100, kHorizon);
+      ASSERT_EQ(plan.size(), 1u) << worker_fault_name(kind) << " s="
+                                 << severity;
+      const WorkerFault& fault = plan.faults()[0];
+      EXPECT_EQ(fault.kind, kind);
+      EXPECT_EQ(fault.worker, 3u);
+      EXPECT_GE(fault.from_us, 100u);
+      if (kind != WorkerFaultKind::kCrash) {
+        EXPECT_GT(fault.until_us, fault.from_us);
+        EXPECT_LE(fault.until_us, kHorizon);
+      } else {
+        EXPECT_LE(fault.from_us, kHorizon);
+      }
+    }
+
+    // Severity above 1 is clamped: identical to severity exactly 1.
+    const ChaosPlan at_one = worker_severity_plan(kind, 1.0, 3, 0, kHorizon);
+    const ChaosPlan clamped = worker_severity_plan(kind, 42.0, 3, 0, kHorizon);
+    ASSERT_EQ(at_one.size(), 1u);
+    ASSERT_EQ(clamped.size(), 1u);
+    EXPECT_EQ(clamped.faults()[0].from_us, at_one.faults()[0].from_us);
+    EXPECT_EQ(clamped.faults()[0].until_us, at_one.faults()[0].until_us);
+    EXPECT_EQ(clamped.faults()[0].factor, at_one.faults()[0].factor);
+    EXPECT_EQ(clamped.faults()[0].loss, at_one.faults()[0].loss);
+  }
+}
+
+TEST(ServingFaultsTest, SeverityScalesMonotonically) {
+  // Harsher severity: longer stall, earlier crash, bigger slowdown,
+  // higher loss.
+  const auto stall_lo = worker_severity_plan(WorkerFaultKind::kStall, 0.2,
+                                             0, 0, kHorizon);
+  const auto stall_hi = worker_severity_plan(WorkerFaultKind::kStall, 0.9,
+                                             0, 0, kHorizon);
+  EXPECT_LT(stall_lo.faults()[0].until_us, stall_hi.faults()[0].until_us);
+
+  const auto crash_lo = worker_severity_plan(WorkerFaultKind::kCrash, 0.2,
+                                             0, 0, kHorizon);
+  const auto crash_hi = worker_severity_plan(WorkerFaultKind::kCrash, 0.9,
+                                             0, 0, kHorizon);
+  EXPECT_GT(crash_lo.faults()[0].from_us, crash_hi.faults()[0].from_us);
+
+  const auto slow_lo = worker_severity_plan(WorkerFaultKind::kSlow, 0.2, 0,
+                                            0, kHorizon);
+  const auto slow_hi = worker_severity_plan(WorkerFaultKind::kSlow, 0.9, 0,
+                                            0, kHorizon);
+  EXPECT_LT(slow_lo.faults()[0].factor, slow_hi.faults()[0].factor);
+
+  const auto lossy_lo = worker_severity_plan(WorkerFaultKind::kLossy, 0.2,
+                                             0, 0, kHorizon);
+  const auto lossy_hi = worker_severity_plan(WorkerFaultKind::kLossy, 0.9,
+                                             0, 0, kHorizon);
+  EXPECT_LT(lossy_lo.faults()[0].loss, lossy_hi.faults()[0].loss);
+}
+
+TEST(ServingFaultsTest, StallWindowIsHalfOpenAndPerWorker) {
+  ChaosPlan plan;
+  plan.stall(1, 100, 200);
+  ChaosController chaos(plan, 7);
+  EXPECT_FALSE(chaos.stalled(1, 99));
+  EXPECT_TRUE(chaos.stalled(1, 100));   // inclusive start
+  EXPECT_TRUE(chaos.stalled(1, 199));
+  EXPECT_FALSE(chaos.stalled(1, 200));  // exclusive end
+  EXPECT_FALSE(chaos.stalled(0, 150));  // other workers untouched
+  EXPECT_TRUE(chaos.alive(1, 99));
+  EXPECT_FALSE(chaos.alive(1, 150));
+  EXPECT_TRUE(chaos.alive(1, 200));
+}
+
+TEST(ServingFaultsTest, CrashIsPermanentAndShadowsStall) {
+  ChaosPlan plan;
+  plan.crash(2, 500).stall(2, 400, 1'000);
+  ChaosController chaos(plan, 7);
+  EXPECT_EQ(chaos.crash_at_us(2), 500u);
+  EXPECT_EQ(chaos.crash_at_us(0), UINT64_MAX);
+  EXPECT_FALSE(chaos.crashed(2, 499));
+  EXPECT_TRUE(chaos.crashed(2, 500));
+  EXPECT_TRUE(chaos.crashed(2, UINT64_MAX));  // never comes back
+  // Inside the stall window but after the crash: dead, not "stalled".
+  EXPECT_TRUE(chaos.stalled(2, 450));
+  EXPECT_FALSE(chaos.stalled(2, 600));
+  EXPECT_FALSE(chaos.alive(2, 600));
+}
+
+TEST(ServingFaultsTest, EarliestCrashWins) {
+  ChaosPlan plan;
+  plan.crash(0, 900).crash(0, 300);
+  ChaosController chaos(plan, 7);
+  EXPECT_EQ(chaos.crash_at_us(0), 300u);
+}
+
+TEST(ServingFaultsTest, OverlappingSlowWindowsMultiply) {
+  ChaosPlan plan;
+  plan.slow(0, 0, 1'000, 2.0).slow(0, 500, 1'500, 3.0);
+  ChaosController chaos(plan, 7);
+  EXPECT_DOUBLE_EQ(chaos.slowdown(0, 100), 2.0);
+  EXPECT_DOUBLE_EQ(chaos.slowdown(0, 700), 6.0);   // both windows active
+  EXPECT_DOUBLE_EQ(chaos.slowdown(0, 1'200), 3.0);
+  EXPECT_DOUBLE_EQ(chaos.slowdown(0, 2'000), 1.0);
+  EXPECT_DOUBLE_EQ(chaos.slowdown(1, 700), 1.0);   // other worker
+}
+
+TEST(ServingFaultsTest, ResultLossIsDeterministicPerRequest) {
+  ChaosPlan plan;
+  plan.lossy(1, 0, kHorizon, 0.4);
+  ChaosController chaos(plan, 0xC4A05);
+
+  // The verdict is a pure function of (seed, worker, request): repeated
+  // queries and different times inside the window always agree.
+  int lost = 0;
+  for (std::uint64_t req = 0; req < 1'000; ++req) {
+    const bool first = chaos.result_lost(1, req, 10);
+    EXPECT_EQ(chaos.result_lost(1, req, 10), first);
+    EXPECT_EQ(chaos.result_lost(1, req, kHorizon - 1), first);
+    if (first) ++lost;
+  }
+  // The draw tracks the configured probability (generous tolerance).
+  EXPECT_GT(lost, 300);
+  EXPECT_LT(lost, 500);
+
+  // Outside the window, and on other workers, nothing is lost.
+  EXPECT_FALSE(chaos.result_lost(1, 0, kHorizon));
+  for (std::uint64_t req = 0; req < 100; ++req) {
+    EXPECT_FALSE(chaos.result_lost(0, req, 10));
+  }
+
+  // A different seed draws a different (but equally deterministic) set.
+  ChaosController other(plan, 0xBEEF);
+  int disagreements = 0;
+  for (std::uint64_t req = 0; req < 1'000; ++req) {
+    if (other.result_lost(1, req, 10) != chaos.result_lost(1, req, 10)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(ServingFaultsTest, LossProbabilityEdges) {
+  ChaosPlan never;
+  never.lossy(0, 0, kHorizon, 0.0);
+  ChaosController chaos_never(never, 1);
+  for (std::uint64_t req = 0; req < 200; ++req) {
+    EXPECT_FALSE(chaos_never.result_lost(0, req, 10));
+  }
+  ChaosPlan always;
+  always.lossy(0, 0, kHorizon, 1.0);
+  ChaosController chaos_always(always, 1);
+  for (std::uint64_t req = 0; req < 200; ++req) {
+    EXPECT_TRUE(chaos_always.result_lost(0, req, 10));
+  }
+}
+
+}  // namespace
+}  // namespace vibguard::faults

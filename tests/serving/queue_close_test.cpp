@@ -1,0 +1,116 @@
+// WorkQueue close() semantics — the retirement contract a failover leans
+// on: close rejects every future push, wakes every consumer blocked in
+// pop_blocking, and already-accepted items stay poppable until drained.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "serving/shard.hpp"
+
+namespace vibguard::serving {
+namespace {
+
+WorkItem item(std::uint64_t id) {
+  WorkItem w;
+  w.request_id = id;
+  return w;
+}
+
+TEST(QueueCloseTest, PushAfterCloseIsRejected) {
+  MutexRingQueue queue(4);
+  EXPECT_TRUE(queue.try_push(item(1)));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.try_push(item(2)));
+  // The accepted item still drains.
+  WorkItem out;
+  EXPECT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out.request_id, 1u);
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(QueueCloseTest, CloseIsIdempotent) {
+  MutexRingQueue queue(2);
+  queue.close();
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(QueueCloseTest, PopBlockingDrainsThenReportsClosed) {
+  MutexRingQueue queue(4);
+  ASSERT_TRUE(queue.try_push(item(1)));
+  ASSERT_TRUE(queue.try_push(item(2)));
+  queue.close();
+  WorkItem out;
+  // Closed but not drained: pops keep succeeding, FIFO.
+  EXPECT_TRUE(queue.pop_blocking(out));
+  EXPECT_EQ(out.request_id, 1u);
+  EXPECT_TRUE(queue.pop_blocking(out));
+  EXPECT_EQ(out.request_id, 2u);
+  // Closed and drained: false, immediately (no block).
+  EXPECT_FALSE(queue.pop_blocking(out));
+}
+
+// The regression the satellite demands: park several consumer threads in
+// blocking pops on an empty queue, then close() — every one of them must
+// wake and return false. A close() that only signals one waiter (or
+// none) deadlocks this test rather than failing an assertion, so the
+// 900 s ctest timeout is the failure detector of last resort; the
+// threads themselves prove wake-all by all joining.
+TEST(QueueCloseTest, CloseWakesEveryBlockedConsumer) {
+  MutexRingQueue queue(4);
+  constexpr int kConsumers = 8;
+  std::atomic<int> parked{0};
+  std::atomic<int> woke_empty{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int i = 0; i < kConsumers; ++i) {
+    consumers.emplace_back([&] {
+      parked.fetch_add(1, std::memory_order_relaxed);
+      WorkItem out;
+      if (!queue.pop_blocking(out)) {
+        woke_empty.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Wait until every consumer has at least reached the pop call; they
+  // then block inside it (the queue is empty).
+  while (parked.load(std::memory_order_relaxed) < kConsumers) {
+    std::this_thread::yield();
+  }
+  queue.close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(woke_empty.load(), kConsumers);
+}
+
+// Producers racing close(): every item is either pushed (and then
+// poppable) or explicitly rejected — the push/close race can never lose
+// an accepted item or accept one after the rejection was reported.
+TEST(QueueCloseTest, PushCloseRaceNeverLosesAcceptedItems) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 64;
+  MutexRingQueue queue(kProducers * kPerProducer);
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (queue.try_push(item(static_cast<std::uint64_t>(p * 1000 + i)))) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  queue.close();
+  for (std::thread& t : producers) t.join();
+  WorkItem out;
+  int drained = 0;
+  while (queue.try_pop(out)) ++drained;
+  EXPECT_EQ(drained, accepted.load());
+}
+
+}  // namespace
+}  // namespace vibguard::serving

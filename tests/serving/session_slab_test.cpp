@@ -97,6 +97,63 @@ TEST(SessionSlabTest, GrowsAndSurvivesChurn) {
   }
 }
 
+TEST(SessionSlabTest, GenerationWraparoundRetiresSlotInsteadOfAliasing) {
+  SessionSlab slab;
+  // Seed slot 0, then jump its generation to the maximum odd value — the
+  // state it would reach after 2^31 - 1 insert/erase reuses.
+  SessionHandle h = slab.insert(record(100));
+  h = slab.set_generation_for_test(h, UINT32_MAX);
+  ASSERT_NE(slab.get(h), nullptr);
+  EXPECT_EQ(slab.get(h)->session_id, 100u);
+
+  // Without the guard, erase would wrap the generation to 0 and the next
+  // insert in the slot would mint generation 1 — the *first* generation
+  // the slot ever handed out, resurrecting any ancient handle that kept
+  // it. The guard retires the slot instead.
+  EXPECT_TRUE(slab.erase(h));
+  EXPECT_EQ(slab.size(), 0u);
+  EXPECT_EQ(slab.get(h), nullptr);
+
+  const SessionHandle ancient{h.index, 1};  // a hypothetical gen-1 survivor
+  const SessionHandle fresh = slab.insert(record(200));
+  EXPECT_NE(fresh.index, h.index) << "retired slot must never be recycled";
+  EXPECT_EQ(slab.get(ancient), nullptr)
+      << "wraparound resurrected a first-generation handle";
+  EXPECT_EQ(slab.get(h), nullptr);
+  ASSERT_NE(slab.get(fresh), nullptr);
+  EXPECT_EQ(slab.get(fresh)->session_id, 200u);
+}
+
+TEST(SessionSlabTest, ClearRetiresWrappedSlotsToo) {
+  SessionSlab slab;
+  SessionHandle wrapped = slab.insert(record(1));
+  const SessionHandle normal = slab.insert(record(2));
+  wrapped = slab.set_generation_for_test(wrapped, UINT32_MAX);
+  slab.clear();
+  EXPECT_EQ(slab.size(), 0u);
+  EXPECT_EQ(slab.get(wrapped), nullptr);
+  EXPECT_EQ(slab.get(normal), nullptr);
+  // The normal slot recycles; the wrapped slot never comes back.
+  const SessionHandle a = slab.insert(record(10));
+  const SessionHandle b = slab.insert(record(11));
+  EXPECT_NE(a.index, wrapped.index);
+  EXPECT_NE(b.index, wrapped.index);
+  const SessionHandle ancient{wrapped.index, 1};
+  EXPECT_EQ(slab.get(ancient), nullptr);
+}
+
+TEST(SessionSlabTest, HandlesEnumeratesLiveSlotsInSlotOrder) {
+  SessionSlab slab;
+  const SessionHandle a = slab.insert(record(10));
+  const SessionHandle b = slab.insert(record(20));
+  const SessionHandle c = slab.insert(record(30));
+  ASSERT_TRUE(slab.erase(b));
+  const std::vector<SessionHandle> live = slab.handles();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0], a);
+  EXPECT_EQ(live[1], c);
+}
+
 TEST(SessionSlabTest, ClearInvalidatesAllHandlesAndKeepsCapacity) {
   SessionSlab slab;
   std::vector<SessionHandle> handles;

@@ -1,0 +1,290 @@
+// Supervisor on a VirtualClock: the health ladder crosses thresholds at
+// exact ages, failover retires a DEAD worker through remove_worker with
+// every queued item accounted, the last worker is never removed, and
+// growth via watch() enrolls new workers into the ladder.
+#include "serving/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "core/segmentation.hpp"
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+#include "serving/server.hpp"
+
+namespace vibguard::serving {
+namespace {
+
+struct Population {
+  struct Trial {
+    eval::TrialRecordings recordings;
+    std::unique_ptr<core::OracleSegmenter> segmenter;
+  };
+  std::vector<Trial> trials;
+
+  static const Population& instance() {
+    static Population* pop = [] {
+      auto* p = new Population;
+      eval::ScenarioSimulator sim(eval::ScenarioConfig{}, 271);
+      Rng rng(272);
+      const auto user = speech::sample_speaker(speech::Sex::kFemale, rng);
+      const auto adv = speech::sample_speaker(speech::Sex::kMale, rng);
+      const auto& cmd = speech::command_by_text("unlock the front door");
+      for (int i = 0; i < 4; ++i) {
+        Trial trial;
+        trial.recordings =
+            i % 2 == 0 ? sim.legitimate_trial(cmd, user)
+                       : sim.attack_trial(attacks::AttackType::kReplay, cmd,
+                                          user, adv);
+        trial.segmenter = std::make_unique<core::OracleSegmenter>(
+            trial.recordings.alignment, eval::reference_sensitive_set());
+        p->trials.push_back(std::move(trial));
+      }
+      return p;
+    }();
+    return *pop;
+  }
+};
+
+ServerConfig small_fleet(std::size_t workers) {
+  ServerConfig config;
+  config.workers = workers;
+  config.shard.queue_capacity = 64;
+  config.shard.batch_max = 4;
+  config.shard.batch_window_us = 0;
+  return config;
+}
+
+SupervisorConfig thresholds() {
+  SupervisorConfig config;
+  config.slow_after_us = 10'000;
+  config.wedged_after_us = 50'000;
+  config.dead_after_us = 200'000;
+  return config;
+}
+
+void beat_all(Server& server) {
+  for (std::size_t w = 0; w < server.workers(); ++w) {
+    if (server.worker_active(w)) server.shard(w).beat();
+  }
+}
+
+ServerRequest make_request(const Population& pop, std::size_t i) {
+  const auto& trial = pop.trials[i % pop.trials.size()];
+  ServerRequest request;
+  request.va = &trial.recordings.va;
+  request.wearable = &trial.recordings.wearable;
+  request.segmenter = trial.segmenter.get();
+  request.rng = Rng(900).fork(i);
+  request.request_id = i;
+  return request;
+}
+
+TEST(SupervisorTest, ClassificationLadderCrossesAtThresholds) {
+  VirtualClock clock(1'000'000);
+  Server server(small_fleet(2), clock);
+  Supervisor supervisor(server, thresholds(), clock);
+  beat_all(server);  // both workers age 0
+
+  EXPECT_EQ(supervisor.classify(0), WorkerHealth::kHealthy);
+
+  clock.advance(9'999);
+  EXPECT_EQ(supervisor.classify(0), WorkerHealth::kHealthy);
+  clock.advance(1);  // age = slow_after_us exactly
+  EXPECT_EQ(supervisor.classify(0), WorkerHealth::kSlow);
+
+  clock.advance(39'999);  // age = 49'999
+  EXPECT_EQ(supervisor.classify(0), WorkerHealth::kSlow);
+  clock.advance(1);  // age = wedged_after_us
+  EXPECT_EQ(supervisor.classify(0), WorkerHealth::kWedged);
+
+  clock.advance(149'999);  // age = 199'999
+  EXPECT_EQ(supervisor.classify(0), WorkerHealth::kWedged);
+  clock.advance(1);  // age = dead_after_us
+  EXPECT_EQ(supervisor.classify(0), WorkerHealth::kDead);
+
+  // A fresh beat resets the ladder.
+  server.shard(0).beat();
+  EXPECT_EQ(supervisor.classify(0), WorkerHealth::kHealthy);
+}
+
+TEST(SupervisorTest, PollRecordsTransitionsOnce) {
+  VirtualClock clock;
+  Server server(small_fleet(2), clock);
+  SupervisorConfig config = thresholds();
+  config.auto_failover = false;
+  Supervisor supervisor(server, config, clock);
+  beat_all(server);
+
+  std::vector<ServedResult> out;
+  EXPECT_EQ(supervisor.poll(out), 0u);
+  EXPECT_TRUE(supervisor.events().empty());  // everyone healthy, no change
+
+  // Worker 1 stops beating; worker 0 stays fresh.
+  clock.advance(20'000);
+  server.shard(0).beat();
+  supervisor.poll(out);
+  ASSERT_EQ(supervisor.events().size(), 1u);
+  EXPECT_EQ(supervisor.events()[0].worker, 1u);
+  EXPECT_EQ(supervisor.events()[0].from, WorkerHealth::kHealthy);
+  EXPECT_EQ(supervisor.events()[0].to, WorkerHealth::kSlow);
+
+  // Same state on the next poll: no duplicate event.
+  supervisor.poll(out);
+  EXPECT_EQ(supervisor.events().size(), 1u);
+  EXPECT_EQ(supervisor.health(1), WorkerHealth::kSlow);
+
+  clock.advance(40'000);  // age 60'000: wedged
+  server.shard(0).beat();
+  supervisor.poll(out);
+  ASSERT_EQ(supervisor.events().size(), 2u);
+  EXPECT_EQ(supervisor.events()[1].to, WorkerHealth::kWedged);
+
+  // Without auto_failover a dead worker is recorded but not removed.
+  clock.advance(200'000);
+  server.shard(0).beat();
+  EXPECT_EQ(supervisor.poll(out), 0u);
+  ASSERT_EQ(supervisor.events().size(), 3u);
+  EXPECT_EQ(supervisor.events()[2].to, WorkerHealth::kDead);
+  EXPECT_FALSE(supervisor.events()[2].failover);
+  EXPECT_TRUE(server.worker_active(1));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SupervisorTest, FailoverRetiresDeadWorkerAndMigratesItsState) {
+  const Population& pop = Population::instance();
+  VirtualClock clock;
+  Server server(small_fleet(3), clock);
+  Supervisor supervisor(server, thresholds(), clock);
+  beat_all(server);
+
+  // Open sessions spread across the fleet; the worker owning session 1
+  // is the victim (placement is hash-determined, so pick, don't assume).
+  std::map<std::uint64_t, SessionHandle> handles;
+  const std::size_t victim = server.shard_of(1);
+  std::vector<std::uint64_t> on_victim;
+  for (std::uint64_t sid = 1; sid <= 24; ++sid) {
+    handles[sid] = server.open_session(sid);
+    if (server.shard_of(sid) == victim) on_victim.push_back(sid);
+  }
+  ASSERT_FALSE(on_victim.empty());
+
+  // Queue one request on a victim-owned session so failover has an item
+  // to re-home.
+  ASSERT_EQ(server.submit(on_victim[0], handles[on_victim[0]],
+                          make_request(pop, 0)),
+            SubmitStatus::kQueued);
+  const std::size_t sessions_before = server.sessions();
+
+  // Every other worker keeps beating; the victim goes silent past
+  // dead_after.
+  clock.advance(250'000);
+  for (std::size_t w = 0; w < server.workers(); ++w) {
+    if (w != victim) server.shard(w).beat();
+  }
+
+  std::vector<ServedResult> out;
+  EXPECT_EQ(supervisor.poll(out), 1u);
+  EXPECT_FALSE(server.worker_active(victim));
+  EXPECT_EQ(supervisor.health(victim), WorkerHealth::kRetired);
+  EXPECT_EQ(supervisor.classify(victim), WorkerHealth::kRetired);
+  EXPECT_EQ(supervisor.stats().failovers, 1u);
+
+  // The failover event carries the migration ledger.
+  const SupervisorEvent* failover = nullptr;
+  for (const SupervisorEvent& e : supervisor.events()) {
+    if (e.failover) failover = &e;
+  }
+  ASSERT_NE(failover, nullptr);
+  EXPECT_EQ(failover->worker, victim);
+  EXPECT_EQ(failover->to, WorkerHealth::kDead);
+  EXPECT_EQ(failover->sessions_migrated, on_victim.size());
+  EXPECT_EQ(failover->migrations.size(), on_victim.size());
+  EXPECT_EQ(failover->items_requeued + failover->items_expired +
+                failover->items_dropped,
+            1u);
+
+  // No session lost; every migrated session reachable via its new handle.
+  EXPECT_EQ(server.sessions(), sessions_before);
+  for (const ResizeReport::MigratedSession& m : failover->migrations) {
+    EXPECT_EQ(m.from, victim);
+    EXPECT_NE(m.to, victim);
+    const SessionRecord* record = server.session(m.session_id, m.new_handle);
+    ASSERT_NE(record, nullptr) << "session " << m.session_id;
+    EXPECT_EQ(record->session_id, m.session_id);
+    // A pre-failover handle must never alias: either it no longer
+    // resolves, or (when the destination slab coincidentally minted the
+    // same slot and generation) it resolves to the very same session.
+    const SessionRecord* stale = server.session(m.session_id, m.old_handle);
+    if (m.old_handle == m.new_handle) {
+      EXPECT_EQ(stale, record);
+    } else {
+      EXPECT_EQ(stale, nullptr) << "stale handle must not resolve";
+    }
+  }
+
+  // The re-homed item still gets served.
+  std::vector<ServedResult> served;
+  server.drain(served);
+  std::size_t answered = static_cast<std::size_t>(served.size()) + out.size();
+  EXPECT_EQ(answered, 1u);
+
+  // The retired worker never comes back on later polls.
+  clock.advance(1'000'000);
+  beat_all(server);
+  EXPECT_EQ(supervisor.poll(out), 0u);
+  EXPECT_EQ(supervisor.health(victim), WorkerHealth::kRetired);
+}
+
+TEST(SupervisorTest, LastActiveWorkerIsNeverRemoved) {
+  VirtualClock clock;
+  Server server(small_fleet(2), clock);
+  Supervisor supervisor(server, thresholds(), clock);
+  beat_all(server);
+
+  std::vector<ServedResult> out;
+  // Both workers go silent together. Only one may be retired; the
+  // survivor stays DEAD but on the ring (the ring must place somewhere).
+  clock.advance(300'000);
+  const std::size_t failovers = supervisor.poll(out);
+  EXPECT_EQ(failovers, 1u);
+  EXPECT_EQ(server.active_worker_ids().size(), 1u);
+  const std::size_t survivor = server.active_worker_ids()[0];
+  EXPECT_EQ(supervisor.health(survivor), WorkerHealth::kDead);
+
+  // Still never removed, poll after poll.
+  clock.advance(1'000'000);
+  EXPECT_EQ(supervisor.poll(out), 0u);
+  EXPECT_TRUE(server.worker_active(survivor));
+}
+
+TEST(SupervisorTest, WatchEnrollsGrownWorker) {
+  VirtualClock clock;
+  Server server(small_fleet(2), clock);
+  Supervisor supervisor(server, thresholds(), clock);
+  beat_all(server);
+
+  std::vector<ServedResult> out;
+  const std::size_t fresh = server.add_worker(out);
+  EXPECT_EQ(fresh, 2u);
+  supervisor.watch(fresh);
+  server.shard(fresh).beat();
+  EXPECT_EQ(supervisor.classify(fresh), WorkerHealth::kHealthy);
+
+  // The grown worker rides the same ladder — and can itself fail over.
+  clock.advance(250'000);
+  server.shard(0).beat();
+  server.shard(1).beat();
+  EXPECT_EQ(supervisor.poll(out), 1u);
+  EXPECT_FALSE(server.worker_active(fresh));
+  EXPECT_EQ(supervisor.health(fresh), WorkerHealth::kRetired);
+}
+
+}  // namespace
+}  // namespace vibguard::serving
