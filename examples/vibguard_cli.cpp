@@ -14,7 +14,7 @@
 //   vibguard_cli stream-sweep [--attack T] [--room R] [--trials N]
 //                                          early-exit fraction vs EER table
 //   vibguard_cli chaos-sweep [--fleet N] [--rps R] [--trials N]
-//                                          fleet resilience under worker faults
+//                [--scenario NAME]         fleet resilience under worker faults
 //   vibguard_cli export-audio [DIR]        write demo WAV files
 //
 // All subcommands are deterministic for a fixed --seed (default 42).
@@ -62,6 +62,7 @@ struct Args {
   std::size_t fleet = 4;       ///< chaos-sweep worker count
   std::uint64_t rps = 30;      ///< chaos-sweep offered load
   std::uint64_t chaos_seed = 0xC4A05;
+  std::string scenario;  ///< chaos-sweep scenario filter; empty = all
   std::string dir = "vibguard_audio";
 };
 
@@ -107,6 +108,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--fleet") args.fleet = number();
     else if (flag == "--rps") args.rps = number();
     else if (flag == "--chaos-seed") args.chaos_seed = number();
+    else if (flag == "--scenario") args.scenario = next();
     else if (flag[0] != '-') args.dir = flag;
     else throw InvalidArgument("unknown flag: " + flag);
   }
@@ -304,6 +306,9 @@ int cmd_chaos_sweep(const Args& args) {
   cfg.batch_max = args.batch;
   cfg.batch_window_us = args.batch_window_ms * 1000;
   cfg.chaos_seed = args.chaos_seed;
+  // An unknown --scenario name throws InvalidArgument inside the sweep,
+  // which main() maps to the usage-error exit code 2.
+  cfg.scenario_filter = args.scenario;
   const auto result = eval::run_chaos_sweep(cfg, args.seed);
   std::printf("%s", result.summary().c_str());
   for (const auto& p : result.points) {
@@ -369,7 +374,8 @@ void usage() {
       "         --capacity N  --deadline-ms N  (load-sweep)\n"
       "         --workers CSV  --batch N  --batch-window-ms N\n"
       "                 (load-sweep: sharded fleet across the worker grid)\n"
-      "         --fleet N  --rps R  --chaos-seed S  (chaos-sweep)\n");
+      "         --fleet N  --rps R  --chaos-seed S  (chaos-sweep)\n"
+      "         --scenario NAME  (chaos-sweep: run one scenario only)\n");
 }
 
 }  // namespace

@@ -17,7 +17,7 @@ OUT_JSON="${2:-${REPO_ROOT}/BENCH_microbench.json}"
 # The slow whole-experiment benchmarks are not dispatch-sensitive enough to
 # justify their runtime in the smoke loop; the kernel set below is the one
 # the regression gate tracks.
-FILTER="${BENCH_FILTER:-BM_FftPow2|BM_FftBluestein|BM_Rfft|BM_StftPower|BM_StftPlanned|BM_Mfcc|BM_Mel|BM_Resample|BM_Correlation2d|BM_FullPipelineScore|BM_StreamingScore}"
+FILTER="${BENCH_FILTER:-BM_FftPow2|BM_FftBluestein|BM_Rfft|BM_StftPower|BM_StftPlanned|BM_Mfcc|BM_Mel|BM_Resample|BM_Correlation2d|BM_FullPipelineScore|BM_StreamingScore|BM_ShardSteal}"
 
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release \

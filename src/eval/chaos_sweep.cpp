@@ -76,29 +76,103 @@ std::vector<ChaosScenario> default_chaos_scenarios(std::uint64_t horizon_us) {
   return scenarios;
 }
 
+std::vector<ChaosScenario> remediation_chaos_scenarios(
+    std::uint64_t horizon_us, std::size_t workers) {
+  const std::uint64_t h = std::max<std::uint64_t>(horizon_us, 10);
+  std::vector<ChaosScenario> scenarios;
+  {
+    // Three 40 ms stalls: with a 20 ms poll, 10 ms slow and 50 ms wedged
+    // threshold each stall yields exactly two SLOW polls (ages 20 and
+    // 40 ms) and never crosses WEDGED — only the steal rung can fire.
+    ChaosScenario s;
+    s.name = "slow_steal";
+    s.plan.stall(1, 2 * h / 10, 2 * h / 10 + 40'000)
+        .stall(1, 4 * h / 10, 4 * h / 10 + 40'000)
+        .stall(1, 6 * h / 10, 6 * h / 10 + 40'000);
+    serving::RemediationConfig r;
+    r.enabled = true;
+    r.steal = true;
+    r.steal_min_depth = 1;
+    r.quarantine = false;
+    r.grow = false;
+    s.remediation = r;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // One 120 ms stall: the third silent poll crosses the 50 ms wedged
+    // threshold → quarantine + pump restart; the stall ends well inside
+    // the 200 ms probe window, the fresh-epoch beat lands, the worker is
+    // restored.
+    ChaosScenario s;
+    s.name = "wedge_recover";
+    s.plan = faults::wedge_then_recover_plan(1, 3 * h / 10, 120'000);
+    serving::RemediationConfig r;
+    r.enabled = true;
+    r.steal = false;
+    r.quarantine = true;
+    r.probe_timeout_us = 200'000;
+    r.grow = false;
+    s.remediation = r;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Every STARTING worker throttled 2x for the whole run (and drain) —
+    // queue ages climb, the K-of-N window confirms, and the supervisor
+    // grows the fleet; the grown workers are outside the throttle set.
+    ChaosScenario s;
+    s.name = "overload_grow";
+    for (std::size_t w = 0; w < workers; ++w) {
+      s.plan.slow(w, h / 20, 10 * h, 2.0);
+    }
+    serving::RemediationConfig r;
+    r.enabled = true;
+    r.steal = false;
+    r.quarantine = false;
+    r.grow = true;
+    r.overload_window = 4;
+    r.overload_confirm = 3;
+    r.queue_age_threshold_us = 60'000;
+    r.cooldown_us = std::max<std::uint64_t>(h / 4, 100'000);
+    r.max_workers = workers + 4;
+    // Pinning is exercised by its own test; keep it out of this
+    // scenario's way.
+    r.flap_actions = 64;
+    s.remediation = r;
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
 std::string ChaosSweepResult::summary() const {
   std::string out = "chaos sweep\n";
-  char line[256];
+  char line[320];
   std::snprintf(line, sizeof(line),
-                "  %-11s %5s %5s %5s %5s %6s %5s %5s %4s %4s %3s %9s "
-                "%6s %8s\n",
+                "  %-13s %5s %5s %5s %5s %6s %5s %5s %4s %4s %3s %9s "
+                "%6s %8s %7s %3s %8s\n",
                 "scenario", "wrk", "arr", "ans", "rej", "dlmiss", "lost",
-                "drop", "mig", "fo", "ok", "detect ms", "avail", "EERpri");
+                "drop", "mig", "fo", "ok", "detect ms", "avail", "EERpri",
+                "p95 ms", "rem", "rem ms");
   out += line;
   for (const ChaosSweepPoint& p : points) {
     char wrk[16];
     std::snprintf(wrk, sizeof(wrk), "%zu>%zu", p.workers_start,
                   p.workers_end);
+    const std::size_t remediations = p.steals + p.quarantines +
+                                     p.recoveries + p.escalations + p.grows +
+                                     p.flap_suppressed;
     std::snprintf(line, sizeof(line),
-                  "  %-11s %5s %5zu %5zu %5zu %6zu %5zu %5zu %4zu %4zu "
-                  "%3s %9.1f %6.3f %8.3f\n",
+                  "  %-13s %5s %5zu %5zu %5zu %6zu %5zu %5zu %4zu %4zu "
+                  "%3s %9.1f %6.3f %8.3f %7.1f %3zu %8.1f\n",
                   p.scenario.c_str(), wrk, p.arrivals, p.answered,
                   p.rejected + p.quota_rejected + p.closed_rejected,
                   p.deadline_missed, p.results_lost, p.migration_dropped,
                   p.sessions_migrated, p.failovers,
                   p.accounted ? "yes" : "NO",
                   static_cast<double>(p.detect_us) / 1000.0, p.availability,
-                  p.eer_primary);
+                  p.eer_primary,
+                  static_cast<double>(p.queue_age_p95_us) / 1000.0,
+                  remediations,
+                  static_cast<double>(p.remediate_us) / 1000.0);
     out += line;
   }
   return out;
@@ -121,12 +195,27 @@ ChaosSweepResult run_chaos_sweep(const ChaosSweepConfig& config,
       pop.arrival_rng, 0, config.offered_rps, num_requests);
   const std::uint64_t horizon_us = arrival_us.back();
 
-  std::vector<ChaosScenario> default_scenarios;
+  std::vector<ChaosScenario> all_scenarios;
   if (config.scenarios.empty()) {
-    default_scenarios = default_chaos_scenarios(horizon_us);
+    all_scenarios = default_chaos_scenarios(horizon_us);
+    std::vector<ChaosScenario> remediation =
+        remediation_chaos_scenarios(horizon_us, config.workers);
+    for (ChaosScenario& s : remediation) {
+      all_scenarios.push_back(std::move(s));
+    }
+  } else {
+    all_scenarios = config.scenarios;
   }
-  const std::vector<ChaosScenario>& scenarios =
-      config.scenarios.empty() ? default_scenarios : config.scenarios;
+  std::vector<ChaosScenario> scenarios;
+  if (config.scenario_filter.empty()) {
+    scenarios = std::move(all_scenarios);
+  } else {
+    for (ChaosScenario& s : all_scenarios) {
+      if (s.name == config.scenario_filter) scenarios.push_back(std::move(s));
+    }
+    VIBGUARD_REQUIRE(!scenarios.empty(),
+                     "unknown chaos scenario: " + config.scenario_filter);
+  }
 
   ChaosSweepResult result;
 
@@ -143,7 +232,11 @@ ChaosSweepResult run_chaos_sweep(const ChaosSweepConfig& config,
     server_cfg.shard.breaker = config.base.breaker;
     server_cfg.deadline_us = config.base.deadline_us;
     serving::Server server(server_cfg, clock);
-    serving::Supervisor supervisor(server, config.supervisor, clock);
+    serving::SupervisorConfig supervisor_cfg = config.supervisor;
+    if (scenario.remediation.has_value()) {
+      supervisor_cfg.remediation = *scenario.remediation;
+    }
+    serving::Supervisor supervisor(server, supervisor_cfg, clock);
     const faults::ChaosController chaos(scenario.plan, config.chaos_seed);
 
     std::vector<serving::SessionHandle> handles(config.sessions);
@@ -160,6 +253,7 @@ ChaosSweepResult run_chaos_sweep(const ChaosSweepConfig& config,
     point.arrivals = num_requests;
     std::vector<double> legit_pri, attack_pri, legit_deg, attack_deg;
     std::vector<bool> answered_req(num_requests, false);
+    std::vector<std::uint64_t> answered_queue_us;
 
     std::uint64_t last_failover_us = 0;
     bool any_failover = false;
@@ -183,20 +277,23 @@ ChaosSweepResult run_chaos_sweep(const ChaosSweepConfig& config,
       const auto& events = supervisor.events();
       for (; events_seen < events.size(); ++events_seen) {
         const serving::SupervisorEvent& event = events[events_seen];
-        if (!event.failover) continue;
-        any_failover = true;
-        last_failover_us = std::max(last_failover_us, event.at_us);
+        // Any event can carry migrations now (failover, quarantine,
+        // recovery, escalation, supervisor-driven growth) — the handle
+        // updates apply regardless; failover bookkeeping stays gated.
         point.items_migrated += event.items_requeued;
-        const std::uint64_t crash_at = chaos.crash_at_us(event.worker);
-        if (point.detect_us == 0 && crash_at != UINT64_MAX &&
-            event.at_us >= crash_at) {
-          point.detect_us = event.at_us - crash_at;
-        }
         for (const auto& moved : event.migrations) {
           const std::size_t s = moved.session_id - kSessionIdBase;
           if (s < handles.size() && handles[s] == moved.old_handle) {
             handles[s] = moved.new_handle;
           }
+        }
+        if (!event.failover) continue;
+        any_failover = true;
+        last_failover_us = std::max(last_failover_us, event.at_us);
+        const std::uint64_t crash_at = chaos.crash_at_us(event.worker);
+        if (point.detect_us == 0 && crash_at != UINT64_MAX &&
+            event.at_us >= crash_at) {
+          point.detect_us = event.at_us - crash_at;
         }
       }
     };
@@ -272,12 +369,20 @@ ChaosSweepResult run_chaos_sweep(const ChaosSweepConfig& config,
         clock.set(poll_t);
         // Live workers stamp their heartbeat at the poll tick — the
         // discrete-time stand-in for the pump's per-iteration beat.
-        for (const std::size_t w : server.active_worker_ids()) {
+        // Quarantined workers beat too (their process is alive, merely
+        // fenced off the ring): that fresh-epoch beat IS the probe signal
+        // recovery waits for. Only retired workers stay silent.
+        for (std::size_t w = 0; w < server.workers(); ++w) {
+          if (server.worker_state(w) == serving::WorkerState::kRetired) {
+            continue;
+          }
           if (chaos.alive(w, poll_t)) server.shard(w).beat();
         }
         supervisor.poll(control_out);
         account_migration_results();
         apply_new_supervisor_events();
+        // The supervisor may have grown the fleet inside poll().
+        while (free_us.size() < server.workers()) free_us.push_back(0);
         poll_t += config.supervisor_poll_us;
         continue;
       }
@@ -330,6 +435,7 @@ ChaosSweepResult run_chaos_sweep(const ChaosSweepConfig& config,
           }
           ++point.answered;
           answered_req[r.request_id] = true;
+          answered_queue_us.push_back(r.queue_us);
           if (r.migrated) ++point.served_migrated;
           const std::size_t t = pop.order[r.request_id];
           switch (r.outcome.status) {
@@ -400,6 +506,27 @@ ChaosSweepResult run_chaos_sweep(const ChaosSweepConfig& config,
     const serving::SupervisorStats& sup = supervisor.stats();
     point.failovers = sup.failovers;
     point.sessions_migrated += sup.sessions_migrated;
+    point.steals = sup.steals;
+    point.items_stolen = sup.items_stolen;
+    point.quarantines = sup.quarantines;
+    point.recoveries = sup.recoveries;
+    point.escalations = sup.escalations;
+    point.grows = sup.grows;
+    point.flap_suppressed = sup.flap_suppressed;
+    point.queue_age_p95_us =
+        percentile_nearest_rank(answered_queue_us, 95.0);
+    const auto& remediation_log = supervisor.remediation_log();
+    if (!remediation_log.events().empty() && !scenario.plan.empty()) {
+      std::uint64_t fault_onset = UINT64_MAX;
+      for (const faults::WorkerFault& fault : scenario.plan.faults()) {
+        fault_onset = std::min(fault_onset, fault.from_us);
+      }
+      const std::uint64_t first_action =
+          remediation_log.events().front().at_us;
+      if (first_action >= fault_onset) {
+        point.remediate_us = first_action - fault_onset;
+      }
+    }
     for (std::size_t w = 0; w < server.workers(); ++w) {
       if (server.shard(w).breaker() != nullptr) {
         point.breaker_trips += server.shard(w).breaker()->trips();

@@ -32,13 +32,19 @@
 namespace vibguard::eval {
 
 /// One chaos scenario: a named fault plan, optionally with a mid-run
-/// fleet growth event.
+/// fleet growth event and/or a supervisor remediation policy.
 struct ChaosScenario {
   std::string name;
   faults::ChaosPlan plan;
   /// When set, one worker is added at this virtual time (growth
   /// migration: only sessions whose owner changed move).
   std::optional<std::uint64_t> grow_at_us;
+  /// When set, overrides the sweep supervisor's remediation policy for
+  /// this scenario only (the remediation scenarios turn exactly one rung
+  /// on each). Unset inherits config.supervisor.remediation — disabled by
+  /// default, which keeps every non-remediation scenario bit-identical to
+  /// a supervisor without the ladder.
+  std::optional<serving::RemediationConfig> remediation;
 };
 
 struct ChaosSweepConfig {
@@ -63,8 +69,14 @@ struct ChaosSweepConfig {
 
   std::uint64_t chaos_seed = 0xC4A05ULL;
 
-  /// Scenarios to run; empty selects default_chaos_scenarios().
+  /// Scenarios to run; empty selects default_chaos_scenarios() +
+  /// remediation_chaos_scenarios().
   std::vector<ChaosScenario> scenarios;
+
+  /// When non-empty, run only the scenario with this exact name. An
+  /// unknown name throws InvalidArgument (the CLI maps it to a usage
+  /// error, exit 2).
+  std::string scenario_filter;
 };
 
 /// The canonical scenario set: a fault-free baseline plus one scenario
@@ -72,6 +84,22 @@ struct ChaosSweepConfig {
 /// growth. `horizon_us` scales the fault windows (use the expected end
 /// of the arrival stream).
 std::vector<ChaosScenario> default_chaos_scenarios(std::uint64_t horizon_us);
+
+/// The remediation trio, one scenario per ladder rung (each enables
+/// exactly the rung it exercises):
+///   slow_steal    — three short stalls on worker 1, each holding it SLOW
+///                   for two polls; idle peers steal its queue.
+///   wedge_recover — one finite stall crossing the wedged threshold; the
+///                   worker is quarantined, restarts, beats under the new
+///                   epoch, and is restored.
+///   overload_grow — every starting worker throttled 2x for the run; the
+///                   windowed overload score confirms and the supervisor
+///                   grows the fleet (grown workers are not throttled).
+/// `workers` is the starting fleet size (bounds the throttle set so grown
+/// workers escape it). Window timings assume the default supervisor
+/// thresholds and 20 ms poll.
+std::vector<ChaosScenario> remediation_chaos_scenarios(
+    std::uint64_t horizon_us, std::size_t workers);
 
 /// One scenario's outcome. The accounting identity (checked in
 /// `accounted`):
@@ -107,6 +135,21 @@ struct ChaosSweepPoint {
   /// worker (0 when no crash was failed over): the time the fleet ran
   /// headless before the supervisor recovered it.
   std::uint64_t detect_us = 0;
+
+  // Remediation ladder accounting (all zero when remediation is off).
+  std::size_t steals = 0;        ///< steal passes that moved >= 1 item
+  std::size_t items_stolen = 0;  ///< items moved to a thief shard
+  std::size_t quarantines = 0;
+  std::size_t recoveries = 0;
+  std::size_t escalations = 0;
+  std::size_t grows = 0;            ///< supervisor-driven fleet growth
+  std::size_t flap_suppressed = 0;  ///< confirmed overload pinned instead
+  /// First fault onset → first remediation action (0 when the log is
+  /// empty or the plan has no faults): time-to-remediate.
+  std::uint64_t remediate_us = 0;
+  /// Nearest-rank p95 of queue wait among ANSWERED requests — the tail
+  /// latency the steal rung exists to cut.
+  std::uint64_t queue_age_p95_us = 0;
 
   double availability = 0.0;  ///< answered / arrivals
   /// Answered fraction among arrivals after the last failover (NaN when

@@ -26,6 +26,16 @@ double eer_or_nan(const std::vector<double>& attack,
   return compute_roc(attack, legit).eer;
 }
 
+std::uint64_t percentile_nearest_rank(std::vector<std::uint64_t> values,
+                                      double pct) {
+  VIBGUARD_REQUIRE(pct > 0.0 && pct <= 100.0, "percentile must be in (0,100]");
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(values.size())));
+  return values[rank - 1];
+}
+
 void render_sweep_population(const LoadSweepConfig& config,
                              std::uint64_t seed, SweepPopulation& pop) {
   VIBGUARD_REQUIRE(config.num_speakers >= 2,

@@ -52,4 +52,12 @@ std::vector<std::uint64_t> poisson_arrivals(const Rng& arrival_rng,
 double eer_or_nan(const std::vector<double>& attack,
                   const std::vector<double>& legit);
 
+/// Nearest-rank percentile (pct in (0, 100]) of `values`: the smallest
+/// element with at least ceil(pct/100 * n) elements <= it. Exact sample
+/// statistic — no interpolation, so sweeps report values that actually
+/// occurred. Returns 0 for an empty sample. Sorts a copy; callers keep
+/// their order.
+std::uint64_t percentile_nearest_rank(std::vector<std::uint64_t> values,
+                                      double pct);
+
 }  // namespace vibguard::eval

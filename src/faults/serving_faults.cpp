@@ -169,6 +169,14 @@ ChaosPlan worker_severity_plan(WorkerFaultKind kind, double severity,
   return plan;
 }
 
+ChaosPlan wedge_then_recover_plan(std::size_t worker, std::uint64_t at_us,
+                                  std::uint64_t wedge_for_us) {
+  VIBGUARD_REQUIRE(wedge_for_us > 0, "wedge window must be non-empty");
+  ChaosPlan plan;
+  plan.stall(worker, at_us, at_us + wedge_for_us);
+  return plan;
+}
+
 ChaosController::ChaosController(ChaosPlan plan, std::uint64_t seed)
     : plan_(std::move(plan)), seed_(seed) {}
 

@@ -103,6 +103,17 @@ ChaosPlan worker_severity_plan(WorkerFaultKind kind, double severity,
                                std::size_t worker, std::uint64_t from_us,
                                std::uint64_t horizon_us);
 
+/// Wedge-then-recover: a single finite stall on `worker` starting at
+/// `at_us` and lasting `wedge_for_us` — long enough (by the caller's
+/// choice) to cross a supervisor's wedged threshold, after which the
+/// worker resumes on its own. The canonical probe-recovery fixture: a
+/// remediating supervisor should quarantine the worker mid-stall, observe
+/// the post-restart heartbeat once the stall ends, and restore it — while
+/// a non-remediating one rides it out (or fails over, if the stall
+/// outlives dead_after_us).
+ChaosPlan wedge_then_recover_plan(std::size_t worker, std::uint64_t at_us,
+                                  std::uint64_t wedge_for_us);
+
 /// Seeded, deterministic oracle over a ChaosPlan. All queries are pure
 /// functions of (plan, seed, arguments) — no internal mutable state — so
 /// any driver (threaded or simulated) observing the same times and

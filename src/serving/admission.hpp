@@ -37,6 +37,11 @@ struct AdmissionStats {
   std::uint64_t rejected = 0;
   std::uint64_t dequeued = 0;  ///< dequeued for service (excludes expired)
   std::uint64_t expired = 0;   ///< dropped: deadline passed while queued
+  /// Items removed by a peer's work steal (serving shards only; see
+  /// Shard::steal_batch). Stolen items leave this queue unserved, so they
+  /// never touch the queue-time aggregates here — their wait keeps
+  /// accruing and is accounted where they are finally dequeued.
+  std::uint64_t stolen = 0;
   std::uint64_t total_queue_us = 0;  ///< summed over dequeued requests
   std::uint64_t max_queue_us = 0;
 

@@ -7,6 +7,15 @@
 
 namespace vibguard::serving {
 
+const char* worker_state_name(WorkerState state) {
+  switch (state) {
+    case WorkerState::kActive: return "active";
+    case WorkerState::kQuarantined: return "quarantined";
+    case WorkerState::kRetired: return "retired";
+  }
+  VIBGUARD_UNREACHABLE();
+}
+
 Server::Server(ServerConfig config, const Clock& clock)
     : config_(config),
       clock_(&clock),
@@ -22,9 +31,21 @@ Server::Server(ServerConfig config, const Clock& clock)
   for (std::size_t w = 0; w < config_.workers; ++w) {
     lanes_.push_back(std::make_unique<Lane>(config_.shard, clock));
   }
+  states_.assign(config_.workers, WorkerState::kActive);
 }
 
 Server::~Server() { stop_pumps(); }
+
+std::size_t Server::workers() const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  return lanes_.size();
+}
+
+Server::Lane& Server::lane(std::size_t w) const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  VIBGUARD_REQUIRE(w < lanes_.size(), "no such worker");
+  return *lanes_[w];
+}
 
 std::size_t Server::shard_of(std::uint64_t session_id) const {
   std::shared_lock<std::shared_mutex> lock(ring_mu_);
@@ -41,9 +62,15 @@ std::vector<std::size_t> Server::active_worker_ids() const {
   return ring_.active_workers();
 }
 
+WorkerState Server::worker_state(std::size_t w) const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  VIBGUARD_REQUIRE(w < states_.size(), "no such worker");
+  return states_[w];
+}
+
 SessionHandle Server::open_session(std::uint64_t session_id,
                                    std::uint32_t tenant) {
-  Lane& lane = *lanes_[shard_of(session_id)];
+  Lane& lane = this->lane(shard_of(session_id));
   std::lock_guard<std::mutex> lock(lane.mu);
   SessionRecord record;
   record.session_id = session_id;
@@ -53,7 +80,7 @@ SessionHandle Server::open_session(std::uint64_t session_id,
 }
 
 bool Server::close_session(std::uint64_t session_id, SessionHandle handle) {
-  Lane& lane = *lanes_[shard_of(session_id)];
+  Lane& lane = this->lane(shard_of(session_id));
   std::lock_guard<std::mutex> lock(lane.mu);
   const SessionRecord* record = lane.slab.get(handle);
   if (record == nullptr || record->session_id != session_id) return false;
@@ -62,16 +89,17 @@ bool Server::close_session(std::uint64_t session_id, SessionHandle handle) {
 
 std::size_t Server::sessions() const {
   std::size_t total = 0;
-  for (const auto& lane : lanes_) {
-    std::lock_guard<std::mutex> lock(lane->mu);
-    total += lane->slab.size();
+  for (std::size_t w = 0; w < workers(); ++w) {
+    Lane& ln = lane(w);
+    std::lock_guard<std::mutex> lock(ln.mu);
+    total += ln.slab.size();
   }
   return total;
 }
 
 const SessionRecord* Server::session(std::uint64_t session_id,
                                      SessionHandle handle) const {
-  const Lane& lane = *lanes_[shard_of(session_id)];
+  const Lane& lane = this->lane(shard_of(session_id));
   std::lock_guard<std::mutex> lock(lane.mu);
   const SessionRecord* record = lane.slab.get(handle);
   if (record == nullptr || record->session_id != session_id) return nullptr;
@@ -94,7 +122,7 @@ SubmitStatus Server::submit(std::uint64_t session_id, SessionHandle session,
   VIBGUARD_REQUIRE(request.va != nullptr && request.wearable != nullptr,
                    "server request needs both signals");
   const std::size_t w = shard_of(session_id);
-  Lane& lane = *lanes_[w];
+  Lane& lane = this->lane(w);
 
   WorkItem item;
   item.session_id = session_id;
@@ -123,8 +151,8 @@ SubmitStatus Server::submit(std::uint64_t session_id, SessionHandle session,
 
 std::optional<std::uint64_t> Server::batch_ready_us() const {
   std::optional<std::uint64_t> earliest;
-  for (const auto& lane : lanes_) {
-    const auto ready = lane->shard.batch_ready_us();
+  for (std::size_t w = 0; w < workers(); ++w) {
+    const auto ready = lane(w).shard.batch_ready_us();
     if (ready.has_value() && (!earliest.has_value() || *ready < *earliest)) {
       earliest = ready;
     }
@@ -133,7 +161,7 @@ std::optional<std::uint64_t> Server::batch_ready_us() const {
 }
 
 std::optional<PlannedBatch> Server::form_batch(std::size_t w, bool force) {
-  Lane& lane = *lanes_[w];
+  Lane& lane = this->lane(w);
   VIBGUARD_REQUIRE(!lane.has_batch,
                    "complete the previous batch before forming another");
   lane.batch.clear();
@@ -151,7 +179,7 @@ std::optional<PlannedBatch> Server::form_batch(std::size_t w, bool force) {
 
 void Server::complete_batch(std::size_t w, std::vector<ServedResult>& out,
                             std::span<const std::uint64_t> deadline_override) {
-  Lane& lane = *lanes_[w];
+  Lane& lane = this->lane(w);
   VIBGUARD_REQUIRE(lane.has_batch, "no batch formed for this worker");
   VIBGUARD_REQUIRE(
       deadline_override.empty() ||
@@ -217,6 +245,7 @@ void Server::complete_batch(std::size_t w, std::vector<ServedResult>& out,
     result.degraded = lane.formed.degraded;
     result.expired_in_queue = item.expired_in_queue;
     result.migrated = item.migrations > 0;
+    result.stolen = item.stolen;
     result.queue_us = lane.formed.now_us >= item.enqueued_us
                           ? lane.formed.now_us - item.enqueued_us
                           : 0;
@@ -247,8 +276,13 @@ void Server::complete_batch(std::size_t w, std::vector<ServedResult>& out,
       }
     }
     {
-      std::lock_guard<std::mutex> lock(lane.mu);
-      SessionRecord* record = lane.slab.get(item.session);
+      // A stolen item's session record lives on its OWNER's lane (stealing
+      // moves work, not sessions) — resolve through the ring for those.
+      // Unstolen items keep the direct path, so behavior without stealing
+      // is bit-identical to before.
+      Lane& home = item.stolen ? this->lane(shard_of(item.session_id)) : lane;
+      std::lock_guard<std::mutex> lock(home.mu);
+      SessionRecord* record = home.slab.get(item.session);
       // Expired drops were never served: the record's counters describe
       // work actually done for the session.
       if (!item.expired_in_queue && record != nullptr &&
@@ -256,6 +290,11 @@ void Server::complete_batch(std::size_t w, std::vector<ServedResult>& out,
         ++record->served;
         record->last_active_us = clock_->now_us();
       }
+    }
+    {
+      // The payload always recycles on the SERVING lane (where it was
+      // parked), regardless of where the session record lives.
+      std::lock_guard<std::mutex> lock(lane.mu);
       lane.free_payloads.push_back(item.payload);
     }
     out.push_back(result);
@@ -263,8 +302,8 @@ void Server::complete_batch(std::size_t w, std::vector<ServedResult>& out,
 }
 
 void Server::drain(std::vector<ServedResult>& out) {
-  for (std::size_t w = 0; w < lanes_.size(); ++w) {
-    if (!worker_active(w) && lanes_[w]->shard.depth() == 0) continue;
+  for (std::size_t w = 0; w < workers(); ++w) {
+    if (!worker_active(w) && lane(w).shard.depth() == 0) continue;
     while (form_batch(w, /*force=*/true).has_value()) {
       complete_batch(w, out);
     }
@@ -275,7 +314,7 @@ void Server::drain(std::vector<ServedResult>& out) {
 
 void Server::migrate_sessions(
     std::size_t from, std::vector<ResizeReport::MigratedSession>& moved) {
-  Lane& src = *lanes_[from];
+  Lane& src = lane(from);
   // Snapshot, then move one session at a time. Each step holds at most one
   // lane lock (never two — lane locks do not nest), and shard_of takes the
   // shared ring lock, so the exclusive ring lock must NOT be held here.
@@ -300,7 +339,7 @@ void Server::migrate_sessions(
     entry.from = from;
     entry.to = to;
     {
-      Lane& dst = *lanes_[to];
+      Lane& dst = lane(to);
       std::lock_guard<std::mutex> lock(dst.mu);
       entry.new_handle = dst.slab.insert(record);
     }
@@ -316,7 +355,7 @@ void Server::rehome_items(
     std::size_t from, std::vector<WorkItem>& stranded,
     const std::vector<ResizeReport::MigratedSession>& moved,
     ResizeReport& report, std::vector<ServedResult>& out) {
-  Lane& src = *lanes_[from];
+  Lane& src = lane(from);
   const std::uint64_t now = clock_->now_us();
   for (WorkItem& item : stranded) {
     // Pull the payload off the source lane; it re-parks on the new owner
@@ -364,7 +403,7 @@ void Server::rehome_items(
     }
     if (is_move) ++item.migrations;
 
-    Lane& dst = *lanes_[to];
+    Lane& dst = lane(to);
     {
       std::lock_guard<std::mutex> lock(dst.mu);
       item.payload = park_payload(dst, payload);
@@ -386,13 +425,13 @@ void Server::rehome_items(
 
 ResizeReport Server::remove_worker(std::size_t w,
                                    std::vector<ServedResult>& out) {
-  VIBGUARD_REQUIRE(w < lanes_.size(), "no such worker");
+  VIBGUARD_REQUIRE(w < workers(), "no such worker");
   VIBGUARD_REQUIRE(worker_active(w), "worker already retired");
   ResizeReport report;
   report.worker = w;
   report.removed = true;
 
-  Lane& lane = *lanes_[w];
+  Lane& lane = this->lane(w);
   // Close FIRST, then unmap: a submit racing the removal either lands
   // before the close (and is migrated with the queue below) or gets an
   // explicit kRejectedClosed — it can never be stranded on a shard the
@@ -401,6 +440,7 @@ ResizeReport Server::remove_worker(std::size_t w,
   {
     std::unique_lock<std::shared_mutex> lock(ring_mu_);
     ring_.remove_worker(w);
+    states_[w] = WorkerState::kRetired;
   }
 
   migrate_sessions(w, report.sessions);
@@ -419,41 +459,229 @@ ResizeReport Server::remove_worker(std::size_t w,
   return report;
 }
 
+void Server::reclaim_from_donors(const std::vector<std::size_t>& donors,
+                                 ResizeReport& report,
+                                 std::vector<ServedResult>& out) {
+  // Consistent hashing moves only the grown worker's arcs: each existing
+  // worker donates exactly the sessions that now hash elsewhere. Donor
+  // queues are drained and restored so donated items leave in FIFO order
+  // while unmoved items keep their place (requeue preserves enqueued_us,
+  // so the round trip is accounting-neutral).
+  std::vector<WorkItem> stranded;
+  for (const std::size_t v : donors) {
+    const std::size_t before = report.sessions.size();
+    migrate_sessions(v, report.sessions);
+    if (report.sessions.size() == before && lane(v).shard.depth() == 0) {
+      continue;
+    }
+    stranded.clear();
+    lane(v).shard.take_all(stranded);
+    rehome_items(v, stranded, report.sessions, report, out);
+  }
+}
+
 std::size_t Server::add_worker(std::vector<ServedResult>& out,
                                ResizeReport* report_out) {
-  VIBGUARD_REQUIRE(pumps_.empty(),
-                   "stop pumps before growing the fleet (lane vector grows)");
-  const std::size_t w = lanes_.size();
+  ResizeReport report;
+  report.removed = false;
+
+  std::size_t w = 0;
+  std::vector<std::size_t> donors;
+  {
+    // One exclusive section covers the lane-vector growth AND the ring
+    // add: every reader (shard_of, lane, workers) indexes under the
+    // shared side, so live pumps never observe a reallocating vector.
+    std::unique_lock<std::shared_mutex> lock(ring_mu_);
+    w = lanes_.size();
+    lanes_.push_back(std::make_unique<Lane>(config_.shard, *clock_));
+    states_.push_back(WorkerState::kActive);
+    donors = ring_.active_workers();
+    ring_.add_worker(w);
+  }
+  report.worker = w;
+
+  reclaim_from_donors(donors, report, out);
+  if (report_out != nullptr) *report_out = std::move(report);
+  if (pumps_running()) start_pump(w);
+  return w;
+}
+
+// ── Quarantine (reversible fence) and work stealing ─────────────────────
+
+ResizeReport Server::quarantine_worker(std::size_t w,
+                                       std::vector<ServedResult>& out) {
+  VIBGUARD_REQUIRE(w < workers(), "no such worker");
+  VIBGUARD_REQUIRE(worker_state(w) == WorkerState::kActive,
+                   "only an active worker can be quarantined");
+  VIBGUARD_REQUIRE(active_worker_ids().size() > 1,
+                   "cannot quarantine the last active worker");
+  ResizeReport report;
+  report.worker = w;
+  report.removed = true;
+
+  Lane& lane = this->lane(w);
+  // Unlike remove_worker the shard stays OPEN — the fence must be
+  // reversible. Drop the ring points first so no new placement lands
+  // here; a submit that read the old placement can still land on the open
+  // shard and simply waits out the quarantine (served after restore, or
+  // re-homed by retire).
+  {
+    std::unique_lock<std::shared_mutex> lock(ring_mu_);
+    ring_.remove_worker(w);
+    states_[w] = WorkerState::kQuarantined;
+  }
+
+  migrate_sessions(w, report.sessions);
+
+  // Drain through the steal path: peers take the fenced queue's items
+  // (Shard::steal_batch accounting — expired items are flagged and
+  // tallied on the victim), then each item is re-homed to its session's
+  // new owner with the same never-lose rules as a removal. A parked
+  // (formed but uncompleted) batch is re-homed first — its items are the
+  // oldest. Passing one vector as both outputs keeps global FIFO order.
+  std::vector<WorkItem> stranded;
+  if (lane.has_batch) {
+    lane.has_batch = false;
+    stranded.insert(stranded.end(), lane.batch.begin(), lane.batch.end());
+    lane.batch.clear();
+  }
+  lane.shard.steal_batch(stranded, stranded, SIZE_MAX);
+  rehome_items(w, stranded, report.sessions, report, out);
+  return report;
+}
+
+ResizeReport Server::restore_worker(std::size_t w,
+                                    std::vector<ServedResult>& out) {
+  VIBGUARD_REQUIRE(w < workers(), "no such worker");
+  VIBGUARD_REQUIRE(worker_state(w) == WorkerState::kQuarantined,
+                   "only a quarantined worker can be restored");
   ResizeReport report;
   report.worker = w;
   report.removed = false;
 
-  lanes_.push_back(std::make_unique<Lane>(config_.shard, *clock_));
   std::vector<std::size_t> donors;
   {
     std::unique_lock<std::shared_mutex> lock(ring_mu_);
     donors = ring_.active_workers();
     ring_.add_worker(w);
+    states_[w] = WorkerState::kActive;
+  }
+  // The ring is deterministic, so `w` gets back exactly the arcs it held
+  // before the quarantine — its old sessions come home, nobody else moves.
+  reclaim_from_donors(donors, report, out);
+  return report;
+}
+
+ResizeReport Server::retire_worker(std::size_t w,
+                                   std::vector<ServedResult>& out) {
+  VIBGUARD_REQUIRE(w < workers(), "no such worker");
+  VIBGUARD_REQUIRE(worker_state(w) == WorkerState::kQuarantined,
+                   "only a quarantined worker can be retired");
+  ResizeReport report;
+  report.worker = w;
+  report.removed = true;
+
+  Lane& lane = this->lane(w);
+  lane.shard.close();
+  {
+    std::unique_lock<std::shared_mutex> lock(ring_mu_);
+    states_[w] = WorkerState::kRetired;
+  }
+  // The quarantine already moved the sessions and drained the queue;
+  // whatever raced in since (stale-placement submits) is re-homed now —
+  // the escalation, like the fence, never loses a request.
+  migrate_sessions(w, report.sessions);
+  std::vector<WorkItem> stranded;
+  lane.shard.take_all(stranded);
+  rehome_items(w, stranded, report.sessions, report, out);
+  return report;
+}
+
+std::size_t Server::steal_work(std::size_t thief, std::size_t victim,
+                               std::size_t max_items,
+                               std::vector<ServedResult>& out) {
+  VIBGUARD_REQUIRE(thief != victim, "a shard cannot steal from itself");
+  VIBGUARD_REQUIRE(thief < workers() && victim < workers(), "no such worker");
+  VIBGUARD_REQUIRE(worker_state(thief) == WorkerState::kActive,
+                   "thief must be active");
+  if (max_items == 0) return 0;
+
+  Lane& vsrc = this->lane(victim);
+  Lane& tdst = this->lane(thief);
+  std::vector<WorkItem> stolen;
+  std::vector<WorkItem> expired;
+  vsrc.shard.steal_batch(stolen, expired, max_items);
+
+  const std::uint64_t now = clock_->now_us();
+  const auto emit = [&](const WorkItem& item, std::size_t worker,
+                        const char* reason, core::ScoreStatus status,
+                        bool was_expired) {
+    ServedResult result;
+    result.request_id = item.request_id;
+    result.session_id = item.session_id;
+    result.worker = worker;
+    result.batch_size = 0;
+    result.expired_in_queue = was_expired;
+    result.stolen = true;
+    result.queue_us = now >= item.enqueued_us ? now - item.enqueued_us : 0;
+    result.outcome.status = status;
+    result.outcome.reason = reason;
+    result.outcome.score = core::kIndeterminateScore;
+    out.push_back(result);
+  };
+
+  // Items already expired on the victim's queue head: a result is owed,
+  // nothing moves.
+  for (const WorkItem& item : expired) {
+    {
+      std::lock_guard<std::mutex> lock(vsrc.mu);
+      vsrc.free_payloads.push_back(item.payload);
+    }
+    emit(item, victim, "deadline_expired_in_queue",
+         core::ScoreStatus::kDeadlineExceeded, /*was_expired=*/true);
   }
 
-  // Consistent hashing moves only the new worker's arcs: each existing
-  // worker donates exactly the sessions that now hash to `w`. Donor queues
-  // are drained and restored so donated items leave in FIFO order while
-  // unmoved items keep their place (requeue preserves enqueued_us, so the
-  // round trip is accounting-neutral).
-  std::vector<WorkItem> stranded;
-  for (const std::size_t v : donors) {
-    const std::size_t before = report.sessions.size();
-    migrate_sessions(v, report.sessions);
-    if (report.sessions.size() == before && lanes_[v]->shard.depth() == 0) {
+  std::size_t moved = 0;
+  for (WorkItem item : stolen) {
+    // Payload rides along: off the victim's slots, onto the thief's.
+    ServerRequest payload;
+    {
+      std::lock_guard<std::mutex> lock(vsrc.mu);
+      payload = vsrc.payloads[item.payload];
+      vsrc.free_payloads.push_back(item.payload);
+    }
+    WorkItem stolen_item = item;
+    stolen_item.stolen = true;
+    {
+      std::lock_guard<std::mutex> lock(tdst.mu);
+      stolen_item.payload = park_payload(tdst, payload);
+    }
+    if (tdst.shard.steal_in(stolen_item)) {
+      ++moved;
       continue;
     }
-    stranded.clear();
-    lanes_[v]->shard.take_all(stranded);
-    rehome_items(v, stranded, report.sessions, report, out);
+    // Thief refused (tenant quota, full queue, or closed): give the item
+    // back to the victim — at the tail, the only FIFO concession the
+    // steal path makes — so a failed steal never loses work.
+    {
+      std::lock_guard<std::mutex> lock(tdst.mu);
+      tdst.free_payloads.push_back(stolen_item.payload);
+    }
+    {
+      std::lock_guard<std::mutex> lock(vsrc.mu);
+      item.payload = park_payload(vsrc, payload);
+    }
+    if (vsrc.shard.requeue(item, /*count_migration=*/false)) continue;
+    // Victim also refused (closed, or refilled by racing submits): the
+    // item is emitted explicitly, never silently dropped.
+    {
+      std::lock_guard<std::mutex> lock(vsrc.mu);
+      vsrc.free_payloads.push_back(item.payload);
+    }
+    emit(item, victim, "steal_requeue_rejected", core::ScoreStatus::kError,
+         /*was_expired=*/false);
   }
-  if (report_out != nullptr) *report_out = std::move(report);
-  return w;
+  return moved;
 }
 
 // ── Thread-per-worker pumps ─────────────────────────────────────────────
@@ -461,7 +689,7 @@ std::size_t Server::add_worker(std::vector<ServedResult>& out,
 std::size_t Server::run_pump(std::size_t w, const ResultSink& sink,
                              const std::atomic<bool>& stop,
                              const PumpConfig& pump) {
-  Lane& lane = *lanes_[w];
+  Lane& lane = this->lane(w);
   std::vector<ServedResult> local;
   return lane.shard.run_pump(
       [&](bool force) {
@@ -475,22 +703,64 @@ std::size_t Server::run_pump(std::size_t w, const ResultSink& sink,
 }
 
 void Server::start_pumps(ResultSink sink, const PumpConfig& pump) {
-  VIBGUARD_REQUIRE(pumps_.empty(), "pumps already running");
+  VIBGUARD_REQUIRE(!pumps_running(), "pumps already running");
   VIBGUARD_REQUIRE(sink != nullptr, "pumps need a result sink");
   pump_stop_.store(false, std::memory_order_release);
-  auto shared_sink = std::make_shared<ResultSink>(std::move(sink));
+  pump_sink_ = std::make_shared<ResultSink>(std::move(sink));
+  pump_cfg_ = pump;
+  pumps_running_.store(true, std::memory_order_release);
   for (const std::size_t w : active_worker_ids()) {
-    pumps_.emplace_back([this, w, shared_sink, pump] {
-      run_pump(w, *shared_sink, pump_stop_, pump);
-    });
+    start_pump(w);
   }
 }
 
+void Server::start_pump(std::size_t w) {
+  VIBGUARD_REQUIRE(pumps_running(), "start_pumps first");
+  std::lock_guard<std::mutex> lock(pumps_mu_);
+  for (const auto& entry : pumps_) {
+    VIBGUARD_REQUIRE(entry.first != w, "worker already has a live pump");
+  }
+  auto sink = pump_sink_;
+  pumps_.emplace_back(w, std::thread([this, w, sink] {
+                        run_pump(w, *sink, pump_stop_, pump_cfg_);
+                      }));
+}
+
+void Server::fence_pump(std::size_t w) {
+  // The epoch bump is the fence: the old pump's next epoch-gated beat
+  // fails and it exits without touching the shard again. We do NOT join
+  // here — a wedged thread may be stuck for a long time; it is parked on
+  // the fenced list and joined at stop_pumps.
+  shard(w).bump_epoch();
+  std::lock_guard<std::mutex> lock(pumps_mu_);
+  for (auto it = pumps_.begin(); it != pumps_.end(); ++it) {
+    if (it->first == w) {
+      fenced_pumps_.push_back(std::move(it->second));
+      pumps_.erase(it);
+      break;
+    }
+  }
+}
+
+void Server::restart_pump(std::size_t w) {
+  fence_pump(w);
+  if (pumps_running()) start_pump(w);
+}
+
 void Server::stop_pumps() {
-  if (pumps_.empty()) return;
+  if (!pumps_running()) return;
   pump_stop_.store(true, std::memory_order_release);
-  for (std::thread& t : pumps_) t.join();
-  pumps_.clear();
+  std::vector<std::pair<std::size_t, std::thread>> live;
+  std::vector<std::thread> fenced;
+  {
+    std::lock_guard<std::mutex> lock(pumps_mu_);
+    live.swap(pumps_);
+    fenced.swap(fenced_pumps_);
+  }
+  for (auto& entry : live) entry.second.join();
+  for (std::thread& t : fenced) t.join();
+  pumps_running_.store(false, std::memory_order_release);
+  pump_sink_.reset();
 }
 
 }  // namespace vibguard::serving

@@ -96,9 +96,21 @@ struct ServedResult {
   bool degraded = false;       ///< scored on the degraded route
   bool expired_in_queue = false;  ///< dropped unscored (deadline passed)
   bool migrated = false;       ///< re-homed by a ring resize before this
+  bool stolen = false;         ///< served off a peer shard by work stealing
   std::uint64_t queue_us = 0;  ///< admission → batch formation
   core::ScoreOutcome outcome;
 };
+
+/// A worker lane's lifecycle. Quarantine is the reversible middle state:
+/// the worker keeps its lane and (open) shard but owns no ring arc, so no
+/// new work lands on it while the supervisor probes for recovery.
+enum class WorkerState {
+  kActive,       ///< on the ring, serving placements
+  kQuarantined,  ///< fenced off the ring, shard open, awaiting probe
+  kRetired,      ///< off the ring, shard closed — terminal
+};
+
+const char* worker_state_name(WorkerState state);
 
 /// What one ring resize (remove_worker / add_worker) did. Every queued or
 /// in-flight item the resize touched is accounted exactly once: requeued
@@ -149,12 +161,14 @@ class Server {
   /// Worker lane slots ever created (including retired ones — lane
   /// indices are stable across resizes). Iterate [0, workers()) and check
   /// worker_active() for the live set.
-  std::size_t workers() const { return lanes_.size(); }
+  std::size_t workers() const;
 
   /// True while worker `w` is on the ring (serving placements).
   bool worker_active(std::size_t w) const;
   /// Sorted indices of the workers currently on the ring.
   std::vector<std::size_t> active_worker_ids() const;
+  /// Worker `w`'s lifecycle state (kActive ⇔ worker_active).
+  WorkerState worker_state(std::size_t w) const;
 
   /// The worker that owns `session_id` (pure function of the id and the
   /// ring's active set).
@@ -234,9 +248,47 @@ class Server {
   /// guarantee) — along with their queued items. `out` receives results
   /// for any item that could not be re-homed (same accounting as
   /// remove_worker; in practice empty unless the new shard's queue is
-  /// undersized).
+  /// undersized). Safe while pumps run: the lane vector only grows under
+  /// the exclusive ring lock, and a pump is spawned for the new worker
+  /// when pumps are running.
   std::size_t add_worker(std::vector<ServedResult>& out,
                          ResizeReport* report = nullptr);
+
+  // ── Quarantine (reversible fence) and work stealing ───────────────────
+
+  /// Fences worker `w` out of the ring WITHOUT closing its shard: ring
+  /// points dropped, live sessions migrated to their new owners, queued
+  /// and parked-batch items drained through the steal path
+  /// (Shard::steal_batch accounting) and re-homed — expired items emitted
+  /// as expired results, unplaceable ones as dropped results, never
+  /// silently lost. The lane stays intact so restore_worker can bring the
+  /// worker back. Control-plane call: the worker's pump must be fenced
+  /// (fence_pump / restart_pump) or parked outside drain first.
+  ResizeReport quarantine_worker(std::size_t w,
+                                 std::vector<ServedResult>& out);
+
+  /// Reverses a quarantine: re-adds `w`'s ring points and migrates back
+  /// exactly the sessions whose owner is `w` again (the consistent-hash
+  /// minimal-migration guarantee), with their queued items. Same
+  /// accounting as add_worker.
+  ResizeReport restore_worker(std::size_t w, std::vector<ServedResult>& out);
+
+  /// Escalates a quarantine to terminal: closes the shard and re-homes
+  /// anything that landed on it since the quarantine drain (racing
+  /// submits). Sessions were already migrated out at quarantine time.
+  ResizeReport retire_worker(std::size_t w, std::vector<ServedResult>& out);
+
+  /// Work stealing: moves up to `max_items` of the oldest queued,
+  /// non-expired items from `victim`'s shard onto `thief`'s (payloads
+  /// re-parked, enqueued_us preserved, thief tenant quotas enforced).
+  /// Items the thief refuses are returned to the victim's queue; if the
+  /// victim also refuses (closed or refilled by racing submits) the item
+  /// is emitted on `out` as a dropped result. Expired items encountered
+  /// on the victim's queue head are emitted as expired results. Returns
+  /// the number of items that actually moved.
+  std::size_t steal_work(std::size_t thief, std::size_t victim,
+                         std::size_t max_items,
+                         std::vector<ServedResult>& out);
 
   // ── Thread-per-worker pumps ───────────────────────────────────────────
 
@@ -246,23 +298,44 @@ class Server {
 
   /// Runs worker `w`'s pump loop on the calling thread (Shard::run_pump):
   /// forms and completes micro-batches as their windows elapse, feeding
-  /// `sink`, heartbeating every iteration. Returns batches served.
+  /// `sink`, heartbeating every iteration through the epoch gate (a
+  /// bump_epoch fences the loop out). Returns batches served.
   std::size_t run_pump(std::size_t w, const ResultSink& sink,
                        const std::atomic<bool>& stop,
                        const PumpConfig& pump = {});
 
   /// Spawns one pump thread per currently-active worker. stop_pumps()
-  /// (or destruction) signals stop, force-drains, and joins.
+  /// (or destruction) signals stop, force-drains, and joins — including
+  /// any epoch-fenced predecessor threads still parked.
   void start_pumps(ResultSink sink, const PumpConfig& pump = {});
   void stop_pumps();
-  bool pumps_running() const { return !pumps_.empty(); }
+  bool pumps_running() const {
+    return pumps_running_.load(std::memory_order_acquire);
+  }
 
-  const Shard& shard(std::size_t w) const { return lanes_[w]->shard; }
-  Shard& shard(std::size_t w) { return lanes_[w]->shard; }
+  /// Bumps worker `w`'s heartbeat epoch, fencing its current pump thread
+  /// (it exits at its next epoch-gated beat and is joined at stop_pumps).
+  /// The thread is NOT joined here — a genuinely wedged pump would block
+  /// forever; fencing merely guarantees it can never beat or drain again
+  /// once it reaches its next loop iteration. No-op thread-wise when
+  /// pumps are not running (the epoch still bumps — the simulator's
+  /// stand-in beats pick up the new epoch automatically).
+  void fence_pump(std::size_t w);
+
+  /// Spawns a fresh pump thread for `w` under the current epoch. Requires
+  /// running pumps and no live (unfenced) pump for `w`.
+  void start_pump(std::size_t w);
+
+  /// fence_pump + (when pumps are running) start_pump: the
+  /// quarantine-recovery restart with a fresh heartbeat epoch.
+  void restart_pump(std::size_t w);
+
+  const Shard& shard(std::size_t w) const { return lane(w).shard; }
+  Shard& shard(std::size_t w) { return lane(w).shard; }
 
   /// Pipeline-stage aggregates accumulated by worker `w`'s scoring calls.
   const core::PipelineStats& worker_pipeline_stats(std::size_t w) const {
-    return lanes_[w]->pipeline_stats;
+    return lane(w).pipeline_stats;
   }
 
  private:
@@ -296,6 +369,13 @@ class Server {
 
   std::size_t park_payload(Lane& lane, const ServerRequest& request);
 
+  /// Lane access that is safe against a concurrent add_worker (which may
+  /// reallocate the lane vector under the exclusive ring lock): the shared
+  /// lock covers only the vector indexing; the Lane itself is heap-pinned,
+  /// so the returned reference stays valid forever. Must NOT be called
+  /// with ring_mu_ already held (shared_mutex is not recursive).
+  Lane& lane(std::size_t w) const;
+
   /// Re-homes `stranded` items off retiring/donor lane `from` onto their
   /// current ring owners, emitting expired/dropped results on `out`.
   /// `new_handles` maps migrated session ids to their post-resize handles.
@@ -308,17 +388,32 @@ class Server {
   void migrate_sessions(std::size_t from,
                         std::vector<ResizeReport::MigratedSession>& moved);
 
+  /// The donor side of a ring grow/restore: each donor in `donors` gives
+  /// up the sessions (and queued items) whose owner changed.
+  void reclaim_from_donors(const std::vector<std::size_t>& donors,
+                           ResizeReport& report,
+                           std::vector<ServedResult>& out);
+
   ServerConfig config_;
   const Clock* clock_;
   core::DefenseSystem system_;
   std::optional<core::DefenseSystem> degraded_system_;
-  /// Placement reads (shard_of) take the shared side; resizes take the
-  /// exclusive side. Lane locks never nest inside it the other way.
+  /// Placement reads (shard_of) take the shared side; resizes — including
+  /// the lane-vector push in add_worker — take the exclusive side. Lane
+  /// locks never nest inside it the other way.
   mutable std::shared_mutex ring_mu_;
   ConsistentHashRing ring_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<WorkerState> states_;  ///< per lane; guarded by ring_mu_
 
-  std::vector<std::thread> pumps_;
+  /// Pump bookkeeping (guarded by pumps_mu_): one live thread per worker,
+  /// plus fenced predecessors awaiting their join at stop_pumps.
+  mutable std::mutex pumps_mu_;
+  std::vector<std::pair<std::size_t, std::thread>> pumps_;
+  std::vector<std::thread> fenced_pumps_;
+  std::shared_ptr<ResultSink> pump_sink_;
+  PumpConfig pump_cfg_;
+  std::atomic<bool> pumps_running_{false};
   std::atomic<bool> pump_stop_{false};
 };
 

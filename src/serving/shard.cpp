@@ -260,6 +260,45 @@ std::size_t Shard::take_all(std::vector<WorkItem>& out) {
   return taken;
 }
 
+std::size_t Shard::steal_batch(std::vector<WorkItem>& out,
+                               std::vector<WorkItem>& expired_out,
+                               std::size_t max_items) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t now = clock_->now_us();
+  std::size_t taken = 0;
+  WorkItem item;
+  while (taken < max_items && queue_->try_pop(item)) {
+    quotas_.release(item.tenant);
+    if (item.deadline_at_us <= now) {
+      // Already dead in the victim's queue: not worth moving, but a result
+      // must still be emitted — same contract as form_batch expiry.
+      item.expired_in_queue = true;
+      ++stats_.admission.expired;
+      expired_out.push_back(item);
+      continue;
+    }
+    // enqueued_us is preserved (the thief's steal_in does not restamp), so
+    // the item's eventual queue_us spans both shards.
+    ++stats_.admission.stolen;
+    out.push_back(item);
+    ++taken;
+  }
+  if (taken > 0) ++stats_.steals_out;
+  return taken;
+}
+
+bool Shard::steal_in(const WorkItem& item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_->closed()) return false;
+  if (!quotas_.try_charge(item.tenant)) return false;
+  if (!queue_->try_push(item)) {
+    quotas_.release(item.tenant);
+    return false;
+  }
+  ++stats_.items_stolen_in;
+  return true;
+}
+
 void Shard::close() {
   std::lock_guard<std::mutex> lock(mu_);
   queue_->close();
@@ -270,9 +309,17 @@ bool Shard::is_closed() const {
   return queue_->closed();
 }
 
-void Shard::beat() {
+void Shard::beat() { beat(epoch_.load(std::memory_order_relaxed)); }
+
+bool Shard::beat(std::uint64_t epoch) {
+  if (epoch != epoch_.load(std::memory_order_relaxed)) return false;
+  // (epoch, time) write order: a reader racing a concurrent bump can see a
+  // stale epoch with a fresh time (looks un-recovered) or a fresh epoch
+  // with a stale time (looks aged) — both err toward "not recovered".
+  last_beat_epoch_.store(epoch, std::memory_order_relaxed);
   last_beat_us_.store(clock_->now_us(), std::memory_order_relaxed);
   beats_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::uint64_t Shard::last_beat_us() const {
@@ -283,19 +330,35 @@ std::uint64_t Shard::beats() const {
   return beats_.load(std::memory_order_relaxed);
 }
 
+std::uint64_t Shard::epoch() const {
+  return epoch_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Shard::last_beat_epoch() const {
+  return last_beat_epoch_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Shard::bump_epoch() {
+  return epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 std::size_t Shard::run_pump(const std::function<bool(bool force)>& drain_once,
                             const std::atomic<bool>& stop,
                             const PumpConfig& pump) {
   VIBGUARD_REQUIRE(pump.idle_poll_us > 0, "pump poll period must be positive");
+  // Beats go through the epoch gate: a bump_epoch() (restart fence) makes
+  // the next beat fail, and this — now stale — pump leaves without touching
+  // the shard again. The replacement pump owns the drainer role.
+  const std::uint64_t my_epoch = epoch();
   std::size_t batches = 0;
   for (;;) {
-    beat();
+    if (!beat(my_epoch)) return batches;  // fenced: a newer pump took over
     if (stop.load(std::memory_order_acquire)) {
       // Graceful stop: serve everything still queued (forced windows) so a
       // shutdown never strands admitted work, then leave.
       while (drain_once(/*force=*/true)) {
         ++batches;
-        beat();
+        if (!beat(my_epoch)) return batches;
       }
       return batches;
     }
@@ -397,6 +460,12 @@ void Shard::record(TrialOutcome outcome, const std::string& stage) {
 }
 
 std::size_t Shard::depth() const { return queue_->size(); }
+
+std::optional<std::uint64_t> Shard::oldest_enqueued_us() const {
+  WorkItem oldest;
+  if (!queue_->try_peek(oldest)) return std::nullopt;
+  return oldest.enqueued_us;
+}
 
 ShardStats Shard::stats() const {
   std::lock_guard<std::mutex> lock(mu_);

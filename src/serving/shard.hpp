@@ -71,6 +71,9 @@ struct WorkItem {
   /// Times this item was re-homed by a ring resize (dead-worker failover
   /// or worker growth) before being served.
   std::uint32_t migrations = 0;
+  /// The item was moved off its session's owner shard by work stealing
+  /// (Server::steal_work); its session record still lives on the owner.
+  bool stolen = false;
 };
 
 /// Bounded multi-producer queue of WorkItems. Implementations must be
@@ -264,6 +267,12 @@ struct ShardStats {
   std::uint64_t batched_items = 0;   ///< items across all batches
   std::uint64_t max_batch = 0;
   std::uint64_t probes = 0;          ///< half-open probe batches (size 1)
+  /// Work-stealing accounting (victim-side item counts live in
+  /// admission.stolen). Stolen items never touch the queue-time means of
+  /// either shard at steal time — their queue_us accrues until the thief
+  /// actually dequeues them for service.
+  std::uint64_t steals_out = 0;      ///< steal_batch calls that took items
+  std::uint64_t items_stolen_in = 0; ///< items this shard accepted via steal_in
 
   double mean_batch() const {
     return batches > 0 ? static_cast<double>(batched_items) /
@@ -314,6 +323,28 @@ class Shard {
   /// being migrated, not served. Used with close() when retiring a shard.
   std::size_t take_all(std::vector<WorkItem>& out);
 
+  /// Work stealing, victim side: pops up to `max_items` of the OLDEST
+  /// queued items (FIFO head — the ones most at risk of expiring) into
+  /// `out` under the victim's lock, releasing their tenant charges and
+  /// preserving enqueued_us so queue-time accounting spans the steal.
+  /// Items whose deadline has already passed are popped along the way,
+  /// flagged expired_in_queue and appended to `expired_out` (accounted in
+  /// admission.expired, exactly like form_batch) — the caller must emit a
+  /// result for them; they do not count against `max_items`. Items parked
+  /// in a formed-but-uncompleted batch are not in the queue and can never
+  /// be stolen. Returns the number of stealable items written to `out`.
+  std::size_t steal_batch(std::vector<WorkItem>& out,
+                          std::vector<WorkItem>& expired_out,
+                          std::size_t max_items);
+
+  /// Work stealing, thief side: accepts a stolen item. Unlike requeue(),
+  /// the thief's tenant quota IS enforced (try_charge) — stealing is an
+  /// optimization, so it must not let a tenant overfill a neighbor shard
+  /// it was never placed on. enqueued_us is preserved. False when the
+  /// shard is closed, the tenant is at quota, or the queue is full; the
+  /// caller then returns the item to the victim (or accounts it).
+  bool steal_in(const WorkItem& item);
+
   /// Retires the shard: every future submit is rejected with
   /// kRejectedClosed and any consumer blocked on the queue is woken.
   /// Items already queued stay poppable (take_all / form_batch drain
@@ -321,14 +352,35 @@ class Shard {
   void close();
   bool is_closed() const;
 
-  /// Stamps this worker's liveness heartbeat at the clock's current time.
-  /// The pump calls it every loop iteration (including idle ones); the
-  /// discrete-event simulator calls it wherever the pump would. Lock-free.
+  /// Stamps this worker's liveness heartbeat at the clock's current time
+  /// under the CURRENT epoch. The pump calls it every loop iteration
+  /// (including idle ones); the discrete-event simulator calls it wherever
+  /// the pump would. Lock-free.
   void beat();
-  /// Clock time of the most recent beat (construction time before any).
+  /// Epoch-gated heartbeat: stamps only when `epoch` is still the shard's
+  /// current epoch; a beat from a fenced (pre-restart) pump is discarded
+  /// so a stale thread can never fake recovery. Returns whether the beat
+  /// was accepted — a pump uses `false` as its exit signal.
+  bool beat(std::uint64_t epoch);
+  /// Clock time of the most recent accepted beat (construction time before
+  /// any).
   std::uint64_t last_beat_us() const;
-  /// Total beats since construction (a progress odometer for tests).
+  /// Total accepted beats since construction (a progress odometer).
   std::uint64_t beats() const;
+
+  /// The current heartbeat epoch. A restart bumps it (bump_epoch) so the
+  /// supervisor can distinguish "the fresh pump is beating" from "the old
+  /// wedged thread twitched": recovery requires last_beat_epoch() to match
+  /// the post-restart epoch.
+  std::uint64_t epoch() const;
+  /// The epoch the most recent accepted beat was stamped under.
+  std::uint64_t last_beat_epoch() const;
+  /// Advances the epoch, fencing every pump started under older epochs
+  /// (their epoch-gated beats are rejected and they exit). Returns the new
+  /// epoch. The beat fields are relaxed atomics written in (epoch, time)
+  /// order; a torn read across a racing bump is always conservative — it
+  /// can only make a worker look *less* recovered, never more.
+  std::uint64_t bump_epoch();
 
   /// The real thread-per-worker pump loop, run on the calling thread. Each
   /// iteration stamps the heartbeat, then either sleeps toward the next
@@ -337,8 +389,10 @@ class Shard {
   /// form-batch + complete-batch step for this worker, returning whether a
   /// batch was served. On `stop` the loop force-drains everything still
   /// queued before returning; on a closed-and-empty shard it returns
-  /// immediately. Returns the number of batches drained. One pump per
-  /// shard at a time (the one-drainer contract).
+  /// immediately. The loop captures the shard epoch at entry and beats
+  /// through the epoch gate: a bump_epoch() (pump restart) fences it out
+  /// at its next iteration. Returns the number of batches drained. One
+  /// *current-epoch* pump per shard at a time (the one-drainer contract).
   std::size_t run_pump(const std::function<bool(bool force)>& drain_once,
                        const std::atomic<bool>& stop,
                        const PumpConfig& pump = {});
@@ -368,6 +422,10 @@ class Shard {
   void record(TrialOutcome outcome, const std::string& stage);
 
   std::size_t depth() const;
+  /// Enqueue time of the oldest queued item; nullopt when empty. The
+  /// supervisor's overload score reads (now - oldest) as its queue-age
+  /// signal — the wait of the item that has waited longest.
+  std::optional<std::uint64_t> oldest_enqueued_us() const;
   ShardStats stats() const;
   const CircuitBreaker* breaker() const {
     return breaker_.has_value() ? &*breaker_ : nullptr;
@@ -384,6 +442,8 @@ class Shard {
   ShardStats stats_;
   std::atomic<std::uint64_t> last_beat_us_{0};
   std::atomic<std::uint64_t> beats_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> last_beat_epoch_{0};
 };
 
 }  // namespace vibguard::serving

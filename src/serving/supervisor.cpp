@@ -1,5 +1,7 @@
 #include "serving/supervisor.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace vibguard::serving {
@@ -14,8 +16,28 @@ const char* worker_health_name(WorkerHealth health) {
       return "wedged";
     case WorkerHealth::kDead:
       return "dead";
+    case WorkerHealth::kQuarantined:
+      return "quarantined";
     case WorkerHealth::kRetired:
       return "retired";
+  }
+  return "?";
+}
+
+const char* remediation_action_name(RemediationAction action) {
+  switch (action) {
+    case RemediationAction::kSteal:
+      return "steal";
+    case RemediationAction::kQuarantine:
+      return "quarantine";
+    case RemediationAction::kRecover:
+      return "recover";
+    case RemediationAction::kEscalate:
+      return "escalate";
+    case RemediationAction::kGrow:
+      return "grow";
+    case RemediationAction::kFlapSuppressed:
+      return "flap_suppressed";
   }
   return "?";
 }
@@ -26,15 +48,29 @@ Supervisor::Supervisor(Server& server, SupervisorConfig config,
   VIBGUARD_REQUIRE(config_.slow_after_us < config_.wedged_after_us &&
                        config_.wedged_after_us < config_.dead_after_us,
                    "health thresholds must be strictly increasing");
+  const RemediationConfig& r = config_.remediation;
+  if (r.enabled) {
+    VIBGUARD_REQUIRE(r.overload_window > 0 && r.overload_confirm > 0 &&
+                         r.overload_confirm <= r.overload_window,
+                     "overload confirmation needs 1 <= K <= N");
+    VIBGUARD_REQUIRE(r.flap_actions > 0, "flap detector needs >= 1 action");
+    VIBGUARD_REQUIRE(r.max_workers > 0, "max_workers must be positive");
+    VIBGUARD_REQUIRE(r.cooldown_us > 0, "cooldown must be positive");
+  }
   health_.assign(server.workers(), WorkerHealth::kHealthy);
+  quarantine_.assign(server.workers(), QuarantineState{});
 }
 
 WorkerHealth Supervisor::classify(std::size_t w) const {
   VIBGUARD_REQUIRE(w < server_->workers(), "no such worker");
-  if (!server_->worker_active(w)) return WorkerHealth::kRetired;
+  const WorkerState state = server_->worker_state(w);
+  if (state == WorkerState::kRetired) return WorkerHealth::kRetired;
+  if (state == WorkerState::kQuarantined) return WorkerHealth::kQuarantined;
   const std::uint64_t now = clock_->now_us();
   const std::uint64_t last = server_->shard(w).last_beat_us();
   const std::uint64_t age = now >= last ? now - last : 0;
+  // Strict `<` on the healthy side of every rung: an age exactly equal to
+  // a threshold takes the worse state (pinned by the boundary tests).
   if (age < config_.slow_after_us) return WorkerHealth::kHealthy;
   if (age < config_.wedged_after_us) return WorkerHealth::kSlow;
   if (age < config_.dead_after_us) return WorkerHealth::kWedged;
@@ -49,6 +85,278 @@ WorkerHealth Supervisor::health(std::size_t w) const {
 void Supervisor::watch(std::size_t w) {
   VIBGUARD_REQUIRE(w < server_->workers(), "no such worker");
   while (health_.size() <= w) health_.push_back(WorkerHealth::kHealthy);
+  while (quarantine_.size() <= w) quarantine_.push_back(QuarantineState{});
+}
+
+void Supervisor::quarantine(std::size_t w, WorkerHealth prev,
+                            std::vector<ServedResult>& out) {
+  SupervisorEvent event;
+  event.at_us = clock_->now_us();
+  event.worker = w;
+  event.from = prev;
+  event.to = WorkerHealth::kQuarantined;
+
+  ResizeReport report = server_->quarantine_worker(w, out);
+  // The restart fences the wedged pump behind a fresh epoch; the probe
+  // below only believes beats stamped under it. In a simulation (no
+  // pumps) this degenerates to exactly the epoch bump the probe needs.
+  server_->restart_pump(w);
+
+  QuarantineState q;
+  q.active = true;
+  q.since_us = event.at_us;
+  q.probe_deadline_us = event.at_us + config_.remediation.probe_timeout_us;
+  q.epoch = server_->shard(w).epoch();
+  q.beats_at = server_->shard(w).beats();
+  quarantine_[w] = q;
+
+  event.sessions_migrated = report.sessions.size();
+  event.migrations = std::move(report.sessions);
+  event.items_requeued = report.items_requeued;
+  event.items_expired = report.items_expired;
+  event.items_dropped = report.items_dropped;
+  stats_.sessions_migrated += event.sessions_migrated;
+  stats_.items_requeued += event.items_requeued;
+  stats_.items_expired += event.items_expired;
+  stats_.items_dropped += event.items_dropped;
+  ++stats_.quarantines;
+  health_[w] = WorkerHealth::kQuarantined;
+
+  RemediationEvent action;
+  action.at_us = event.at_us;
+  action.action = RemediationAction::kQuarantine;
+  action.worker = w;
+  action.sessions = event.sessions_migrated;
+  action.items = event.items_requeued;
+  log_.append(action);
+  events_.push_back(std::move(event));
+}
+
+void Supervisor::resolve_quarantine(std::size_t w,
+                                    std::vector<ServedResult>& out,
+                                    std::size_t& removed) {
+  const QuarantineState& q = quarantine_[w];
+  VIBGUARD_REQUIRE(q.active, "no quarantine pending for this worker");
+  const Shard& shard = server_->shard(w);
+  const std::uint64_t now = clock_->now_us();
+  // The probe: only a beat stamped under the post-restart epoch counts —
+  // a stale (pre-fence) thread's beat is rejected by the shard and can
+  // never land here. Strictly-more beats rules out the fence racing an
+  // in-flight beat.
+  const bool recovered =
+      shard.last_beat_epoch() == q.epoch && shard.beats() > q.beats_at;
+
+  if (recovered) {
+    SupervisorEvent event;
+    event.at_us = now;
+    event.worker = w;
+    event.from = WorkerHealth::kQuarantined;
+    event.to = WorkerHealth::kHealthy;
+    ResizeReport report = server_->restore_worker(w, out);
+    event.sessions_migrated = report.sessions.size();
+    event.migrations = std::move(report.sessions);
+    event.items_requeued = report.items_requeued;
+    event.items_expired = report.items_expired;
+    event.items_dropped = report.items_dropped;
+    stats_.sessions_migrated += event.sessions_migrated;
+    stats_.items_requeued += event.items_requeued;
+    stats_.items_expired += event.items_expired;
+    stats_.items_dropped += event.items_dropped;
+    ++stats_.recoveries;
+    health_[w] = WorkerHealth::kHealthy;
+    quarantine_[w] = QuarantineState{};
+
+    RemediationEvent action;
+    action.at_us = now;
+    action.action = RemediationAction::kRecover;
+    action.worker = w;
+    action.sessions = event.sessions_migrated;
+    action.items = event.items_requeued;
+    log_.append(action);
+    events_.push_back(std::move(event));
+    return;
+  }
+
+  if (now >= q.probe_deadline_us) {
+    // No fresh-epoch beat in time: the restart did not take. Escalate to
+    // terminal — the quarantine already drained the queue, so this mostly
+    // sweeps up stale-placement stragglers.
+    SupervisorEvent event;
+    event.at_us = now;
+    event.worker = w;
+    event.from = WorkerHealth::kQuarantined;
+    event.to = WorkerHealth::kRetired;
+    event.failover = true;
+    ResizeReport report = server_->retire_worker(w, out);
+    event.sessions_migrated = report.sessions.size();
+    event.migrations = std::move(report.sessions);
+    event.items_requeued = report.items_requeued;
+    event.items_expired = report.items_expired;
+    event.items_dropped = report.items_dropped;
+    ++stats_.failovers;
+    stats_.sessions_migrated += event.sessions_migrated;
+    stats_.items_requeued += event.items_requeued;
+    stats_.items_expired += event.items_expired;
+    stats_.items_dropped += event.items_dropped;
+    ++stats_.escalations;
+    health_[w] = WorkerHealth::kRetired;
+    quarantine_[w] = QuarantineState{};
+    ++removed;
+
+    RemediationEvent action;
+    action.at_us = now;
+    action.action = RemediationAction::kEscalate;
+    action.worker = w;
+    action.sessions = event.sessions_migrated;
+    action.items = event.items_requeued;
+    log_.append(action);
+    events_.push_back(std::move(event));
+  }
+  // Otherwise: probe still pending; check again next poll.
+}
+
+void Supervisor::steal_pass(const std::vector<std::size_t>& victims,
+                            std::vector<ServedResult>& out) {
+  const RemediationConfig& r = config_.remediation;
+  for (const std::size_t victim : victims) {
+    if (server_->shard(victim).depth() < r.steal_min_depth) continue;
+    // Thief: the least-loaded worker the ladder considers healthy right
+    // now (ties go to the smallest id — deterministic).
+    std::optional<std::size_t> thief;
+    std::size_t thief_depth = 0;
+    for (const std::size_t t : server_->active_worker_ids()) {
+      if (t == victim || t >= health_.size()) continue;
+      if (health_[t] != WorkerHealth::kHealthy) continue;
+      const std::size_t depth = server_->shard(t).depth();
+      if (!thief.has_value() || depth < thief_depth ||
+          (depth == thief_depth && t < *thief)) {
+        thief = t;
+        thief_depth = depth;
+      }
+    }
+    if (!thief.has_value()) continue;
+    const std::size_t moved =
+        server_->steal_work(*thief, victim, r.steal_max_items, out);
+    if (moved == 0) continue;
+    ++stats_.steals;
+    stats_.items_stolen += moved;
+    RemediationEvent action;
+    action.at_us = clock_->now_us();
+    action.action = RemediationAction::kSteal;
+    action.worker = victim;
+    action.peer = *thief;
+    action.items = moved;
+    log_.append(action);
+  }
+}
+
+void Supervisor::overload_pass(std::vector<ServedResult>& out) {
+  const RemediationConfig& r = config_.remediation;
+  const std::uint64_t now = clock_->now_us();
+
+  // Fleet-cumulative counters over ALL workers (retired shards freeze, so
+  // the sums stay monotone and the deltas non-negative across resizes).
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t oldest_age = 0;
+  for (std::size_t w = 0; w < server_->workers(); ++w) {
+    const ShardStats stats = server_->shard(w).stats();
+    submitted += stats.admission.admitted + stats.admission.rejected +
+                 stats.quota_rejected + stats.closed_rejected;
+    rejected += stats.admission.rejected + stats.quota_rejected;
+    if (server_->worker_state(w) != WorkerState::kActive) continue;
+    const auto oldest = server_->shard(w).oldest_enqueued_us();
+    if (oldest.has_value() && now >= *oldest) {
+      oldest_age = std::max<std::uint64_t>(oldest_age, now - *oldest);
+    }
+  }
+  const std::uint64_t delta_submitted = submitted - prev_submitted_;
+  const std::uint64_t delta_rejected = rejected - prev_rejected_;
+  prev_submitted_ = submitted;
+  prev_rejected_ = rejected;
+
+  const double reject_rate =
+      delta_submitted > 0 ? static_cast<double>(delta_rejected) /
+                                static_cast<double>(delta_submitted)
+                          : 0.0;
+  const bool hot = reject_rate >= r.reject_rate_threshold ||
+                   oldest_age >= r.queue_age_threshold_us;
+  overload_samples_.push_back(hot);
+  while (overload_samples_.size() > r.overload_window) {
+    overload_samples_.pop_front();
+  }
+  std::size_t hot_count = 0;
+  for (const bool sample : overload_samples_) {
+    if (sample) ++hot_count;
+  }
+  const double score = static_cast<double>(hot_count) /
+                       static_cast<double>(r.overload_window);
+  const bool confirmed = overload_samples_.size() == r.overload_window &&
+                         hot_count >= r.overload_confirm;
+  const bool cooled =
+      !last_action_us_.has_value() || now - *last_action_us_ >= r.cooldown_us;
+  if (!confirmed || !cooled) return;
+
+  // Flap detection happens before the action: a fleet that has grown
+  // flap_actions times inside the window is pinned for good.
+  while (!grow_times_.empty() &&
+         now - grow_times_.front() > r.flap_window_us) {
+    grow_times_.pop_front();
+  }
+  if (grow_times_.size() >= r.flap_actions) flap_pinned_ = true;
+
+  if (flap_pinned_) {
+    // Surface the suppression (once per cooldown window at most) so the
+    // operator sees the pinned fleet is still under confirmed overload.
+    if (!last_flap_event_us_.has_value() ||
+        now - *last_flap_event_us_ >= r.cooldown_us) {
+      last_flap_event_us_ = now;
+      ++stats_.flap_suppressed;
+      RemediationEvent action;
+      action.at_us = now;
+      action.action = RemediationAction::kFlapSuppressed;
+      action.overload_score = score;
+      log_.append(action);
+    }
+    return;
+  }
+
+  if (server_->active_worker_ids().size() >= r.max_workers) return;
+
+  ResizeReport report;
+  const std::size_t w = server_->add_worker(out, &report);
+  watch(w);
+  last_action_us_ = now;
+  grow_times_.push_back(now);
+  ++stats_.grows;
+  stats_.sessions_migrated += report.sessions.size();
+  stats_.items_requeued += report.items_requeued;
+  stats_.items_expired += report.items_expired;
+  stats_.items_dropped += report.items_dropped;
+
+  RemediationEvent action;
+  action.at_us = now;
+  action.action = RemediationAction::kGrow;
+  action.worker = w;
+  action.sessions = report.sessions.size();
+  action.items = report.items_requeued;
+  action.overload_score = score;
+  log_.append(action);
+
+  // Growth re-homes sessions off every donor; surface the new handles on
+  // a synthetic event so handle-holding callers can catch up, exactly as
+  // they do for failover migrations.
+  SupervisorEvent event;
+  event.at_us = now;
+  event.worker = w;
+  event.from = WorkerHealth::kHealthy;
+  event.to = WorkerHealth::kHealthy;
+  event.sessions_migrated = report.sessions.size();
+  event.migrations = std::move(report.sessions);
+  event.items_requeued = report.items_requeued;
+  event.items_expired = report.items_expired;
+  event.items_dropped = report.items_dropped;
+  events_.push_back(std::move(event));
 }
 
 std::size_t Supervisor::poll(std::vector<ServedResult>& out) {
@@ -57,12 +365,37 @@ std::size_t Supervisor::poll(std::vector<ServedResult>& out) {
   while (health_.size() < server_->workers()) {
     health_.push_back(WorkerHealth::kHealthy);
   }
+  while (quarantine_.size() < health_.size()) {
+    quarantine_.push_back(QuarantineState{});
+  }
+  const RemediationConfig& remediation = config_.remediation;
 
-  std::size_t failovers = 0;
+  std::size_t removed = 0;
+  std::vector<std::size_t> steal_victims;
   for (std::size_t w = 0; w < health_.size(); ++w) {
     if (health_[w] == WorkerHealth::kRetired) continue;  // terminal
+
+    // A pending quarantine resolves by probe, not by the age ladder.
+    if (health_[w] == WorkerHealth::kQuarantined) {
+      resolve_quarantine(w, out, removed);
+      continue;
+    }
+
     WorkerHealth next = classify(w);
     const WorkerHealth prev = health_[w];
+
+    if (next == WorkerHealth::kSlow && remediation.enabled &&
+        remediation.steal) {
+      steal_victims.push_back(w);
+    }
+
+    if (next == WorkerHealth::kWedged && remediation.enabled &&
+        remediation.quarantine &&
+        server_->worker_state(w) == WorkerState::kActive &&
+        server_->active_worker_ids().size() > 1) {
+      quarantine(w, prev, out);
+      continue;
+    }
 
     bool fail_over = false;
     if (next == WorkerHealth::kDead && config_.auto_failover &&
@@ -92,12 +425,19 @@ std::size_t Supervisor::poll(std::vector<ServedResult>& out) {
       stats_.items_expired += report.items_expired;
       stats_.items_dropped += report.items_dropped;
       next = WorkerHealth::kRetired;
-      ++failovers;
+      ++removed;
     }
     health_[w] = next;
-    events_.push_back(event);
+    events_.push_back(std::move(event));
   }
-  return failovers;
+
+  if (remediation.enabled && remediation.steal && !steal_victims.empty()) {
+    steal_pass(steal_victims, out);
+  }
+  if (remediation.enabled && remediation.grow) {
+    overload_pass(out);
+  }
+  return removed;
 }
 
 }  // namespace vibguard::serving

@@ -1,22 +1,66 @@
-// Supervisor: worker health classification and automatic failover.
+// Supervisor: worker health classification, failover, and — when enabled
+// — a closed-loop remediation ladder.
 //
 // Every shard stamps a heartbeat (Shard::beat) each pump iteration —
 // including idle ones — so "how long since worker w made progress" is one
-// atomic load away. The Supervisor turns that age into a four-step health
-// ladder and, at the bottom of it, into action:
+// atomic load away. The Supervisor turns that age into a health ladder
+// and, with remediation enabled, into one policy rung per state:
 //
-//        age < slow_after_us    HEALTHY   serving normally
-//        age < wedged_after_us  SLOW      lagging; watch it
-//        age < dead_after_us    WEDGED    no progress; presumed stuck
-//        age >= dead_after_us   DEAD      fail over: drain + migrate
-//        (off the ring)         RETIRED   terminal
+//        age < slow_after_us    HEALTHY      serving normally
+//        age < wedged_after_us  SLOW         → work stealing: an idle peer
+//                                             takes the oldest queued items
+//        age < dead_after_us    WEDGED       → quarantine: fence off the
+//                                             ring, drain to peers, restart
+//                                             the pump under a new epoch;
+//                                             a probe decides recovery vs
+//                                             escalation
+//        age >= dead_after_us   DEAD         fail over: drain + migrate
+//        (fenced, probing)      QUARANTINED  off-ring but reversible
+//        (off the ring)         RETIRED      terminal
+//
+// Boundary convention (pinned by tests): an age EXACTLY equal to a
+// threshold takes the WORSE state — the healthy side of every comparison
+// is strict `<`, so age == slow_after_us classifies kSlow, age ==
+// wedged_after_us classifies kWedged, and age == dead_after_us classifies
+// kDead. Thresholds must be strictly increasing; a zero-width band
+// (slow_after_us == wedged_after_us) is rejected at construction.
 //
 // Classification is a pure function of (heartbeat age, thresholds), and
 // the heartbeat runs on the injected Clock — so a supervisor driven by a
 // VirtualClock in a discrete-event simulation classifies identically to
-// one watching real pump threads on a SteadyClock. That is what lets the
-// chaos sweep (eval/chaos_sweep) reproduce an exact failover sequence
-// from a fixed seed.
+// one watching real pump threads on a SteadyClock. Every remediation
+// action below is likewise deterministic on the Clock: the chaos sweep
+// (eval/chaos_sweep) reproduces an exact remediation sequence from a
+// fixed seed.
+//
+// The remediation ladder (RemediationConfig, default OFF — with it off
+// the supervisor behaves exactly as before it existed):
+//
+//  * SLOW → steal. The least-loaded healthy worker steals up to
+//    steal_max_items of the victim's oldest queued items through
+//    Server::steal_work (victim-locked, enqueued_us preserved, thief
+//    quota enforced, parked batch items untouchable). Runs every poll the
+//    worker stays SLOW — stealing is cheap and reversible.
+//  * WEDGED → quarantine + restart. Server::quarantine_worker fences the
+//    worker off the ring (sessions re-placed, queue drained by peers via
+//    the steal path) and Server::restart_pump bumps the heartbeat epoch,
+//    so a beat from the old wedged thread can never fake recovery. The
+//    probe: a fresh-epoch beat before probe_timeout_us → restore_worker
+//    (its old ring arcs come back); no beat in time → retire_worker
+//    (escalation to terminal).
+//  * Sustained overload → grow. Each poll samples a fleet overload score
+//    (reject fraction + oldest-queue age); a sample is "hot" when either
+//    crosses its threshold. Growth needs K-of-N hot samples
+//    (overload_confirm of overload_window), an elapsed cooldown_us since
+//    the last action, and headroom under max_workers — then
+//    Server::add_worker runs the minimal-migration growth path. A flap
+//    detector counts grows inside flap_window_us; at flap_actions it pins
+//    the fleet size for good and surfaces kFlapSuppressed (at most once
+//    per cooldown) instead of acting — a fleet that flaps has a sizing
+//    problem automation must not paper over.
+//
+// Every action is appended to an append-only RemediationLog the caller
+// (chaos sweep, CLI) can consume; transitions still land in events().
 //
 // Failover delegates to Server::remove_worker: close the shard, drop its
 // ring points, migrate live sessions (state rides along), re-home queued
@@ -33,6 +77,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -42,19 +88,68 @@ namespace vibguard::serving {
 
 enum class WorkerHealth {
   kHealthy,
-  kSlow,     ///< heartbeat lagging past slow_after_us
-  kWedged,   ///< no progress past wedged_after_us; presumed stuck
-  kDead,     ///< past dead_after_us; failover fires here
-  kRetired,  ///< off the ring (failed over or never active) — terminal
+  kSlow,         ///< heartbeat lagging past slow_after_us
+  kWedged,       ///< no progress past wedged_after_us; presumed stuck
+  kDead,         ///< past dead_after_us; failover fires here
+  kQuarantined,  ///< fenced off the ring, probe pending — reversible
+  kRetired,      ///< off the ring (failed over or never active) — terminal
 };
 
 const char* worker_health_name(WorkerHealth health);
 
+/// Remediation policy knobs, one rung per health state. Disabled by
+/// default: with enabled == false the supervisor is a pure
+/// classify-and-failover loop, bit-identical to its pre-remediation
+/// behavior.
+struct RemediationConfig {
+  bool enabled = false;
+
+  // ── SLOW → work stealing ─────────────────────────────────────────────
+  bool steal = true;
+  /// Most items one steal pass moves off one victim.
+  std::size_t steal_max_items = 4;
+  /// Victims shallower than this are left alone (stealing the last item
+  /// of a barely-slow shard only churns payloads).
+  std::size_t steal_min_depth = 2;
+
+  // ── WEDGED → quarantine + pump restart ───────────────────────────────
+  bool quarantine = true;
+  /// How long the restarted pump has to produce a fresh-epoch beat before
+  /// the quarantine escalates to retirement.
+  std::uint64_t probe_timeout_us = 200'000;
+
+  // ── Sustained overload → auto-grow ───────────────────────────────────
+  bool grow = true;
+  /// Sliding window length (N) and hot-sample quorum (K) — growth needs
+  /// K-of-N hot polls, so one noisy sample never resizes the fleet.
+  std::size_t overload_window = 8;
+  std::size_t overload_confirm = 6;
+  /// A poll sample is hot when the fleet's reject fraction since the last
+  /// poll reaches this...
+  double reject_rate_threshold = 0.05;
+  /// ...or the oldest queued item anywhere has waited this long.
+  std::uint64_t queue_age_threshold_us = 50'000;
+  /// Minimum spacing between remediation actions (grow or a surfaced
+  /// flap suppression) — the hysteresis that stops reaction chains.
+  std::uint64_t cooldown_us = 500'000;
+  /// Hard ceiling on fleet size; growth never exceeds it.
+  std::size_t max_workers = 16;
+
+  // ── Flap detector ────────────────────────────────────────────────────
+  /// This many grow actions inside flap_window_us pins the fleet size
+  /// (sticky for the supervisor's lifetime) and turns further confirmed
+  /// overload into kFlapSuppressed events instead of resizes.
+  std::size_t flap_actions = 3;
+  std::uint64_t flap_window_us = 2'000'000;
+};
+
 struct SupervisorConfig {
-  /// Heartbeat-age thresholds, strictly increasing. Defaults suit the
-  /// VirtualClock simulations; real deployments scale them to the batch
-  /// window (a worker sleeping toward a distant batch still beats every
-  /// PumpConfig::idle_poll_us).
+  /// Heartbeat-age thresholds, strictly increasing (equal neighbors — a
+  /// zero-width band — are rejected). Defaults suit the VirtualClock
+  /// simulations; real deployments scale them to the batch window (a
+  /// worker sleeping toward a distant batch still beats every
+  /// PumpConfig::idle_poll_us). Boundary: age == threshold classifies as
+  /// the worse state.
   std::uint64_t slow_after_us = 10'000;
   std::uint64_t wedged_after_us = 50'000;
   std::uint64_t dead_after_us = 200'000;
@@ -62,23 +157,77 @@ struct SupervisorConfig {
   /// The last active worker is never removed (the ring must place
   /// somewhere); it stays DEAD until another worker joins.
   bool auto_failover = true;
+  /// The remediation ladder; see RemediationConfig. Off by default.
+  RemediationConfig remediation;
 };
 
-/// One health transition observed by poll(). Failover transitions carry
-/// the migration accounting from the ResizeReport.
+/// One health transition observed by poll(). Transitions that moved
+/// sessions (failover, quarantine, recovery, escalation) carry the
+/// migration accounting from the ResizeReport; pure-growth session moves
+/// ride on a synthetic kHealthy→kHealthy event for the new worker.
 struct SupervisorEvent {
   std::uint64_t at_us = 0;
   std::size_t worker = 0;
   WorkerHealth from = WorkerHealth::kHealthy;
   WorkerHealth to = WorkerHealth::kHealthy;
   bool failover = false;  ///< this transition retired the worker
-  /// Failover only: the session re-homings the removal performed. Callers
-  /// holding pre-failover handles recover the fresh ones from here.
+  /// The session re-homings this action performed. Callers holding
+  /// pre-action handles recover the fresh ones from here.
   std::vector<ResizeReport::MigratedSession> migrations;
   std::size_t sessions_migrated = 0;
   std::size_t items_requeued = 0;
   std::size_t items_expired = 0;
   std::size_t items_dropped = 0;
+};
+
+/// What the remediation ladder did, one entry per action.
+enum class RemediationAction {
+  kSteal,           ///< SLOW: peer stole queued items from the victim
+  kQuarantine,      ///< WEDGED: fenced off the ring, pump restarted
+  kRecover,         ///< quarantine probe beat in time; worker restored
+  kEscalate,        ///< probe deadline passed; worker retired
+  kGrow,            ///< confirmed overload; fleet grew by one worker
+  kFlapSuppressed,  ///< overload confirmed but the flap detector pinned
+                    ///< the fleet size; no resize happened
+};
+
+const char* remediation_action_name(RemediationAction action);
+
+struct RemediationEvent {
+  std::uint64_t at_us = 0;
+  RemediationAction action = RemediationAction::kSteal;
+  /// The subject worker: steal victim, quarantined/recovered/escalated
+  /// worker, or the newly added worker for kGrow.
+  std::size_t worker = 0;
+  /// kSteal only: the thief.
+  std::size_t peer = 0;
+  /// Items the action moved (stolen, re-homed by the fence/escalation).
+  std::size_t items = 0;
+  /// Sessions the action migrated.
+  std::size_t sessions = 0;
+  /// kGrow / kFlapSuppressed: the confirming hot-sample fraction (K/N at
+  /// decision time).
+  double overload_score = 0.0;
+};
+
+/// Append-only action log. The supervisor only ever appends; consumers
+/// (chaos sweep, CLI) read it back in action order, which is
+/// deterministic for a deterministic clock/heartbeat history.
+class RemediationLog {
+ public:
+  void append(RemediationEvent event) { events_.push_back(std::move(event)); }
+  const std::vector<RemediationEvent>& events() const { return events_; }
+  std::size_t count(RemediationAction action) const {
+    std::size_t n = 0;
+    for (const RemediationEvent& e : events_) {
+      if (e.action == action) ++n;
+    }
+    return n;
+  }
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<RemediationEvent> events_;
 };
 
 struct SupervisorStats {
@@ -88,6 +237,14 @@ struct SupervisorStats {
   std::size_t items_requeued = 0;
   std::size_t items_expired = 0;
   std::size_t items_dropped = 0;
+  // Remediation ladder counters (all zero with remediation disabled).
+  std::size_t steals = 0;        ///< steal passes that moved >= 1 item
+  std::size_t items_stolen = 0;  ///< items moved across all steal passes
+  std::size_t quarantines = 0;
+  std::size_t recoveries = 0;
+  std::size_t escalations = 0;
+  std::size_t grows = 0;
+  std::size_t flap_suppressed = 0;
 };
 
 class Supervisor {
@@ -100,22 +257,29 @@ class Supervisor {
   const SupervisorConfig& config() const { return config_; }
 
   /// Pure classification of worker `w` right now (no state change):
-  /// heartbeat age against the thresholds, kRetired when off the ring.
+  /// kRetired / kQuarantined from the server's worker state, otherwise
+  /// heartbeat age against the thresholds (age == threshold → the worse
+  /// state; see the header comment).
   WorkerHealth classify(std::size_t w) const;
 
   /// The health poll() last assigned to `w` (kHealthy before any poll).
   WorkerHealth health(std::size_t w) const;
 
-  /// One supervision pass: classify every worker, record transitions, and
-  /// fail over workers that crossed into DEAD (when auto_failover). Items
-  /// the failover expired or dropped are appended to `out` as results —
-  /// the caller owns the accounting stream, exactly as with drain().
-  /// Returns the number of failovers performed this pass.
+  /// One supervision pass: classify every worker, record transitions,
+  /// fail over workers that crossed into DEAD (when auto_failover), and —
+  /// when remediation is enabled — run the ladder: steal from SLOW
+  /// workers, quarantine WEDGED ones, resolve pending quarantine probes,
+  /// and grow on confirmed overload. Items any action expired or dropped
+  /// are appended to `out` as results — the caller owns the accounting
+  /// stream, exactly as with drain(). Returns the number of workers
+  /// permanently removed from service this pass (failovers +
+  /// escalations).
   ///
   /// Control-plane contract: no drainer may be actively forming or
-  /// completing a batch on a lane this pass might retire. Stop the dying
-  /// worker's pump (or never start it — crash injection does exactly
-  /// that) before the age crosses dead_after_us.
+  /// completing a batch on a lane this pass might retire or fence. Stop
+  /// the dying worker's pump (or never start it — crash injection does
+  /// exactly that) before the age crosses dead_after_us; quarantine
+  /// handles its own pump through the epoch fence.
   std::size_t poll(std::vector<ServedResult>& out);
 
   /// Start supervising a worker added after construction
@@ -125,15 +289,47 @@ class Supervisor {
   /// Every transition ever observed, in poll order (deterministic for a
   /// deterministic clock/heartbeat history).
   const std::vector<SupervisorEvent>& events() const { return events_; }
+  /// Every remediation action ever taken, in action order.
+  const RemediationLog& remediation_log() const { return log_; }
   const SupervisorStats& stats() const { return stats_; }
 
  private:
+  /// Probe bookkeeping for one quarantined worker.
+  struct QuarantineState {
+    bool active = false;
+    std::uint64_t since_us = 0;
+    std::uint64_t probe_deadline_us = 0;
+    /// The post-restart heartbeat epoch recovery must beat under.
+    std::uint64_t epoch = 0;
+    /// beats() at fence time; recovery needs strictly more.
+    std::uint64_t beats_at = 0;
+  };
+
+  void resolve_quarantine(std::size_t w, std::vector<ServedResult>& out,
+                          std::size_t& removed);
+  void quarantine(std::size_t w, WorkerHealth prev,
+                  std::vector<ServedResult>& out);
+  void steal_pass(const std::vector<std::size_t>& victims,
+                  std::vector<ServedResult>& out);
+  void overload_pass(std::vector<ServedResult>& out);
+
   Server* server_;
   SupervisorConfig config_;
   const Clock* clock_;
   std::vector<WorkerHealth> health_;
+  std::vector<QuarantineState> quarantine_;
   std::vector<SupervisorEvent> events_;
+  RemediationLog log_;
   SupervisorStats stats_;
+
+  // Overload hysteresis state.
+  std::deque<bool> overload_samples_;       ///< last N hot/cool samples
+  std::uint64_t prev_submitted_ = 0;        ///< fleet cumulative, last poll
+  std::uint64_t prev_rejected_ = 0;
+  std::optional<std::uint64_t> last_action_us_;  ///< cooldown anchor
+  std::deque<std::uint64_t> grow_times_;    ///< flap detector window
+  bool flap_pinned_ = false;
+  std::optional<std::uint64_t> last_flap_event_us_;
 };
 
 }  // namespace vibguard::serving

@@ -2,14 +2,18 @@
 // bucket under every default scenario, a mid-run crash fails over with
 // nothing silently lost, growth restores the fleet, the no-fault scenario
 // is bit-identical to the fleet sweep (chaos machinery adds zero
-// perturbation when no fault fires), and a fixed (seed, chaos_seed)
-// reproduces the exact run.
+// perturbation when no fault fires), a fixed (seed, chaos_seed)
+// reproduces the exact run, and the remediation trio each fires its rung:
+// slow_steal cuts the answered queue-wait tail versus a no-steal control,
+// wedge_recover quarantines and restores without a failover, and
+// overload_grow ends with a larger fleet and nothing silently lost.
 #include "eval/chaos_sweep.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "common/error.hpp"
 #include "eval/load_sweep.hpp"
 
 namespace vibguard::eval {
@@ -60,7 +64,8 @@ const ChaosSweepResult& sweep() {
 
 TEST(ChaosSweepTest, EveryDefaultScenarioAccountsForEveryArrival) {
   const ChaosSweepResult& result = sweep();
-  ASSERT_EQ(result.points.size(), 6u);  // none + 4 fault kinds + crash_grow
+  // none + 4 fault kinds + crash_grow + the remediation trio.
+  ASSERT_EQ(result.points.size(), 9u);
   for (const ChaosSweepPoint& p : result.points) {
     EXPECT_TRUE(p.accounted) << p.scenario;
     EXPECT_GT(p.arrivals, 0u) << p.scenario;
@@ -127,7 +132,7 @@ TEST(ChaosSweepTest, LossyFaultEatsRepliesButNeverTheAccounting) {
   for (std::size_t w = 0; w < config.workers; ++w) {
     plan.lossy(w, 0, UINT64_MAX, 1.0);
   }
-  config.scenarios.push_back({"lossy_all", plan, std::nullopt});
+  config.scenarios.push_back({"lossy_all", plan, std::nullopt, std::nullopt});
   const ChaosSweepResult result = run_chaos_sweep(config, kSeed);
   ASSERT_EQ(result.points.size(), 1u);
   const ChaosSweepPoint& lossy = result.points[0];
@@ -149,7 +154,8 @@ TEST(ChaosSweepTest, NoFaultScenarioIsBitIdenticalToFleetSweep) {
   // (controller queries, supervisor polls, heartbeats) adds zero
   // perturbation until a fault actually fires.
   ChaosSweepConfig chaos_cfg = small_config();
-  chaos_cfg.scenarios.push_back({"none", faults::ChaosPlan{}, std::nullopt});
+  chaos_cfg.scenarios.push_back(
+      {"none", faults::ChaosPlan{}, std::nullopt, std::nullopt});
   const ChaosSweepResult chaos = run_chaos_sweep(chaos_cfg, kSeed);
   ASSERT_EQ(chaos.points.size(), 1u);
   const ChaosSweepPoint& c = chaos.points[0];
@@ -185,6 +191,85 @@ TEST(ChaosSweepTest, NoFaultScenarioIsBitIdenticalToFleetSweep) {
       << c.eer_degraded << " vs " << f.eer_degraded;
 }
 
+TEST(ChaosSweepTest, SlowStealScenarioStealsAndRemediatesQuickly) {
+  const ChaosSweepPoint& steal = point_named(sweep(), "slow_steal");
+  EXPECT_TRUE(steal.accounted);
+  EXPECT_GT(steal.steals, 0u);
+  EXPECT_GT(steal.items_stolen, 0u);
+  // The rung it exercises is the ONLY one that fires.
+  EXPECT_EQ(steal.quarantines, 0u);
+  EXPECT_EQ(steal.grows, 0u);
+  EXPECT_EQ(steal.failovers, 0u);
+  // Time-to-remediate: the first steal lands within a few polls of the
+  // first stall (the victim must cross slow_after first, so it cannot be
+  // instant either).
+  EXPECT_GT(steal.remediate_us, 0u);
+  EXPECT_LE(steal.remediate_us, 100'000u);
+}
+
+TEST(ChaosSweepTest, StealingCutsTheQueueTailVersusNoStealControl) {
+  // Same fault plan twice — three 40 ms stalls on worker 1 — once with
+  // the steal rung on, once with remediation off entirely. Stealing must
+  // strictly cut the p95 queue wait of what got answered: that tail is
+  // the reason the rung exists.
+  ChaosSweepConfig config = small_config();
+  faults::ChaosPlan plan;
+  for (std::uint64_t at : {100'000u, 200'000u, 300'000u}) {
+    plan.stall(1, at, at + 40'000);
+  }
+  serving::RemediationConfig steal_on;
+  steal_on.enabled = true;
+  steal_on.steal = true;
+  steal_on.steal_min_depth = 1;
+  steal_on.quarantine = false;
+  steal_on.grow = false;
+  config.scenarios.push_back({"steal_on", plan, std::nullopt, steal_on});
+  config.scenarios.push_back({"steal_off", plan, std::nullopt, std::nullopt});
+
+  const ChaosSweepResult result = run_chaos_sweep(config, kSeed);
+  ASSERT_EQ(result.points.size(), 2u);
+  const ChaosSweepPoint& on = point_named(result, "steal_on");
+  const ChaosSweepPoint& off = point_named(result, "steal_off");
+  EXPECT_TRUE(on.accounted);
+  EXPECT_TRUE(off.accounted);
+  EXPECT_GT(on.items_stolen, 0u);
+  EXPECT_EQ(off.items_stolen, 0u);
+  EXPECT_LT(on.queue_age_p95_us, off.queue_age_p95_us);
+}
+
+TEST(ChaosSweepTest, WedgeRecoverQuarantinesAndRestoresWithoutFailover) {
+  const ChaosSweepPoint& wedge = point_named(sweep(), "wedge_recover");
+  EXPECT_TRUE(wedge.accounted);
+  EXPECT_EQ(wedge.quarantines, 1u);
+  EXPECT_EQ(wedge.recoveries, 1u);
+  EXPECT_EQ(wedge.escalations, 0u);
+  EXPECT_EQ(wedge.failovers, 0u);
+  // The worker came back: the fleet ends at full strength.
+  EXPECT_EQ(wedge.workers_end, wedge.workers_start);
+  EXPECT_GT(wedge.remediate_us, 0u);
+}
+
+TEST(ChaosSweepTest, OverloadGrowEndsWithMoreWorkersAndNothingLost) {
+  const ChaosSweepPoint& grow = point_named(sweep(), "overload_grow");
+  EXPECT_TRUE(grow.accounted);  // zero silently-lost requests
+  EXPECT_GE(grow.grows, 1u);
+  EXPECT_GT(grow.workers_end, grow.workers_start);
+  EXPECT_EQ(grow.failovers, 0u);
+  EXPECT_EQ(grow.stranded, 0u);
+  EXPECT_GT(grow.answered, 0u);
+}
+
+TEST(ChaosSweepTest, ScenarioFilterSelectsOneAndRejectsUnknownNames) {
+  ChaosSweepConfig config = small_config();
+  config.scenario_filter = "wedge_recover";
+  const ChaosSweepResult result = run_chaos_sweep(config, kSeed);
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_EQ(result.points[0].scenario, "wedge_recover");
+
+  config.scenario_filter = "no_such_scenario";
+  EXPECT_THROW(run_chaos_sweep(config, kSeed), InvalidArgument);
+}
+
 TEST(ChaosSweepTest, FixedSeedsReproduceTheExactRun) {
   const ChaosSweepResult& first = sweep();
   const ChaosSweepResult second = run_chaos_sweep(small_config(), kSeed);
@@ -203,6 +288,15 @@ TEST(ChaosSweepTest, FixedSeedsReproduceTheExactRun) {
     EXPECT_EQ(a.sessions_migrated, b.sessions_migrated);
     EXPECT_EQ(a.items_migrated, b.items_migrated);
     EXPECT_EQ(a.detect_us, b.detect_us);
+    EXPECT_EQ(a.steals, b.steals);
+    EXPECT_EQ(a.items_stolen, b.items_stolen);
+    EXPECT_EQ(a.quarantines, b.quarantines);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+    EXPECT_EQ(a.escalations, b.escalations);
+    EXPECT_EQ(a.grows, b.grows);
+    EXPECT_EQ(a.flap_suppressed, b.flap_suppressed);
+    EXPECT_EQ(a.remediate_us, b.remediate_us);
+    EXPECT_EQ(a.queue_age_p95_us, b.queue_age_p95_us);
     EXPECT_TRUE(same_double(a.eer_primary, b.eer_primary)) << a.scenario;
     EXPECT_TRUE(same_double(a.availability, b.availability)) << a.scenario;
   }

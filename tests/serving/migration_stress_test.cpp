@@ -1,0 +1,202 @@
+// Ring resizes under fire: control-plane actions (add_worker, quarantine
+// + restore, remove_worker) race live pump threads on the OTHER lanes and
+// producer threads hammering submit(), and every admitted request still
+// ends in exactly one result — the exactly-once accounting the
+// remediation ladder relies on. Per the control-plane contract, the
+// affected worker's own pump is stopped and joined before its lane is
+// fenced or retired (exactly what a real supervisor deployment does);
+// everything else keeps running. This is the slice the CI
+// thread-sanitizer job exercises hardest.
+#include "serving/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "core/segmentation.hpp"
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+
+namespace vibguard::serving {
+namespace {
+
+struct Population {
+  struct Trial {
+    eval::TrialRecordings recordings;
+    std::unique_ptr<core::OracleSegmenter> segmenter;
+  };
+  std::vector<Trial> trials;
+
+  static const Population& instance() {
+    static Population* pop = [] {
+      auto* p = new Population;
+      eval::ScenarioSimulator sim(eval::ScenarioConfig{}, 571);
+      Rng rng(572);
+      const auto user = speech::sample_speaker(speech::Sex::kFemale, rng);
+      const auto adv = speech::sample_speaker(speech::Sex::kMale, rng);
+      const auto& cmd = speech::command_by_text("unlock the front door");
+      for (int i = 0; i < 4; ++i) {
+        Trial trial;
+        trial.recordings =
+            i % 2 == 0 ? sim.legitimate_trial(cmd, user)
+                       : sim.attack_trial(attacks::AttackType::kReplay, cmd,
+                                          user, adv);
+        trial.segmenter = std::make_unique<core::OracleSegmenter>(
+            trial.recordings.alignment, eval::reference_sensitive_set());
+        p->trials.push_back(std::move(trial));
+      }
+      return p;
+    }();
+    return *pop;
+  }
+};
+
+/// Thread-safe result collector shared by every pump thread.
+struct Collector {
+  std::mutex mu;
+  std::vector<ServedResult> results;
+
+  Server::ResultSink sink() {
+    return [this](const ServedResult& r) {
+      std::lock_guard<std::mutex> lock(mu);
+      results.push_back(r);
+    };
+  }
+};
+
+/// One pump thread with its own stop flag, so a controller can stop and
+/// join exactly the lane it is about to fence — the per-worker version of
+/// what stop_pumps does fleet-wide.
+struct ManagedPump {
+  std::unique_ptr<std::atomic<bool>> stop;
+  std::thread thread;
+
+  ManagedPump(Server& server, std::size_t w, const Server::ResultSink& sink)
+      : stop(std::make_unique<std::atomic<bool>>(false)) {
+    std::atomic<bool>* flag = stop.get();
+    thread = std::thread([&server, w, sink, flag] {
+      server.run_pump(w, sink, *flag);
+    });
+  }
+
+  void join() {
+    stop->store(true, std::memory_order_release);
+    if (thread.joinable()) thread.join();
+  }
+};
+
+TEST(MigrationStressTest, ResizeStormLosesNothing) {
+  const Population& pop = Population::instance();
+  const SteadyClock& clock = SteadyClock::instance();
+  ServerConfig config;
+  config.workers = 3;
+  config.shard.queue_capacity = 512;
+  config.shard.batch_max = 4;
+  config.shard.batch_window_us = 1'000;
+  Server server(config, clock);
+
+  const std::vector<std::uint64_t> session_ids = {11, 23, 37, 41, 53, 67};
+  std::vector<SessionHandle> handles;
+  for (std::uint64_t sid : session_ids) {
+    handles.push_back(server.open_session(sid));
+  }
+
+  Collector collector;
+  std::vector<std::unique_ptr<ManagedPump>> pumps;
+  for (std::size_t w = 0; w < server.workers(); ++w) {
+    pumps.push_back(std::make_unique<ManagedPump>(server, w,
+                                                  collector.sink()));
+  }
+
+  // Producers hammer submit() for the whole storm. Handles go stale as
+  // control actions migrate sessions — those submits come back
+  // kStaleSession (an explicit refusal, counted), never lost.
+  std::atomic<std::size_t> queued{0};
+  std::atomic<std::size_t> refused{0};
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kPerProducer = 48;
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng base(800 + p);
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const std::size_t t = (p + i) % pop.trials.size();
+        const std::size_t s = (p * 7 + i) % session_ids.size();
+        ServerRequest request;
+        request.va = &pop.trials[t].recordings.va;
+        request.wearable = &pop.trials[t].recordings.wearable;
+        request.segmenter = pop.trials[t].segmenter.get();
+        request.rng = base.fork(i);
+        request.request_id = p * 1'000 + i;
+        if (server.submit(session_ids[s], handles[s], request) ==
+            SubmitStatus::kQueued) {
+          queued.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          refused.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+    });
+  }
+
+  // The control storm, interleaved with live traffic on the other lanes.
+  std::vector<ServedResult> control_out;
+  std::thread controller([&] {
+    const auto breather = std::chrono::milliseconds(3);
+
+    // Grow while every pump runs (documented safe) and give the new lane
+    // its own pump.
+    std::this_thread::sleep_for(breather);
+    const std::size_t grown = server.add_worker(control_out);
+    pumps.push_back(std::make_unique<ManagedPump>(server, grown,
+                                                  collector.sink()));
+
+    // Quarantine lane 0 (pump stopped and joined first, per the
+    // control-plane contract), then restore it and restart its pump.
+    std::this_thread::sleep_for(breather);
+    pumps[0]->join();
+    server.quarantine_worker(0, control_out);
+    std::this_thread::sleep_for(breather);
+    server.restore_worker(0, control_out);
+    pumps[0] = std::make_unique<ManagedPump>(server, 0, collector.sink());
+
+    // Retire the grown worker the same way.
+    std::this_thread::sleep_for(breather);
+    pumps[grown]->join();
+    server.remove_worker(grown, control_out);
+  });
+
+  for (std::thread& t : producers) t.join();
+  controller.join();
+  for (auto& pump : pumps) pump->join();  // each force-drains on stop
+
+  // Sweep anything a late migration re-homed after its pump exited.
+  std::vector<ServedResult> tail;
+  server.drain(tail);
+
+  // Exactly-once accounting: every admitted request produced exactly one
+  // result across the pump sinks, the control actions' accounting stream,
+  // and the final sweep.
+  std::map<std::uint64_t, std::size_t> seen;
+  for (const ServedResult& r : collector.results) ++seen[r.request_id];
+  for (const ServedResult& r : control_out) ++seen[r.request_id];
+  for (const ServedResult& r : tail) ++seen[r.request_id];
+  EXPECT_EQ(queued.load() + refused.load(), kProducers * kPerProducer);
+  EXPECT_EQ(seen.size(), queued.load());
+  for (const auto& [id, n] : seen) {
+    EXPECT_EQ(n, 1u) << "request " << id << " accounted " << n << " times";
+  }
+  EXPECT_GT(queued.load(), 0u);
+}
+
+}  // namespace
+}  // namespace vibguard::serving

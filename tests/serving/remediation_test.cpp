@@ -1,0 +1,429 @@
+// The remediation ladder end to end on a VirtualClock: a SLOW worker has
+// its queue stolen by an idle peer, a WEDGED worker is quarantined and
+// either recovers through the fresh-epoch probe or escalates to
+// retirement, confirmed overload grows the fleet under K-of-N + cooldown
+// hysteresis, the flap detector pins a resize loop (never more than one
+// action per cooldown window), and malformed ladder configurations are
+// rejected at construction.
+#include "serving/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/segmentation.hpp"
+#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
+#include "serving/server.hpp"
+
+namespace vibguard::serving {
+namespace {
+
+struct Population {
+  struct Trial {
+    eval::TrialRecordings recordings;
+    std::unique_ptr<core::OracleSegmenter> segmenter;
+  };
+  std::vector<Trial> trials;
+
+  static const Population& instance() {
+    static Population* pop = [] {
+      auto* p = new Population;
+      eval::ScenarioSimulator sim(eval::ScenarioConfig{}, 371);
+      Rng rng(372);
+      const auto user = speech::sample_speaker(speech::Sex::kFemale, rng);
+      const auto adv = speech::sample_speaker(speech::Sex::kMale, rng);
+      const auto& cmd = speech::command_by_text("unlock the front door");
+      for (int i = 0; i < 4; ++i) {
+        Trial trial;
+        trial.recordings =
+            i % 2 == 0 ? sim.legitimate_trial(cmd, user)
+                       : sim.attack_trial(attacks::AttackType::kReplay, cmd,
+                                          user, adv);
+        trial.segmenter = std::make_unique<core::OracleSegmenter>(
+            trial.recordings.alignment, eval::reference_sensitive_set());
+        p->trials.push_back(std::move(trial));
+      }
+      return p;
+    }();
+    return *pop;
+  }
+};
+
+ServerConfig small_fleet(std::size_t workers) {
+  ServerConfig config;
+  config.workers = workers;
+  config.shard.queue_capacity = 64;
+  config.shard.batch_max = 4;
+  config.shard.batch_window_us = 0;
+  return config;
+}
+
+/// Thresholds with remediation enabled but every rung switched off; each
+/// test turns on exactly the rung it exercises.
+SupervisorConfig ladder() {
+  SupervisorConfig config;
+  config.slow_after_us = 10'000;
+  config.wedged_after_us = 50'000;
+  config.dead_after_us = 200'000;
+  config.remediation.enabled = true;
+  config.remediation.steal = false;
+  config.remediation.quarantine = false;
+  config.remediation.grow = false;
+  return config;
+}
+
+void beat_all_except(Server& server, std::size_t skip) {
+  for (std::size_t w = 0; w < server.workers(); ++w) {
+    if (w != skip && server.worker_state(w) != WorkerState::kRetired) {
+      server.shard(w).beat();
+    }
+  }
+}
+
+void beat_all(Server& server) { beat_all_except(server, SIZE_MAX); }
+
+ServerRequest make_request(const Population& pop, std::size_t i) {
+  const auto& trial = pop.trials[i % pop.trials.size()];
+  ServerRequest request;
+  request.va = &trial.recordings.va;
+  request.wearable = &trial.recordings.wearable;
+  request.segmenter = trial.segmenter.get();
+  request.rng = Rng(910).fork(i);
+  request.request_id = i;
+  return request;
+}
+
+/// Opens up to `count` sessions currently owned by `owner`.
+std::vector<std::pair<std::uint64_t, SessionHandle>> open_on(
+    Server& server, std::size_t owner, std::size_t count) {
+  std::vector<std::pair<std::uint64_t, SessionHandle>> out;
+  for (std::uint64_t sid = 1; out.size() < count && sid < 10'000; ++sid) {
+    if (server.shard_of(sid) == owner) {
+      out.emplace_back(sid, server.open_session(sid));
+    }
+  }
+  return out;
+}
+
+TEST(RemediationTest, IdlePeerStealsFromSlowWorker) {
+  const Population& pop = Population::instance();
+  VirtualClock clock;
+  Server server(small_fleet(3), clock);
+  SupervisorConfig config = ladder();
+  config.remediation.steal = true;
+  config.remediation.steal_min_depth = 1;
+  config.remediation.steal_max_items = 8;
+  Supervisor supervisor(server, config, clock);
+  beat_all(server);
+
+  const std::size_t victim = server.shard_of(1);
+  auto sessions = open_on(server, victim, 1);
+  ASSERT_FALSE(sessions.empty());
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(server.submit(sessions[0].first, sessions[0].second,
+                            make_request(pop, i)),
+              SubmitStatus::kQueued);
+  }
+  ASSERT_EQ(server.shard(victim).depth(), 3u);
+
+  // The victim goes quiet past slow_after; everyone else stays fresh.
+  clock.advance(20'000);
+  beat_all_except(server, victim);
+
+  std::vector<ServedResult> out;
+  EXPECT_EQ(supervisor.poll(out), 0u);
+  EXPECT_EQ(supervisor.health(victim), WorkerHealth::kSlow);
+  EXPECT_EQ(supervisor.stats().steals, 1u);
+  EXPECT_EQ(supervisor.stats().items_stolen, 3u);
+  EXPECT_EQ(server.shard(victim).depth(), 0u);
+
+  const RemediationLog& log = supervisor.remediation_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.events()[0].action, RemediationAction::kSteal);
+  EXPECT_EQ(log.events()[0].worker, victim);
+  EXPECT_NE(log.events()[0].peer, victim);
+  EXPECT_EQ(log.events()[0].items, 3u);
+
+  // The stolen items still get served — off the thief's shard, flagged.
+  std::vector<ServedResult> served;
+  server.drain(served);
+  std::size_t stolen_served = 0;
+  for (const ServedResult& r : served) {
+    if (r.stolen) ++stolen_served;
+  }
+  EXPECT_EQ(served.size() + out.size(), 3u);
+  EXPECT_EQ(stolen_served, 3u);
+}
+
+TEST(RemediationTest, ShallowVictimsAreLeftAlone) {
+  const Population& pop = Population::instance();
+  VirtualClock clock;
+  Server server(small_fleet(3), clock);
+  SupervisorConfig config = ladder();
+  config.remediation.steal = true;
+  config.remediation.steal_min_depth = 2;  // one queued item is not worth it
+  Supervisor supervisor(server, config, clock);
+  beat_all(server);
+
+  const std::size_t victim = server.shard_of(1);
+  auto sessions = open_on(server, victim, 1);
+  ASSERT_FALSE(sessions.empty());
+  ASSERT_EQ(server.submit(sessions[0].first, sessions[0].second,
+                          make_request(pop, 0)),
+            SubmitStatus::kQueued);
+
+  clock.advance(20'000);
+  beat_all_except(server, victim);
+  std::vector<ServedResult> out;
+  supervisor.poll(out);
+  EXPECT_EQ(supervisor.health(victim), WorkerHealth::kSlow);
+  EXPECT_EQ(supervisor.stats().steals, 0u);
+  EXPECT_EQ(server.shard(victim).depth(), 1u);
+}
+
+TEST(RemediationTest, WedgedWorkerQuarantinesThenRecovers) {
+  const Population& pop = Population::instance();
+  VirtualClock clock;
+  Server server(small_fleet(3), clock);
+  SupervisorConfig config = ladder();
+  config.remediation.quarantine = true;
+  config.remediation.probe_timeout_us = 200'000;
+  Supervisor supervisor(server, config, clock);
+  beat_all(server);
+
+  const std::size_t victim = server.shard_of(1);
+  auto sessions = open_on(server, victim, 1);
+  ASSERT_FALSE(sessions.empty());
+  ASSERT_EQ(server.submit(sessions[0].first, sessions[0].second,
+                          make_request(pop, 0)),
+            SubmitStatus::kQueued);
+
+  // Quiet past wedged_after (but short of dead_after): quarantine, not
+  // failover.
+  clock.advance(60'000);
+  beat_all_except(server, victim);
+  std::vector<ServedResult> out;
+  EXPECT_EQ(supervisor.poll(out), 0u);
+  EXPECT_EQ(server.worker_state(victim), WorkerState::kQuarantined);
+  EXPECT_EQ(supervisor.health(victim), WorkerHealth::kQuarantined);
+  EXPECT_EQ(supervisor.stats().quarantines, 1u);
+  EXPECT_FALSE(server.worker_active(victim));
+  // The fence drained the victim: its queued item lives on a peer now.
+  EXPECT_EQ(server.shard(victim).depth(), 0u);
+  EXPECT_EQ(supervisor.remediation_log().count(RemediationAction::kQuarantine),
+            1u);
+
+  // The restarted pump beats under the bumped epoch → the probe passes
+  // and the worker is restored (its old ring arcs come back).
+  clock.advance(20'000);
+  server.shard(victim).beat();
+  beat_all_except(server, victim);
+  EXPECT_EQ(supervisor.poll(out), 0u);
+  EXPECT_EQ(server.worker_state(victim), WorkerState::kActive);
+  EXPECT_EQ(supervisor.health(victim), WorkerHealth::kHealthy);
+  EXPECT_EQ(supervisor.stats().recoveries, 1u);
+  EXPECT_EQ(supervisor.stats().failovers, 0u);
+  EXPECT_EQ(supervisor.remediation_log().count(RemediationAction::kRecover),
+            1u);
+
+  // Nothing was lost across fence + restore.
+  std::vector<ServedResult> served;
+  server.drain(served);
+  EXPECT_EQ(served.size() + out.size(), 1u);
+}
+
+TEST(RemediationTest, StaleEpochBeatsNeverFakeRecovery) {
+  VirtualClock clock;
+  Server server(small_fleet(3), clock);
+  SupervisorConfig config = ladder();
+  config.remediation.quarantine = true;
+  config.remediation.probe_timeout_us = 200'000;
+  Supervisor supervisor(server, config, clock);
+  beat_all(server);
+
+  const std::size_t victim = 1;
+  const std::uint64_t old_epoch = server.shard(victim).epoch();
+  clock.advance(60'000);
+  beat_all_except(server, victim);
+  std::vector<ServedResult> out;
+  supervisor.poll(out);
+  ASSERT_EQ(server.worker_state(victim), WorkerState::kQuarantined);
+  ASSERT_GT(server.shard(victim).epoch(), old_epoch);
+
+  // The wedged pre-restart thread twitches: its epoch-gated beat is
+  // rejected, so the probe must NOT restore the worker.
+  clock.advance(20'000);
+  EXPECT_FALSE(server.shard(victim).beat(old_epoch));
+  beat_all_except(server, victim);
+  supervisor.poll(out);
+  EXPECT_EQ(server.worker_state(victim), WorkerState::kQuarantined);
+  EXPECT_EQ(supervisor.stats().recoveries, 0u);
+}
+
+TEST(RemediationTest, SilentQuarantineEscalatesToRetirement) {
+  VirtualClock clock;
+  Server server(small_fleet(3), clock);
+  SupervisorConfig config = ladder();
+  config.remediation.quarantine = true;
+  config.remediation.probe_timeout_us = 100'000;
+  Supervisor supervisor(server, config, clock);
+  beat_all(server);
+
+  const std::size_t victim = 1;
+  clock.advance(60'000);
+  beat_all_except(server, victim);
+  std::vector<ServedResult> out;
+  EXPECT_EQ(supervisor.poll(out), 0u);
+  ASSERT_EQ(server.worker_state(victim), WorkerState::kQuarantined);
+
+  // No fresh-epoch beat before the probe deadline: terminal.
+  clock.advance(150'000);
+  beat_all_except(server, victim);
+  EXPECT_EQ(supervisor.poll(out), 1u);
+  EXPECT_EQ(server.worker_state(victim), WorkerState::kRetired);
+  EXPECT_EQ(supervisor.health(victim), WorkerHealth::kRetired);
+  EXPECT_EQ(supervisor.stats().escalations, 1u);
+  EXPECT_EQ(supervisor.stats().failovers, 1u);
+  EXPECT_EQ(supervisor.remediation_log().count(RemediationAction::kEscalate),
+            1u);
+
+  // Terminal means terminal: later polls never resurrect it.
+  clock.advance(50'000);
+  beat_all(server);
+  EXPECT_EQ(supervisor.poll(out), 0u);
+  EXPECT_EQ(supervisor.health(victim), WorkerHealth::kRetired);
+}
+
+TEST(RemediationTest, ConfirmedOverloadGrowsTheFleet) {
+  const Population& pop = Population::instance();
+  VirtualClock clock;
+  Server server(small_fleet(2), clock);
+  SupervisorConfig config = ladder();
+  config.remediation.grow = true;
+  config.remediation.overload_window = 2;
+  config.remediation.overload_confirm = 2;
+  config.remediation.queue_age_threshold_us = 10'000;
+  config.remediation.reject_rate_threshold = 2.0;  // age signal only
+  config.remediation.cooldown_us = 30'000;
+  config.remediation.max_workers = 3;
+  Supervisor supervisor(server, config, clock);
+  beat_all(server);
+
+  const SessionHandle handle = server.open_session(5);
+  ASSERT_EQ(server.submit(5, handle, make_request(pop, 0)),
+            SubmitStatus::kQueued);
+
+  std::vector<ServedResult> out;
+  // One hot sample is not a confirmation (window of 2).
+  clock.advance(20'000);
+  beat_all(server);
+  EXPECT_EQ(supervisor.poll(out), 0u);
+  EXPECT_EQ(supervisor.stats().grows, 0u);
+  EXPECT_EQ(server.workers(), 2u);
+
+  // Second hot sample: K-of-N confirms and the fleet grows by one.
+  clock.advance(20'000);
+  beat_all(server);
+  EXPECT_EQ(supervisor.poll(out), 0u);
+  EXPECT_EQ(supervisor.stats().grows, 1u);
+  EXPECT_EQ(server.workers(), 3u);
+  EXPECT_TRUE(server.worker_active(2));
+  EXPECT_EQ(supervisor.remediation_log().count(RemediationAction::kGrow), 1u);
+
+  // Still hot and past cooldown, but at max_workers: the ceiling holds.
+  clock.advance(40'000);
+  beat_all(server);
+  EXPECT_EQ(supervisor.poll(out), 0u);
+  EXPECT_EQ(supervisor.stats().grows, 1u);
+  EXPECT_EQ(server.workers(), 3u);
+}
+
+TEST(RemediationTest, FlapDetectorPinsTheFleetSize) {
+  const Population& pop = Population::instance();
+  VirtualClock clock;
+  Server server(small_fleet(2), clock);
+  SupervisorConfig config = ladder();
+  config.remediation.grow = true;
+  config.remediation.overload_window = 1;
+  config.remediation.overload_confirm = 1;
+  config.remediation.queue_age_threshold_us = 10'000;
+  config.remediation.reject_rate_threshold = 2.0;
+  config.remediation.cooldown_us = 40'000;
+  config.remediation.max_workers = 16;
+  config.remediation.flap_actions = 2;
+  config.remediation.flap_window_us = 10'000'000;
+  Supervisor supervisor(server, config, clock);
+  beat_all(server);
+
+  const SessionHandle handle = server.open_session(5);
+  ASSERT_EQ(server.submit(5, handle, make_request(pop, 0)),
+            SubmitStatus::kQueued);
+
+  // A second of permanent overload polled at 20 ms: the ladder may grow
+  // flap_actions times, then pins the fleet size for good.
+  std::vector<ServedResult> out;
+  for (int i = 0; i < 50; ++i) {
+    clock.advance(20'000);
+    beat_all(server);
+    supervisor.poll(out);
+  }
+  EXPECT_EQ(supervisor.stats().grows, 2u);
+  EXPECT_EQ(server.workers(), 4u);  // 2 + 2 grows, pinned thereafter
+  EXPECT_GE(supervisor.stats().flap_suppressed, 1u);
+  EXPECT_GE(supervisor.remediation_log().count(
+                RemediationAction::kFlapSuppressed),
+            1u);
+
+  // Hysteresis: never two remediation actions inside one cooldown window.
+  const auto& events = supervisor.remediation_log().events();
+  ASSERT_GE(events.size(), 3u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].at_us - events[i - 1].at_us,
+              config.remediation.cooldown_us)
+        << "actions " << i - 1 << " and " << i << " flapped";
+  }
+}
+
+TEST(RemediationTest, MalformedLadderConfigsAreRejected) {
+  VirtualClock clock;
+  Server server(small_fleet(2), clock);
+
+  SupervisorConfig zero_band;
+  zero_band.slow_after_us = 50'000;
+  zero_band.wedged_after_us = 50'000;  // zero-width SLOW band
+  EXPECT_THROW(Supervisor(server, zero_band, clock), InvalidArgument);
+
+  SupervisorConfig inverted;
+  inverted.wedged_after_us = 300'000;  // wedged past dead
+  inverted.dead_after_us = 200'000;
+  EXPECT_THROW(Supervisor(server, inverted, clock), InvalidArgument);
+
+  SupervisorConfig bad_quorum;  // K > N can never confirm
+  bad_quorum.remediation.enabled = true;
+  bad_quorum.remediation.overload_window = 4;
+  bad_quorum.remediation.overload_confirm = 5;
+  EXPECT_THROW(Supervisor(server, bad_quorum, clock), InvalidArgument);
+
+  SupervisorConfig bad_flap;
+  bad_flap.remediation.enabled = true;
+  bad_flap.remediation.flap_actions = 0;
+  EXPECT_THROW(Supervisor(server, bad_flap, clock), InvalidArgument);
+
+  // The same knobs are legal while remediation stays disabled — they are
+  // simply never read.
+  SupervisorConfig disabled;
+  disabled.remediation.enabled = false;
+  disabled.remediation.overload_confirm = 99;
+  Supervisor ok(server, disabled, clock);
+  EXPECT_EQ(ok.stats().polls, 0u);
+}
+
+}  // namespace
+}  // namespace vibguard::serving

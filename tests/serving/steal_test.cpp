@@ -1,0 +1,151 @@
+// Work stealing at the shard level: steal_batch pops the FIFO head under
+// the victim's lock with enqueued_us preserved and tenant charges
+// released, expired items are flagged and accounted (never handed to the
+// thief), parked batch items are untouchable, and steal_in enforces the
+// thief's tenant quota — stealing is an optimization and must never let
+// a tenant overfill a shard it was never placed on.
+#include "serving/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace vibguard::serving {
+namespace {
+
+ShardConfig small_shard() {
+  ShardConfig config;
+  config.queue_capacity = 8;
+  config.batch_max = 4;
+  config.batch_window_us = 0;
+  return config;
+}
+
+WorkItem item(std::uint64_t request_id, std::uint32_t tenant = 0,
+              std::uint64_t deadline_at_us = kNoDeadline) {
+  WorkItem it;
+  it.session_id = 100 + request_id;
+  it.request_id = request_id;
+  it.tenant = tenant;
+  it.deadline_at_us = deadline_at_us;
+  return it;
+}
+
+TEST(StealTest, StealBatchTakesTheOldestItemsAndPreservesEnqueue) {
+  VirtualClock clock;
+  Shard victim(small_shard(), clock);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(victim.submit(item(i, /*tenant=*/3)), SubmitStatus::kQueued);
+    clock.advance(10);
+  }
+  ASSERT_EQ(victim.quotas().queued(3), 4u);
+
+  std::vector<WorkItem> stolen;
+  std::vector<WorkItem> expired;
+  EXPECT_EQ(victim.steal_batch(stolen, expired, 2), 2u);
+  ASSERT_EQ(stolen.size(), 2u);
+  EXPECT_TRUE(expired.empty());
+
+  // FIFO head first — the items most at risk of expiring — with their
+  // original admission stamps intact (queue-time accounting spans the
+  // steal).
+  EXPECT_EQ(stolen[0].request_id, 0u);
+  EXPECT_EQ(stolen[1].request_id, 1u);
+  EXPECT_EQ(stolen[0].enqueued_us, 0u);
+  EXPECT_EQ(stolen[1].enqueued_us, 10u);
+
+  // Victim accounting: depth and tenant charges down by two, the steal
+  // tallied on the admission ledger and the shard counter.
+  EXPECT_EQ(victim.depth(), 2u);
+  EXPECT_EQ(victim.quotas().queued(3), 2u);
+  EXPECT_EQ(victim.stats().admission.stolen, 2u);
+  EXPECT_EQ(victim.stats().steals_out, 1u);
+}
+
+TEST(StealTest, ExpiredItemsAreFlaggedAndAccountedNotStolen) {
+  VirtualClock clock;
+  Shard victim(small_shard(), clock);
+  ASSERT_EQ(victim.submit(item(0, 0, /*deadline_at_us=*/50)),
+            SubmitStatus::kQueued);
+  ASSERT_EQ(victim.submit(item(1, 0, /*deadline_at_us=*/50)),
+            SubmitStatus::kQueued);
+  ASSERT_EQ(victim.submit(item(2)), SubmitStatus::kQueued);
+  clock.advance(100);  // both deadlines long gone
+
+  std::vector<WorkItem> stolen;
+  std::vector<WorkItem> expired;
+  // max_items = 1: the two expired head items do not count against it.
+  EXPECT_EQ(victim.steal_batch(stolen, expired, 1), 1u);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_TRUE(expired[0].expired_in_queue);
+  EXPECT_TRUE(expired[1].expired_in_queue);
+  ASSERT_EQ(stolen.size(), 1u);
+  EXPECT_EQ(stolen[0].request_id, 2u);
+  // Expired in the admission ledger (like form_batch), never "stolen".
+  EXPECT_EQ(victim.stats().admission.expired, 2u);
+  EXPECT_EQ(victim.stats().admission.stolen, 1u);
+  EXPECT_EQ(victim.depth(), 0u);
+}
+
+TEST(StealTest, ParkedBatchItemsAreNeverStealable) {
+  VirtualClock clock;
+  Shard victim(small_shard(), clock);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(victim.submit(item(i)), SubmitStatus::kQueued);
+  }
+  std::vector<WorkItem> batch;
+  ASSERT_TRUE(victim.form_batch(batch, /*force=*/true).has_value());
+  ASSERT_EQ(batch.size(), 3u);
+
+  // The batch is formed (out of the queue) but not yet completed; a steal
+  // pass right now must find nothing — in-flight work cannot move.
+  std::vector<WorkItem> stolen;
+  std::vector<WorkItem> expired;
+  EXPECT_EQ(victim.steal_batch(stolen, expired, 8), 0u);
+  EXPECT_TRUE(stolen.empty());
+  EXPECT_TRUE(expired.empty());
+}
+
+TEST(StealTest, StealInEnforcesTheThiefTenantQuota) {
+  VirtualClock clock;
+  ShardConfig config = small_shard();
+  config.tenant_max_queued = 1;
+  Shard thief(config, clock);
+
+  WorkItem first = item(0, /*tenant=*/7);
+  first.enqueued_us = 123;  // as stamped by the victim's original admit
+  first.stolen = true;
+  EXPECT_TRUE(thief.steal_in(first));
+  EXPECT_EQ(thief.quotas().queued(7), 1u);
+  EXPECT_EQ(thief.stats().items_stolen_in, 1u);
+
+  WorkItem second = item(1, /*tenant=*/7);
+  second.stolen = true;
+  EXPECT_FALSE(thief.steal_in(second));  // at quota: refused, not charged
+  EXPECT_EQ(thief.quotas().queued(7), 1u);
+  EXPECT_EQ(thief.depth(), 1u);
+  EXPECT_EQ(thief.stats().items_stolen_in, 1u);
+
+  // The accepted item keeps its original enqueue stamp across the move.
+  std::vector<WorkItem> batch;
+  ASSERT_TRUE(thief.form_batch(batch, /*force=*/true).has_value());
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].enqueued_us, 123u);
+  EXPECT_TRUE(batch[0].stolen);
+}
+
+TEST(StealTest, ClosedShardRefusesStolenItems) {
+  VirtualClock clock;
+  Shard thief(small_shard(), clock);
+  thief.close();
+  const WorkItem it = item(0, /*tenant=*/2);
+  EXPECT_FALSE(thief.steal_in(it));
+  EXPECT_EQ(thief.depth(), 0u);
+  // The refused charge was rolled back, not leaked.
+  EXPECT_EQ(thief.quotas().queued(2), 0u);
+}
+
+}  // namespace
+}  // namespace vibguard::serving
